@@ -1,0 +1,505 @@
+// Repository-level benchmarks: one per table/figure of the paper's
+// evaluation (run `go test -bench=. -benchmem` or see cmd/experiments for
+// the full figure regeneration), plus ablation benches for the design
+// choices called out in DESIGN.md and microbenches for the hot components.
+package fgcs_test
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/experiments"
+	"fgcs/internal/fgcssim"
+	"fgcs/internal/host"
+	"fgcs/internal/monitor"
+	"fgcs/internal/predict"
+	"fgcs/internal/smp"
+	"fgcs/internal/timeseries"
+	"fgcs/internal/trace"
+	"fgcs/internal/workload"
+)
+
+// ---------------------------------------------------------------- setup ----
+
+var (
+	benchOnce  sync.Once
+	benchTrace *trace.Dataset
+)
+
+// benchDataset lazily generates a small shared testbed trace (1 machine,
+// 28 days) so individual benchmarks stay fast.
+func benchDataset(b *testing.B) *trace.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		p := workload.DefaultParams()
+		p.Machines = 1
+		p.Days = 28
+		ds, err := workload.Generate(p)
+		if err != nil {
+			panic(err)
+		}
+		benchTrace = ds
+	})
+	return benchTrace
+}
+
+func benchSplit(b *testing.B) trace.Split {
+	b.Helper()
+	sp, err := trace.SplitHalf(benchDataset(b).Machines[0], trace.Weekday)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sp
+}
+
+// ----------------------------------------------------- E1/E2 (Sec 3.2) ----
+
+// BenchmarkE1CPUContention measures one CPU-contention trial of the study
+// that derives Th1 and Th2.
+func BenchmarkE1CPUContention(b *testing.B) {
+	m := host.DefaultMachine()
+	hosts := []host.Proc{{Name: "h", IsolatedCPU: 0.5, MemMB: 60}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, _, err := host.Reduction(m, hosts, host.Guest{Nice: 19, MemMB: 50}, 2*time.Minute, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2MemoryContention measures one memory-thrashing trial.
+func BenchmarkE2MemoryContention(b *testing.B) {
+	m := host.DefaultMachine()
+	hosts := []host.Proc{{Name: "compile-large", IsolatedCPU: 0.67, MemMB: 213}}
+	g := &host.Guest{Nice: 19, MemMB: 193} // 213+193+50 > 384: thrashing
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := host.Simulate(m, hosts, g, 2*time.Minute, uint64(i))
+		if err != nil || !res.Thrashing {
+			b.Fatalf("err=%v thrashing=%v", err, res.Thrashing)
+		}
+	}
+}
+
+// ------------------------------------------------------- F4 (Figure 4) ----
+
+// BenchmarkF4PredictionCost regenerates the Figure 4 series: the wall cost
+// of one full prediction (sojourn extraction + Q/H estimation + the
+// Equation (3) solve) per window length.
+func BenchmarkF4PredictionCost(b *testing.B) {
+	sp := benchSplit(b)
+	p := predict.SMP{Cfg: avail.DefaultConfig()}
+	for _, hours := range []float64{0.5, 1, 2, 5, 10} {
+		w := predict.Window{Start: 8 * time.Hour, Length: time.Duration(hours * float64(time.Hour))}
+		b.Run(fmt.Sprintf("%gh", hours), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Predict(sp.Train, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------- F5 (Figure 5) ----
+
+// BenchmarkF5Accuracy measures one accuracy evaluation (train + score) of
+// the kind Figure 5 aggregates over 240 windows.
+func BenchmarkF5Accuracy(b *testing.B) {
+	sp := benchSplit(b)
+	p := predict.SMP{Cfg: avail.DefaultConfig()}
+	w := predict.Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := predict.EvaluateSMP(p, sp, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------- F6 (Figure 6) ----
+
+// BenchmarkF6TrainingRatio measures one ratio point of the Figure 6 sweep.
+func BenchmarkF6TrainingRatio(b *testing.B) {
+	ds := benchDataset(b)
+	p := predict.SMP{Cfg: avail.DefaultConfig()}
+	w := predict.Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp, err := trace.SplitRatio(ds.Machines[0], trace.Weekday, 6, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := predict.EvaluateSMP(p, sp, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ------------------------------------------------------- F7 (Figure 7) ----
+
+// BenchmarkF7ModelComparison measures one evaluation per algorithm of the
+// Figure 7 comparison (SMP vs the Table 1 linear time-series models).
+func BenchmarkF7ModelComparison(b *testing.B) {
+	sp := benchSplit(b)
+	w := predict.Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	b.Run("SMP", func(b *testing.B) {
+		p := predict.SMP{Cfg: avail.DefaultConfig()}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := predict.EvaluateSMP(p, sp, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, f := range timeseries.ReferenceSuite() {
+		f := f
+		b.Run(f.Name(), func(b *testing.B) {
+			ts := predict.TimeSeries{Cfg: avail.DefaultConfig(), Fitter: f}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := predict.EvaluateTimeSeries(ts, sp, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------- F8 (Figure 8) ----
+
+// BenchmarkF8NoiseRobustness measures one noisy-prediction round of the
+// Figure 8 robustness study.
+func BenchmarkF8NoiseRobustness(b *testing.B) {
+	ds := benchDataset(b)
+	cfg := experiments.DefaultF8Config()
+	cfg.NoiseCounts = []int{4}
+	cfg.LengthsHours = []float64{2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.RunF8(ds.Machines[0], cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------- S6/S7 (Sec 6, 7.1) ----
+
+// BenchmarkS6TraceStats measures counting the unavailability occurrences of
+// one day (the Section 6.1 statistics).
+func BenchmarkS6TraceStats(b *testing.B) {
+	day := benchDataset(b).Machines[0].Days[0]
+	cfg := avail.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		avail.CountEvents(day, cfg)
+	}
+}
+
+// BenchmarkS7MonitorOverhead measures one monitor sampling tick — the cost
+// the paper reports as <1% of the 6 s period.
+func BenchmarkS7MonitorOverhead(b *testing.B) {
+	rec := monitor.NewRecorder("bench", trace.DefaultPeriod, 0)
+	mon, err := monitor.New(monitor.Config{Period: trace.DefaultPeriod},
+		monitor.StaticSource{CPU: 25, FreeMemMB: 300}, rec)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := time.Date(2005, 8, 22, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		mon.Tick(base.Add(time.Duration(i) * trace.DefaultPeriod))
+	}
+}
+
+// ------------------------------------------------------------ ablations ----
+
+// BenchmarkAblationSolver compares the paper's dense Equation (3) recursion
+// with the sparse-support convolution (identical results, different cost
+// class).
+func BenchmarkAblationSolver(b *testing.B) {
+	sp := benchSplit(b)
+	cfg := avail.DefaultConfig()
+	w := predict.Window{Start: 8 * time.Hour, Length: 5 * time.Hour}
+	units := w.Units(trace.DefaultPeriod)
+	var seqs [][]avail.Sojourn
+	for _, d := range sp.Train {
+		seqs = append(seqs, avail.ExtractTrajectories(d.Window(w.Start, w.Length), cfg, d.Period)...)
+	}
+	kernel, err := smp.Estimator{Horizon: units}.Estimate(seqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("dense", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kernel.Solve(avail.S1, units); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sparse", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := kernel.SolveSparseTR(avail.S1, units); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCensoring compares the censoring policies of the kernel
+// estimator (accuracy differences are discussed in the smp package docs).
+func BenchmarkAblationCensoring(b *testing.B) {
+	sp := benchSplit(b)
+	p := predict.SMP{Cfg: avail.DefaultConfig()}
+	w := predict.Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	for _, mode := range []struct {
+		name string
+		m    smp.CensorMode
+	}{{"hazard", smp.CensorHazard}, {"ignore", smp.CensorIgnore}, {"survival", smp.CensorSurvival}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			pp := p
+			pp.Censoring = mode.m
+			for i := 0; i < b.N; i++ {
+				if _, err := pp.Predict(sp.Train, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEstimation compares restart vs absorb trajectory
+// extraction.
+func BenchmarkAblationEstimation(b *testing.B) {
+	sp := benchSplit(b)
+	w := predict.Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	for _, mode := range []struct {
+		name string
+		m    predict.Estimation
+	}{{"restart", predict.EstimateRestart}, {"absorb", predict.EstimateAbsorb}} {
+		mode := mode
+		b.Run(mode.name, func(b *testing.B) {
+			p := predict.SMP{Cfg: avail.DefaultConfig(), Estimation: mode.m}
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Predict(sp.Train, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------- components ----
+
+// BenchmarkClassify measures the five-state classification of a full day.
+func BenchmarkClassify(b *testing.B) {
+	day := benchDataset(b).Machines[0].Days[0]
+	cfg := avail.DefaultConfig()
+	b.ReportAllocs()
+	b.SetBytes(int64(day.Len()))
+	for i := 0; i < b.N; i++ {
+		avail.Classify(day.Samples, cfg, day.Period)
+	}
+}
+
+// BenchmarkExtractTrajectories measures estimation preprocessing for one
+// full day.
+func BenchmarkExtractTrajectories(b *testing.B) {
+	day := benchDataset(b).Machines[0].Days[0]
+	cfg := avail.DefaultConfig()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		avail.ExtractTrajectories(day.Samples, cfg, day.Period)
+	}
+}
+
+// BenchmarkKernelEstimate measures Q/H estimation from a training pool.
+func BenchmarkKernelEstimate(b *testing.B) {
+	sp := benchSplit(b)
+	cfg := avail.DefaultConfig()
+	w := predict.Window{Start: 8 * time.Hour, Length: 5 * time.Hour}
+	var seqs [][]avail.Sojourn
+	for _, d := range sp.Train {
+		seqs = append(seqs, avail.ExtractTrajectories(d.Window(w.Start, w.Length), cfg, d.Period)...)
+	}
+	units := w.Units(trace.DefaultPeriod)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (smp.Estimator{Horizon: units}).Estimate(seqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTimeSeriesFit measures fitting each Table 1 model to a 2-hour
+// load window.
+func BenchmarkTimeSeriesFit(b *testing.B) {
+	day := benchDataset(b).Machines[0].Days[0]
+	samples := day.Window(6*time.Hour, 2*time.Hour)
+	series := make([]float64, len(samples))
+	for i, s := range samples {
+		series[i] = s.CPU
+	}
+	for _, f := range timeseries.ReferenceSuite() {
+		f := f
+		b.Run(f.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := f.Fit(series); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadGenerateDay measures synthesizing one machine-day of
+// 6-second samples.
+func BenchmarkWorkloadGenerateDay(b *testing.B) {
+	p := workload.DefaultParams()
+	p.Machines = 1
+	p.Days = 1
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Seed = uint64(i + 1)
+		if _, err := workload.Generate(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTraceCodec measures encoding+decoding a machine-week in both
+// codecs.
+func BenchmarkTraceCodec(b *testing.B) {
+	p := workload.DefaultParams()
+	p.Machines = 1
+	p.Days = 7
+	ds, err := workload.Generate(p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("binary", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := trace.WriteBinary(&buf, ds); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := trace.ReadBinary(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("text", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := trace.WriteText(&buf, ds); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := trace.ReadText(&buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPredictCI measures the bootstrap confidence-interval machinery
+// (B=50 resamples on a 2-hour window).
+func BenchmarkPredictCI(b *testing.B) {
+	sp := benchSplit(b)
+	p := predict.SMP{Cfg: avail.DefaultConfig()}
+	w := predict.Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.PredictCI(sp.Train, w, 0.9, 50, uint64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFullInterval measures solving the complete Figure 3 P matrix.
+func BenchmarkFullInterval(b *testing.B) {
+	sp := benchSplit(b)
+	cfg := avail.DefaultConfig()
+	w := predict.Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	units := w.Units(trace.DefaultPeriod)
+	var seqs [][]avail.Sojourn
+	for _, d := range sp.Train {
+		seqs = append(seqs, avail.ExtractTrajectories(d.Window(w.Start, w.Length), cfg, d.Period)...)
+	}
+	kernel, err := smp.Estimator{Horizon: units}.Estimate(seqs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := kernel.FullInterval(units); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1bPolicy measures one policy-controlled contention run.
+func BenchmarkE1bPolicy(b *testing.B) {
+	m := host.DefaultMachine()
+	hosts := []host.Proc{{Name: "h", IsolatedCPU: 0.5, MemMB: 40}}
+	for _, pol := range []host.GuestPolicy{host.PolicyTwoThreshold, host.PolicyGradual, host.PolicyAlwaysLowest} {
+		pol := pol
+		b.Run(pol.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := host.SimulatePolicy(m, hosts, pol, 20, 60, 2*time.Minute, uint64(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWorkloadProfiles compares generating a machine-day under each
+// workload profile.
+func BenchmarkWorkloadProfiles(b *testing.B) {
+	for _, prof := range []workload.Profile{workload.ProfileLab, workload.ProfileEnterprise} {
+		prof := prof
+		b.Run(prof.String(), func(b *testing.B) {
+			p := workload.DefaultParams()
+			p.Machines = 1
+			p.Days = 1
+			p.Profile = prof
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				p.Seed = uint64(i + 1)
+				if _, err := workload.Generate(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFGCSSimDay measures simulating one full testbed-day of the
+// whole-deployment simulation (6-second steps across all machines).
+func BenchmarkFGCSSimDay(b *testing.B) {
+	ds, err := experiments.HeterogeneousTestbed(8, []float64{1.2, 0.5}, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	jobs, err := fgcssim.PoissonJobs(4, ds, 7, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := fgcssim.Config{Dataset: ds, Cfg: avail.DefaultConfig(), StartDay: 7, Policy: fgcssim.PolicyTRAware, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := fgcssim.Run(cfg, jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

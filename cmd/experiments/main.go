@@ -1,0 +1,523 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Sections 3.2, 6.1 and 7) on the synthetic testbed trace:
+//
+//	experiments -run all            # everything (minutes)
+//	experiments -run f5 -machines 6 # one figure
+//	experiments -run f7 -trace t.bin
+//
+// Output is a plain-text table per experiment; EXPERIMENTS.md records these
+// numbers next to the paper's.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/experiments"
+	"fgcs/internal/fgcssim"
+	"fgcs/internal/host"
+	"fgcs/internal/stats"
+	"fgcs/internal/trace"
+	"fgcs/internal/txtplot"
+	"fgcs/internal/workload"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "experiment id: all, e1, e1b, e2, f4, f5, f6, f7, f8, s6, s7, x1, x2, x3, x4, a1")
+		machines = flag.Int("machines", 6, "machines in the generated trace")
+		days     = flag.Int("days", 90, "days in the generated trace")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		traceIn  = flag.String("trace", "", "load a trace file instead of generating")
+		quick    = flag.Bool("quick", false, "smaller designs for a fast smoke run")
+	)
+	flag.Parse()
+	if err := realMain(*run, *machines, *days, *seed, *traceIn, *quick); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(run string, machines, days int, seed uint64, traceIn string, quick bool) error {
+	want := func(id string) bool { return run == "all" || run == id }
+	cfg := avail.DefaultConfig()
+
+	var ds *trace.Dataset
+	needTrace := false
+	for _, id := range []string{"f4", "f5", "f6", "f7", "f8", "s6", "x1", "x2", "a1"} {
+		if want(id) {
+			needTrace = true
+		}
+	}
+	if needTrace {
+		var err error
+		ds, err = loadOrGenerate(traceIn, machines, days, seed, quick)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("# trace: %d machines x %d days (%d machine-days)\n\n",
+			len(ds.Machines), len(ds.Machines[0].Days), ds.MachineDays())
+	}
+
+	if want("e1") {
+		if err := runE1(quick); err != nil {
+			return err
+		}
+	}
+	if want("e1b") {
+		if err := runE1b(quick); err != nil {
+			return err
+		}
+	}
+	if want("e2") {
+		if err := runE2(quick); err != nil {
+			return err
+		}
+	}
+	if want("f4") {
+		if err := runF4(ds, cfg); err != nil {
+			return err
+		}
+	}
+	if want("f5") {
+		if err := runF5(ds, cfg); err != nil {
+			return err
+		}
+	}
+	if want("f6") {
+		if err := runF6(ds, cfg, quick); err != nil {
+			return err
+		}
+	}
+	if want("f7") {
+		if err := runF7(ds); err != nil {
+			return err
+		}
+	}
+	if want("f8") {
+		if err := runF8(ds); err != nil {
+			return err
+		}
+	}
+	if want("s6") {
+		runS6(ds, cfg)
+	}
+	if want("s7") {
+		if err := runS7(quick); err != nil {
+			return err
+		}
+	}
+	if want("x1") {
+		if err := runX1(ds); err != nil {
+			return err
+		}
+	}
+	if want("x2") {
+		if err := runX2(ds, cfg, quick); err != nil {
+			return err
+		}
+	}
+	if want("a1") {
+		if err := runA1(ds, cfg, quick); err != nil {
+			return err
+		}
+	}
+	if want("x3") {
+		if err := runX3(machines, days, seed, quick); err != nil {
+			return err
+		}
+	}
+	if want("x4") {
+		if err := runX4(days, seed, quick); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func runX4(days int, seed uint64, quick bool) error {
+	fmt.Println("== X4 (extension): end-to-end job response time under each placement policy ==")
+	nJobs := 100
+	if quick {
+		days, nJobs = 35, 20
+	}
+	if days < 28 {
+		days = 28
+	}
+	het, err := experiments.HeterogeneousTestbed(days, experiments.DefaultTestbedScales, seed+500)
+	if err != nil {
+		return err
+	}
+	startDay := days / 2
+	jobs, err := fgcssim.PoissonJobs(nJobs, het, startDay, seed+1)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d jobs on %d machines over %d test days (response time is the paper's primary metric)\n",
+		len(jobs), len(het.Machines), days-startDay)
+	fmt.Printf("%-13s %-11s %-14s %-14s %-7s %s\n", "policy", "completed", "mean response", "p95 response", "kills", "lost compute")
+	for _, pol := range []fgcssim.Policy{fgcssim.PolicyTRAware, fgcssim.PolicyRoundRobin, fgcssim.PolicyRandom} {
+		cfg := fgcssim.Config{
+			Dataset:  het,
+			Cfg:      avail.DefaultConfig(),
+			StartDay: startDay,
+			Policy:   pol,
+			Seed:     seed + 2,
+		}
+		res, err := fgcssim.Run(cfg, jobs)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-13v %-11d %-14v %-14v %-7d %v\n",
+			pol, res.CompletedJobs, res.MeanResponse.Round(time.Second), res.P95Response.Round(time.Second),
+			res.TotalKills, res.TotalLost.Round(time.Minute))
+	}
+	fmt.Println()
+	return nil
+}
+
+func runX3(machines, days int, seed uint64, quick bool) error {
+	fmt.Println("== X3 (future work, Section 8): accuracy on an enterprise-desktop testbed ==")
+	if quick {
+		machines, days = 2, 28
+	}
+	// Working-hour placements: lengths that fit inside a 9:00-17:00 day.
+	lengths := []float64{1, 2, 3, 5}
+	rows, err := experiments.RunX3(machines, days, seed, lengths)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %-8s %-10s %s\n", "profile", "hours", "avg err%", "windows")
+	for _, r := range rows {
+		fmt.Printf("%-12s %-8.0f %-10.2f %d\n", r.Profile, r.WindowHours, 100*r.AvgErr, r.Windows)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runX1(ds *trace.Dataset) error {
+	fmt.Println("== X1 (extension): proactive TR-aware scheduling vs oblivious placement ==")
+	// X1 uses its own heterogeneous testbed: availability-aware placement
+	// only has something to choose between when machines differ.
+	days := len(ds.Machines[0].Days)
+	het, err := experiments.HeterogeneousTestbed(days, experiments.DefaultTestbedScales, 100)
+	if err != nil {
+		return err
+	}
+	cfg := experiments.DefaultX1Config()
+	if cfg.HistoryDays >= days {
+		cfg.HistoryDays = days / 2
+	}
+	fmt.Printf("heterogeneous testbed: %d machines (activity scales %v), %d days\n",
+		len(het.Machines), experiments.DefaultTestbedScales, days)
+	rows, err := experiments.RunX1(het, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-13s %-11s %-8s %-10s %s\n", "policy", "completed", "killed", "success%", "wasted compute")
+	for _, r := range rows {
+		total := r.Completed + r.Killed
+		fmt.Printf("%-13s %-11d %-8d %-10.1f %.0f h\n",
+			r.Policy, r.Completed, r.Killed, 100*float64(r.Completed)/float64(total), r.WastedHours)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runX2(ds *trace.Dataset, cfg avail.Config, quick bool) error {
+	fmt.Println("== X2 (extension): sensitivity to the history pool size N (Section 4.2) ==")
+	lengths := []float64{1, 3, 10}
+	pools := []int{2, 5, 10, 20, 0}
+	if quick {
+		lengths = []float64{1, 3}
+		pools = []int{2, 10, 0}
+	}
+	rows, err := experiments.RunX2(ds, cfg, pools, lengths)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-10s %-10s %s\n", "N days", "avg err%", "max err%", "windows")
+	for _, r := range rows {
+		label := fmt.Sprintf("%d", r.HistoryDays)
+		if r.HistoryDays == 0 {
+			label = "all"
+		}
+		fmt.Printf("%-10s %-10.2f %-10.2f %d\n", label, 100*r.AvgErr, 100*r.MaxErr, r.Windows)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runA1(ds *trace.Dataset, cfg avail.Config, quick bool) error {
+	fmt.Println("== A1 (ablation): estimator design, average relative error ==")
+	lengths := []float64{1, 3, 10}
+	if quick {
+		lengths = []float64{1, 3}
+	}
+	rows, err := experiments.RunA1(ds, cfg, lengths)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-28s", "variant")
+	for _, h := range lengths {
+		fmt.Printf("%-9s", fmt.Sprintf("%gh", h))
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-28s", r.Variant)
+		for _, e := range r.AvgErr {
+			fmt.Printf("%-9.1f", 100*e)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func loadOrGenerate(path string, machines, days int, seed uint64, quick bool) (*trace.Dataset, error) {
+	if path != "" {
+		return trace.LoadFile(path)
+	}
+	p := workload.DefaultParams()
+	p.Machines = machines
+	p.Days = days
+	p.Seed = seed
+	if quick {
+		if p.Machines > 2 {
+			p.Machines = 2
+		}
+		if p.Days > 28 {
+			p.Days = 28
+		}
+	}
+	return workload.Generate(p)
+}
+
+func runE1(quick bool) error {
+	fmt.Println("== E1: CPU contention (Section 3.2.1) — reduction rate of host CPU usage ==")
+	cfg := host.DefaultE1Config()
+	if quick {
+		cfg.GroupSizes = []int{1, 3}
+		cfg.Trials = 2
+		cfg.Duration = 5 * time.Minute
+	}
+	res, err := host.RunE1(cfg)
+	if err != nil {
+		return err
+	}
+	for _, nice := range []int{0, 19} {
+		fmt.Printf("guest priority nice=%d\n", nice)
+		fmt.Printf("  %-8s", "L_H%")
+		for _, size := range cfg.GroupSizes {
+			fmt.Printf("size=%-6d", size)
+		}
+		fmt.Println()
+		for ti := range cfg.Targets {
+			curve0 := res.Curves[nice][cfg.GroupSizes[0]]
+			fmt.Printf("  %-8.1f", curve0[ti].IsolatedCPU)
+			for _, size := range cfg.GroupSizes {
+				fmt.Printf("%-10.2f", 100*res.Curves[nice][size][ti].Reduction)
+			}
+			fmt.Println()
+		}
+	}
+	fmt.Printf("derived thresholds: Th1=%.0f%% Th2=%.0f%% (paper: 20%%, 60%%)\n\n", res.Th1, res.Th2)
+	return nil
+}
+
+func runE1b(quick bool) error {
+	fmt.Println("== E1b: guest-priority policy alternatives (Section 3.2.1) ==")
+	targets := []float64{0.10, 0.30, 0.50, 0.70, 0.90}
+	trials, dur := 4, 12*time.Minute
+	if quick {
+		trials, dur = 2, 5*time.Minute
+	}
+	rows, err := host.RunE1b(host.DefaultMachine(), targets, trials, dur, 2)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-15s %-8s %-12s %-10s %s\n", "policy", "L_H%", "reduction%", "guest%", "mean nice")
+	for _, r := range rows {
+		fmt.Printf("%-15v %-8.0f %-12.2f %-10.1f %.1f\n",
+			r.Policy, r.IsolatedCPU, 100*r.Reduction, r.GuestCPU, r.MeanNice)
+	}
+	fmt.Println("conclusion: gradual priorities track the two-threshold scheme (redundant);")
+	fmt.Println("the two thresholds reflect the availability levels without over-restriction.")
+	fmt.Println()
+	return nil
+}
+
+func runE2(quick bool) error {
+	fmt.Println("== E2: CPU + memory contention (Section 3.2.2) ==")
+	cfg := host.DefaultE2Config()
+	if quick {
+		cfg.Duration = 4 * time.Minute
+	}
+	cells, err := host.RunE2(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %-14s %-5s %-8s %-10s %s\n", "guest", "host", "nice", "L_H%", "reduction%", "thrashing")
+	for _, c := range cells {
+		fmt.Printf("%-14s %-14s %-5d %-8.1f %-10.2f %v\n",
+			c.Guest, c.Host, c.GuestNice, c.HostIsolatedCPU, 100*c.Reduction, c.Thrashing)
+	}
+	fmt.Println()
+	return nil
+}
+
+func runF4(ds *trace.Dataset, cfg avail.Config) error {
+	fmt.Println("== F4: prediction cost vs window length (Figure 4) ==")
+	hours := []float64{0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	rows, exp, err := experiments.RunF4(ds.Machines[0], cfg, hours)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %-14s %-14s %-12s %s\n", "hours", "Q+H time", "total time", "solver ops", "TR")
+	for _, r := range rows {
+		fmt.Printf("%-10.1f %-14v %-14v %-12d %.4f\n", r.WindowHours, r.QHTime, r.TotalTime, r.Ops, r.TR)
+	}
+	fmt.Printf("power-law exponent of total time: %.2f (paper: 1.85)\n\n", exp)
+	return nil
+}
+
+func runF5(ds *trace.Dataset, cfg avail.Config) error {
+	for _, dt := range []trace.DayType{trace.Weekday, trace.Weekend} {
+		fmt.Printf("== F5 (%s): relative error of predicted TR (Figure 5) ==\n", dt)
+		fcfg := experiments.DefaultF5Config(dt)
+		fcfg.Cfg = cfg
+		rows, err := experiments.RunF5(ds, fcfg)
+		if err != nil {
+			return err
+		}
+		printF5(rows)
+	}
+	return nil
+}
+
+func printF5(rows []experiments.F5Row) {
+	fmt.Printf("%-8s %-10s %-10s %-10s %-9s %s\n", "hours", "avg err%", "min err%", "max err%", "windows", "skipped")
+	var labels []string
+	var avg, max []float64
+	for _, r := range rows {
+		fmt.Printf("%-8.0f %-10.2f %-10.2f %-10.2f %-9d %d\n",
+			r.WindowHours, 100*r.Err.Mean, 100*r.Err.Min, 100*r.Err.Max, r.Windows, r.Skipped)
+		labels = append(labels, fmt.Sprintf("%gh", r.WindowHours))
+		avg = append(avg, 100*r.Err.Mean)
+		max = append(max, 100*r.Err.Max)
+	}
+	fmt.Println()
+	fmt.Println(txtplot.Chart("relative error (%) vs window length", labels, []txtplot.Series{
+		{Name: "avg", Y: avg},
+		{Name: "max", Y: max},
+	}, 10))
+}
+
+func runF6(ds *trace.Dataset, cfg avail.Config, quick bool) error {
+	fmt.Println("== F6: error vs training:test ratio, weekdays (Figure 6) ==")
+	lengths := experiments.DefaultLengthsHours
+	if quick {
+		lengths = []float64{1, 3}
+	}
+	rows, err := experiments.RunF6(ds, cfg, lengths)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-14s %s\n", "ratio", "max-avg err%", "max err%")
+	best := rows[0]
+	for _, r := range rows {
+		fmt.Printf("%d:%-6d %-14.2f %.2f\n", r.TrainParts, r.TestParts, 100*r.MaxAvg, 100*r.Max)
+		if r.MaxAvg < best.MaxAvg {
+			best = r
+		}
+	}
+	fmt.Printf("sweet spot: %d:%d (paper: 6:4)\n\n", best.TrainParts, best.TestParts)
+	return nil
+}
+
+func runF7(ds *trace.Dataset) error {
+	fmt.Println("== F7: SMP vs linear time-series models, max error, 08:00 weekdays (Figure 7) ==")
+	cfg := experiments.DefaultF7Config()
+	rows, err := experiments.RunF7(ds, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s", "model")
+	for _, h := range cfg.LengthsHours {
+		fmt.Printf("%-9s", fmt.Sprintf("%gh", h))
+	}
+	fmt.Println()
+	var labels []string
+	for _, h := range cfg.LengthsHours {
+		labels = append(labels, fmt.Sprintf("%gh", h))
+	}
+	var series []txtplot.Series
+	for _, r := range rows {
+		fmt.Printf("%-12s", r.Model)
+		ys := make([]float64, len(r.MaxErr))
+		for i, e := range r.MaxErr {
+			fmt.Printf("%-9.1f", 100*e)
+			ys[i] = 100 * e
+		}
+		fmt.Println()
+		series = append(series, txtplot.Series{Name: r.Model, Y: ys})
+	}
+	fmt.Println()
+	fmt.Println(txtplot.Chart("max relative error (%) vs window length", labels, series, 12))
+	return nil
+}
+
+func runF8(ds *trace.Dataset) error {
+	fmt.Println("== F8: prediction discrepancy under injected noise (Figure 8) ==")
+	cfg := experiments.DefaultF8Config()
+	rows, err := experiments.RunF8(ds.Machines[0], cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-7s", "noise")
+	for _, h := range cfg.LengthsHours {
+		fmt.Printf("%-9s", fmt.Sprintf("T=%gh", h))
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-7d", r.Noise)
+		for _, d := range r.Discrepancy {
+			fmt.Printf("%-9.2f", 100*d)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	return nil
+}
+
+func runS6(ds *trace.Dataset, cfg avail.Config) {
+	fmt.Println("== S6: unavailability occurrences per machine (Section 6.1) ==")
+	rows := experiments.RunS6(ds, cfg)
+	fmt.Printf("%-10s %-6s %-8s %-6s %-6s %s\n", "machine", "days", "events", "S3", "S4", "S5")
+	var counts []float64
+	for _, r := range rows {
+		fmt.Printf("%-10s %-6d %-8d %-6d %-6d %d\n",
+			r.MachineID, r.Days, r.Events, r.ByState[avail.S3], r.ByState[avail.S4], r.ByState[avail.S5])
+		counts = append(counts, float64(r.Events))
+	}
+	s := stats.Summarize(counts)
+	fmt.Printf("range %.0f-%.0f, mean %.0f (paper: 405-453 over 90 days)\n\n", s.Min, s.Max, s.Mean)
+}
+
+func runS7(quick bool) error {
+	fmt.Println("== S7: resource monitoring overhead (Section 7.1) ==")
+	n := 200000
+	if quick {
+		n = 20000
+	}
+	res, err := experiments.RunS7(n, trace.DefaultPeriod)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("per-sample cost: %v over %d samples\n", res.PerSample, res.Samples)
+	fmt.Printf("fraction of the 6 s period: %.6f%% (paper: < 1%%)\n\n", 100*res.PeriodFraction)
+	return nil
+}

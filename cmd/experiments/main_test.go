@@ -1,0 +1,31 @@
+package main
+
+import "testing"
+
+// The quick path of every experiment must run end to end; this is the
+// regression net for the harness plumbing (the statistical content is tested
+// in internal/experiments).
+func TestRealMainQuickSingles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs real experiment code")
+	}
+	for _, id := range []string{"s7", "f4", "s6", "f8"} {
+		if err := realMain(id, 2, 14, 1, "", true); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+	}
+}
+
+func TestRealMainUnknownIDIsNoop(t *testing.T) {
+	// Unknown ids simply select no experiment; the trace is not even
+	// generated.
+	if err := realMain("zzz", 1, 1, 1, "", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealMainBadTraceFile(t *testing.T) {
+	if err := realMain("s6", 1, 1, 1, "/nonexistent/file.bin", true); err == nil {
+		t.Fatal("missing trace file accepted")
+	}
+}

@@ -1,0 +1,148 @@
+// Command isharec is the iShare client: it discovers published host nodes,
+// queries their temporal reliability for a prospective guest job, and
+// submits the job to the most reliable machine.
+//
+//	isharec -registry localhost:7000 rank -work 2h -mem 100
+//	isharec -registry localhost:7000 submit -name sim1 -work 2h -mem 100
+//	isharec -gateway localhost:7070 status -job lab-01-job-1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fgcs/internal/ishare"
+)
+
+func main() {
+	var (
+		registry = flag.String("registry", "", "registry address for discovery")
+		gateway  = flag.String("gateway", "", "direct gateway address (bypasses discovery)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "request timeout")
+	)
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: isharec [flags] rank|submit|run|status|kill [subflags]")
+		os.Exit(2)
+	}
+	if err := run(*registry, *gateway, *timeout, flag.Arg(0), flag.Args()[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "isharec:", err)
+		os.Exit(1)
+	}
+}
+
+func scheduler(registry, gateway string, timeout time.Duration) (*ishare.Scheduler, error) {
+	if gateway != "" {
+		return &ishare.Scheduler{Candidates: []ishare.Candidate{{
+			MachineID: gateway,
+			API:       ishare.RemoteGateway{Addr: gateway, Timeout: timeout},
+		}}}, nil
+	}
+	if registry == "" {
+		return nil, fmt.Errorf("need -registry or -gateway")
+	}
+	return ishare.FromRegistry(registry, timeout)
+}
+
+func run(registry, gateway string, timeout time.Duration, cmd string, args []string) error {
+	switch cmd {
+	case "run":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		name := fs.String("name", "guest-job", "job name")
+		work := fs.Duration("work", time.Hour, "estimated compute time")
+		mem := fs.Float64("mem", 100, "working set in MB")
+		poll := fs.Duration("poll", 6*time.Second, "status poll interval")
+		migrations := fs.Int("migrations", 5, "maximum recoveries after kills")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		sched, err := scheduler(registry, gateway, timeout)
+		if err != nil {
+			return err
+		}
+		sv := &ishare.Supervisor{Sched: sched, PollInterval: *poll, MaxMigrations: *migrations}
+		fmt.Printf("supervising %s (%v of compute)...\n", *name, *work)
+		run, err := sv.Run(ishare.SubmitReq{Name: *name, WorkSeconds: work.Seconds(), MemMB: *mem})
+		for _, pl := range run.Placements {
+			fmt.Printf("  %s on %s (TR %.3f): %s", pl.JobID, pl.MachineID, pl.TR, pl.Outcome)
+			if pl.Reason != "" {
+				fmt.Printf(" — %s", pl.Reason)
+			}
+			fmt.Println()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("completed after %d migration(s)\n", run.Migrations)
+		return nil
+	case "rank", "submit":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		name := fs.String("name", "guest-job", "job name")
+		work := fs.Duration("work", time.Hour, "estimated compute time")
+		mem := fs.Float64("mem", 100, "working set in MB")
+		resume := fs.Duration("resume", 0, "progress to resume from a checkpoint")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		sched, err := scheduler(registry, gateway, timeout)
+		if err != nil {
+			return err
+		}
+		job := ishare.SubmitReq{
+			Name:                   *name,
+			WorkSeconds:            work.Seconds(),
+			MemMB:                  *mem,
+			InitialProgressSeconds: resume.Seconds(),
+		}
+		if cmd == "rank" {
+			ranked, err := sched.Rank(job)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %-8s %-8s %s\n", "machine", "TR", "state", "history")
+			for _, r := range ranked {
+				fmt.Printf("%-12s %-8.4f %-8s %d days\n", r.MachineID, r.TR, r.CurrentState, r.HistoryWindows)
+			}
+			return nil
+		}
+		best, resp, err := sched.SubmitBest(job)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("submitted %s to %s (TR %.4f): job id %s\n", *name, best.MachineID, best.TR, resp.JobID)
+		return nil
+	case "status", "kill":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		jobID := fs.String("job", "", "job id (required)")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if *jobID == "" {
+			return fmt.Errorf("%s needs -job", cmd)
+		}
+		if gateway == "" {
+			return fmt.Errorf("%s needs -gateway", cmd)
+		}
+		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout}
+		var st ishare.JobStatusResp
+		var err error
+		if cmd == "status" {
+			st, err = api.JobStatus(ishare.JobStatusReq{JobID: *jobID})
+		} else {
+			st, err = api.Kill(ishare.JobStatusReq{JobID: *jobID})
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("job %s: %s (%.0f/%.0f s done)", st.JobID, st.State, st.ProgressSeconds, st.WorkSeconds)
+		if st.Reason != "" {
+			fmt.Printf(" — %s", st.Reason)
+		}
+		fmt.Println()
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+}

@@ -1,0 +1,160 @@
+// Command ishared runs an iShare host node: the gateway, resource monitor
+// and state manager daemons of Figure 2, exposing the gateway protocol over
+// TCP and optionally registering with a registry.
+//
+//	ishared -id lab-01 -listen :7070 -registry registry-host:7000
+//	ishared -id lab-01 -listen :7070 -source replay -trace testbed.trace
+//	ishared -registry-only -listen :7000     # run a registry instead
+//
+// With -source proc (the default on Linux) the monitor samples the real host
+// via /proc; with -source replay it replays a machine from a trace file,
+// which is how a whole simulated testbed can be run on one box.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/ishare"
+	"fgcs/internal/monitor"
+	"fgcs/internal/trace"
+)
+
+func main() {
+	var (
+		id           = flag.String("id", hostnameOr("node"), "machine id")
+		listen       = flag.String("listen", "127.0.0.1:7070", "gateway listen address")
+		registry     = flag.String("registry", "", "registry address to publish to")
+		registryOnly = flag.Bool("registry-only", false, "run a registry instead of a host node")
+		source       = flag.String("source", "proc", "load source: proc or replay")
+		traceFile    = flag.String("trace", "", "trace file for -source replay / preloaded history")
+		heartbeat    = flag.String("heartbeat", "", "t_monitor heartbeat file path")
+		histDays     = flag.Int("history", 0, "most recent N days to pool (0 = all)")
+		archive      = flag.String("archive", "", "archive history logs to this trace file periodically and on shutdown")
+		archiveEvery = flag.Duration("archive-every", 10*time.Minute, "archive interval")
+	)
+	flag.Parse()
+	if err := run(*id, *listen, *registry, *registryOnly, *source, *traceFile, *heartbeat, *histDays, *archive, *archiveEvery); err != nil {
+		fmt.Fprintln(os.Stderr, "ishared:", err)
+		os.Exit(1)
+	}
+}
+
+func hostnameOr(fallback string) string {
+	if h, err := os.Hostname(); err == nil && h != "" {
+		return h
+	}
+	return fallback
+}
+
+func run(id, listen, registry string, registryOnly bool, source, traceFile, heartbeat string, histDays int, archive string, archiveEvery time.Duration) error {
+	if registryOnly {
+		reg := ishare.NewRegistry()
+		srv, err := reg.Serve(listen)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("registry listening on %s\n", srv.Addr())
+		waitForSignal()
+		return nil
+	}
+
+	var preloaded *trace.Machine
+	var src monitor.LoadSource
+	switch source {
+	case "proc":
+		src = monitor.NewProcSource()
+		if traceFile != "" {
+			ds, err := trace.LoadFile(traceFile)
+			if err != nil {
+				return err
+			}
+			if m := ds.Find(id); m != nil {
+				preloaded = m
+			}
+		}
+	case "replay":
+		if traceFile == "" {
+			return fmt.Errorf("-source replay needs -trace")
+		}
+		ds, err := trace.LoadFile(traceFile)
+		if err != nil {
+			return err
+		}
+		m := ds.Find(id)
+		if m == nil {
+			if len(ds.Machines) == 0 {
+				return fmt.Errorf("trace file has no machines")
+			}
+			m = ds.Machines[0]
+		}
+		rs, err := monitor.NewReplaySource(m.Days)
+		if err != nil {
+			return err
+		}
+		src = rs
+		preloaded = m
+	default:
+		return fmt.Errorf("unknown source %q", source)
+	}
+
+	node, err := ishare.NewHostNode(ishare.NodeConfig{
+		MachineID:     id,
+		Cfg:           avail.DefaultConfig(),
+		Preloaded:     preloaded,
+		HistoryDays:   histDays,
+		HeartbeatPath: heartbeat,
+	}, src)
+	if err != nil {
+		return err
+	}
+	srv, err := node.Serve(listen, registry)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	node.Start()
+	defer node.Stop()
+	fmt.Printf("host node %s: gateway on %s, monitoring every %v (source %s)\n",
+		id, srv.Addr(), trace.DefaultPeriod, source)
+	if registry != "" {
+		fmt.Printf("registered with %s\n", registry)
+	}
+	if archive != "" {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			for {
+				select {
+				case <-stop:
+					return
+				case <-time.After(archiveEvery):
+					if err := node.SM.Archive(archive); err != nil {
+						fmt.Fprintln(os.Stderr, "ishared: archive:", err)
+					}
+				}
+			}
+		}()
+	}
+	waitForSignal()
+	if archive != "" {
+		if err := node.SM.Archive(archive); err != nil {
+			return fmt.Errorf("final archive: %w", err)
+		}
+		fmt.Printf("history archived to %s\n", archive)
+	}
+	return nil
+}
+
+func waitForSignal() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	<-ch
+	fmt.Println("shutting down")
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"fgcs/internal/trace"
+	"fgcs/internal/workload"
+)
+
+func writeTestTrace(t *testing.T) string {
+	t.Helper()
+	p := workload.DefaultParams()
+	p.Machines = 2
+	p.Days = 14
+	ds, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := trace.SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllMachines(t *testing.T) {
+	path := writeTestTrace(t)
+	if err := run(path, "", 8*time.Hour, 2*time.Hour, "weekday", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "lab-02", 9*time.Hour, time.Hour, "weekend", 5, 50); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTestTrace(t)
+	cases := []struct {
+		name string
+		f    func() error
+	}{
+		{"missing trace flag", func() error {
+			return run("", "", 8*time.Hour, time.Hour, "weekday", 0, 100)
+		}},
+		{"bad day type", func() error {
+			return run(path, "", 8*time.Hour, time.Hour, "someday", 0, 100)
+		}},
+		{"missing file", func() error {
+			return run(filepath.Join(t.TempDir(), "nope.bin"), "", 8*time.Hour, time.Hour, "weekday", 0, 100)
+		}},
+		{"invalid window", func() error {
+			return run(path, "", 20*time.Hour, 10*time.Hour, "weekday", 0, 100)
+		}},
+	}
+	for _, c := range cases {
+		if err := c.f(); err == nil {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fgcs/internal/trace"
+)
+
+func TestRunWritesLoadableTrace(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"t.bin", "t.txt", "t.bin.gz"} {
+		path := filepath.Join(dir, name)
+		if err := run(1, 2, 7, path, "lab", false); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ds, err := trace.LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ds.Machines) != 1 || len(ds.Machines[0].Days) != 2 {
+			t.Fatalf("%s: shape %d/%d", name, len(ds.Machines), len(ds.Machines[0].Days))
+		}
+	}
+}
+
+func TestRunWithStats(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "s.bin")
+	if err := run(1, 2, 7, path, "enterprise", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, 2, 7, filepath.Join(t.TempDir(), "x.bin"), "lab", false); err == nil {
+		t.Fatal("zero machines accepted")
+	}
+	if err := run(1, 1, 7, "/nonexistent-dir/x.bin", "lab", false); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+	if err := run(1, 1, 7, filepath.Join(t.TempDir(), "y.bin"), "cluster", false); err == nil {
+		t.Fatal("unknown profile accepted")
+	}
+}

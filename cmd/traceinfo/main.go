@@ -1,0 +1,116 @@
+// Command traceinfo analyzes an FGCS monitor trace: per-machine
+// unavailability statistics (the Section 6.1 numbers), availability-state
+// occupancy, and the diurnal availability profile rendered as an ASCII
+// chart.
+//
+//	traceinfo -trace testbed.trace
+//	traceinfo -trace testbed.trace -machine lab-03 -daytype weekend
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/stats"
+	"fgcs/internal/trace"
+	"fgcs/internal/txtplot"
+)
+
+func main() {
+	var (
+		traceFile = flag.String("trace", "", "trace file (required)")
+		machine   = flag.String("machine", "", "machine id (default: all)")
+		dayType   = flag.String("daytype", "weekday", "weekday or weekend (for the diurnal profile)")
+	)
+	flag.Parse()
+	if err := run(*traceFile, *machine, *dayType); err != nil {
+		fmt.Fprintln(os.Stderr, "traceinfo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(traceFile, machine, dayType string) error {
+	if traceFile == "" {
+		return fmt.Errorf("-trace is required")
+	}
+	var dt trace.DayType
+	switch dayType {
+	case "weekday":
+		dt = trace.Weekday
+	case "weekend":
+		dt = trace.Weekend
+	default:
+		return fmt.Errorf("unknown day type %q", dayType)
+	}
+	ds, err := trace.LoadFile(traceFile)
+	if err != nil {
+		return err
+	}
+	cfg := avail.DefaultConfig()
+	fmt.Printf("%-10s %-6s %-8s %-6s %-6s %-6s %-9s %s\n",
+		"machine", "days", "events", "S3", "S4", "S5", "recover%", "mean CPU%")
+	for _, m := range ds.Machines {
+		if machine != "" && m.ID != machine {
+			continue
+		}
+		events, byState := 0, map[avail.State]int{}
+		var occSum avail.Occupancy
+		var cpu []float64
+		for _, d := range m.Days {
+			for _, e := range avail.Events(d, cfg) {
+				events++
+				byState[e.State]++
+			}
+			o := avail.StateOccupancy(d.Samples, cfg, d.Period)
+			for i := range occSum {
+				occSum[i] += o[i] / float64(len(m.Days))
+			}
+			for _, s := range d.Samples {
+				if s.Up {
+					cpu = append(cpu, s.CPU)
+				}
+			}
+		}
+		fmt.Printf("%-10s %-6d %-8d %-6d %-6d %-6d %-9.2f %.2f\n",
+			m.ID, len(m.Days), events, byState[avail.S3], byState[avail.S4], byState[avail.S5],
+			100*occSum.Recoverable(), stats.Mean(cpu))
+	}
+
+	// Diurnal availability profile of the first selected machine.
+	var target *trace.Machine
+	if machine != "" {
+		target = ds.Find(machine)
+		if target == nil {
+			return fmt.Errorf("machine %q not in trace", machine)
+		}
+	} else if len(ds.Machines) > 0 {
+		target = ds.Machines[0]
+	}
+	if target == nil {
+		return fmt.Errorf("trace has no machines")
+	}
+	days := target.DaysOfType(dt)
+	if len(days) == 0 {
+		return fmt.Errorf("machine %s has no %s days", target.ID, dt)
+	}
+	hourly := avail.HourlyOccupancy(days, cfg)
+	labels := make([]string, 0, 12)
+	recover := make([]float64, 0, 12)
+	s1 := make([]float64, 0, 12)
+	for h := 0; h < 24; h += 2 {
+		labels = append(labels, fmt.Sprintf("%02d", h))
+		recover = append(recover, 100*hourly[h].Recoverable())
+		s1 = append(s1, 100*hourly[h].Of(avail.S1))
+	}
+	fmt.Println()
+	fmt.Println(txtplot.Chart(
+		fmt.Sprintf("%s diurnal availability of %s (%% of time, by clock hour)", dt, target.ID),
+		labels,
+		[]txtplot.Series{
+			{Name: "recoverable (S1+S2)", Y: recover},
+			{Name: "idle (S1)", Y: s1},
+		}, 10))
+	return nil
+}

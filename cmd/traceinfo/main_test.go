@@ -1,0 +1,51 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"fgcs/internal/trace"
+	"fgcs/internal/workload"
+)
+
+func testTracePath(t *testing.T) string {
+	t.Helper()
+	p := workload.DefaultParams()
+	p.Machines = 2
+	p.Days = 14
+	ds, err := workload.Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "t.bin")
+	if err := trace.SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllAndSingle(t *testing.T) {
+	path := testTracePath(t)
+	if err := run(path, "", "weekday"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(path, "lab-02", "weekend"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := testTracePath(t)
+	if err := run("", "", "weekday"); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+	if err := run(path, "", "holiday"); err == nil {
+		t.Fatal("bad day type accepted")
+	}
+	if err := run(path, "ghost", "weekday"); err == nil {
+		t.Fatal("unknown machine accepted")
+	}
+	if err := run(filepath.Join(t.TempDir(), "no.bin"), "", "weekday"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,13 @@
+// Package fgcs is a from-scratch Go implementation of "Resource Availability
+// Prediction in Fine-Grained Cycle Sharing Systems" (Ren, Lee, Eigenmann,
+// Bagchi — HPDC 2006): the five-state resource availability model, the
+// semi-Markov temporal-reliability predictor, the linear time-series
+// baselines, the iShare FGCS runtime, the host-contention simulator behind
+// the Th1/Th2 thresholds, and the synthetic testbed-trace generator, with a
+// benchmark harness that regenerates every figure of the paper's evaluation.
+//
+// See README.md for the layout and EXPERIMENTS.md for paper-vs-measured
+// results. The root package exists to carry the repository-level benchmarks
+// in bench_test.go; the library lives under internal/ and the executables
+// under cmd/.
+package fgcs

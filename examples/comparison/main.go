@@ -1,0 +1,49 @@
+// Comparison example: the paper's Figure 7 in miniature — the semi-Markov
+// predictor against the linear time-series models of Table 1 (AR, BM, MA,
+// ARMA, LAST from the RPS toolkit), scored by the relative error of the
+// predicted temporal reliability on windows starting at 08:00 on weekdays.
+//
+//	go run ./examples/comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fgcs/internal/experiments"
+	"fgcs/internal/workload"
+)
+
+func main() {
+	params := workload.DefaultParams()
+	params.Machines = 2
+	params.Days = 90
+	ds, err := workload.Generate(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("testbed: %d machines x %d days\n\n", params.Machines, params.Days)
+
+	cfg := experiments.DefaultF7Config()
+	rows, err := experiments.RunF7(ds, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("maximum relative error of predicted TR (%), windows starting 08:00 weekdays")
+	fmt.Printf("%-12s", "model")
+	for _, h := range cfg.LengthsHours {
+		fmt.Printf("%8.0fh", h)
+	}
+	fmt.Println()
+	for _, r := range rows {
+		fmt.Printf("%-12s", r.Model)
+		for _, e := range r.MaxErr {
+			fmt.Printf("%9.1f", 100*e)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nThe linear models forecast the load signal multi-step-ahead, which")
+	fmt.Println("converges to the window mean — they cannot see rare failure events,")
+	fmt.Println("so their error explodes with the prediction horizon. The SMP models")
+	fmt.Println("the dynamic structure of availability and stays accurate (Section 7.2.1).")
+}

@@ -1,0 +1,68 @@
+// Contention example: reproduce the empirical studies of Section 3.2 that
+// motivate the five-state availability model — the reduction of host CPU
+// usage caused by a guest process at default and lowest priority, the
+// emergent thresholds Th1 and Th2, and the separation between CPU and
+// memory contention (thrashing).
+//
+//	go run ./examples/contention
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fgcs/internal/host"
+)
+
+func main() {
+	m := host.DefaultMachine()
+	dur := 10 * time.Minute
+
+	fmt.Println("CPU contention: reduction rate of host CPU usage (5% = noticeable slowdown)")
+	fmt.Printf("%-8s %-14s %s\n", "L_H%", "guest nice 0", "guest nice 19")
+	for _, l := range []float64{0.10, 0.20, 0.30, 0.40, 0.50, 0.60, 0.70, 0.80, 0.90} {
+		row := [2]float64{}
+		for pi, nice := range []int{0, 19} {
+			sum := 0.0
+			const trials = 3
+			for s := 0; s < trials; s++ {
+				hosts := []host.Proc{{Name: "host", IsolatedCPU: l, MemMB: 60}}
+				_, _, red, err := host.Reduction(m, hosts, host.Guest{Nice: nice, MemMB: 50}, dur, uint64(10+s))
+				if err != nil {
+					log.Fatal(err)
+				}
+				sum += red
+			}
+			row[pi] = 100 * sum / trials
+		}
+		fmt.Printf("%-8.0f %-14.2f %.2f\n", l*100, row[0], row[1])
+	}
+
+	fmt.Println("\nderiving the thresholds (this is experiment E1, trimmed):")
+	cfg := host.DefaultE1Config()
+	cfg.GroupSizes = []int{1}
+	cfg.Trials = 3
+	cfg.Duration = 10 * time.Minute
+	res, err := host.RunE1(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Th1 = %.0f%% (renice the guest above this; paper: 20%%)\n", res.Th1)
+	fmt.Printf("Th2 = %.0f%% (terminate the guest above this; paper: 60%%)\n", res.Th2)
+
+	fmt.Println("\nmemory contention: SPEC-like guests vs Musbus-like host workloads (384 MB machine)")
+	cells, err := host.RunE2(host.E2Config{Machine: m, Duration: 5 * time.Minute, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-14s %-14s %-6s %-11s %s\n", "guest", "host", "nice", "reduction%", "thrashing")
+	for _, c := range cells {
+		if c.GuestNice != 19 {
+			continue // the renice-always policy of practical FGCS systems
+		}
+		fmt.Printf("%-14s %-14s %-6d %-11.1f %v\n", c.Guest, c.Host, c.GuestNice, 100*c.Reduction, c.Thrashing)
+	}
+	fmt.Println("\nthrashing occurs exactly when working sets exceed physical memory,")
+	fmt.Println("and no priority change prevents it — hence the separate S4 state.")
+}

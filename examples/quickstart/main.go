@@ -1,0 +1,67 @@
+// Quickstart: generate a synthetic testbed trace, build the semi-Markov
+// availability predictor over one machine's history, and predict the
+// temporal reliability of a few future time windows.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"fgcs/internal/core"
+	"fgcs/internal/predict"
+	"fgcs/internal/trace"
+	"fgcs/internal/workload"
+)
+
+func main() {
+	// 1. A month of monitoring history for one lab machine (in a real
+	//    deployment this comes from the resource monitor's logs).
+	params := workload.DefaultParams()
+	params.Machines = 1
+	params.Days = 28
+	ds, err := workload.Generate(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	machine := ds.Machines[0]
+	fmt.Printf("history: %s, %d days at %v sampling\n", machine.ID, len(machine.Days), machine.Period)
+
+	// 2. Build the predictor (Th1/Th2 thresholds, suspend limit and guest
+	//    working set all default to the paper's testbed values).
+	p, err := core.NewPredictor(machine, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Predict TR for guest jobs of different lengths at different
+	//    times of day.
+	fmt.Printf("\n%-22s %-10s %s\n", "window", "TR", "meaning")
+	for _, q := range []struct {
+		start  time.Duration
+		length time.Duration
+	}{
+		{2 * time.Hour, 2 * time.Hour},  // overnight: lab is idle
+		{8 * time.Hour, 2 * time.Hour},  // morning
+		{14 * time.Hour, 2 * time.Hour}, // afternoon
+		{19 * time.Hour, 2 * time.Hour}, // evening project rush
+		{8 * time.Hour, 10 * time.Hour}, // a long job across the day
+	} {
+		w := predict.Window{Start: q.start, Length: q.length}
+		pred, err := p.TR(trace.Weekday, w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s %-10.4f chance the guest job survives\n", w, pred.TR)
+	}
+
+	// 4. The scheduler-style query: a 3-hour job submitted "now".
+	now := params.Start.AddDate(0, 0, 21).Add(10*time.Hour + 30*time.Minute)
+	tr, err := p.TRAt(now, 3*time.Hour)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n3h job at %v: TR = %.4f\n", now.Format("Mon 15:04"), tr)
+}

@@ -1,0 +1,3 @@
+module fgcs
+
+go 1.22

@@ -1,0 +1,368 @@
+// Package avail implements the paper's multi-state resource availability
+// model (Section 3, Figure 1): five states derived from observable host
+// resource usage, the threshold-based classifier with the transient-excursion
+// rule, sojourn extraction for semi-Markov estimation, and the empirical
+// temporal-reliability measurement used by the evaluation.
+package avail
+
+import (
+	"fmt"
+	"time"
+
+	"fgcs/internal/trace"
+)
+
+// State is one of the five availability states of Figure 1.
+type State int
+
+const (
+	// S1: full resource availability for the guest process (host CPU load
+	// below Th1).
+	S1 State = iota + 1
+	// S2: resource availability for the guest process at lowest priority
+	// (host CPU load between Th1 and Th2).
+	S2
+	// S3: CPU unavailability (UEC) — host CPU load steadily above Th2; any
+	// guest process must be terminated.
+	S3
+	// S4: memory thrashing (UEC) — not enough free memory for the guest
+	// working set.
+	S4
+	// S5: machine unavailability (URR) — the resource was revoked or the
+	// machine failed.
+	S5
+)
+
+// NumStates is the size of the state space.
+const NumStates = 5
+
+// String returns the canonical state name.
+func (s State) String() string {
+	switch s {
+	case S1:
+		return "S1"
+	case S2:
+		return "S2"
+	case S3:
+		return "S3"
+	case S4:
+		return "S4"
+	case S5:
+		return "S5"
+	}
+	return fmt.Sprintf("State(%d)", int(s))
+}
+
+// Failure reports whether the state is unrecoverable for a guest process
+// (S3, S4 or S5). Even if host load later drops or the machine rejoins, the
+// guest process has already been killed or migrated off (Section 3.3).
+func (s State) Failure() bool { return s >= S3 }
+
+// Recoverable reports whether a guest process can continue in this state.
+func (s State) Recoverable() bool { return s == S1 || s == S2 }
+
+// Config holds the model parameters derived from the empirical studies of
+// Section 3.2.
+type Config struct {
+	// Th1 and Th2 are the host-CPU-load thresholds (percent). Below Th1
+	// the guest runs at default priority (S1); between Th1 and Th2 it must
+	// be reniced to the lowest priority (S2); steadily above Th2 it must
+	// be terminated (S3). The paper's Linux testbed uses 20 and 60.
+	Th1, Th2 float64
+	// SuspendLimit is how long the host load may transiently exceed Th2
+	// (with the guest suspended) before the guest is terminated: 1 minute
+	// in the paper's experiments. Excursions shorter than this stay in
+	// S1/S2 per the state definitions of Section 3.3.
+	SuspendLimit time.Duration
+	// GuestMemMB is the working-set size of the guest process. Free
+	// memory below this value means the guest cannot fit without
+	// thrashing (S4).
+	GuestMemMB float64
+}
+
+// DefaultConfig returns the testbed parameters of Section 3.3 with a
+// representative guest working set (the SPEC CPU2000 applications used in the
+// paper range from 29 to 193 MB).
+func DefaultConfig() Config {
+	return Config{Th1: 20, Th2: 60, SuspendLimit: time.Minute, GuestMemMB: 100}
+}
+
+// Validate checks configuration sanity.
+func (c Config) Validate() error {
+	if c.Th1 < 0 || c.Th2 > 100 || c.Th1 >= c.Th2 {
+		return fmt.Errorf("avail: invalid thresholds Th1=%g Th2=%g", c.Th1, c.Th2)
+	}
+	if c.SuspendLimit <= 0 {
+		return fmt.Errorf("avail: non-positive suspend limit")
+	}
+	if c.GuestMemMB < 0 {
+		return fmt.Errorf("avail: negative guest memory")
+	}
+	return nil
+}
+
+// SuspendUnits converts the suspend limit into sampling periods, rounding up
+// so that an excursion is only "steady" once the full limit has elapsed.
+// The gateway's online kill rule and the offline classifier both use this,
+// so a guest is killed exactly when the classifier would report S3.
+func (c Config) SuspendUnits(period time.Duration) int {
+	if period <= 0 {
+		panic("avail: non-positive period")
+	}
+	u := int((c.SuspendLimit + period - 1) / period)
+	if u < 1 {
+		u = 1
+	}
+	return u
+}
+
+// rawLevel is the per-sample classification before the transient rule is
+// applied. highCPU marks samples above Th2 that may yet be attributed to the
+// surrounding recoverable state.
+type rawLevel int
+
+const (
+	rawS1 rawLevel = iota
+	rawS2
+	rawHigh
+	rawS4
+	rawS5
+)
+
+func (c Config) raw(s trace.Sample) rawLevel {
+	switch {
+	case !s.Up:
+		return rawS5
+	case s.FreeMemMB < c.GuestMemMB:
+		return rawS4
+	case s.CPU > c.Th2:
+		return rawHigh
+	case s.CPU >= c.Th1:
+		return rawS2
+	default:
+		return rawS1
+	}
+}
+
+// Classify labels every sample of a window with its availability state,
+// applying the transient-excursion rule: a maximal run of samples above Th2
+// that is shorter than the suspend limit is attributed to the neighboring
+// recoverable state (the guest is merely suspended, per the S1/S2
+// definitions); a run reaching the limit is CPU unavailability (S3) from the
+// start of the run. Classification does not stop at failures — use
+// ExtractSojourns for the absorbed view the SMP estimator needs.
+func Classify(samples []trace.Sample, cfg Config, period time.Duration) []State {
+	n := len(samples)
+	out := make([]State, n)
+	if n == 0 {
+		return out
+	}
+	limit := cfg.SuspendUnits(period)
+	raws := make([]rawLevel, n)
+	for i, s := range samples {
+		raws[i] = cfg.raw(s)
+	}
+	i := 0
+	for i < n {
+		switch raws[i] {
+		case rawS1:
+			out[i] = S1
+			i++
+		case rawS2:
+			out[i] = S2
+			i++
+		case rawS4:
+			out[i] = S4
+			i++
+		case rawS5:
+			out[i] = S5
+			i++
+		case rawHigh:
+			j := i
+			for j < n && raws[j] == rawHigh {
+				j++
+			}
+			var st State
+			if j-i >= limit {
+				st = S3
+			} else {
+				st = attributeTransient(raws, out, i, j)
+			}
+			for k := i; k < j; k++ {
+				out[k] = st
+			}
+			i = j
+		}
+	}
+	return out
+}
+
+// attributeTransient decides which recoverable state absorbs a transient
+// high-CPU run spanning [i, j). Preference order: the state immediately
+// before the run, then the raw level immediately after, then S2 (the
+// conservative choice when the excursion has no recoverable neighbor).
+func attributeTransient(raws []rawLevel, out []State, i, j int) State {
+	if i > 0 && out[i-1].Recoverable() {
+		return out[i-1]
+	}
+	if j < len(raws) {
+		switch raws[j] {
+		case rawS1:
+			return S1
+		case rawS2:
+			return S2
+		}
+	}
+	return S2
+}
+
+// Sojourn is one visit to a state: the state and its holding time measured in
+// sampling periods. Holding times are the raw material for the H matrix of
+// the semi-Markov model.
+type Sojourn struct {
+	State State
+	Units int
+}
+
+// Duration converts the holding time back to wall time.
+func (s Sojourn) Duration(period time.Duration) time.Duration {
+	return time.Duration(s.Units) * period
+}
+
+// ExtractSojourns compresses the classified window into a sequence of
+// sojourns, stopping after the first failure state: S3, S4 and S5 are
+// unrecoverable for a guest job, so the semi-Markov process is absorbed
+// there (Figure 3's sparsity). The final sojourn of a window that never
+// fails is right-censored: the state was still occupied when the window
+// ended.
+func ExtractSojourns(samples []trace.Sample, cfg Config, period time.Duration) []Sojourn {
+	states := Classify(samples, cfg, period)
+	var out []Sojourn
+	for i := 0; i < len(states); {
+		j := i
+		for j < len(states) && states[j] == states[i] {
+			j++
+		}
+		out = append(out, Sojourn{State: states[i], Units: j - i})
+		if states[i].Failure() {
+			break
+		}
+		i = j
+	}
+	return out
+}
+
+// ExtractTrajectories splits the classified window into semi-Markov
+// trajectories for parameter estimation. A guest job is absorbed by the
+// first failure, but the MACHINE recovers and keeps generating statistics:
+// each failure ends one trajectory (contributing its transition) and the
+// next recoverable samples start a fresh one. This harvests every
+// unavailability occurrence in the window for Q and H, which is what makes
+// the estimates robust — an injected noise event is one more observation
+// among many, not the sole fate of its window (Section 7.3).
+func ExtractTrajectories(samples []trace.Sample, cfg Config, period time.Duration) [][]Sojourn {
+	states := Classify(samples, cfg, period)
+	var out [][]Sojourn
+	var cur []Sojourn
+	for i := 0; i < len(states); {
+		j := i
+		for j < len(states) && states[j] == states[i] {
+			j++
+		}
+		st := states[i]
+		if st.Failure() {
+			if len(cur) > 0 {
+				// The failure run (possibly spanning multiple failure
+				// states) ends the current trajectory with a single
+				// absorbing sojourn.
+				k := j
+				for k < len(states) && states[k].Failure() {
+					k++
+				}
+				cur = append(cur, Sojourn{State: st, Units: k - i})
+				out = append(out, cur)
+				cur = nil
+				i = k
+				continue
+			}
+			// Failure with no preceding recoverable sojourn (window
+			// starts failed): skip it.
+			i = j
+			continue
+		}
+		cur = append(cur, Sojourn{State: st, Units: j - i})
+		i = j
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// WindowSurvives reports whether a guest job running throughout the window
+// would never encounter a failure state — the event whose probability is the
+// temporal reliability TR.
+func WindowSurvives(samples []trace.Sample, cfg Config, period time.Duration) bool {
+	for _, s := range ExtractSojourns(samples, cfg, period) {
+		if s.State.Failure() {
+			return false
+		}
+	}
+	return true
+}
+
+// InitialState returns the availability state at the start of the window.
+// The boolean reports whether the state is recoverable, i.e. whether a guest
+// job could be started at all.
+func InitialState(samples []trace.Sample, cfg Config, period time.Duration) (State, bool) {
+	if len(samples) == 0 {
+		return S1, true
+	}
+	states := Classify(samples, cfg, period)
+	return states[0], states[0].Recoverable()
+}
+
+// Event is one occurrence of resource unavailability in a day: the data
+// recorded by the testbed monitoring of Section 6.1 (start, end, failure
+// state).
+type Event struct {
+	State State
+	// Start and End are offsets from midnight.
+	Start, End time.Duration
+}
+
+// Events scans a full day and returns every entry into a failure state from
+// a recoverable state — the "occurrences of unavailability" whose per-machine
+// counts (405-453 over three months) motivate the paper's prediction work.
+// Unlike ExtractSojourns, scanning continues after failures: the machine
+// recovers even though any individual guest job would not.
+func Events(day *trace.Day, cfg Config) []Event {
+	states := Classify(day.Samples, cfg, day.Period)
+	var out []Event
+	for i := 0; i < len(states); {
+		j := i
+		for j < len(states) && states[j] == states[i] {
+			j++
+		}
+		if states[i].Failure() && (i == 0 || states[i-1].Recoverable()) {
+			// Merge the consecutive failure-state run(s) into one event
+			// spanning until the next recoverable sample.
+			k := j
+			for k < len(states) && states[k].Failure() {
+				k++
+			}
+			out = append(out, Event{
+				State: states[i],
+				Start: time.Duration(i) * day.Period,
+				End:   time.Duration(k) * day.Period,
+			})
+			i = k
+			continue
+		}
+		i = j
+	}
+	return out
+}
+
+// CountEvents returns the number of unavailability occurrences in a day.
+func CountEvents(day *trace.Day, cfg Config) int { return len(Events(day, cfg)) }

@@ -1,0 +1,71 @@
+package avail
+
+import (
+	"time"
+
+	"fgcs/internal/trace"
+)
+
+// Occupancy is the fraction of time spent in each availability state
+// (indexed by State-1). The recoverable share Occupancy[S1-1]+Occupancy[S2-1]
+// is the machine's effective capacity for guest jobs — the quantity earlier
+// CPU-availability studies measured without the state structure.
+type Occupancy [NumStates]float64
+
+// Recoverable returns the fraction of time a guest job could run.
+func (o Occupancy) Recoverable() float64 { return o[S1-1] + o[S2-1] }
+
+// Of returns the fraction for a state.
+func (o Occupancy) Of(s State) float64 {
+	if s < S1 || s > S5 {
+		return 0
+	}
+	return o[s-1]
+}
+
+// StateOccupancy classifies the samples and returns the time fraction per
+// state. An empty input returns the zero Occupancy.
+func StateOccupancy(samples []trace.Sample, cfg Config, period time.Duration) Occupancy {
+	var o Occupancy
+	states := Classify(samples, cfg, period)
+	if len(states) == 0 {
+		return o
+	}
+	for _, s := range states {
+		o[s-1]++
+	}
+	inv := 1 / float64(len(states))
+	for i := range o {
+		o[i] *= inv
+	}
+	return o
+}
+
+// HourlyOccupancy computes per-clock-hour occupancies over a set of days —
+// the diurnal availability profile the SMP's same-clock-window pooling
+// exploits.
+func HourlyOccupancy(days []*trace.Day, cfg Config) [24]Occupancy {
+	var out [24]Occupancy
+	var counts [24]float64
+	for _, d := range days {
+		for h := 0; h < 24; h++ {
+			w := d.Window(time.Duration(h)*time.Hour, time.Hour)
+			if len(w) == 0 {
+				continue
+			}
+			o := StateOccupancy(w, cfg, d.Period)
+			for i := range o {
+				out[h][i] += o[i]
+			}
+			counts[h]++
+		}
+	}
+	for h := 0; h < 24; h++ {
+		if counts[h] > 0 {
+			for i := range out[h] {
+				out[h][i] /= counts[h]
+			}
+		}
+	}
+	return out
+}

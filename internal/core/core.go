@@ -1,0 +1,148 @@
+// Package core is the high-level entry point to the paper's contribution:
+// given the monitor history of a machine, predict its temporal reliability —
+// the probability that it remains available to a guest job throughout a
+// future time window.
+//
+// It wraps the full pipeline (state classification in package avail,
+// semi-Markov estimation and the Equation (3) solver in package smp, window
+// and history selection in package predict) behind a small API:
+//
+//	m, _ := trace.LoadFile("lab-01.trace")
+//	p, _ := core.NewPredictor(m, core.Options{})
+//	tr, _ := p.TRAt(time.Now(), 2*time.Hour)
+//
+// For the live-system integration (gateway, monitor, scheduler daemons) see
+// package ishare; for the evaluation harnesses see package experiments.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/predict"
+	"fgcs/internal/smp"
+	"fgcs/internal/trace"
+)
+
+// Options configures a Predictor.
+type Options struct {
+	// Model is the availability-model configuration; zero value selects
+	// the paper's testbed defaults (Th1 20%, Th2 60%, 1 min suspend
+	// limit, 100 MB guest).
+	Model avail.Config
+	// HistoryDays bounds the day pool per prediction (N most recent
+	// same-type days; 0 = all available).
+	HistoryDays int
+	// Smoothing adds a pseudo-count to the kernel estimate; 0 reproduces
+	// the paper's plain statistics.
+	Smoothing float64
+	// Censoring selects the censored-sojourn policy (default: the
+	// Kaplan–Meier hazard estimator).
+	Censoring smp.CensorMode
+	// Estimation selects restart (default) or absorb trajectory
+	// extraction.
+	Estimation predict.Estimation
+}
+
+// Predictor predicts temporal reliability for one machine from its history.
+type Predictor struct {
+	machine *trace.Machine
+	smp     predict.SMP
+}
+
+// NewPredictor builds a predictor over a machine's monitor history.
+func NewPredictor(m *trace.Machine, opts Options) (*Predictor, error) {
+	if m == nil || len(m.Days) == 0 {
+		return nil, fmt.Errorf("core: machine history is empty")
+	}
+	cfg := opts.Model
+	if cfg == (avail.Config{}) {
+		cfg = avail.DefaultConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Predictor{
+		machine: m,
+		smp: predict.SMP{
+			Cfg:         cfg,
+			HistoryDays: opts.HistoryDays,
+			Smoothing:   opts.Smoothing,
+			Censoring:   opts.Censoring,
+			Estimation:  opts.Estimation,
+		},
+	}, nil
+}
+
+// Machine returns the underlying history.
+func (p *Predictor) Machine() *trace.Machine { return p.machine }
+
+// Config returns the availability-model configuration in use.
+func (p *Predictor) Config() avail.Config { return p.smp.Cfg }
+
+// TR predicts the temporal reliability of a window on a day of the given
+// type, pooling the machine's history days of that type.
+func (p *Predictor) TR(dayType trace.DayType, w predict.Window) (predict.Prediction, error) {
+	days := p.machine.DaysOfType(dayType)
+	if len(days) == 0 {
+		return predict.Prediction{}, fmt.Errorf("core: no %s history for %s", dayType, p.machine.ID)
+	}
+	return p.smp.Predict(days, w)
+}
+
+// TRFrom predicts TR given the machine's known current state (S1 or S2) —
+// the live scheduler query.
+func (p *Predictor) TRFrom(dayType trace.DayType, w predict.Window, init avail.State) (float64, error) {
+	days := p.machine.DaysOfType(dayType)
+	if len(days) == 0 {
+		return 0, fmt.Errorf("core: no %s history for %s", dayType, p.machine.ID)
+	}
+	return p.smp.PredictFrom(days, w, init)
+}
+
+// TRAt predicts the reliability of running a job of the given length
+// starting at the given wall-clock time, using the history days strictly
+// before that time. Windows crossing midnight are clipped at midnight (the
+// day-structured estimator pools same-clock windows).
+func (p *Predictor) TRAt(start time.Time, jobLength time.Duration) (float64, error) {
+	if jobLength <= 0 {
+		return 0, fmt.Errorf("core: non-positive job length")
+	}
+	start = start.UTC()
+	midnight := time.Date(start.Year(), start.Month(), start.Day(), 0, 0, 0, 0, time.UTC)
+	offset := start.Sub(midnight).Truncate(p.machine.Period)
+	length := jobLength.Truncate(p.machine.Period)
+	if length < p.machine.Period {
+		length = p.machine.Period
+	}
+	if offset+length > 24*time.Hour {
+		length = 24*time.Hour - offset
+	}
+	w := predict.Window{Start: offset, Length: length}
+	dayType := trace.TypeOfDate(midnight)
+	var days []*trace.Day
+	for _, d := range p.machine.Days {
+		if d.Date.Before(midnight) && d.Type() == dayType {
+			days = append(days, d)
+		}
+	}
+	if len(days) == 0 {
+		return 0, fmt.Errorf("core: no %s history before %v", dayType, midnight)
+	}
+	pred, err := p.smp.Predict(days, w)
+	if err != nil {
+		return 0, err
+	}
+	return pred.TR, nil
+}
+
+// Events returns the machine's unavailability occurrences per day — the
+// Section 6.1 statistics.
+func (p *Predictor) Events() map[string][]avail.Event {
+	out := make(map[string][]avail.Event, len(p.machine.Days))
+	for _, d := range p.machine.Days {
+		out[d.Date.Format("2006-01-02")] = avail.Events(d, p.smp.Cfg)
+	}
+	return out
+}

@@ -1,0 +1,281 @@
+package ishare
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/simclock"
+	"fgcs/internal/trace"
+)
+
+// JobState is the lifecycle state of a guest job under gateway control.
+type JobState int
+
+const (
+	// JobRunning: default priority, host load below Th1 (state S1).
+	JobRunning JobState = iota
+	// JobReniced: lowest priority, host load between Th1 and Th2 (S2).
+	JobReniced
+	// JobSuspended: host load transiently above Th2; the guest is stopped
+	// and will resume if the load drops within the suspend limit.
+	JobSuspended
+	// JobCompleted: the guest finished its work.
+	JobCompleted
+	// JobKilled: unrecoverable failure (S3, S4 or S5); the guest is gone.
+	JobKilled
+)
+
+// String returns the protocol name of the state.
+func (s JobState) String() string {
+	switch s {
+	case JobRunning:
+		return "running"
+	case JobReniced:
+		return "reniced"
+	case JobSuspended:
+		return "suspended"
+	case JobCompleted:
+		return "completed"
+	case JobKilled:
+		return "killed"
+	}
+	return fmt.Sprintf("JobState(%d)", int(s))
+}
+
+// Terminal reports whether no further transitions can happen.
+func (s JobState) Terminal() bool { return s == JobCompleted || s == JobKilled }
+
+// Job is a guest process under gateway control. The guest is a simulated
+// CPU-bound computation: it accumulates progress whenever it is allowed to
+// run, at a rate set by the cycles the host load leaves over.
+type Job struct {
+	ID     string
+	Name   string
+	Work   float64 // seconds of pure compute needed
+	MemMB  float64
+	State  JobState
+	Reason string // why the job was killed
+
+	Progress         float64 // accumulated compute seconds
+	suspendedSamples int     // consecutive samples above Th2
+}
+
+// Gateway controls guest processes on one host node and serves client
+// requests (Figure 2). It applies the paper's guest-control policy: renice
+// at Th1, suspend above Th2, kill after the suspend limit, kill on memory
+// pressure, and it loses everything on resource revocation.
+type Gateway struct {
+	mu        sync.Mutex
+	machineID string
+	cfg       avail.Config
+	period    time.Duration
+	clock     simclock.Clock
+	sm        *StateManager
+	job       *Job
+	history   []Job // terminal jobs
+	nextID    int
+}
+
+// NewGateway wires a gateway to its state manager.
+func NewGateway(machineID string, cfg avail.Config, period time.Duration, clock simclock.Clock, sm *StateManager) (*Gateway, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if sm == nil {
+		return nil, fmt.Errorf("ishare: nil state manager")
+	}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Gateway{machineID: machineID, cfg: cfg, period: period, clock: clock, sm: sm}, nil
+}
+
+// MachineID returns the node identity.
+func (g *Gateway) MachineID() string { return g.machineID }
+
+// Record implements monitor.Sink: every sample both feeds the state manager
+// and drives the guest-control state machine. This is the signal path
+// "monitor detects a state transition and signals the gateway" of Section 5.1.
+func (g *Gateway) Record(t time.Time, s trace.Sample) {
+	g.sm.Record(t, s)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	job := g.job
+	if job == nil || job.State.Terminal() {
+		return
+	}
+	switch {
+	case !s.Up:
+		g.kill(job, "machine unavailable (URR, S5)")
+	case s.FreeMemMB < job.MemMB:
+		g.kill(job, "memory thrashing (UEC, S4)")
+	case s.CPU > g.cfg.Th2:
+		job.suspendedSamples++
+		if job.State != JobSuspended {
+			job.State = JobSuspended
+		}
+		// Kill when the excursion reaches the classifier's S3 rule: a
+		// run of SuspendUnits samples above Th2.
+		if job.suspendedSamples >= g.cfg.SuspendUnits(g.period) {
+			g.kill(job, "host CPU load steadily above Th2 (UEC, S3)")
+		}
+	case s.CPU >= g.cfg.Th1:
+		job.State = JobReniced
+		job.suspendedSamples = 0
+	default:
+		job.State = JobRunning
+		job.suspendedSamples = 0
+	}
+	if job.State == JobRunning || job.State == JobReniced {
+		// The guest consumes the cycles the host leaves over.
+		rate := 1 - s.CPU/100
+		if rate < 0 {
+			rate = 0
+		}
+		job.Progress += rate * g.period.Seconds()
+		if job.Progress >= job.Work {
+			job.Progress = job.Work
+			job.State = JobCompleted
+			g.retire(job)
+		}
+	}
+}
+
+// Crash simulates resource revocation from the gateway's perspective: the
+// node dies and any guest job dies with it.
+func (g *Gateway) Crash() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.job != nil && !g.job.State.Terminal() {
+		g.kill(g.job, "machine unavailable (URR, S5)")
+	}
+}
+
+// kill retires the job with a reason. Callers hold g.mu.
+func (g *Gateway) kill(job *Job, reason string) {
+	job.State = JobKilled
+	job.Reason = reason
+	g.retire(job)
+}
+
+// retire moves a terminal job to history. Callers hold g.mu.
+func (g *Gateway) retire(job *Job) {
+	g.history = append(g.history, *job)
+	g.job = nil
+}
+
+// QueryTR forwards a temporal-reliability query to the state manager.
+func (g *Gateway) QueryTR(req QueryTRReq) (QueryTRResp, error) {
+	return g.sm.QueryTR(req)
+}
+
+// Submit launches a guest job. FGCS allows a single guest process per
+// machine (Section 3.2), so a second submission is rejected while one is
+// active.
+func (g *Gateway) Submit(req SubmitReq) (SubmitResp, error) {
+	if req.WorkSeconds <= 0 {
+		return SubmitResp{}, fmt.Errorf("ishare: job needs positive work")
+	}
+	if req.MemMB < 0 {
+		return SubmitResp{}, fmt.Errorf("ishare: negative job memory")
+	}
+	if req.InitialProgressSeconds < 0 || req.InitialProgressSeconds >= req.WorkSeconds {
+		return SubmitResp{}, fmt.Errorf("ishare: checkpoint progress out of range")
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.job != nil && !g.job.State.Terminal() {
+		return SubmitResp{}, fmt.Errorf("ishare: machine %s already runs a guest job", g.machineID)
+	}
+	g.nextID++
+	job := &Job{
+		ID:       fmt.Sprintf("%s-job-%d", g.machineID, g.nextID),
+		Name:     req.Name,
+		Work:     req.WorkSeconds,
+		MemMB:    req.MemMB,
+		Progress: req.InitialProgressSeconds,
+		State:    JobRunning,
+	}
+	g.job = job
+	return SubmitResp{JobID: job.ID}, nil
+}
+
+// JobStatus reports on a current or historical job.
+func (g *Gateway) JobStatus(req JobStatusReq) (JobStatusResp, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.job != nil && g.job.ID == req.JobID {
+		return statusOf(g.job), nil
+	}
+	for i := range g.history {
+		if g.history[i].ID == req.JobID {
+			return statusOf(&g.history[i]), nil
+		}
+	}
+	return JobStatusResp{}, fmt.Errorf("ishare: unknown job %q", req.JobID)
+}
+
+// Kill terminates a job on client request (e.g. migration after a
+// checkpoint).
+func (g *Gateway) Kill(req JobStatusReq) (JobStatusResp, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.job == nil || g.job.ID != req.JobID {
+		return JobStatusResp{}, fmt.Errorf("ishare: job %q not active", req.JobID)
+	}
+	job := g.job
+	g.kill(job, "killed by client")
+	return statusOf(job), nil
+}
+
+func statusOf(j *Job) JobStatusResp {
+	return JobStatusResp{
+		JobID:           j.ID,
+		State:           j.State.String(),
+		Reason:          j.Reason,
+		ProgressSeconds: j.Progress,
+		WorkSeconds:     j.Work,
+	}
+}
+
+// Handler serves the gateway protocol over TCP.
+func (g *Gateway) Handler() Handler {
+	return func(req Request) (interface{}, error) {
+		switch req.Type {
+		case MsgQueryTR:
+			var q QueryTRReq
+			if err := json.Unmarshal(req.Payload, &q); err != nil {
+				return nil, fmt.Errorf("malformed query payload")
+			}
+			return g.QueryTR(q)
+		case MsgSubmit:
+			var s SubmitReq
+			if err := json.Unmarshal(req.Payload, &s); err != nil {
+				return nil, fmt.Errorf("malformed submit payload")
+			}
+			return g.Submit(s)
+		case MsgJobStatus:
+			var s JobStatusReq
+			if err := json.Unmarshal(req.Payload, &s); err != nil {
+				return nil, fmt.Errorf("malformed status payload")
+			}
+			return g.JobStatus(s)
+		case MsgKillJob:
+			var s JobStatusReq
+			if err := json.Unmarshal(req.Payload, &s); err != nil {
+				return nil, fmt.Errorf("malformed kill payload")
+			}
+			return g.Kill(s)
+		default:
+			return nil, fmt.Errorf("gateway: unknown request type %q", req.Type)
+		}
+	}
+}
+
+// Serve starts the gateway's TCP endpoint.
+func (g *Gateway) Serve(addr string) (*Server, error) {
+	return NewServer(addr, g.Handler())
+}

@@ -1,0 +1,455 @@
+package ishare
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/simclock"
+	"fgcs/internal/trace"
+)
+
+var monday = time.Date(2005, 8, 22, 0, 0, 0, 0, time.UTC)
+
+const period = trace.DefaultPeriod
+
+func testNode(t *testing.T, clock simclock.Clock, preloaded *trace.Machine) *HostNode {
+	t.Helper()
+	n, err := NewHostNode(NodeConfig{
+		MachineID: "lab-01",
+		Cfg:       avail.DefaultConfig(),
+		Period:    period,
+		Clock:     clock,
+		Preloaded: preloaded,
+	}, staticSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+type staticSource struct{}
+
+func (staticSource) Read() (float64, float64, error) { return 5, 400, nil }
+
+// sample builds an up sample with the given CPU and free memory.
+func sample(cpu, free float64) trace.Sample {
+	return trace.Sample{CPU: cpu, FreeMemMB: free, Up: true}
+}
+
+// feed pushes n identical samples through the gateway starting at start.
+func feed(g *Gateway, start time.Time, s trace.Sample, n int) time.Time {
+	t := start
+	for i := 0; i < n; i++ {
+		g.Record(t, s)
+		t = t.Add(period)
+	}
+	return t
+}
+
+func TestGatewaySubmitValidation(t *testing.T) {
+	n := testNode(t, simclock.NewVirtual(monday), nil)
+	g := n.Gateway
+	for _, bad := range []SubmitReq{
+		{Name: "a", WorkSeconds: 0},
+		{Name: "a", WorkSeconds: 60, MemMB: -1},
+		{Name: "a", WorkSeconds: 60, InitialProgressSeconds: -1},
+		{Name: "a", WorkSeconds: 60, InitialProgressSeconds: 60},
+	} {
+		if _, err := g.Submit(bad); err == nil {
+			t.Errorf("invalid submit %+v accepted", bad)
+		}
+	}
+	if _, err := g.Submit(SubmitReq{Name: "ok", WorkSeconds: 600, MemMB: 50}); err != nil {
+		t.Fatal(err)
+	}
+	// Only one guest at a time.
+	if _, err := g.Submit(SubmitReq{Name: "second", WorkSeconds: 60}); err == nil {
+		t.Fatal("second concurrent job accepted")
+	}
+}
+
+func TestGatewayJobCompletes(t *testing.T) {
+	n := testNode(t, simclock.NewVirtual(monday), nil)
+	g := n.Gateway
+	resp, err := g.Submit(SubmitReq{Name: "job", WorkSeconds: 60, MemMB: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Idle host: progress at ~95% rate → ~11 samples of 6 s.
+	feed(g, monday, sample(5, 400), 12)
+	st, err := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "completed" {
+		t.Fatalf("state = %s, progress %v/%v", st.State, st.ProgressSeconds, st.WorkSeconds)
+	}
+	if st.ProgressSeconds != st.WorkSeconds {
+		t.Fatalf("progress %v != work %v", st.ProgressSeconds, st.WorkSeconds)
+	}
+	// A fresh job may now be submitted.
+	if _, err := g.Submit(SubmitReq{Name: "next", WorkSeconds: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatewayReniceBand(t *testing.T) {
+	n := testNode(t, simclock.NewVirtual(monday), nil)
+	g := n.Gateway
+	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	feed(g, monday, sample(40, 400), 3) // Th1 <= L <= Th2
+	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if st.State != "reniced" {
+		t.Fatalf("state = %s, want reniced", st.State)
+	}
+	// Load drops: back to default priority.
+	feed(g, monday.Add(time.Minute), sample(5, 400), 3)
+	st, _ = g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if st.State != "running" {
+		t.Fatalf("state = %s, want running", st.State)
+	}
+}
+
+func TestGatewaySuspendResume(t *testing.T) {
+	n := testNode(t, simclock.NewVirtual(monday), nil)
+	g := n.Gateway
+	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	// 5 samples (30 s) above Th2: suspended but not killed.
+	next := feed(g, monday, sample(90, 400), 5)
+	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if st.State != "suspended" {
+		t.Fatalf("state = %s, want suspended", st.State)
+	}
+	progress := st.ProgressSeconds
+	// Load diminishes within the limit: the guest resumes (reniced band).
+	feed(g, next, sample(40, 400), 2)
+	st, _ = g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if st.State != "reniced" {
+		t.Fatalf("state = %s, want reniced after resume", st.State)
+	}
+	if st.ProgressSeconds <= progress {
+		t.Fatal("no progress after resume")
+	}
+}
+
+func TestGatewayKillsAfterSuspendLimit(t *testing.T) {
+	n := testNode(t, simclock.NewVirtual(monday), nil)
+	g := n.Gateway
+	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	// 11 samples above Th2 ≥ 1 minute: killed (S3).
+	feed(g, monday, sample(95, 400), 11)
+	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if st.State != "killed" || !strings.Contains(st.Reason, "S3") {
+		t.Fatalf("state = %s (%s), want killed S3", st.State, st.Reason)
+	}
+}
+
+func TestGatewayKillsOnMemoryPressure(t *testing.T) {
+	n := testNode(t, simclock.NewVirtual(monday), nil)
+	g := n.Gateway
+	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 100})
+	feed(g, monday, sample(10, 60), 1) // free 60 MB < guest 100 MB
+	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if st.State != "killed" || !strings.Contains(st.Reason, "S4") {
+		t.Fatalf("state = %s (%s), want killed S4", st.State, st.Reason)
+	}
+}
+
+func TestGatewayKillsOnRevocation(t *testing.T) {
+	n := testNode(t, simclock.NewVirtual(monday), nil)
+	g := n.Gateway
+	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	g.Record(monday, trace.Sample{Up: false})
+	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if st.State != "killed" || !strings.Contains(st.Reason, "S5") {
+		t.Fatalf("state = %s (%s), want killed S5", st.State, st.Reason)
+	}
+}
+
+func TestGatewayTransientSpikeDoesNotKill(t *testing.T) {
+	n := testNode(t, simclock.NewVirtual(monday), nil)
+	g := n.Gateway
+	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	next := feed(g, monday, sample(10, 400), 3)
+	next = feed(g, next, sample(95, 400), 8) // 48 s < 1 min
+	feed(g, next, sample(10, 400), 3)
+	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if st.State != "running" {
+		t.Fatalf("state = %s after transient spike, want running", st.State)
+	}
+}
+
+func TestGatewayKillByClient(t *testing.T) {
+	n := testNode(t, simclock.NewVirtual(monday), nil)
+	g := n.Gateway
+	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	st, err := g.Kill(JobStatusReq{JobID: resp.JobID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "killed" {
+		t.Fatalf("state = %s", st.State)
+	}
+	if _, err := g.Kill(JobStatusReq{JobID: resp.JobID}); err == nil {
+		t.Fatal("double kill accepted")
+	}
+	if _, err := g.JobStatus(JobStatusReq{JobID: "nope"}); err == nil {
+		t.Fatal("unknown job accepted")
+	}
+}
+
+func TestJobResumeFromCheckpoint(t *testing.T) {
+	n := testNode(t, simclock.NewVirtual(monday), nil)
+	g := n.Gateway
+	resp, err := g.Submit(SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50, InitialProgressSeconds: 590})
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(g, monday, sample(0, 400), 3)
+	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if st.State != "completed" {
+		t.Fatalf("checkpointed job state = %s, progress %v", st.State, st.ProgressSeconds)
+	}
+}
+
+// historyMachine builds N days of history where the machine fails daily at
+// failHour on "bad" machines.
+func historyMachine(id string, days int, failHour int) *trace.Machine {
+	m := trace.NewMachine(id, period)
+	for i := 0; i < days; i++ {
+		d := trace.NewDay(monday.AddDate(0, 0, i), period)
+		for j := range d.Samples {
+			d.Samples[j] = sample(5, 400)
+		}
+		if failHour >= 0 {
+			lo := d.IndexAt(time.Duration(failHour) * time.Hour)
+			hi := d.IndexAt(time.Duration(failHour)*time.Hour + 30*time.Minute)
+			for j := lo; j < hi; j++ {
+				d.Samples[j].Up = false
+			}
+		}
+		if err := m.AddDay(d); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+func TestStateManagerQueryTR(t *testing.T) {
+	// "Now" is Friday 2005-09-02 08:30; history covers Aug 22 - Sep 1.
+	now := time.Date(2005, 9, 2, 8, 30, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	flaky := historyMachine("flaky", 11, 9) // fails at 09:00 daily
+	sm, err := NewStateManager("flaky", period, avail.DefaultConfig(), clock, flaky, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm.Record(now, sample(5, 400))
+	resp, err := sm.QueryTR(QueryTRReq{LengthSeconds: 2 * 3600, GuestMemMB: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The machine fails at 09:00 every weekday. Under the default
+	// restart estimation the post-recovery data dilutes the kernel, so
+	// the prediction is not ~0, but it must be far below a solid
+	// machine's 1.0.
+	if resp.TR > 0.7 {
+		t.Fatalf("TR = %v, want well below 1 (the machine fails at 09:00 every weekday)", resp.TR)
+	}
+	if resp.CurrentState != "S1" {
+		t.Fatalf("current state = %s", resp.CurrentState)
+	}
+	if resp.HistoryWindows == 0 {
+		t.Fatal("no history windows used")
+	}
+
+	solid := historyMachine("solid", 11, -1)
+	sm2, _ := NewStateManager("solid", period, avail.DefaultConfig(), clock, solid, 0)
+	sm2.Record(now, sample(5, 400))
+	resp2, err := sm2.QueryTR(QueryTRReq{LengthSeconds: 2 * 3600, GuestMemMB: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp2.TR != 1 {
+		t.Fatalf("solid machine TR = %v, want 1", resp2.TR)
+	}
+}
+
+func TestStateManagerQueryTRValidation(t *testing.T) {
+	clock := simclock.NewVirtual(monday.Add(8 * time.Hour))
+	sm, _ := NewStateManager("m", period, avail.DefaultConfig(), clock, nil, 0)
+	if _, err := sm.QueryTR(QueryTRReq{LengthSeconds: 0}); err == nil {
+		t.Fatal("zero length accepted")
+	}
+	// No history at all: optimistic TR 1.
+	resp, err := sm.QueryTR(QueryTRReq{LengthSeconds: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TR != 1 || resp.HistoryWindows != 0 {
+		t.Fatalf("no-history response = %+v", resp)
+	}
+}
+
+func TestStateManagerCurrentStateUnrecoverable(t *testing.T) {
+	clock := simclock.NewVirtual(monday.Add(8 * time.Hour))
+	sm, _ := NewStateManager("m", period, avail.DefaultConfig(), clock, nil, 0)
+	// Sustained heavy load: current state S3 → TR 0.
+	tt := monday.Add(8 * time.Hour)
+	for i := 0; i < 15; i++ {
+		sm.Record(tt, sample(95, 400))
+		tt = tt.Add(period)
+	}
+	if st := sm.CurrentState(); st != avail.S3 {
+		t.Fatalf("current state = %v", st)
+	}
+	resp, err := sm.QueryTR(QueryTRReq{LengthSeconds: 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TR != 0 {
+		t.Fatalf("TR = %v for an unavailable machine", resp.TR)
+	}
+}
+
+func TestStateManagerWindowClipsAtMidnight(t *testing.T) {
+	now := time.Date(2005, 9, 2, 23, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	sm, _ := NewStateManager("m", period, avail.DefaultConfig(), clock, historyMachine("m", 11, -1), 0)
+	sm.Record(now, sample(5, 400))
+	// 10-hour job at 23:00 would cross midnight: must clip, not error.
+	resp, err := sm.QueryTR(QueryTRReq{LengthSeconds: 10 * 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.TR != 1 {
+		t.Fatalf("TR = %v", resp.TR)
+	}
+}
+
+func TestSchedulerRanksByTR(t *testing.T) {
+	now := time.Date(2005, 9, 2, 8, 30, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	mk := func(id string, failHour int) *Gateway {
+		sm, err := NewStateManager(id, period, avail.DefaultConfig(), clock, historyMachine(id, 11, failHour), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGateway(id, avail.DefaultConfig(), period, clock, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Record(now, sample(5, 400))
+		return g
+	}
+	flaky := mk("flaky", 9)
+	solid := mk("solid", -1)
+	sched := &Scheduler{Candidates: []Candidate{
+		{MachineID: "flaky", API: flaky},
+		{MachineID: "solid", API: solid},
+	}}
+	job := SubmitReq{Name: "job", WorkSeconds: 2 * 3600, MemMB: 100}
+	ranked, err := sched.Rank(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].MachineID != "solid" {
+		t.Fatalf("best machine = %s, want solid", ranked[0].MachineID)
+	}
+	best, resp, err := sched.SubmitBest(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.MachineID != "solid" || resp.JobID == "" {
+		t.Fatalf("submitted to %s (%+v)", best.MachineID, resp)
+	}
+	// The solid machine is now busy; the next submission falls back to
+	// the flaky one.
+	best2, _, err := sched.SubmitBest(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best2.MachineID != "flaky" {
+		t.Fatalf("fallback machine = %s", best2.MachineID)
+	}
+}
+
+func TestSchedulerErrors(t *testing.T) {
+	s := &Scheduler{}
+	if _, err := s.Rank(SubmitReq{WorkSeconds: 60}); err == nil {
+		t.Fatal("empty candidate set accepted")
+	}
+	s.Candidates = []Candidate{{MachineID: "gone", API: RemoteGateway{Addr: "127.0.0.1:1", Timeout: 50 * time.Millisecond}}}
+	if _, err := s.Rank(SubmitReq{WorkSeconds: 60}); err == nil {
+		t.Fatal("all-unreachable candidates accepted")
+	}
+}
+
+func TestStateManagerArchiveAndRestore(t *testing.T) {
+	dir := t.TempDir()
+	clock := simclock.NewVirtual(monday.AddDate(0, 0, 5))
+	pre := historyMachine("lab-01", 3, 9)
+	sm, err := NewStateManager("lab-01", period, avail.DefaultConfig(), clock, pre, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Live samples on a later day.
+	tt := monday.AddDate(0, 0, 5)
+	for i := 0; i < 100; i++ {
+		sm.Record(tt, sample(15, 350))
+		tt = tt.Add(period)
+	}
+	path := filepath.Join(dir, "lab-01.trace.gz")
+	if err := sm.Archive(path); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := trace.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Machines) != 1 {
+		t.Fatalf("machines = %d", len(ds.Machines))
+	}
+	m := ds.Machines[0]
+	if len(m.Days) != 4 {
+		t.Fatalf("archived days = %d, want 3 preloaded + 1 live", len(m.Days))
+	}
+	// The live day's samples survived the round trip.
+	last := m.Days[len(m.Days)-1]
+	if last.Samples[50].CPU != 15 {
+		t.Fatalf("live sample = %+v", last.Samples[50])
+	}
+	// Restore: a new state manager over the archive answers queries.
+	sm2, err := NewStateManager("lab-01", period, avail.DefaultConfig(), clock, m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm2.Record(clock.Now(), sample(5, 400))
+	if _, err := sm2.QueryTR(QueryTRReq{LengthSeconds: 3600}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateManagerArchiveLiveWinsOnOverlap(t *testing.T) {
+	dir := t.TempDir()
+	clock := simclock.NewVirtual(monday)
+	pre := historyMachine("lab-01", 1, -1) // preloaded day 0, idle
+	sm, _ := NewStateManager("lab-01", period, avail.DefaultConfig(), clock, pre, 0)
+	// Live data lands on the SAME calendar day.
+	sm.Record(monday.Add(time.Hour), sample(77, 200))
+	path := filepath.Join(dir, "m.trace")
+	if err := sm.Archive(path); err != nil {
+		t.Fatal(err)
+	}
+	ds, _ := trace.LoadFile(path)
+	day := ds.Machines[0].Days[0]
+	if got := day.Samples[day.IndexAt(time.Hour)].CPU; got != 77 {
+		t.Fatalf("overlap sample CPU = %v, want the live 77", got)
+	}
+	if len(ds.Machines[0].Days) != 1 {
+		t.Fatalf("days = %d, want merged 1", len(ds.Machines[0].Days))
+	}
+}

@@ -1,0 +1,117 @@
+package ishare
+
+import (
+	"fmt"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/monitor"
+	"fgcs/internal/simclock"
+	"fgcs/internal/trace"
+)
+
+// HostNode bundles the three prediction-related daemons of Figure 2 — the
+// iShare gateway, the resource monitor and the state manager — wired
+// exactly as the paper describes: the monitor samples host resource usage
+// periodically, each sample flows to the state manager (history logs,
+// prediction) and to the gateway (guest-process control).
+type HostNode struct {
+	Gateway *Gateway
+	Monitor *monitor.Monitor
+	SM      *StateManager
+
+	clock  simclock.Clock
+	period time.Duration
+}
+
+// NodeConfig configures a host node.
+type NodeConfig struct {
+	MachineID string
+	// Cfg is the availability model configuration.
+	Cfg avail.Config
+	// Period is the monitoring period (defaults to the paper's 6 s).
+	Period time.Duration
+	// Clock defaults to the wall clock.
+	Clock simclock.Clock
+	// Preloaded optionally seeds the state manager with history.
+	Preloaded *trace.Machine
+	// HistoryDays bounds the SMP day pool (0 = all).
+	HistoryDays int
+	// HeartbeatPath enables the t_monitor heartbeat file.
+	HeartbeatPath string
+}
+
+// NewHostNode assembles a node around the given load source.
+func NewHostNode(cfg NodeConfig, src monitor.LoadSource) (*HostNode, error) {
+	if cfg.MachineID == "" {
+		return nil, fmt.Errorf("ishare: node needs a machine id")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = trace.DefaultPeriod
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	sm, err := NewStateManager(cfg.MachineID, cfg.Period, cfg.Cfg, cfg.Clock, cfg.Preloaded, cfg.HistoryDays)
+	if err != nil {
+		return nil, err
+	}
+	gw, err := NewGateway(cfg.MachineID, cfg.Cfg, cfg.Period, cfg.Clock, sm)
+	if err != nil {
+		return nil, err
+	}
+	// The gateway sink feeds the state manager itself, so the monitor
+	// only needs the one sink.
+	mon, err := monitor.New(monitor.Config{
+		Period:        cfg.Period,
+		Clock:         cfg.Clock,
+		HeartbeatPath: cfg.HeartbeatPath,
+	}, src, gw)
+	if err != nil {
+		return nil, err
+	}
+	return &HostNode{Gateway: gw, Monitor: mon, SM: sm, clock: cfg.Clock, period: cfg.Period}, nil
+}
+
+// Start launches the monitor loop in the background.
+func (n *HostNode) Start() { go n.Monitor.Run() }
+
+// Stop terminates the monitor loop.
+func (n *HostNode) Stop() { n.Monitor.Stop() }
+
+// Serve exposes the gateway on a TCP address and registers it with the
+// registry (empty registryAddr skips registration).
+func (n *HostNode) Serve(addr, registryAddr string) (*Server, error) {
+	srv, err := n.Gateway.Serve(addr)
+	if err != nil {
+		return nil, err
+	}
+	if registryAddr != "" {
+		if err := RegisterWith(registryAddr, n.Gateway.MachineID(), srv.Addr(), 5*time.Second); err != nil {
+			_ = srv.Close()
+			return nil, err
+		}
+	}
+	return srv, nil
+}
+
+// FeedDay drives the node synchronously through one simulated day of
+// samples, advancing from the given midnight. It returns the timestamp after
+// the last sample. This is how simulations and tests run a node without
+// real time passing; down samples are routed through the gateway's crash
+// path exactly as a dead monitor would manifest.
+func (n *HostNode) FeedDay(day *trace.Day) time.Time {
+	t := day.Date
+	for _, s := range day.Samples {
+		if s.Up {
+			n.Gateway.Record(t, s)
+		} else {
+			// The monitor cannot sample a dead machine; the guest dies
+			// with the node and the recorder later back-fills the gap.
+			n.Gateway.Crash()
+			n.Gateway.Record(t, s)
+		}
+		t = t.Add(day.Period)
+	}
+	return t
+}

@@ -1,0 +1,218 @@
+// Package ishare implements the FGCS runtime of Section 5 (Figure 2): the
+// iShare gateway that controls guest processes on a host node, the state
+// manager that stores history logs and answers temporal-reliability queries,
+// the resource-publication registry (standing in for the paper's P2P
+// network), and the client-side job scheduler that selects machines by
+// predicted availability and submits guest jobs.
+//
+// Daemons speak a line-delimited JSON protocol over TCP; all components can
+// also be wired in-process for simulations and tests.
+package ishare
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Message types.
+const (
+	MsgRegister  = "register"   // gateway -> registry
+	MsgDiscover  = "discover"   // client -> registry
+	MsgQueryTR   = "query-tr"   // client -> gateway
+	MsgSubmit    = "submit"     // client -> gateway
+	MsgJobStatus = "job-status" // client -> gateway
+	MsgKillJob   = "kill-job"   // client -> gateway
+)
+
+// Request is the protocol envelope: one request per connection, one
+// response back.
+type Request struct {
+	Type    string          `json:"type"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Response is the reply envelope.
+type Response struct {
+	OK      bool            `json:"ok"`
+	Error   string          `json:"error,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// RegisterReq announces a host node to the registry.
+type RegisterReq struct {
+	MachineID string `json:"machine_id"`
+	Addr      string `json:"addr"`
+}
+
+// Resource is one published host node.
+type Resource struct {
+	MachineID string `json:"machine_id"`
+	Addr      string `json:"addr"`
+}
+
+// DiscoverResp lists the published resources.
+type DiscoverResp struct {
+	Resources []Resource `json:"resources"`
+}
+
+// QueryTRReq asks a gateway for the temporal reliability of running a guest
+// job of the given length starting now.
+type QueryTRReq struct {
+	// LengthSeconds is the estimated job execution time (T).
+	LengthSeconds float64 `json:"length_seconds"`
+	// GuestMemMB is the job's estimated working set, used as the S4
+	// threshold.
+	GuestMemMB float64 `json:"guest_mem_mb"`
+}
+
+// QueryTRResp returns the prediction.
+type QueryTRResp struct {
+	TR float64 `json:"tr"`
+	// HistoryWindows reports how much history backed the estimate.
+	HistoryWindows int `json:"history_windows"`
+	// CurrentState is the machine's current availability state (S1/S2
+	// string form).
+	CurrentState string `json:"current_state"`
+}
+
+// SubmitReq launches a guest job.
+type SubmitReq struct {
+	Name string `json:"name"`
+	// WorkSeconds is the pure compute time the job needs.
+	WorkSeconds float64 `json:"work_seconds"`
+	MemMB       float64 `json:"mem_mb"`
+	// InitialProgressSeconds resumes from a checkpoint.
+	InitialProgressSeconds float64 `json:"initial_progress_seconds,omitempty"`
+}
+
+// SubmitResp acknowledges a launch.
+type SubmitResp struct {
+	JobID string `json:"job_id"`
+}
+
+// JobStatusReq queries a job.
+type JobStatusReq struct {
+	JobID string `json:"job_id"`
+}
+
+// JobStatusResp reports job state.
+type JobStatusResp struct {
+	JobID           string  `json:"job_id"`
+	State           string  `json:"state"` // running | reniced | suspended | completed | killed
+	Reason          string  `json:"reason,omitempty"`
+	ProgressSeconds float64 `json:"progress_seconds"`
+	WorkSeconds     float64 `json:"work_seconds"`
+}
+
+// Call performs one request/response round trip to addr.
+func Call(addr string, typ string, payload, out interface{}, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return fmt.Errorf("ishare: dial %s: %w", addr, err)
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return err
+	}
+	var raw json.RawMessage
+	if payload != nil {
+		raw, err = json.Marshal(payload)
+		if err != nil {
+			return err
+		}
+	}
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(Request{Type: typ, Payload: raw}); err != nil {
+		return fmt.Errorf("ishare: send: %w", err)
+	}
+	var resp Response
+	dec := json.NewDecoder(bufio.NewReader(conn))
+	if err := dec.Decode(&resp); err != nil {
+		return fmt.Errorf("ishare: receive: %w", err)
+	}
+	if !resp.OK {
+		return fmt.Errorf("ishare: remote error: %s", resp.Error)
+	}
+	if out != nil && resp.Payload != nil {
+		if err := json.Unmarshal(resp.Payload, out); err != nil {
+			return fmt.Errorf("ishare: decode payload: %w", err)
+		}
+	}
+	return nil
+}
+
+// Handler processes one decoded request and returns the response payload.
+type Handler func(req Request) (payload interface{}, err error)
+
+// Server is a minimal one-request-per-connection TCP server shared by the
+// registry and the gateway.
+type Server struct {
+	ln      net.Listener
+	handler Handler
+	done    chan struct{}
+}
+
+// NewServer starts listening on addr (use "127.0.0.1:0" for tests) and
+// serving requests with the handler.
+func NewServer(addr string, handler Handler) (*Server, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("ishare: nil handler")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, handler: handler, done: make(chan struct{})}
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error {
+	close(s.done)
+	return s.ln.Close()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	var req Request
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
+		_ = json.NewEncoder(conn).Encode(Response{OK: false, Error: "malformed request"})
+		return
+	}
+	payload, err := s.handler(req)
+	resp := Response{OK: err == nil}
+	if err != nil {
+		resp.Error = err.Error()
+	} else if payload != nil {
+		raw, merr := json.Marshal(payload)
+		if merr != nil {
+			resp = Response{OK: false, Error: "marshal response"}
+		} else {
+			resp.Payload = raw
+		}
+	}
+	_ = json.NewEncoder(conn).Encode(resp)
+}

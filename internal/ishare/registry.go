@@ -1,0 +1,90 @@
+package ishare
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Registry is the resource publication/discovery service. The paper's
+// deployment uses a P2P network [24]; a registry provides the same
+// publish/discover contract for the prediction framework with a fraction of
+// the machinery.
+type Registry struct {
+	mu        sync.Mutex
+	resources map[string]Resource
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{resources: make(map[string]Resource)}
+}
+
+// Register publishes (or refreshes) a resource.
+func (r *Registry) Register(res Resource) error {
+	if res.MachineID == "" || res.Addr == "" {
+		return fmt.Errorf("ishare: register needs machine id and address")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resources[res.MachineID] = res
+	return nil
+}
+
+// Unregister removes a resource (owner leave).
+func (r *Registry) Unregister(machineID string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.resources, machineID)
+}
+
+// Resources lists the published resources sorted by machine ID.
+func (r *Registry) Resources() []Resource {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Resource, 0, len(r.resources))
+	for _, res := range r.resources {
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MachineID < out[j].MachineID })
+	return out
+}
+
+// Handler serves the registry protocol.
+func (r *Registry) Handler() Handler {
+	return func(req Request) (interface{}, error) {
+		switch req.Type {
+		case MsgRegister:
+			var reg RegisterReq
+			if err := json.Unmarshal(req.Payload, &reg); err != nil {
+				return nil, fmt.Errorf("malformed register payload")
+			}
+			return nil, r.Register(Resource{MachineID: reg.MachineID, Addr: reg.Addr})
+		case MsgDiscover:
+			return DiscoverResp{Resources: r.Resources()}, nil
+		default:
+			return nil, fmt.Errorf("registry: unknown request type %q", req.Type)
+		}
+	}
+}
+
+// Serve starts a TCP registry on addr.
+func (r *Registry) Serve(addr string) (*Server, error) {
+	return NewServer(addr, r.Handler())
+}
+
+// RegisterWith publishes a gateway at gatewayAddr to a remote registry.
+func RegisterWith(registryAddr, machineID, gatewayAddr string, timeout time.Duration) error {
+	return Call(registryAddr, MsgRegister, RegisterReq{MachineID: machineID, Addr: gatewayAddr}, nil, timeout)
+}
+
+// Discover fetches the published resources from a remote registry.
+func Discover(registryAddr string, timeout time.Duration) ([]Resource, error) {
+	var resp DiscoverResp
+	if err := Call(registryAddr, MsgDiscover, nil, &resp, timeout); err != nil {
+		return nil, err
+	}
+	return resp.Resources, nil
+}

@@ -1,0 +1,139 @@
+package ishare
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// GatewayAPI is the client-visible surface of a host node. *Gateway
+// implements it directly (in-process wiring); RemoteGateway implements it
+// over TCP.
+type GatewayAPI interface {
+	QueryTR(QueryTRReq) (QueryTRResp, error)
+	Submit(SubmitReq) (SubmitResp, error)
+	JobStatus(JobStatusReq) (JobStatusResp, error)
+	Kill(JobStatusReq) (JobStatusResp, error)
+}
+
+var _ GatewayAPI = (*Gateway)(nil)
+
+// RemoteGateway speaks the gateway protocol over TCP.
+type RemoteGateway struct {
+	Addr    string
+	Timeout time.Duration
+}
+
+func (r RemoteGateway) timeout() time.Duration {
+	if r.Timeout <= 0 {
+		return 5 * time.Second
+	}
+	return r.Timeout
+}
+
+// QueryTR implements GatewayAPI.
+func (r RemoteGateway) QueryTR(req QueryTRReq) (QueryTRResp, error) {
+	var resp QueryTRResp
+	err := Call(r.Addr, MsgQueryTR, req, &resp, r.timeout())
+	return resp, err
+}
+
+// Submit implements GatewayAPI.
+func (r RemoteGateway) Submit(req SubmitReq) (SubmitResp, error) {
+	var resp SubmitResp
+	err := Call(r.Addr, MsgSubmit, req, &resp, r.timeout())
+	return resp, err
+}
+
+// JobStatus implements GatewayAPI.
+func (r RemoteGateway) JobStatus(req JobStatusReq) (JobStatusResp, error) {
+	var resp JobStatusResp
+	err := Call(r.Addr, MsgJobStatus, req, &resp, r.timeout())
+	return resp, err
+}
+
+// Kill implements GatewayAPI.
+func (r RemoteGateway) Kill(req JobStatusReq) (JobStatusResp, error) {
+	var resp JobStatusResp
+	err := Call(r.Addr, MsgKillJob, req, &resp, r.timeout())
+	return resp, err
+}
+
+// Candidate pairs a machine identity with its gateway API.
+type Candidate struct {
+	MachineID string
+	API       GatewayAPI
+}
+
+// Ranked is a candidate with its predicted temporal reliability.
+type Ranked struct {
+	Candidate
+	TR             float64
+	HistoryWindows int
+	CurrentState   string
+}
+
+// Scheduler is the client-side job scheduler of Figure 2: it queries the
+// gateways of available machines for their temporal reliability over the
+// job's execution window and submits to the most reliable one.
+type Scheduler struct {
+	Candidates []Candidate
+}
+
+// FromRegistry builds a scheduler from the resources published at a
+// registry address.
+func FromRegistry(registryAddr string, timeout time.Duration) (*Scheduler, error) {
+	resources, err := Discover(registryAddr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	s := &Scheduler{}
+	for _, res := range resources {
+		s.Candidates = append(s.Candidates, Candidate{
+			MachineID: res.MachineID,
+			API:       RemoteGateway{Addr: res.Addr, Timeout: timeout},
+		})
+	}
+	return s, nil
+}
+
+// Rank queries every candidate's TR for the job and returns them sorted by
+// decreasing reliability. Unreachable machines are skipped — an unreachable
+// gateway is a revoked resource.
+func (s *Scheduler) Rank(job SubmitReq) ([]Ranked, error) {
+	if len(s.Candidates) == 0 {
+		return nil, fmt.Errorf("ishare: no candidate machines")
+	}
+	var out []Ranked
+	for _, c := range s.Candidates {
+		resp, err := c.API.QueryTR(QueryTRReq{LengthSeconds: job.WorkSeconds, GuestMemMB: job.MemMB})
+		if err != nil {
+			continue
+		}
+		out = append(out, Ranked{Candidate: c, TR: resp.TR, HistoryWindows: resp.HistoryWindows, CurrentState: resp.CurrentState})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("ishare: no machine answered the TR query")
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].TR > out[j].TR })
+	return out, nil
+}
+
+// SubmitBest ranks the candidates and submits the job to the machine with
+// the highest predicted reliability, falling back down the ranking when a
+// machine rejects the submission (e.g. it already runs a guest).
+func (s *Scheduler) SubmitBest(job SubmitReq) (Ranked, SubmitResp, error) {
+	ranked, err := s.Rank(job)
+	if err != nil {
+		return Ranked{}, SubmitResp{}, err
+	}
+	var lastErr error
+	for _, r := range ranked {
+		resp, err := r.API.Submit(job)
+		if err == nil {
+			return r, resp, nil
+		}
+		lastErr = err
+	}
+	return Ranked{}, SubmitResp{}, fmt.Errorf("ishare: every submission failed: %w", lastErr)
+}

@@ -1,0 +1,175 @@
+package ishare
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/monitor"
+	"fgcs/internal/predict"
+	"fgcs/internal/simclock"
+	"fgcs/internal/trace"
+)
+
+// StateManager stores history logs and predicts resource availability
+// (Figure 2). It receives every monitor sample, maintains the machine's
+// current availability state, and answers temporal-reliability queries from
+// the gateway using the SMP predictor.
+type StateManager struct {
+	mu        sync.Mutex
+	cfg       avail.Config
+	period    time.Duration
+	clock     simclock.Clock
+	recorder  *monitor.Recorder
+	preloaded *trace.Machine // history from previous runs (may be nil)
+	recent    []trace.Sample // ring of recent samples for current-state tracking
+	recentCap int
+	predictor predict.SMP
+}
+
+// NewStateManager creates a state manager for one machine. preloaded may
+// carry history recorded by previous runs (loaded from a trace file); it may
+// be nil. historyDays bounds the SMP estimator's day pool (0 = all).
+func NewStateManager(machineID string, period time.Duration, cfg avail.Config, clock simclock.Clock, preloaded *trace.Machine, historyDays int) (*StateManager, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if period <= 0 {
+		return nil, fmt.Errorf("ishare: non-positive period")
+	}
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	if preloaded != nil && preloaded.Period != period {
+		return nil, fmt.Errorf("ishare: preloaded history period %v != %v", preloaded.Period, period)
+	}
+	recentCap := int(cfg.SuspendLimit/period) + 4
+	return &StateManager{
+		cfg:       cfg,
+		period:    period,
+		clock:     clock,
+		recorder:  monitor.NewRecorder(machineID, period, 0),
+		preloaded: preloaded,
+		recentCap: recentCap,
+		predictor: predict.SMP{Cfg: cfg, HistoryDays: historyDays},
+	}, nil
+}
+
+// Record implements monitor.Sink: it archives the sample and refreshes the
+// current-state estimate.
+func (sm *StateManager) Record(t time.Time, s trace.Sample) {
+	sm.recorder.Record(t, s)
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	sm.recent = append(sm.recent, s)
+	if len(sm.recent) > sm.recentCap {
+		sm.recent = sm.recent[len(sm.recent)-sm.recentCap:]
+	}
+}
+
+// CurrentState classifies the machine's present availability state from the
+// recent sample window.
+func (sm *StateManager) CurrentState() avail.State {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if len(sm.recent) == 0 {
+		return avail.S1
+	}
+	states := avail.Classify(sm.recent, sm.cfg, sm.period)
+	return states[len(states)-1]
+}
+
+// History returns the full day history available for prediction: preloaded
+// days followed by the live-recorded ones.
+func (sm *StateManager) History() []*trace.Day {
+	var days []*trace.Day
+	if sm.preloaded != nil {
+		days = append(days, sm.preloaded.Days...)
+	}
+	days = append(days, sm.recorder.Snapshot().Days...)
+	return days
+}
+
+// Archive persists the full history (preloaded + live-recorded days, merged
+// chronologically with live data winning on overlap) to a trace file; the
+// extension selects the codec (".gz" recommended for long-running nodes).
+// A node restarted with the archive as its Preloaded history resumes with
+// everything it ever learned.
+func (sm *StateManager) Archive(path string) error {
+	merged := trace.NewMachine(sm.recorder.Snapshot().ID, sm.period)
+	byDate := map[int64]*trace.Day{}
+	var order []int64
+	add := func(d *trace.Day) {
+		key := d.Date.Unix()
+		if _, seen := byDate[key]; !seen {
+			order = append(order, key)
+		}
+		byDate[key] = d
+	}
+	if sm.preloaded != nil {
+		for _, d := range sm.preloaded.Days {
+			add(d)
+		}
+	}
+	for _, d := range sm.recorder.Snapshot().Days {
+		add(d)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for _, key := range order {
+		if err := merged.AddDay(byDate[key]); err != nil {
+			return err
+		}
+	}
+	return trace.SaveFile(path, &trace.Dataset{Machines: []*trace.Machine{merged}})
+}
+
+// QueryTR predicts the probability that this machine stays available for a
+// guest job of the given length and memory footprint starting now.
+func (sm *StateManager) QueryTR(req QueryTRReq) (QueryTRResp, error) {
+	if req.LengthSeconds <= 0 {
+		return QueryTRResp{}, fmt.Errorf("ishare: non-positive job length")
+	}
+	now := sm.clock.Now().UTC()
+	cur := sm.CurrentState()
+	if !cur.Recoverable() {
+		return QueryTRResp{TR: 0, CurrentState: cur.String()}, nil
+	}
+	midnight := time.Date(now.Year(), now.Month(), now.Day(), 0, 0, 0, 0, time.UTC)
+	start := now.Sub(midnight).Truncate(sm.period)
+	length := time.Duration(req.LengthSeconds * float64(time.Second)).Truncate(sm.period)
+	if length < sm.period {
+		length = sm.period
+	}
+	// Clip to midnight: the day-structured estimator pools same-clock
+	// windows, which do not wrap (windows beyond midnight would mix day
+	// types).
+	if start+length > 24*time.Hour {
+		length = 24*time.Hour - start
+	}
+	w := predict.Window{Start: start, Length: length}
+
+	cfg := sm.predictor
+	if req.GuestMemMB > 0 {
+		cfg.Cfg.GuestMemMB = req.GuestMemMB
+	}
+	// History: same-type days strictly before today.
+	var days []*trace.Day
+	today := midnight
+	for _, d := range sm.History() {
+		if d.Date.Before(today) && d.Type() == trace.TypeOfDate(today) {
+			days = append(days, d)
+		}
+	}
+	if len(days) == 0 {
+		// No history yet: report optimistic full availability; the
+		// scheduler treats all such machines equally.
+		return QueryTRResp{TR: 1, HistoryWindows: 0, CurrentState: cur.String()}, nil
+	}
+	tr, err := cfg.PredictFrom(days, w, cur)
+	if err != nil {
+		return QueryTRResp{}, err
+	}
+	return QueryTRResp{TR: tr, HistoryWindows: len(days), CurrentState: cur.String()}, nil
+}

@@ -1,0 +1,163 @@
+package ishare
+
+import (
+	"fmt"
+	"time"
+
+	"fgcs/internal/jobest"
+	"fgcs/internal/simclock"
+)
+
+// Supervisor drives a guest job to completion across machine failures: it
+// places the job on the most reliable machine, polls its status, and on an
+// unrecoverable failure migrates the job — resuming from its checkpointed
+// progress — to the next-best machine. This closes the loop the paper
+// motivates: prediction-driven placement plus checkpoint-based migration
+// (Sections 1 and 5.1).
+type Supervisor struct {
+	// Sched ranks and submits.
+	Sched *Scheduler
+	// Clock paces the polling; defaults to the wall clock.
+	Clock simclock.Clock
+	// PollInterval defaults to the monitoring period (6 s).
+	PollInterval time.Duration
+	// MaxMigrations bounds recovery attempts (default 5).
+	MaxMigrations int
+	// CheckpointFraction is how much of a killed job's progress survives
+	// in its last checkpoint (1 = checkpoint-on-kill always succeeds,
+	// the paper's migration scenario; 0 = restart from scratch).
+	// Defaults to 1.
+	CheckpointFraction float64
+	// Estimator, when set, closes the requirements loop: completed runs
+	// are recorded under the job's Name as its class, and RunClass can
+	// submit future jobs from those estimates (the paper's Section 5.1
+	// flow: execution-time and memory estimation feed the TR query).
+	Estimator *jobest.Estimator
+}
+
+// Placement records one stop of a supervised job.
+type Placement struct {
+	MachineID string
+	JobID     string
+	// TR is the predicted reliability at submission.
+	TR float64
+	// Outcome is the terminal status on this machine ("completed",
+	// "killed", or "abandoned" if the supervisor gave up while running).
+	Outcome string
+	Reason  string
+}
+
+// JobRun is the outcome of a supervised execution.
+type JobRun struct {
+	Placements []Placement
+	// Final is the last observed status.
+	Final JobStatusResp
+	// Migrations counts recoveries after kills.
+	Migrations int
+}
+
+// Completed reports whether the job finished its work.
+func (jr JobRun) Completed() bool { return jr.Final.State == "completed" }
+
+func (sv *Supervisor) defaults() (simclock.Clock, time.Duration, int, float64) {
+	clock := sv.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	poll := sv.PollInterval
+	if poll <= 0 {
+		poll = 6 * time.Second
+	}
+	max := sv.MaxMigrations
+	if max <= 0 {
+		max = 5
+	}
+	cf := sv.CheckpointFraction
+	if cf == 0 {
+		cf = 1
+	}
+	if cf < 0 {
+		cf = 0
+	}
+	if cf > 1 {
+		cf = 1
+	}
+	return clock, poll, max, cf
+}
+
+// Run submits the job and supervises it to completion (or until the
+// migration budget is exhausted). It blocks; pace it with a virtual clock in
+// simulations.
+func (sv *Supervisor) Run(job SubmitReq) (JobRun, error) {
+	if sv.Sched == nil {
+		return JobRun{}, fmt.Errorf("ishare: supervisor needs a scheduler")
+	}
+	clock, poll, maxMig, cf := sv.defaults()
+	var run JobRun
+	progress := job.InitialProgressSeconds
+	for attempt := 0; ; attempt++ {
+		job.InitialProgressSeconds = progress
+		ranked, resp, err := sv.Sched.SubmitBest(job)
+		if err != nil {
+			return run, fmt.Errorf("ishare: placement %d failed: %w", attempt+1, err)
+		}
+		placement := Placement{MachineID: ranked.MachineID, JobID: resp.JobID, TR: ranked.TR}
+		for {
+			clock.Sleep(poll)
+			st, err := ranked.API.JobStatus(JobStatusReq{JobID: resp.JobID})
+			if err != nil {
+				// The machine vanished (URR): treat as a kill with the
+				// last known progress.
+				st = JobStatusResp{JobID: resp.JobID, State: "killed", Reason: "gateway unreachable (URR)",
+					ProgressSeconds: progress, WorkSeconds: job.WorkSeconds}
+			}
+			run.Final = st
+			switch st.State {
+			case "completed":
+				placement.Outcome = "completed"
+				run.Placements = append(run.Placements, placement)
+				if sv.Estimator != nil && job.Name != "" {
+					// Feed the run back into the requirements history.
+					_ = sv.Estimator.Record(job.Name, jobest.Run{
+						WorkSeconds: st.WorkSeconds,
+						MemMB:       job.MemMB,
+					})
+				}
+				return run, nil
+			case "killed":
+				placement.Outcome = "killed"
+				placement.Reason = st.Reason
+				run.Placements = append(run.Placements, placement)
+				// Resume from the checkpointed share of the progress.
+				progress = st.ProgressSeconds * cf
+				if progress >= job.WorkSeconds {
+					progress = job.WorkSeconds * 0.999
+				}
+				if attempt+1 > maxMig {
+					return run, fmt.Errorf("ishare: job killed %d times, migration budget exhausted", attempt+1)
+				}
+				run.Migrations++
+			default:
+				if st.ProgressSeconds > progress {
+					progress = st.ProgressSeconds
+				}
+				continue
+			}
+			break // killed: re-place
+		}
+	}
+}
+
+// RunClass submits a job whose requirements come from the estimator's
+// history for the class (job name = class). It fails when the class lacks
+// history; callers then fall back to explicit requirements.
+func (sv *Supervisor) RunClass(class string) (JobRun, error) {
+	if sv.Estimator == nil {
+		return JobRun{}, fmt.Errorf("ishare: supervisor has no estimator")
+	}
+	est, err := sv.Estimator.Estimate(class)
+	if err != nil {
+		return JobRun{}, err
+	}
+	return sv.Run(SubmitReq{Name: class, WorkSeconds: est.WorkSeconds, MemMB: est.MemMB})
+}

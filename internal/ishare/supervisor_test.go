@@ -1,0 +1,250 @@
+package ishare
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/jobest"
+	"fgcs/internal/simclock"
+	"fgcs/internal/trace"
+)
+
+// supervisedPair builds two gateways on a shared virtual clock: "good"
+// (clean history) and "bad" (fails daily at 9:00, so it ranks below).
+func supervisedPair(t *testing.T, clock *simclock.Virtual) (good, bad *Gateway) {
+	t.Helper()
+	mk := func(id string, failHour int) *Gateway {
+		sm, err := NewStateManager(id, period, avail.DefaultConfig(), clock, historyMachine(id, 11, failHour), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGateway(id, avail.DefaultConfig(), period, clock, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.Record(clock.Now(), sample(5, 400))
+		return g
+	}
+	return mk("good", -1), mk("bad", 9)
+}
+
+// drive advances the virtual clock and concurrently feeds samples into the
+// gateways so the supervisor's polling loop makes progress.
+func drive(t *testing.T, clock *simclock.Virtual, done <-chan struct{}, feedFn func(now time.Time)) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Error("supervised run did not finish")
+			return
+		}
+		feedFn(clock.Now())
+		clock.Advance(period)
+		time.Sleep(50 * time.Microsecond)
+	}
+}
+
+func TestSupervisorCompletesOnHealthyMachine(t *testing.T) {
+	now := time.Date(2005, 9, 2, 8, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	good, bad := supervisedPair(t, clock)
+	sv := &Supervisor{
+		Sched: &Scheduler{Candidates: []Candidate{
+			{MachineID: "good", API: good},
+			{MachineID: "bad", API: bad},
+		}},
+		Clock:        clock,
+		PollInterval: period,
+	}
+	var run JobRun
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		run, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 120, MemMB: 50})
+	}()
+	drive(t, clock, done, func(now time.Time) {
+		good.Record(now, sample(5, 400))
+		bad.Record(now, sample(5, 400))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed() || run.Migrations != 0 {
+		t.Fatalf("run = %+v", run)
+	}
+	if len(run.Placements) != 1 || run.Placements[0].MachineID != "good" {
+		t.Fatalf("placements = %+v", run.Placements)
+	}
+}
+
+func TestSupervisorMigratesAfterKill(t *testing.T) {
+	now := time.Date(2005, 9, 2, 8, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	good, bad := supervisedPair(t, clock)
+	// Force the first placement onto "good"... then crash it mid-job so
+	// the supervisor must migrate to "bad".
+	sv := &Supervisor{
+		Sched: &Scheduler{Candidates: []Candidate{
+			{MachineID: "good", API: good},
+			{MachineID: "bad", API: bad},
+		}},
+		Clock:        clock,
+		PollInterval: period,
+	}
+	var run JobRun
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		run, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50})
+	}()
+	var mu sync.Mutex
+	killed := false
+	drive(t, clock, done, func(now time.Time) {
+		mu.Lock()
+		defer mu.Unlock()
+		// Crash "good" once its job is underway.
+		if !killed && now.Sub(clock.Now()) == 0 {
+			if st, err := good.JobStatus(JobStatusReq{JobID: "good-job-1"}); err == nil &&
+				st.State == "running" && st.ProgressSeconds > 60 {
+				good.Record(now, trace.Sample{Up: false})
+				killed = true
+				return
+			}
+		}
+		good.Record(now, sample(5, 400))
+		bad.Record(now, sample(5, 400))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed() {
+		t.Fatalf("final = %+v", run.Final)
+	}
+	if run.Migrations != 1 || len(run.Placements) != 2 {
+		t.Fatalf("run = %+v", run)
+	}
+	if run.Placements[0].MachineID != "good" || run.Placements[0].Outcome != "killed" {
+		t.Fatalf("first placement = %+v", run.Placements[0])
+	}
+	if !strings.Contains(run.Placements[0].Reason, "S5") {
+		t.Fatalf("kill reason = %q", run.Placements[0].Reason)
+	}
+	if run.Placements[1].MachineID != "bad" || run.Placements[1].Outcome != "completed" {
+		t.Fatalf("second placement = %+v", run.Placements[1])
+	}
+	// Progress carried over: the second machine resumed, not restarted —
+	// its job finished with full work recorded.
+	if run.Final.ProgressSeconds != run.Final.WorkSeconds {
+		t.Fatalf("final progress = %v/%v", run.Final.ProgressSeconds, run.Final.WorkSeconds)
+	}
+}
+
+func TestSupervisorGivesUpAfterBudget(t *testing.T) {
+	now := time.Date(2005, 9, 2, 8, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	good, _ := supervisedPair(t, clock)
+	sv := &Supervisor{
+		Sched:         &Scheduler{Candidates: []Candidate{{MachineID: "good", API: good}}},
+		Clock:         clock,
+		PollInterval:  period,
+		MaxMigrations: 1,
+		// Checkpoints always lost: every kill restarts from zero.
+		CheckpointFraction: -1, // clamps to 0
+	}
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50})
+	}()
+	drive(t, clock, done, func(now time.Time) {
+		// Permanently overloaded: every placement dies.
+		good.Record(now, sample(95, 400))
+	})
+	if err == nil || !strings.Contains(err.Error(), "migration budget") {
+		t.Fatalf("err = %v, want migration budget exhaustion", err)
+	}
+}
+
+func TestSupervisorValidation(t *testing.T) {
+	sv := &Supervisor{}
+	if _, err := sv.Run(SubmitReq{Name: "x", WorkSeconds: 1}); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+}
+
+func TestSupervisorFeedsEstimator(t *testing.T) {
+	now := time.Date(2005, 9, 2, 8, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	good, _ := supervisedPair(t, clock)
+	est := jobest.New(jobest.Config{MinRuns: 2})
+	sv := &Supervisor{
+		Sched:        &Scheduler{Candidates: []Candidate{{MachineID: "good", API: good}}},
+		Clock:        clock,
+		PollInterval: period,
+		Estimator:    est,
+	}
+	// No history yet: RunClass refuses.
+	if _, err := sv.RunClass("mc-sim"); err == nil {
+		t.Fatal("class without history accepted")
+	}
+	// Two explicit runs build the history.
+	for i := 0; i < 2; i++ {
+		done := make(chan struct{})
+		var err error
+		go func() {
+			defer close(done)
+			_, err = sv.Run(SubmitReq{Name: "mc-sim", WorkSeconds: 120, MemMB: 64})
+		}()
+		drive(t, clock, done, func(now time.Time) {
+			good.Record(now, sample(5, 400))
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if est.Runs("mc-sim") != 2 {
+		t.Fatalf("estimator runs = %d", est.Runs("mc-sim"))
+	}
+	// Now RunClass works from estimated requirements.
+	done := make(chan struct{})
+	var run JobRun
+	var err error
+	go func() {
+		defer close(done)
+		run, err = sv.RunClass("mc-sim")
+	}()
+	drive(t, clock, done, func(now time.Time) {
+		good.Record(now, sample(5, 400))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed() {
+		t.Fatalf("estimated run = %+v", run.Final)
+	}
+	if run.Final.WorkSeconds != 120 {
+		t.Fatalf("estimated work = %v, want 120 (P75 of identical runs)", run.Final.WorkSeconds)
+	}
+	// The estimated run itself was recorded too.
+	if est.Runs("mc-sim") != 3 {
+		t.Fatalf("estimator runs after RunClass = %d", est.Runs("mc-sim"))
+	}
+}
+
+func TestRunClassWithoutEstimator(t *testing.T) {
+	sv := &Supervisor{Sched: &Scheduler{}}
+	if _, err := sv.RunClass("x"); err == nil {
+		t.Fatal("missing estimator accepted")
+	}
+}

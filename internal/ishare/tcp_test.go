@@ -1,0 +1,289 @@
+package ishare
+
+import (
+	"encoding/json"
+	"testing/quick"
+
+	"fgcs/internal/rng"
+	"net"
+	"testing"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/simclock"
+)
+
+func TestRegistryOverTCP(t *testing.T) {
+	reg := NewRegistry()
+	srv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if err := RegisterWith(srv.Addr(), "lab-01", "10.0.0.1:9000", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterWith(srv.Addr(), "lab-02", "10.0.0.2:9000", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resources, err := Discover(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resources) != 2 || resources[0].MachineID != "lab-01" || resources[1].MachineID != "lab-02" {
+		t.Fatalf("resources = %+v", resources)
+	}
+	// Re-registration refreshes, not duplicates.
+	if err := RegisterWith(srv.Addr(), "lab-01", "10.0.0.1:9999", time.Second); err != nil {
+		t.Fatal(err)
+	}
+	resources, _ = Discover(srv.Addr(), time.Second)
+	if len(resources) != 2 || resources[0].Addr != "10.0.0.1:9999" {
+		t.Fatalf("after refresh: %+v", resources)
+	}
+	reg.Unregister("lab-01")
+	resources, _ = Discover(srv.Addr(), time.Second)
+	if len(resources) != 1 {
+		t.Fatalf("after unregister: %+v", resources)
+	}
+}
+
+func TestRegistryRejectsBadRequests(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(Resource{}); err == nil {
+		t.Fatal("empty resource accepted")
+	}
+	h := reg.Handler()
+	if _, err := h(Request{Type: "bogus"}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+	if _, err := h(Request{Type: MsgRegister, Payload: json.RawMessage(`{`)}); err == nil {
+		t.Fatal("malformed payload accepted")
+	}
+}
+
+func TestGatewayOverTCPEndToEnd(t *testing.T) {
+	now := time.Date(2005, 9, 2, 8, 30, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	node, err := NewHostNode(NodeConfig{
+		MachineID: "lab-01",
+		Cfg:       avail.DefaultConfig(),
+		Period:    period,
+		Clock:     clock,
+		Preloaded: historyMachine("lab-01", 11, -1),
+	}, staticSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node.Gateway.Record(now, sample(5, 400))
+
+	reg := NewRegistry()
+	regSrv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer regSrv.Close()
+	gwSrv, err := node.Serve("127.0.0.1:0", regSrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwSrv.Close()
+
+	sched, err := FromRegistry(regSrv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Candidates) != 1 {
+		t.Fatalf("candidates = %+v", sched.Candidates)
+	}
+	job := SubmitReq{Name: "remote-job", WorkSeconds: 120, MemMB: 80}
+	best, resp, err := sched.SubmitBest(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.TR != 1 {
+		t.Fatalf("TR over TCP = %v", best.TR)
+	}
+	// Drive the node to completion and check status over TCP.
+	feed(node.Gateway, now.Add(period), sample(5, 400), 25)
+	api := RemoteGateway{Addr: gwSrv.Addr(), Timeout: time.Second}
+	st, err := api.JobStatus(JobStatusReq{JobID: resp.JobID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != "completed" {
+		t.Fatalf("remote status = %+v", st)
+	}
+	// Remote kill of a finished job errors cleanly.
+	if _, err := api.Kill(JobStatusReq{JobID: resp.JobID}); err == nil {
+		t.Fatal("kill of finished job accepted")
+	}
+}
+
+func TestServerRejectsMalformedStream(t *testing.T) {
+	srv, err := NewServer("127.0.0.1:0", func(Request) (interface{}, error) { return nil, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("this is not json\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.NewDecoder(conn).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK {
+		t.Fatal("malformed request got OK")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer("127.0.0.1:0", nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+	if _, err := NewServer("256.256.256.256:0", func(Request) (interface{}, error) { return nil, nil }); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}
+
+func TestCallErrors(t *testing.T) {
+	if err := Call("127.0.0.1:1", MsgDiscover, nil, nil, 50*time.Millisecond); err == nil {
+		t.Fatal("dial to closed port succeeded")
+	}
+}
+
+func TestGatewayHandlerBadPayloads(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	node := testNode(t, clock, nil)
+	h := node.Gateway.Handler()
+	for _, typ := range []string{MsgQueryTR, MsgSubmit, MsgJobStatus, MsgKillJob} {
+		if _, err := h(Request{Type: typ, Payload: json.RawMessage(`{bad`)}); err == nil {
+			t.Errorf("malformed %s payload accepted", typ)
+		}
+	}
+	if _, err := h(Request{Type: "bogus"}); err == nil {
+		t.Fatal("unknown type accepted")
+	}
+}
+
+func TestHostNodeFeedDay(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	node := testNode(t, clock, nil)
+	day := historyMachine("lab-01", 1, 9).Days[0]
+	end := node.FeedDay(day)
+	if want := monday.Add(24 * time.Hour); !end.Equal(want) {
+		t.Fatalf("FeedDay ended at %v", end)
+	}
+	m := node.SM.recorder.Snapshot()
+	if len(m.Days) != 1 {
+		t.Fatalf("recorded days = %d", len(m.Days))
+	}
+	down := 0
+	for _, s := range m.Days[0].Samples {
+		if !s.Up {
+			down++
+		}
+	}
+	if down == 0 {
+		t.Fatal("down samples not recorded")
+	}
+}
+
+func TestHostNodeStartStop(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	node := testNode(t, clock, nil)
+	node.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for clock.PendingTimers() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("monitor never armed")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	clock.Advance(period)
+	deadline = time.Now().Add(2 * time.Second)
+	for node.Monitor.Samples() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no samples after advance")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	node.Stop()
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	if _, err := NewHostNode(NodeConfig{}, staticSource{}); err == nil {
+		t.Fatal("missing machine id accepted")
+	}
+	bad := NodeConfig{MachineID: "x", Cfg: avail.Config{Th1: 90, Th2: 10, SuspendLimit: time.Minute}}
+	if _, err := NewHostNode(bad, staticSource{}); err == nil {
+		t.Fatal("invalid avail config accepted")
+	}
+	// Mismatched preloaded period.
+	pre := historyMachine("x", 1, -1) // 6 s period
+	cfg := NodeConfig{MachineID: "x", Cfg: avail.DefaultConfig(), Period: time.Minute, Preloaded: pre}
+	if _, err := NewHostNode(cfg, staticSource{}); err == nil {
+		t.Fatal("mismatched preloaded period accepted")
+	}
+}
+
+// Property: every protocol payload type survives a JSON round trip through
+// the envelope encoding the wire uses.
+func TestProtocolRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		reqs := []interface{}{
+			QueryTRReq{LengthSeconds: r.Uniform(1, 1e5), GuestMemMB: r.Uniform(0, 512)},
+			SubmitReq{Name: "job", WorkSeconds: r.Uniform(1, 1e5), MemMB: r.Uniform(0, 512), InitialProgressSeconds: r.Uniform(0, 10)},
+			JobStatusReq{JobID: "j-1"},
+			RegisterReq{MachineID: "m", Addr: "127.0.0.1:1"},
+		}
+		for _, payload := range reqs {
+			raw, err := json.Marshal(payload)
+			if err != nil {
+				return false
+			}
+			var env Request
+			b, err := json.Marshal(Request{Type: "t", Payload: raw})
+			if err != nil {
+				return false
+			}
+			if err := json.Unmarshal(b, &env); err != nil {
+				return false
+			}
+			switch p := payload.(type) {
+			case QueryTRReq:
+				var got QueryTRReq
+				if err := json.Unmarshal(env.Payload, &got); err != nil || got != p {
+					return false
+				}
+			case SubmitReq:
+				var got SubmitReq
+				if err := json.Unmarshal(env.Payload, &got); err != nil || got != p {
+					return false
+				}
+			case JobStatusReq:
+				var got JobStatusReq
+				if err := json.Unmarshal(env.Payload, &got); err != nil || got != p {
+					return false
+				}
+			case RegisterReq:
+				var got RegisterReq
+				if err := json.Unmarshal(env.Payload, &got); err != nil || got != p {
+					return false
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

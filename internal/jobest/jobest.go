@@ -1,0 +1,159 @@
+// Package jobest estimates a guest job's execution time and memory usage
+// from the history of similar runs — the two quantities the paper's job
+// scheduler feeds into the temporal-reliability query (Section 5.1, citing
+// run-time prediction [14] and memory-usage estimation [11] as existing
+// techniques).
+//
+// The estimator follows the template approach of that literature: jobs are
+// grouped into classes (application + input signature), and a new job's
+// requirements are predicted from the distribution of its class's past
+// runs — an upper quantile for execution time (under-estimating the window
+// makes the TR query optimistic) and the observed maximum plus a safety
+// margin for memory (under-estimating memory turns into an S4 kill).
+package jobest
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Run records one completed execution of a job class.
+type Run struct {
+	// WorkSeconds is the pure compute time the run needed.
+	WorkSeconds float64
+	// MemMB is the peak resident set observed.
+	MemMB float64
+}
+
+// Config tunes the estimates.
+type Config struct {
+	// TimeQuantile is the execution-time quantile reported (default 0.75).
+	TimeQuantile float64
+	// MemMarginFrac is the safety margin added to the observed maximum
+	// memory (default 0.10).
+	MemMarginFrac float64
+	// MinRuns is how many runs a class needs before estimates are
+	// offered (default 3).
+	MinRuns int
+}
+
+func (c Config) withDefaults() Config {
+	if c.TimeQuantile <= 0 || c.TimeQuantile >= 1 {
+		c.TimeQuantile = 0.75
+	}
+	if c.MemMarginFrac < 0 {
+		c.MemMarginFrac = 0
+	}
+	if c.MemMarginFrac == 0 {
+		c.MemMarginFrac = 0.10
+	}
+	if c.MinRuns <= 0 {
+		c.MinRuns = 3
+	}
+	return c
+}
+
+// Estimator accumulates run history per job class and answers estimates.
+// It is safe for concurrent use.
+type Estimator struct {
+	cfg Config
+
+	mu   sync.Mutex
+	runs map[string][]Run
+}
+
+// New creates an estimator.
+func New(cfg Config) *Estimator {
+	return &Estimator{cfg: cfg.withDefaults(), runs: make(map[string][]Run)}
+}
+
+// Record adds a completed run to a class's history.
+func (e *Estimator) Record(class string, r Run) error {
+	if class == "" {
+		return fmt.Errorf("jobest: empty class")
+	}
+	if r.WorkSeconds <= 0 || r.MemMB < 0 {
+		return fmt.Errorf("jobest: invalid run %+v", r)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.runs[class] = append(e.runs[class], r)
+	return nil
+}
+
+// Runs reports how many runs a class has accumulated.
+func (e *Estimator) Runs(class string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.runs[class])
+}
+
+// Estimate is a job-requirements prediction.
+type Estimate struct {
+	// WorkSeconds is the execution-time estimate (the TR query's window
+	// length).
+	WorkSeconds float64
+	// MemMB is the working-set estimate (the TR query's S4 threshold).
+	MemMB float64
+	// Runs is the class history size backing the estimate.
+	Runs int
+}
+
+// ErrUnknownClass is returned when a class has too little history.
+type ErrUnknownClass struct {
+	Class string
+	Runs  int
+	Need  int
+}
+
+// Error implements error.
+func (e ErrUnknownClass) Error() string {
+	return fmt.Sprintf("jobest: class %q has %d runs, need %d", e.Class, e.Runs, e.Need)
+}
+
+// Estimate predicts the requirements of a new job of the given class.
+func (e *Estimator) Estimate(class string) (Estimate, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	runs := e.runs[class]
+	if len(runs) < e.cfg.MinRuns {
+		return Estimate{}, ErrUnknownClass{Class: class, Runs: len(runs), Need: e.cfg.MinRuns}
+	}
+	times := make([]float64, len(runs))
+	maxMem := 0.0
+	for i, r := range runs {
+		times[i] = r.WorkSeconds
+		if r.MemMB > maxMem {
+			maxMem = r.MemMB
+		}
+	}
+	sort.Float64s(times)
+	// Linear-interpolated quantile.
+	pos := e.cfg.TimeQuantile * float64(len(times)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	t := times[lo]
+	if lo+1 < len(times) {
+		t = times[lo]*(1-frac) + times[lo+1]*frac
+	}
+	return Estimate{
+		WorkSeconds: t,
+		MemMB:       maxMem * (1 + e.cfg.MemMarginFrac),
+		Runs:        len(runs),
+	}, nil
+}
+
+// Classes lists the classes with enough history for estimates, sorted.
+func (e *Estimator) Classes() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var out []string
+	for c, runs := range e.runs {
+		if len(runs) >= e.cfg.MinRuns {
+			out = append(out, c)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

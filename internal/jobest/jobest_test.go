@@ -1,0 +1,153 @@
+package jobest
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"fgcs/internal/rng"
+)
+
+func TestRecordValidation(t *testing.T) {
+	e := New(Config{})
+	if err := e.Record("", Run{WorkSeconds: 1}); err == nil {
+		t.Fatal("empty class accepted")
+	}
+	if err := e.Record("a", Run{WorkSeconds: 0}); err == nil {
+		t.Fatal("zero work accepted")
+	}
+	if err := e.Record("a", Run{WorkSeconds: 1, MemMB: -1}); err == nil {
+		t.Fatal("negative memory accepted")
+	}
+	if err := e.Record("a", Run{WorkSeconds: 1, MemMB: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if e.Runs("a") != 1 || e.Runs("b") != 0 {
+		t.Fatal("run counting wrong")
+	}
+}
+
+func TestEstimateNeedsHistory(t *testing.T) {
+	e := New(Config{MinRuns: 3})
+	_ = e.Record("sim", Run{WorkSeconds: 100, MemMB: 50})
+	_ = e.Record("sim", Run{WorkSeconds: 110, MemMB: 55})
+	_, err := e.Estimate("sim")
+	var unknown ErrUnknownClass
+	if !errors.As(err, &unknown) {
+		t.Fatalf("err = %v, want ErrUnknownClass", err)
+	}
+	if unknown.Runs != 2 || unknown.Need != 3 {
+		t.Fatalf("error detail = %+v", unknown)
+	}
+	_ = e.Record("sim", Run{WorkSeconds: 120, MemMB: 60})
+	if _, err := e.Estimate("sim"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateQuantileAndMemMargin(t *testing.T) {
+	e := New(Config{TimeQuantile: 0.5, MemMarginFrac: 0.2})
+	for _, w := range []float64{100, 200, 300, 400, 500} {
+		if err := e.Record("mc", Run{WorkSeconds: w, MemMB: w / 2}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := e.Estimate("mc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.WorkSeconds != 300 {
+		t.Fatalf("median work = %v, want 300", est.WorkSeconds)
+	}
+	if math.Abs(est.MemMB-250*1.2) > 1e-9 {
+		t.Fatalf("mem = %v, want max 250 + 20%%", est.MemMB)
+	}
+	if est.Runs != 5 {
+		t.Fatalf("runs = %d", est.Runs)
+	}
+}
+
+func TestEstimateUpperQuantileDefault(t *testing.T) {
+	e := New(Config{})
+	for _, w := range []float64{10, 20, 30, 40, 50} {
+		_ = e.Record("c", Run{WorkSeconds: w, MemMB: 1})
+	}
+	est, err := e.Estimate("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// P75 of 10..50 = 40.
+	if est.WorkSeconds != 40 {
+		t.Fatalf("P75 = %v, want 40", est.WorkSeconds)
+	}
+}
+
+func TestClasses(t *testing.T) {
+	e := New(Config{MinRuns: 2})
+	_ = e.Record("b", Run{WorkSeconds: 1, MemMB: 1})
+	_ = e.Record("b", Run{WorkSeconds: 1, MemMB: 1})
+	_ = e.Record("a", Run{WorkSeconds: 1, MemMB: 1})
+	_ = e.Record("a", Run{WorkSeconds: 1, MemMB: 1})
+	_ = e.Record("tiny", Run{WorkSeconds: 1, MemMB: 1})
+	got := e.Classes()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("classes = %v", got)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	e := New(Config{MinRuns: 1})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_ = e.Record("par", Run{WorkSeconds: float64(1 + i), MemMB: 10})
+				_, _ = e.Estimate("par")
+			}
+		}(g)
+	}
+	wg.Wait()
+	if e.Runs("par") != 800 {
+		t.Fatalf("runs = %d", e.Runs("par"))
+	}
+}
+
+// Property: estimates are never below the class minimum nor above the class
+// maximum (time), and memory always covers the observed maximum.
+func TestEstimateBoundsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		e := New(Config{})
+		n := 3 + r.Intn(30)
+		minW, maxW, maxM := math.Inf(1), 0.0, 0.0
+		for i := 0; i < n; i++ {
+			w := r.Uniform(1, 10000)
+			m := r.Uniform(0, 512)
+			if w < minW {
+				minW = w
+			}
+			if w > maxW {
+				maxW = w
+			}
+			if m > maxM {
+				maxM = m
+			}
+			if err := e.Record("p", Run{WorkSeconds: w, MemMB: m}); err != nil {
+				return false
+			}
+		}
+		est, err := e.Estimate("p")
+		if err != nil {
+			return false
+		}
+		return est.WorkSeconds >= minW-1e-9 && est.WorkSeconds <= maxW+1e-9 &&
+			est.MemMB >= maxM-1e-9
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

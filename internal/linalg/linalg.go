@@ -1,0 +1,161 @@
+// Package linalg implements the small dense linear-algebra kernels needed by
+// the time-series fitting code (innovations algorithm for MA models,
+// Hannan–Rissanen least squares for ARMA models): a dense matrix type,
+// LU solve with partial pivoting, and least squares via QR-free normal
+// equations with Tikhonov regularization for rank-deficient designs.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len Rows*Cols
+}
+
+// NewMatrix allocates a zero Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("linalg: negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec returns m·x.
+func (m *Matrix) MulVec(x []float64) ([]float64, error) {
+	if len(x) != m.Cols {
+		return nil, fmt.Errorf("linalg: MulVec dimension mismatch %d vs %d", len(x), m.Cols)
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		s := 0.0
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y, nil
+}
+
+// ErrSingular is returned when a solve encounters a (numerically) singular
+// system.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// SolveLU solves A x = b in place using Gaussian elimination with partial
+// pivoting. A must be square; A and b are not modified.
+func SolveLU(a *Matrix, b []float64) ([]float64, error) {
+	n := a.Rows
+	if a.Cols != n {
+		return nil, errors.New("linalg: SolveLU needs a square matrix")
+	}
+	if len(b) != n {
+		return nil, errors.New("linalg: SolveLU rhs dimension mismatch")
+	}
+	m := a.Clone()
+	x := append([]float64(nil), b...)
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.At(r, col)); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-300 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[pivot*n+j] = m.Data[pivot*n+j], m.Data[col*n+j]
+			}
+			x[col], x[pivot] = x[pivot], x[col]
+		}
+		inv := 1 / m.At(col, col)
+		for r := col + 1; r < n; r++ {
+			f := m.At(r, col) * inv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Set(r, j, m.At(r, j)-f*m.At(col, j))
+			}
+			x[r] -= f * x[col]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= m.At(i, j) * x[j]
+		}
+		x[i] = s / m.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A x - b||² via the regularized normal equations
+// (AᵀA + λI) x = Aᵀb. The small ridge term λ keeps nearly collinear designs
+// (common when fitting ARMA models to low-variance load windows) solvable
+// without materially biasing well-conditioned fits.
+func LeastSquares(a *Matrix, b []float64, ridge float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, errors.New("linalg: LeastSquares rhs dimension mismatch")
+	}
+	if ridge < 0 {
+		return nil, errors.New("linalg: negative ridge")
+	}
+	n := a.Cols
+	ata := NewMatrix(n, n)
+	atb := make([]float64, n)
+	for i := 0; i < a.Rows; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			if row[j] == 0 {
+				continue
+			}
+			atb[j] += row[j] * b[i]
+			for k := j; k < n; k++ {
+				ata.Data[j*n+k] += row[j] * row[k]
+			}
+		}
+	}
+	// Mirror the upper triangle and add the ridge.
+	for j := 0; j < n; j++ {
+		for k := j + 1; k < n; k++ {
+			ata.Data[k*n+j] = ata.Data[j*n+k]
+		}
+		ata.Data[j*n+j] += ridge
+	}
+	return SolveLU(ata, atb)
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("linalg: Dot length mismatch")
+	}
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

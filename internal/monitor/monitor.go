@@ -1,0 +1,177 @@
+// Package monitor implements the resource monitor daemon of Section 5.2: it
+// periodically samples host resource usage (total host CPU load and free
+// memory) with light-weight system facilities, appends the samples to
+// history logs, and maintains the t_monitor heartbeat timestamp whose gaps
+// reveal resource revocation (URR) without requiring administrator access to
+// system logs.
+package monitor
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"fgcs/internal/simclock"
+	"fgcs/internal/trace"
+)
+
+// LoadSource provides instantaneous host resource readings — the role played
+// by top on Linux and vmstat/prstat on Unix in the paper's prototype.
+type LoadSource interface {
+	// Read returns the total CPU usage of all host processes (percent)
+	// and the free physical memory (MB).
+	Read() (cpuPercent, freeMemMB float64, err error)
+}
+
+// Sink receives each sample as it is taken. trace-building recorders and the
+// iShare state manager implement this.
+type Sink interface {
+	Record(t time.Time, s trace.Sample)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(t time.Time, s trace.Sample)
+
+// Record implements Sink.
+func (f SinkFunc) Record(t time.Time, s trace.Sample) { f(t, s) }
+
+// Config configures a Monitor.
+type Config struct {
+	// Period is the sampling period (paper: 6 s).
+	Period time.Duration
+	// HeartbeatPath is the file holding t_monitor. Empty disables the
+	// heartbeat (useful in pure simulations).
+	HeartbeatPath string
+	// Clock defaults to the wall clock.
+	Clock simclock.Clock
+}
+
+// Monitor samples a LoadSource periodically.
+type Monitor struct {
+	cfg   Config
+	src   LoadSource
+	sinks []Sink
+
+	mu      sync.Mutex
+	samples int64
+	errs    int64
+	stopped chan struct{}
+	stopo   sync.Once
+}
+
+// New creates a monitor. At least one sink is required.
+func New(cfg Config, src LoadSource, sinks ...Sink) (*Monitor, error) {
+	if cfg.Period <= 0 {
+		return nil, fmt.Errorf("monitor: non-positive period")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("monitor: nil load source")
+	}
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("monitor: no sinks")
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Real{}
+	}
+	return &Monitor{cfg: cfg, src: src, sinks: sinks, stopped: make(chan struct{})}, nil
+}
+
+// Samples reports how many samples have been taken.
+func (m *Monitor) Samples() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.samples
+}
+
+// Errors reports how many source reads failed.
+func (m *Monitor) Errors() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.errs
+}
+
+// Stop terminates Run after the current tick.
+func (m *Monitor) Stop() { m.stopo.Do(func() { close(m.stopped) }) }
+
+// Run samples until Stop is called. It is typically run in its own
+// goroutine. Each tick reads the source, forwards the sample to every sink,
+// and updates the heartbeat.
+func (m *Monitor) Run() {
+	for {
+		select {
+		case <-m.stopped:
+			return
+		case now := <-m.cfg.Clock.After(m.cfg.Period):
+			m.Tick(now)
+		}
+	}
+}
+
+// Tick performs a single sampling step at the given time. Exposed so tests
+// and simulations can drive the monitor deterministically.
+func (m *Monitor) Tick(now time.Time) {
+	cpu, free, err := m.src.Read()
+	m.mu.Lock()
+	if err != nil {
+		m.errs++
+		m.mu.Unlock()
+		return
+	}
+	m.samples++
+	m.mu.Unlock()
+	s := trace.Sample{CPU: cpu, FreeMemMB: free, Up: true}
+	for _, sink := range m.sinks {
+		sink.Record(now, s)
+	}
+	if m.cfg.HeartbeatPath != "" {
+		// Heartbeat write failures are deliberately non-fatal: a full
+		// disk must not kill monitoring.
+		_ = WriteHeartbeat(m.cfg.HeartbeatPath, now)
+	}
+}
+
+// ---------------------------------------------------------- heartbeat ----
+
+// WriteHeartbeat persists t_monitor atomically.
+func WriteHeartbeat(path string, t time.Time) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(strconv.FormatInt(t.UnixNano(), 10)+"\n"), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// ReadHeartbeat loads the saved t_monitor.
+func ReadHeartbeat(path string) (time.Time, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return time.Time{}, err
+	}
+	ns, err := strconv.ParseInt(strings.TrimSpace(string(b)), 10, 64)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("monitor: corrupt heartbeat: %w", err)
+	}
+	return time.Unix(0, ns), nil
+}
+
+// ErrNoGap is returned by DetectRevocation when the heartbeat is fresh.
+var ErrNoGap = errors.New("monitor: no revocation gap")
+
+// DetectRevocation implements the paper's URR detection: if the gap between
+// now and the saved t_monitor exceeds the threshold, the monitor — and by
+// implication the FGCS system — was down in between (system crash or owner
+// leave). It returns the down interval [from, to).
+func DetectRevocation(path string, now time.Time, threshold time.Duration) (from, to time.Time, err error) {
+	last, err := ReadHeartbeat(path)
+	if err != nil {
+		return time.Time{}, time.Time{}, err
+	}
+	if now.Sub(last) <= threshold {
+		return time.Time{}, time.Time{}, ErrNoGap
+	}
+	return last, now, nil
+}

@@ -1,0 +1,90 @@
+package monitor
+
+import (
+	"sync"
+	"time"
+
+	"fgcs/internal/trace"
+)
+
+// Recorder is a Sink that accumulates samples into per-day trace structures
+// — the history logs the state manager stores and the SMP predictor reads.
+// Gaps between consecutive samples longer than the revocation threshold are
+// back-filled as machine-down samples, which is how URR periods become
+// visible in the logs (Section 5.2).
+type Recorder struct {
+	mu sync.Mutex
+	// period is the expected sampling period.
+	period time.Duration
+	// gapThreshold marks how large a sample gap is recorded as downtime.
+	gapThreshold time.Duration
+	machine      *trace.Machine
+	// lastSample is the timestamp of the most recent recorded sample.
+	lastSample time.Time
+}
+
+// NewRecorder creates a recorder for the given machine ID and sampling
+// period. gapThreshold defaults to three periods when zero.
+func NewRecorder(machineID string, period, gapThreshold time.Duration) *Recorder {
+	if gapThreshold <= 0 {
+		gapThreshold = 3 * period
+	}
+	return &Recorder{
+		period:       period,
+		gapThreshold: gapThreshold,
+		machine:      trace.NewMachine(machineID, period),
+	}
+}
+
+// Record implements Sink.
+func (r *Recorder) Record(t time.Time, s trace.Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.lastSample.IsZero() && t.Sub(r.lastSample) > r.gapThreshold {
+		// Back-fill the revocation gap with down samples.
+		for ts := r.lastSample.Add(r.period); ts.Before(t); ts = ts.Add(r.period) {
+			r.put(ts, trace.Sample{Up: false})
+		}
+	}
+	r.put(t, s)
+	r.lastSample = t
+}
+
+// put writes one sample into its day slot, allocating days as needed.
+func (r *Recorder) put(t time.Time, s trace.Sample) {
+	t = t.UTC()
+	date := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+	var day *trace.Day
+	if n := len(r.machine.Days); n > 0 && r.machine.Days[n-1].Date.Equal(date) {
+		day = r.machine.Days[n-1]
+	} else {
+		day = trace.NewDay(date, r.period)
+		// Days created mid-stream start unknown; mark samples before
+		// the first observation of the day as down only when we know a
+		// gap is in progress — otherwise leave them Up-with-zero-load.
+		if err := r.machine.AddDay(day); err != nil {
+			// Out-of-order timestamps (clock skew): drop the sample
+			// rather than corrupt the log.
+			return
+		}
+	}
+	idx := day.IndexAt(t.Sub(date))
+	if idx >= day.Len() {
+		return
+	}
+	day.Samples[idx] = s
+}
+
+// Snapshot returns a deep copy of the accumulated machine log.
+func (r *Recorder) Snapshot() *trace.Machine {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.machine.Clone()
+}
+
+// Days returns the number of days with at least one sample.
+func (r *Recorder) Days() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.machine.Days)
+}

@@ -1,0 +1,313 @@
+// Package predict is the paper's core contribution as a library: prediction
+// of temporal reliability — the probability that a machine stays available
+// for guest execution throughout a future time window — from monitor history
+// logs.
+//
+// Two predictor families are provided. SMP is the paper's semi-Markov-process
+// predictor (Section 4): it pools the same clock window from the most recent
+// N days of the same type (weekday/weekend), estimates the sparse Q/H
+// parameters, and solves Equation (3). TimeSeries is the reference baseline
+// of Section 6.2: a linear time-series model fitted to the window preceding
+// the query window, forecast multi-step-ahead and classified into
+// availability states.
+//
+// The package also implements the evaluation methodology of Section 7:
+// empirical TR over test days, relative error, and the training/test
+// machinery shared by the Figure 5-8 experiments.
+package predict
+
+import (
+	"fmt"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/smp"
+	"fgcs/internal/timeseries"
+	"fgcs/internal/trace"
+)
+
+// Window is a future time window specified by its start offset from midnight
+// (W_init) and its length (T).
+type Window struct {
+	Start  time.Duration
+	Length time.Duration
+}
+
+// String formats the window, e.g. "08:00+2h".
+func (w Window) String() string {
+	h := int(w.Start / time.Hour)
+	m := int(w.Start/time.Minute) % 60
+	return fmt.Sprintf("%02d:%02d+%s", h, m, w.Length)
+}
+
+// Validate checks the window is inside a day.
+func (w Window) Validate() error {
+	if w.Start < 0 || w.Start >= 24*time.Hour {
+		return fmt.Errorf("predict: window start %v outside the day", w.Start)
+	}
+	if w.Length <= 0 || w.Start+w.Length > 24*time.Hour {
+		return fmt.Errorf("predict: window %v does not fit in the day", w)
+	}
+	return nil
+}
+
+// Units converts the window length into discretization intervals of the
+// given period (d in the paper; equal to the monitoring period).
+func (w Window) Units(period time.Duration) int {
+	return int(w.Length / period)
+}
+
+// Estimation selects how history windows are turned into training
+// trajectories for the kernel estimator.
+type Estimation int
+
+const (
+	// EstimateRestart (the default) harvests every unavailability
+	// occurrence in a history window: the machine recovers after each
+	// failure and its subsequent samples start a fresh trajectory. This
+	// is what makes the prediction robust to isolated noise events
+	// (Section 7.3) — an injected occurrence is one observation among
+	// many.
+	EstimateRestart Estimation = iota
+	// EstimateAbsorb stops each history window at its first failure,
+	// directly estimating the per-window absorption law. It is sharper
+	// when failures recur at fixed clock times but treats every event as
+	// the sole fate of its window, so single noise events perturb it
+	// more. Retained as an ablation (BenchmarkAblationEstimation).
+	EstimateAbsorb
+)
+
+// SMP is the semi-Markov availability predictor.
+type SMP struct {
+	// Cfg is the availability-model configuration (thresholds etc.).
+	Cfg avail.Config
+	// HistoryDays bounds how many of the most recent same-type days are
+	// pooled into the estimate (N in Section 4.2). Zero means all
+	// provided days.
+	HistoryDays int
+	// Smoothing is the optional pseudo-count passed to the estimator.
+	Smoothing float64
+	// Censoring selects the censored-sojourn policy.
+	Censoring smp.CensorMode
+	// Estimation selects restart (default) or absorb trajectory
+	// extraction.
+	Estimation Estimation
+}
+
+// Name implements a human-readable identifier used in experiment output.
+func (SMP) Name() string { return "SMP" }
+
+// Prediction is the result of an SMP query.
+type Prediction struct {
+	// TR is the initial-state-weighted temporal reliability.
+	TR float64
+	// TRByInit holds TR conditioned on starting in S1 and S2.
+	TRByInit [2]float64
+	// InitProb is the empirical distribution of the initial state over
+	// the history windows (S1, S2), used to weight TRByInit.
+	InitProb [2]float64
+	// HistoryWindows is the number of history windows the estimate used.
+	HistoryWindows int
+}
+
+// Predict computes the temporal reliability for the window on a future day,
+// estimated from the history days (which must all be of the target day's
+// type; use trace.Machine.DaysOfType or a trace.Split to select them).
+//
+// When the caller knows the machine's current state (a live query at
+// W_init), use PredictFrom instead; Predict weights the two recoverable
+// initial states by their historical frequency, which is the right thing for
+// ahead-of-time evaluation.
+func (p SMP) Predict(history []*trace.Day, w Window) (Prediction, error) {
+	kernel, pred, err := p.prepare(history, w)
+	if err != nil {
+		return Prediction{}, err
+	}
+	units := w.Units(periodOf(history))
+	tr1, tr2, err := kernel.Reliabilities(units)
+	if err != nil {
+		return Prediction{}, err
+	}
+	pred.TRByInit = [2]float64{tr1, tr2}
+	pred.TR = pred.InitProb[0]*tr1 + pred.InitProb[1]*tr2
+	return pred, nil
+}
+
+// PredictFrom computes TR for a job starting in the given (recoverable)
+// current state — the live query issued by the iShare job scheduler.
+func (p SMP) PredictFrom(history []*trace.Day, w Window, init avail.State) (float64, error) {
+	kernel, _, err := p.prepare(history, w)
+	if err != nil {
+		return 0, err
+	}
+	return kernel.TR(init, w.Units(periodOf(history)))
+}
+
+func periodOf(days []*trace.Day) time.Duration {
+	if len(days) == 0 {
+		return trace.DefaultPeriod
+	}
+	return days[0].Period
+}
+
+// prepare extracts sojourn sequences from the history windows and estimates
+// the kernel.
+func (p SMP) prepare(history []*trace.Day, w Window) (*smp.Kernel, Prediction, error) {
+	var pred Prediction
+	if err := w.Validate(); err != nil {
+		return nil, pred, err
+	}
+	if err := p.Cfg.Validate(); err != nil {
+		return nil, pred, err
+	}
+	if len(history) == 0 {
+		return nil, pred, fmt.Errorf("predict: no history days")
+	}
+	days := history
+	if p.HistoryDays > 0 && len(days) > p.HistoryDays {
+		days = days[len(days)-p.HistoryDays:] // most recent N
+	}
+	period := periodOf(days)
+	units := w.Units(period)
+	if units < 1 {
+		return nil, pred, fmt.Errorf("predict: window %v shorter than the sampling period", w)
+	}
+	var seqs [][]avail.Sojourn
+	var initCount [2]float64
+	windows := 0
+	for _, d := range days {
+		samples := d.Window(w.Start, w.Length)
+		if len(samples) == 0 {
+			continue
+		}
+		windows++
+		if p.Estimation == EstimateAbsorb {
+			seqs = append(seqs, avail.ExtractSojourns(samples, p.Cfg, period))
+		} else {
+			// Restart: harvest every trajectory in the window — the
+			// machine recovers after each unavailability occurrence
+			// even though a guest job would not.
+			seqs = append(seqs, avail.ExtractTrajectories(samples, p.Cfg, period)...)
+		}
+		if st, ok := avail.InitialState(samples, p.Cfg, period); ok {
+			if st == avail.S1 {
+				initCount[0]++
+			} else {
+				initCount[1]++
+			}
+		}
+	}
+	pred.HistoryWindows = windows
+	total := initCount[0] + initCount[1]
+	if total > 0 {
+		pred.InitProb = [2]float64{initCount[0] / total, initCount[1] / total}
+	} else {
+		pred.InitProb = [2]float64{1, 0} // no usable history: assume idle start
+	}
+	est := smp.Estimator{Horizon: units, Smoothing: p.Smoothing, Censoring: p.Censoring}
+	kernel, err := est.Estimate(seqs)
+	if err != nil {
+		return nil, pred, err
+	}
+	return kernel, pred, nil
+}
+
+// TimeSeries is the linear-time-series baseline predictor: fit on the window
+// preceding the query window (same length), forecast the host CPU load
+// multi-step-ahead across the query window, classify the forecast into
+// availability states, and report survival of the predicted transitions.
+type TimeSeries struct {
+	// Cfg is the availability-model configuration used to classify the
+	// forecast trajectory.
+	Cfg avail.Config
+	// Fitter is the model family (one of timeseries.ReferenceSuite()).
+	Fitter timeseries.Fitter
+}
+
+// Name returns the underlying model name.
+func (t TimeSeries) Name() string { return t.Fitter.Name() }
+
+// PredictDay forecasts the query window of one specific day from that day's
+// preceding samples and reports whether the predicted trajectory survives
+// (no failure states). This mirrors RPS usage: the model sees only the
+// immediately preceding window of equal length.
+func (t TimeSeries) PredictDay(day *trace.Day, w Window) (bool, error) {
+	if err := w.Validate(); err != nil {
+		return false, err
+	}
+	if err := t.Cfg.Validate(); err != nil {
+		return false, err
+	}
+	if t.Fitter == nil {
+		return false, fmt.Errorf("predict: no fitter configured")
+	}
+	prevStart := w.Start - w.Length
+	if prevStart < 0 {
+		prevStart = 0
+	}
+	prev := day.Window(prevStart, w.Start-prevStart)
+	// Build the training series from reachable samples; machine-down
+	// samples carry no load observation.
+	var series []float64
+	lastFree := t.Cfg.GuestMemMB + 1 // optimistic default when unobserved
+	upAtOrigin := true
+	for _, s := range prev {
+		if s.Up {
+			series = append(series, s.CPU)
+			lastFree = s.FreeMemMB
+		}
+	}
+	if len(prev) > 0 {
+		upAtOrigin = prev[len(prev)-1].Up
+	}
+	if !upAtOrigin {
+		// Machine is down at the forecast origin: the only sensible
+		// prediction for the window is failure.
+		return false, nil
+	}
+	if len(series) == 0 {
+		// Nothing observed before the window (e.g. a window starting at
+		// midnight after an outage): predict idle.
+		series = []float64{0}
+	}
+	model, err := t.Fitter.Fit(series)
+	if err != nil {
+		return false, err
+	}
+	units := w.Units(day.Period)
+	forecast := model.Forecast(units)
+	predicted := make([]trace.Sample, len(forecast))
+	for i, cpu := range forecast {
+		if cpu < 0 {
+			cpu = 0
+		}
+		if cpu > 100 {
+			cpu = 100
+		}
+		// CPU is forecast by the linear model; memory and machine-up
+		// follow the persistence forecast, as RPS models only the load
+		// signal.
+		predicted[i] = trace.Sample{CPU: cpu, FreeMemMB: lastFree, Up: true}
+	}
+	return avail.WindowSurvives(predicted, t.Cfg, day.Period), nil
+}
+
+// Predict aggregates PredictDay over a set of days: the predicted temporal
+// reliability is the fraction of days whose forecast trajectory survives the
+// window.
+func (t TimeSeries) Predict(days []*trace.Day, w Window) (float64, error) {
+	if len(days) == 0 {
+		return 0, fmt.Errorf("predict: no days")
+	}
+	survived := 0
+	for _, d := range days {
+		ok, err := t.PredictDay(d, w)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			survived++
+		}
+	}
+	return float64(survived) / float64(len(days)), nil
+}

@@ -1,0 +1,517 @@
+package predict
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/timeseries"
+	"fgcs/internal/trace"
+)
+
+var monday = time.Date(2005, 8, 22, 0, 0, 0, 0, time.UTC)
+
+const period = trace.DefaultPeriod
+
+// idleDay returns a fully idle, fully up day.
+func idleDay(offsetDays int) *trace.Day {
+	d := trace.NewDay(monday.AddDate(0, 0, offsetDays), period)
+	for i := range d.Samples {
+		d.Samples[i].CPU = 5
+		d.Samples[i].FreeMemMB = 400
+	}
+	return d
+}
+
+// failAt overlays an unavailability occurrence (URR) starting at the offset.
+func failAt(d *trace.Day, start, hold time.Duration) *trace.Day {
+	lo, hi := d.IndexAt(start), d.IndexAt(start+hold)
+	for i := lo; i < hi && i < len(d.Samples); i++ {
+		d.Samples[i].Up = false
+	}
+	return d
+}
+
+// busyAt overlays sustained high CPU load.
+func busyAt(d *trace.Day, start, hold time.Duration, cpu float64) *trace.Day {
+	lo, hi := d.IndexAt(start), d.IndexAt(start+hold)
+	for i := lo; i < hi && i < len(d.Samples); i++ {
+		d.Samples[i].CPU = cpu
+	}
+	return d
+}
+
+func defaultSMP() SMP { return SMP{Cfg: avail.DefaultConfig()} }
+
+func TestWindowValidate(t *testing.T) {
+	good := []Window{
+		{Start: 0, Length: time.Hour},
+		{Start: 8 * time.Hour, Length: 10 * time.Hour},
+		{Start: 23 * time.Hour, Length: time.Hour},
+	}
+	for _, w := range good {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%v rejected: %v", w, err)
+		}
+	}
+	bad := []Window{
+		{Start: -time.Hour, Length: time.Hour},
+		{Start: 25 * time.Hour, Length: time.Hour},
+		{Start: 8 * time.Hour, Length: 0},
+		{Start: 20 * time.Hour, Length: 5 * time.Hour},
+	}
+	for _, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%v accepted", w)
+		}
+	}
+}
+
+func TestWindowStringAndUnits(t *testing.T) {
+	w := Window{Start: 8*time.Hour + 30*time.Minute, Length: 2 * time.Hour}
+	if w.String() != "08:30+2h0m0s" {
+		t.Fatalf("String = %q", w.String())
+	}
+	if w.Units(6*time.Second) != 1200 {
+		t.Fatalf("Units = %d", w.Units(6*time.Second))
+	}
+}
+
+func TestSMPPredictDeterministicFailureRate(t *testing.T) {
+	// 10 history days; on 4 of them the machine fails at 9:00 within the
+	// 8:00-10:00 window. Predicted TR for that window should be ~0.6.
+	var days []*trace.Day
+	for i := 0; i < 10; i++ {
+		d := idleDay(i)
+		if i%10 < 4 {
+			failAt(d, 9*time.Hour, 30*time.Minute)
+		}
+		days = append(days, d)
+	}
+	w := Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	pred, err := defaultSMP().Predict(days, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.HistoryWindows != 10 {
+		t.Fatalf("HistoryWindows = %d", pred.HistoryWindows)
+	}
+	if math.Abs(pred.TR-0.6) > 1e-9 {
+		t.Fatalf("TR = %v, want 0.6", pred.TR)
+	}
+	// All history windows start idle.
+	if pred.InitProb[0] != 1 || pred.InitProb[1] != 0 {
+		t.Fatalf("InitProb = %v", pred.InitProb)
+	}
+}
+
+func TestSMPPredictAllClear(t *testing.T) {
+	days := []*trace.Day{idleDay(0), idleDay(1), idleDay(2)}
+	pred, err := defaultSMP().Predict(days, Window{Start: 8 * time.Hour, Length: 10 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TR != 1 {
+		t.Fatalf("TR = %v, want 1 with no observed failures", pred.TR)
+	}
+}
+
+func TestSMPPredictTRMonotoneInLength(t *testing.T) {
+	var days []*trace.Day
+	for i := 0; i < 12; i++ {
+		d := idleDay(i)
+		if i%3 == 0 {
+			busyAt(d, time.Duration(9+i%4)*time.Hour, 10*time.Minute, 95)
+		}
+		days = append(days, d)
+	}
+	// Each window length estimates its own kernel from its own data, so
+	// strict monotonicity is not guaranteed across lengths; it must hold
+	// up to estimation slack, and the extremes must be ordered.
+	prev := 1.1
+	var first, last float64
+	for i, hrs := range []int{1, 2, 3, 5, 10} {
+		w := Window{Start: 8 * time.Hour, Length: time.Duration(hrs) * time.Hour}
+		pred, err := defaultSMP().Predict(days, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred.TR > prev+0.15 {
+			t.Fatalf("TR jumped with window length at %dh: %v > %v", hrs, pred.TR, prev)
+		}
+		prev = pred.TR
+		if i == 0 {
+			first = pred.TR
+		}
+		last = pred.TR
+	}
+	if last > first {
+		t.Fatalf("TR(10h)=%v above TR(1h)=%v", last, first)
+	}
+}
+
+func TestSMPHistoryDaysLimit(t *testing.T) {
+	// Old days all fail; the 5 most recent are clean. With HistoryDays=5
+	// the prediction must ignore the failures.
+	var days []*trace.Day
+	for i := 0; i < 10; i++ {
+		d := idleDay(i)
+		if i < 5 {
+			failAt(d, 9*time.Hour, time.Hour)
+		}
+		days = append(days, d)
+	}
+	w := Window{Start: 8 * time.Hour, Length: 3 * time.Hour}
+	p := defaultSMP()
+	p.HistoryDays = 5
+	pred, err := p.Predict(days, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TR != 1 {
+		t.Fatalf("TR = %v, want 1 (old failures must be outside the history horizon)", pred.TR)
+	}
+	if pred.HistoryWindows != 5 {
+		t.Fatalf("HistoryWindows = %d, want 5", pred.HistoryWindows)
+	}
+	// Without the limit the failures count.
+	pred, err = defaultSMP().Predict(days, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.TR >= 1 {
+		t.Fatalf("unlimited history TR = %v, want < 1", pred.TR)
+	}
+}
+
+func TestSMPPredictFrom(t *testing.T) {
+	// Failures only ever happen out of S2 (heavy load precedes them).
+	var days []*trace.Day
+	for i := 0; i < 8; i++ {
+		d := idleDay(i)
+		busyAt(d, 9*time.Hour, 30*time.Minute, 40) // S2 period
+		if i%2 == 0 {
+			busyAt(d, 9*time.Hour+30*time.Minute, 10*time.Minute, 95) // S3
+		}
+		days = append(days, d)
+	}
+	w := Window{Start: 9 * time.Hour, Length: 2 * time.Hour}
+	p := defaultSMP()
+	tr2, err := p.PredictFrom(days, w, avail.S2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2 >= 1 || tr2 < 0 {
+		t.Fatalf("TR from S2 = %v", tr2)
+	}
+	if _, err := p.PredictFrom(days, w, avail.S5); err == nil {
+		t.Fatal("failure initial state accepted")
+	}
+}
+
+func TestSMPPredictErrors(t *testing.T) {
+	p := defaultSMP()
+	if _, err := p.Predict(nil, Window{Start: 0, Length: time.Hour}); err == nil {
+		t.Fatal("empty history accepted")
+	}
+	days := []*trace.Day{idleDay(0)}
+	if _, err := p.Predict(days, Window{Start: -1, Length: time.Hour}); err == nil {
+		t.Fatal("invalid window accepted")
+	}
+	if _, err := p.Predict(days, Window{Start: 0, Length: time.Second}); err == nil {
+		t.Fatal("sub-period window accepted")
+	}
+	bad := p
+	bad.Cfg.Th1 = 90
+	bad.Cfg.Th2 = 10
+	if _, err := bad.Predict(days, Window{Start: 0, Length: time.Hour}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestTimeSeriesPredictDayIdle(t *testing.T) {
+	ts := TimeSeries{Cfg: avail.DefaultConfig(), Fitter: timeseries.Last{}}
+	ok, err := ts.PredictDay(idleDay(0), Window{Start: 8 * time.Hour, Length: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("idle day predicted to fail")
+	}
+}
+
+func TestTimeSeriesPredictDayHeavyLoadPersists(t *testing.T) {
+	// Heavy load through the previous window: LAST predicts the heavy
+	// load persists → predicted failure.
+	d := idleDay(0)
+	busyAt(d, 6*time.Hour, 2*time.Hour, 90)
+	ts := TimeSeries{Cfg: avail.DefaultConfig(), Fitter: timeseries.Last{}}
+	ok, err := ts.PredictDay(d, Window{Start: 8 * time.Hour, Length: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("LAST did not extrapolate the heavy load")
+	}
+}
+
+func TestTimeSeriesPredictDayDownAtOrigin(t *testing.T) {
+	d := idleDay(0)
+	failAt(d, 7*time.Hour, time.Hour+time.Minute)
+	ts := TimeSeries{Cfg: avail.DefaultConfig(), Fitter: timeseries.Last{}}
+	ok, err := ts.PredictDay(d, Window{Start: 8 * time.Hour, Length: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("machine down at origin predicted to survive")
+	}
+}
+
+func TestTimeSeriesPredictDayWindowAtMidnight(t *testing.T) {
+	// No preceding samples: must not error, falls back to idle forecast.
+	ts := TimeSeries{Cfg: avail.DefaultConfig(), Fitter: timeseries.AR{P: 8}}
+	ok, err := ts.PredictDay(idleDay(0), Window{Start: 0, Length: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("midnight window on an idle day predicted to fail")
+	}
+}
+
+func TestTimeSeriesPredictAggregates(t *testing.T) {
+	days := []*trace.Day{idleDay(0), idleDay(1)}
+	busyAt(days[1], 6*time.Hour, 2*time.Hour, 90)
+	ts := TimeSeries{Cfg: avail.DefaultConfig(), Fitter: timeseries.Last{}}
+	tr, err := ts.Predict(days, Window{Start: 8 * time.Hour, Length: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != 0.5 {
+		t.Fatalf("aggregate TR = %v, want 0.5", tr)
+	}
+	if _, err := ts.Predict(nil, Window{Start: 0, Length: time.Hour}); err == nil {
+		t.Fatal("empty day set accepted")
+	}
+}
+
+func TestTimeSeriesErrors(t *testing.T) {
+	ts := TimeSeries{Cfg: avail.DefaultConfig()}
+	if _, err := ts.PredictDay(idleDay(0), Window{Start: 0, Length: time.Hour}); err == nil {
+		t.Fatal("nil fitter accepted")
+	}
+	ts.Fitter = timeseries.Last{}
+	if _, err := ts.PredictDay(idleDay(0), Window{Start: -1, Length: time.Hour}); err == nil {
+		t.Fatal("invalid window accepted")
+	}
+}
+
+func TestEmpiricalTR(t *testing.T) {
+	cfg := avail.DefaultConfig()
+	w := Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	days := []*trace.Day{
+		idleDay(0),
+		failAt(idleDay(1), 9*time.Hour, 10*time.Minute),
+		// Failed at the window start: excluded from the population.
+		failAt(idleDay(2), 7*time.Hour, 90*time.Minute),
+	}
+	tr, n := EmpiricalTR(days, w, cfg)
+	if n != 2 {
+		t.Fatalf("usable days = %d, want 2", n)
+	}
+	if tr != 0.5 {
+		t.Fatalf("empirical TR = %v, want 0.5", tr)
+	}
+	if tr, n := EmpiricalTR(nil, w, cfg); tr != 0 || n != 0 {
+		t.Fatal("empty day set should report 0,0")
+	}
+}
+
+func TestEvaluateSMPPerfectOnStationaryPattern(t *testing.T) {
+	// Train and test sets have identical failure statistics: every third
+	// day fails inside the window. The SMP prediction should land close
+	// to the empirical TR.
+	var train, test []*trace.Day
+	for i := 0; i < 12; i++ {
+		d := idleDay(i)
+		if i%3 == 0 {
+			failAt(d, 9*time.Hour, 20*time.Minute)
+		}
+		train = append(train, d)
+	}
+	for i := 12; i < 24; i++ {
+		d := idleDay(i)
+		if i%3 == 0 {
+			failAt(d, 9*time.Hour, 20*time.Minute)
+		}
+		test = append(test, d)
+	}
+	sp := trace.Split{Train: train, Test: test}
+	ev, err := EvaluateSMP(defaultSMP(), sp, Window{Start: 8 * time.Hour, Length: 2 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.RelErr > 0.05 {
+		t.Fatalf("relative error %v too high on a stationary pattern (pred %v, emp %v)",
+			ev.RelErr, ev.TRPred, ev.TREmp)
+	}
+	if ev.TestDays != 12 {
+		t.Fatalf("TestDays = %d", ev.TestDays)
+	}
+	if ev.Predictor != "SMP" {
+		t.Fatalf("Predictor = %q", ev.Predictor)
+	}
+}
+
+func TestEvaluateTimeSeries(t *testing.T) {
+	var test []*trace.Day
+	for i := 0; i < 6; i++ {
+		test = append(test, idleDay(i))
+	}
+	sp := trace.Split{Test: test}
+	ts := TimeSeries{Cfg: avail.DefaultConfig(), Fitter: timeseries.BM{P: 8}}
+	ev, err := EvaluateTimeSeries(ts, sp, Window{Start: 8 * time.Hour, Length: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.TRPred != 1 || ev.TREmp != 1 || ev.RelErr != 0 {
+		t.Fatalf("evaluation = %+v", ev)
+	}
+	if ev.Predictor != "BM(8)" {
+		t.Fatalf("Predictor = %q", ev.Predictor)
+	}
+}
+
+func TestEvaluateErrorsOnNoUsableTestDays(t *testing.T) {
+	// Every test day is failed at the window start.
+	var test []*trace.Day
+	for i := 0; i < 3; i++ {
+		test = append(test, failAt(idleDay(i), 7*time.Hour, 3*time.Hour))
+	}
+	sp := trace.Split{Train: []*trace.Day{idleDay(9)}, Test: test}
+	w := Window{Start: 8 * time.Hour, Length: time.Hour}
+	if _, err := EvaluateSMP(defaultSMP(), sp, w); err == nil {
+		t.Fatal("EvaluateSMP accepted an unusable test set")
+	}
+	ts := TimeSeries{Cfg: avail.DefaultConfig(), Fitter: timeseries.Last{}}
+	if _, err := EvaluateTimeSeries(ts, sp, w); err == nil {
+		t.Fatal("EvaluateTimeSeries accepted an unusable test set")
+	}
+}
+
+func TestEstimationModes(t *testing.T) {
+	// A machine that fails at 09:00 every day, recovering afterwards.
+	var days []*trace.Day
+	for i := 0; i < 10; i++ {
+		days = append(days, failAt(idleDay(i), 9*time.Hour, 20*time.Minute))
+	}
+	w := Window{Start: 8 * time.Hour, Length: 3 * time.Hour}
+	absorb := SMP{Cfg: avail.DefaultConfig(), Estimation: EstimateAbsorb}
+	predA, err := absorb.Predict(days, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Absorb semantics nails the deterministic per-window failure.
+	if predA.TR > 0.01 {
+		t.Fatalf("absorb TR = %v, want ~0", predA.TR)
+	}
+	restart := SMP{Cfg: avail.DefaultConfig(), Estimation: EstimateRestart}
+	predR, err := restart.Predict(days, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Restart semantics dilutes the estimate with post-recovery data but
+	// must still predict substantially degraded reliability.
+	if predR.TR >= 0.75 {
+		t.Fatalf("restart TR = %v, want well below 1", predR.TR)
+	}
+	if predR.TR < predA.TR {
+		t.Fatalf("restart TR %v below absorb TR %v", predR.TR, predA.TR)
+	}
+}
+
+func TestPredictCIBracketsPoint(t *testing.T) {
+	var days []*trace.Day
+	for i := 0; i < 20; i++ {
+		d := idleDay(i)
+		if i%4 == 0 {
+			failAt(d, 9*time.Hour, 20*time.Minute)
+		}
+		days = append(days, d)
+	}
+	w := Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	iv, err := defaultSMP().PredictCI(days, w, 0.9, 60, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.Lo > iv.TR || iv.TR > iv.Hi {
+		t.Fatalf("interval [%v, %v] does not bracket the point %v", iv.Lo, iv.Hi, iv.TR)
+	}
+	if iv.Lo < 0 || iv.Hi > 1 {
+		t.Fatalf("interval outside [0,1]: %+v", iv)
+	}
+	// With 25% failing days, uncertainty must be visible.
+	if iv.Hi-iv.Lo < 0.01 {
+		t.Fatalf("interval [%v, %v] implausibly tight", iv.Lo, iv.Hi)
+	}
+	if iv.Level != 0.9 || iv.Resamples != 60 {
+		t.Fatalf("metadata %+v", iv)
+	}
+}
+
+func TestPredictCIDegenerateHistory(t *testing.T) {
+	days := []*trace.Day{idleDay(0), idleDay(1), idleDay(2)}
+	iv, err := defaultSMP().PredictCI(days, Window{Start: 8 * time.Hour, Length: time.Hour}, 0.9, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.TR != 1 || iv.Lo != 1 || iv.Hi != 1 {
+		t.Fatalf("all-clear history interval = %+v, want degenerate at 1", iv)
+	}
+}
+
+func TestPredictCIShrinksWithMoreData(t *testing.T) {
+	mk := func(n int) []*trace.Day {
+		var days []*trace.Day
+		for i := 0; i < n; i++ {
+			d := idleDay(i)
+			if i%4 == 0 {
+				failAt(d, 9*time.Hour, 20*time.Minute)
+			}
+			days = append(days, d)
+		}
+		return days
+	}
+	w := Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	small, err := defaultSMP().PredictCI(mk(8), w, 0.9, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := defaultSMP().PredictCI(mk(64), w, 0.9, 80, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Hi-big.Lo >= small.Hi-small.Lo {
+		t.Fatalf("interval did not shrink: %v (n=8) vs %v (n=64)",
+			small.Hi-small.Lo, big.Hi-big.Lo)
+	}
+}
+
+func TestPredictCIValidation(t *testing.T) {
+	days := []*trace.Day{idleDay(0)}
+	w := Window{Start: 8 * time.Hour, Length: time.Hour}
+	if _, err := defaultSMP().PredictCI(days, w, 0, 50, 1); err == nil {
+		t.Fatal("level 0 accepted")
+	}
+	if _, err := defaultSMP().PredictCI(days, w, 1.2, 50, 1); err == nil {
+		t.Fatal("level > 1 accepted")
+	}
+	if _, err := defaultSMP().PredictCI(days, w, 0.9, 3, 1); err == nil {
+		t.Fatal("too few resamples accepted")
+	}
+	if _, err := defaultSMP().PredictCI(nil, w, 0.9, 50, 1); err == nil {
+		t.Fatal("empty history accepted")
+	}
+}

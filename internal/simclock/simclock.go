@@ -1,0 +1,166 @@
+// Package simclock provides a clock abstraction so that daemons, monitors and
+// experiments can run either against the wall clock or against a
+// deterministic simulated clock.
+//
+// The paper's monitoring and prediction pipeline is driven by periodic
+// sampling (every 6 seconds over three months). Reproducing those experiments
+// in real time is infeasible, so every component in this repository that
+// needs time takes a Clock. Tests and experiments use a *Virtual clock that
+// advances instantaneously and fires timers in deterministic order; the live
+// daemons in cmd/ use the Real clock.
+package simclock
+
+import (
+	"container/heap"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used throughout the repository.
+type Clock interface {
+	// Now returns the current time on this clock.
+	Now() time.Time
+	// After returns a channel that receives the fire time once d has
+	// elapsed on this clock.
+	After(d time.Duration) <-chan time.Time
+	// Sleep blocks until d has elapsed on this clock.
+	Sleep(d time.Duration)
+}
+
+// Real is a Clock backed by the system wall clock.
+type Real struct{}
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Virtual is a deterministic simulated clock. Time only moves when Advance
+// (or AdvanceTo/Run) is called; timers created with After fire in timestamp
+// order as the clock passes them. A Virtual clock is safe for concurrent use.
+type Virtual struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers timerHeap
+	seq    uint64 // tie-breaker so equal deadlines fire FIFO
+}
+
+type vtimer struct {
+	at  time.Time
+	seq uint64
+	ch  chan time.Time
+}
+
+type timerHeap []*vtimer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].at.Equal(h[j].at) {
+		return h[i].seq < h[j].seq
+	}
+	return h[i].at.Before(h[j].at)
+}
+func (h timerHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x interface{}) { *h = append(*h, x.(*vtimer)) }
+func (h *timerHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}
+
+// NewVirtual returns a Virtual clock initialized to start.
+func NewVirtual(start time.Time) *Virtual {
+	return &Virtual{now: start}
+}
+
+// Now implements Clock.
+func (v *Virtual) Now() time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return v.now
+}
+
+// After implements Clock. The returned channel has capacity 1, so a fired
+// timer never blocks the advancing goroutine.
+func (v *Virtual) After(d time.Duration) <-chan time.Time {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- v.now
+		return ch
+	}
+	v.seq++
+	heap.Push(&v.timers, &vtimer{at: v.now.Add(d), seq: v.seq, ch: ch})
+	return ch
+}
+
+// Sleep blocks the calling goroutine until the clock has been advanced past
+// the deadline by some other goroutine.
+func (v *Virtual) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-v.After(d)
+}
+
+// Advance moves the clock forward by d, firing every timer whose deadline is
+// reached, in deadline order.
+func (v *Virtual) Advance(d time.Duration) {
+	v.AdvanceTo(v.Now().Add(d))
+}
+
+// AdvanceTo moves the clock forward to t (no-op if t is not after Now),
+// firing due timers in deadline order.
+func (v *Virtual) AdvanceTo(t time.Time) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if t.Before(v.now) {
+		return
+	}
+	for len(v.timers) > 0 && !v.timers[0].at.After(t) {
+		tm := heap.Pop(&v.timers).(*vtimer)
+		v.now = tm.at
+		tm.ch <- tm.at
+	}
+	v.now = t
+}
+
+// PendingTimers reports how many timers are armed but not yet fired.
+func (v *Virtual) PendingTimers() int {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	return len(v.timers)
+}
+
+// NextDeadline returns the deadline of the earliest pending timer. The second
+// result is false when no timer is pending.
+func (v *Virtual) NextDeadline() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if len(v.timers) == 0 {
+		return time.Time{}, false
+	}
+	return v.timers[0].at, true
+}
+
+// RunUntilIdle advances the clock timer-by-timer until no timers remain or
+// the limit deadline is reached, whichever comes first. It returns the final
+// clock reading. It is useful for driving monitor daemons in tests.
+func (v *Virtual) RunUntilIdle(limit time.Time) time.Time {
+	for {
+		next, ok := v.NextDeadline()
+		if !ok || next.After(limit) {
+			v.AdvanceTo(limit)
+			return v.Now()
+		}
+		v.AdvanceTo(next)
+	}
+}

@@ -1,0 +1,203 @@
+package simclock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2005, 8, 22, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNow(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now() = %v, want %v", v.Now(), epoch)
+	}
+	v.Advance(90 * time.Second)
+	if want := epoch.Add(90 * time.Second); !v.Now().Equal(want) {
+		t.Fatalf("Now() after Advance = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualAdvanceToBackwardsIsNoop(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Advance(time.Hour)
+	v.AdvanceTo(epoch) // earlier than now
+	if want := epoch.Add(time.Hour); !v.Now().Equal(want) {
+		t.Fatalf("clock moved backwards to %v", v.Now())
+	}
+}
+
+func TestVirtualAfterFiresInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	c2 := v.After(2 * time.Second)
+	c1 := v.After(1 * time.Second)
+	c3 := v.After(3 * time.Second)
+	v.Advance(5 * time.Second)
+	t1 := <-c1
+	t2 := <-c2
+	t3 := <-c3
+	if !t1.Equal(epoch.Add(1 * time.Second)) {
+		t.Errorf("timer1 fired at %v", t1)
+	}
+	if !t2.Equal(epoch.Add(2 * time.Second)) {
+		t.Errorf("timer2 fired at %v", t2)
+	}
+	if !t3.Equal(epoch.Add(3 * time.Second)) {
+		t.Errorf("timer3 fired at %v", t3)
+	}
+}
+
+func TestVirtualAfterZeroFiresImmediately(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case <-v.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+}
+
+func TestVirtualAfterNotFiredEarly(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(10 * time.Second)
+	v.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before its deadline")
+	default:
+	}
+	v.Advance(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("timer did not fire at its deadline")
+	}
+}
+
+func TestVirtualEqualDeadlinesFIFO(t *testing.T) {
+	v := NewVirtual(epoch)
+	first := v.After(time.Second)
+	second := v.After(time.Second)
+	done := make(chan int, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); <-first; done <- 1 }()
+	// Ensure the first goroutine is likely waiting before the second.
+	go func() { defer wg.Done(); <-second; done <- 2 }()
+	v.Advance(time.Second)
+	wg.Wait()
+	close(done)
+	n := 0
+	for range done {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("expected both timers to fire, got %d", n)
+	}
+}
+
+func TestVirtualSleepWakes(t *testing.T) {
+	v := NewVirtual(epoch)
+	woke := make(chan struct{})
+	go func() {
+		v.Sleep(time.Minute)
+		close(woke)
+	}()
+	// Wait for the sleeper to arm its timer.
+	for v.PendingTimers() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	v.Advance(time.Minute)
+	select {
+	case <-woke:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not wake after Advance")
+	}
+}
+
+func TestVirtualSleepNonPositiveReturns(t *testing.T) {
+	v := NewVirtual(epoch)
+	v.Sleep(0)
+	v.Sleep(-time.Second)
+}
+
+func TestNextDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	if _, ok := v.NextDeadline(); ok {
+		t.Fatal("NextDeadline reported a timer on an empty clock")
+	}
+	v.After(42 * time.Second)
+	dl, ok := v.NextDeadline()
+	if !ok || !dl.Equal(epoch.Add(42*time.Second)) {
+		t.Fatalf("NextDeadline = %v, %v", dl, ok)
+	}
+}
+
+func TestRunUntilIdle(t *testing.T) {
+	v := NewVirtual(epoch)
+	var fired []time.Time
+	var mu sync.Mutex
+	for i := 1; i <= 3; i++ {
+		ch := v.After(time.Duration(i) * time.Minute)
+		go func() {
+			tm := <-ch
+			mu.Lock()
+			fired = append(fired, tm)
+			mu.Unlock()
+		}()
+	}
+	limit := epoch.Add(10 * time.Minute)
+	end := v.RunUntilIdle(limit)
+	if !end.Equal(limit) {
+		t.Fatalf("RunUntilIdle ended at %v, want %v", end, limit)
+	}
+	// Give receiver goroutines a moment.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		mu.Lock()
+		n := len(fired)
+		mu.Unlock()
+		if n == 3 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(fired) != 3 {
+		t.Fatalf("fired %d timers, want 3", len(fired))
+	}
+}
+
+func TestRunUntilIdleStopsAtLimit(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(time.Hour)
+	v.RunUntilIdle(epoch.Add(time.Minute))
+	select {
+	case <-ch:
+		t.Fatal("timer beyond the limit fired")
+	default:
+	}
+	if v.PendingTimers() != 1 {
+		t.Fatalf("PendingTimers = %d, want 1", v.PendingTimers())
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Clock = Real{}
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real.Now too far in the past: %v", now)
+	}
+	start := time.Now()
+	c.Sleep(5 * time.Millisecond)
+	if time.Since(start) < 5*time.Millisecond {
+		t.Fatal("Real.Sleep returned early")
+	}
+	select {
+	case <-c.After(time.Millisecond):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After never fired")
+	}
+}

@@ -1,0 +1,614 @@
+// Package smp implements the discrete-time semi-Markov process model of
+// Section 4: estimation of the state-transition matrix Q and the holding-time
+// mass function matrix H from observed sojourn sequences, and the
+// sparsity-optimized backward recursion of Equation (3) that yields the
+// interval transition probabilities into the failure states and hence the
+// temporal reliability TR of Equation (2).
+//
+// The state space is the five-state availability model of package avail.
+// Per Figure 3, only eight (from, to) transition pairs can carry probability
+// mass: S1→{S2,S3,S4,S5} and S2→{S1,S3,S4,S5}; S3, S4 and S5 are absorbing.
+// The solver therefore tracks only the six interval transition probabilities
+// P[1,j](m), P[2,j](m), j ∈ {3,4,5}.
+package smp
+
+import (
+	"errors"
+	"fmt"
+
+	"fgcs/internal/avail"
+)
+
+// LegalTransitions enumerates the eight (from, to) pairs permitted by the
+// model's sparsity (Figure 3).
+var LegalTransitions = [8][2]avail.State{
+	{avail.S1, avail.S2}, {avail.S1, avail.S3}, {avail.S1, avail.S4}, {avail.S1, avail.S5},
+	{avail.S2, avail.S1}, {avail.S2, avail.S3}, {avail.S2, avail.S4}, {avail.S2, avail.S5},
+}
+
+// Legal reports whether a direct transition from → to can carry probability
+// mass in the model.
+func Legal(from, to avail.State) bool {
+	if !from.Recoverable() || from == to {
+		return false
+	}
+	return to >= avail.S1 && to <= avail.S5
+}
+
+// CensorMode selects how right-censored sojourns (still in progress when the
+// observation window ended) are used by the estimator.
+type CensorMode int
+
+const (
+	// CensorHazard (the default) is the discrete-time Kaplan–Meier
+	// competing-risks estimator: for each holding time l the
+	// cause-specific hazard h_ij(l) is the fraction of sojourns still
+	// under observation at l that transition to j exactly then, and the
+	// kernel mass is q_ij(l) = S_i(l-1)·h_ij(l) with S_i the
+	// product-limit survival. Right-censored sojourns contribute to the
+	// risk sets up to their censoring time and nothing afterwards —
+	// the statistically correct use of incomplete observations.
+	CensorHazard CensorMode = iota
+	// CensorIgnore estimates the kernel from completed sojourns only.
+	// It biases toward the quick transitions that manage to complete
+	// inside windows: failure-free (fully censored) history windows
+	// contribute nothing, so rare failures look certain. Retained as an
+	// ablation.
+	CensorIgnore
+	// CensorSurvival counts censored sojourns in a flat per-state
+	// exposure; the missing kernel mass becomes a per-visit "outlasts
+	// the horizon" probability. Because window-end censoring is shared
+	// by the whole trajectory but this treats it as independent per
+	// visit, the optimism compounds over the many sojourns of a long
+	// window and TR is overestimated. Retained as an ablation.
+	CensorSurvival
+)
+
+// Estimator configures kernel estimation from sojourn sequences.
+type Estimator struct {
+	// Horizon is T/d: the number of discretization intervals in the
+	// prediction window. Holding times longer than the horizon are capped
+	// (their exact length cannot matter within the window).
+	Horizon int
+	// Smoothing adds a pseudo-count to every legal transition target at
+	// holding-time 1..Horizon spread uniformly. Zero (the default)
+	// reproduces the plain empirical statistics the paper computes.
+	Smoothing float64
+	// Censoring selects the censored-sojourn policy.
+	Censoring CensorMode
+}
+
+// Kernel is the estimated one-step behavior of the semi-Markov process:
+// q[i][j][l] = Pr{next state is j and the holding time is exactly l units |
+// the process just entered state i}. Q and H of the paper factor out of q as
+// Q_i(j) = Σ_l q_ij(l) and H_ij(l) = q_ij(l)/Q_i(j).
+type Kernel struct {
+	horizon int
+	// q[fi][int(to)][l]; fi is 0 for S1, 1 for S2; l runs 1..horizon
+	// (index 0 unused). Only legal targets are allocated.
+	q [2][avail.NumStates + 1][]float64
+	// exposures counts sojourns observed in each from-state (including
+	// censored ones under CensorSurvival); useful diagnostics.
+	exposures [2]float64
+}
+
+func fromIndex(s avail.State) int {
+	switch s {
+	case avail.S1:
+		return 0
+	case avail.S2:
+		return 1
+	}
+	return -1
+}
+
+// Horizon returns the kernel's horizon in discretization units.
+func (k *Kernel) Horizon() int { return k.horizon }
+
+// Exposure returns the number of sojourns observed in the given from-state.
+func (k *Kernel) Exposure(from avail.State) float64 {
+	fi := fromIndex(from)
+	if fi < 0 {
+		return 0
+	}
+	return k.exposures[fi]
+}
+
+// Q returns the transition probability Q_from(to): the probability that the
+// process that entered from will enter to on its next transition within the
+// horizon.
+func (k *Kernel) Q(from, to avail.State) float64 {
+	fi := fromIndex(from)
+	if fi < 0 || !Legal(from, to) {
+		return 0
+	}
+	qs := k.q[fi][to]
+	total := 0.0
+	for _, v := range qs {
+		total += v
+	}
+	return total
+}
+
+// H returns the holding-time mass H_{from,to}(l): the probability that the
+// process remains at from for exactly l units before a transition to to,
+// conditioned on that transition happening. H(·, ·, 0) is 0 by construction
+// (Figure 3: transitions take a finite amount of time).
+func (k *Kernel) H(from, to avail.State, l int) float64 {
+	fi := fromIndex(from)
+	if fi < 0 || !Legal(from, to) || l < 1 || l > k.horizon {
+		return 0
+	}
+	qs := k.q[fi][to]
+	if qs == nil {
+		return 0
+	}
+	total := 0.0
+	for _, v := range qs {
+		total += v
+	}
+	if total == 0 {
+		return 0
+	}
+	return qs[l] / total
+}
+
+// qAt returns the raw kernel value q_{from,to}(l).
+func (k *Kernel) qAt(fi int, to avail.State, l int) float64 {
+	qs := k.q[fi][to]
+	if qs == nil || l < 1 || l >= len(qs) {
+		return 0
+	}
+	return qs[l]
+}
+
+// ErrNoHorizon is returned when the estimator is configured without a
+// positive horizon.
+var ErrNoHorizon = errors.New("smp: horizon must be positive")
+
+// Estimate builds a Kernel from sojourn sequences, one sequence per training
+// window (the same clock window on each of the most recent N same-type days,
+// per Section 4.2). Sequences may be empty. The final sojourn of a sequence
+// that does not end in a failure state is treated as right-censored, and a
+// sojourn longer than the horizon is censored at the horizon (its eventual
+// transition cannot matter within the window).
+func (e Estimator) Estimate(seqs [][]avail.Sojourn) (*Kernel, error) {
+	if e.Horizon <= 0 {
+		return nil, ErrNoHorizon
+	}
+	if e.Smoothing < 0 {
+		return nil, fmt.Errorf("smp: negative smoothing")
+	}
+	k := &Kernel{horizon: e.Horizon}
+	// events[fi][to][l] counts completed sojourns; censored[fi][l] counts
+	// right-censored ones by observed length.
+	var events [2][avail.NumStates + 1][]float64
+	var censored [2][]float64
+	var nEvents, nCensored [2]float64
+	for fi, from := 0, []avail.State{avail.S1, avail.S2}; fi < 2; fi++ {
+		censored[fi] = make([]float64, e.Horizon+1)
+		for to := avail.S1; to <= avail.S5; to++ {
+			if Legal(from[fi], to) {
+				k.q[fi][to] = make([]float64, e.Horizon+1)
+				events[fi][to] = make([]float64, e.Horizon+1)
+			}
+		}
+	}
+	for _, seq := range seqs {
+		for si, soj := range seq {
+			fi := fromIndex(soj.State)
+			if fi < 0 {
+				// Failure state: absorbing, nothing follows.
+				break
+			}
+			units := soj.Units
+			if units < 1 {
+				units = 1
+			}
+			completed := si+1 < len(seq)
+			if units > e.Horizon {
+				// Over-horizon sojourns are censored at the horizon.
+				units = e.Horizon
+				completed = false
+			}
+			if completed {
+				to := seq[si+1].State
+				if !Legal(soj.State, to) {
+					return nil, fmt.Errorf("smp: illegal transition %v -> %v in training sequence", soj.State, to)
+				}
+				events[fi][to][units]++
+				nEvents[fi]++
+			} else {
+				censored[fi][units]++
+				nCensored[fi]++
+			}
+		}
+	}
+	// Smoothing: spread pseudo-events uniformly over legal targets and
+	// holding times.
+	if e.Smoothing > 0 {
+		per := e.Smoothing / float64(4*e.Horizon)
+		for fi := 0; fi < 2; fi++ {
+			for to := avail.S1; to <= avail.S5; to++ {
+				if events[fi][to] == nil {
+					continue
+				}
+				for l := 1; l <= e.Horizon; l++ {
+					events[fi][to][l] += per
+				}
+			}
+			nEvents[fi] += e.Smoothing
+		}
+	}
+	// Convert counts into the one-step kernel under the selected
+	// censoring policy.
+	for fi := 0; fi < 2; fi++ {
+		switch e.Censoring {
+		case CensorIgnore:
+			k.exposures[fi] = nEvents[fi]
+			if nEvents[fi] == 0 {
+				continue
+			}
+			inv := 1 / nEvents[fi]
+			for to := avail.S1; to <= avail.S5; to++ {
+				for l, c := range events[fi][to] {
+					if c != 0 {
+						k.q[fi][to][l] = c * inv
+					}
+				}
+			}
+		case CensorSurvival:
+			total := nEvents[fi] + nCensored[fi]
+			k.exposures[fi] = total
+			if total == 0 {
+				continue
+			}
+			inv := 1 / total
+			for to := avail.S1; to <= avail.S5; to++ {
+				for l, c := range events[fi][to] {
+					if c != 0 {
+						k.q[fi][to][l] = c * inv
+					}
+				}
+			}
+		default: // CensorHazard
+			risk := nEvents[fi] + nCensored[fi]
+			k.exposures[fi] = risk
+			surv := 1.0
+			for l := 1; l <= e.Horizon && risk > 1e-12 && surv > 0; l++ {
+				atL := 0.0
+				for to := avail.S1; to <= avail.S5; to++ {
+					if events[fi][to] == nil {
+						continue
+					}
+					c := events[fi][to][l]
+					if c != 0 {
+						k.q[fi][to][l] = surv * c / risk
+						atL += c
+					}
+				}
+				surv *= 1 - atL/risk
+				if surv < 0 {
+					surv = 0
+				}
+				risk -= atL + censored[fi][l]
+			}
+		}
+	}
+	return k, nil
+}
+
+// Result carries the solved interval transition probabilities for one
+// initial state.
+type Result struct {
+	// Units is the horizon the result was solved for.
+	Units int
+	// PFail[j] is P_{init,Sj}(Units) for j = 3, 4, 5 (indices 0..2).
+	PFail [3]float64
+	// TR is the temporal reliability, Equation (2).
+	TR float64
+	// Ops counts the multiply-accumulate operations the solver performed;
+	// the Figure 4 cost experiment verifies its superlinear growth.
+	Ops int64
+}
+
+// Solve computes the temporal reliability for a job starting in init (S1 or
+// S2) over a window of the given number of discretization units, by the
+// sparsity-optimized recursion of Equation (3).
+func (k *Kernel) Solve(init avail.State, units int) (Result, error) {
+	if fromIndex(init) < 0 {
+		return Result{}, fmt.Errorf("smp: initial state %v is not recoverable", init)
+	}
+	if units < 0 {
+		return Result{}, fmt.Errorf("smp: negative window")
+	}
+	if units > k.horizon {
+		return Result{}, fmt.Errorf("smp: window of %d units exceeds kernel horizon %d", units, k.horizon)
+	}
+	sol := k.solve(units)
+	var res Result
+	res.Units = units
+	res.Ops = sol.ops
+	fi := fromIndex(init)
+	total := 0.0
+	for ji := 0; ji < 3; ji++ {
+		p := sol.p[fi][ji][units]
+		res.PFail[ji] = p
+		total += p
+	}
+	tr := 1 - total
+	if tr < 0 {
+		tr = 0
+	}
+	if tr > 1 {
+		tr = 1
+	}
+	res.TR = tr
+	return res, nil
+}
+
+// TR is a convenience wrapper around Solve returning only the temporal
+// reliability.
+func (k *Kernel) TR(init avail.State, units int) (float64, error) {
+	r, err := k.Solve(init, units)
+	if err != nil {
+		return 0, err
+	}
+	return r.TR, nil
+}
+
+type solution struct {
+	// p[fi][ji][m]: fi 0/1 for S1/S2, ji 0..2 for S3..S5.
+	p   [2][3][]float64
+	ops int64
+}
+
+// solve runs the dynamic program of Equation (3) for m = 0..units. The six
+// sequences P_{1,j}, P_{2,j} are mutually recursive through the recoverable
+// cross terms q_{1,2} and q_{2,1}; the direct failure terms accumulate as
+// prefix sums. The inner convolution makes the total cost Θ(units²) — the
+// superlinear growth measured in Figure 4.
+func (k *Kernel) solve(units int) *solution {
+	return k.solveMode(units, false)
+}
+
+// solveSparse is the ablation variant: it convolves only over the nonzero
+// support of the cross-transition kernels (the observed holding times),
+// trading the paper's simple dense recursion for near-linear cost on sparse
+// history data. Results are numerically identical.
+func (k *Kernel) solveSparse(units int) *solution {
+	return k.solveMode(units, true)
+}
+
+// nonzero returns the indices l with qs[l] != 0, limited to 1..units.
+func nonzero(qs []float64, units int) []int {
+	var idx []int
+	for l := 1; l < len(qs) && l <= units; l++ {
+		if qs[l] != 0 {
+			idx = append(idx, l)
+		}
+	}
+	return idx
+}
+
+func (k *Kernel) solveMode(units int, sparse bool) *solution {
+	sol := &solution{}
+	for fi := 0; fi < 2; fi++ {
+		for ji := 0; ji < 3; ji++ {
+			sol.p[fi][ji] = make([]float64, units+1)
+		}
+	}
+	// directCum[fi][ji][m] = Σ_{l=1..m} q_{fi,j}(l): probability of a
+	// direct absorption into j within m units.
+	var directCum [2][3][]float64
+	for fi := 0; fi < 2; fi++ {
+		for ji := 0; ji < 3; ji++ {
+			to := avail.State(ji + 3)
+			cum := make([]float64, units+1)
+			run := 0.0
+			for m := 1; m <= units; m++ {
+				run += k.qAt(fi, to, m)
+				cum[m] = run
+			}
+			directCum[fi][ji] = cum
+			sol.ops += int64(units)
+		}
+	}
+	// Cross-transition kernels, padded to units+1 so the inner loop needs
+	// no bounds logic.
+	crossQ := [2][]float64{pad(k.q[0][avail.S2], units+1), pad(k.q[1][avail.S1], units+1)}
+	var crossNZ [2][]int
+	if sparse {
+		crossNZ[0] = nonzero(crossQ[0], units)
+		crossNZ[1] = nonzero(crossQ[1], units)
+	}
+	for m := 1; m <= units; m++ {
+		for fi := 0; fi < 2; fi++ {
+			other := 1 - fi
+			q := crossQ[fi]
+			for ji := 0; ji < 3; ji++ {
+				acc := directCum[fi][ji][m]
+				po := sol.p[other][ji]
+				// Convolution with the path through the other
+				// recoverable state.
+				if sparse {
+					for _, l := range crossNZ[fi] {
+						if l >= m {
+							break
+						}
+						acc += q[l] * po[m-l]
+					}
+					sol.ops += int64(len(crossNZ[fi]))
+				} else {
+					for l := 1; l < m; l++ {
+						acc += q[l] * po[m-l]
+					}
+					sol.ops += int64(m)
+				}
+				if acc > 1 {
+					acc = 1
+				}
+				sol.p[fi][ji][m] = acc
+			}
+		}
+	}
+	return sol
+}
+
+// pad returns qs extended with zeros to length n (aliasing qs when long
+// enough).
+func pad(qs []float64, n int) []float64 {
+	if len(qs) >= n {
+		return qs
+	}
+	out := make([]float64, n)
+	copy(out, qs)
+	return out
+}
+
+// SolveSparseTR is the sparse-convolution ablation entry point: numerically
+// identical to Solve but with cost proportional to the number of distinct
+// observed holding times instead of the window length.
+func (k *Kernel) SolveSparseTR(init avail.State, units int) (Result, error) {
+	if fromIndex(init) < 0 {
+		return Result{}, fmt.Errorf("smp: initial state %v is not recoverable", init)
+	}
+	if units < 0 || units > k.horizon {
+		return Result{}, fmt.Errorf("smp: window of %d units outside kernel horizon %d", units, k.horizon)
+	}
+	sol := k.solveSparse(units)
+	var res Result
+	res.Units = units
+	res.Ops = sol.ops
+	fi := fromIndex(init)
+	total := 0.0
+	for ji := 0; ji < 3; ji++ {
+		res.PFail[ji] = sol.p[fi][ji][units]
+		total += sol.p[fi][ji][units]
+	}
+	res.TR = clamp01(1 - total)
+	return res, nil
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Reliabilities solves the model once and returns TR for both possible
+// initial states, useful when the caller mixes over the initial-state
+// distribution.
+func (k *Kernel) Reliabilities(units int) (trS1, trS2 float64, err error) {
+	if units < 0 || units > k.horizon {
+		return 0, 0, fmt.Errorf("smp: window of %d units outside kernel horizon %d", units, k.horizon)
+	}
+	sol := k.solve(units)
+	trs := [2]float64{}
+	for fi := 0; fi < 2; fi++ {
+		total := 0.0
+		for ji := 0; ji < 3; ji++ {
+			total += sol.p[fi][ji][units]
+		}
+		tr := 1 - total
+		if tr < 0 {
+			tr = 0
+		}
+		if tr > 1 {
+			tr = 1
+		}
+		trs[fi] = tr
+	}
+	return trs[0], trs[1], nil
+}
+
+// Interval is the full interval-transition-probability row set of Figure 3:
+// P[i][j](m) = Pr{S(m) = j | S(0) = i} for the recoverable initial states.
+// Columns S3..S5 accumulate absorption; columns S1/S2 track the recoverable
+// occupancy. Each row sums to 1 at every m (the process is somewhere).
+type Interval struct {
+	Units int
+	// P[fi][state-1][m], fi 0/1 for initial S1/S2, state 1..5.
+	P [2][avail.NumStates][]float64
+}
+
+// FullInterval solves the complete interval transition probabilities up to
+// the given horizon: the failure columns by the Equation (3) recursion and
+// the recoverable columns by the matching renewal equations
+//
+//	P_{i,i}(m) = S_i(m) + Σ_l q_{i,ī}(l)·P_{ī,i}(m-l)
+//	P_{i,ī}(m) =          Σ_l q_{i,ī}(l)·P_{ī,ī}(m-l)
+//
+// with S_i the first-sojourn survival and ī the other recoverable state.
+func (k *Kernel) FullInterval(units int) (*Interval, error) {
+	if units < 0 || units > k.horizon {
+		return nil, fmt.Errorf("smp: window of %d units outside kernel horizon %d", units, k.horizon)
+	}
+	iv := &Interval{Units: units}
+	for fi := 0; fi < 2; fi++ {
+		for st := 0; st < avail.NumStates; st++ {
+			iv.P[fi][st] = make([]float64, units+1)
+		}
+	}
+	// Failure columns from the standard solver.
+	sol := k.solve(units)
+	for fi := 0; fi < 2; fi++ {
+		for ji := 0; ji < 3; ji++ {
+			copy(iv.P[fi][ji+2], sol.p[fi][ji])
+		}
+	}
+	// First-sojourn survival S_i(m) = 1 - Σ_{j,l<=m} q_{i,j}(l) and the
+	// cross kernels.
+	surv := [2][]float64{make([]float64, units+1), make([]float64, units+1)}
+	for fi := 0; fi < 2; fi++ {
+		cum := 0.0
+		surv[fi][0] = 1
+		for m := 1; m <= units; m++ {
+			for to := avail.S1; to <= avail.S5; to++ {
+				cum += k.qAt(fi, to, m)
+			}
+			s := 1 - cum
+			if s < 0 {
+				s = 0
+			}
+			surv[fi][m] = s
+		}
+	}
+	crossQ := [2][]float64{pad(k.q[0][avail.S2], units+1), pad(k.q[1][avail.S1], units+1)}
+	// Recoverable columns: mutual recursion over m.
+	iv.P[0][0][0] = 1 // P_{1,1}(0)
+	iv.P[1][1][0] = 1 // P_{2,2}(0)
+	for m := 1; m <= units; m++ {
+		for fi := 0; fi < 2; fi++ {
+			other := 1 - fi
+			own := surv[fi][m] // still in the very first sojourn
+			crossTo := 0.0
+			for l := 1; l <= m; l++ {
+				q := crossQ[fi][l]
+				if q == 0 {
+					continue
+				}
+				// After moving to the other state at l, be back in fi
+				// (own) or still in other (crossTo) at m.
+				own += q * iv.P[other][fi][m-l]
+				crossTo += q * iv.P[other][other][m-l]
+			}
+			iv.P[fi][fi][m] = clamp01(own)
+			iv.P[fi][other][m] = clamp01(crossTo)
+		}
+	}
+	return iv, nil
+}
+
+// RowSum returns Σ_j P[init][j](m); always 1 up to floating-point error.
+func (iv *Interval) RowSum(fi, m int) float64 {
+	total := 0.0
+	for st := 0; st < avail.NumStates; st++ {
+		total += iv.P[fi][st][m]
+	}
+	return total
+}

@@ -1,0 +1,727 @@
+package smp
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/rng"
+)
+
+func TestLegalTransitions(t *testing.T) {
+	// Exactly the eight pairs of Figure 3.
+	count := 0
+	for from := avail.S1; from <= avail.S5; from++ {
+		for to := avail.S1; to <= avail.S5; to++ {
+			legal := Legal(from, to)
+			if legal {
+				count++
+			}
+			wantLegal := from.Recoverable() && from != to
+			if legal != wantLegal {
+				t.Errorf("Legal(%v,%v) = %v", from, to, legal)
+			}
+		}
+	}
+	if count != 8 {
+		t.Fatalf("legal pair count = %d, want 8", count)
+	}
+	if len(LegalTransitions) != 8 {
+		t.Fatal("LegalTransitions table wrong size")
+	}
+	for _, p := range LegalTransitions {
+		if !Legal(p[0], p[1]) {
+			t.Errorf("table pair %v not legal", p)
+		}
+	}
+}
+
+func TestEstimateCounts(t *testing.T) {
+	// Two windows:
+	//   S1(3) -> S2(2) -> S3        and   S1(4) [censored]
+	seqs := [][]avail.Sojourn{
+		{{State: avail.S1, Units: 3}, {State: avail.S2, Units: 2}, {State: avail.S3, Units: 5}},
+		{{State: avail.S1, Units: 4}},
+	}
+	k, err := Estimator{Horizon: 100, Censoring: CensorSurvival}.Estimate(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S1 exposure: one completed + one censored = 2; S2 exposure: 1.
+	if k.Exposure(avail.S1) != 2 || k.Exposure(avail.S2) != 1 {
+		t.Fatalf("exposures = %v %v", k.Exposure(avail.S1), k.Exposure(avail.S2))
+	}
+	// Q1(S2) = 1/2 under survival censoring; Q2(S3) = 1.
+	if got := k.Q(avail.S1, avail.S2); got != 0.5 {
+		t.Fatalf("Q1(S2) = %v, want 0.5", got)
+	}
+	if got := k.Q(avail.S2, avail.S3); got != 1 {
+		t.Fatalf("Q2(S3) = %v, want 1", got)
+	}
+	// H is concentrated at the observed holding times.
+	if got := k.H(avail.S1, avail.S2, 3); got != 1 {
+		t.Fatalf("H1,2(3) = %v, want 1", got)
+	}
+	if got := k.H(avail.S2, avail.S3, 2); got != 1 {
+		t.Fatalf("H2,3(2) = %v, want 1", got)
+	}
+	if k.H(avail.S1, avail.S2, 0) != 0 {
+		t.Fatal("H(0) must be 0 (Figure 3)")
+	}
+}
+
+func TestEstimateCensorIgnore(t *testing.T) {
+	seqs := [][]avail.Sojourn{
+		{{State: avail.S1, Units: 3}, {State: avail.S2, Units: 2}, {State: avail.S3, Units: 5}},
+		{{State: avail.S1, Units: 4}},
+	}
+	k, err := Estimator{Horizon: 100, Censoring: CensorIgnore}.Estimate(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Q(avail.S1, avail.S2); got != 1 {
+		t.Fatalf("Q1(S2) = %v, want 1 under CensorIgnore", got)
+	}
+}
+
+func TestEstimateErrors(t *testing.T) {
+	if _, err := (Estimator{Horizon: 0}).Estimate(nil); err != ErrNoHorizon {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := (Estimator{Horizon: 10, Smoothing: -1}).Estimate(nil); err == nil {
+		t.Fatal("negative smoothing accepted")
+	}
+	// Illegal transition in training data (S1 -> S1 impossible after run
+	// compression, so fabricate S3 -> S1).
+	bad := [][]avail.Sojourn{{{State: avail.S3, Units: 1}, {State: avail.S1, Units: 1}}}
+	k, err := Estimator{Horizon: 10}.Estimate(bad)
+	// S3 is absorbing: the estimator must simply stop at it, not error.
+	if err != nil || k == nil {
+		t.Fatalf("failure-state sequence rejected: %v", err)
+	}
+	bad2 := [][]avail.Sojourn{{{State: avail.S1, Units: 1}, {State: avail.S1, Units: 2}}}
+	if _, err := (Estimator{Horizon: 10}).Estimate(bad2); err == nil {
+		t.Fatal("S1->S1 self transition accepted")
+	}
+}
+
+func TestEstimateOverHorizonSojournIsCensored(t *testing.T) {
+	// A sojourn longer than the horizon transitions outside the window:
+	// within the window it is pure survival, not an event at the cap.
+	seqs := [][]avail.Sojourn{{{State: avail.S1, Units: 500}, {State: avail.S3, Units: 1}}}
+	k, err := Estimator{Horizon: 10}.Estimate(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.Q(avail.S1, avail.S3); got != 0 {
+		t.Fatalf("over-horizon sojourn produced event mass Q = %v", got)
+	}
+	tr, err := k.TR(avail.S1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != 1 {
+		t.Fatalf("TR = %v, want 1 (no failure observable within the horizon)", tr)
+	}
+	// It still counts as exposure under the hazard estimator.
+	if k.Exposure(avail.S1) != 1 {
+		t.Fatalf("exposure = %v", k.Exposure(avail.S1))
+	}
+}
+
+func TestHazardEstimatorKaplanMeier(t *testing.T) {
+	// 4 windows fail out of S1 at exactly 600 units; 6 windows are
+	// censored at 1200 units. The KM estimate of absorbing by 600 is
+	// 4/10 = 0.4 (all ten sojourns are at risk at 600), so TR = 0.6 —
+	// matching the empirical window survival.
+	var seqs [][]avail.Sojourn
+	for i := 0; i < 4; i++ {
+		seqs = append(seqs, []avail.Sojourn{{State: avail.S1, Units: 600}, {State: avail.S5, Units: 1}})
+	}
+	for i := 0; i < 6; i++ {
+		seqs = append(seqs, []avail.Sojourn{{State: avail.S1, Units: 1200}})
+	}
+	k, err := Estimator{Horizon: 1200}.Estimate(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := k.TR(avail.S1, 1200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(tr-0.6) > 1e-12 {
+		t.Fatalf("TR = %v, want 0.6 (Kaplan-Meier)", tr)
+	}
+	// CensorIgnore on the same data predicts certain failure: the bias
+	// the default mode exists to avoid.
+	ki, _ := Estimator{Horizon: 1200, Censoring: CensorIgnore}.Estimate(seqs)
+	tri, _ := ki.TR(avail.S1, 1200)
+	if tri != 0 {
+		t.Fatalf("CensorIgnore TR = %v, want 0", tri)
+	}
+}
+
+func TestHazardTwoStageKaplanMeier(t *testing.T) {
+	// S1 sojourns: events at l=2 (2 of 4 at risk), censoring at l=3,
+	// event at l=5. KM: q(2) per cause = 1/4 each; S(2) = 1/2; at l=5
+	// the risk set is 1, so q(5) = 1/2.
+	seqs := [][]avail.Sojourn{
+		{{State: avail.S1, Units: 2}, {State: avail.S3, Units: 1}},
+		{{State: avail.S1, Units: 2}, {State: avail.S4, Units: 1}},
+		{{State: avail.S1, Units: 3}},
+		{{State: avail.S1, Units: 5}, {State: avail.S5, Units: 1}},
+	}
+	k, err := Estimator{Horizon: 10}.Estimate(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := k.qAt(0, avail.S3, 2); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("q13(2) = %v, want 0.25", got)
+	}
+	if got := k.qAt(0, avail.S5, 5); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("q15(5) = %v, want 0.5", got)
+	}
+	tr, _ := k.TR(avail.S1, 10)
+	if math.Abs(tr-0) > 1e-12 {
+		t.Fatalf("TR = %v, want 0 (all surviving mass absorbed by l=5)", tr)
+	}
+}
+
+func TestSolveSingleStepAnalytic(t *testing.T) {
+	// One observation: S1 holds 1 unit then fails to S3, and one censored
+	// S1 sojourn → q_{1,3}(1) = 0.5. TR from S1 over any horizon ≥ 1 is
+	// 0.5; from S2 (no data) it is 1.
+	seqs := [][]avail.Sojourn{
+		{{State: avail.S1, Units: 1}, {State: avail.S3, Units: 1}},
+		{{State: avail.S1, Units: 5}},
+	}
+	k, err := Estimator{Horizon: 50}.Estimate(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := k.Solve(avail.S1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.TR-0.5) > 1e-12 {
+		t.Fatalf("TR = %v, want 0.5", r.TR)
+	}
+	if math.Abs(r.PFail[0]-0.5) > 1e-12 || r.PFail[1] != 0 || r.PFail[2] != 0 {
+		t.Fatalf("PFail = %v", r.PFail)
+	}
+	tr2, err := k.TR(avail.S2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2 != 1 {
+		t.Fatalf("TR from S2 with no data = %v, want 1", tr2)
+	}
+}
+
+func TestSolveTwoStepAnalytic(t *testing.T) {
+	// S1 always moves to S2 after exactly 2 units; S2 fails to S4 after
+	// exactly 3 units with probability 1. Absorption into S4 happens at
+	// unit 5: TR(4) = 1, TR(5) = 0.
+	seqs := [][]avail.Sojourn{
+		{{State: avail.S1, Units: 2}, {State: avail.S2, Units: 3}, {State: avail.S4, Units: 1}},
+	}
+	k, err := Estimator{Horizon: 50}.Estimate(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		units int
+		want  float64
+	}{{1, 1}, {4, 1}, {5, 0}, {20, 0}} {
+		tr, err := k.TR(avail.S1, c.units)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tr-c.want) > 1e-12 {
+			t.Fatalf("TR(%d) = %v, want %v", c.units, tr, c.want)
+		}
+	}
+	// From S2 the failure lands at unit 3.
+	tr, _ := k.TR(avail.S2, 2)
+	if tr != 1 {
+		t.Fatalf("TR_S2(2) = %v, want 1", tr)
+	}
+	tr, _ = k.TR(avail.S2, 3)
+	if tr != 0 {
+		t.Fatalf("TR_S2(3) = %v, want 0", tr)
+	}
+}
+
+func TestSolveMixedBranching(t *testing.T) {
+	// From S1: 50% to S2 (hold 1), 50% to S3 (hold 1).
+	// From S2: 100% back to S1 (hold 1).
+	// Absorption probability by horizon m: 0.5 + 0.25 + ... (failure
+	// attempt every 2 units).
+	seqs := [][]avail.Sojourn{
+		{{State: avail.S1, Units: 1}, {State: avail.S3, Units: 1}},
+		{{State: avail.S1, Units: 1}, {State: avail.S2, Units: 1}, {State: avail.S1, Units: 1}, {State: avail.S3, Units: 1}},
+	}
+	// This gives S1 exposure 3: two S1->S3 at hold 1, one S1->S2 at hold 1.
+	k, err := Estimator{Horizon: 100}.Estimate(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p3 := k.Q(avail.S1, avail.S3)
+	p2 := k.Q(avail.S1, avail.S2)
+	if math.Abs(p3-2.0/3) > 1e-12 || math.Abs(p2-1.0/3) > 1e-12 {
+		t.Fatalf("Q = %v %v", p3, p2)
+	}
+	// Analytic absorption: at odd units 2k+1, P = p3 * Σ_{i<=k} p2^i.
+	want := 0.0
+	for i := 0; i <= 2; i++ {
+		want += p3 * math.Pow(p2, float64(i))
+	}
+	tr, err := k.TR(avail.S1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs((1-tr)-want) > 1e-9 {
+		t.Fatalf("absorption by 5 = %v, want %v", 1-tr, want)
+	}
+}
+
+func TestSolveErrors(t *testing.T) {
+	k, _ := Estimator{Horizon: 10}.Estimate(nil)
+	if _, err := k.Solve(avail.S3, 5); err == nil {
+		t.Fatal("failure initial state accepted")
+	}
+	if _, err := k.Solve(avail.S1, -1); err == nil {
+		t.Fatal("negative window accepted")
+	}
+	if _, err := k.Solve(avail.S1, 11); err == nil {
+		t.Fatal("window beyond horizon accepted")
+	}
+	if _, _, err := k.Reliabilities(11); err == nil {
+		t.Fatal("Reliabilities beyond horizon accepted")
+	}
+}
+
+func TestSolveZeroWindow(t *testing.T) {
+	k, _ := Estimator{Horizon: 10}.Estimate(nil)
+	r, err := k.Solve(avail.S1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TR != 1 {
+		t.Fatalf("TR over empty window = %v, want 1", r.TR)
+	}
+}
+
+func TestReliabilitiesMatchesSolve(t *testing.T) {
+	seqs := [][]avail.Sojourn{
+		{{State: avail.S1, Units: 2}, {State: avail.S2, Units: 1}, {State: avail.S5, Units: 1}},
+		{{State: avail.S2, Units: 4}, {State: avail.S1, Units: 3}, {State: avail.S4, Units: 1}},
+		{{State: avail.S1, Units: 8}},
+	}
+	k, err := Estimator{Horizon: 30}.Estimate(seqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr1, tr2, err := k.Reliabilities(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, _ := k.Solve(avail.S1, 20)
+	r2, _ := k.Solve(avail.S2, 20)
+	if tr1 != r1.TR || tr2 != r2.TR {
+		t.Fatalf("Reliabilities = %v,%v; Solve = %v,%v", tr1, tr2, r1.TR, r2.TR)
+	}
+}
+
+func TestSmoothingMakesQPositive(t *testing.T) {
+	k, err := Estimator{Horizon: 10, Smoothing: 1}.Estimate(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range LegalTransitions {
+		if k.Q(p[0], p[1]) <= 0 {
+			t.Fatalf("smoothed Q%v = 0", p)
+		}
+	}
+	tr, err := k.TR(avail.S1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr >= 1 || tr <= 0 {
+		t.Fatalf("smoothed TR = %v, want strictly inside (0,1)", tr)
+	}
+}
+
+// randomKernel builds a kernel directly from random legal counts.
+func randomKernel(r *rng.Stream, horizon int) *Kernel {
+	var seqs [][]avail.Sojourn
+	nseq := 3 + r.Intn(20)
+	for i := 0; i < nseq; i++ {
+		var seq []avail.Sojourn
+		state := avail.S1
+		if r.Bool(0.3) {
+			state = avail.S2
+		}
+		remaining := horizon
+		for remaining > 0 {
+			hold := 1 + r.Intn(horizon/2)
+			if hold > remaining {
+				hold = remaining
+			}
+			seq = append(seq, avail.Sojourn{State: state, Units: hold})
+			remaining -= hold
+			if remaining <= 0 {
+				break
+			}
+			// Choose the next state: toggle between the recoverable
+			// states or absorb into a failure state.
+			x := r.Float64()
+			switch {
+			case x < 0.7:
+				if state == avail.S1 {
+					state = avail.S2
+				} else {
+					state = avail.S1
+				}
+			case x < 0.82:
+				seq = append(seq, avail.Sojourn{State: avail.S3, Units: 1})
+				remaining = 0
+			case x < 0.92:
+				seq = append(seq, avail.Sojourn{State: avail.S4, Units: 1})
+				remaining = 0
+			default:
+				seq = append(seq, avail.Sojourn{State: avail.S5, Units: 1})
+				remaining = 0
+			}
+		}
+		seqs = append(seqs, seq)
+	}
+	k, err := Estimator{Horizon: horizon}.Estimate(seqs)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// simulate runs the semi-Markov process forward once and reports whether it
+// is absorbed in a failure state within `units`.
+func simulate(k *Kernel, r *rng.Stream, init avail.State, units int) bool {
+	state := init
+	t := 0
+	for {
+		fi := fromIndex(state)
+		// Build the categorical over (to, l) pairs plus survival mass.
+		x := r.Float64()
+		acc := 0.0
+		var to avail.State
+		var hold int
+		found := false
+	outer:
+		for s := avail.S1; s <= avail.S5; s++ {
+			qs := k.q[fi][s]
+			for l := 1; l < len(qs); l++ {
+				acc += qs[l]
+				if x < acc {
+					to, hold, found = s, l, true
+					break outer
+				}
+			}
+		}
+		if !found {
+			return false // survives past the horizon in this state
+		}
+		t += hold
+		if t > units {
+			return false // transition happens after the window closes
+		}
+		if to.Failure() {
+			return true
+		}
+		state = to
+	}
+}
+
+// TestSolveMatchesMonteCarlo cross-validates the Equation (3) recursion
+// against forward simulation of the same kernel.
+func TestSolveMatchesMonteCarlo(t *testing.T) {
+	r := rng.New(2024)
+	for trial := 0; trial < 5; trial++ {
+		k := randomKernel(r.SplitN("kernel", trial), 40)
+		for _, init := range []avail.State{avail.S1, avail.S2} {
+			for _, units := range []int{5, 17, 40} {
+				want, err := k.TR(init, units)
+				if err != nil {
+					t.Fatal(err)
+				}
+				const n = 30000
+				failed := 0
+				sim := r.SplitN("sim", trial*100+units)
+				for i := 0; i < n; i++ {
+					if simulate(k, sim, init, units) {
+						failed++
+					}
+				}
+				got := 1 - float64(failed)/n
+				if math.Abs(got-want) > 0.015 {
+					t.Fatalf("trial %d init %v units %d: MC TR = %v, solver TR = %v",
+						trial, init, units, got, want)
+				}
+			}
+		}
+	}
+}
+
+// Property: TR is within [0,1] and non-increasing in the window length.
+func TestTRMonotoneProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		k := randomKernel(r, 30)
+		for _, init := range []avail.State{avail.S1, avail.S2} {
+			prev := 1.0
+			for units := 0; units <= 30; units++ {
+				tr, err := k.TR(init, units)
+				if err != nil || tr < 0 || tr > 1 {
+					return false
+				}
+				if tr > prev+1e-9 {
+					return false
+				}
+				prev = tr
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Q rows are sub-stochastic and H masses are normalized.
+func TestKernelStochasticProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		k := randomKernel(rng.New(seed), 25)
+		for _, from := range []avail.State{avail.S1, avail.S2} {
+			rowSum := 0.0
+			for to := avail.S1; to <= avail.S5; to++ {
+				q := k.Q(from, to)
+				if q < 0 || q > 1+1e-9 {
+					return false
+				}
+				rowSum += q
+				if q > 0 {
+					hsum := 0.0
+					for l := 0; l <= k.Horizon(); l++ {
+						h := k.H(from, to, l)
+						if h < 0 {
+							return false
+						}
+						hsum += h
+					}
+					if math.Abs(hsum-1) > 1e-9 {
+						return false
+					}
+				}
+			}
+			if rowSum > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (Figure 3): mass never appears outside the eight legal pairs.
+func TestSparsityProperty(t *testing.T) {
+	k := randomKernel(rng.New(99), 20)
+	for from := avail.S1; from <= avail.S5; from++ {
+		for to := avail.S1; to <= avail.S5; to++ {
+			if !Legal(from, to) && k.Q(from, to) != 0 {
+				t.Fatalf("illegal pair (%v,%v) carries mass", from, to)
+			}
+		}
+	}
+}
+
+func TestSolveOpsGrowSuperlinearly(t *testing.T) {
+	k := randomKernel(rng.New(5), 2000)
+	r1, err := k.Solve(avail.S1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := k.Solve(avail.S1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x the window must cost more than 4x the ops (the DP is O(N^2)).
+	if r2.Ops <= 4*r1.Ops {
+		t.Fatalf("ops growth not superlinear: %d -> %d", r1.Ops, r2.Ops)
+	}
+}
+
+// TestSparseSolverMatchesDense: the ablation solver must be numerically
+// identical to the dense Equation (3) recursion.
+func TestSparseSolverMatchesDense(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		k := randomKernel(rng.New(uint64(trial)+77), 60)
+		for _, init := range []avail.State{avail.S1, avail.S2} {
+			for _, units := range []int{0, 1, 7, 33, 60} {
+				dense, err := k.Solve(init, units)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sp, err := k.SolveSparseTR(init, units)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(dense.TR-sp.TR) > 1e-12 {
+					t.Fatalf("trial %d init %v units %d: dense %v != sparse %v",
+						trial, init, units, dense.TR, sp.TR)
+				}
+				if sp.Ops > dense.Ops {
+					t.Fatalf("sparse solver did more work than dense: %d > %d", sp.Ops, dense.Ops)
+				}
+			}
+		}
+	}
+}
+
+func TestSparseSolverErrors(t *testing.T) {
+	k, _ := Estimator{Horizon: 10}.Estimate(nil)
+	if _, err := k.SolveSparseTR(avail.S4, 5); err == nil {
+		t.Fatal("failure initial state accepted")
+	}
+	if _, err := k.SolveSparseTR(avail.S1, 11); err == nil {
+		t.Fatal("window beyond horizon accepted")
+	}
+}
+
+// TestFullIntervalRowsSumToOne: the process is always somewhere — every row
+// of the Figure 3 P matrix sums to 1 at every horizon.
+func TestFullIntervalRowsSumToOne(t *testing.T) {
+	for trial := 0; trial < 8; trial++ {
+		k := randomKernel(rng.New(uint64(trial)+31), 40)
+		iv, err := k.FullInterval(40)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for fi := 0; fi < 2; fi++ {
+			for m := 0; m <= 40; m++ {
+				if sum := iv.RowSum(fi, m); math.Abs(sum-1) > 1e-9 {
+					t.Fatalf("trial %d fi %d m %d: row sum = %v", trial, fi, m, sum)
+				}
+			}
+		}
+	}
+}
+
+// TestFullIntervalMatchesSolve: the failure columns must equal the standard
+// Equation (3) solver's output.
+func TestFullIntervalMatchesSolve(t *testing.T) {
+	k := randomKernel(rng.New(123), 30)
+	iv, err := k.FullInterval(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, init := range []avail.State{avail.S1, avail.S2} {
+		fi := fromIndex(init)
+		for _, m := range []int{0, 7, 30} {
+			res, err := k.Solve(init, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ji := 0; ji < 3; ji++ {
+				if math.Abs(iv.P[fi][ji+2][m]-res.PFail[ji]) > 1e-12 {
+					t.Fatalf("init %v m %d j %d: %v != %v", init, m, ji, iv.P[fi][ji+2][m], res.PFail[ji])
+				}
+			}
+		}
+	}
+}
+
+// TestFullIntervalMatchesMonteCarlo validates the recoverable-state
+// occupancy columns against forward simulation.
+func TestFullIntervalMatchesMonteCarlo(t *testing.T) {
+	r := rng.New(777)
+	k := randomKernel(r.Split("kern"), 30)
+	iv, err := k.FullInterval(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 40000
+	units := 19
+	counts := [avail.NumStates + 1]int{}
+	sim := r.Split("sim")
+	for i := 0; i < n; i++ {
+		state := simulateState(k, sim, avail.S1, units)
+		counts[state]++
+	}
+	for st := avail.S1; st <= avail.S5; st++ {
+		want := iv.P[0][int(st)-1][units]
+		got := float64(counts[st]) / n
+		if math.Abs(got-want) > 0.015 {
+			t.Fatalf("state %v: MC %v vs solver %v", st, got, want)
+		}
+	}
+}
+
+// simulateState runs the process forward and returns the state occupied at
+// exactly `units`.
+func simulateState(k *Kernel, r *rng.Stream, init avail.State, units int) avail.State {
+	state := init
+	t := 0
+	for {
+		fi := fromIndex(state)
+		if fi < 0 {
+			return state // absorbed
+		}
+		x := r.Float64()
+		acc := 0.0
+		var to avail.State
+		var hold int
+		found := false
+	outer:
+		for s := avail.S1; s <= avail.S5; s++ {
+			qs := k.q[fi][s]
+			for l := 1; l < len(qs); l++ {
+				acc += qs[l]
+				if x < acc {
+					to, hold, found = s, l, true
+					break outer
+				}
+			}
+		}
+		if !found || t+hold > units {
+			return state // stays put past the horizon
+		}
+		t += hold
+		state = to
+		if state.Failure() {
+			return state
+		}
+		if t == units {
+			return state
+		}
+	}
+}
+
+func TestFullIntervalErrors(t *testing.T) {
+	k, _ := Estimator{Horizon: 10}.Estimate(nil)
+	if _, err := k.FullInterval(11); err == nil {
+		t.Fatal("beyond-horizon interval accepted")
+	}
+	if _, err := k.FullInterval(-1); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+	// Empty kernel: the process never leaves its initial state.
+	iv, err := k.FullInterval(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.P[0][0][10] != 1 || iv.P[1][1][10] != 1 {
+		t.Fatalf("empty kernel occupancy: %v %v", iv.P[0][0][10], iv.P[1][1][10])
+	}
+}

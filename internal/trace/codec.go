@@ -1,0 +1,304 @@
+package trace
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The binary trace format is what the state manager archives on disk: a
+// magic header followed by machines, days and fixed-width samples. The text
+// format is a line-oriented human-readable equivalent used by the CLI tools.
+
+const binaryMagic = "FGCSTRC1"
+
+// WriteBinary encodes the dataset in the compact binary format.
+func WriteBinary(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(ds.Machines))); err != nil {
+		return err
+	}
+	for _, m := range ds.Machines {
+		if len(m.ID) > math.MaxUint16 {
+			return fmt.Errorf("trace: machine id too long")
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(len(m.ID))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(m.ID); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, m.Period.Nanoseconds()); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint32(len(m.Days))); err != nil {
+			return err
+		}
+		for _, d := range m.Days {
+			if err := binary.Write(bw, binary.LittleEndian, d.Date.Unix()); err != nil {
+				return err
+			}
+			if err := binary.Write(bw, binary.LittleEndian, uint32(len(d.Samples))); err != nil {
+				return err
+			}
+			for _, s := range d.Samples {
+				up := uint8(0)
+				if s.Up {
+					up = 1
+				}
+				rec := sampleRec{CPU: float32(s.CPU), Mem: float32(s.FreeMemMB), Up: up}
+				if err := binary.Write(bw, binary.LittleEndian, rec); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+type sampleRec struct {
+	CPU float32
+	Mem float32
+	Up  uint8
+}
+
+// ReadBinary decodes a dataset written by WriteBinary.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(binaryMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic)
+	}
+	var nm uint32
+	if err := binary.Read(br, binary.LittleEndian, &nm); err != nil {
+		return nil, err
+	}
+	ds := &Dataset{}
+	for i := uint32(0); i < nm; i++ {
+		var idLen uint16
+		if err := binary.Read(br, binary.LittleEndian, &idLen); err != nil {
+			return nil, err
+		}
+		id := make([]byte, idLen)
+		if _, err := io.ReadFull(br, id); err != nil {
+			return nil, err
+		}
+		var periodNS int64
+		if err := binary.Read(br, binary.LittleEndian, &periodNS); err != nil {
+			return nil, err
+		}
+		if periodNS <= 0 {
+			return nil, fmt.Errorf("trace: invalid period %d", periodNS)
+		}
+		m := NewMachine(string(id), time.Duration(periodNS))
+		var nd uint32
+		if err := binary.Read(br, binary.LittleEndian, &nd); err != nil {
+			return nil, err
+		}
+		for j := uint32(0); j < nd; j++ {
+			var unix int64
+			if err := binary.Read(br, binary.LittleEndian, &unix); err != nil {
+				return nil, err
+			}
+			var ns uint32
+			if err := binary.Read(br, binary.LittleEndian, &ns); err != nil {
+				return nil, err
+			}
+			if ns > uint32(7*24*time.Hour/m.Period) {
+				return nil, fmt.Errorf("trace: implausible sample count %d", ns)
+			}
+			d := &Day{Date: time.Unix(unix, 0).UTC(), Period: m.Period, Samples: make([]Sample, ns)}
+			for k := uint32(0); k < ns; k++ {
+				var rec sampleRec
+				if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
+					return nil, err
+				}
+				d.Samples[k] = Sample{CPU: float64(rec.CPU), FreeMemMB: float64(rec.Mem), Up: rec.Up != 0}
+			}
+			if err := m.AddDay(d); err != nil {
+				return nil, err
+			}
+		}
+		ds.Machines = append(ds.Machines, m)
+	}
+	return ds, nil
+}
+
+// WriteText encodes the dataset in the line-oriented text format:
+//
+//	fgcs-trace 1
+//	machine <id> <period-seconds>
+//	day <unix-seconds>
+//	<cpu> <free-mem-mb> <0|1>
+//	...
+func WriteText(w io.Writer, ds *Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "fgcs-trace 1")
+	for _, m := range ds.Machines {
+		fmt.Fprintf(bw, "machine %s %g\n", m.ID, m.Period.Seconds())
+		for _, d := range m.Days {
+			fmt.Fprintf(bw, "day %d\n", d.Date.Unix())
+			for _, s := range d.Samples {
+				up := 0
+				if s.Up {
+					up = 1
+				}
+				fmt.Fprintf(bw, "%g %g %d\n", s.CPU, s.FreeMemMB, up)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText decodes a dataset written by WriteText.
+func ReadText(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if strings.TrimSpace(sc.Text()) != "fgcs-trace 1" {
+		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
+	}
+	ds := &Dataset{}
+	var m *Machine
+	var d *Day
+	line := 1
+	flushDay := func() error {
+		if d == nil {
+			return nil
+		}
+		if m == nil {
+			return fmt.Errorf("trace: day without machine")
+		}
+		err := m.AddDay(d)
+		d = nil
+		return err
+	}
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		switch fields[0] {
+		case "machine":
+			if err := flushDay(); err != nil {
+				return nil, err
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: malformed machine line", line)
+			}
+			sec, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil || sec <= 0 {
+				return nil, fmt.Errorf("trace: line %d: bad period %q", line, fields[2])
+			}
+			m = NewMachine(fields[1], time.Duration(sec*float64(time.Second)))
+			ds.Machines = append(ds.Machines, m)
+		case "day":
+			if err := flushDay(); err != nil {
+				return nil, err
+			}
+			if m == nil {
+				return nil, fmt.Errorf("trace: line %d: day before machine", line)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("trace: line %d: malformed day line", line)
+			}
+			unix, err := strconv.ParseInt(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: line %d: bad date %q", line, fields[1])
+			}
+			d = &Day{Date: time.Unix(unix, 0).UTC(), Period: m.Period}
+		default:
+			if d == nil {
+				return nil, fmt.Errorf("trace: line %d: sample before day", line)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("trace: line %d: malformed sample line", line)
+			}
+			cpu, err1 := strconv.ParseFloat(fields[0], 64)
+			mem, err2 := strconv.ParseFloat(fields[1], 64)
+			up, err3 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil || err3 != nil {
+				return nil, fmt.Errorf("trace: line %d: bad sample", line)
+			}
+			d.Samples = append(d.Samples, Sample{CPU: cpu, FreeMemMB: mem, Up: up == 1})
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flushDay(); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// SaveFile writes the dataset to path, choosing the codec by extension:
+// ".txt" for text, ".gz" for gzip-compressed binary (what the state manager
+// archives — a machine-day of float32 samples compresses ~10x), anything
+// else for plain binary.
+func SaveFile(path string, ds *Dataset) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".txt":
+		if err := WriteText(f, ds); err != nil {
+			return err
+		}
+	case ".gz":
+		zw := gzip.NewWriter(f)
+		if err := WriteBinary(zw, ds); err != nil {
+			return err
+		}
+		if err := zw.Close(); err != nil {
+			return err
+		}
+	default:
+		if err := WriteBinary(f, ds); err != nil {
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// LoadFile reads a dataset from path, choosing the codec by extension.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch filepath.Ext(path) {
+	case ".txt":
+		return ReadText(f)
+	case ".gz":
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip: %w", err)
+		}
+		defer zr.Close()
+		return ReadBinary(zr)
+	default:
+		return ReadBinary(f)
+	}
+}

@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"fgcs/internal/rng"
+)
+
+// randomDataset builds an arbitrary small dataset from a seed, for round-trip
+// property tests.
+func randomDataset(seed uint64) *Dataset {
+	r := rng.New(seed)
+	ds := &Dataset{}
+	nm := 1 + r.Intn(3)
+	for i := 0; i < nm; i++ {
+		period := time.Duration(1+r.Intn(10)) * time.Second
+		m := NewMachine(string(rune('a'+i))+"-host", period)
+		nd := 1 + r.Intn(4)
+		for j := 0; j < nd; j++ {
+			d := &Day{Date: monday.AddDate(0, 0, j), Period: period}
+			ns := r.Intn(50)
+			for k := 0; k < ns; k++ {
+				d.Samples = append(d.Samples, Sample{
+					CPU:       math.Round(r.Uniform(0, 100)*100) / 100,
+					FreeMemMB: math.Round(r.Uniform(0, 512)*100) / 100,
+					Up:        r.Bool(0.95),
+				})
+			}
+			if err := m.AddDay(d); err != nil {
+				panic(err)
+			}
+		}
+		ds.Machines = append(ds.Machines, m)
+	}
+	return ds
+}
+
+func datasetsEqual(a, b *Dataset, tol float64) bool {
+	if len(a.Machines) != len(b.Machines) {
+		return false
+	}
+	for i := range a.Machines {
+		ma, mb := a.Machines[i], b.Machines[i]
+		if ma.ID != mb.ID || ma.Period != mb.Period || len(ma.Days) != len(mb.Days) {
+			return false
+		}
+		for j := range ma.Days {
+			da, db := ma.Days[j], mb.Days[j]
+			if da.Date.Unix() != db.Date.Unix() || len(da.Samples) != len(db.Samples) {
+				return false
+			}
+			for k := range da.Samples {
+				sa, sb := da.Samples[k], db.Samples[k]
+				if sa.Up != sb.Up ||
+					math.Abs(sa.CPU-sb.CPU) > tol ||
+					math.Abs(sa.FreeMemMB-sb.FreeMemMB) > tol {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		ds := randomDataset(seed)
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, ds); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		// Binary uses float32; allow that quantization.
+		return datasetsEqual(ds, got, 1e-3)
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		ds := randomDataset(seed)
+		var buf bytes.Buffer
+		if err := WriteText(&buf, ds); err != nil {
+			return false
+		}
+		got, err := ReadText(&buf)
+		if err != nil {
+			return false
+		}
+		return datasetsEqual(ds, got, 0)
+	}, &quick.Config{MaxCount: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Valid magic, truncated body.
+	if _, err := ReadBinary(bytes.NewReader([]byte(binaryMagic))); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestReadTextRejectsMalformed(t *testing.T) {
+	cases := []string{
+		"",
+		"wrong header\n",
+		"fgcs-trace 1\nday 123\n",            // day before machine
+		"fgcs-trace 1\nmachine m 6\n1 2 3\n", // sample before day
+		"fgcs-trace 1\nmachine m 0\n",        // zero period
+		"fgcs-trace 1\nmachine m 6\nday notanumber\n",   // bad date
+		"fgcs-trace 1\nmachine m 6\nday 0\nx y z\n",     // bad sample
+		"fgcs-trace 1\nmachine m 6\nday 0\n1 2\n",       // short sample
+		"fgcs-trace 1\nmachine m\n",                     // malformed machine
+		"fgcs-trace 1\nmachine m 6\nday 86400\nday 0\n", // out-of-order days
+	}
+	for _, c := range cases {
+		if _, err := ReadText(strings.NewReader(c)); err == nil {
+			t.Fatalf("malformed input accepted: %q", c)
+		}
+	}
+}
+
+func TestReadTextSkipsCommentsAndBlanks(t *testing.T) {
+	in := "fgcs-trace 1\n# comment\nmachine m 6\n\nday 0\n10 100 1\n"
+	ds, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Machines) != 1 || len(ds.Machines[0].Days[0].Samples) != 1 {
+		t.Fatal("comment/blank handling wrong")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	ds := randomDataset(1234)
+	for _, name := range []string{"trace.bin", "trace.txt"} {
+		path := filepath.Join(dir, name)
+		if err := SaveFile(path, ds); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tol := 0.0
+		if name == "trace.bin" {
+			tol = 1e-3
+		}
+		if !datasetsEqual(ds, got, tol) {
+			t.Fatalf("%s round trip mismatch", name)
+		}
+	}
+	if err := SaveFile("/nonexistent-dir/x.bin", ds); err == nil {
+		t.Fatal("bad path accepted")
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.bin")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestSaveLoadGzip(t *testing.T) {
+	dir := t.TempDir()
+	ds := randomDataset(777)
+	path := filepath.Join(dir, "trace.bin.gz")
+	if err := SaveFile(path, ds); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !datasetsEqual(ds, got, 1e-3) {
+		t.Fatal("gzip round trip mismatch")
+	}
+	// A non-gzip file with a .gz name must error, not crash.
+	bad := filepath.Join(dir, "bad.gz")
+	if err := SaveFile(filepath.Join(dir, "plain.bin"), ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := copyFile(filepath.Join(dir, "plain.bin"), bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatal("non-gzip content with .gz extension accepted")
+	}
+}
+
+func copyFile(src, dst string) error {
+	b, err := os.ReadFile(src)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(dst, b, 0o644)
+}
+
+func TestGzipActuallyCompresses(t *testing.T) {
+	// A day of real-looking samples must compress substantially.
+	d := NewDay(monday, DefaultPeriod)
+	for i := range d.Samples {
+		d.Samples[i] = Sample{CPU: float64(i%7) * 10, FreeMemMB: 300, Up: true}
+	}
+	m := NewMachine("z", DefaultPeriod)
+	if err := m.AddDay(d); err != nil {
+		t.Fatal(err)
+	}
+	ds := &Dataset{Machines: []*Machine{m}}
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "a.bin")
+	zipped := filepath.Join(dir, "a.bin.gz")
+	if err := SaveFile(plain, ds); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveFile(zipped, ds); err != nil {
+		t.Fatal(err)
+	}
+	ps, _ := os.Stat(plain)
+	zs, _ := os.Stat(zipped)
+	if zs.Size()*4 > ps.Size() {
+		t.Fatalf("gzip size %d not much smaller than plain %d", zs.Size(), ps.Size())
+	}
+}

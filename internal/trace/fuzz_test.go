@@ -1,0 +1,54 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadBinary hardens the binary decoder against corrupt archives: it
+// must reject or parse, never panic or over-allocate.
+func FuzzReadBinary(f *testing.F) {
+	ds := randomDataset(1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte("garbage"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever parsed must re-encode cleanly.
+		var out bytes.Buffer
+		if err := WriteBinary(&out, got); err != nil {
+			t.Fatalf("re-encode of parsed dataset failed: %v", err)
+		}
+	})
+}
+
+// FuzzReadText does the same for the text decoder.
+func FuzzReadText(f *testing.F) {
+	ds := randomDataset(2)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, ds); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("fgcs-trace 1\nmachine m 6\nday 0\n1 2 1\n")
+	f.Add("fgcs-trace 1\n# nothing else\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, data string) {
+		got, err := ReadText(bytes.NewReader([]byte(data)))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteText(&out, got); err != nil {
+			t.Fatalf("re-encode of parsed dataset failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"fmt"
+	"time"
+
+	"fgcs/internal/rng"
+)
+
+// NoiseKind selects how an injected unavailability occurrence is written
+// into the log.
+type NoiseKind int
+
+const (
+	// NoiseURR marks the machine as down (state S5) for the holding time.
+	NoiseURR NoiseKind = iota
+	// NoiseCPU saturates the host CPU load (driving the classifier to S3)
+	// for the holding time.
+	NoiseCPU
+	// NoiseMem drops free memory to zero (driving the classifier to S4)
+	// for the holding time.
+	NoiseMem
+)
+
+// NoiseSpec describes the Section 7.3 noise-injection procedure: irregular
+// occurrences of unavailability inserted around a time of day when
+// unavailability is otherwise rare (8:00 am in the paper).
+type NoiseSpec struct {
+	// Around is the offset from midnight around which occurrences are
+	// inserted. Defaults to 8h.
+	Around time.Duration
+	// Jitter is the maximum absolute deviation of each occurrence's start
+	// from Around. Defaults to 30 minutes, keeping all injections inside
+	// the same one-hour band as the paper.
+	Jitter time.Duration
+	// MinHold and MaxHold bound the uniformly drawn holding time of the
+	// injected failure state. Defaults: 60 s and 1800 s.
+	MinHold, MaxHold time.Duration
+	// Kind selects the injected failure state. Defaults to NoiseURR.
+	Kind NoiseKind
+}
+
+func (s *NoiseSpec) defaults() {
+	if s.Around == 0 {
+		s.Around = 8 * time.Hour
+	}
+	if s.Jitter == 0 {
+		s.Jitter = 30 * time.Minute
+	}
+	if s.MinHold == 0 {
+		s.MinHold = 60 * time.Second
+	}
+	if s.MaxHold == 0 {
+		s.MaxHold = 1800 * time.Second
+	}
+}
+
+// InjectNoise inserts count occurrences of unavailability into the given
+// training days (round-robin across days), mutating them in place. It
+// returns the offsets at which occurrences were inserted. Days must be
+// non-empty.
+func InjectNoise(days []*Day, count int, spec NoiseSpec, r *rng.Stream) ([]time.Duration, error) {
+	if len(days) == 0 {
+		return nil, fmt.Errorf("trace: no days to inject noise into")
+	}
+	if count < 0 {
+		return nil, fmt.Errorf("trace: negative noise count")
+	}
+	spec.defaults()
+	offsets := make([]time.Duration, 0, count)
+	for k := 0; k < count; k++ {
+		day := days[k%len(days)]
+		start := spec.Around + time.Duration(r.Uniform(-float64(spec.Jitter), float64(spec.Jitter)))
+		hold := time.Duration(r.Uniform(float64(spec.MinHold), float64(spec.MaxHold)))
+		injectOne(day, start, hold, spec.Kind)
+		offsets = append(offsets, start)
+	}
+	return offsets, nil
+}
+
+func injectOne(day *Day, start, hold time.Duration, kind NoiseKind) {
+	lo := day.IndexAt(start)
+	hi := day.IndexAt(start + hold)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > len(day.Samples) {
+		hi = len(day.Samples)
+	}
+	for i := lo; i < hi; i++ {
+		switch kind {
+		case NoiseURR:
+			day.Samples[i].Up = false
+		case NoiseCPU:
+			day.Samples[i].CPU = 100
+		case NoiseMem:
+			day.Samples[i].FreeMemMB = 0
+		}
+	}
+}
+
+// CloneDays deep-copies a slice of days, so noise can be injected without
+// mutating the original dataset.
+func CloneDays(days []*Day) []*Day {
+	out := make([]*Day, len(days))
+	for i, d := range days {
+		out[i] = d.Clone()
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"testing"
+	"time"
+
+	"fgcs/internal/rng"
+)
+
+func TestInjectNoiseURR(t *testing.T) {
+	d := NewDay(monday, DefaultPeriod)
+	r := rng.New(1)
+	offsets, err := InjectNoise([]*Day{d}, 1, NoiseSpec{}, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) != 1 {
+		t.Fatalf("offsets = %v", offsets)
+	}
+	// The injected occurrence must be inside the 8:00 ± 30 min band.
+	if offsets[0] < 7*time.Hour+30*time.Minute || offsets[0] > 8*time.Hour+30*time.Minute {
+		t.Fatalf("offset %v outside the paper's 8:00 am band", offsets[0])
+	}
+	down := 0
+	for _, s := range d.Samples {
+		if !s.Up {
+			down++
+		}
+	}
+	// Holding time is uniform in [60 s, 1800 s] → 10..300 samples at 6 s.
+	if down < 10 || down > 300 {
+		t.Fatalf("down samples = %d, outside [10, 300]", down)
+	}
+}
+
+func TestInjectNoiseKinds(t *testing.T) {
+	r := rng.New(2)
+	for _, kind := range []NoiseKind{NoiseCPU, NoiseMem} {
+		d := NewDay(monday, DefaultPeriod)
+		for i := range d.Samples {
+			d.Samples[i].FreeMemMB = 300
+		}
+		if _, err := InjectNoise([]*Day{d}, 2, NoiseSpec{Kind: kind}, r); err != nil {
+			t.Fatal(err)
+		}
+		hit := false
+		for _, s := range d.Samples {
+			switch kind {
+			case NoiseCPU:
+				hit = hit || s.CPU == 100
+			case NoiseMem:
+				hit = hit || s.FreeMemMB == 0
+			}
+		}
+		if !hit {
+			t.Fatalf("kind %v left no trace", kind)
+		}
+	}
+}
+
+func TestInjectNoiseRoundRobin(t *testing.T) {
+	days := []*Day{NewDay(monday, DefaultPeriod), NewDay(monday.AddDate(0, 0, 1), DefaultPeriod)}
+	r := rng.New(3)
+	if _, err := InjectNoise(days, 4, NoiseSpec{}, r); err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range days {
+		down := 0
+		for _, s := range d.Samples {
+			if !s.Up {
+				down++
+			}
+		}
+		if down == 0 {
+			t.Fatalf("day %d received no injections under round-robin", i)
+		}
+	}
+}
+
+func TestInjectNoiseErrors(t *testing.T) {
+	r := rng.New(4)
+	if _, err := InjectNoise(nil, 1, NoiseSpec{}, r); err == nil {
+		t.Fatal("empty day list accepted")
+	}
+	d := NewDay(monday, DefaultPeriod)
+	if _, err := InjectNoise([]*Day{d}, -1, NoiseSpec{}, r); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := InjectNoise([]*Day{d}, 0, NoiseSpec{}, r); err != nil {
+		t.Fatal("zero count should be a no-op, not an error")
+	}
+}
+
+func TestInjectNoiseMinimumOneSample(t *testing.T) {
+	// Even a tiny holding time must flip at least one sample.
+	d := NewDay(monday, DefaultPeriod)
+	r := rng.New(5)
+	spec := NoiseSpec{MinHold: time.Nanosecond, MaxHold: 2 * time.Nanosecond}
+	if _, err := InjectNoise([]*Day{d}, 1, spec, r); err != nil {
+		t.Fatal(err)
+	}
+	down := 0
+	for _, s := range d.Samples {
+		if !s.Up {
+			down++
+		}
+	}
+	if down != 1 {
+		t.Fatalf("down samples = %d, want exactly 1", down)
+	}
+}
+
+func TestCloneDays(t *testing.T) {
+	d := NewDay(monday, DefaultPeriod)
+	clones := CloneDays([]*Day{d})
+	clones[0].Samples[0].Up = false
+	if !d.Samples[0].Up {
+		t.Fatal("CloneDays aliases storage")
+	}
+}

@@ -1,0 +1,40 @@
+package trace
+
+import "fmt"
+
+// Split is a chronological partition of a machine log into a training prefix
+// and a test suffix, the methodology of Section 7.2 ("dividing its trace data
+// into two equal parts and choosing the first half as the training set").
+type Split struct {
+	Train []*Day
+	Test  []*Day
+}
+
+// SplitRatio splits the days of one DayType chronologically so that the
+// training set holds trainParts/(trainParts+testParts) of them, reproducing
+// the ratio sweep of Figure 6 (1:9 ... 9:1). The training size is rounded to
+// the nearest day and clamped so that both sides are non-empty whenever the
+// machine has at least two days of the requested type.
+func SplitRatio(m *Machine, t DayType, trainParts, testParts int) (Split, error) {
+	if trainParts <= 0 || testParts <= 0 {
+		return Split{}, fmt.Errorf("trace: invalid split ratio %d:%d", trainParts, testParts)
+	}
+	days := m.DaysOfType(t)
+	n := len(days)
+	if n == 0 {
+		return Split{}, fmt.Errorf("trace: machine %s has no %s days", m.ID, t)
+	}
+	k := (n*trainParts + (trainParts+testParts)/2) / (trainParts + testParts)
+	if k < 1 {
+		k = 1
+	}
+	if k >= n && n > 1 {
+		k = n - 1
+	}
+	return Split{Train: days[:k], Test: days[k:]}, nil
+}
+
+// SplitHalf is the 5:5 split used for the headline accuracy results.
+func SplitHalf(m *Machine, t DayType) (Split, error) {
+	return SplitRatio(m, t, 1, 1)
+}

@@ -1,0 +1,135 @@
+// Package txtplot renders small ASCII line charts so the experiment harness
+// can show figure-shaped output (error-vs-window-length curves, model
+// comparisons) directly in a terminal, next to the numeric tables.
+package txtplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// markers distinguish series in a chart.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Chart renders the series into a width×height character grid with a
+// y-axis, an x-axis labeled by xlabels, and a legend. All series must share
+// the x positions; shorter series are drawn over their prefix. Invalid
+// dimensions or empty input yield an explanatory one-liner rather than an
+// error, since chart output is always advisory.
+func Chart(title string, xlabels []string, series []Series, height int) string {
+	if height < 3 {
+		height = 8
+	}
+	n := 0
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		if len(s.Y) > n {
+			n = len(s.Y)
+		}
+		for _, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				continue
+			}
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	if n == 0 || math.IsInf(lo, 1) {
+		return fmt.Sprintf("%s: (no data)\n", title)
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	// Each x position gets a fixed-width column so labels align.
+	colW := 6
+	for _, l := range xlabels {
+		if len(l)+2 > colW {
+			colW = len(l) + 2
+		}
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", n*colW))
+	}
+	row := func(v float64) int {
+		frac := (v - lo) / (hi - lo)
+		r := int(math.Round(float64(height-1) * (1 - frac)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		prev := -1
+		for i, v := range s.Y {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				prev = -1
+				continue
+			}
+			r := row(v)
+			c := i*colW + colW/2
+			grid[r][c] = m
+			// Connect to the previous point with a sparse vertical run.
+			if prev >= 0 && prev != r {
+				step := 1
+				if r < prev {
+					step = -1
+				}
+				for rr := prev + step; rr != r; rr += step {
+					cc := c - colW/2
+					if cc >= 0 && grid[rr][cc] == ' ' {
+						grid[rr][cc] = '.'
+					}
+				}
+			}
+			prev = r
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	for r := 0; r < height; r++ {
+		v := hi - (hi-lo)*float64(r)/float64(height-1)
+		fmt.Fprintf(&b, "%9.2f |%s\n", v, strings.TrimRight(string(grid[r]), " "))
+	}
+	fmt.Fprintf(&b, "%9s +%s\n", "", strings.Repeat("-", n*colW))
+	fmt.Fprintf(&b, "%9s  ", "")
+	for i := 0; i < n; i++ {
+		label := ""
+		if i < len(xlabels) {
+			label = xlabels[i]
+		}
+		fmt.Fprintf(&b, "%-*s", colW, centerIn(label, colW))
+	}
+	b.WriteString("\n")
+	if len(series) > 1 || series[0].Name != "" {
+		fmt.Fprintf(&b, "%9s  legend:", "")
+		for si, s := range series {
+			fmt.Fprintf(&b, " %c=%s", markers[si%len(markers)], s.Name)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func centerIn(s string, w int) string {
+	if len(s) >= w {
+		return s[:w]
+	}
+	pad := (w - len(s)) / 2
+	return strings.Repeat(" ", pad) + s
+}

@@ -1,0 +1,140 @@
+package txtplot
+
+import (
+	"math"
+	"testing/quick"
+
+	"fgcs/internal/rng"
+	"strings"
+	"testing"
+)
+
+func TestChartBasicShape(t *testing.T) {
+	out := Chart("errors", []string{"1h", "2h", "3h"}, []Series{
+		{Name: "SMP", Y: []float64{1, 2, 3}},
+	}, 5)
+	if !strings.HasPrefix(out, "errors\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 5 rows + axis + labels + legend
+	if len(lines) != 9 {
+		t.Fatalf("line count = %d:\n%s", len(lines), out)
+	}
+	plotArea := out[:strings.Index(out, "legend")]
+	if strings.Count(plotArea, "*") != 3 {
+		t.Fatalf("marker count = %d:\n%s", strings.Count(plotArea, "*"), out)
+	}
+	for _, l := range []string{"1h", "2h", "3h", "legend: *=SMP"} {
+		if !strings.Contains(out, l) {
+			t.Fatalf("missing %q:\n%s", l, out)
+		}
+	}
+}
+
+func TestChartMonotoneSeriesOrdering(t *testing.T) {
+	out := Chart("t", []string{"a", "b"}, []Series{{Name: "s", Y: []float64{0, 10}}}, 6)
+	// Collect (row, col) of every marker in the plot body; the marker in
+	// the leftmost column (the low value) must sit on a LOWER row (higher
+	// row index) than the rightmost one.
+	type pt struct{ row, col int }
+	var pts []pt
+	for i, l := range strings.Split(out, "\n") {
+		pos := strings.IndexByte(l, '|')
+		if pos < 0 {
+			continue
+		}
+		for c, ch := range l[pos+1:] {
+			if ch == '*' {
+				pts = append(pts, pt{i, c})
+			}
+		}
+	}
+	if len(pts) != 2 {
+		t.Fatalf("markers = %d:\n%s", len(pts), out)
+	}
+	left, right := pts[0], pts[1]
+	if left.col > right.col {
+		left, right = right, left
+	}
+	if right.row >= left.row {
+		t.Fatalf("value 10 (row %d) not above value 0 (row %d):\n%s", right.row, left.row, out)
+	}
+}
+
+func TestChartMultipleSeriesMarkers(t *testing.T) {
+	out := Chart("t", []string{"x"}, []Series{
+		{Name: "a", Y: []float64{1}},
+		{Name: "b", Y: []float64{2}},
+	}, 4)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("distinct markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*=a") || !strings.Contains(out, "o=b") {
+		t.Fatalf("legend wrong:\n%s", out)
+	}
+}
+
+func TestChartDegenerateInputs(t *testing.T) {
+	if out := Chart("empty", nil, nil, 5); !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart output: %q", out)
+	}
+	out := Chart("nan", []string{"a"}, []Series{{Y: []float64{math.NaN()}}}, 5)
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("NaN-only chart output: %q", out)
+	}
+	// Constant series must not divide by zero.
+	out = Chart("const", []string{"a", "b"}, []Series{{Name: "c", Y: []float64{5, 5}}}, 5)
+	if got := strings.Count(out[:strings.Index(out, "legend")], "*"); got != 2 {
+		t.Fatalf("constant series markers = %d:\n%s", got, out)
+	}
+	// Tiny height is clamped, not crashed.
+	out = Chart("tiny", []string{"a"}, []Series{{Y: []float64{1}}}, 1)
+	if !strings.Contains(out, "*") {
+		t.Fatalf("tiny-height chart:\n%s", out)
+	}
+}
+
+func TestChartHandlesInfValues(t *testing.T) {
+	out := Chart("inf", []string{"a", "b", "c"}, []Series{
+		{Name: "s", Y: []float64{1, math.Inf(1), 2}},
+	}, 5)
+	// Inf is skipped, finite points plotted.
+	if got := strings.Count(out[:strings.Index(out, "legend")], "*"); got != 2 {
+		t.Fatalf("inf handling markers = %d:\n%s", got, out)
+	}
+}
+
+// Property: Chart never panics and always emits the title, for arbitrary
+// series shapes including NaN/Inf values and mismatched label counts.
+func TestChartNeverPanicsProperty(t *testing.T) {
+	err := quick.Check(func(seed uint64) bool {
+		r := rng.New(seed)
+		ns := r.Intn(4)
+		series := make([]Series, ns)
+		for i := range series {
+			n := r.Intn(8)
+			ys := make([]float64, n)
+			for j := range ys {
+				switch r.Intn(10) {
+				case 0:
+					ys[j] = math.NaN()
+				case 1:
+					ys[j] = math.Inf(1)
+				default:
+					ys[j] = r.Uniform(-1e6, 1e6)
+				}
+			}
+			series[i] = Series{Name: "s", Y: ys}
+		}
+		labels := make([]string, r.Intn(6))
+		for i := range labels {
+			labels[i] = "L"
+		}
+		out := Chart("p", labels, series, r.Intn(20))
+		return strings.HasPrefix(out, "p")
+	}, &quick.Config{MaxCount: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
