@@ -7,6 +7,7 @@ package fgcs_test
 import (
 	"bytes"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -478,6 +479,90 @@ func BenchmarkWorkloadProfiles(b *testing.B) {
 				p.Seed = uint64(i + 1)
 				if _, err := workload.Generate(p); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ------------------------------------------------------------- engine ----
+
+// BenchmarkEngineCachedVsCold compares a cold engine query — the full
+// pipeline (history fingerprinting, trajectory extraction, kernel
+// estimation, the Equation (3) solve) — against a warm query served from the
+// kernel cache. The warm path must be at least 5× cheaper; in practice it is
+// orders of magnitude cheaper, since a hit is a fingerprint plus one map
+// lookup.
+func BenchmarkEngineCachedVsCold(b *testing.B) {
+	sp := benchSplit(b)
+	p := predict.SMP{Cfg: avail.DefaultConfig()}
+	w := predict.Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e := predict.NewEngine(predict.EngineConfig{})
+			if _, err := e.Predict(p, sp.Train, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		e := predict.NewEngine(predict.EngineConfig{})
+		if _, err := e.Predict(p, sp.Train, w); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Predict(p, sp.Train, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPredictBatchParallel compares a serial SMP.Predict loop against
+// Engine.PredictBatch over the same request set with caching disabled, so
+// every request recomputes and the comparison measures worker-pool
+// throughput rather than cache hits. The batch results are bit-identical to
+// the serial loop (asserted by TestPredictBatchMatchesSerial); on a host
+// with ≥4 cores the parallel variants are expected to run the batch ≥2×
+// faster than the serial loop.
+func BenchmarkPredictBatchParallel(b *testing.B) {
+	params := workload.DefaultParams()
+	params.Machines = 8
+	params.Days = 28
+	ds, err := workload.Generate(params)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := predict.SMP{Cfg: avail.DefaultConfig()}
+	var reqs []predict.BatchRequest
+	for _, m := range ds.Machines {
+		days := m.DaysOfType(trace.Weekday)
+		for _, hours := range []float64{1, 2, 3} {
+			w := predict.Window{Start: 8 * time.Hour, Length: time.Duration(hours * float64(time.Hour))}
+			reqs = append(reqs, predict.BatchRequest{Machine: m.ID, History: days, Window: w})
+		}
+	}
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, r := range reqs {
+				if _, err := p.Predict(r.History, r.Window); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			e := predict.NewEngine(predict.EngineConfig{CacheSize: -1, Workers: workers})
+			for i := 0; i < b.N; i++ {
+				for _, r := range e.PredictBatch(p, reqs) {
+					if r.Err != nil {
+						b.Fatal(r.Err)
+					}
 				}
 			}
 		})

@@ -27,10 +27,10 @@ func writeTestTrace(t *testing.T) string {
 
 func TestRunAllMachines(t *testing.T) {
 	path := writeTestTrace(t)
-	if err := run(path, "", 8*time.Hour, 2*time.Hour, "weekday", 0, 100); err != nil {
+	if err := run(path, "", 8*time.Hour, 2*time.Hour, "weekday", 0, 100, 2); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "lab-02", 9*time.Hour, time.Hour, "weekend", 5, 50); err != nil {
+	if err := run(path, "lab-02", 9*time.Hour, time.Hour, "weekend", 5, 50, 2); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -42,16 +42,16 @@ func TestRunErrors(t *testing.T) {
 		f    func() error
 	}{
 		{"missing trace flag", func() error {
-			return run("", "", 8*time.Hour, time.Hour, "weekday", 0, 100)
+			return run("", "", 8*time.Hour, time.Hour, "weekday", 0, 100, 2)
 		}},
 		{"bad day type", func() error {
-			return run(path, "", 8*time.Hour, time.Hour, "someday", 0, 100)
+			return run(path, "", 8*time.Hour, time.Hour, "someday", 0, 100, 2)
 		}},
 		{"missing file", func() error {
-			return run(filepath.Join(t.TempDir(), "nope.bin"), "", 8*time.Hour, time.Hour, "weekday", 0, 100)
+			return run(filepath.Join(t.TempDir(), "nope.bin"), "", 8*time.Hour, time.Hour, "weekday", 0, 100, 2)
 		}},
 		{"invalid window", func() error {
-			return run(path, "", 20*time.Hour, 10*time.Hour, "weekday", 0, 100)
+			return run(path, "", 20*time.Hour, 10*time.Hour, "weekday", 0, 100, 2)
 		}},
 	}
 	for _, c := range cases {

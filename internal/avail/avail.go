@@ -152,61 +152,71 @@ func (c Config) raw(s trace.Sample) rawLevel {
 // start of the run. Classification does not stop at failures — use
 // ExtractSojourns for the absorbed view the SMP estimator needs.
 func Classify(samples []trace.Sample, cfg Config, period time.Duration) []State {
+	return ClassifyInto(nil, samples, cfg, period)
+}
+
+// ClassifyInto is Classify writing into dst's storage when it is large
+// enough, so callers on hot paths (the prediction engine) can classify
+// repeatedly without allocating. It always returns the classified slice,
+// which aliases dst when dst had sufficient capacity. Each sample's raw
+// level is computed exactly once, in a single pass.
+func ClassifyInto(dst []State, samples []trace.Sample, cfg Config, period time.Duration) []State {
 	n := len(samples)
-	out := make([]State, n)
+	if cap(dst) >= n {
+		dst = dst[:n]
+	} else {
+		dst = make([]State, n)
+	}
 	if n == 0 {
-		return out
+		return dst
 	}
 	limit := cfg.SuspendUnits(period)
-	raws := make([]rawLevel, n)
-	for i, s := range samples {
-		raws[i] = cfg.raw(s)
-	}
 	i := 0
 	for i < n {
-		switch raws[i] {
+		switch cfg.raw(samples[i]) {
 		case rawS1:
-			out[i] = S1
+			dst[i] = S1
 			i++
 		case rawS2:
-			out[i] = S2
+			dst[i] = S2
 			i++
 		case rawS4:
-			out[i] = S4
+			dst[i] = S4
 			i++
 		case rawS5:
-			out[i] = S5
+			dst[i] = S5
 			i++
 		case rawHigh:
 			j := i
-			for j < n && raws[j] == rawHigh {
+			for j+1 < n && cfg.raw(samples[j+1]) == rawHigh {
 				j++
 			}
+			j++ // j is now one past the end of the high run
 			var st State
 			if j-i >= limit {
 				st = S3
 			} else {
-				st = attributeTransient(raws, out, i, j)
+				st = attributeTransient(samples, dst, cfg, i, j)
 			}
 			for k := i; k < j; k++ {
-				out[k] = st
+				dst[k] = st
 			}
 			i = j
 		}
 	}
-	return out
+	return dst
 }
 
 // attributeTransient decides which recoverable state absorbs a transient
 // high-CPU run spanning [i, j). Preference order: the state immediately
 // before the run, then the raw level immediately after, then S2 (the
 // conservative choice when the excursion has no recoverable neighbor).
-func attributeTransient(raws []rawLevel, out []State, i, j int) State {
+func attributeTransient(samples []trace.Sample, out []State, cfg Config, i, j int) State {
 	if i > 0 && out[i-1].Recoverable() {
 		return out[i-1]
 	}
-	if j < len(raws) {
-		switch raws[j] {
+	if j < len(samples) {
+		switch cfg.raw(samples[j]) {
 		case rawS1:
 			return S1
 		case rawS2:
@@ -261,8 +271,21 @@ func ExtractSojourns(samples []trace.Sample, cfg Config, period time.Duration) [
 // the estimates robust — an injected noise event is one more observation
 // among many, not the sole fate of its window (Section 7.3).
 func ExtractTrajectories(samples []trace.Sample, cfg Config, period time.Duration) [][]Sojourn {
+	return AppendTrajectories(nil, samples, cfg, period)
+}
+
+// AppendTrajectories is ExtractTrajectories appending into a caller-supplied
+// outer buffer, so loops that harvest trajectories from many history windows
+// reuse one backing array for the sequence list instead of growing a fresh
+// one per window.
+func AppendTrajectories(dst [][]Sojourn, samples []trace.Sample, cfg Config, period time.Duration) [][]Sojourn {
 	states := Classify(samples, cfg, period)
-	var out [][]Sojourn
+	return appendTrajectoriesFromStates(dst, states)
+}
+
+// appendTrajectoriesFromStates splits a classified window into trajectories
+// (see ExtractTrajectories) and appends them to dst.
+func appendTrajectoriesFromStates(dst [][]Sojourn, states []State) [][]Sojourn {
 	var cur []Sojourn
 	for i := 0; i < len(states); {
 		j := i
@@ -280,7 +303,7 @@ func ExtractTrajectories(samples []trace.Sample, cfg Config, period time.Duratio
 					k++
 				}
 				cur = append(cur, Sojourn{State: st, Units: k - i})
-				out = append(out, cur)
+				dst = append(dst, cur)
 				cur = nil
 				i = k
 				continue
@@ -294,9 +317,9 @@ func ExtractTrajectories(samples []trace.Sample, cfg Config, period time.Duratio
 		i = j
 	}
 	if len(cur) > 0 {
-		out = append(out, cur)
+		dst = append(dst, cur)
 	}
-	return out
+	return dst
 }
 
 // WindowSurvives reports whether a guest job running throughout the window

@@ -147,34 +147,52 @@ func DefaultF5Config(t trace.DayType) F5Config {
 
 // RunF5 reproduces Figure 5: for every machine and start time it trains the
 // SMP predictor on the first part of the trace and scores the relative TR
-// error on the rest.
+// error on the rest. The per-machine evaluations run across the package's
+// worker pool (SetWorkers); outputs are merged in machine order, so the
+// summary statistics are bit-identical to a serial run.
 func RunF5(ds *trace.Dataset, cfg F5Config) ([]F5Row, error) {
 	if len(ds.Machines) == 0 {
 		return nil, fmt.Errorf("experiments: empty dataset")
 	}
 	p := predict.SMP{Cfg: cfg.Cfg}
+	// The chronological split depends only on the machine and the ratio —
+	// compute it once instead of once per window length.
+	splits := make([]trace.Split, len(ds.Machines))
+	for mi, m := range ds.Machines {
+		sp, err := trace.SplitRatio(m, cfg.DayType, cfg.TrainParts, cfg.TestParts)
+		if err != nil {
+			return nil, err
+		}
+		splits[mi] = sp
+	}
 	var rows []F5Row
+	type machineOut struct {
+		errs    []float64
+		skipped int
+	}
 	for _, h := range cfg.LengthsHours {
-		var errs []float64
-		skipped := 0
-		for _, m := range ds.Machines {
-			sp, err := trace.SplitRatio(m, cfg.DayType, cfg.TrainParts, cfg.TestParts)
-			if err != nil {
-				return nil, err
-			}
+		outs := make([]machineOut, len(ds.Machines))
+		parallelFor(len(ds.Machines), func(mi int) {
+			out := &outs[mi]
 			for _, start := range cfg.StartHours {
 				w, ok := windowFor(float64(start), h)
 				if !ok {
-					skipped++
+					out.skipped++
 					continue
 				}
-				ev, err := predict.EvaluateSMP(p, sp, w)
+				ev, err := predict.EvaluateSMP(p, splits[mi], w)
 				if err != nil || ev.TREmp == 0 {
-					skipped++
+					out.skipped++
 					continue
 				}
-				errs = append(errs, ev.RelErr)
+				out.errs = append(out.errs, ev.RelErr)
 			}
+		})
+		var errs []float64
+		skipped := 0
+		for _, out := range outs {
+			errs = append(errs, out.errs...)
+			skipped += out.skipped
 		}
 		rows = append(rows, F5Row{WindowHours: h, Err: stats.Summarize(errs), Windows: len(errs), Skipped: skipped})
 	}
@@ -245,37 +263,56 @@ func DefaultF7Config() F7Config {
 }
 
 // RunF7 reproduces Figure 7: SMP versus the Table 1 linear time-series
-// models, scored by the maximum relative error across machines.
+// models, scored by the maximum relative error across machines. Machines are
+// evaluated in parallel; the max-reduction runs serially in machine order.
 func RunF7(ds *trace.Dataset, cfg F7Config) ([]F7Row, error) {
 	if len(ds.Machines) == 0 {
 		return nil, fmt.Errorf("experiments: empty dataset")
 	}
 	smpPred := predict.SMP{Cfg: cfg.Cfg}
+	suite := timeseries.ReferenceSuite()
 	rows := []F7Row{{Model: smpPred.Name(), MaxErr: make([]float64, len(cfg.LengthsHours))}}
-	for _, f := range timeseries.ReferenceSuite() {
+	for _, f := range suite {
 		rows = append(rows, F7Row{Model: f.Name(), MaxErr: make([]float64, len(cfg.LengthsHours))})
+	}
+	// The weekday half split depends only on the machine.
+	splits := make([]trace.Split, len(ds.Machines))
+	for mi, m := range ds.Machines {
+		sp, err := trace.SplitHalf(m, trace.Weekday)
+		if err != nil {
+			return nil, err
+		}
+		splits[mi] = sp
 	}
 	for li, h := range cfg.LengthsHours {
 		w, ok := windowFor(float64(cfg.StartHour), h)
 		if !ok {
 			continue
 		}
-		for _, m := range ds.Machines {
-			sp, err := trace.SplitHalf(m, trace.Weekday)
-			if err != nil {
-				return nil, err
+		// outs[mi][0] is the SMP error, outs[mi][1+fi] the fi-th model's;
+		// -1 marks an unusable window (errors are non-negative).
+		outs := make([][]float64, len(ds.Machines))
+		parallelFor(len(ds.Machines), func(mi int) {
+			errs := make([]float64, 1+len(suite))
+			for i := range errs {
+				errs[i] = -1
 			}
+			sp := splits[mi]
 			if ev, err := predict.EvaluateSMP(smpPred, sp, w); err == nil && ev.TREmp > 0 {
-				if ev.RelErr > rows[0].MaxErr[li] {
-					rows[0].MaxErr[li] = ev.RelErr
-				}
+				errs[0] = ev.RelErr
 			}
-			for fi, f := range timeseries.ReferenceSuite() {
+			for fi, f := range suite {
 				ts := predict.TimeSeries{Cfg: cfg.Cfg, Fitter: f}
 				if ev, err := predict.EvaluateTimeSeries(ts, sp, w); err == nil && ev.TREmp > 0 {
-					if ev.RelErr > rows[fi+1].MaxErr[li] {
-						rows[fi+1].MaxErr[li] = ev.RelErr
-					}
+					errs[1+fi] = ev.RelErr
+				}
+			}
+			outs[mi] = errs
+		})
+		for _, errs := range outs {
+			for ri := range rows {
+				if errs[ri] > rows[ri].MaxErr[li] {
+					rows[ri].MaxErr[li] = errs[ri]
 				}
 			}
 		}

@@ -70,12 +70,23 @@ func RunX1(ds *trace.Dataset, cfg X1Config) ([]X1Row, error) {
 		return nil, fmt.Errorf("experiments: history (%d) swallows the trace (%d days)", cfg.HistoryDays, days)
 	}
 	p := predict.SMP{Cfg: cfg.Cfg}
+	engine := predict.NewEngine(predict.EngineConfig{Workers: Workers()})
 	r := rng.New(cfg.Seed)
 	rows := []X1Row{{Policy: "oracle"}, {Policy: "tr-aware"}, {Policy: "round-robin"}, {Policy: "random"}}
 	rr := 0
 	for dayIdx := cfg.HistoryDays; dayIdx < days; dayIdx++ {
 		if ds.Machines[0].Days[dayIdx].Type() != trace.Weekday {
 			continue
+		}
+		// Each machine's weekday history up to this day is shared by all of
+		// the day's submissions.
+		hists := make([][]*trace.Day, len(ds.Machines))
+		for mi, m := range ds.Machines {
+			for _, d := range m.Days[:dayIdx] {
+				if d.Type() == trace.Weekday {
+					hists[mi] = append(hists[mi], d)
+				}
+			}
 		}
 		for _, hour := range cfg.StartHours {
 			w, ok := windowFor(float64(hour), float64(cfg.JobHours))
@@ -99,20 +110,20 @@ func RunX1(ds *trace.Dataset, cfg X1Config) ([]X1Row, error) {
 			if oracle < 0 {
 				oracle = 0 // no machine survives: the oracle fails too
 			}
-			best, bestTR := 0, -1.0
+			// The tr-aware scheduler queries every machine at once — the
+			// engine fans the batch across its workers, and the strict >
+			// keeps the first-best-machine tie-breaking of the serial loop.
+			reqs := make([]predict.BatchRequest, len(ds.Machines))
 			for mi, m := range ds.Machines {
-				var hist []*trace.Day
-				for _, d := range m.Days[:dayIdx] {
-					if d.Type() == trace.Weekday {
-						hist = append(hist, d)
-					}
-				}
-				pred, err := p.Predict(hist, w)
-				if err != nil {
+				reqs[mi] = predict.BatchRequest{Machine: m.ID, History: hists[mi], Window: w}
+			}
+			best, bestTR := 0, -1.0
+			for mi, res := range engine.PredictBatch(p, reqs) {
+				if res.Err != nil {
 					continue
 				}
-				if pred.TR > bestTR {
-					best, bestTR = mi, pred.TR
+				if res.Prediction.TR > bestTR {
+					best, bestTR = mi, res.Prediction.TR
 				}
 			}
 			picks := []int{oracle, best, rr % len(ds.Machines), r.Intn(len(ds.Machines))}
@@ -174,28 +185,37 @@ type X2Row struct {
 // set (a trimmed start grid keeps it tractable).
 func RunX2(ds *trace.Dataset, cfg avail.Config, pools []int, lengthsHours []float64) ([]X2Row, error) {
 	starts := []int{0, 4, 8, 12, 16, 20}
+	// The weekday half split depends only on the machine, not the pool size.
+	splits := make([]trace.Split, len(ds.Machines))
+	for mi, m := range ds.Machines {
+		sp, err := trace.SplitHalf(m, trace.Weekday)
+		if err != nil {
+			return nil, err
+		}
+		splits[mi] = sp
+	}
 	var rows []X2Row
 	for _, n := range pools {
 		p := predict.SMP{Cfg: cfg, HistoryDays: n}
-		var errs []float64
-		for _, m := range ds.Machines {
-			sp, err := trace.SplitHalf(m, trace.Weekday)
-			if err != nil {
-				return nil, err
-			}
+		outs := make([][]float64, len(ds.Machines))
+		parallelFor(len(ds.Machines), func(mi int) {
 			for _, h := range lengthsHours {
 				for _, start := range starts {
 					w, ok := windowFor(float64(start), h)
 					if !ok {
 						continue
 					}
-					ev, err := predict.EvaluateSMP(p, sp, w)
+					ev, err := predict.EvaluateSMP(p, splits[mi], w)
 					if err != nil || ev.TREmp == 0 {
 						continue
 					}
-					errs = append(errs, ev.RelErr)
+					outs[mi] = append(outs[mi], ev.RelErr)
 				}
 			}
+		})
+		var errs []float64
+		for _, out := range outs {
+			errs = append(errs, out...)
 		}
 		s := stats.Summarize(errs)
 		rows = append(rows, X2Row{HistoryDays: n, AvgErr: s.Mean, MaxErr: s.Max, Windows: s.N})
@@ -227,28 +247,37 @@ func RunA1(ds *trace.Dataset, cfg avail.Config, lengthsHours []float64) ([]A1Row
 		{"ignore+restart", smp.CensorIgnore, predict.EstimateRestart},
 		{"survival+restart", smp.CensorSurvival, predict.EstimateRestart},
 	}
+	// The weekday half split depends only on the machine, not the variant.
+	splits := make([]trace.Split, len(ds.Machines))
+	for mi, m := range ds.Machines {
+		sp, err := trace.SplitHalf(m, trace.Weekday)
+		if err != nil {
+			return nil, err
+		}
+		splits[mi] = sp
+	}
 	var rows []A1Row
 	for _, v := range variants {
 		p := predict.SMP{Cfg: cfg, Censoring: v.cen, Estimation: v.est}
 		row := A1Row{Variant: v.name, AvgErr: make([]float64, len(lengthsHours))}
 		for li, h := range lengthsHours {
-			var errs []float64
-			for _, m := range ds.Machines {
-				sp, err := trace.SplitHalf(m, trace.Weekday)
-				if err != nil {
-					return nil, err
-				}
+			outs := make([][]float64, len(ds.Machines))
+			parallelFor(len(ds.Machines), func(mi int) {
 				for _, start := range starts {
 					w, ok := windowFor(float64(start), h)
 					if !ok {
 						continue
 					}
-					ev, err := predict.EvaluateSMP(p, sp, w)
+					ev, err := predict.EvaluateSMP(p, splits[mi], w)
 					if err != nil || ev.TREmp == 0 {
 						continue
 					}
-					errs = append(errs, ev.RelErr)
+					outs[mi] = append(outs[mi], ev.RelErr)
 				}
+			})
+			var errs []float64
+			for _, out := range outs {
+				errs = append(errs, out...)
 			}
 			row.AvgErr[li] = stats.Mean(errs)
 		}

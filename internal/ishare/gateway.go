@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"fgcs/internal/avail"
+	"fgcs/internal/predict"
 	"fgcs/internal/simclock"
 	"fgcs/internal/trace"
 )
@@ -167,10 +168,16 @@ func (g *Gateway) retire(job *Job) {
 	g.job = nil
 }
 
-// QueryTR forwards a temporal-reliability query to the state manager.
+// QueryTR forwards a temporal-reliability query to the state manager. The
+// state manager serves it through its prediction engine, so concurrent
+// queries share fitted kernels; the response carries the node's cumulative
+// cache hit/miss counters.
 func (g *Gateway) QueryTR(req QueryTRReq) (QueryTRResp, error) {
 	return g.sm.QueryTR(req)
 }
+
+// EngineStats reports the node's prediction-engine cache counters.
+func (g *Gateway) EngineStats() predict.EngineStats { return g.sm.EngineStats() }
 
 // Submit launches a guest job. FGCS allows a single guest process per
 // machine (Section 3.2), so a second submission is rejected while one is

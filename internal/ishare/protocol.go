@@ -76,6 +76,11 @@ type QueryTRResp struct {
 	// CurrentState is the machine's current availability state (S1/S2
 	// string form).
 	CurrentState string `json:"current_state"`
+	// CacheHits and CacheMisses are the node's cumulative prediction-engine
+	// cache counters after this query, so clients can observe how much of
+	// the query load is served from memoized kernels.
+	CacheHits   uint64 `json:"cache_hits"`
+	CacheMisses uint64 `json:"cache_misses"`
 }
 
 // SubmitReq launches a guest job.

@@ -17,6 +17,14 @@ import (
 // (Figure 2). It receives every monitor sample, maintains the machine's
 // current availability state, and answers temporal-reliability queries from
 // the gateway using the SMP predictor.
+//
+// Queries run through a prediction engine that memoizes fitted kernels, so
+// repeated or concurrent QueryTR calls for the same clock window reuse one
+// estimation. The engine's cache keys include a content fingerprint of the
+// history days; the manager therefore maintains a stable snapshot of the
+// completed (pre-today) days — rebuilt only when the recorder rolls over to
+// a new day — so the same *trace.Day pointers are presented to the engine
+// across queries and its per-day hash memoization pays off.
 type StateManager struct {
 	mu        sync.Mutex
 	cfg       avail.Config
@@ -27,6 +35,12 @@ type StateManager struct {
 	recent    []trace.Sample // ring of recent samples for current-state tracking
 	recentCap int
 	predictor predict.SMP
+	engine    *predict.Engine
+
+	histMu    sync.Mutex
+	histDays  []*trace.Day // completed days, stable across queries
+	histLive  int          // recorder day count the snapshot was built from
+	histToday int64        // unix midnight the snapshot was filtered against
 }
 
 // NewStateManager creates a state manager for one machine. preloaded may
@@ -54,8 +68,12 @@ func NewStateManager(machineID string, period time.Duration, cfg avail.Config, c
 		preloaded: preloaded,
 		recentCap: recentCap,
 		predictor: predict.SMP{Cfg: cfg, HistoryDays: historyDays},
+		engine:    predict.NewEngine(predict.EngineConfig{}),
 	}, nil
 }
+
+// EngineStats reports the prediction engine's cache counters.
+func (sm *StateManager) EngineStats() predict.EngineStats { return sm.engine.Stats() }
 
 // Record implements monitor.Sink: it archives the sample and refreshes the
 // current-state estimate.
@@ -90,6 +108,36 @@ func (sm *StateManager) History() []*trace.Day {
 	}
 	days = append(days, sm.recorder.Snapshot().Days...)
 	return days
+}
+
+// completedDays returns the history days strictly before today, from a
+// cached snapshot that is rebuilt only when the recorder rolls into a new
+// day (or the query date changes). Reusing the snapshot keeps the day
+// pointers stable, which is what lets the prediction engine serve repeated
+// queries from its kernel cache without rehashing the history; the rebuild
+// on day rollover is exactly the engine's invalidation-on-new-day moment.
+func (sm *StateManager) completedDays(today time.Time) []*trace.Day {
+	sm.histMu.Lock()
+	defer sm.histMu.Unlock()
+	live := sm.recorder.Days()
+	if sm.histDays != nil && live == sm.histLive && today.Unix() == sm.histToday {
+		return sm.histDays
+	}
+	days := make([]*trace.Day, 0, live)
+	if sm.preloaded != nil {
+		days = append(days, sm.preloaded.Days...)
+	}
+	days = append(days, sm.recorder.Snapshot().Days...)
+	kept := days[:0]
+	for _, d := range days {
+		if d.Date.Before(today) {
+			kept = append(kept, d)
+		}
+	}
+	sm.histDays = kept
+	sm.histLive = live
+	sm.histToday = today.Unix()
+	return sm.histDays
 }
 
 // Archive persists the full history (preloaded + live-recorded days, merged
@@ -154,22 +202,29 @@ func (sm *StateManager) QueryTR(req QueryTRReq) (QueryTRResp, error) {
 	if req.GuestMemMB > 0 {
 		cfg.Cfg.GuestMemMB = req.GuestMemMB
 	}
-	// History: same-type days strictly before today.
-	var days []*trace.Day
+	// History: same-type days strictly before today, drawn from the stable
+	// snapshot so the engine can recognize repeated queries.
 	today := midnight
-	for _, d := range sm.History() {
-		if d.Date.Before(today) && d.Type() == trace.TypeOfDate(today) {
+	var days []*trace.Day
+	for _, d := range sm.completedDays(today) {
+		if d.Type() == trace.TypeOfDate(today) {
 			days = append(days, d)
 		}
 	}
 	if len(days) == 0 {
 		// No history yet: report optimistic full availability; the
 		// scheduler treats all such machines equally.
-		return QueryTRResp{TR: 1, HistoryWindows: 0, CurrentState: cur.String()}, nil
+		resp := QueryTRResp{TR: 1, HistoryWindows: 0, CurrentState: cur.String()}
+		st := sm.engine.Stats()
+		resp.CacheHits, resp.CacheMisses = st.Hits, st.Misses
+		return resp, nil
 	}
-	tr, err := cfg.PredictFrom(days, w, cur)
+	tr, err := sm.engine.PredictFrom(cfg, days, w, cur)
 	if err != nil {
 		return QueryTRResp{}, err
 	}
-	return QueryTRResp{TR: tr, HistoryWindows: len(days), CurrentState: cur.String()}, nil
+	resp := QueryTRResp{TR: tr, HistoryWindows: len(days), CurrentState: cur.String()}
+	st := sm.engine.Stats()
+	resp.CacheHits, resp.CacheMisses = st.Hits, st.Misses
+	return resp, nil
 }

@@ -1,0 +1,375 @@
+package predict
+
+import (
+	"container/list"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/smp"
+	"fgcs/internal/trace"
+)
+
+// Engine is a concurrent batch-prediction service over the SMP predictor: it
+// memoizes estimated kernels (and their solved reliabilities) in an LRU
+// keyed by (history fingerprint, window, estimator configuration), serves
+// any number of concurrent Predict/PredictFrom queries against the cache,
+// and fans PredictBatch request slices across a bounded worker pool. Cache
+// misses run on pooled scratch buffers, so the extraction and
+// backward-recursion hot paths allocate nothing at steady state beyond the
+// cached kernel itself.
+//
+// Cache coherence rests on one rule: history days are immutable once handed
+// to the engine. The fingerprint memoizes a per-*trace.Day content hash by
+// pointer, so mutating a day in place after its first query yields stale
+// results — clone days instead (everything in this repository already does:
+// the recorder snapshots, noise injection clones). Appending a new day to a
+// history slice changes the fingerprint and naturally invalidates all
+// entries for the old day set — the "new day arrived" semantics a
+// day-structured predictor wants.
+type Engine struct {
+	workers   int
+	cacheSize int
+
+	mu       sync.Mutex
+	lru      *list.List // front = most recent; values are *engineEntry
+	items    map[engineKey]*list.Element
+	inflight map[engineKey]*inflightCall
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
+	hashMu    sync.RWMutex
+	dayHashes map[*trace.Day]uint64
+
+	scratchPool sync.Pool
+}
+
+// EngineConfig tunes an Engine.
+type EngineConfig struct {
+	// CacheSize bounds the number of cached kernels. Zero selects the
+	// default (256); a negative value disables caching entirely (every
+	// query recomputes — useful for benchmarking the cold path).
+	CacheSize int
+	// Workers bounds PredictBatch's worker pool. Zero selects
+	// runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// DefaultCacheSize is the kernel-cache capacity used when EngineConfig
+// leaves CacheSize zero.
+const DefaultCacheSize = 256
+
+// maxDayHashes bounds the per-day content-hash memo; when exceeded the memo
+// is dropped and rebuilt on demand (hashing is cheap relative to
+// estimation, the memo only amortizes it).
+const maxDayHashes = 16384
+
+// NewEngine builds an engine.
+func NewEngine(cfg EngineConfig) *Engine {
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		workers:   workers,
+		cacheSize: size,
+		lru:       list.New(),
+		items:     make(map[engineKey]*list.Element),
+		inflight:  make(map[engineKey]*inflightCall),
+		dayHashes: make(map[*trace.Day]uint64),
+	}
+	e.scratchPool.New = func() interface{} {
+		return &scratch{
+			ex: avail.NewExtractor(avail.DefaultConfig(), trace.DefaultPeriod),
+			ws: &smp.Workspace{},
+		}
+	}
+	return e
+}
+
+// Workers returns the batch worker-pool width.
+func (e *Engine) Workers() int { return e.workers }
+
+// engineKey identifies one cached kernel: the fingerprint of the effective
+// (already HistoryDays-truncated) day pool, the query window, and the full
+// estimator configuration. SMP and Window are comparable value types, so the
+// key works directly as a map key.
+type engineKey struct {
+	fp     uint64
+	window Window
+	pred   SMP
+}
+
+// engineEntry is one cached result: the estimated kernel plus everything a
+// query needs (the solved per-initial-state reliabilities and the empirical
+// initial-state distribution), so hits touch no predictor code at all.
+type engineEntry struct {
+	key    engineKey
+	kernel *smp.Kernel
+	pred   Prediction // fully populated: TR, TRByInit, InitProb, HistoryWindows
+}
+
+type inflightCall struct {
+	done  chan struct{}
+	entry *engineEntry
+	err   error
+}
+
+// EngineStats reports cache effectiveness counters.
+type EngineStats struct {
+	// Hits counts queries served from the cache, including queries that
+	// piggybacked on another goroutine's in-flight estimation.
+	Hits uint64
+	// Misses counts queries that ran the full extract/estimate/solve
+	// pipeline.
+	Misses uint64
+	// Evictions counts cache entries displaced by the LRU policy.
+	Evictions uint64
+	// Entries is the current number of cached kernels.
+	Entries int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	entries := len(e.items)
+	e.mu.Unlock()
+	return EngineStats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Evictions: e.evictions.Load(),
+		Entries:   entries,
+	}
+}
+
+// Predict is SMP.Predict through the cache: bit-identical results, but
+// repeated queries for the same (history, window, config) reuse the fitted
+// kernel and its solved reliabilities instead of re-running extraction,
+// estimation and the Equation (3) recursion.
+func (e *Engine) Predict(p SMP, history []*trace.Day, w Window) (Prediction, error) {
+	entry, err := e.lookup(p, history, w)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return entry.pred, nil
+}
+
+// PredictFrom is SMP.PredictFrom through the cache: TR for a job starting in
+// the given (recoverable) current state. A PredictFrom after a Predict for
+// the same query (or vice versa) is a cache hit — both are served from the
+// same solved kernel.
+func (e *Engine) PredictFrom(p SMP, history []*trace.Day, w Window, init avail.State) (float64, error) {
+	entry, err := e.lookup(p, history, w)
+	if err != nil {
+		return 0, err
+	}
+	switch init {
+	case avail.S1:
+		return entry.pred.TRByInit[0], nil
+	case avail.S2:
+		return entry.pred.TRByInit[1], nil
+	}
+	return 0, fmt.Errorf("smp: initial state %v is not recoverable", init)
+}
+
+// BatchRequest is one (machine, window) query of a PredictBatch call.
+type BatchRequest struct {
+	// Machine labels the request in the result (it does not key the
+	// cache; the history fingerprint does).
+	Machine string
+	// History is the machine's day pool (same contract as SMP.Predict).
+	History []*trace.Day
+	// Window is the query window.
+	Window Window
+}
+
+// BatchResult is the outcome of one BatchRequest, with per-request error
+// capture: one failing machine does not abort the batch.
+type BatchResult struct {
+	Machine    string
+	Window     Window
+	Prediction Prediction
+	Err        error
+}
+
+// PredictBatch evaluates all requests across the engine's worker pool and
+// returns results in request order. Results are bit-identical to a serial
+// loop over SMP.Predict: each request's computation is independent and
+// deterministic, so scheduling order cannot perturb the numbers.
+func (e *Engine) PredictBatch(p SMP, reqs []BatchRequest) []BatchResult {
+	out := make([]BatchResult, len(reqs))
+	workers := e.workers
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	if workers <= 1 {
+		for i, r := range reqs {
+			pred, err := e.Predict(p, r.History, r.Window)
+			out[i] = BatchResult{Machine: r.Machine, Window: r.Window, Prediction: pred, Err: err}
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(reqs) {
+					return
+				}
+				r := reqs[i]
+				pred, err := e.Predict(p, r.History, r.Window)
+				out[i] = BatchResult{Machine: r.Machine, Window: r.Window, Prediction: pred, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// lookup resolves a query to a cache entry, computing and caching it on a
+// miss. Concurrent misses for the same key are coalesced: one goroutine
+// estimates, the rest wait and share the result (counted as hits — they did
+// not pay for the estimation).
+func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, error) {
+	days := history
+	if p.HistoryDays > 0 && len(days) > p.HistoryDays {
+		days = days[len(days)-p.HistoryDays:]
+	}
+	norm := p
+	norm.HistoryDays = 0 // the truncation is already folded into the fingerprint
+	key := engineKey{fp: e.fingerprint(days), window: w, pred: norm}
+	if e.cacheSize < 0 {
+		e.misses.Add(1)
+		return e.compute(norm, days, w)
+	}
+	e.mu.Lock()
+	if el, ok := e.items[key]; ok {
+		e.lru.MoveToFront(el)
+		entry := el.Value.(*engineEntry)
+		e.mu.Unlock()
+		e.hits.Add(1)
+		return entry, nil
+	}
+	if call, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return nil, call.err
+		}
+		e.hits.Add(1)
+		return call.entry, nil
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	e.inflight[key] = call
+	e.mu.Unlock()
+	e.misses.Add(1)
+
+	entry, err := e.compute(norm, days, w)
+	call.entry, call.err = entry, err
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	if err == nil {
+		entry.key = key
+		e.items[key] = e.lru.PushFront(entry)
+		for len(e.items) > e.cacheSize {
+			oldest := e.lru.Back()
+			e.lru.Remove(oldest)
+			delete(e.items, oldest.Value.(*engineEntry).key)
+			e.evictions.Add(1)
+		}
+	}
+	e.mu.Unlock()
+	close(call.done)
+	return entry, err
+}
+
+// compute runs the full prediction pipeline on pooled scratch buffers.
+func (e *Engine) compute(p SMP, days []*trace.Day, w Window) (*engineEntry, error) {
+	sc := e.scratchPool.Get().(*scratch)
+	defer e.scratchPool.Put(sc)
+	kernel, pred, units, err := p.prepare(sc, days, w)
+	if err != nil {
+		return nil, err
+	}
+	tr1, tr2, err := kernel.ReliabilitiesWS(sc.ws, units)
+	if err != nil {
+		return nil, err
+	}
+	pred.TRByInit = [2]float64{tr1, tr2}
+	pred.TR = pred.InitProb[0]*tr1 + pred.InitProb[1]*tr2
+	return &engineEntry{kernel: kernel, pred: pred}, nil
+}
+
+// fingerprint hashes the identity and content of a day pool. Per-day content
+// hashes are memoized by pointer (days are immutable, see the Engine doc);
+// the combined fingerprint additionally mixes each day's date, period and
+// length, so replacing a day with a same-content clone still hits while any
+// change to the pool's composition misses.
+func (e *Engine) fingerprint(days []*trace.Day) uint64 {
+	h := uint64(fnvOffset64)
+	h = mix64(h, uint64(len(days)))
+	for _, d := range days {
+		h = mix64(h, uint64(d.Date.Unix()))
+		h = mix64(h, uint64(d.Period))
+		h = mix64(h, uint64(len(d.Samples)))
+		h = mix64(h, e.dayHash(d))
+	}
+	return h
+}
+
+func (e *Engine) dayHash(d *trace.Day) uint64 {
+	e.hashMu.RLock()
+	h, ok := e.dayHashes[d]
+	e.hashMu.RUnlock()
+	if ok {
+		return h
+	}
+	h = hashSamples(d.Samples)
+	e.hashMu.Lock()
+	if len(e.dayHashes) >= maxDayHashes {
+		e.dayHashes = make(map[*trace.Day]uint64)
+	}
+	e.dayHashes[d] = h
+	e.hashMu.Unlock()
+	return h
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// mix64 folds one 64-bit word into an FNV-1a style running hash.
+func mix64(h, v uint64) uint64 {
+	return (h ^ v) * fnvPrime64
+}
+
+// hashSamples digests a day's sample content word-wise.
+func hashSamples(samples []trace.Sample) uint64 {
+	h := uint64(fnvOffset64)
+	for i := range samples {
+		s := &samples[i]
+		h = mix64(h, math.Float64bits(s.CPU))
+		h = mix64(h, math.Float64bits(s.FreeMemMB))
+		if s.Up {
+			h = mix64(h, 1)
+		} else {
+			h = mix64(h, 2)
+		}
+	}
+	return h
+}

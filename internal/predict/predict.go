@@ -119,11 +119,10 @@ type Prediction struct {
 // initial states by their historical frequency, which is the right thing for
 // ahead-of-time evaluation.
 func (p SMP) Predict(history []*trace.Day, w Window) (Prediction, error) {
-	kernel, pred, err := p.prepare(history, w)
+	kernel, pred, units, err := p.prepare(nil, history, w)
 	if err != nil {
 		return Prediction{}, err
 	}
-	units := w.Units(periodOf(history))
 	tr1, tr2, err := kernel.Reliabilities(units)
 	if err != nil {
 		return Prediction{}, err
@@ -136,11 +135,11 @@ func (p SMP) Predict(history []*trace.Day, w Window) (Prediction, error) {
 // PredictFrom computes TR for a job starting in the given (recoverable)
 // current state — the live query issued by the iShare job scheduler.
 func (p SMP) PredictFrom(history []*trace.Day, w Window, init avail.State) (float64, error) {
-	kernel, _, err := p.prepare(history, w)
+	kernel, _, units, err := p.prepare(nil, history, w)
 	if err != nil {
 		return 0, err
 	}
-	return kernel.TR(init, w.Units(periodOf(history)))
+	return kernel.TR(init, units)
 }
 
 func periodOf(days []*trace.Day) time.Duration {
@@ -150,18 +149,30 @@ func periodOf(days []*trace.Day) time.Duration {
 	return days[0].Period
 }
 
+// scratch bundles the reusable per-query buffers of the engine's hot path:
+// the classification/extraction arena and the solver workspace.
+type scratch struct {
+	ex *avail.Extractor
+	ws *smp.Workspace
+}
+
 // prepare extracts sojourn sequences from the history windows and estimates
-// the kernel.
-func (p SMP) prepare(history []*trace.Day, w Window) (*smp.Kernel, Prediction, error) {
+// the kernel, returning it along with the partially-filled Prediction
+// (initial-state distribution, window count) and the window length in
+// discretization units. The period is resolved once per history slice here;
+// callers must not recompute it per query. When sc is non-nil its reusable
+// buffers back classification and extraction (the engine's zero-alloc path);
+// results are identical either way.
+func (p SMP) prepare(sc *scratch, history []*trace.Day, w Window) (*smp.Kernel, Prediction, int, error) {
 	var pred Prediction
 	if err := w.Validate(); err != nil {
-		return nil, pred, err
+		return nil, pred, 0, err
 	}
 	if err := p.Cfg.Validate(); err != nil {
-		return nil, pred, err
+		return nil, pred, 0, err
 	}
 	if len(history) == 0 {
-		return nil, pred, fmt.Errorf("predict: no history days")
+		return nil, pred, 0, fmt.Errorf("predict: no history days")
 	}
 	days := history
 	if p.HistoryDays > 0 && len(days) > p.HistoryDays {
@@ -170,30 +181,53 @@ func (p SMP) prepare(history []*trace.Day, w Window) (*smp.Kernel, Prediction, e
 	period := periodOf(days)
 	units := w.Units(period)
 	if units < 1 {
-		return nil, pred, fmt.Errorf("predict: window %v shorter than the sampling period", w)
+		return nil, pred, 0, fmt.Errorf("predict: window %v shorter than the sampling period", w)
 	}
+	absorb := p.Estimation == EstimateAbsorb
 	var seqs [][]avail.Sojourn
 	var initCount [2]float64
 	windows := 0
-	for _, d := range days {
-		samples := d.Window(w.Start, w.Length)
-		if len(samples) == 0 {
-			continue
+	if sc != nil {
+		sc.ex.Reset(p.Cfg, period)
+		for _, d := range days {
+			samples := d.Window(w.Start, w.Length)
+			if len(samples) == 0 {
+				continue
+			}
+			windows++
+			// One classification pass yields both the training
+			// sequences and the window's initial state.
+			if st, ok := sc.ex.AddWindow(samples, absorb); ok {
+				if st == avail.S1 {
+					initCount[0]++
+				} else {
+					initCount[1]++
+				}
+			}
 		}
-		windows++
-		if p.Estimation == EstimateAbsorb {
-			seqs = append(seqs, avail.ExtractSojourns(samples, p.Cfg, period))
-		} else {
-			// Restart: harvest every trajectory in the window — the
-			// machine recovers after each unavailability occurrence
-			// even though a guest job would not.
-			seqs = append(seqs, avail.ExtractTrajectories(samples, p.Cfg, period)...)
-		}
-		if st, ok := avail.InitialState(samples, p.Cfg, period); ok {
-			if st == avail.S1 {
-				initCount[0]++
+		seqs = sc.ex.Seqs()
+	} else {
+		seqs = make([][]avail.Sojourn, 0, len(days))
+		for _, d := range days {
+			samples := d.Window(w.Start, w.Length)
+			if len(samples) == 0 {
+				continue
+			}
+			windows++
+			if absorb {
+				seqs = append(seqs, avail.ExtractSojourns(samples, p.Cfg, period))
 			} else {
-				initCount[1]++
+				// Restart: harvest every trajectory in the window — the
+				// machine recovers after each unavailability occurrence
+				// even though a guest job would not.
+				seqs = avail.AppendTrajectories(seqs, samples, p.Cfg, period)
+			}
+			if st, ok := avail.InitialState(samples, p.Cfg, period); ok {
+				if st == avail.S1 {
+					initCount[0]++
+				} else {
+					initCount[1]++
+				}
 			}
 		}
 	}
@@ -207,9 +241,9 @@ func (p SMP) prepare(history []*trace.Day, w Window) (*smp.Kernel, Prediction, e
 	est := smp.Estimator{Horizon: units, Smoothing: p.Smoothing, Censoring: p.Censoring}
 	kernel, err := est.Estimate(seqs)
 	if err != nil {
-		return nil, pred, err
+		return nil, pred, 0, err
 	}
-	return kernel, pred, nil
+	return kernel, pred, units, nil
 }
 
 // TimeSeries is the linear-time-series baseline predictor: fit on the window

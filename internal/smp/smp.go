@@ -180,17 +180,19 @@ func (e Estimator) Estimate(seqs [][]avail.Sojourn) (*Kernel, error) {
 		return nil, fmt.Errorf("smp: negative smoothing")
 	}
 	k := &Kernel{horizon: e.Horizon}
-	// events[fi][to][l] counts completed sojourns; censored[fi][l] counts
-	// right-censored ones by observed length.
-	var events [2][avail.NumStates + 1][]float64
-	var censored [2][]float64
+	// Event counts accumulate directly in k.q[fi][to][l] (completed
+	// sojourns by holding time) and are normalized into kernel mass in
+	// place below — the estimator's only allocations are the kernel's own
+	// slices, which outlive the call. censored[fi][l] counts right-censored
+	// sojourns by observed length; both from-states share one backing
+	// array.
+	censBuf := make([]float64, 2*(e.Horizon+1))
+	censored := [2][]float64{censBuf[: e.Horizon+1 : e.Horizon+1], censBuf[e.Horizon+1:]}
 	var nEvents, nCensored [2]float64
 	for fi, from := 0, []avail.State{avail.S1, avail.S2}; fi < 2; fi++ {
-		censored[fi] = make([]float64, e.Horizon+1)
 		for to := avail.S1; to <= avail.S5; to++ {
 			if Legal(from[fi], to) {
 				k.q[fi][to] = make([]float64, e.Horizon+1)
-				events[fi][to] = make([]float64, e.Horizon+1)
 			}
 		}
 	}
@@ -216,7 +218,7 @@ func (e Estimator) Estimate(seqs [][]avail.Sojourn) (*Kernel, error) {
 				if !Legal(soj.State, to) {
 					return nil, fmt.Errorf("smp: illegal transition %v -> %v in training sequence", soj.State, to)
 				}
-				events[fi][to][units]++
+				k.q[fi][to][units]++
 				nEvents[fi]++
 			} else {
 				censored[fi][units]++
@@ -230,18 +232,18 @@ func (e Estimator) Estimate(seqs [][]avail.Sojourn) (*Kernel, error) {
 		per := e.Smoothing / float64(4*e.Horizon)
 		for fi := 0; fi < 2; fi++ {
 			for to := avail.S1; to <= avail.S5; to++ {
-				if events[fi][to] == nil {
+				if k.q[fi][to] == nil {
 					continue
 				}
 				for l := 1; l <= e.Horizon; l++ {
-					events[fi][to][l] += per
+					k.q[fi][to][l] += per
 				}
 			}
 			nEvents[fi] += e.Smoothing
 		}
 	}
-	// Convert counts into the one-step kernel under the selected
-	// censoring policy.
+	// Convert the in-place counts into the one-step kernel under the
+	// selected censoring policy.
 	for fi := 0; fi < 2; fi++ {
 		switch e.Censoring {
 		case CensorIgnore:
@@ -251,7 +253,7 @@ func (e Estimator) Estimate(seqs [][]avail.Sojourn) (*Kernel, error) {
 			}
 			inv := 1 / nEvents[fi]
 			for to := avail.S1; to <= avail.S5; to++ {
-				for l, c := range events[fi][to] {
+				for l, c := range k.q[fi][to] {
 					if c != 0 {
 						k.q[fi][to][l] = c * inv
 					}
@@ -265,7 +267,7 @@ func (e Estimator) Estimate(seqs [][]avail.Sojourn) (*Kernel, error) {
 			}
 			inv := 1 / total
 			for to := avail.S1; to <= avail.S5; to++ {
-				for l, c := range events[fi][to] {
+				for l, c := range k.q[fi][to] {
 					if c != 0 {
 						k.q[fi][to][l] = c * inv
 					}
@@ -275,15 +277,17 @@ func (e Estimator) Estimate(seqs [][]avail.Sojourn) (*Kernel, error) {
 			risk := nEvents[fi] + nCensored[fi]
 			k.exposures[fi] = risk
 			surv := 1.0
-			for l := 1; l <= e.Horizon && risk > 1e-12 && surv > 0; l++ {
+			l := 1
+			for ; l <= e.Horizon && risk > 1e-12 && surv > 0; l++ {
 				atL := 0.0
 				for to := avail.S1; to <= avail.S5; to++ {
-					if events[fi][to] == nil {
+					qs := k.q[fi][to]
+					if qs == nil {
 						continue
 					}
-					c := events[fi][to][l]
+					c := qs[l]
 					if c != 0 {
-						k.q[fi][to][l] = surv * c / risk
+						qs[l] = surv * c / risk
 						atL += c
 					}
 				}
@@ -292,6 +296,15 @@ func (e Estimator) Estimate(seqs [][]avail.Sojourn) (*Kernel, error) {
 					surv = 0
 				}
 				risk -= atL + censored[fi][l]
+			}
+			// Holding times past the early-exit point keep no mass:
+			// clear any raw counts left there.
+			for ; l <= e.Horizon; l++ {
+				for to := avail.S1; to <= avail.S5; to++ {
+					if qs := k.q[fi][to]; qs != nil {
+						qs[l] = 0
+					}
+				}
 			}
 		}
 	}
@@ -363,13 +376,48 @@ type solution struct {
 	ops int64
 }
 
+// Workspace holds reusable buffers for the Equation (3) recursion, so a
+// long-lived caller (the prediction engine's per-query scratch) can solve
+// repeatedly without allocating. The zero value is ready to use. Workspaces
+// are not safe for concurrent use.
+type Workspace struct {
+	sol solution
+	cum [2][3][]float64
+}
+
+// grow sizes the workspace buffers for n = units+1 entries, reusing capacity
+// and resetting the m=0 column the recursion relies on.
+func (ws *Workspace) grow(n int) {
+	for fi := 0; fi < 2; fi++ {
+		for ji := 0; ji < 3; ji++ {
+			ws.sol.p[fi][ji] = growZeroHead(ws.sol.p[fi][ji], n)
+			ws.cum[fi][ji] = growZeroHead(ws.cum[fi][ji], n)
+		}
+	}
+	ws.sol.ops = 0
+}
+
+// growZeroHead returns a slice of length n reusing buf's storage when
+// possible, with index 0 zeroed (the only entry the recursion reads before
+// writing).
+func growZeroHead(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	buf = buf[:n]
+	if n > 0 {
+		buf[0] = 0
+	}
+	return buf
+}
+
 // solve runs the dynamic program of Equation (3) for m = 0..units. The six
 // sequences P_{1,j}, P_{2,j} are mutually recursive through the recoverable
 // cross terms q_{1,2} and q_{2,1}; the direct failure terms accumulate as
 // prefix sums. The inner convolution makes the total cost Θ(units²) — the
 // superlinear growth measured in Figure 4.
 func (k *Kernel) solve(units int) *solution {
-	return k.solveMode(units, false)
+	return k.solveMode(nil, units, false)
 }
 
 // solveSparse is the ablation variant: it convolves only over the nonzero
@@ -377,7 +425,7 @@ func (k *Kernel) solve(units int) *solution {
 // trading the paper's simple dense recursion for near-linear cost on sparse
 // history data. Results are numerically identical.
 func (k *Kernel) solveSparse(units int) *solution {
-	return k.solveMode(units, true)
+	return k.solveMode(nil, units, true)
 }
 
 // nonzero returns the indices l with qs[l] != 0, limited to 1..units.
@@ -391,26 +439,33 @@ func nonzero(qs []float64, units int) []int {
 	return idx
 }
 
-func (k *Kernel) solveMode(units int, sparse bool) *solution {
-	sol := &solution{}
-	for fi := 0; fi < 2; fi++ {
-		for ji := 0; ji < 3; ji++ {
-			sol.p[fi][ji] = make([]float64, units+1)
+func (k *Kernel) solveMode(ws *Workspace, units int, sparse bool) *solution {
+	var sol *solution
+	var directCum [2][3][]float64
+	if ws != nil {
+		ws.grow(units + 1)
+		sol = &ws.sol
+		directCum = ws.cum
+	} else {
+		sol = &solution{}
+		for fi := 0; fi < 2; fi++ {
+			for ji := 0; ji < 3; ji++ {
+				sol.p[fi][ji] = make([]float64, units+1)
+				directCum[fi][ji] = make([]float64, units+1)
+			}
 		}
 	}
 	// directCum[fi][ji][m] = Σ_{l=1..m} q_{fi,j}(l): probability of a
 	// direct absorption into j within m units.
-	var directCum [2][3][]float64
 	for fi := 0; fi < 2; fi++ {
 		for ji := 0; ji < 3; ji++ {
 			to := avail.State(ji + 3)
-			cum := make([]float64, units+1)
+			cum := directCum[fi][ji]
 			run := 0.0
 			for m := 1; m <= units; m++ {
 				run += k.qAt(fi, to, m)
 				cum[m] = run
 			}
-			directCum[fi][ji] = cum
 			sol.ops += int64(units)
 		}
 	}
@@ -504,10 +559,18 @@ func clamp01(x float64) float64 {
 // initial states, useful when the caller mixes over the initial-state
 // distribution.
 func (k *Kernel) Reliabilities(units int) (trS1, trS2 float64, err error) {
+	return k.ReliabilitiesWS(nil, units)
+}
+
+// ReliabilitiesWS is Reliabilities solving into ws's reusable buffers (nil
+// behaves like Reliabilities): once the workspace has warmed up to the
+// largest horizon it sees, the backward recursion allocates nothing. This is
+// the prediction engine's cache-miss hot path.
+func (k *Kernel) ReliabilitiesWS(ws *Workspace, units int) (trS1, trS2 float64, err error) {
 	if units < 0 || units > k.horizon {
 		return 0, 0, fmt.Errorf("smp: window of %d units outside kernel horizon %d", units, k.horizon)
 	}
-	sol := k.solve(units)
+	sol := k.solveMode(ws, units, false)
 	trs := [2]float64{}
 	for fi := 0; fi < 2; fi++ {
 		total := 0.0
