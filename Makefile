@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: build test race vet bench
+.PHONY: build test race vet bench chaos
 
 build:
 	$(GO) build ./...
 
+# The default test gate includes vet and a race-detector pass over the
+# networking and fault-injection layers, where the concurrency lives.
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
+	$(GO) test -race ./internal/ishare/... ./internal/faultnet/...
 
 race:
 	$(GO) test -race ./...
@@ -16,3 +20,9 @@ vet:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Chaos harness: a five-machine testbed over real TCP with seeded fault
+# injection (dial refusals, resets, corruption, partitions). Run twice per
+# invocation to prove byte-determinism of the fault schedule.
+chaos:
+	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/ishare/...

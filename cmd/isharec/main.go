@@ -18,35 +18,65 @@ import (
 
 func main() {
 	var (
-		registry = flag.String("registry", "", "registry address for discovery")
-		gateway  = flag.String("gateway", "", "direct gateway address (bypasses discovery)")
-		timeout  = flag.Duration("timeout", 5*time.Second, "request timeout")
+		registry  = flag.String("registry", "", "registry address for discovery")
+		gateway   = flag.String("gateway", "", "direct gateway address (bypasses discovery)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "request timeout")
+		retries   = flag.Int("retries", 3, "attempts for idempotent RPCs (1 = no retry; submits are retried under an idempotency key)")
+		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff delay")
+		brkThresh = flag.Int("breaker-threshold", 3, "consecutive failures before a machine is quarantined (0 = no breaker)")
+		brkCool   = flag.Duration("breaker-cooldown", 30*time.Second, "quarantine duration before a probe is allowed")
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
 		fmt.Fprintln(os.Stderr, "usage: isharec [flags] rank|submit|run|status|kill [subflags]")
 		os.Exit(2)
 	}
-	if err := run(*registry, *gateway, *timeout, flag.Arg(0), flag.Args()[1:]); err != nil {
+	cl := client{
+		registry: *registry,
+		gateway:  *gateway,
+		timeout:  *timeout,
+		caller:   &ishare.Caller{Retry: ishare.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase}},
+	}
+	if *brkThresh > 0 {
+		cl.breakers = ishare.NewBreakerSet(ishare.BreakerConfig{Threshold: *brkThresh, Cooldown: *brkCool}, nil)
+	}
+	if err := run(cl, flag.Arg(0), flag.Args()[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "isharec:", err)
 		os.Exit(1)
 	}
 }
 
-func scheduler(registry, gateway string, timeout time.Duration) (*ishare.Scheduler, error) {
-	if gateway != "" {
-		return &ishare.Scheduler{Candidates: []ishare.Candidate{{
-			MachineID: gateway,
-			API:       ishare.RemoteGateway{Addr: gateway, Timeout: timeout},
-		}}}, nil
-	}
-	if registry == "" {
-		return nil, fmt.Errorf("need -registry or -gateway")
-	}
-	return ishare.FromRegistry(registry, timeout)
+// client bundles the fault-tolerance knobs every subcommand shares.
+type client struct {
+	registry, gateway string
+	timeout           time.Duration
+	caller            *ishare.Caller
+	breakers          *ishare.BreakerSet
 }
 
-func run(registry, gateway string, timeout time.Duration, cmd string, args []string) error {
+func (c client) scheduler() (*ishare.Scheduler, error) {
+	if c.gateway != "" {
+		return &ishare.Scheduler{
+			Candidates: []ishare.Candidate{{
+				MachineID: c.gateway,
+				API:       ishare.RemoteGateway{Addr: c.gateway, Timeout: c.timeout, Caller: c.caller},
+			}},
+			Breakers: c.breakers,
+		}, nil
+	}
+	if c.registry == "" {
+		return nil, fmt.Errorf("need -registry or -gateway")
+	}
+	sched, err := ishare.FromRegistryWith(c.caller, c.registry, c.timeout)
+	if err != nil {
+		return nil, err
+	}
+	sched.Breakers = c.breakers
+	return sched, nil
+}
+
+func run(cl client, cmd string, args []string) error {
+	gateway, timeout := cl.gateway, cl.timeout
 	switch cmd {
 	case "run":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -55,14 +85,15 @@ func run(registry, gateway string, timeout time.Duration, cmd string, args []str
 		mem := fs.Float64("mem", 100, "working set in MB")
 		poll := fs.Duration("poll", 6*time.Second, "status poll interval")
 		migrations := fs.Int("migrations", 5, "maximum recoveries after kills")
+		grace := fs.Duration("grace", 18*time.Second, "tolerate unreachable gateways this long before migrating (0 = migrate on first failed poll)")
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
-		sched, err := scheduler(registry, gateway, timeout)
+		sched, err := cl.scheduler()
 		if err != nil {
 			return err
 		}
-		sv := &ishare.Supervisor{Sched: sched, PollInterval: *poll, MaxMigrations: *migrations}
+		sv := &ishare.Supervisor{Sched: sched, PollInterval: *poll, MaxMigrations: migrations, UnreachableGrace: *grace}
 		fmt.Printf("supervising %s (%v of compute)...\n", *name, *work)
 		run, err := sv.Run(ishare.SubmitReq{Name: *name, WorkSeconds: work.Seconds(), MemMB: *mem})
 		for _, pl := range run.Placements {
@@ -86,7 +117,7 @@ func run(registry, gateway string, timeout time.Duration, cmd string, args []str
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
-		sched, err := scheduler(registry, gateway, timeout)
+		sched, err := cl.scheduler()
 		if err != nil {
 			return err
 		}
@@ -97,13 +128,20 @@ func run(registry, gateway string, timeout time.Duration, cmd string, args []str
 			InitialProgressSeconds: resume.Seconds(),
 		}
 		if cmd == "rank" {
-			ranked, err := sched.Rank(job)
+			ranked, fails, err := sched.Rank(job)
 			if err != nil {
 				return err
 			}
 			fmt.Printf("%-12s %-8s %-8s %s\n", "machine", "TR", "state", "history")
 			for _, r := range ranked {
 				fmt.Printf("%-12s %-8.4f %-8s %d days\n", r.MachineID, r.TR, r.CurrentState, r.HistoryWindows)
+			}
+			for _, f := range fails {
+				kind := "rejected"
+				if f.Transient() {
+					kind = "unreachable"
+				}
+				fmt.Printf("%-12s %-8s %v\n", f.MachineID, kind, f.Err)
 			}
 			return nil
 		}
@@ -125,7 +163,7 @@ func run(registry, gateway string, timeout time.Duration, cmd string, args []str
 		if gateway == "" {
 			return fmt.Errorf("%s needs -gateway", cmd)
 		}
-		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout}
+		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
 		var st ishare.JobStatusResp
 		var err error
 		if cmd == "status" {

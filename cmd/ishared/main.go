@@ -37,12 +37,30 @@ func main() {
 		histDays     = flag.Int("history", 0, "most recent N days to pool (0 = all)")
 		archive      = flag.String("archive", "", "archive history logs to this trace file periodically and on shutdown")
 		archiveEvery = flag.Duration("archive-every", 10*time.Minute, "archive interval")
+		ttl          = flag.Duration("ttl", 90*time.Second, "registration TTL; re-registered by the heartbeat (0 = register once, never expires)")
+		hbEvery      = flag.Duration("heartbeat-every", 30*time.Second, "registry re-registration interval")
+		reapEvery    = flag.Duration("reap-every", time.Minute, "registry-only: eviction sweep interval for expired registrations (0 = lazy only)")
 	)
 	flag.Parse()
-	if err := run(*id, *listen, *registry, *registryOnly, *source, *traceFile, *heartbeat, *histDays, *archive, *archiveEvery); err != nil {
+	if err := run(runConfig{
+		id: *id, listen: *listen, registry: *registry, registryOnly: *registryOnly,
+		source: *source, traceFile: *traceFile, heartbeat: *heartbeat, histDays: *histDays,
+		archive: *archive, archiveEvery: *archiveEvery,
+		ttl: *ttl, hbEvery: *hbEvery, reapEvery: *reapEvery,
+	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ishared:", err)
 		os.Exit(1)
 	}
+}
+
+type runConfig struct {
+	id, listen, registry         string
+	registryOnly                 bool
+	source, traceFile, heartbeat string
+	histDays                     int
+	archive                      string
+	archiveEvery, ttl, hbEvery   time.Duration
+	reapEvery                    time.Duration
 }
 
 func hostnameOr(fallback string) string {
@@ -52,15 +70,22 @@ func hostnameOr(fallback string) string {
 	return fallback
 }
 
-func run(id, listen, registry string, registryOnly bool, source, traceFile, heartbeat string, histDays int, archive string, archiveEvery time.Duration) error {
-	if registryOnly {
+func run(rc runConfig) error {
+	id, listen, registry := rc.id, rc.listen, rc.registry
+	source, traceFile, heartbeat := rc.source, rc.traceFile, rc.heartbeat
+	histDays, archive, archiveEvery := rc.histDays, rc.archive, rc.archiveEvery
+	if rc.registryOnly {
 		reg := ishare.NewRegistry()
 		srv, err := reg.Serve(listen)
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		fmt.Printf("registry listening on %s\n", srv.Addr())
+		if rc.reapEvery > 0 {
+			stop := reg.StartReaper(rc.reapEvery)
+			defer stop()
+		}
+		fmt.Printf("registry listening on %s (reap every %v)\n", srv.Addr(), rc.reapEvery)
 		waitForSignal()
 		return nil
 	}
@@ -114,17 +139,30 @@ func run(id, listen, registry string, registryOnly bool, source, traceFile, hear
 	if err != nil {
 		return err
 	}
-	srv, err := node.Serve(listen, registry)
+	srv, err := node.Gateway.Serve(listen)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	if registry != "" {
+		// Registration failures here are fatal (the operator asked to
+		// publish); later heartbeats retry under the caller's policy and
+		// otherwise rely on the TTL to advertise the node's death.
+		caller := &ishare.Caller{Retry: ishare.RetryPolicy{MaxAttempts: 3}}
+		if err := ishare.RegisterWithTTL(caller, registry, id, srv.Addr(), rc.ttl, 5*time.Second); err != nil {
+			return err
+		}
+		if rc.ttl > 0 && rc.hbEvery > 0 {
+			stop := node.StartHeartbeat(caller, registry, srv.Addr(), rc.ttl, rc.hbEvery, 5*time.Second)
+			defer stop()
+		}
+	}
 	node.Start()
 	defer node.Stop()
 	fmt.Printf("host node %s: gateway on %s, monitoring every %v (source %s)\n",
 		id, srv.Addr(), trace.DefaultPeriod, source)
 	if registry != "" {
-		fmt.Printf("registered with %s\n", registry)
+		fmt.Printf("registered with %s (ttl %v, heartbeat every %v)\n", registry, rc.ttl, rc.hbEvery)
 	}
 	if archive != "" {
 		stop := make(chan struct{})

@@ -139,7 +139,7 @@ func demoLiveQuery(ds *trace.Dataset, cfg avail.Config) {
 		sched.Candidates = append(sched.Candidates, ishare.Candidate{MachineID: m.ID, API: node.Gateway})
 	}
 	job := ishare.SubmitReq{Name: "live-job", WorkSeconds: jobHours * 3600, MemMB: 100}
-	ranked, err := sched.Rank(job)
+	ranked, _, err := sched.Rank(job)
 	if err != nil {
 		log.Fatal(err)
 	}

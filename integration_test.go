@@ -102,9 +102,12 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ranked, err := sched.Rank(ishare.SubmitReq{Name: "job", WorkSeconds: 2 * 3600, MemMB: 100})
+	ranked, rankFails, err := sched.Rank(ishare.SubmitReq{Name: "job", WorkSeconds: 2 * 3600, MemMB: 100})
 	if err != nil {
 		t.Fatal(err)
+	}
+	if len(rankFails) != 0 {
+		t.Fatalf("rank failures = %v", rankFails)
 	}
 	if len(ranked) != 2 {
 		t.Fatalf("ranked %d machines", len(ranked))

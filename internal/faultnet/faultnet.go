@@ -1,0 +1,397 @@
+// Package faultnet injects reproducible network faults underneath the
+// iShare control plane. The paper's premise is that FGCS resources fail
+// constantly; this package makes the *network* fail just as deterministically
+// so the runtime's retry, circuit-breaker and liveness machinery can be
+// driven through every failure mode in tests.
+//
+// A Network wraps dialing and listening. Every fault decision is drawn from
+// a seeded, splittable RNG stream keyed by (peer address, operation index),
+// so a test that performs the same sequence of operations observes the same
+// faults on every run — the decision trace is byte-identical for a fixed
+// seed. Per-connection faults (mid-stream resets, corruption, partial
+// writes) are planned once at connection establishment and trigger at fixed
+// *byte offsets*, which makes them independent of how the kernel chunks
+// reads and writes.
+//
+// Supported fault modes:
+//
+//   - dial refusal (connection refused) with probability DialFailProb
+//   - injected dial latency, uniform in [0, DialLatency)
+//   - mid-stream connection reset after a planned number of bytes read
+//     or written (ResetProb)
+//   - partial write: a write delivers only a prefix and then errors
+//     (PartialWriteProb)
+//   - byte corruption: one read byte is flipped at a planned offset
+//     (CorruptProb)
+//   - full per-peer partitions via Partition/Heal: every dial to the peer
+//     fails immediately until healed
+package faultnet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fgcs/internal/rng"
+)
+
+// Config sets fault probabilities. All probabilities are in [0, 1]; the zero
+// value injects nothing and passes traffic through untouched.
+type Config struct {
+	// DialFailProb is the probability a dial attempt is refused outright.
+	DialFailProb float64
+	// DialLatency, when positive, delays each successful dial by a
+	// uniform duration in [0, DialLatency).
+	DialLatency time.Duration
+	// ResetProb is the probability an established connection is reset
+	// mid-stream after a planned byte offset (read or write side, chosen
+	// per connection).
+	ResetProb float64
+	// PartialWriteProb is the probability a connection delivers only a
+	// prefix of one write and then fails.
+	PartialWriteProb float64
+	// CorruptProb is the probability one byte read from the connection is
+	// flipped at a planned offset.
+	CorruptProb float64
+	// MaxFaultOffset bounds the planned byte offset for mid-stream faults
+	// (default 128; iShare messages are short JSON lines).
+	MaxFaultOffset int
+}
+
+func (c Config) maxOffset() int {
+	if c.MaxFaultOffset <= 0 {
+		return 128
+	}
+	return c.MaxFaultOffset
+}
+
+// ErrInjected marks every error produced by fault injection, so tests and
+// retry layers can tell injected faults from real network trouble.
+type ErrInjected struct {
+	Op   string // "dial", "read", "write"
+	Addr string
+	Why  string
+}
+
+func (e *ErrInjected) Error() string {
+	return fmt.Sprintf("faultnet: injected %s fault to %s: %s", e.Op, e.Addr, e.Why)
+}
+
+// Timeout reports false; injected faults are hard failures, not timeouts.
+func (e *ErrInjected) Timeout() bool { return false }
+
+// connMode is the planned fate of one connection.
+type connMode int
+
+const (
+	modeClean connMode = iota
+	modeResetRead
+	modeResetWrite
+	modePartialWrite
+	modeCorrupt
+)
+
+func (m connMode) String() string {
+	switch m {
+	case modeClean:
+		return "clean"
+	case modeResetRead:
+		return "reset-read"
+	case modeResetWrite:
+		return "reset-write"
+	case modePartialWrite:
+		return "partial-write"
+	case modeCorrupt:
+		return "corrupt"
+	}
+	return "?"
+}
+
+// Network is a deterministic fault-injecting transport. It is safe for
+// concurrent use; determinism of the decision trace additionally requires
+// that the operations themselves happen in a deterministic order (e.g. a
+// single-threaded client loop).
+type Network struct {
+	mu          sync.Mutex
+	seed        uint64
+	cfg         Config
+	alias       map[string]string // concrete addr -> logical peer name
+	peerCfg     map[string]Config // per-peer overrides
+	partitioned map[string]bool
+	dialSeq     map[string]uint64 // per-addr dial attempt counter
+	acceptSeq   map[string]uint64 // per-listener accept counter
+	trace       []string
+	dialFails   int
+}
+
+// New returns a Network seeded for reproducible fault schedules.
+func New(seed uint64, cfg Config) *Network {
+	return &Network{
+		seed:        seed,
+		cfg:         cfg,
+		alias:       make(map[string]string),
+		peerCfg:     make(map[string]Config),
+		partitioned: make(map[string]bool),
+		dialSeq:     make(map[string]uint64),
+		acceptSeq:   make(map[string]uint64),
+	}
+}
+
+// Alias keys all fault decisions for addr by a stable logical name: RNG
+// streams, per-peer overrides, partitions and trace lines use the name
+// instead of the concrete address. Tests that listen on ephemeral ports
+// alias each address to a fixed name so the fault schedule — and the
+// decision trace — is byte-identical across runs regardless of which ports
+// the kernel hands out. SetPeerConfig, Partition, Heal and Partitioned then
+// take the logical name.
+func (n *Network) Alias(addr, name string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.alias[addr] = name
+}
+
+// key resolves a concrete address to its fault-schedule key. Callers hold
+// n.mu.
+func (n *Network) key(addr string) string {
+	if name, ok := n.alias[addr]; ok {
+		return name
+	}
+	return addr
+}
+
+// SetPeerConfig overrides the fault profile for one peer address.
+func (n *Network) SetPeerConfig(addr string, cfg Config) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peerCfg[n.key(addr)] = cfg
+}
+
+// Partition cuts all future dials to addr until Heal.
+func (n *Network) Partition(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.partitioned[n.key(addr)] = true
+	n.trace = append(n.trace, fmt.Sprintf("partition %s", n.key(addr)))
+}
+
+// Heal restores dials to addr.
+func (n *Network) Heal(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.partitioned, n.key(addr))
+	n.trace = append(n.trace, fmt.Sprintf("heal %s", n.key(addr)))
+}
+
+// Partitioned reports whether addr is currently cut off.
+func (n *Network) Partitioned(addr string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.partitioned[n.key(addr)]
+}
+
+// Trace returns a copy of the decision log: one line per fault decision, in
+// the order the decisions were made. For a fixed seed and a deterministic
+// operation sequence the trace is byte-identical across runs.
+func (n *Network) Trace() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, len(n.trace))
+	copy(out, n.trace)
+	return out
+}
+
+// DialFailures counts injected dial refusals (including partition refusals).
+func (n *Network) DialFailures() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.dialFails
+}
+
+func (n *Network) cfgFor(addr string) Config {
+	if c, ok := n.peerCfg[addr]; ok {
+		return c
+	}
+	return n.cfg
+}
+
+// planConn draws a connection's fate from its dedicated stream. Callers hold
+// n.mu.
+func planConn(s *rng.Stream, cfg Config) (connMode, int) {
+	u := s.Float64()
+	off := s.Intn(cfg.maxOffset()) + 1
+	switch {
+	case u < cfg.ResetProb/2:
+		return modeResetRead, off
+	case u < cfg.ResetProb:
+		return modeResetWrite, off
+	case u < cfg.ResetProb+cfg.PartialWriteProb:
+		return modePartialWrite, off
+	case u < cfg.ResetProb+cfg.PartialWriteProb+cfg.CorruptProb:
+		return modeCorrupt, off
+	}
+	return modeClean, 0
+}
+
+// DialTimeout dials addr through the fault layer. It satisfies the iShare
+// transport's Dialer contract.
+func (n *Network) DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error) {
+	n.mu.Lock()
+	key := n.key(addr)
+	seq := n.dialSeq[key]
+	n.dialSeq[key] = seq + 1
+	cfg := n.cfgFor(key)
+	if n.partitioned[key] {
+		n.dialFails++
+		n.trace = append(n.trace, fmt.Sprintf("dial %s #%d: partitioned", key, seq))
+		n.mu.Unlock()
+		return nil, &ErrInjected{Op: "dial", Addr: key, Why: "partitioned"}
+	}
+	s := rng.New(n.seed).SplitN("dial/"+key, int(seq))
+	if cfg.DialFailProb > 0 && s.Float64() < cfg.DialFailProb {
+		n.dialFails++
+		n.trace = append(n.trace, fmt.Sprintf("dial %s #%d: refused", key, seq))
+		n.mu.Unlock()
+		return nil, &ErrInjected{Op: "dial", Addr: key, Why: "connection refused"}
+	}
+	var delay time.Duration
+	if cfg.DialLatency > 0 {
+		delay = time.Duration(s.Float64() * float64(cfg.DialLatency))
+	}
+	mode, off := planConn(s.Split("conn"), cfg)
+	if mode != modeClean {
+		n.trace = append(n.trace, fmt.Sprintf("dial %s #%d: %s@%d", key, seq, mode, off))
+	}
+	n.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	c, err := net.DialTimeout(network, addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{Conn: c, addr: key, mode: mode, offset: off}, nil
+}
+
+// Listen opens a fault-injecting listener: accepted connections get their
+// own planned faults, keyed by the listener address and accept index.
+func (n *Network) Listen(network, addr string) (net.Listener, error) {
+	ln, err := net.Listen(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return n.WrapListener(ln), nil
+}
+
+// WrapListener wraps an existing listener with fault injection on accepted
+// connections.
+func (n *Network) WrapListener(ln net.Listener) net.Listener {
+	return &listener{Listener: ln, net: n}
+}
+
+type listener struct {
+	net.Listener
+	net *Network
+}
+
+// Accept plans faults for each inbound connection.
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	l.net.mu.Lock()
+	key := l.net.key(l.Listener.Addr().String())
+	seq := l.net.acceptSeq[key]
+	l.net.acceptSeq[key] = seq + 1
+	cfg := l.net.cfgFor(key)
+	s := rng.New(l.net.seed).SplitN("accept/"+key, int(seq))
+	mode, off := planConn(s, cfg)
+	if mode != modeClean {
+		l.net.trace = append(l.net.trace, fmt.Sprintf("accept %s #%d: %s@%d", key, seq, mode, off))
+	}
+	l.net.mu.Unlock()
+	return &conn{Conn: c, addr: key, mode: mode, offset: off}, nil
+}
+
+// conn applies one planned fault to a real connection. Offsets count
+// cumulative bytes on the faulted direction, so the trigger point does not
+// depend on how the stream is chunked into Read/Write calls.
+type conn struct {
+	net.Conn
+	addr   string
+	mode   connMode
+	offset int
+
+	mu      sync.Mutex
+	read    int
+	written int
+	done    bool // fault already delivered
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	c.mu.Lock()
+	mode, off, read, done := c.mode, c.offset, c.read, c.done
+	c.mu.Unlock()
+	if !done && mode == modeResetRead {
+		if read >= off {
+			c.fire()
+			_ = c.Conn.Close()
+			return 0, &ErrInjected{Op: "read", Addr: c.addr, Why: "connection reset"}
+		}
+		// Never deliver bytes past the planned offset: cap this read so
+		// the reset fires at exactly off cumulative bytes, regardless of
+		// how the kernel chunks the stream.
+		if len(p) > off-read {
+			p = p[:off-read]
+		}
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 && !done && mode == modeCorrupt && read < off && read+n >= off {
+		// Flip the byte at the planned cumulative offset.
+		p[off-read-1] ^= 0xFF
+		c.fire()
+	}
+	c.mu.Lock()
+	c.read += n
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	mode, off, written, done := c.mode, c.offset, c.written, c.done
+	c.mu.Unlock()
+	if !done && written+len(p) > off {
+		switch mode {
+		case modeResetWrite:
+			c.fire()
+			_ = c.Conn.Close()
+			return 0, &ErrInjected{Op: "write", Addr: c.addr, Why: "connection reset"}
+		case modePartialWrite:
+			k := off - written
+			if k < 0 {
+				k = 0
+			}
+			n, _ := c.Conn.Write(p[:k])
+			c.fire()
+			_ = c.Conn.Close()
+			c.mu.Lock()
+			c.written += n
+			c.mu.Unlock()
+			return n, &ErrInjected{Op: "write", Addr: c.addr, Why: "partial write"}
+		}
+	}
+	n, err := c.Conn.Write(p)
+	c.mu.Lock()
+	c.written += n
+	c.mu.Unlock()
+	return n, err
+}
+
+func (c *conn) fire() {
+	c.mu.Lock()
+	c.done = true
+	c.mu.Unlock()
+}

@@ -1,0 +1,184 @@
+package ishare
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/simclock"
+)
+
+func TestBreakerLifecycle(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	bs := NewBreakerSet(BreakerConfig{Threshold: 3, Cooldown: time.Minute}, clock)
+	id := "lab-01"
+	fail := errors.New("flake")
+
+	if bs.State(id) != BreakerClosed {
+		t.Fatalf("initial state = %v", bs.State(id))
+	}
+	// Two failures: still closed.
+	for i := 0; i < 2; i++ {
+		if !bs.Allow(id) {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		bs.Report(id, fail)
+	}
+	if bs.State(id) != BreakerClosed {
+		t.Fatalf("state after 2 failures = %v", bs.State(id))
+	}
+	// A success resets the consecutive count.
+	bs.Allow(id)
+	bs.Report(id, nil)
+	for i := 0; i < 2; i++ {
+		bs.Allow(id)
+		bs.Report(id, fail)
+	}
+	if bs.State(id) != BreakerClosed {
+		t.Fatalf("state = %v: success did not reset the failure count", bs.State(id))
+	}
+	// Third consecutive failure opens it.
+	bs.Allow(id)
+	bs.Report(id, fail)
+	if bs.State(id) != BreakerOpen {
+		t.Fatalf("state after threshold = %v, want open", bs.State(id))
+	}
+	if bs.Allow(id) {
+		t.Fatal("open breaker admitted a request inside the cooldown")
+	}
+	// Cooldown elapses: exactly one half-open probe is admitted.
+	clock.Advance(time.Minute)
+	if !bs.Allow(id) {
+		t.Fatal("half-open breaker denied the probe")
+	}
+	if bs.Allow(id) {
+		t.Fatal("second concurrent probe admitted while one is in flight")
+	}
+	// Probe fails: open again, fresh cooldown.
+	bs.Report(id, fail)
+	if bs.State(id) != BreakerOpen || bs.Allow(id) {
+		t.Fatal("failed probe did not re-open the breaker")
+	}
+	// Next cooldown, successful probe: closed.
+	clock.Advance(time.Minute)
+	if !bs.Allow(id) {
+		t.Fatal("probe denied after second cooldown")
+	}
+	bs.Report(id, nil)
+	if bs.State(id) != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", bs.State(id))
+	}
+	if !bs.Allow(id) {
+		t.Fatal("closed breaker denied traffic")
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[BreakerState]string{
+		BreakerClosed: "closed", BreakerOpen: "open", BreakerHalfOpen: "half-open",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", int(s), s.String())
+		}
+	}
+}
+
+// failingAPI is a GatewayAPI stub whose QueryTR always fails with a
+// transport error; it counts invocations.
+type failingAPI struct {
+	mu    sync.Mutex
+	calls int
+}
+
+func (f *failingAPI) QueryTR(QueryTRReq) (QueryTRResp, error) {
+	f.mu.Lock()
+	f.calls++
+	f.mu.Unlock()
+	return QueryTRResp{}, &transportError{errors.New("unreachable")}
+}
+func (f *failingAPI) Submit(SubmitReq) (SubmitResp, error) {
+	return SubmitResp{}, errors.New("unreachable")
+}
+func (f *failingAPI) JobStatus(JobStatusReq) (JobStatusResp, error) {
+	return JobStatusResp{}, errors.New("unreachable")
+}
+func (f *failingAPI) Kill(JobStatusReq) (JobStatusResp, error) {
+	return JobStatusResp{}, errors.New("unreachable")
+}
+
+func (f *failingAPI) count() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// TestSchedulerBreakerQuarantine drives Rank against one dead and one
+// healthy machine and asserts the dead one stops being queried once its
+// breaker opens, then gets a probe after the cooldown.
+func TestSchedulerBreakerQuarantine(t *testing.T) {
+	now := time.Date(2005, 9, 2, 8, 30, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	sm, err := NewStateManager("solid", period, avail.DefaultConfig(), clock, historyMachine("solid", 11, -1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := NewGateway("solid", avail.DefaultConfig(), period, clock, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good.Record(now, sample(5, 400))
+
+	dead := &failingAPI{}
+	sched := &Scheduler{
+		Candidates: []Candidate{
+			{MachineID: "dead", API: dead},
+			{MachineID: "solid", API: good},
+		},
+		Breakers: NewBreakerSet(BreakerConfig{Threshold: 2, Cooldown: time.Minute}, clock),
+	}
+	job := SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50}
+
+	// Ranks 1 and 2: the dead machine is queried and fails.
+	for i := 1; i <= 2; i++ {
+		ranked, fails, err := sched.Rank(job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ranked) != 1 || ranked[0].MachineID != "solid" {
+			t.Fatalf("rank %d = %+v", i, ranked)
+		}
+		if len(fails) != 1 || fails[0].MachineID != "dead" || !fails[0].Transient() {
+			t.Fatalf("rank %d failures = %v", i, fails)
+		}
+	}
+	if dead.count() != 2 {
+		t.Fatalf("dead machine queried %d times, want 2", dead.count())
+	}
+	// Rank 3: breaker open — skipped without an RPC, failure says so.
+	_, fails, err := sched.Rank(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dead.count() != 2 {
+		t.Fatalf("open breaker still let %d queries through", dead.count()-2)
+	}
+	if len(fails) != 1 || !errors.Is(fails[0].Err, ErrCircuitOpen) {
+		t.Fatalf("failures = %v, want circuit-open", fails)
+	}
+	// After the cooldown one probe goes through (and fails, re-opening).
+	clock.Advance(time.Minute)
+	if _, _, err := sched.Rank(job); err != nil {
+		t.Fatal(err)
+	}
+	if dead.count() != 3 {
+		t.Fatalf("probe count = %d, want exactly one probe after cooldown", dead.count()-2)
+	}
+	if _, _, err := sched.Rank(job); err != nil {
+		t.Fatal(err)
+	}
+	if dead.count() != 3 {
+		t.Fatal("re-opened breaker admitted traffic before the next cooldown")
+	}
+}

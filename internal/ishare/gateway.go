@@ -78,6 +78,7 @@ type Gateway struct {
 	job       *Job
 	history   []Job // terminal jobs
 	nextID    int
+	submitted map[string]string // idempotency key -> job ID
 }
 
 // NewGateway wires a gateway to its state manager.
@@ -194,6 +195,13 @@ func (g *Gateway) Submit(req SubmitReq) (SubmitResp, error) {
 	}
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	// Idempotent replay: a client retrying a submit whose ACK was lost
+	// gets the job it already launched, never a second guest.
+	if req.IdempotencyKey != "" {
+		if id, ok := g.submitted[req.IdempotencyKey]; ok {
+			return SubmitResp{JobID: id}, nil
+		}
+	}
 	if g.job != nil && !g.job.State.Terminal() {
 		return SubmitResp{}, fmt.Errorf("ishare: machine %s already runs a guest job", g.machineID)
 	}
@@ -207,6 +215,12 @@ func (g *Gateway) Submit(req SubmitReq) (SubmitResp, error) {
 		State:    JobRunning,
 	}
 	g.job = job
+	if req.IdempotencyKey != "" {
+		if g.submitted == nil {
+			g.submitted = make(map[string]string)
+		}
+		g.submitted[req.IdempotencyKey] = job.ID
+	}
 	return SubmitResp{JobID: job.ID}, nil
 }
 

@@ -352,7 +352,7 @@ func TestSchedulerRanksByTR(t *testing.T) {
 		{MachineID: "solid", API: solid},
 	}}
 	job := SubmitReq{Name: "job", WorkSeconds: 2 * 3600, MemMB: 100}
-	ranked, err := sched.Rank(job)
+	ranked, _, err := sched.Rank(job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,12 +379,16 @@ func TestSchedulerRanksByTR(t *testing.T) {
 
 func TestSchedulerErrors(t *testing.T) {
 	s := &Scheduler{}
-	if _, err := s.Rank(SubmitReq{WorkSeconds: 60}); err == nil {
+	if _, _, err := s.Rank(SubmitReq{WorkSeconds: 60}); err == nil {
 		t.Fatal("empty candidate set accepted")
 	}
 	s.Candidates = []Candidate{{MachineID: "gone", API: RemoteGateway{Addr: "127.0.0.1:1", Timeout: 50 * time.Millisecond}}}
-	if _, err := s.Rank(SubmitReq{WorkSeconds: 60}); err == nil {
+	_, fails, err := s.Rank(SubmitReq{WorkSeconds: 60})
+	if err == nil {
 		t.Fatal("all-unreachable candidates accepted")
+	}
+	if len(fails) != 1 || fails[0].MachineID != "gone" || !fails[0].Transient() {
+		t.Fatalf("rank failures = %v, want one transient failure for 'gone'", fails)
 	}
 }
 

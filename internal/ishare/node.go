@@ -2,6 +2,7 @@ package ishare
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"fgcs/internal/avail"
@@ -93,6 +94,28 @@ func (n *HostNode) Serve(addr, registryAddr string) (*Server, error) {
 		}
 	}
 	return srv, nil
+}
+
+// StartHeartbeat re-registers the gateway with the registry every interval,
+// each time with the given TTL, so the registration stays live as long as
+// the node does and expires soon after it dies. Registration failures are
+// retried under the caller's policy and otherwise left to the next beat —
+// a missed heartbeat is exactly the signal the TTL is there to catch. The
+// returned stop function ends the heartbeat (idempotent).
+func (n *HostNode) StartHeartbeat(caller *Caller, registryAddr, gatewayAddr string, ttl, every time.Duration, timeout time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-n.clock.After(every):
+				_ = RegisterWithTTL(caller, registryAddr, n.Gateway.MachineID(), gatewayAddr, ttl, timeout)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // FeedDay drives the node synchronously through one simulated day of

@@ -13,6 +13,7 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net"
 	"time"
 )
@@ -45,6 +46,9 @@ type Response struct {
 type RegisterReq struct {
 	MachineID string `json:"machine_id"`
 	Addr      string `json:"addr"`
+	// TTLSeconds makes the registration expire unless refreshed within
+	// the TTL (0 = never expires). Gateways heartbeat by re-registering.
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
 }
 
 // Resource is one published host node.
@@ -91,6 +95,11 @@ type SubmitReq struct {
 	MemMB       float64 `json:"mem_mb"`
 	// InitialProgressSeconds resumes from a checkpoint.
 	InitialProgressSeconds float64 `json:"initial_progress_seconds,omitempty"`
+	// IdempotencyKey, when set, makes the submit replay-safe: a gateway
+	// that already launched a job for this key returns the original job
+	// ID instead of launching a second guest. This is what lets a client
+	// retry a submit whose ACK was lost in the network.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
 // SubmitResp acknowledges a launch.
@@ -112,18 +121,21 @@ type JobStatusResp struct {
 	WorkSeconds     float64 `json:"work_seconds"`
 }
 
-// Call performs one request/response round trip to addr.
+// Call performs one request/response round trip to addr: a single attempt
+// over the real network. Use a Caller to plug in a different transport or a
+// retry policy.
 func Call(addr string, typ string, payload, out interface{}, timeout time.Duration) error {
-	conn, err := net.DialTimeout("tcp", addr, timeout)
-	if err != nil {
-		return fmt.Errorf("ishare: dial %s: %w", addr, err)
-	}
-	defer conn.Close()
-	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
-		return err
-	}
+	return callOnce(netDialer{}, addr, typ, payload, out, timeout)
+}
+
+// exchange runs the request/response protocol over an established
+// connection. Failures to send or receive are transport errors (the request
+// may or may not have executed remotely); a decoded Response{OK: false} is a
+// RemoteError (the request definitely executed and was rejected).
+func exchange(conn net.Conn, typ string, payload, out interface{}) error {
 	var raw json.RawMessage
 	if payload != nil {
+		var err error
 		raw, err = json.Marshal(payload)
 		if err != nil {
 			return err
@@ -131,19 +143,19 @@ func Call(addr string, typ string, payload, out interface{}, timeout time.Durati
 	}
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(Request{Type: typ, Payload: raw}); err != nil {
-		return fmt.Errorf("ishare: send: %w", err)
+		return &transportError{fmt.Errorf("ishare: send: %w", err)}
 	}
 	var resp Response
 	dec := json.NewDecoder(bufio.NewReader(conn))
 	if err := dec.Decode(&resp); err != nil {
-		return fmt.Errorf("ishare: receive: %w", err)
+		return &transportError{fmt.Errorf("ishare: receive: %w", err)}
 	}
 	if !resp.OK {
-		return fmt.Errorf("ishare: remote error: %s", resp.Error)
+		return &RemoteError{Msg: resp.Error}
 	}
 	if out != nil && resp.Payload != nil {
 		if err := json.Unmarshal(resp.Payload, out); err != nil {
-			return fmt.Errorf("ishare: decode payload: %w", err)
+			return &transportError{fmt.Errorf("ishare: decode payload: %w", err)}
 		}
 	}
 	return nil
@@ -152,17 +164,59 @@ func Call(addr string, typ string, payload, out interface{}, timeout time.Durati
 // Handler processes one decoded request and returns the response payload.
 type Handler func(req Request) (payload interface{}, err error)
 
+// ServerConfig bounds per-connection resource use. The zero value gives the
+// defaults: a 30 s connection deadline and a 1 MiB request cap.
+type ServerConfig struct {
+	// ConnDeadline bounds how long a connection may take to deliver its
+	// request and drain the response (default 30 s).
+	ConnDeadline time.Duration
+	// MaxRequestBytes caps the request size read from a connection, so a
+	// malformed or hostile client cannot balloon server memory
+	// (default 1 MiB).
+	MaxRequestBytes int64
+	// AcceptBackoffMax caps the exponential backoff applied when Accept
+	// fails transiently (default 1 s).
+	AcceptBackoffMax time.Duration
+}
+
+func (c ServerConfig) connDeadline() time.Duration {
+	if c.ConnDeadline <= 0 {
+		return 30 * time.Second
+	}
+	return c.ConnDeadline
+}
+
+func (c ServerConfig) maxRequestBytes() int64 {
+	if c.MaxRequestBytes <= 0 {
+		return 1 << 20
+	}
+	return c.MaxRequestBytes
+}
+
+func (c ServerConfig) acceptBackoffMax() time.Duration {
+	if c.AcceptBackoffMax <= 0 {
+		return time.Second
+	}
+	return c.AcceptBackoffMax
+}
+
 // Server is a minimal one-request-per-connection TCP server shared by the
 // registry and the gateway.
 type Server struct {
 	ln      net.Listener
 	handler Handler
+	cfg     ServerConfig
 	done    chan struct{}
 }
 
 // NewServer starts listening on addr (use "127.0.0.1:0" for tests) and
-// serving requests with the handler.
+// serving requests with the handler, under the default ServerConfig.
 func NewServer(addr string, handler Handler) (*Server, error) {
+	return NewServerConfig(addr, handler, ServerConfig{})
+}
+
+// NewServerConfig is NewServer with explicit per-connection bounds.
+func NewServerConfig(addr string, handler Handler, cfg ServerConfig) (*Server, error) {
 	if handler == nil {
 		return nil, fmt.Errorf("ishare: nil handler")
 	}
@@ -170,9 +224,15 @@ func NewServer(addr string, handler Handler) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{ln: ln, handler: handler, done: make(chan struct{})}
+	return ServeListener(ln, handler, cfg), nil
+}
+
+// ServeListener serves the protocol on an already-open listener — the hook
+// for wrapping the accept path in a fault-injecting transport.
+func ServeListener(ln net.Listener, handler Handler, cfg ServerConfig) *Server {
+	s := &Server{ln: ln, handler: handler, cfg: cfg, done: make(chan struct{})}
 	go s.acceptLoop()
-	return s, nil
+	return s
 }
 
 // Addr returns the bound address.
@@ -185,6 +245,7 @@ func (s *Server) Close() error {
 }
 
 func (s *Server) acceptLoop() {
+	var backoff time.Duration
 	for {
 		conn, err := s.ln.Accept()
 		if err != nil {
@@ -192,19 +253,41 @@ func (s *Server) acceptLoop() {
 			case <-s.done:
 				return
 			default:
-				continue
 			}
+			// Transient accept failure (EMFILE, ECONNABORTED, ...):
+			// back off with a capped exponential delay instead of
+			// hot-spinning the CPU against a persistent error.
+			if backoff == 0 {
+				backoff = 5 * time.Millisecond
+			} else {
+				backoff *= 2
+			}
+			if max := s.cfg.acceptBackoffMax(); backoff > max {
+				backoff = max
+			}
+			select {
+			case <-s.done:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		go s.serve(conn)
 	}
 }
 
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(30 * time.Second))
+	_ = conn.SetDeadline(time.Now().Add(s.cfg.connDeadline()))
+	limited := &io.LimitedReader{R: conn, N: s.cfg.maxRequestBytes()}
 	var req Request
-	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&req); err != nil {
-		_ = json.NewEncoder(conn).Encode(Response{OK: false, Error: "malformed request"})
+	if err := json.NewDecoder(bufio.NewReader(limited)).Decode(&req); err != nil {
+		msg := "malformed request"
+		if limited.N <= 0 {
+			msg = "request too large"
+		}
+		_ = json.NewEncoder(conn).Encode(Response{OK: false, Error: msg})
 		return
 	}
 	payload, err := s.handler(req)

@@ -6,30 +6,62 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"fgcs/internal/simclock"
 )
 
 // Registry is the resource publication/discovery service. The paper's
 // deployment uses a P2P network [24]; a registry provides the same
 // publish/discover contract for the prediction framework with a fraction of
 // the machinery.
+//
+// Registrations may carry a TTL: a gateway that stops heartbeating (host
+// revoked, owner reboot, partition) expires and is no longer handed out by
+// Discover, so clients never rank dead addresses. A TTL of zero preserves
+// the original semantics: the registration never expires.
 type Registry struct {
 	mu        sync.Mutex
-	resources map[string]Resource
+	clock     simclock.Clock
+	resources map[string]registration
 }
 
-// NewRegistry returns an empty registry.
+type registration struct {
+	res     Resource
+	expires time.Time // zero = never
+}
+
+// NewRegistry returns an empty registry on the wall clock.
 func NewRegistry() *Registry {
-	return &Registry{resources: make(map[string]Resource)}
+	return NewRegistryClock(nil)
 }
 
-// Register publishes (or refreshes) a resource.
+// NewRegistryClock returns an empty registry whose TTLs are judged against
+// the given clock (nil = wall clock); simulations pass a virtual clock.
+func NewRegistryClock(clock simclock.Clock) *Registry {
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &Registry{clock: clock, resources: make(map[string]registration)}
+}
+
+// Register publishes (or refreshes) a resource with no expiry.
 func (r *Registry) Register(res Resource) error {
+	return r.RegisterTTL(res, 0)
+}
+
+// RegisterTTL publishes (or refreshes) a resource that expires after ttl
+// unless re-registered; ttl <= 0 means no expiry.
+func (r *Registry) RegisterTTL(res Resource, ttl time.Duration) error {
 	if res.MachineID == "" || res.Addr == "" {
 		return fmt.Errorf("ishare: register needs machine id and address")
 	}
+	reg := registration{res: res}
+	if ttl > 0 {
+		reg.expires = r.clock.Now().Add(ttl)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.resources[res.MachineID] = res
+	r.resources[res.MachineID] = reg
 	return nil
 }
 
@@ -40,16 +72,55 @@ func (r *Registry) Unregister(machineID string) {
 	delete(r.resources, machineID)
 }
 
-// Resources lists the published resources sorted by machine ID.
+// Resources lists the live (non-expired) resources sorted by machine ID.
 func (r *Registry) Resources() []Resource {
+	now := r.clock.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	out := make([]Resource, 0, len(r.resources))
-	for _, res := range r.resources {
-		out = append(out, res)
+	for _, reg := range r.resources {
+		if !reg.expires.IsZero() && !now.Before(reg.expires) {
+			continue
+		}
+		out = append(out, reg.res)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].MachineID < out[j].MachineID })
 	return out
+}
+
+// Reap evicts expired registrations and returns how many were removed.
+// Discover already filters expired entries lazily; the reaper keeps the map
+// itself from accumulating dead gateways.
+func (r *Registry) Reap() int {
+	now := r.clock.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for id, reg := range r.resources {
+		if !reg.expires.IsZero() && !now.Before(reg.expires) {
+			delete(r.resources, id)
+			n++
+		}
+	}
+	return n
+}
+
+// StartReaper evicts expired registrations every interval until the
+// returned stop function is called.
+func (r *Registry) StartReaper(every time.Duration) (stop func()) {
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-r.clock.After(every):
+				r.Reap()
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // Handler serves the registry protocol.
@@ -61,7 +132,8 @@ func (r *Registry) Handler() Handler {
 			if err := json.Unmarshal(req.Payload, &reg); err != nil {
 				return nil, fmt.Errorf("malformed register payload")
 			}
-			return nil, r.Register(Resource{MachineID: reg.MachineID, Addr: reg.Addr})
+			ttl := time.Duration(reg.TTLSeconds * float64(time.Second))
+			return nil, r.RegisterTTL(Resource{MachineID: reg.MachineID, Addr: reg.Addr}, ttl)
 		case MsgDiscover:
 			return DiscoverResp{Resources: r.Resources()}, nil
 		default:
@@ -75,15 +147,29 @@ func (r *Registry) Serve(addr string) (*Server, error) {
 	return NewServer(addr, r.Handler())
 }
 
-// RegisterWith publishes a gateway at gatewayAddr to a remote registry.
+// RegisterWith publishes a gateway at gatewayAddr to a remote registry,
+// with no expiry.
 func RegisterWith(registryAddr, machineID, gatewayAddr string, timeout time.Duration) error {
-	return Call(registryAddr, MsgRegister, RegisterReq{MachineID: machineID, Addr: gatewayAddr}, nil, timeout)
+	return RegisterWithTTL(nil, registryAddr, machineID, gatewayAddr, 0, timeout)
+}
+
+// RegisterWithTTL publishes a gateway with a TTL through an optional Caller
+// (registration is idempotent, so the caller's retry policy applies). The
+// gateway must re-register within the TTL — see HostNode.StartHeartbeat.
+func RegisterWithTTL(caller *Caller, registryAddr, machineID, gatewayAddr string, ttl, timeout time.Duration) error {
+	req := RegisterReq{MachineID: machineID, Addr: gatewayAddr, TTLSeconds: ttl.Seconds()}
+	return caller.CallRetry(registryAddr, MsgRegister, req, nil, timeout)
 }
 
 // Discover fetches the published resources from a remote registry.
 func Discover(registryAddr string, timeout time.Duration) ([]Resource, error) {
+	return DiscoverWith(nil, registryAddr, timeout)
+}
+
+// DiscoverWith is Discover through an optional Caller with retries.
+func DiscoverWith(caller *Caller, registryAddr string, timeout time.Duration) ([]Resource, error) {
 	var resp DiscoverResp
-	if err := Call(registryAddr, MsgDiscover, nil, &resp, timeout); err != nil {
+	if err := caller.CallRetry(registryAddr, MsgDiscover, nil, &resp, timeout); err != nil {
 		return nil, err
 	}
 	return resp.Resources, nil

@@ -1,0 +1,212 @@
+package ishare
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"fgcs/internal/simclock"
+)
+
+func TestRegistryTTLExpiry(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	reg := NewRegistryClock(clock)
+	if err := reg.RegisterTTL(Resource{MachineID: "a", Addr: "10.0.0.1:1"}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(Resource{MachineID: "forever", Addr: "10.0.0.2:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(reg.Resources()); got != 2 {
+		t.Fatalf("live resources = %d", got)
+	}
+	// Just before expiry: still live.
+	clock.Advance(time.Minute - time.Second)
+	if got := len(reg.Resources()); got != 2 {
+		t.Fatalf("resources before expiry = %d", got)
+	}
+	// At expiry, the TTL'd entry vanishes from discovery; the TTL-less
+	// registration stays forever.
+	clock.Advance(time.Second)
+	res := reg.Resources()
+	if len(res) != 1 || res[0].MachineID != "forever" {
+		t.Fatalf("resources after expiry = %+v", res)
+	}
+	// Discovery filtered lazily; Reap actually evicts the map entry.
+	if n := reg.Reap(); n != 1 {
+		t.Fatalf("reaped = %d, want 1", n)
+	}
+	if n := reg.Reap(); n != 0 {
+		t.Fatalf("second reap = %d, want 0", n)
+	}
+}
+
+func TestRegistryReRegisterRefreshesTTL(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	reg := NewRegistryClock(clock)
+	if err := reg.RegisterTTL(Resource{MachineID: "a", Addr: "10.0.0.1:1"}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	// Heartbeat at t+40s pushes expiry to t+100s.
+	clock.Advance(40 * time.Second)
+	if err := reg.RegisterTTL(Resource{MachineID: "a", Addr: "10.0.0.1:1"}, time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(50 * time.Second) // t+90s: past the original expiry
+	if got := len(reg.Resources()); got != 1 {
+		t.Fatal("refreshed registration expired on the original TTL")
+	}
+	clock.Advance(10 * time.Second) // t+100s
+	if got := len(reg.Resources()); got != 0 {
+		t.Fatalf("resources after refreshed TTL = %d", got)
+	}
+}
+
+func TestRegistryTTLOverTCP(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	reg := NewRegistryClock(clock)
+	srv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := RegisterWithTTL(nil, srv.Addr(), "lab-01", "10.0.0.1:9000", 30*time.Second, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Discover(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("discovered = %+v", res)
+	}
+	clock.Advance(31 * time.Second)
+	res, err = Discover(srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("expired gateway still discoverable: %+v", res)
+	}
+}
+
+func TestRegistryReaper(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	reg := NewRegistryClock(clock)
+	_ = reg.RegisterTTL(Resource{MachineID: "a", Addr: "10.0.0.1:1"}, 10*time.Second)
+	stop := reg.StartReaper(5 * time.Second)
+	defer stop()
+	// Let the reaper goroutine arm its timer before advancing.
+	waitFor(t, func() bool { return clock.PendingTimers() > 0 })
+	clock.Advance(5 * time.Second) // first tick: nothing expired yet
+	waitFor(t, func() bool { return clock.PendingTimers() > 0 })
+	clock.Advance(10 * time.Second) // second tick at t+15: entry expired
+	waitFor(t, func() bool {
+		reg.mu.Lock()
+		defer reg.mu.Unlock()
+		return len(reg.resources) == 0
+	})
+	stop()
+	stop() // idempotent
+}
+
+// waitFor polls cond with a real-time deadline; used to sync with
+// goroutines driven by the virtual clock.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func TestHostNodeHeartbeat(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	reg := NewRegistryClock(clock)
+	regSrv, err := reg.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer regSrv.Close()
+
+	node := testNode(t, clock, nil)
+	gwSrv, err := node.Gateway.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gwSrv.Close()
+
+	ttl, every := 30*time.Second, 10*time.Second
+	if err := RegisterWithTTL(nil, regSrv.Addr(), "lab-01", gwSrv.Addr(), ttl, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	stop := node.StartHeartbeat(nil, regSrv.Addr(), gwSrv.Addr(), ttl, every, time.Second)
+	// Beats at 10/20/30/40s keep the registration alive far past the
+	// original 30 s TTL.
+	for i := 0; i < 4; i++ {
+		waitFor(t, func() bool { return clock.PendingTimers() > 0 })
+		clock.Advance(every)
+		// Each beat is an RPC on a goroutine; wait until the refreshed
+		// expiry lands so the next advance cannot race past it.
+		deadline := clock.Now().Add(ttl)
+		waitFor(t, func() bool {
+			reg.mu.Lock()
+			defer reg.mu.Unlock()
+			r, ok := reg.resources["lab-01"]
+			return ok && !r.expires.Before(deadline)
+		})
+	}
+	if got := len(reg.Resources()); got != 1 {
+		t.Fatalf("heartbeating gateway dropped: resources = %d", got)
+	}
+	// Stop the heartbeat: the registration expires one TTL later — this is
+	// exactly how a revoked host vanishes from discovery.
+	stop()
+	clock.Advance(ttl + time.Second)
+	if got := len(reg.Resources()); got != 0 {
+		t.Fatalf("dead gateway still discoverable after TTL: resources = %d", got)
+	}
+}
+
+// TestRegistryConcurrentAccess hammers register/discover/reap from many
+// goroutines; run under -race this is the registry's thread-safety proof.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	reg := NewRegistryClock(clock)
+	h := reg.Handler()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				switch i % 4 {
+				case 0:
+					_ = reg.RegisterTTL(Resource{
+						MachineID: fmt.Sprintf("m-%d-%d", w, i%16),
+						Addr:      "10.0.0.1:1",
+					}, time.Duration(1+i%30)*time.Second)
+				case 1:
+					_, _ = h(Request{Type: MsgDiscover})
+				case 2:
+					reg.Reap()
+				case 3:
+					reg.Unregister(fmt.Sprintf("m-%d-%d", w, (i+1)%16))
+				}
+			}
+		}(w)
+	}
+	// Concurrent clock advances move expiry judgments while the above run.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			clock.Advance(time.Second)
+		}
+	}()
+	wg.Wait()
+}

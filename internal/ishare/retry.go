@@ -1,0 +1,218 @@
+package ishare
+
+import (
+	crand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"fgcs/internal/rng"
+	"fgcs/internal/simclock"
+)
+
+// Dialer abstracts connection establishment so tests can route RPCs through
+// a fault-injecting transport (internal/faultnet implements this).
+type Dialer interface {
+	DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error)
+}
+
+// netDialer is the production dialer.
+type netDialer struct{}
+
+func (netDialer) DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error) {
+	return net.DialTimeout(network, addr, timeout)
+}
+
+// RemoteError is an application-level error returned by the far end. The
+// RPC reached the server and was processed; retrying it would re-execute the
+// operation, so the retry layer never retries these.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return fmt.Sprintf("ishare: remote error: %s", e.Msg) }
+
+// transportError marks a failure below the application: dial, send, receive
+// or decode. The request may or may not have reached the server, so only
+// idempotent RPCs are safe to retry after one.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// IsTransport reports whether err is a transport-level failure (as opposed
+// to an application error returned by the remote handler). Callers use it to
+// tell "machine unreachable / network flake" from "machine said no".
+func IsTransport(err error) bool {
+	var te *transportError
+	return errors.As(err, &te)
+}
+
+// RetryPolicy shapes retries for idempotent RPCs: exponential backoff with
+// deterministic seeded jitter, capped per-attempt by the call timeout.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of attempts (1 or less = no retry).
+	MaxAttempts int
+	// BaseDelay is the first backoff delay (default 50 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff growth (default 2 s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between attempts (default 2).
+	Multiplier float64
+}
+
+func (p RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 50 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 2 * time.Second
+	}
+	return p.MaxDelay
+}
+
+func (p RetryPolicy) multiplier() float64 {
+	if p.Multiplier <= 1 {
+		return 2
+	}
+	return p.Multiplier
+}
+
+// delay computes the backoff before attempt n (n >= 1 is the first retry),
+// with jitter drawn from the given stream: the second half of each delay is
+// randomized to decorrelate clients hammering a recovering node.
+func (p RetryPolicy) delay(n int, jitter *rng.Stream) time.Duration {
+	d := float64(p.baseDelay())
+	for i := 1; i < n; i++ {
+		d *= p.multiplier()
+		if d >= float64(p.maxDelay()) {
+			d = float64(p.maxDelay())
+			break
+		}
+	}
+	half := d / 2
+	return time.Duration(half + jitter.Float64()*half)
+}
+
+// Caller performs protocol round trips with a pluggable transport, a retry
+// policy for idempotent RPCs, and an idempotency-key source for RPCs that
+// must not double-execute. The zero value (and a nil *Caller) behaves
+// exactly like the package-level Call: real dialer, single attempt.
+type Caller struct {
+	// Dialer defaults to the real network.
+	Dialer Dialer
+	// Retry applies to idempotent calls made through CallRetry.
+	Retry RetryPolicy
+	// Clock paces backoff sleeps (defaults to the wall clock). Use a
+	// virtual clock only if something else advances it during calls.
+	Clock simclock.Clock
+	// JitterSeed seeds the backoff jitter stream, making retry schedules
+	// reproducible (0 uses a fixed default seed).
+	JitterSeed uint64
+
+	mu       sync.Mutex
+	jitter   *rng.Stream
+	instance string
+	keySeq   uint64
+}
+
+func (c *Caller) dialer() Dialer {
+	if c == nil || c.Dialer == nil {
+		return netDialer{}
+	}
+	return c.Dialer
+}
+
+func (c *Caller) clock() simclock.Clock {
+	if c == nil || c.Clock == nil {
+		return simclock.Real{}
+	}
+	return c.Clock
+}
+
+func (c *Caller) nextJitter(n int) time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.jitter == nil {
+		seed := c.JitterSeed
+		if seed == 0 {
+			seed = 0x15A4E
+		}
+		c.jitter = rng.New(seed)
+	}
+	return c.Retry.delay(n, c.jitter)
+}
+
+// NextKey returns a fresh idempotency key: a per-caller instance tag plus a
+// counter. The instance tag makes keys from different client processes
+// distinct — gateways remember keys for as long as they run, so a bare
+// counter would collide across client invocations and silently hand the
+// second client the first one's job. With JitterSeed set (tests), the tag
+// is derived from the seed and the whole key sequence is reproducible;
+// otherwise it is drawn from crypto/rand once per caller. Both forms have
+// the same length, so message sizes stay run-independent.
+func (c *Caller) NextKey(prefix string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.instance == "" {
+		if c.JitterSeed != 0 {
+			c.instance = fmt.Sprintf("%08x", c.JitterSeed&0xFFFFFFFF)
+		} else {
+			var b [4]byte
+			if _, err := crand.Read(b[:]); err != nil {
+				// Last resort: clock entropy beats a guaranteed collision.
+				binary.LittleEndian.PutUint32(b[:], uint32(time.Now().UnixNano()))
+			}
+			c.instance = hex.EncodeToString(b[:])
+		}
+	}
+	c.keySeq++
+	return fmt.Sprintf("%s/%s-k%d", prefix, c.instance, c.keySeq)
+}
+
+// Call performs a single-attempt round trip through the caller's dialer.
+// Use it for non-idempotent RPCs (Submit without a key, Kill).
+func (c *Caller) Call(addr, typ string, payload, out interface{}, timeout time.Duration) error {
+	return callOnce(c.dialer(), addr, typ, payload, out, timeout)
+}
+
+// CallRetry performs the round trip with the caller's retry policy: each
+// attempt gets the full timeout as its own deadline; transport errors are
+// retried after backoff, remote application errors are returned immediately.
+// Only use it for idempotent RPCs, or RPCs protected by an idempotency key.
+func (c *Caller) CallRetry(addr, typ string, payload, out interface{}, timeout time.Duration) error {
+	attempts := 1
+	if c != nil && c.Retry.MaxAttempts > 1 {
+		attempts = c.Retry.MaxAttempts
+	}
+	var err error
+	for n := 1; ; n++ {
+		err = callOnce(c.dialer(), addr, typ, payload, out, timeout)
+		if err == nil || !IsTransport(err) || n >= attempts {
+			if err != nil && n > 1 {
+				return fmt.Errorf("ishare: %d attempts: %w", n, err)
+			}
+			return err
+		}
+		c.clock().Sleep(c.nextJitter(n))
+	}
+}
+
+// callOnce is one request/response exchange over a fresh connection.
+func callOnce(d Dialer, addr, typ string, payload, out interface{}, timeout time.Duration) error {
+	conn, err := d.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return &transportError{fmt.Errorf("ishare: dial %s: %w", addr, err)}
+	}
+	defer conn.Close()
+	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
+		return &transportError{err}
+	}
+	return exchange(conn, typ, payload, out)
+}

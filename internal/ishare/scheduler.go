@@ -18,10 +18,15 @@ type GatewayAPI interface {
 
 var _ GatewayAPI = (*Gateway)(nil)
 
-// RemoteGateway speaks the gateway protocol over TCP.
+// RemoteGateway speaks the gateway protocol over TCP. With a nil Caller it
+// behaves as a plain single-attempt client. With a Caller carrying a retry
+// policy, the idempotent RPCs (QueryTR, JobStatus) are retried with backoff;
+// Submit is retried only under an auto-generated idempotency key, so a lost
+// ACK can never double-launch a guest; Kill always gets a single attempt.
 type RemoteGateway struct {
 	Addr    string
 	Timeout time.Duration
+	Caller  *Caller
 }
 
 func (r RemoteGateway) timeout() time.Duration {
@@ -31,31 +36,46 @@ func (r RemoteGateway) timeout() time.Duration {
 	return r.Timeout
 }
 
-// QueryTR implements GatewayAPI.
+// QueryTR implements GatewayAPI. Idempotent: retried under the caller's
+// policy.
 func (r RemoteGateway) QueryTR(req QueryTRReq) (QueryTRResp, error) {
 	var resp QueryTRResp
-	err := Call(r.Addr, MsgQueryTR, req, &resp, r.timeout())
+	err := r.Caller.CallRetry(r.Addr, MsgQueryTR, req, &resp, r.timeout())
 	return resp, err
 }
 
-// Submit implements GatewayAPI.
+// Submit implements GatewayAPI. Not idempotent by itself: without a key it
+// gets exactly one attempt. When the caller has retries configured, a fresh
+// idempotency key is attached (unless the request already carries one) and
+// the submit becomes safely retryable — the gateway replays the original
+// job ID for a duplicate key.
 func (r RemoteGateway) Submit(req SubmitReq) (SubmitResp, error) {
 	var resp SubmitResp
-	err := Call(r.Addr, MsgSubmit, req, &resp, r.timeout())
+	if r.Caller != nil && r.Caller.Retry.MaxAttempts > 1 {
+		if req.IdempotencyKey == "" {
+			req.IdempotencyKey = r.Caller.NextKey(r.Addr)
+		}
+		err := r.Caller.CallRetry(r.Addr, MsgSubmit, req, &resp, r.timeout())
+		return resp, err
+	}
+	err := r.Caller.Call(r.Addr, MsgSubmit, req, &resp, r.timeout())
 	return resp, err
 }
 
-// JobStatus implements GatewayAPI.
+// JobStatus implements GatewayAPI. Idempotent: retried under the caller's
+// policy.
 func (r RemoteGateway) JobStatus(req JobStatusReq) (JobStatusResp, error) {
 	var resp JobStatusResp
-	err := Call(r.Addr, MsgJobStatus, req, &resp, r.timeout())
+	err := r.Caller.CallRetry(r.Addr, MsgJobStatus, req, &resp, r.timeout())
 	return resp, err
 }
 
-// Kill implements GatewayAPI.
+// Kill implements GatewayAPI. Killing twice is an application error, so a
+// kill gets a single attempt; callers that lose the ACK can confirm the
+// outcome with JobStatus.
 func (r RemoteGateway) Kill(req JobStatusReq) (JobStatusResp, error) {
 	var resp JobStatusResp
-	err := Call(r.Addr, MsgKillJob, req, &resp, r.timeout())
+	err := r.Caller.Call(r.Addr, MsgKillJob, req, &resp, r.timeout())
 	return resp, err
 }
 
@@ -73,57 +93,96 @@ type Ranked struct {
 	CurrentState   string
 }
 
+// RankFailure explains why one machine is missing from a ranking, so
+// callers and logs can tell a revoked resource from a network flake from a
+// breaker quarantine.
+type RankFailure struct {
+	MachineID string
+	Err       error
+}
+
+// Transient reports whether the failure was transport-level (network flake
+// or quarantine) rather than an application rejection by the machine.
+func (f RankFailure) Transient() bool {
+	return IsTransport(f.Err) || f.Err == ErrCircuitOpen
+}
+
+func (f RankFailure) String() string {
+	return fmt.Sprintf("%s: %v", f.MachineID, f.Err)
+}
+
 // Scheduler is the client-side job scheduler of Figure 2: it queries the
 // gateways of available machines for their temporal reliability over the
 // job's execution window and submits to the most reliable one.
 type Scheduler struct {
 	Candidates []Candidate
+	// Breakers, when set, quarantines machines whose gateways keep
+	// failing: open-circuit machines are skipped in Rank without an RPC,
+	// and every query outcome feeds the breaker state machine.
+	Breakers *BreakerSet
 }
 
 // FromRegistry builds a scheduler from the resources published at a
-// registry address.
+// registry address, with plain single-attempt clients.
 func FromRegistry(registryAddr string, timeout time.Duration) (*Scheduler, error) {
-	resources, err := Discover(registryAddr, timeout)
-	if err != nil {
+	return FromRegistryWith(nil, registryAddr, timeout)
+}
+
+// FromRegistryWith is FromRegistry with a shared Caller: discovery itself is
+// retried under the caller's policy (Discover is idempotent), and every
+// candidate gateway client inherits the caller's transport and retries.
+func FromRegistryWith(caller *Caller, registryAddr string, timeout time.Duration) (*Scheduler, error) {
+	var resp DiscoverResp
+	if err := caller.CallRetry(registryAddr, MsgDiscover, nil, &resp, timeout); err != nil {
 		return nil, err
 	}
 	s := &Scheduler{}
-	for _, res := range resources {
+	for _, res := range resp.Resources {
 		s.Candidates = append(s.Candidates, Candidate{
 			MachineID: res.MachineID,
-			API:       RemoteGateway{Addr: res.Addr, Timeout: timeout},
+			API:       RemoteGateway{Addr: res.Addr, Timeout: timeout, Caller: caller},
 		})
 	}
 	return s, nil
 }
 
 // Rank queries every candidate's TR for the job and returns them sorted by
-// decreasing reliability. Unreachable machines are skipped — an unreachable
-// gateway is a revoked resource.
-func (s *Scheduler) Rank(job SubmitReq) ([]Ranked, error) {
+// decreasing reliability, together with one RankFailure per machine that
+// could not be ranked (breaker-open, unreachable, or query rejected). The
+// error is non-nil only when no machine answered at all.
+func (s *Scheduler) Rank(job SubmitReq) ([]Ranked, []RankFailure, error) {
 	if len(s.Candidates) == 0 {
-		return nil, fmt.Errorf("ishare: no candidate machines")
+		return nil, nil, fmt.Errorf("ishare: no candidate machines")
 	}
 	var out []Ranked
+	var failures []RankFailure
 	for _, c := range s.Candidates {
+		if s.Breakers != nil && !s.Breakers.Allow(c.MachineID) {
+			failures = append(failures, RankFailure{MachineID: c.MachineID, Err: ErrCircuitOpen})
+			continue
+		}
 		resp, err := c.API.QueryTR(QueryTRReq{LengthSeconds: job.WorkSeconds, GuestMemMB: job.MemMB})
+		if s.Breakers != nil {
+			s.Breakers.Report(c.MachineID, err)
+		}
 		if err != nil {
+			failures = append(failures, RankFailure{MachineID: c.MachineID, Err: err})
 			continue
 		}
 		out = append(out, Ranked{Candidate: c, TR: resp.TR, HistoryWindows: resp.HistoryWindows, CurrentState: resp.CurrentState})
 	}
 	if len(out) == 0 {
-		return nil, fmt.Errorf("ishare: no machine answered the TR query")
+		return nil, failures, fmt.Errorf("ishare: no machine answered the TR query (%d failed)", len(failures))
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TR > out[j].TR })
-	return out, nil
+	return out, failures, nil
 }
 
 // SubmitBest ranks the candidates and submits the job to the machine with
 // the highest predicted reliability, falling back down the ranking when a
 // machine rejects the submission (e.g. it already runs a guest).
 func (s *Scheduler) SubmitBest(job SubmitReq) (Ranked, SubmitResp, error) {
-	ranked, err := s.Rank(job)
+	ranked, _, err := s.Rank(job)
 	if err != nil {
 		return Ranked{}, SubmitResp{}, err
 	}
@@ -132,6 +191,9 @@ func (s *Scheduler) SubmitBest(job SubmitReq) (Ranked, SubmitResp, error) {
 		resp, err := r.API.Submit(job)
 		if err == nil {
 			return r, resp, nil
+		}
+		if s.Breakers != nil && IsTransport(err) {
+			s.Breakers.Report(r.MachineID, err)
 		}
 		lastErr = err
 	}

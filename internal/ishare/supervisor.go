@@ -21,13 +21,22 @@ type Supervisor struct {
 	Clock simclock.Clock
 	// PollInterval defaults to the monitoring period (6 s).
 	PollInterval time.Duration
-	// MaxMigrations bounds recovery attempts (default 5).
-	MaxMigrations int
+	// MaxMigrations bounds recovery attempts. nil defaults to 5; a
+	// pointer to 0 (e.g. ishare.Int(0)) means "never migrate" — the
+	// pointer form exists precisely so zero is expressible.
+	MaxMigrations *int
 	// CheckpointFraction is how much of a killed job's progress survives
-	// in its last checkpoint (1 = checkpoint-on-kill always succeeds,
-	// the paper's migration scenario; 0 = restart from scratch).
-	// Defaults to 1.
-	CheckpointFraction float64
+	// in its last checkpoint. nil defaults to 1 (checkpoint-on-kill
+	// always succeeds, the paper's migration scenario); a pointer to 0
+	// (ishare.Float(0)) means every kill restarts from scratch. Values
+	// are clamped to [0, 1].
+	CheckpointFraction *float64
+	// UnreachableGrace distinguishes a network flake from a revoked
+	// machine: JobStatus transport failures are tolerated until they
+	// persist for this long, and only then is the machine declared
+	// unreachable (URR) and the job migrated. 0 keeps the strict
+	// behavior: the first failed poll migrates.
+	UnreachableGrace time.Duration
 	// Estimator, when set, closes the requirements loop: completed runs
 	// are recorded under the job's Name as its class, and RunClass can
 	// submit future jobs from those estimates (the paper's Section 5.1
@@ -54,10 +63,19 @@ type JobRun struct {
 	Final JobStatusResp
 	// Migrations counts recoveries after kills.
 	Migrations int
+	// TransientErrors counts status polls that failed but were forgiven
+	// within the unreachable-grace window.
+	TransientErrors int
 }
 
 // Completed reports whether the job finished its work.
 func (jr JobRun) Completed() bool { return jr.Final.State == "completed" }
+
+// Int returns a pointer to v, for Supervisor.MaxMigrations.
+func Int(v int) *int { return &v }
+
+// Float returns a pointer to v, for Supervisor.CheckpointFraction.
+func Float(v float64) *float64 { return &v }
 
 func (sv *Supervisor) defaults() (simclock.Clock, time.Duration, int, float64) {
 	clock := sv.Clock
@@ -68,13 +86,13 @@ func (sv *Supervisor) defaults() (simclock.Clock, time.Duration, int, float64) {
 	if poll <= 0 {
 		poll = 6 * time.Second
 	}
-	max := sv.MaxMigrations
-	if max <= 0 {
-		max = 5
+	max := 5
+	if sv.MaxMigrations != nil && *sv.MaxMigrations >= 0 {
+		max = *sv.MaxMigrations
 	}
-	cf := sv.CheckpointFraction
-	if cf == 0 {
-		cf = 1
+	cf := 1.0
+	if sv.CheckpointFraction != nil {
+		cf = *sv.CheckpointFraction
 	}
 	if cf < 0 {
 		cf = 0
@@ -102,14 +120,24 @@ func (sv *Supervisor) Run(job SubmitReq) (JobRun, error) {
 			return run, fmt.Errorf("ishare: placement %d failed: %w", attempt+1, err)
 		}
 		placement := Placement{MachineID: ranked.MachineID, JobID: resp.JobID, TR: ranked.TR}
+		var unreachableFor time.Duration
 		for {
 			clock.Sleep(poll)
 			st, err := ranked.API.JobStatus(JobStatusReq{JobID: resp.JobID})
 			if err != nil {
+				// Distinguish a transient flake from sustained
+				// unreachability: only the latter is a revocation.
+				unreachableFor += poll
+				if unreachableFor < sv.UnreachableGrace {
+					run.TransientErrors++
+					continue
+				}
 				// The machine vanished (URR): treat as a kill with the
 				// last known progress.
 				st = JobStatusResp{JobID: resp.JobID, State: "killed", Reason: "gateway unreachable (URR)",
 					ProgressSeconds: progress, WorkSeconds: job.WorkSeconds}
+			} else {
+				unreachableFor = 0
 			}
 			run.Final = st
 			switch st.State {

@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -157,9 +158,9 @@ func TestSupervisorGivesUpAfterBudget(t *testing.T) {
 		Sched:         &Scheduler{Candidates: []Candidate{{MachineID: "good", API: good}}},
 		Clock:         clock,
 		PollInterval:  period,
-		MaxMigrations: 1,
+		MaxMigrations: Int(1),
 		// Checkpoints always lost: every kill restarts from zero.
-		CheckpointFraction: -1, // clamps to 0
+		CheckpointFraction: Float(0),
 	}
 	var err error
 	done := make(chan struct{})
@@ -246,5 +247,185 @@ func TestRunClassWithoutEstimator(t *testing.T) {
 	sv := &Supervisor{Sched: &Scheduler{}}
 	if _, err := sv.RunClass("x"); err == nil {
 		t.Fatal("missing estimator accepted")
+	}
+}
+
+// TestSupervisorDefaults pins the zero-value semantics of the pointer
+// config fields: nil means "default", pointer-to-zero means zero. This is
+// the regression test for the old int/float fields, whose zero values were
+// silently remapped to 5 and 1.
+func TestSupervisorDefaults(t *testing.T) {
+	_, poll, max, cf := (&Supervisor{}).defaults()
+	if poll != 6*time.Second || max != 5 || cf != 1 {
+		t.Fatalf("nil defaults = (poll %v, max %d, cf %v), want (6s, 5, 1)", poll, max, cf)
+	}
+	_, _, max, cf = (&Supervisor{MaxMigrations: Int(0), CheckpointFraction: Float(0)}).defaults()
+	if max != 0 || cf != 0 {
+		t.Fatalf("explicit zeros = (max %d, cf %v), want (0, 0)", max, cf)
+	}
+	_, _, max, cf = (&Supervisor{MaxMigrations: Int(-1), CheckpointFraction: Float(2)}).defaults()
+	if max != 5 || cf != 1 {
+		t.Fatalf("out-of-range = (max %d, cf %v), want defaults (5, 1)", max, cf)
+	}
+}
+
+// TestSupervisorZeroMigrationsMeansNoRecovery proves MaxMigrations:
+// Int(0) disables migration entirely — the first kill is terminal.
+func TestSupervisorZeroMigrationsMeansNoRecovery(t *testing.T) {
+	now := time.Date(2005, 9, 2, 8, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	good, _ := supervisedPair(t, clock)
+	sv := &Supervisor{
+		Sched:         &Scheduler{Candidates: []Candidate{{MachineID: "good", API: good}}},
+		Clock:         clock,
+		PollInterval:  period,
+		MaxMigrations: Int(0),
+	}
+	var run JobRun
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		run, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50})
+	}()
+	drive(t, clock, done, func(now time.Time) {
+		good.Record(now, sample(95, 400)) // permanently overloaded: dies fast
+	})
+	if err == nil || !strings.Contains(err.Error(), "migration budget") {
+		t.Fatalf("err = %v, want immediate budget exhaustion", err)
+	}
+	if run.Migrations != 0 || len(run.Placements) != 1 {
+		t.Fatalf("run = %+v, want exactly one placement and zero migrations", run)
+	}
+}
+
+// downableAPI wraps a gateway; once down it fails every call with a
+// transport error, modelling a partitioned machine. failFrom counts
+// JobStatus polls: the Nth poll (1-based) and everything after it fail,
+// until failFor polls have failed.
+var errInjectedUnreachable = fmt.Errorf("machine unreachable")
+
+type downableAPI struct {
+	GatewayAPI
+	mu       sync.Mutex
+	polls    int
+	failFrom int
+	failFor  int
+}
+
+func (d *downableAPI) down() bool {
+	return d.polls >= d.failFrom && d.polls < d.failFrom+d.failFor
+}
+
+func (d *downableAPI) JobStatus(req JobStatusReq) (JobStatusResp, error) {
+	d.mu.Lock()
+	d.polls++
+	bad := d.down()
+	d.mu.Unlock()
+	if bad {
+		return JobStatusResp{}, &transportError{errInjectedUnreachable}
+	}
+	return d.GatewayAPI.JobStatus(req)
+}
+
+func (d *downableAPI) QueryTR(req QueryTRReq) (QueryTRResp, error) {
+	d.mu.Lock()
+	bad := d.down()
+	d.mu.Unlock()
+	if bad {
+		return QueryTRResp{}, &transportError{errInjectedUnreachable}
+	}
+	return d.GatewayAPI.QueryTR(req)
+}
+
+func (d *downableAPI) Submit(req SubmitReq) (SubmitResp, error) {
+	d.mu.Lock()
+	bad := d.down()
+	d.mu.Unlock()
+	if bad {
+		return SubmitResp{}, &transportError{errInjectedUnreachable}
+	}
+	return d.GatewayAPI.Submit(req)
+}
+
+// TestSupervisorGraceForgivesTransientFlakes: two failed polls inside a
+// three-poll grace window are forgiven; the job completes in one placement
+// with the flakes counted.
+func TestSupervisorGraceForgivesTransientFlakes(t *testing.T) {
+	now := time.Date(2005, 9, 2, 8, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	good, _ := supervisedPair(t, clock)
+	flaky := &downableAPI{GatewayAPI: good, failFrom: 3, failFor: 2}
+	sv := &Supervisor{
+		Sched:            &Scheduler{Candidates: []Candidate{{MachineID: "good", API: flaky}}},
+		Clock:            clock,
+		PollInterval:     period,
+		UnreachableGrace: 3 * period,
+	}
+	var run JobRun
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		run, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 120, MemMB: 50})
+	}()
+	drive(t, clock, done, func(now time.Time) {
+		good.Record(now, sample(5, 400))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed() || run.Migrations != 0 || len(run.Placements) != 1 {
+		t.Fatalf("run = %+v, want completion in one placement", run)
+	}
+	if run.TransientErrors != 2 {
+		t.Fatalf("TransientErrors = %d, want 2", run.TransientErrors)
+	}
+}
+
+// TestSupervisorSustainedUnreachabilityMigrates: when polls keep failing
+// past the grace window the machine is declared unreachable (URR) and the
+// job migrates with its last known progress.
+func TestSupervisorSustainedUnreachabilityMigrates(t *testing.T) {
+	now := time.Date(2005, 9, 2, 8, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(now)
+	good, bad := supervisedPair(t, clock)
+	// "good" ranks first, then partitions forever after its 3rd poll.
+	parted := &downableAPI{GatewayAPI: good, failFrom: 3, failFor: 1 << 30}
+	sv := &Supervisor{
+		Sched: &Scheduler{Candidates: []Candidate{
+			{MachineID: "good", API: parted},
+			{MachineID: "bad", API: bad},
+		}},
+		Clock:            clock,
+		PollInterval:     period,
+		UnreachableGrace: 2 * period,
+	}
+	var run JobRun
+	var err error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		run, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 300, MemMB: 50})
+	}()
+	drive(t, clock, done, func(now time.Time) {
+		good.Record(now, sample(5, 400))
+		bad.Record(now, sample(5, 400))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !run.Completed() || run.Migrations != 1 || len(run.Placements) != 2 {
+		t.Fatalf("run = %+v, want one URR migration", run)
+	}
+	if run.Placements[0].MachineID != "good" || !strings.Contains(run.Placements[0].Reason, "URR") {
+		t.Fatalf("first placement = %+v, want URR kill on good", run.Placements[0])
+	}
+	if run.Placements[1].MachineID != "bad" || run.Placements[1].Outcome != "completed" {
+		t.Fatalf("second placement = %+v", run.Placements[1])
+	}
+	// The first failed poll was inside the grace window and forgiven.
+	if run.TransientErrors != 1 {
+		t.Fatalf("TransientErrors = %d, want 1", run.TransientErrors)
 	}
 }
