@@ -1,16 +1,23 @@
 GO ?= go
 
-.PHONY: build test race vet bench chaos
+# Benchmarks gated against BENCH_baseline.json by `make benchstat`.
+BENCH_GATE = BenchmarkEngineCachedVsCold|BenchmarkPredictBatchParallel
+FUZZTIME ?= 20s
+
+.PHONY: build test race vet bench benchstat benchbase fuzz golden chaos
 
 build:
 	$(GO) build ./...
 
-# The default test gate includes vet and a race-detector pass over the
-# networking and fault-injection layers, where the concurrency lives.
-test:
+# The default test gate includes vet, the golden-trace regression, the fuzz
+# seed corpora (replayed as plain unit tests by `go test`), and a
+# race-detector pass over the concurrent layers: networking, fault injection,
+# the prediction engine, the monitor, and the metrics/accuracy registry.
+test: golden
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race ./internal/ishare/... ./internal/faultnet/...
+	$(GO) test -race ./internal/ishare/... ./internal/faultnet/... \
+		./internal/predict/... ./internal/monitor/... ./internal/obs/...
 
 race:
 	$(GO) test -race ./...
@@ -20,6 +27,36 @@ vet:
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Bench regression gate: run the engine benchmarks, record BENCH_predict.json,
+# and fail on >10% latency or any allocs/op regression against the checked-in
+# baseline. Baselines are machine-specific — regenerate with `make benchbase`
+# when switching hardware.
+benchstat:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -count=1 . | tee bench_gate.out
+	$(GO) run ./cmd/benchgate -in bench_gate.out -out BENCH_predict.json -baseline BENCH_baseline.json
+	@rm -f bench_gate.out
+
+benchbase:
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -count=1 . | tee bench_gate.out
+	$(GO) run ./cmd/benchgate -in bench_gate.out -baseline BENCH_baseline.json -write
+	@rm -f bench_gate.out
+
+# Short fuzz pass over the wire-protocol and trace-codec decoders. The seed
+# corpora under testdata/fuzz also run as plain unit tests in `make test`.
+fuzz:
+	$(GO) test ./internal/ishare/ -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ishare/ -run '^$$' -fuzz '^FuzzDecodeResponse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime $(FUZZTIME)
+
+# Golden-trace regression: fixed-seed workload, bit-exact predictor outputs.
+# Use `make golden-update` only when a numerical change is intended.
+golden:
+	$(GO) test ./internal/predict/ -run 'TestGolden' -count=1
+
+golden-update:
+	$(GO) test ./internal/predict/ -run 'TestGoldenPredictions' -count=1 -update
 
 # Chaos harness: a five-machine testbed over real TCP with seeded fault
 # injection (dial refusals, resets, corruption, partitions). Run twice per

@@ -1,0 +1,178 @@
+// Command benchgate is the benchmark regression gate: it parses `go test
+// -bench` output, records the results as JSON, and compares them against a
+// checked-in baseline. The gate fails when a benchmark's latency regresses
+// by more than the tolerance (default 10%) or when its allocations per
+// operation increase at all — allocation counts are deterministic, so any
+// increase is a real regression, while latency gets a tolerance band because
+// wall-clock noise is not.
+//
+//	go test -run '^$' -bench 'Engine' -benchmem . | benchgate -out BENCH_predict.json -baseline BENCH_baseline.json
+//	go test -run '^$' -bench 'Engine' -benchmem . | benchgate -baseline BENCH_baseline.json -write
+//
+// Baselines are machine-specific: regenerate with -write when switching
+// hardware, and treat the latency gate as meaningful only on comparable
+// machines. Benchmark names are kept verbatim, including any trailing
+// -GOMAXPROCS tag, because sub-benchmarks may legitimately end in -N
+// (workers-2, workers-4) and stripping would collide them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// HasAllocs records whether -benchmem data was present; without it the
+	// allocation gate cannot run for this benchmark.
+	HasAllocs bool `json:"has_allocs"`
+}
+
+// parseBench extracts benchmark results from `go test -bench` output.
+func parseBench(r io.Reader) ([]Result, error) {
+	var out []Result
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		res := Result{Name: fields[0]}
+		ok := false
+		for i := 2; i+1 <= len(fields)-1; i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				res.NsPerOp = v
+				ok = true
+			case "B/op":
+				res.BytesPerOp = v
+			case "allocs/op":
+				res.AllocsPerOp = v
+				res.HasAllocs = true
+			}
+		}
+		if ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no benchmark results found in input")
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// compare checks current against baseline and returns one message per
+// violation.
+func compare(baseline, current []Result, tolerance float64) []string {
+	byName := make(map[string]Result, len(current))
+	for _, r := range current {
+		byName[r.Name] = r
+	}
+	var violations []string
+	for _, base := range baseline {
+		cur, ok := byName[base.Name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: present in baseline but missing from current run", base.Name))
+			continue
+		}
+		if base.NsPerOp > 0 && cur.NsPerOp > base.NsPerOp*(1+tolerance) {
+			violations = append(violations, fmt.Sprintf("%s: latency %.1f ns/op exceeds baseline %.1f ns/op by more than %.0f%%",
+				base.Name, cur.NsPerOp, base.NsPerOp, tolerance*100))
+		}
+		if base.HasAllocs && cur.HasAllocs && cur.AllocsPerOp > base.AllocsPerOp {
+			violations = append(violations, fmt.Sprintf("%s: allocations regressed %.0f -> %.0f allocs/op",
+				base.Name, base.AllocsPerOp, cur.AllocsPerOp))
+		}
+	}
+	return violations
+}
+
+func writeJSON(path string, results []Result) error {
+	out, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+func run(in io.Reader, outPath, baselinePath string, write bool, tolerance float64, stderr io.Writer) error {
+	current, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if outPath != "" {
+		if err := writeJSON(outPath, current); err != nil {
+			return err
+		}
+	}
+	if write {
+		if err := writeJSON(baselinePath, current); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "benchgate: baseline %s rewritten (%d benchmarks)\n", baselinePath, len(current))
+		return nil
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run with -write to create it): %w", err)
+	}
+	var baseline []Result
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	violations := compare(baseline, current, tolerance)
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(stderr, "benchgate: FAIL:", v)
+		}
+		return fmt.Errorf("%d benchmark regression(s)", len(violations))
+	}
+	fmt.Fprintf(stderr, "benchgate: OK: %d benchmarks within %.0f%% of baseline, no alloc regressions\n",
+		len(baseline), tolerance*100)
+	return nil
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "-", "bench output file (- = stdin)")
+		out       = flag.String("out", "", "write current results to this JSON file")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
+		write     = flag.Bool("write", false, "rewrite the baseline from the current run instead of comparing")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional latency regression")
+	)
+	flag.Parse()
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	if err := run(r, *out, *baseline, *write, *tolerance, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: fgcs
+cpu: Some CPU @ 3.00GHz
+BenchmarkEngineCachedVsCold/cold-8         	     100	  11830452 ns/op	 4511234 B/op	    8123 allocs/op
+BenchmarkEngineCachedVsCold/warm-8         	 5065082	       237.1 ns/op	       0 B/op	       0 allocs/op
+BenchmarkPredictBatchParallel/serial-8     	      12	  95123456 ns/op
+PASS
+ok  	fgcs	12.345s
+`
+
+func TestParseBench(t *testing.T) {
+	results, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("parsed %d results, want 3", len(results))
+	}
+	byName := map[string]Result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	cold := byName["BenchmarkEngineCachedVsCold/cold-8"]
+	if cold.NsPerOp != 11830452 || cold.AllocsPerOp != 8123 || !cold.HasAllocs {
+		t.Fatalf("cold parsed wrong: %+v", cold)
+	}
+	warm := byName["BenchmarkEngineCachedVsCold/warm-8"]
+	if warm.NsPerOp != 237.1 || warm.AllocsPerOp != 0 || !warm.HasAllocs {
+		t.Fatalf("warm parsed wrong: %+v", warm)
+	}
+	serial := byName["BenchmarkPredictBatchParallel/serial-8"]
+	if serial.NsPerOp != 95123456 || serial.HasAllocs {
+		t.Fatalf("serial parsed wrong: %+v", serial)
+	}
+}
+
+// TestParseBenchKeepsSubBenchSuffixes guards against "smart" suffix
+// stripping: sub-benchmarks that differ only by a -N tag (workers-1,
+// workers-2) must stay distinct.
+func TestParseBenchKeepsSubBenchSuffixes(t *testing.T) {
+	const out = `BenchmarkB/workers-1     	12	100 ns/op
+BenchmarkB/workers-2     	12	90 ns/op
+BenchmarkB/workers-4     	12	80 ns/op
+`
+	results, err := parseBench(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, r := range results {
+		names[r.Name] = true
+	}
+	for _, want := range []string{"BenchmarkB/workers-1", "BenchmarkB/workers-2", "BenchmarkB/workers-4"} {
+		if !names[want] {
+			t.Fatalf("missing %q in parsed names %v", want, names)
+		}
+	}
+}
+
+func TestParseBenchEmpty(t *testing.T) {
+	if _, err := parseBench(strings.NewReader("PASS\nok fgcs 1s\n")); err == nil {
+		t.Fatal("no results accepted")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []Result{
+		{Name: "B/x", NsPerOp: 100, AllocsPerOp: 2, HasAllocs: true},
+		{Name: "B/y", NsPerOp: 1000, AllocsPerOp: 0, HasAllocs: true},
+	}
+	// Within tolerance, allocs flat: clean.
+	cur := []Result{
+		{Name: "B/x", NsPerOp: 109, AllocsPerOp: 2, HasAllocs: true},
+		{Name: "B/y", NsPerOp: 900, AllocsPerOp: 0, HasAllocs: true},
+	}
+	if v := compare(base, cur, 0.10); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+	// Latency blown on x, alloc regression on y, and a missing benchmark.
+	base = append(base, Result{Name: "B/z", NsPerOp: 5})
+	cur = []Result{
+		{Name: "B/x", NsPerOp: 150, AllocsPerOp: 2, HasAllocs: true},
+		{Name: "B/y", NsPerOp: 1000, AllocsPerOp: 1, HasAllocs: true},
+	}
+	v := compare(base, cur, 0.10)
+	if len(v) != 3 {
+		t.Fatalf("violations = %v, want 3 entries", v)
+	}
+	for _, want := range []string{"latency", "allocations regressed", "missing"} {
+		found := false
+		for _, msg := range v {
+			if strings.Contains(msg, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no violation mentioning %q in %v", want, v)
+		}
+	}
+}
+
+func TestRunWriteThenGate(t *testing.T) {
+	dir := t.TempDir()
+	baseline := dir + "/baseline.json"
+	out := dir + "/current.json"
+	var stderr strings.Builder
+	if err := run(strings.NewReader(sampleOutput), out, baseline, true, 0.10, &stderr); err != nil {
+		t.Fatal(err)
+	}
+	stderr.Reset()
+	if err := run(strings.NewReader(sampleOutput), out, baseline, false, 0.10, &stderr); err != nil {
+		t.Fatalf("identical run failed the gate: %v\n%s", err, stderr.String())
+	}
+	// A 2x slowdown on every benchmark must fail.
+	slowed := strings.ReplaceAll(sampleOutput, "237.1 ns/op", "601.0 ns/op")
+	stderr.Reset()
+	if err := run(strings.NewReader(slowed), out, baseline, false, 0.10, &stderr); err == nil {
+		t.Fatal("2x latency regression passed the gate")
+	}
+}

@@ -5,12 +5,15 @@
 //	isharec -registry localhost:7000 rank -work 2h -mem 100
 //	isharec -registry localhost:7000 submit -name sim1 -work 2h -mem 100
 //	isharec -gateway localhost:7070 status -job lab-01-job-1
+//	isharec -gateway localhost:7070 stats
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"fgcs/internal/ishare"
@@ -28,7 +31,7 @@ func main() {
 	)
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: isharec [flags] rank|submit|run|status|kill [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: isharec [flags] rank|submit|run|status|kill|stats [subflags]")
 		os.Exit(2)
 	}
 	cl := client{
@@ -180,7 +183,78 @@ func run(cl client, cmd string, args []string) error {
 		}
 		fmt.Println()
 		return nil
+	case "stats":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		calib := fs.Bool("calibration", false, "include the per-predictor calibration tables")
+		asJSON := fs.Bool("json", false, "print the raw JSON snapshot")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if gateway == "" {
+			return fmt.Errorf("stats needs -gateway")
+		}
+		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
+		st, err := api.QueryStats(ishare.QueryStatsReq{Calibration: *calib})
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			out, err := json.MarshalIndent(st, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		printStats(st)
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// printStats renders the observability snapshot as an operator summary: the
+// engine cache effectiveness, the served request mix, and the paper's online
+// predictor comparison (SMP vs the linear baselines).
+func printStats(st ishare.QueryStatsResp) {
+	fmt.Printf("node %s: %d samples recorded, %d predictions pending\n",
+		st.MachineID, st.MonitorSamples, st.PendingPredictions)
+	hitRate := 0.0
+	if total := st.Engine.Hits + st.Engine.Misses; total > 0 {
+		hitRate = 100 * float64(st.Engine.Hits) / float64(total)
+	}
+	fmt.Printf("engine cache: %d hits / %d misses (%.1f%% hit rate), %d entries, %d evictions\n",
+		st.Engine.Hits, st.Engine.Misses, hitRate, st.Engine.Entries, st.Engine.Evictions)
+	if len(st.Requests) > 0 {
+		types := make([]string, 0, len(st.Requests))
+		for typ := range st.Requests {
+			types = append(types, typ)
+		}
+		sort.Strings(types)
+		fmt.Printf("requests:")
+		for _, typ := range types {
+			fmt.Printf(" %s=%d", typ, st.Requests[typ])
+			if e := st.Errors[typ]; e > 0 {
+				fmt.Printf(" (%d errors)", e)
+			}
+		}
+		fmt.Println()
+	}
+	if len(st.Accuracy) == 0 {
+		fmt.Println("no resolved predictions yet")
+		return
+	}
+	fmt.Printf("%-12s %-9s %9s %9s %8s %8s %8s %8s\n",
+		"machine", "predictor", "resolved", "survived", "meanTR", "empir", "brier", "acc")
+	for _, a := range st.Accuracy {
+		fmt.Printf("%-12s %-9s %9d %9d %8.4f %8.4f %8.4f %8.4f\n",
+			a.Machine, a.Predictor, a.Resolved, a.Survived, a.MeanTR, a.Empirical, a.Brier, a.Accuracy)
+		for _, b := range a.Calibration {
+			if b.Count == 0 {
+				continue
+			}
+			fmt.Printf("    [%.1f,%.1f) n=%d meanTR=%.3f empirical=%.3f\n",
+				b.Lo, b.Hi, b.Count, b.MeanTR, b.Empirical)
+		}
 	}
 }

@@ -14,6 +14,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -22,6 +25,7 @@ import (
 	"fgcs/internal/avail"
 	"fgcs/internal/ishare"
 	"fgcs/internal/monitor"
+	"fgcs/internal/obs"
 	"fgcs/internal/trace"
 )
 
@@ -40,13 +44,14 @@ func main() {
 		ttl          = flag.Duration("ttl", 90*time.Second, "registration TTL; re-registered by the heartbeat (0 = register once, never expires)")
 		hbEvery      = flag.Duration("heartbeat-every", 30*time.Second, "registry re-registration interval")
 		reapEvery    = flag.Duration("reap-every", time.Minute, "registry-only: eviction sweep interval for expired registrations (0 = lazy only)")
+		obsAddr      = flag.String("obs-addr", "", "serve Prometheus /metrics and /debug/pprof on this HTTP address (empty = disabled)")
 	)
 	flag.Parse()
 	if err := run(runConfig{
 		id: *id, listen: *listen, registry: *registry, registryOnly: *registryOnly,
 		source: *source, traceFile: *traceFile, heartbeat: *heartbeat, histDays: *histDays,
 		archive: *archive, archiveEvery: *archiveEvery,
-		ttl: *ttl, hbEvery: *hbEvery, reapEvery: *reapEvery,
+		ttl: *ttl, hbEvery: *hbEvery, reapEvery: *reapEvery, obsAddr: *obsAddr,
 	}); err != nil {
 		fmt.Fprintln(os.Stderr, "ishared:", err)
 		os.Exit(1)
@@ -61,6 +66,28 @@ type runConfig struct {
 	archive                      string
 	archiveEvery, ttl, hbEvery   time.Duration
 	reapEvery                    time.Duration
+	obsAddr                      string
+}
+
+// serveObs exposes the node's metrics registry and accuracy tracker as a
+// Prometheus /metrics endpoint plus the pprof handlers, on a mux of its own
+// so profiling never shares a port with the gateway protocol. It returns the
+// bound listener so the caller can close it on shutdown.
+func serveObs(addr string, node *ishare.HostNode) (net.Listener, error) {
+	o := node.Obs()
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", obs.Handler(o.Registry, o.Tracker))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go func() { _ = http.Serve(ln, mux) }()
+	return ln, nil
 }
 
 func hostnameOr(fallback string) string {
@@ -144,11 +171,19 @@ func run(rc runConfig) error {
 		return err
 	}
 	defer srv.Close()
+	if rc.obsAddr != "" {
+		ln, err := serveObs(rc.obsAddr, node)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		fmt.Printf("observability on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+	}
 	if registry != "" {
 		// Registration failures here are fatal (the operator asked to
 		// publish); later heartbeats retry under the caller's policy and
 		// otherwise rely on the TTL to advertise the node's death.
-		caller := &ishare.Caller{Retry: ishare.RetryPolicy{MaxAttempts: 3}}
+		caller := &ishare.Caller{Retry: ishare.RetryPolicy{MaxAttempts: 3}, Metrics: node.Obs().Caller}
 		if err := ishare.RegisterWithTTL(caller, registry, id, srv.Addr(), rc.ttl, 5*time.Second); err != nil {
 			return err
 		}

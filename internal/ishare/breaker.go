@@ -75,6 +75,13 @@ type breaker struct {
 // RPCs — the control-plane analogue of the paper's resource-failure
 // awareness.
 type BreakerSet struct {
+	// OnTransition, when non-nil, is invoked for every breaker state
+	// change with the machine and the edge taken. It is called with the
+	// set's lock held, so it must be fast and must not call back into the
+	// BreakerSet — increment a counter, don't do I/O. Set it before the
+	// set is shared across goroutines.
+	OnTransition func(machineID string, from, to BreakerState)
+
 	mu    sync.Mutex
 	cfg   BreakerConfig
 	clock simclock.Clock
@@ -87,6 +94,19 @@ func NewBreakerSet(cfg BreakerConfig, clock simclock.Clock) *BreakerSet {
 		clock = simclock.Real{}
 	}
 	return &BreakerSet{cfg: cfg, clock: clock, m: make(map[string]*breaker)}
+}
+
+// transition moves a breaker to a new state, firing OnTransition on a real
+// edge. Callers hold bs.mu.
+func (bs *BreakerSet) transition(id string, b *breaker, to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if bs.OnTransition != nil {
+		bs.OnTransition(id, from, to)
+	}
 }
 
 func (bs *BreakerSet) get(id string) *breaker {
@@ -110,7 +130,7 @@ func (bs *BreakerSet) Allow(id string) bool {
 		return true
 	case BreakerOpen:
 		if bs.clock.Now().Sub(b.openedAt) >= bs.cfg.cooldown() {
-			b.state = BreakerHalfOpen
+			bs.transition(id, b, BreakerHalfOpen)
 			b.probing = true
 			return true
 		}
@@ -133,20 +153,20 @@ func (bs *BreakerSet) Report(id string, err error) {
 	defer bs.mu.Unlock()
 	b := bs.get(id)
 	if err == nil {
-		b.state = BreakerClosed
+		bs.transition(id, b, BreakerClosed)
 		b.failures = 0
 		b.probing = false
 		return
 	}
 	switch b.state {
 	case BreakerHalfOpen:
-		b.state = BreakerOpen
+		bs.transition(id, b, BreakerOpen)
 		b.openedAt = bs.clock.Now()
 		b.probing = false
 	default:
 		b.failures++
 		if b.failures >= bs.cfg.threshold() {
-			b.state = BreakerOpen
+			bs.transition(id, b, BreakerOpen)
 			b.openedAt = bs.clock.Now()
 			b.failures = 0
 		}

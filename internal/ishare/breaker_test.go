@@ -2,11 +2,13 @@ package ishare
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"fgcs/internal/avail"
+	"fgcs/internal/obs"
 	"fgcs/internal/simclock"
 )
 
@@ -72,6 +74,38 @@ func TestBreakerLifecycle(t *testing.T) {
 	}
 	if !bs.Allow(id) {
 		t.Fatal("closed breaker denied traffic")
+	}
+}
+
+func TestInstrumentBreakers(t *testing.T) {
+	clock := simclock.NewVirtual(monday)
+	bs := NewBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Minute}, clock)
+	r := obs.NewRegistry()
+	InstrumentBreakers(bs, r)
+	fail := errors.New("flake")
+
+	// Trip two machines, recover one.
+	for _, id := range []string{"m1", "m2"} {
+		bs.Allow(id)
+		bs.Report(id, fail)
+	}
+	clock.Advance(time.Minute)
+	bs.Allow("m1") // half-open probe
+	bs.Report("m1", nil)
+
+	var text strings.Builder
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`fgcs_breaker_transitions_total{to="open"} 2`,
+		`fgcs_breaker_transitions_total{to="half-open"} 1`,
+		`fgcs_breaker_transitions_total{to="closed"} 1`,
+		"fgcs_breaker_open 1",
+	} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, text.String())
+		}
 	}
 }
 

@@ -1,0 +1,72 @@
+package ishare
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzDecodeRequest hammers the server-side request decoder — the exact code
+// path every untrusted TCP connection reaches — with arbitrary bytes. A
+// successful decode must survive a marshal/decode round trip, and no input
+// may panic the decoder under any byte cap.
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add([]byte(`{"type":"query-tr","payload":{"length_seconds":3600,"guest_mem_mb":100}}`))
+	f.Add([]byte(`{"type":"submit","payload":{"name":"sim1","work_seconds":7200,"mem_mb":100,"idempotency_key":"a/b-k1"}}`))
+	f.Add([]byte(`{"type":"job-status","payload":{"job_id":"lab-01-job-1"}}`))
+	f.Add([]byte(`{"type":"query-stats","payload":{"calibration":true}}`))
+	f.Add([]byte(`{"type":"register","payload":{"machine_id":"m","addr":"1.2.3.4:7070","ttl_seconds":90}}`))
+	f.Add([]byte(`{"type":""}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte{0x00, 0xff, 0xfe})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A tiny cap must degrade to an error, never a panic.
+		_, _ = DecodeRequest(bytes.NewReader(data), 8)
+		req, err := DecodeRequest(bytes.NewReader(data), 1<<16)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("decoded request does not re-encode: %v", err)
+		}
+		again, err := DecodeRequest(bytes.NewReader(out), 1<<16)
+		if err != nil {
+			t.Fatalf("re-decode of %q: %v", out, err)
+		}
+		if again.Type != req.Type {
+			t.Fatalf("type changed across round trip: %q -> %q", req.Type, again.Type)
+		}
+	})
+}
+
+// FuzzDecodeResponse does the same for the client-side response decoder,
+// which reads whatever a (possibly compromised or buggy) far end sent back.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add([]byte(`{"ok":true,"payload":{"tr":0.93,"history_windows":12}}`))
+	f.Add([]byte(`{"ok":false,"error":"machine lab-01 already runs a guest job"}`))
+	f.Add([]byte(`{"ok":true,"payload":{"resources":[{"machine_id":"m","addr":"a:1"}]}}`))
+	f.Add([]byte(`{"ok":true}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"ok":"yes"}`))
+	f.Add([]byte{'{'})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		_, _ = DecodeResponse(bytes.NewReader(data), 8)
+		resp, err := DecodeResponse(bytes.NewReader(data), 1<<16)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatalf("decoded response does not re-encode: %v", err)
+		}
+		again, err := DecodeResponse(bytes.NewReader(out), 1<<16)
+		if err != nil {
+			t.Fatalf("re-decode of %q: %v", out, err)
+		}
+		if again.OK != resp.OK || again.Error != resp.Error {
+			t.Fatalf("envelope changed across round trip: %+v -> %+v", resp, again)
+		}
+	})
+}

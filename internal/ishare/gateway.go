@@ -180,6 +180,33 @@ func (g *Gateway) QueryTR(req QueryTRReq) (QueryTRResp, error) {
 // EngineStats reports the node's prediction-engine cache counters.
 func (g *Gateway) EngineStats() predict.EngineStats { return g.sm.EngineStats() }
 
+// QueryStats assembles the node's observability snapshot: engine cache
+// counters, per-type RPC counts, monitor throughput, and the online accuracy
+// summaries per predictor.
+func (g *Gateway) QueryStats(req QueryStatsReq) (QueryStatsResp, error) {
+	o := g.sm.Obs()
+	st := g.sm.EngineStats()
+	resp := QueryStatsResp{
+		MachineID: g.machineID,
+		Engine: EngineCacheStats{
+			Hits:      st.Hits,
+			Misses:    st.Misses,
+			Evictions: st.Evictions,
+			Entries:   st.Entries,
+		},
+		MonitorSamples:     o.Monitor.Samples.Value(),
+		PendingPredictions: o.Tracker.Pending(),
+		Accuracy:           o.Tracker.All(),
+	}
+	resp.Requests, resp.Errors = o.requestCounts()
+	if !req.Calibration {
+		for i := range resp.Accuracy {
+			resp.Accuracy[i].Calibration = nil
+		}
+	}
+	return resp, nil
+}
+
 // Submit launches a guest job. FGCS allows a single guest process per
 // machine (Section 3.2), so a second submission is rejected while one is
 // active.
@@ -262,37 +289,54 @@ func statusOf(j *Job) JobStatusResp {
 	}
 }
 
-// Handler serves the gateway protocol over TCP.
+// Handler serves the gateway protocol over TCP. Every served request is
+// timed and counted in the node's metrics registry, by request type.
 func (g *Gateway) Handler() Handler {
+	o := g.sm.Obs()
 	return func(req Request) (interface{}, error) {
-		switch req.Type {
-		case MsgQueryTR:
-			var q QueryTRReq
-			if err := json.Unmarshal(req.Payload, &q); err != nil {
-				return nil, fmt.Errorf("malformed query payload")
-			}
-			return g.QueryTR(q)
-		case MsgSubmit:
-			var s SubmitReq
-			if err := json.Unmarshal(req.Payload, &s); err != nil {
-				return nil, fmt.Errorf("malformed submit payload")
-			}
-			return g.Submit(s)
-		case MsgJobStatus:
-			var s JobStatusReq
-			if err := json.Unmarshal(req.Payload, &s); err != nil {
-				return nil, fmt.Errorf("malformed status payload")
-			}
-			return g.JobStatus(s)
-		case MsgKillJob:
-			var s JobStatusReq
-			if err := json.Unmarshal(req.Payload, &s); err != nil {
-				return nil, fmt.Errorf("malformed kill payload")
-			}
-			return g.Kill(s)
-		default:
-			return nil, fmt.Errorf("gateway: unknown request type %q", req.Type)
+		start := time.Now()
+		payload, err := g.dispatch(req)
+		o.observeRPC(req.Type, err, time.Since(start))
+		return payload, err
+	}
+}
+
+func (g *Gateway) dispatch(req Request) (interface{}, error) {
+	switch req.Type {
+	case MsgQueryTR:
+		var q QueryTRReq
+		if err := json.Unmarshal(req.Payload, &q); err != nil {
+			return nil, fmt.Errorf("malformed query payload")
 		}
+		return g.QueryTR(q)
+	case MsgSubmit:
+		var s SubmitReq
+		if err := json.Unmarshal(req.Payload, &s); err != nil {
+			return nil, fmt.Errorf("malformed submit payload")
+		}
+		return g.Submit(s)
+	case MsgJobStatus:
+		var s JobStatusReq
+		if err := json.Unmarshal(req.Payload, &s); err != nil {
+			return nil, fmt.Errorf("malformed status payload")
+		}
+		return g.JobStatus(s)
+	case MsgKillJob:
+		var s JobStatusReq
+		if err := json.Unmarshal(req.Payload, &s); err != nil {
+			return nil, fmt.Errorf("malformed kill payload")
+		}
+		return g.Kill(s)
+	case MsgQueryStats:
+		var s QueryStatsReq
+		if req.Payload != nil {
+			if err := json.Unmarshal(req.Payload, &s); err != nil {
+				return nil, fmt.Errorf("malformed stats payload")
+			}
+		}
+		return g.QueryStats(s)
+	default:
+		return nil, fmt.Errorf("gateway: unknown request type %q", req.Type)
 	}
 }
 

@@ -62,17 +62,29 @@ func NewHostNode(cfg NodeConfig, src monitor.LoadSource) (*HostNode, error) {
 		return nil, err
 	}
 	// The gateway sink feeds the state manager itself, so the monitor
-	// only needs the one sink.
+	// only needs the one sink. The monitor gets the error and tick-latency
+	// instruments but not the sample counter: samples are counted by the
+	// state manager, which also sees replayed days (FeedDay), so the count
+	// stays truthful however samples arrive.
+	obsv := sm.Obs()
 	mon, err := monitor.New(monitor.Config{
 		Period:        cfg.Period,
 		Clock:         cfg.Clock,
 		HeartbeatPath: cfg.HeartbeatPath,
+		Metrics: &monitor.Metrics{
+			Errors:      obsv.Monitor.Errors,
+			TickSeconds: obsv.Monitor.TickSeconds,
+		},
 	}, src, gw)
 	if err != nil {
 		return nil, err
 	}
 	return &HostNode{Gateway: gw, Monitor: mon, SM: sm, clock: cfg.Clock, period: cfg.Period}, nil
 }
+
+// Obs exposes the node's observability bundle (metrics registry + accuracy
+// tracker), shared by every component on the node.
+func (n *HostNode) Obs() *NodeObs { return n.SM.Obs() }
 
 // Start launches the monitor loop in the background.
 func (n *HostNode) Start() { go n.Monitor.Run() }

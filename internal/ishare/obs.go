@@ -1,0 +1,135 @@
+package ishare
+
+import (
+	"time"
+
+	"fgcs/internal/monitor"
+	"fgcs/internal/obs"
+	"fgcs/internal/predict"
+)
+
+// gatewayRPCTypes are the request types a gateway serves; their counters and
+// latency histograms are registered up front so the serving path never
+// formats a metric name.
+var gatewayRPCTypes = []string{MsgQueryTR, MsgSubmit, MsgJobStatus, MsgKillJob, MsgQueryStats}
+
+// NodeObs bundles one host node's observability: the metrics registry every
+// component records into, and the online accuracy tracker that scores issued
+// TR predictions against observed availability outcomes. A nil *NodeObs is
+// inert (every method no-ops), so lightweight simulations can opt out.
+type NodeObs struct {
+	Registry *obs.Registry
+	Tracker  *obs.Tracker
+	// Engine and Monitor are the pre-registered metric families handed to
+	// the prediction engine and the resource monitor.
+	Engine  *predict.EngineMetrics
+	Monitor *monitor.Metrics
+	// Caller instruments the node's outbound RPCs (registry heartbeats).
+	Caller *CallerMetrics
+
+	requests   map[string]*obs.Counter
+	errors     map[string]*obs.Counter
+	rpcSeconds map[string]*obs.Histogram
+	reqOther   *obs.Counter
+	errOther   *obs.Counter
+	rpcOther   *obs.Histogram
+}
+
+// NewNodeObs registers a host node's full metric surface on a fresh
+// registry.
+func NewNodeObs() *NodeObs {
+	r := obs.NewRegistry()
+	o := &NodeObs{
+		Registry:   r,
+		Tracker:    obs.NewTracker(),
+		Engine:     predict.NewEngineMetrics(r),
+		Monitor:    monitor.NewMetrics(r),
+		requests:   make(map[string]*obs.Counter, len(gatewayRPCTypes)),
+		errors:     make(map[string]*obs.Counter, len(gatewayRPCTypes)),
+		rpcSeconds: make(map[string]*obs.Histogram, len(gatewayRPCTypes)),
+	}
+	o.Caller = &CallerMetrics{
+		Attempts:        r.Counter("fgcs_client_rpc_attempts_total", "Outbound RPC attempts (first tries and retries)."),
+		Retries:         r.Counter("fgcs_client_rpc_retries_total", "Outbound RPC attempts beyond the first."),
+		TransportErrors: r.Counter("fgcs_client_rpc_transport_errors_total", "Outbound RPC attempts that failed below the application."),
+	}
+	for _, typ := range gatewayRPCTypes {
+		l := obs.Label{Key: "type", Value: typ}
+		o.requests[typ] = r.Counter("fgcs_gateway_requests_total", "Gateway RPCs served, by request type.", l)
+		o.errors[typ] = r.Counter("fgcs_gateway_errors_total", "Gateway RPCs that returned an application error, by request type.", l)
+		o.rpcSeconds[typ] = r.Histogram("fgcs_gateway_rpc_seconds", "Gateway RPC handling latency, by request type.", nil, l)
+	}
+	l := obs.Label{Key: "type", Value: "other"}
+	o.reqOther = r.Counter("fgcs_gateway_requests_total", "Gateway RPCs served, by request type.", l)
+	o.errOther = r.Counter("fgcs_gateway_errors_total", "Gateway RPCs that returned an application error, by request type.", l)
+	o.rpcOther = r.Histogram("fgcs_gateway_rpc_seconds", "Gateway RPC handling latency, by request type.", nil, l)
+	return o
+}
+
+// InstrumentBreakers registers per-edge transition counters and an
+// open-breaker gauge on r and installs them as the set's OnTransition hook.
+// Call before the set is shared across goroutines.
+func InstrumentBreakers(bs *BreakerSet, r *obs.Registry) {
+	transitions := map[BreakerState]*obs.Counter{
+		BreakerClosed:   r.Counter("fgcs_breaker_transitions_total", "Circuit breaker state changes, by target state.", obs.Label{Key: "to", Value: "closed"}),
+		BreakerOpen:     r.Counter("fgcs_breaker_transitions_total", "Circuit breaker state changes, by target state.", obs.Label{Key: "to", Value: "open"}),
+		BreakerHalfOpen: r.Counter("fgcs_breaker_transitions_total", "Circuit breaker state changes, by target state.", obs.Label{Key: "to", Value: "half-open"}),
+	}
+	open := r.Gauge("fgcs_breaker_open", "Machines currently quarantined by an open breaker.")
+	var openCount int64
+	bs.OnTransition = func(_ string, from, to BreakerState) {
+		transitions[to].Inc()
+		if to == BreakerOpen {
+			openCount++
+		} else if from == BreakerOpen {
+			openCount--
+		}
+		open.Set(float64(openCount))
+	}
+}
+
+// observeRPC records one served gateway request.
+func (o *NodeObs) observeRPC(typ string, err error, dur time.Duration) {
+	if o == nil {
+		return
+	}
+	req, ok := o.requests[typ]
+	if !ok {
+		o.reqOther.Inc()
+		if err != nil {
+			o.errOther.Inc()
+		}
+		o.rpcOther.Observe(dur.Seconds())
+		return
+	}
+	req.Inc()
+	if err != nil {
+		o.errors[typ].Inc()
+	}
+	o.rpcSeconds[typ].Observe(dur.Seconds())
+}
+
+// requestCounts snapshots the per-type served/error counters (only types
+// with at least one request appear).
+func (o *NodeObs) requestCounts() (reqs, errs map[string]uint64) {
+	if o == nil {
+		return nil, nil
+	}
+	reqs = make(map[string]uint64)
+	errs = make(map[string]uint64)
+	for typ, c := range o.requests {
+		if v := c.Value(); v > 0 {
+			reqs[typ] = v
+		}
+		if v := o.errors[typ].Value(); v > 0 {
+			errs[typ] = v
+		}
+	}
+	if v := o.reqOther.Value(); v > 0 {
+		reqs["other"] = v
+	}
+	if v := o.errOther.Value(); v > 0 {
+		errs["other"] = v
+	}
+	return reqs, errs
+}

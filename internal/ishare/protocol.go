@@ -12,20 +12,24 @@ package ishare
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"time"
+
+	"fgcs/internal/obs"
 )
 
 // Message types.
 const (
-	MsgRegister  = "register"   // gateway -> registry
-	MsgDiscover  = "discover"   // client -> registry
-	MsgQueryTR   = "query-tr"   // client -> gateway
-	MsgSubmit    = "submit"     // client -> gateway
-	MsgJobStatus = "job-status" // client -> gateway
-	MsgKillJob   = "kill-job"   // client -> gateway
+	MsgRegister   = "register"    // gateway -> registry
+	MsgDiscover   = "discover"    // client -> registry
+	MsgQueryTR    = "query-tr"    // client -> gateway
+	MsgSubmit     = "submit"      // client -> gateway
+	MsgJobStatus  = "job-status"  // client -> gateway
+	MsgKillJob    = "kill-job"    // client -> gateway
+	MsgQueryStats = "query-stats" // client -> gateway
 )
 
 // Request is the protocol envelope: one request per connection, one
@@ -121,11 +125,97 @@ type JobStatusResp struct {
 	WorkSeconds     float64 `json:"work_seconds"`
 }
 
+// QueryStatsReq asks a gateway for its observability snapshot.
+type QueryStatsReq struct {
+	// Calibration includes the per-predictor calibration tables in the
+	// accuracy summaries (they are verbose, so off by default).
+	Calibration bool `json:"calibration,omitempty"`
+}
+
+// EngineCacheStats mirrors the prediction engine's cache counters on the
+// wire.
+type EngineCacheStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+}
+
+// QueryStatsResp is a host node's observability snapshot: engine cache
+// effectiveness, per-type RPC counts, monitor throughput, and the online
+// accuracy scores per predictor — the paper's Section 5 comparison served
+// live over the wire.
+type QueryStatsResp struct {
+	MachineID string           `json:"machine_id"`
+	Engine    EngineCacheStats `json:"engine"`
+	// Requests and Errors count gateway RPCs by request type (only types
+	// seen at least once appear).
+	Requests map[string]uint64 `json:"requests,omitempty"`
+	Errors   map[string]uint64 `json:"errors,omitempty"`
+	// MonitorSamples counts samples recorded by the state manager.
+	MonitorSamples uint64 `json:"monitor_samples"`
+	// PendingPredictions is the number of issued TR predictions still
+	// awaiting their window outcome.
+	PendingPredictions int `json:"pending_predictions"`
+	// Accuracy holds one summary per (machine, predictor) resolved on
+	// this node; machine "_all" aggregates.
+	Accuracy []obs.AccuracyStats `json:"accuracy,omitempty"`
+}
+
 // Call performs one request/response round trip to addr: a single attempt
 // over the real network. Use a Caller to plug in a different transport or a
 // retry policy.
 func Call(addr string, typ string, payload, out interface{}, timeout time.Duration) error {
 	return callOnce(netDialer{}, addr, typ, payload, out, timeout)
+}
+
+// ErrMessageTooLarge reports a wire message that exceeded the decoder's byte
+// cap.
+var ErrMessageTooLarge = errors.New("ishare: message too large")
+
+// maxResponseBytes caps what a client will buffer for one response envelope.
+// Responses can carry discovery lists and accuracy tables, so the cap is
+// larger than the server-side request cap.
+const maxResponseBytes = 8 << 20
+
+// DecodeRequest reads one request envelope from r, enforcing the byte cap
+// (maxBytes <= 0 uses the server's 1 MiB default). This is the exact decode
+// path Server.serve runs against untrusted connections, and the entry point
+// the protocol fuzz tests exercise.
+func DecodeRequest(r io.Reader, maxBytes int64) (Request, error) {
+	var req Request
+	if err := decodeCapped(r, maxBytes, &req); err != nil {
+		return Request{}, err
+	}
+	return req, nil
+}
+
+// DecodeResponse reads one response envelope from r under the same cap
+// discipline (maxBytes <= 0 uses maxResponseBytes). Clients run it against
+// whatever the far end sent back.
+func DecodeResponse(r io.Reader, maxBytes int64) (Response, error) {
+	if maxBytes <= 0 {
+		maxBytes = maxResponseBytes
+	}
+	var resp Response
+	if err := decodeCapped(r, maxBytes, &resp); err != nil {
+		return Response{}, err
+	}
+	return resp, nil
+}
+
+func decodeCapped(r io.Reader, maxBytes int64, out interface{}) error {
+	if maxBytes <= 0 {
+		maxBytes = 1 << 20
+	}
+	limited := &io.LimitedReader{R: r, N: maxBytes}
+	if err := json.NewDecoder(bufio.NewReader(limited)).Decode(out); err != nil {
+		if limited.N <= 0 {
+			return ErrMessageTooLarge
+		}
+		return fmt.Errorf("ishare: malformed message: %w", err)
+	}
+	return nil
 }
 
 // exchange runs the request/response protocol over an established
@@ -145,9 +235,8 @@ func exchange(conn net.Conn, typ string, payload, out interface{}) error {
 	if err := enc.Encode(Request{Type: typ, Payload: raw}); err != nil {
 		return &transportError{fmt.Errorf("ishare: send: %w", err)}
 	}
-	var resp Response
-	dec := json.NewDecoder(bufio.NewReader(conn))
-	if err := dec.Decode(&resp); err != nil {
+	resp, err := DecodeResponse(conn, maxResponseBytes)
+	if err != nil {
 		return &transportError{fmt.Errorf("ishare: receive: %w", err)}
 	}
 	if !resp.OK {
@@ -280,11 +369,10 @@ func (s *Server) acceptLoop() {
 func (s *Server) serve(conn net.Conn) {
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(s.cfg.connDeadline()))
-	limited := &io.LimitedReader{R: conn, N: s.cfg.maxRequestBytes()}
-	var req Request
-	if err := json.NewDecoder(bufio.NewReader(limited)).Decode(&req); err != nil {
+	req, err := DecodeRequest(conn, s.cfg.maxRequestBytes())
+	if err != nil {
 		msg := "malformed request"
-		if limited.N <= 0 {
+		if errors.Is(err, ErrMessageTooLarge) {
 			msg = "request too large"
 		}
 		_ = json.NewEncoder(conn).Encode(Response{OK: false, Error: msg})

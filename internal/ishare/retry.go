@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"fgcs/internal/obs"
 	"fgcs/internal/rng"
 	"fgcs/internal/simclock"
 )
@@ -100,6 +101,33 @@ func (p RetryPolicy) delay(n int, jitter *rng.Stream) time.Duration {
 	return time.Duration(half + jitter.Float64()*half)
 }
 
+// CallerMetrics instruments a Caller's attempts. The obs counters are
+// nil-safe, so a partially populated struct records what it can; a nil
+// *CallerMetrics records nothing.
+type CallerMetrics struct {
+	// Attempts counts every RPC attempt (first tries and retries).
+	Attempts *obs.Counter
+	// Retries counts attempts beyond a call's first — the PR 2 retry
+	// traffic made visible.
+	Retries *obs.Counter
+	// TransportErrors counts attempts that failed below the application
+	// (dial, send, receive, decode).
+	TransportErrors *obs.Counter
+}
+
+func (m *CallerMetrics) observe(attempt int, err error) {
+	if m == nil {
+		return
+	}
+	m.Attempts.Inc()
+	if attempt > 1 {
+		m.Retries.Inc()
+	}
+	if IsTransport(err) {
+		m.TransportErrors.Inc()
+	}
+}
+
 // Caller performs protocol round trips with a pluggable transport, a retry
 // policy for idempotent RPCs, and an idempotency-key source for RPCs that
 // must not double-execute. The zero value (and a nil *Caller) behaves
@@ -115,6 +143,9 @@ type Caller struct {
 	// JitterSeed seeds the backoff jitter stream, making retry schedules
 	// reproducible (0 uses a fixed default seed).
 	JitterSeed uint64
+	// Metrics, when non-nil, counts attempts, retries and transport
+	// failures.
+	Metrics *CallerMetrics
 
 	mu       sync.Mutex
 	jitter   *rng.Stream
@@ -179,7 +210,11 @@ func (c *Caller) NextKey(prefix string) string {
 // Call performs a single-attempt round trip through the caller's dialer.
 // Use it for non-idempotent RPCs (Submit without a key, Kill).
 func (c *Caller) Call(addr, typ string, payload, out interface{}, timeout time.Duration) error {
-	return callOnce(c.dialer(), addr, typ, payload, out, timeout)
+	err := callOnce(c.dialer(), addr, typ, payload, out, timeout)
+	if c != nil {
+		c.Metrics.observe(1, err)
+	}
+	return err
 }
 
 // CallRetry performs the round trip with the caller's retry policy: each
@@ -194,6 +229,9 @@ func (c *Caller) CallRetry(addr, typ string, payload, out interface{}, timeout t
 	var err error
 	for n := 1; ; n++ {
 		err = callOnce(c.dialer(), addr, typ, payload, out, timeout)
+		if c != nil {
+			c.Metrics.observe(n, err)
+		}
 		if err == nil || !IsTransport(err) || n >= attempts {
 			if err != nil && n > 1 {
 				return fmt.Errorf("ishare: %d attempts: %w", n, err)

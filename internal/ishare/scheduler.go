@@ -79,6 +79,15 @@ func (r RemoteGateway) Kill(req JobStatusReq) (JobStatusResp, error) {
 	return resp, err
 }
 
+// QueryStats fetches the node's observability snapshot. Idempotent: retried
+// under the caller's policy. (Deliberately not part of GatewayAPI — it is an
+// operator surface, not a scheduling one.)
+func (r RemoteGateway) QueryStats(req QueryStatsReq) (QueryStatsResp, error) {
+	var resp QueryStatsResp
+	err := r.Caller.CallRetry(r.Addr, MsgQueryStats, req, &resp, r.timeout())
+	return resp, err
+}
+
 // Candidate pairs a machine identity with its gateway API.
 type Candidate struct {
 	MachineID string

@@ -10,6 +10,7 @@ import (
 	"fgcs/internal/monitor"
 	"fgcs/internal/predict"
 	"fgcs/internal/simclock"
+	"fgcs/internal/timeseries"
 	"fgcs/internal/trace"
 )
 
@@ -27,6 +28,7 @@ import (
 // across queries and its per-day hash memoization pays off.
 type StateManager struct {
 	mu        sync.Mutex
+	machineID string
 	cfg       avail.Config
 	period    time.Duration
 	clock     simclock.Clock
@@ -36,6 +38,9 @@ type StateManager struct {
 	recentCap int
 	predictor predict.SMP
 	engine    *predict.Engine
+	obsv      *NodeObs
+	baselines []timeseries.Fitter
+	stateBuf  []avail.State // scratch for per-sample classification (under mu)
 
 	histMu    sync.Mutex
 	histDays  []*trace.Day // completed days, stable across queries
@@ -60,7 +65,8 @@ func NewStateManager(machineID string, period time.Duration, cfg avail.Config, c
 		return nil, fmt.Errorf("ishare: preloaded history period %v != %v", preloaded.Period, period)
 	}
 	recentCap := int(cfg.SuspendLimit/period) + 4
-	return &StateManager{
+	sm := &StateManager{
+		machineID: machineID,
 		cfg:       cfg,
 		period:    period,
 		clock:     clock,
@@ -69,22 +75,41 @@ func NewStateManager(machineID string, period time.Duration, cfg avail.Config, c
 		recentCap: recentCap,
 		predictor: predict.SMP{Cfg: cfg, HistoryDays: historyDays},
 		engine:    predict.NewEngine(predict.EngineConfig{}),
-	}, nil
+		obsv:      NewNodeObs(),
+		baselines: timeseries.ReferenceSuite(),
+		stateBuf:  make([]avail.State, 0, recentCap),
+	}
+	sm.engine.SetMetrics(sm.obsv.Engine)
+	return sm, nil
 }
 
 // EngineStats reports the prediction engine's cache counters.
 func (sm *StateManager) EngineStats() predict.EngineStats { return sm.engine.Stats() }
 
-// Record implements monitor.Sink: it archives the sample and refreshes the
-// current-state estimate.
+// Obs exposes the node's observability bundle: the metrics registry every
+// component on this node records into and the online accuracy tracker.
+func (sm *StateManager) Obs() *NodeObs { return sm.obsv }
+
+// Record implements monitor.Sink: it archives the sample, refreshes the
+// current-state estimate, and feeds the availability outcome to the accuracy
+// tracker so pending TR predictions whose windows cover this instant are
+// scored. The classification reuses a scratch buffer, so the per-sample path
+// does not allocate at steady state.
 func (sm *StateManager) Record(t time.Time, s trace.Sample) {
 	sm.recorder.Record(t, s)
 	sm.mu.Lock()
-	defer sm.mu.Unlock()
 	sm.recent = append(sm.recent, s)
 	if len(sm.recent) > sm.recentCap {
 		sm.recent = sm.recent[len(sm.recent)-sm.recentCap:]
 	}
+	sm.stateBuf = avail.ClassifyInto(sm.stateBuf, sm.recent, sm.cfg, sm.period)
+	up := true
+	if n := len(sm.stateBuf); n > 0 {
+		up = sm.stateBuf[n-1].Recoverable()
+	}
+	sm.mu.Unlock()
+	sm.obsv.Monitor.Samples.Inc()
+	sm.obsv.Tracker.Observe(sm.machineID, t, up)
 }
 
 // CurrentState classifies the machine's present availability state from the
@@ -217,6 +242,7 @@ func (sm *StateManager) QueryTR(req QueryTRReq) (QueryTRResp, error) {
 		resp := QueryTRResp{TR: 1, HistoryWindows: 0, CurrentState: cur.String()}
 		st := sm.engine.Stats()
 		resp.CacheHits, resp.CacheMisses = st.Hits, st.Misses
+		sm.recordPredictions(midnight, w, cfg.Cfg, 1)
 		return resp, nil
 	}
 	tr, err := sm.engine.PredictFrom(cfg, days, w, cur)
@@ -226,5 +252,34 @@ func (sm *StateManager) QueryTR(req QueryTRReq) (QueryTRResp, error) {
 	resp := QueryTRResp{TR: tr, HistoryWindows: len(days), CurrentState: cur.String()}
 	st := sm.engine.Stats()
 	resp.CacheHits, resp.CacheMisses = st.Hits, st.Misses
+	sm.recordPredictions(midnight, w, cfg.Cfg, tr)
 	return resp, nil
+}
+
+// recordPredictions registers the SMP prediction for the issued window with
+// the accuracy tracker, alongside the Table 1 linear baselines (AR, BM, MA,
+// ARMA, LAST) forecast from the window immediately preceding the query
+// window in today's live log — the paper's Section 5 comparison, scored
+// online as each window's outcome is observed by the monitor.
+func (sm *StateManager) recordPredictions(midnight time.Time, w predict.Window, cfg avail.Config, smpTR float64) {
+	tracker := sm.obsv.Tracker
+	start := midnight.Add(w.Start)
+	tracker.RecordPrediction(sm.machineID, "SMP", smpTR, start, w.Length)
+	prevStart := w.Start - w.Length
+	if prevStart < 0 {
+		prevStart = 0
+	}
+	prev := sm.recorder.DayWindow(midnight, prevStart, w.Start-prevStart)
+	for _, f := range sm.baselines {
+		ts := predict.TimeSeries{Cfg: cfg, Fitter: f}
+		survives, err := ts.PredictWindow(prev, w, sm.period)
+		if err != nil {
+			continue
+		}
+		p := 0.0
+		if survives {
+			p = 1
+		}
+		tracker.RecordPrediction(sm.machineID, f.Name(), p, start, w.Length)
+	}
 }

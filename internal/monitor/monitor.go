@@ -15,9 +15,30 @@ import (
 	"sync"
 	"time"
 
+	"fgcs/internal/obs"
 	"fgcs/internal/simclock"
 	"fgcs/internal/trace"
 )
+
+// Metrics is the monitor's observability surface. Instruments are nil-safe,
+// so partially wired metrics record what they can.
+type Metrics struct {
+	// Samples counts successful source reads; Errors failed ones.
+	Samples *obs.Counter
+	Errors  *obs.Counter
+	// TickSeconds observes the latency of one full sampling tick: source
+	// read, sink fan-out and heartbeat write.
+	TickSeconds *obs.Histogram
+}
+
+// NewMetrics registers the monitor metric family on a registry.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Samples:     r.Counter("fgcs_monitor_samples_total", "Successful resource samples taken."),
+		Errors:      r.Counter("fgcs_monitor_read_errors_total", "Load-source reads that failed."),
+		TickSeconds: r.Histogram("fgcs_monitor_tick_seconds", "Sampling tick latency: read, sink fan-out, heartbeat.", nil),
+	}
+}
 
 // LoadSource provides instantaneous host resource readings — the role played
 // by top on Linux and vmstat/prstat on Unix in the paper's prototype.
@@ -48,6 +69,9 @@ type Config struct {
 	HeartbeatPath string
 	// Clock defaults to the wall clock.
 	Clock simclock.Clock
+	// Metrics, when non-nil, receives sample/error counts and tick
+	// latency.
+	Metrics *Metrics
 }
 
 // Monitor samples a LoadSource periodically.
@@ -114,11 +138,19 @@ func (m *Monitor) Run() {
 // Tick performs a single sampling step at the given time. Exposed so tests
 // and simulations can drive the monitor deterministically.
 func (m *Monitor) Tick(now time.Time) {
+	mx := m.cfg.Metrics
+	var tickStart time.Time
+	if mx != nil {
+		tickStart = time.Now()
+	}
 	cpu, free, err := m.src.Read()
 	m.mu.Lock()
 	if err != nil {
 		m.errs++
 		m.mu.Unlock()
+		if mx != nil {
+			mx.Errors.Inc()
+		}
 		return
 	}
 	m.samples++
@@ -131,6 +163,10 @@ func (m *Monitor) Tick(now time.Time) {
 		// Heartbeat write failures are deliberately non-fatal: a full
 		// disk must not kill monitoring.
 		_ = WriteHeartbeat(m.cfg.HeartbeatPath, now)
+	}
+	if mx != nil {
+		mx.Samples.Inc()
+		mx.TickSeconds.Observe(time.Since(tickStart).Seconds())
 	}
 }
 

@@ -75,6 +75,32 @@ func (r *Recorder) put(t time.Time, s trace.Sample) {
 	day.Samples[idx] = s
 }
 
+// DayWindow returns a copy of the recorded samples of the day containing
+// date, restricted to clock offsets [start, start+length). It returns nil
+// when that day has no samples yet. Unlike Snapshot it copies only the
+// requested window, so per-query callers (the online baseline predictors)
+// do not clone the whole history log.
+func (r *Recorder) DayWindow(date time.Time, start, length time.Duration) []trace.Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	date = date.UTC()
+	midnight := time.Date(date.Year(), date.Month(), date.Day(), 0, 0, 0, 0, time.UTC)
+	for i := len(r.machine.Days) - 1; i >= 0; i-- {
+		d := r.machine.Days[i]
+		if d.Date.Equal(midnight) {
+			w := d.Window(start, length)
+			if len(w) == 0 {
+				return nil
+			}
+			return append([]trace.Sample(nil), w...)
+		}
+		if d.Date.Before(midnight) {
+			return nil
+		}
+	}
+	return nil
+}
+
 // Snapshot returns a deep copy of the accumulated machine log.
 func (r *Recorder) Snapshot() *trace.Machine {
 	r.mu.Lock()

@@ -1,0 +1,407 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Tracker scores temporal-reliability predictions against the availability
+// outcomes later observed by the monitor. Each issued prediction claims a
+// window [Start, Start+Length); the monitor feeds every classified sample
+// back through Observe, and the tracker resolves a prediction as
+//
+//   - failed    — an unrecoverable availability state (S3/S4/S5) was
+//     observed inside the window, or
+//   - survived  — the window's deadline passed with no failure observed,
+//
+// exactly the empirical-TR definition the paper's Section 5 evaluation
+// measures offline over test days. Per (machine, predictor) the tracker
+// maintains cumulative and rolling accuracy, Brier score, the mean
+// predicted TR against the empirical survival rate, and a 10-bucket
+// calibration table.
+//
+// Observe with no due predictions is a mutex acquire plus a slice scan of
+// the machine's pending window (usually a handful of entries) and allocates
+// nothing, so it is safe to call from the monitor's sampling tick.
+type Tracker struct {
+	mu      sync.Mutex
+	pending map[string]*machinePending // keyed by machine
+	stats   map[trackerKey]*accStats
+	keys    []trackerKey // sorted registration order for stable output
+
+	maxPending int
+	resolved   uint64
+	dropped    uint64
+}
+
+// CalibrationBuckets is the number of equal-width predicted-TR buckets in
+// the calibration table.
+const CalibrationBuckets = 10
+
+// rollingWindow is the number of most-recent resolved predictions the
+// rolling accuracy and Brier score are computed over.
+const rollingWindow = 128
+
+// defaultMaxPending bounds the per-machine queue of unresolved predictions;
+// beyond it the oldest prediction is dropped (counted in DroppedPredictions).
+const defaultMaxPending = 4096
+
+type trackerKey struct {
+	Machine   string
+	Predictor string
+}
+
+type pendingPred struct {
+	key      trackerKey
+	tr       float64
+	start    time.Time
+	deadline time.Time
+	failed   bool
+}
+
+type machinePending struct {
+	preds []pendingPred
+}
+
+// accStats accumulates resolved outcomes for one (machine, predictor).
+type accStats struct {
+	resolved uint64
+	survived uint64
+	correct  uint64 // thresholded prediction (tr >= 0.5) matched the outcome
+	sumTR    float64
+	brierSum float64 // sum of (tr - outcome)^2
+
+	calibCount    [CalibrationBuckets]uint64
+	calibSurvived [CalibrationBuckets]uint64
+	calibSumTR    [CalibrationBuckets]float64
+
+	ring     [rollingWindow]ringEntry
+	ringLen  int
+	ringNext int
+}
+
+type ringEntry struct {
+	tr       float64
+	survived bool
+}
+
+// NewTracker builds an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{
+		pending:    make(map[string]*machinePending),
+		stats:      make(map[trackerKey]*accStats),
+		maxPending: defaultMaxPending,
+	}
+}
+
+// RecordPrediction registers one issued prediction: predictor claimed
+// probability tr that machine stays available over [start, start+length).
+func (t *Tracker) RecordPrediction(machine, predictor string, tr float64, start time.Time, length time.Duration) {
+	if t == nil || length <= 0 {
+		return
+	}
+	if tr < 0 {
+		tr = 0
+	} else if tr > 1 {
+		tr = 1
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	mp, ok := t.pending[machine]
+	if !ok {
+		mp = &machinePending{}
+		t.pending[machine] = mp
+	}
+	if len(mp.preds) >= t.maxPending {
+		mp.preds = mp.preds[1:]
+		t.dropped++
+	}
+	mp.preds = append(mp.preds, pendingPred{
+		key:      trackerKey{Machine: machine, Predictor: predictor},
+		tr:       tr,
+		start:    start,
+		deadline: start.Add(length),
+	})
+}
+
+// Observe feeds one classified monitor sample: at time now the machine was
+// in a recoverable state (up=true) or an unrecoverable one (up=false).
+// Failures mark every pending prediction whose window covers now; any
+// prediction whose deadline has passed resolves.
+func (t *Tracker) Observe(machine string, now time.Time, up bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	mp, ok := t.pending[machine]
+	if !ok {
+		return
+	}
+	kept := mp.preds[:0]
+	for i := range mp.preds {
+		p := mp.preds[i]
+		if !now.Before(p.deadline) {
+			t.resolve(p, !p.failed)
+			continue
+		}
+		if !up && !now.Before(p.start) {
+			// Failure inside the window: the outcome is decided, but hold
+			// the entry until its deadline so duplicate failures are cheap
+			// no-ops — resolving early would double-count re-predictions.
+			p.failed = true
+		}
+		kept = append(kept, p)
+	}
+	mp.preds = kept
+}
+
+// resolve folds one outcome into the (machine, predictor) stats and the
+// all-machines aggregate. Callers hold t.mu.
+func (t *Tracker) resolve(p pendingPred, survived bool) {
+	t.resolved++
+	for _, key := range [2]trackerKey{p.key, {Machine: "_all", Predictor: p.key.Predictor}} {
+		st, ok := t.stats[key]
+		if !ok {
+			st = &accStats{}
+			t.stats[key] = st
+			t.keys = append(t.keys, key)
+			sort.Slice(t.keys, func(i, j int) bool {
+				if t.keys[i].Machine != t.keys[j].Machine {
+					return t.keys[i].Machine < t.keys[j].Machine
+				}
+				return t.keys[i].Predictor < t.keys[j].Predictor
+			})
+		}
+		st.add(p.tr, survived)
+	}
+}
+
+func (st *accStats) add(tr float64, survived bool) {
+	outcome := 0.0
+	if survived {
+		outcome = 1
+		st.survived++
+	}
+	st.resolved++
+	st.sumTR += tr
+	d := tr - outcome
+	st.brierSum += d * d
+	if (tr >= 0.5) == survived {
+		st.correct++
+	}
+	b := int(tr * CalibrationBuckets)
+	if b >= CalibrationBuckets {
+		b = CalibrationBuckets - 1
+	}
+	st.calibCount[b]++
+	st.calibSumTR[b] += tr
+	if survived {
+		st.calibSurvived[b]++
+	}
+	st.ring[st.ringNext] = ringEntry{tr: tr, survived: survived}
+	st.ringNext = (st.ringNext + 1) % rollingWindow
+	if st.ringLen < rollingWindow {
+		st.ringLen++
+	}
+}
+
+// CalibrationBucket is one row of the calibration table: of the predictions
+// whose TR fell in [Lo, Hi), MeanTR is their average claim and Empirical the
+// observed survival rate.
+type CalibrationBucket struct {
+	Lo        float64 `json:"lo"`
+	Hi        float64 `json:"hi"`
+	Count     uint64  `json:"count"`
+	MeanTR    float64 `json:"mean_tr"`
+	Empirical float64 `json:"empirical"`
+}
+
+// AccuracyStats is the resolved-outcome summary for one (machine,
+// predictor) pair. Machine "_all" aggregates every machine.
+type AccuracyStats struct {
+	Machine   string `json:"machine"`
+	Predictor string `json:"predictor"`
+	// Resolved counts predictions whose window outcome has been observed;
+	// Survived how many of those windows passed with no failure.
+	Resolved uint64 `json:"resolved"`
+	Survived uint64 `json:"survived"`
+	// MeanTR is the average predicted TR; Empirical the observed survival
+	// rate Survived/Resolved — the two quantities the paper compares.
+	MeanTR    float64 `json:"mean_tr"`
+	Empirical float64 `json:"empirical"`
+	// Brier is the mean squared error of the probabilistic prediction
+	// (lower is better; 0.25 is the score of a coin flip).
+	Brier float64 `json:"brier"`
+	// Accuracy is the fraction of predictions whose 0.5-thresholded claim
+	// matched the outcome.
+	Accuracy float64 `json:"accuracy"`
+	// RollingBrier and RollingAccuracy cover only the most recent
+	// RollingWindowSize resolved predictions.
+	RollingBrier    float64 `json:"rolling_brier"`
+	RollingAccuracy float64 `json:"rolling_accuracy"`
+	// Calibration is the 10-bucket reliability table.
+	Calibration []CalibrationBucket `json:"calibration,omitempty"`
+}
+
+// RollingWindowSize reports how many resolved predictions back the rolling
+// statistics.
+func RollingWindowSize() int { return rollingWindow }
+
+func (st *accStats) summary(key trackerKey) AccuracyStats {
+	out := AccuracyStats{
+		Machine:   key.Machine,
+		Predictor: key.Predictor,
+		Resolved:  st.resolved,
+		Survived:  st.survived,
+	}
+	if st.resolved > 0 {
+		n := float64(st.resolved)
+		out.MeanTR = st.sumTR / n
+		out.Empirical = float64(st.survived) / n
+		out.Brier = st.brierSum / n
+		out.Accuracy = float64(st.correct) / n
+	}
+	if st.ringLen > 0 {
+		var brier float64
+		var correct int
+		for i := 0; i < st.ringLen; i++ {
+			e := st.ring[i]
+			outcome := 0.0
+			if e.survived {
+				outcome = 1
+			}
+			d := e.tr - outcome
+			brier += d * d
+			if (e.tr >= 0.5) == e.survived {
+				correct++
+			}
+		}
+		out.RollingBrier = brier / float64(st.ringLen)
+		out.RollingAccuracy = float64(correct) / float64(st.ringLen)
+	}
+	for b := 0; b < CalibrationBuckets; b++ {
+		cb := CalibrationBucket{
+			Lo:    float64(b) / CalibrationBuckets,
+			Hi:    float64(b+1) / CalibrationBuckets,
+			Count: st.calibCount[b],
+		}
+		if cb.Count > 0 {
+			cb.MeanTR = st.calibSumTR[b] / float64(cb.Count)
+			cb.Empirical = float64(st.calibSurvived[b]) / float64(cb.Count)
+		}
+		out.Calibration = append(out.Calibration, cb)
+	}
+	return out
+}
+
+// Stats returns the summary for one (machine, predictor), zero-valued when
+// nothing resolved yet. Machine "_all" aggregates across machines.
+func (t *Tracker) Stats(machine, predictor string) AccuracyStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st, ok := t.stats[trackerKey{Machine: machine, Predictor: predictor}]
+	if !ok {
+		return AccuracyStats{Machine: machine, Predictor: predictor}
+	}
+	return st.summary(trackerKey{Machine: machine, Predictor: predictor})
+}
+
+// All returns every (machine, predictor) summary in sorted order.
+func (t *Tracker) All() []AccuracyStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]AccuracyStats, 0, len(t.keys))
+	for _, key := range t.keys {
+		out = append(out, t.stats[key].summary(key))
+	}
+	return out
+}
+
+// Pending reports the number of unresolved predictions across machines.
+func (t *Tracker) Pending() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, mp := range t.pending {
+		n += len(mp.preds)
+	}
+	return n
+}
+
+// Resolved reports the total number of resolved predictions (each counted
+// once, not per aggregate).
+func (t *Tracker) Resolved() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.resolved
+}
+
+// DroppedPredictions reports predictions evicted unresolved by the
+// per-machine pending cap.
+func (t *Tracker) DroppedPredictions() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// WriteText renders the per-(machine, predictor) accuracy series in the
+// Prometheus text exposition format, complementing Registry.WriteText on a
+// /metrics endpoint. Calibration tables are omitted here (they are served
+// via the QueryStats RPC); the headline series are enough for dashboards.
+func (t *Tracker) WriteText(w io.Writer) error {
+	all := t.All()
+	t.mu.Lock()
+	pending := 0
+	for _, mp := range t.pending {
+		pending += len(mp.preds)
+	}
+	resolved, dropped := t.resolved, t.dropped
+	t.mu.Unlock()
+	if _, err := fmt.Fprintf(w,
+		"# HELP fgcs_accuracy_pending_predictions Unresolved TR predictions awaiting their window outcome.\n"+
+			"# TYPE fgcs_accuracy_pending_predictions gauge\nfgcs_accuracy_pending_predictions %d\n"+
+			"# HELP fgcs_accuracy_resolved_total TR predictions matched against an observed outcome.\n"+
+			"# TYPE fgcs_accuracy_resolved_total counter\nfgcs_accuracy_resolved_total %d\n"+
+			"# HELP fgcs_accuracy_dropped_total Predictions evicted unresolved by the pending cap.\n"+
+			"# TYPE fgcs_accuracy_dropped_total counter\nfgcs_accuracy_dropped_total %d\n",
+		pending, resolved, dropped); err != nil {
+		return err
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	series := []struct {
+		name, help string
+		value      func(AccuracyStats) string
+	}{
+		{"fgcs_accuracy_resolved", "Resolved predictions per machine and predictor.",
+			func(s AccuracyStats) string { return strconv.FormatUint(s.Resolved, 10) }},
+		{"fgcs_accuracy_mean_tr", "Mean predicted temporal reliability.",
+			func(s AccuracyStats) string { return strconv.FormatFloat(s.MeanTR, 'g', -1, 64) }},
+		{"fgcs_accuracy_empirical_tr", "Observed survival rate of predicted windows.",
+			func(s AccuracyStats) string { return strconv.FormatFloat(s.Empirical, 'g', -1, 64) }},
+		{"fgcs_accuracy_brier", "Cumulative Brier score (lower is better).",
+			func(s AccuracyStats) string { return strconv.FormatFloat(s.Brier, 'g', -1, 64) }},
+		{"fgcs_accuracy_rolling_brier", "Brier score over the rolling window.",
+			func(s AccuracyStats) string { return strconv.FormatFloat(s.RollingBrier, 'g', -1, 64) }},
+		{"fgcs_accuracy_correct_rate", "Fraction of 0.5-thresholded predictions matching the outcome.",
+			func(s AccuracyStats) string { return strconv.FormatFloat(s.Accuracy, 'g', -1, 64) }},
+	}
+	for _, sr := range series {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", sr.name, sr.help, sr.name); err != nil {
+			return err
+		}
+		for _, s := range all {
+			labels := labelString([]Label{{"machine", s.Machine}, {"predictor", s.Predictor}})
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", sr.name, labels, sr.value(s)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

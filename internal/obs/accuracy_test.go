@@ -1,0 +1,235 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 3, 2, 9, 0, 0, 0, time.UTC)
+
+func TestTrackerResolvesSurvivalAndFailure(t *testing.T) {
+	tr := NewTracker()
+	// Window 1 survives; window 2 sees a failure mid-window.
+	tr.RecordPrediction("m1", "SMP", 0.9, t0, time.Hour)
+	tr.RecordPrediction("m1", "SMP", 0.8, t0.Add(2*time.Hour), time.Hour)
+	if tr.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", tr.Pending())
+	}
+	// Samples inside window 1: all up.
+	tr.Observe("m1", t0.Add(30*time.Minute), true)
+	// Deadline of window 1 passes.
+	tr.Observe("m1", t0.Add(61*time.Minute), true)
+	// Failure inside window 2, then its deadline.
+	tr.Observe("m1", t0.Add(2*time.Hour+10*time.Minute), false)
+	tr.Observe("m1", t0.Add(3*time.Hour+time.Minute), true)
+
+	s := tr.Stats("m1", "SMP")
+	if s.Resolved != 2 || s.Survived != 1 {
+		t.Fatalf("resolved/survived = %d/%d, want 2/1", s.Resolved, s.Survived)
+	}
+	if s.Empirical != 0.5 {
+		t.Fatalf("empirical = %g, want 0.5", s.Empirical)
+	}
+	wantMean := (0.9 + 0.8) / 2
+	if math.Abs(s.MeanTR-wantMean) > 1e-12 {
+		t.Fatalf("mean TR = %g, want %g", s.MeanTR, wantMean)
+	}
+	wantBrier := ((0.9-1)*(0.9-1) + (0.8-0)*(0.8-0)) / 2
+	if math.Abs(s.Brier-wantBrier) > 1e-12 {
+		t.Fatalf("brier = %g, want %g", s.Brier, wantBrier)
+	}
+	if s.Accuracy != 0.5 { // 0.9 matched survival, 0.8 missed the failure
+		t.Fatalf("accuracy = %g, want 0.5", s.Accuracy)
+	}
+	// The aggregate mirrors the single machine.
+	if agg := tr.Stats("_all", "SMP"); agg.Resolved != 2 || agg.Survived != 1 {
+		t.Fatalf("aggregate = %+v", agg)
+	}
+	if tr.Pending() != 0 {
+		t.Fatalf("pending after resolution = %d, want 0", tr.Pending())
+	}
+}
+
+func TestTrackerFailureBeforeWindowDoesNotCount(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordPrediction("m1", "SMP", 1, t0, time.Hour)
+	// A failure before the window opens must not condemn the prediction.
+	tr.Observe("m1", t0.Add(-time.Minute), false)
+	tr.Observe("m1", t0.Add(time.Hour), true)
+	s := tr.Stats("m1", "SMP")
+	if s.Resolved != 1 || s.Survived != 1 {
+		t.Fatalf("resolved/survived = %d/%d, want 1/1", s.Resolved, s.Survived)
+	}
+}
+
+func TestTrackerPerPredictorSeparation(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordPrediction("m1", "SMP", 0.9, t0, time.Hour)
+	tr.RecordPrediction("m1", "LAST", 0.1, t0, time.Hour)
+	tr.Observe("m1", t0.Add(time.Hour), true)
+	if s := tr.Stats("m1", "SMP"); s.Brier >= 0.02 {
+		t.Fatalf("SMP brier = %g, want small", s.Brier)
+	}
+	if s := tr.Stats("m1", "LAST"); s.Brier <= 0.5 {
+		t.Fatalf("LAST brier = %g, want large", s.Brier)
+	}
+	all := tr.All()
+	if len(all) != 4 { // (m1, _all) x (SMP, LAST)
+		t.Fatalf("All() returned %d summaries, want 4", len(all))
+	}
+}
+
+func TestTrackerCalibration(t *testing.T) {
+	tr := NewTracker()
+	// 10 predictions at 0.85, 8 of which survive: bucket 8 should show
+	// mean TR 0.85 against empirical 0.8.
+	for i := 0; i < 10; i++ {
+		start := t0.Add(time.Duration(i) * 2 * time.Hour)
+		tr.RecordPrediction("m1", "SMP", 0.85, start, time.Hour)
+		if i < 2 {
+			tr.Observe("m1", start.Add(30*time.Minute), false)
+		}
+		tr.Observe("m1", start.Add(time.Hour), true)
+	}
+	s := tr.Stats("m1", "SMP")
+	b := s.Calibration[8]
+	if b.Count != 10 {
+		t.Fatalf("bucket count = %d, want 10 (%+v)", b.Count, s.Calibration)
+	}
+	if math.Abs(b.MeanTR-0.85) > 1e-12 || math.Abs(b.Empirical-0.8) > 1e-12 {
+		t.Fatalf("bucket mean/empirical = %g/%g, want 0.85/0.8", b.MeanTR, b.Empirical)
+	}
+}
+
+func TestTrackerRollingWindow(t *testing.T) {
+	tr := NewTracker()
+	n := rollingWindow + 40
+	// First 40 predictions are confidently wrong, the rest confidently
+	// right: the rolling Brier forgets the bad start, the cumulative one
+	// remembers it.
+	for i := 0; i < n; i++ {
+		start := t0.Add(time.Duration(i) * 2 * time.Hour)
+		tr.RecordPrediction("m1", "SMP", 1, start, time.Hour)
+		if i < 40 {
+			tr.Observe("m1", start.Add(30*time.Minute), false)
+		}
+		tr.Observe("m1", start.Add(time.Hour+time.Second), true)
+	}
+	s := tr.Stats("m1", "SMP")
+	if s.RollingBrier != 0 {
+		t.Fatalf("rolling brier = %g, want 0", s.RollingBrier)
+	}
+	if s.Brier == 0 {
+		t.Fatal("cumulative brier forgot the early misses")
+	}
+	if s.RollingAccuracy != 1 {
+		t.Fatalf("rolling accuracy = %g, want 1", s.RollingAccuracy)
+	}
+}
+
+func TestTrackerPendingCap(t *testing.T) {
+	tr := NewTracker()
+	tr.maxPending = 8
+	for i := 0; i < 20; i++ {
+		tr.RecordPrediction("m1", "SMP", 0.5, t0.Add(time.Duration(i)*time.Minute), time.Hour)
+	}
+	if tr.Pending() != 8 {
+		t.Fatalf("pending = %d, want capped at 8", tr.Pending())
+	}
+	if tr.DroppedPredictions() != 12 {
+		t.Fatalf("dropped = %d, want 12", tr.DroppedPredictions())
+	}
+}
+
+func TestTrackerObserveNoPendingAllocs(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordPrediction("m1", "SMP", 0.5, t0, time.Hour)
+	tr.Observe("m1", t0.Add(2*time.Hour), true) // drain
+	when := t0.Add(3 * time.Hour)
+	if n := testing.AllocsPerRun(1000, func() { tr.Observe("m1", when, true) }); n != 0 {
+		t.Fatalf("Observe with no due predictions allocates %v/op", n)
+	}
+}
+
+// BenchmarkTrackerObserveNoDue measures the monitor-tick cost of feeding a
+// sample through a tracker with pending-but-not-due predictions — the
+// steady state between a query and its window's deadline.
+func BenchmarkTrackerObserveNoDue(b *testing.B) {
+	tr := NewTracker()
+	for i := 0; i < 8; i++ {
+		tr.RecordPrediction("m1", "SMP", 0.5, t0.Add(24*time.Hour), time.Hour)
+	}
+	when := t0.Add(time.Hour)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Observe("m1", when, true)
+	}
+}
+
+func TestTrackerWriteText(t *testing.T) {
+	tr := NewTracker()
+	tr.RecordPrediction("m1", "SMP", 0.75, t0, time.Hour)
+	tr.Observe("m1", t0.Add(time.Hour), true)
+	var sb strings.Builder
+	if err := tr.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"fgcs_accuracy_resolved_total 1",
+		`fgcs_accuracy_mean_tr{machine="m1",predictor="SMP"} 0.75`,
+		`fgcs_accuracy_empirical_tr{machine="m1",predictor="SMP"} 1`,
+		`fgcs_accuracy_brier{machine="_all",predictor="SMP"} 0.0625`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("tracker exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTrackerConcurrentSnapshotWhileRecord exercises record/observe/stat
+// paths concurrently; under -race this is the tracker's data-race gate.
+func TestTrackerConcurrentSnapshotWhileRecord(t *testing.T) {
+	tr := NewTracker()
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			machine := string(rune('a' + w))
+			for i := 0; i < 2000; i++ {
+				start := t0.Add(time.Duration(i) * time.Minute)
+				tr.RecordPrediction(machine, "SMP", 0.5, start, 30*time.Second)
+				tr.Observe(machine, start.Add(time.Minute), i%3 != 0)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			_ = tr.All()
+			_ = tr.Pending()
+			var sb strings.Builder
+			_ = tr.WriteText(&sb)
+		}
+	}()
+	wg.Wait()
+	<-done
+	var total uint64
+	for _, s := range tr.All() {
+		if s.Machine == "_all" {
+			total += s.Resolved
+		}
+	}
+	// Each iteration's observation lands past its own prediction's
+	// deadline, so every prediction resolves.
+	want := uint64(writers * 2000)
+	if total != want {
+		t.Fatalf("aggregate resolved = %d, want %d", total, want)
+	}
+}

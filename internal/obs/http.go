@@ -1,0 +1,21 @@
+package obs
+
+import (
+	"net/http"
+)
+
+// Handler serves the registry (and, when non-nil, the accuracy tracker)
+// in the Prometheus text exposition format. Mount it at /metrics.
+func Handler(r *Registry, t *Tracker) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if r != nil {
+			if err := r.WriteText(w); err != nil {
+				return
+			}
+		}
+		if t != nil {
+			_ = t.WriteText(w)
+		}
+	})
+}

@@ -1,0 +1,447 @@
+// Package obs is the runtime observability layer: a zero-dependency metrics
+// registry (atomic counters, gauges and fixed-bucket histograms with
+// mergeable snapshots) plus an online prediction-accuracy tracker that
+// scores issued temporal-reliability predictions against the availability
+// outcomes later observed by the monitor — the paper's Section 5 comparison
+// of SMP against the linear predictors, maintained live while the system
+// serves traffic instead of recomputed offline.
+//
+// Design constraints, in order:
+//
+//  1. Hot-path operations (Counter.Add, Gauge.Set, Histogram.Observe,
+//     Tracker.Observe with no due predictions) allocate nothing and take no
+//     locks beyond atomics, so instrumenting the prediction engine does not
+//     undo its zero-alloc work.
+//  2. Everything is registered up front; label sets are baked into the
+//     metric identity at registration time so serving a sample never
+//     formats a string.
+//  3. Snapshots are plain values that merge by addition, so per-shard or
+//     per-node registries can be folded into fleet-level totals.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, fixed at registration time.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// labelString renders a label set in Prometheus exposition order. extra is
+// spliced in (used for histogram "le" labels).
+func labelString(labels []Label, extra ...Label) string {
+	all := make([]Label, 0, len(labels)+len(extra))
+	all = append(all, labels...)
+	all = append(all, extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	s := "{"
+	for i, l := range all {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Key + "=" + strconv.Quote(l.Value)
+	}
+	return s + "}"
+}
+
+// ------------------------------------------------------------- counter ----
+
+// Counter is a monotonically increasing atomic counter. All methods are safe
+// on a nil receiver (they no-op or return zero), so instrumentation points
+// never need nil checks.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// --------------------------------------------------------------- gauge ----
+
+// Gauge is an atomic float64 gauge (last value wins). Nil-safe like Counter.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// ----------------------------------------------------------- histogram ----
+
+// Histogram counts observations into fixed upper-bound buckets (plus an
+// implicit +Inf bucket) and tracks the running sum. Observe is lock-free and
+// allocation-free; the bucket layout is fixed at construction. Nil-safe.
+type Histogram struct {
+	bounds []float64       // sorted upper bounds; +Inf bucket is implicit
+	counts []atomic.Uint64 // len(bounds)+1
+	sum    atomic.Uint64   // float64 bits, updated by CAS
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a free-standing histogram (outside any registry) with
+// the given sorted upper bounds.
+func NewHistogram(bounds []float64) *Histogram {
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Binary search for the first bound >= v; the histogram is small (tens
+	// of buckets) so this is a handful of compares, no allocation.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if h.bounds[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// snapshot captures a consistent-enough view (each field individually
+// atomic; cross-field skew is bounded by in-flight Observes).
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds, // immutable after construction, safe to share
+		Counts: make([]uint64, len(h.counts)),
+		Sum:    h.Sum(),
+		Count:  h.Count(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram, mergeable with
+// snapshots of histograms that share the same bucket layout.
+type HistogramSnapshot struct {
+	Bounds []float64
+	Counts []uint64 // len(Bounds)+1; last is the +Inf bucket
+	Sum    float64
+	Count  uint64
+}
+
+// Merge folds other into s. The bucket layouts must match.
+func (s *HistogramSnapshot) Merge(other HistogramSnapshot) error {
+	if len(other.Bounds) != len(s.Bounds) {
+		return fmt.Errorf("obs: merging histograms with different bucket layouts")
+	}
+	for i, b := range other.Bounds {
+		if b != s.Bounds[i] {
+			return fmt.Errorf("obs: merging histograms with different bucket layouts")
+		}
+	}
+	for i := range s.Counts {
+		s.Counts[i] += other.Counts[i]
+	}
+	s.Sum += other.Sum
+	s.Count += other.Count
+	return nil
+}
+
+// Quantile estimates the q-quantile (0..1) from the bucket counts by linear
+// interpolation within the bucket; the +Inf bucket reports its lower bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		if i == len(s.Bounds) { // +Inf bucket
+			return lower
+		}
+		upper := s.Bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lower + frac*(upper-lower)
+	}
+	if n := len(s.Bounds); n > 0 {
+		return s.Bounds[n-1]
+	}
+	return 0
+}
+
+// LatencyBuckets is the default latency bucket layout (seconds): log-spaced
+// from 1 µs to 10 s, which brackets everything from a cache hit to a cold
+// multi-day kernel estimation or a cross-continent RPC.
+func LatencyBuckets() []float64 {
+	return []float64{
+		1e-6, 2.5e-6, 5e-6,
+		1e-5, 2.5e-5, 5e-5,
+		1e-4, 2.5e-4, 5e-4,
+		1e-3, 2.5e-3, 5e-3,
+		1e-2, 2.5e-2, 5e-2,
+		1e-1, 2.5e-1, 5e-1,
+		1, 2.5, 5, 10,
+	}
+}
+
+// ------------------------------------------------------------ registry ----
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name   string
+	help   string
+	labels []Label
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+func (m *metric) id() string { return m.name + labelString(m.labels) }
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram)
+// allocates and takes a lock; it is meant for startup. The returned
+// instruments are then used lock-free. Registering the same (name, labels)
+// twice returns the original instrument, so independent components can share
+// a series.
+type Registry struct {
+	mu    sync.Mutex
+	order []*metric
+	byID  map[string]*metric
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*metric)}
+}
+
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byID[m.id()]; ok {
+		return existing
+	}
+	r.order = append(r.order, m)
+	r.byID[m.id()] = m
+	return m
+}
+
+// Counter registers (or returns the existing) counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindCounter, counter: &Counter{}})
+	return m.counter
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindGauge, gauge: &Gauge{}})
+	return m.gauge
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// bucket upper bounds (nil selects LatencyBuckets).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets()
+	}
+	m := r.register(&metric{name: name, help: help, labels: labels, kind: kindHistogram, hist: NewHistogram(bounds)})
+	return m.hist
+}
+
+// Snapshot is a mergeable point-in-time copy of a registry: counters and
+// histogram buckets add, gauges keep the receiver's value when both sides
+// carry the series.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot captures every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.order))
+	copy(metrics, r.order)
+	r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64),
+		Gauges:     make(map[string]float64),
+		Histograms: make(map[string]HistogramSnapshot),
+	}
+	for _, m := range metrics {
+		switch m.kind {
+		case kindCounter:
+			s.Counters[m.id()] = m.counter.Value()
+		case kindGauge:
+			s.Gauges[m.id()] = m.gauge.Value()
+		case kindHistogram:
+			s.Histograms[m.id()] = m.hist.snapshot()
+		}
+	}
+	return s
+}
+
+// Merge folds other into s (series union; counters and histograms add).
+func (s Snapshot) Merge(other Snapshot) error {
+	for k, v := range other.Counters {
+		s.Counters[k] += v
+	}
+	for k, v := range other.Gauges {
+		if _, ok := s.Gauges[k]; !ok {
+			s.Gauges[k] = v
+		}
+	}
+	for k, v := range other.Histograms {
+		if mine, ok := s.Histograms[k]; ok {
+			if err := mine.Merge(v); err != nil {
+				return fmt.Errorf("%s: %w", k, err)
+			}
+			s.Histograms[k] = mine
+		} else {
+			cp := HistogramSnapshot{Bounds: v.Bounds, Counts: append([]uint64(nil), v.Counts...), Sum: v.Sum, Count: v.Count}
+			s.Histograms[k] = cp
+		}
+	}
+	return nil
+}
+
+// WriteText renders the registry in the Prometheus text exposition format,
+// in registration order.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	metrics := make([]*metric, len(r.order))
+	copy(metrics, r.order)
+	r.mu.Unlock()
+	seenHelp := make(map[string]bool)
+	for _, m := range metrics {
+		if !seenHelp[m.name] {
+			seenHelp[m.name] = true
+			typ := "counter"
+			switch m.kind {
+			case kindGauge:
+				typ = "gauge"
+			case kindHistogram:
+				typ = "histogram"
+			}
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, typ); err != nil {
+				return err
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			if _, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labelString(m.labels), m.counter.Value()); err != nil {
+				return err
+			}
+		case kindGauge:
+			if _, err := fmt.Fprintf(w, "%s%s %g\n", m.name, labelString(m.labels), m.gauge.Value()); err != nil {
+				return err
+			}
+		case kindHistogram:
+			snap := m.hist.snapshot()
+			var cum uint64
+			for i, c := range snap.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(snap.Bounds) {
+					le = strconv.FormatFloat(snap.Bounds[i], 'g', -1, 64)
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labelString(m.labels, Label{"le", le}), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %g\n%s_count%s %d\n",
+				m.name, labelString(m.labels), snap.Sum,
+				m.name, labelString(m.labels), snap.Count); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -7,8 +7,10 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"fgcs/internal/avail"
+	"fgcs/internal/obs"
 	"fgcs/internal/smp"
 	"fgcs/internal/trace"
 )
@@ -42,6 +44,8 @@ type Engine struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	evictions atomic.Uint64
+
+	metrics atomic.Pointer[EngineMetrics]
 
 	hashMu    sync.RWMutex
 	dayHashes map[*trace.Day]uint64
@@ -137,6 +141,40 @@ type EngineStats struct {
 	// Entries is the current number of cached kernels.
 	Entries int
 }
+
+// EngineMetrics is the engine's observability surface: cache-effectiveness
+// counters plus fit and solve latency histograms. All instruments are
+// nil-safe, so a zero EngineMetrics records nothing; the counters mirror the
+// engine's internal Stats counters so an externally scraped registry and the
+// QueryTR response always agree.
+type EngineMetrics struct {
+	Hits      *obs.Counter
+	Misses    *obs.Counter
+	Evictions *obs.Counter
+	// Entries tracks the current number of cached kernels.
+	Entries *obs.Gauge
+	// FitSeconds observes the latency of the extract/estimate/solve
+	// pipeline on a cache miss; SolveSeconds the Equation (3) backward
+	// recursion alone (a sub-span of FitSeconds).
+	FitSeconds   *obs.Histogram
+	SolveSeconds *obs.Histogram
+}
+
+// NewEngineMetrics registers the engine metric family on a registry.
+func NewEngineMetrics(r *obs.Registry) *EngineMetrics {
+	return &EngineMetrics{
+		Hits:         r.Counter("fgcs_engine_cache_hits_total", "Queries served from the kernel cache (including coalesced in-flight waits)."),
+		Misses:       r.Counter("fgcs_engine_cache_misses_total", "Queries that ran the full extract/estimate/solve pipeline."),
+		Evictions:    r.Counter("fgcs_engine_cache_evictions_total", "Cache entries displaced by the LRU policy."),
+		Entries:      r.Gauge("fgcs_engine_cache_entries", "Cached kernels currently held."),
+		FitSeconds:   r.Histogram("fgcs_engine_fit_seconds", "Cold-path latency: extraction, estimation and solve.", nil),
+		SolveSeconds: r.Histogram("fgcs_engine_solve_seconds", "Equation (3) reliability solve latency.", nil),
+	}
+}
+
+// SetMetrics attaches (or replaces) the engine's metrics. Safe to call
+// concurrently with queries; pass nil to detach.
+func (e *Engine) SetMetrics(m *EngineMetrics) { e.metrics.Store(m) }
 
 // Stats returns a snapshot of the cache counters.
 func (e *Engine) Stats() EngineStats {
@@ -251,9 +289,13 @@ func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, er
 	norm := p
 	norm.HistoryDays = 0 // the truncation is already folded into the fingerprint
 	key := engineKey{fp: e.fingerprint(days), window: w, pred: norm}
+	m := e.metrics.Load()
 	if e.cacheSize < 0 {
 		e.misses.Add(1)
-		return e.compute(norm, days, w)
+		if m != nil {
+			m.Misses.Inc()
+		}
+		return e.compute(m, norm, days, w)
 	}
 	e.mu.Lock()
 	if el, ok := e.items[key]; ok {
@@ -261,6 +303,9 @@ func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, er
 		entry := el.Value.(*engineEntry)
 		e.mu.Unlock()
 		e.hits.Add(1)
+		if m != nil {
+			m.Hits.Inc()
+		}
 		return entry, nil
 	}
 	if call, ok := e.inflight[key]; ok {
@@ -270,14 +315,20 @@ func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, er
 			return nil, call.err
 		}
 		e.hits.Add(1)
+		if m != nil {
+			m.Hits.Inc()
+		}
 		return call.entry, nil
 	}
 	call := &inflightCall{done: make(chan struct{})}
 	e.inflight[key] = call
 	e.mu.Unlock()
 	e.misses.Add(1)
+	if m != nil {
+		m.Misses.Inc()
+	}
 
-	entry, err := e.compute(norm, days, w)
+	entry, err := e.compute(m, norm, days, w)
 	call.entry, call.err = entry, err
 
 	e.mu.Lock()
@@ -290,6 +341,12 @@ func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, er
 			e.lru.Remove(oldest)
 			delete(e.items, oldest.Value.(*engineEntry).key)
 			e.evictions.Add(1)
+			if m != nil {
+				m.Evictions.Inc()
+			}
+		}
+		if m != nil {
+			m.Entries.Set(float64(len(e.items)))
 		}
 	}
 	e.mu.Unlock()
@@ -297,15 +354,30 @@ func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, er
 	return entry, err
 }
 
-// compute runs the full prediction pipeline on pooled scratch buffers.
-func (e *Engine) compute(p SMP, days []*trace.Day, w Window) (*engineEntry, error) {
+// compute runs the full prediction pipeline on pooled scratch buffers. The
+// metrics pointer is threaded in from lookup so the cold path is timed only
+// when someone is watching.
+func (e *Engine) compute(m *EngineMetrics, p SMP, days []*trace.Day, w Window) (*engineEntry, error) {
 	sc := e.scratchPool.Get().(*scratch)
 	defer e.scratchPool.Put(sc)
+	var fitStart time.Time
+	if m != nil {
+		fitStart = time.Now()
+	}
 	kernel, pred, units, err := p.prepare(sc, days, w)
 	if err != nil {
 		return nil, err
 	}
+	var solveStart time.Time
+	if m != nil {
+		solveStart = time.Now()
+	}
 	tr1, tr2, err := kernel.ReliabilitiesWS(sc.ws, units)
+	if m != nil {
+		now := time.Now()
+		m.SolveSeconds.Observe(now.Sub(solveStart).Seconds())
+		m.FitSeconds.Observe(now.Sub(fitStart).Seconds())
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -266,6 +266,19 @@ func (t TimeSeries) Name() string { return t.Fitter.Name() }
 // (no failure states). This mirrors RPS usage: the model sees only the
 // immediately preceding window of equal length.
 func (t TimeSeries) PredictDay(day *trace.Day, w Window) (bool, error) {
+	prevStart := w.Start - w.Length
+	if prevStart < 0 {
+		prevStart = 0
+	}
+	return t.PredictWindow(day.Window(prevStart, w.Start-prevStart), w, day.Period)
+}
+
+// PredictWindow is PredictDay for a live, partially recorded day: prev holds
+// the samples of the window immediately preceding w (equal length, clipped
+// at midnight), and period is their sampling period. This is what lets the
+// state manager score the linear baselines online, where "today" exists only
+// as the recorder's growing sample log rather than a completed trace day.
+func (t TimeSeries) PredictWindow(prev []trace.Sample, w Window, period time.Duration) (bool, error) {
 	if err := w.Validate(); err != nil {
 		return false, err
 	}
@@ -275,11 +288,6 @@ func (t TimeSeries) PredictDay(day *trace.Day, w Window) (bool, error) {
 	if t.Fitter == nil {
 		return false, fmt.Errorf("predict: no fitter configured")
 	}
-	prevStart := w.Start - w.Length
-	if prevStart < 0 {
-		prevStart = 0
-	}
-	prev := day.Window(prevStart, w.Start-prevStart)
 	// Build the training series from reachable samples; machine-down
 	// samples carry no load observation.
 	var series []float64
@@ -308,7 +316,7 @@ func (t TimeSeries) PredictDay(day *trace.Day, w Window) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	units := w.Units(day.Period)
+	units := w.Units(period)
 	forecast := model.Forecast(units)
 	predicted := make([]trace.Sample, len(forecast))
 	for i, cpu := range forecast {
@@ -323,7 +331,7 @@ func (t TimeSeries) PredictDay(day *trace.Day, w Window) (bool, error) {
 		// signal.
 		predicted[i] = trace.Sample{CPU: cpu, FreeMemMB: lastFree, Up: true}
 	}
-	return avail.WindowSurvives(predicted, t.Cfg, day.Period), nil
+	return avail.WindowSurvives(predicted, t.Cfg, period), nil
 }
 
 // Predict aggregates PredictDay over a set of days: the predicted temporal

@@ -118,16 +118,23 @@ func ReadBinary(r io.Reader) (*Dataset, error) {
 			if err := binary.Read(br, binary.LittleEndian, &ns); err != nil {
 				return nil, err
 			}
-			if ns > uint32(7*24*time.Hour/m.Period) {
+			if plausible := 7 * 24 * time.Hour / m.Period; plausible < math.MaxUint32 && ns > uint32(plausible) {
 				return nil, fmt.Errorf("trace: implausible sample count %d", ns)
 			}
-			d := &Day{Date: time.Unix(unix, 0).UTC(), Period: m.Period, Samples: make([]Sample, ns)}
+			// Grow the sample slice as records actually arrive rather than
+			// trusting the declared count: a corrupt or hostile header must
+			// not be able to demand a multi-gigabyte allocation up front.
+			capHint := ns
+			if capHint > 1<<16 {
+				capHint = 1 << 16
+			}
+			d := &Day{Date: time.Unix(unix, 0).UTC(), Period: m.Period, Samples: make([]Sample, 0, capHint)}
 			for k := uint32(0); k < ns; k++ {
 				var rec sampleRec
 				if err := binary.Read(br, binary.LittleEndian, &rec); err != nil {
 					return nil, err
 				}
-				d.Samples[k] = Sample{CPU: float64(rec.CPU), FreeMemMB: float64(rec.Mem), Up: rec.Up != 0}
+				d.Samples = append(d.Samples, Sample{CPU: float64(rec.CPU), FreeMemMB: float64(rec.Mem), Up: rec.Up != 0})
 			}
 			if err := m.AddDay(d); err != nil {
 				return nil, err
@@ -208,7 +215,13 @@ func ReadText(r io.Reader) (*Dataset, error) {
 			if err != nil || sec <= 0 {
 				return nil, fmt.Errorf("trace: line %d: bad period %q", line, fields[2])
 			}
-			m = NewMachine(fields[1], time.Duration(sec*float64(time.Second)))
+			period := time.Duration(sec * float64(time.Second))
+			// Guard the float->Duration conversion: an absurdly large
+			// period overflows int64 into garbage (possibly negative).
+			if period <= 0 || sec > (292*365*24*time.Hour).Seconds() {
+				return nil, fmt.Errorf("trace: line %d: period %q out of range", line, fields[2])
+			}
+			m = NewMachine(fields[1], period)
 			ds.Machines = append(ds.Machines, m)
 		case "day":
 			if err := flushDay(); err != nil {
