@@ -1,7 +1,7 @@
 GO ?= go
 
 # Benchmarks gated against BENCH_baseline.json by `make benchstat`.
-BENCH_GATE = BenchmarkEngineCachedVsCold|BenchmarkPredictBatchParallel
+BENCH_GATE = BenchmarkEngineCachedVsCold|BenchmarkPredictBatchParallel|BenchmarkEnginePredictTracing|BenchmarkQueryTRTracing
 FUZZTIME ?= 20s
 
 .PHONY: build test race vet bench benchstat benchbase fuzz golden chaos
@@ -17,7 +17,8 @@ test: golden
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race ./internal/ishare/... ./internal/faultnet/... \
-		./internal/predict/... ./internal/monitor/... ./internal/obs/...
+		./internal/predict/... ./internal/monitor/... ./internal/obs/... \
+		./internal/otrace/...
 
 race:
 	$(GO) test -race ./...
@@ -33,12 +34,12 @@ bench:
 # baseline. Baselines are machine-specific — regenerate with `make benchbase`
 # when switching hardware.
 benchstat:
-	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -count=1 . | tee bench_gate.out
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -count=3 . | tee bench_gate.out
 	$(GO) run ./cmd/benchgate -in bench_gate.out -out BENCH_predict.json -baseline BENCH_baseline.json
 	@rm -f bench_gate.out
 
 benchbase:
-	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -count=1 . | tee bench_gate.out
+	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -count=3 . | tee bench_gate.out
 	$(GO) run ./cmd/benchgate -in bench_gate.out -baseline BENCH_baseline.json -write
 	@rm -f bench_gate.out
 

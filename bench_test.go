@@ -6,6 +6,7 @@ package fgcs_test
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -16,8 +17,11 @@ import (
 	"fgcs/internal/experiments"
 	"fgcs/internal/fgcssim"
 	"fgcs/internal/host"
+	"fgcs/internal/ishare"
 	"fgcs/internal/monitor"
+	"fgcs/internal/otrace"
 	"fgcs/internal/predict"
+	"fgcs/internal/simclock"
 	"fgcs/internal/smp"
 	"fgcs/internal/timeseries"
 	"fgcs/internal/trace"
@@ -567,6 +571,83 @@ func BenchmarkPredictBatchParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// ------------------------------------------------------------- tracing ----
+
+// BenchmarkEnginePredictTracing measures the prediction engine's warm-cache
+// path with tracing disabled (an untraced context — the
+// instrumented-but-unsampled hot path, which must stay allocation-free) and
+// under a sampled span that records cache events and fit/solve children.
+// The "off" variant is the benchgate sentinel for zero-overhead tracing.
+func BenchmarkEnginePredictTracing(b *testing.B) {
+	sp := benchSplit(b)
+	p := predict.SMP{Cfg: avail.DefaultConfig()}
+	w := predict.Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	e := predict.NewEngine(predict.EngineConfig{})
+	if _, err := e.Predict(p, sp.Train, w); err != nil {
+		b.Fatal(err)
+	}
+	b.Run("off", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.PredictCtx(ctx, p, sp.Train, w); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		tracer := otrace.New(otrace.Config{SampleRate: 1, Recorder: otrace.NewRecorder(8)})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx, span := tracer.Start(context.Background(), "bench.predict")
+			if _, err := e.PredictCtx(ctx, p, sp.Train, w); err != nil {
+				b.Fatal(err)
+			}
+			span.End()
+		}
+	})
+}
+
+// BenchmarkQueryTRTracing measures a full in-process QueryTR — current-state
+// classification, window derivation, engine lookup — on a host node with
+// tracing disabled versus under a sampled trace, the gate for the "tracing
+// off costs nothing, tracing on costs little" contract at the RPC layer.
+func BenchmarkQueryTRTracing(b *testing.B) {
+	m := benchDataset(b).Machines[0]
+	last := m.Days[len(m.Days)-1].Date
+	now := last.Add(24*time.Hour + 8*time.Hour + 30*time.Minute)
+	clock := simclock.NewVirtual(now)
+	node, err := ishare.NewHostNode(ishare.NodeConfig{
+		MachineID: m.ID, Cfg: avail.DefaultConfig(), Period: m.Period,
+		Clock: clock, Preloaded: m,
+	}, monitor.StaticSource{CPU: 25, FreeMemMB: 300})
+	if err != nil {
+		b.Fatal(err)
+	}
+	node.SM.Record(now, trace.Sample{CPU: 5, FreeMemMB: 400, Up: true})
+	req := ishare.QueryTRReq{LengthSeconds: 7200, GuestMemMB: 100}
+	b.Run("off", func(b *testing.B) {
+		ctx := context.Background()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := node.SM.QueryTR(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sampled", func(b *testing.B) {
+		tracer := otrace.New(otrace.Config{SampleRate: 1, Recorder: otrace.NewRecorder(8)})
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctx, span := tracer.Start(context.Background(), "bench.query-tr")
+			if _, err := node.SM.QueryTR(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+			span.End()
+		}
+	})
 }
 
 // BenchmarkFGCSSimDay measures simulating one full testbed-day of the

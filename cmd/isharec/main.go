@@ -6,17 +6,27 @@
 //	isharec -registry localhost:7000 submit -name sim1 -work 2h -mem 100
 //	isharec -gateway localhost:7070 status -job lab-01-job-1
 //	isharec -gateway localhost:7070 stats
+//	isharec -gateway localhost:7070 traces -limit 5
+//
+// With -trace, the command runs under a client-side root span whose context
+// rides the request headers, so the server's flight recorder stitches the
+// client's retry attempts to its own dispatch spans; the client-side half of
+// the trace is printed to stderr when the command finishes. `traces` fetches
+// the server-side halves from a gateway's flight recorder.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"sort"
 	"time"
 
 	"fgcs/internal/ishare"
+	"fgcs/internal/otrace"
 )
 
 func main() {
@@ -28,10 +38,15 @@ func main() {
 		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff delay")
 		brkThresh = flag.Int("breaker-threshold", 3, "consecutive failures before a machine is quarantined (0 = no breaker)")
 		brkCool   = flag.Duration("breaker-cooldown", 30*time.Second, "quarantine duration before a probe is allowed")
+		traced    = flag.Bool("trace", false, "trace this command and print the client-side span tree to stderr")
+		traceSeed = flag.Uint64("trace-seed", 0, "seed for client trace IDs (0 = fixed default)")
+		logLevel  = flag.String("log-level", "warn", "log level: debug, info, warn or error")
+		logJSON   = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 	)
 	flag.Parse()
+	logger := otrace.NewLogger(os.Stderr, otrace.ParseLevel(*logLevel), *logJSON, nil)
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: isharec [flags] rank|submit|run|status|kill|stats [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: isharec [flags] rank|submit|run|status|kill|stats|traces [subflags]")
 		os.Exit(2)
 	}
 	cl := client{
@@ -39,12 +54,18 @@ func main() {
 		gateway:  *gateway,
 		timeout:  *timeout,
 		caller:   &ishare.Caller{Retry: ishare.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase}},
+		logger:   logger,
 	}
 	if *brkThresh > 0 {
 		cl.breakers = ishare.NewBreakerSet(ishare.BreakerConfig{Threshold: *brkThresh, Cooldown: *brkCool}, nil)
 	}
-	if err := run(cl, flag.Arg(0), flag.Args()[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "isharec:", err)
+	if *traced {
+		cl.flight = otrace.NewRecorder(otrace.DefaultCapacity)
+		cl.tracer = otrace.New(otrace.Config{SampleRate: 1, Seed: *traceSeed, Recorder: cl.flight})
+	}
+	err := run(cl, flag.Arg(0), flag.Args()[1:])
+	if err != nil {
+		logger.Error("command failed", slog.String("command", flag.Arg(0)), slog.String("err", err.Error()))
 		os.Exit(1)
 	}
 }
@@ -55,9 +76,35 @@ type client struct {
 	timeout           time.Duration
 	caller            *ishare.Caller
 	breakers          *ishare.BreakerSet
+	tracer            *otrace.Tracer
+	flight            *otrace.Recorder
+	logger            *slog.Logger
 }
 
-func (c client) scheduler() (*ishare.Scheduler, error) {
+// startRoot opens the command's client-side root span when -trace is set;
+// otherwise it leaves the context untraced.
+func (c client) startRoot(name string) (context.Context, *otrace.Span) {
+	if c.tracer == nil {
+		return context.Background(), nil
+	}
+	return c.tracer.Start(context.Background(), name)
+}
+
+// finishRoot ends the root span and prints the client-side span tree(s) to
+// stderr, so the job's stdout output stays parseable.
+func (c client) finishRoot(span *otrace.Span, err error) {
+	if span == nil {
+		return
+	}
+	span.SetError(err)
+	id := span.Trace()
+	span.End()
+	if recs, ok := c.flight.Trace(id); ok && len(recs) > 0 {
+		fmt.Fprint(os.Stderr, otrace.RenderTraceString(recs, otrace.RenderOptions{Timings: true}))
+	}
+}
+
+func (c client) scheduler(ctx context.Context) (*ishare.Scheduler, error) {
 	if c.gateway != "" {
 		return &ishare.Scheduler{
 			Candidates: []ishare.Candidate{{
@@ -70,7 +117,7 @@ func (c client) scheduler() (*ishare.Scheduler, error) {
 	if c.registry == "" {
 		return nil, fmt.Errorf("need -registry or -gateway")
 	}
-	sched, err := ishare.FromRegistryWith(c.caller, c.registry, c.timeout)
+	sched, err := ishare.FromRegistryWith(ctx, c.caller, c.registry, c.timeout)
 	if err != nil {
 		return nil, err
 	}
@@ -92,13 +139,16 @@ func run(cl client, cmd string, args []string) error {
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
-		sched, err := cl.scheduler()
+		ctx, root := cl.startRoot("client.run")
+		sched, err := cl.scheduler(ctx)
 		if err != nil {
+			cl.finishRoot(root, err)
 			return err
 		}
 		sv := &ishare.Supervisor{Sched: sched, PollInterval: *poll, MaxMigrations: migrations, UnreachableGrace: *grace}
 		fmt.Printf("supervising %s (%v of compute)...\n", *name, *work)
-		run, err := sv.Run(ishare.SubmitReq{Name: *name, WorkSeconds: work.Seconds(), MemMB: *mem})
+		run, err := sv.Run(ctx, ishare.SubmitReq{Name: *name, WorkSeconds: work.Seconds(), MemMB: *mem})
+		cl.finishRoot(root, err)
 		for _, pl := range run.Placements {
 			fmt.Printf("  %s on %s (TR %.3f): %s", pl.JobID, pl.MachineID, pl.TR, pl.Outcome)
 			if pl.Reason != "" {
@@ -120,8 +170,10 @@ func run(cl client, cmd string, args []string) error {
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
-		sched, err := cl.scheduler()
+		ctx, root := cl.startRoot("client." + cmd)
+		sched, err := cl.scheduler(ctx)
 		if err != nil {
+			cl.finishRoot(root, err)
 			return err
 		}
 		job := ishare.SubmitReq{
@@ -131,7 +183,8 @@ func run(cl client, cmd string, args []string) error {
 			InitialProgressSeconds: resume.Seconds(),
 		}
 		if cmd == "rank" {
-			ranked, fails, err := sched.Rank(job)
+			ranked, fails, err := sched.Rank(ctx, job)
+			cl.finishRoot(root, err)
 			if err != nil {
 				return err
 			}
@@ -148,7 +201,8 @@ func run(cl client, cmd string, args []string) error {
 			}
 			return nil
 		}
-		best, resp, err := sched.SubmitBest(job)
+		best, resp, err := sched.SubmitBest(ctx, job)
+		cl.finishRoot(root, err)
 		if err != nil {
 			return err
 		}
@@ -166,14 +220,16 @@ func run(cl client, cmd string, args []string) error {
 		if gateway == "" {
 			return fmt.Errorf("%s needs -gateway", cmd)
 		}
+		ctx, root := cl.startRoot("client." + cmd)
 		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
 		var st ishare.JobStatusResp
 		var err error
 		if cmd == "status" {
-			st, err = api.JobStatus(ishare.JobStatusReq{JobID: *jobID})
+			st, err = api.JobStatus(ctx, ishare.JobStatusReq{JobID: *jobID})
 		} else {
-			st, err = api.Kill(ishare.JobStatusReq{JobID: *jobID})
+			st, err = api.Kill(ctx, ishare.JobStatusReq{JobID: *jobID})
 		}
+		cl.finishRoot(root, err)
 		if err != nil {
 			return err
 		}
@@ -193,8 +249,10 @@ func run(cl client, cmd string, args []string) error {
 		if gateway == "" {
 			return fmt.Errorf("stats needs -gateway")
 		}
+		ctx, root := cl.startRoot("client.stats")
 		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
-		st, err := api.QueryStats(ishare.QueryStatsReq{Calibration: *calib})
+		st, err := api.QueryStats(ctx, ishare.QueryStatsReq{Calibration: *calib})
+		cl.finishRoot(root, err)
 		if err != nil {
 			return err
 		}
@@ -208,8 +266,64 @@ func run(cl client, cmd string, args []string) error {
 		}
 		printStats(st)
 		return nil
+	case "traces":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		limit := fs.Int("limit", 10, "most recent traces to fetch (ignored with -id)")
+		id := fs.String("id", "", "fetch one trace by id")
+		events := fs.Bool("events", false, "include retained WARN/ERROR log events")
+		timings := fs.Bool("timings", false, "include span durations (wall-clock; disable for run-to-run comparison)")
+		asJSON := fs.Bool("json", false, "print the raw JSON snapshot")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if gateway == "" {
+			return fmt.Errorf("traces needs -gateway")
+		}
+		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
+		resp, err := api.QueryTraces(context.Background(), ishare.QueryTracesReq{Limit: *limit, TraceID: *id, Events: *events})
+		if err != nil {
+			return err
+		}
+		if *asJSON {
+			out, err := json.MarshalIndent(resp, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		printTraces(resp, otrace.RenderOptions{Timings: *timings})
+		return nil
 	default:
 		return fmt.Errorf("unknown command %q", cmd)
+	}
+}
+
+// printTraces renders a flight-recorder snapshot: records are grouped by
+// trace ID (a distributed trace leaves one record per local root) and each
+// group prints as one merged span tree.
+func printTraces(resp ishare.QueryTracesResp, opts otrace.RenderOptions) {
+	fmt.Printf("node %s: %d traces recorded\n", resp.MachineID, resp.TotalRecorded)
+	byID := make(map[otrace.TraceID][]otrace.TraceRecord)
+	var order []otrace.TraceID
+	for _, rec := range resp.Traces {
+		if _, seen := byID[rec.TraceID]; !seen {
+			order = append(order, rec.TraceID)
+		}
+		byID[rec.TraceID] = append(byID[rec.TraceID], rec)
+	}
+	for _, id := range order {
+		fmt.Print(otrace.RenderTraceString(byID[id], opts))
+	}
+	if len(resp.Events) > 0 {
+		fmt.Println("recent events:")
+		for _, ev := range resp.Events {
+			fmt.Printf("  %s %s %s", ev.Time.Format(time.RFC3339), ev.Level, ev.Msg)
+			for _, a := range ev.Attrs {
+				fmt.Printf(" %s=%s", a.Key, a.Value)
+			}
+			fmt.Println()
+		}
 	}
 }
 

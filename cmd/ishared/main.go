@@ -9,11 +9,19 @@
 // With -source proc (the default on Linux) the monitor samples the real host
 // via /proc; with -source replay it replays a machine from a trace file,
 // which is how a whole simulated testbed can be run on one box.
+//
+// Served requests are traced (sampled at -trace-sample) into a fixed-size
+// flight recorder, inspectable over HTTP (-obs-addr, GET /traces) and over
+// the gateway protocol (isharec traces). Logs go to stderr through log/slog
+// (-log-level, -log-json); WARN and above are also retained next to the
+// traces.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -26,6 +34,7 @@ import (
 	"fgcs/internal/ishare"
 	"fgcs/internal/monitor"
 	"fgcs/internal/obs"
+	"fgcs/internal/otrace"
 	"fgcs/internal/trace"
 )
 
@@ -44,16 +53,24 @@ func main() {
 		ttl          = flag.Duration("ttl", 90*time.Second, "registration TTL; re-registered by the heartbeat (0 = register once, never expires)")
 		hbEvery      = flag.Duration("heartbeat-every", 30*time.Second, "registry re-registration interval")
 		reapEvery    = flag.Duration("reap-every", time.Minute, "registry-only: eviction sweep interval for expired registrations (0 = lazy only)")
-		obsAddr      = flag.String("obs-addr", "", "serve Prometheus /metrics and /debug/pprof on this HTTP address (empty = disabled)")
+		obsAddr      = flag.String("obs-addr", "", "serve Prometheus /metrics, /debug/pprof and /traces on this HTTP address (empty = disabled)")
+		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
+		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
+		traceSample  = flag.Float64("trace-sample", 1, "fraction of served requests to trace into the flight recorder (0 disables tracing)")
+		traceSeed    = flag.Uint64("trace-seed", 0, "seed for trace IDs and sampling decisions (0 = fixed default; any fixed seed gives reproducible traces)")
+		traceBuffer  = flag.Int("trace-buffer", otrace.DefaultCapacity, "completed traces retained by the flight recorder")
 	)
 	flag.Parse()
+	flight := otrace.NewRecorder(*traceBuffer)
+	logger := otrace.NewLogger(os.Stderr, otrace.ParseLevel(*logLevel), *logJSON, flight)
 	if err := run(runConfig{
 		id: *id, listen: *listen, registry: *registry, registryOnly: *registryOnly,
 		source: *source, traceFile: *traceFile, heartbeat: *heartbeat, histDays: *histDays,
 		archive: *archive, archiveEvery: *archiveEvery,
 		ttl: *ttl, hbEvery: *hbEvery, reapEvery: *reapEvery, obsAddr: *obsAddr,
+		traceSample: *traceSample, traceSeed: *traceSeed, flight: flight, logger: logger,
 	}); err != nil {
-		fmt.Fprintln(os.Stderr, "ishared:", err)
+		logger.Error("exiting", slog.String("err", err.Error()))
 		os.Exit(1)
 	}
 }
@@ -67,13 +84,22 @@ type runConfig struct {
 	archiveEvery, ttl, hbEvery   time.Duration
 	reapEvery                    time.Duration
 	obsAddr                      string
+	traceSample                  float64
+	traceSeed                    uint64
+	flight                       *otrace.Recorder
+	logger                       *slog.Logger
 }
 
-// serveObs exposes the node's metrics registry and accuracy tracker as a
-// Prometheus /metrics endpoint plus the pprof handlers, on a mux of its own
-// so profiling never shares a port with the gateway protocol. It returns the
-// bound listener so the caller can close it on shutdown.
-func serveObs(addr string, node *ishare.HostNode) (net.Listener, error) {
+// obsDrainTimeout bounds how long shutdown waits for in-flight /metrics,
+// pprof and /traces responses to finish before closing the listener.
+const obsDrainTimeout = 5 * time.Second
+
+// serveObs exposes the node's metrics registry, the pprof handlers, and the
+// flight recorder's /traces endpoints on a mux of its own, so profiling never
+// shares a port with the gateway protocol. The server carries read/write
+// timeouts (a stuck scraper cannot pin a connection open forever) and is
+// returned so shutdown can drain it cleanly.
+func serveObs(addr string, node *ishare.HostNode, flight *otrace.Recorder, logger *slog.Logger) (*http.Server, net.Listener, error) {
 	o := node.Obs()
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(o.Registry, o.Tracker))
@@ -82,12 +108,28 @@ func serveObs(addr string, node *ishare.HostNode) (net.Listener, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	traces := otrace.HTTPHandler(flight)
+	mux.Handle("/traces", traces)
+	mux.Handle("/traces/", traces)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	go func() { _ = http.Serve(ln, mux) }()
-	return ln, nil
+	srv := &http.Server{
+		Handler: mux,
+		// pprof CPU profiles stream for their ?seconds= duration (default
+		// 30 s), so the write timeout must comfortably exceed it.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      2 * time.Minute,
+		IdleTimeout:       time.Minute,
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			logger.Error("obs server stopped", slog.String("err", err.Error()))
+		}
+	}()
+	return srv, ln, nil
 }
 
 func hostnameOr(fallback string) string {
@@ -101,6 +143,7 @@ func run(rc runConfig) error {
 	id, listen, registry := rc.id, rc.listen, rc.registry
 	source, traceFile, heartbeat := rc.source, rc.traceFile, rc.heartbeat
 	histDays, archive, archiveEvery := rc.histDays, rc.archive, rc.archiveEvery
+	logger := rc.logger
 	if rc.registryOnly {
 		reg := ishare.NewRegistry()
 		srv, err := reg.Serve(listen)
@@ -112,8 +155,9 @@ func run(rc runConfig) error {
 			stop := reg.StartReaper(rc.reapEvery)
 			defer stop()
 		}
-		fmt.Printf("registry listening on %s (reap every %v)\n", srv.Addr(), rc.reapEvery)
-		waitForSignal()
+		logger.Info("registry listening",
+			slog.String("addr", srv.Addr()), slog.Duration("reap_every", rc.reapEvery))
+		waitForSignal(logger)
 		return nil
 	}
 
@@ -156,35 +200,47 @@ func run(rc runConfig) error {
 		return fmt.Errorf("unknown source %q", source)
 	}
 
+	nodeLogger := logger.With(slog.String("machine", id))
 	node, err := ishare.NewHostNode(ishare.NodeConfig{
 		MachineID:     id,
 		Cfg:           avail.DefaultConfig(),
 		Preloaded:     preloaded,
 		HistoryDays:   histDays,
 		HeartbeatPath: heartbeat,
+		Logger:        nodeLogger,
 	}, src)
 	if err != nil {
 		return err
+	}
+	if rc.traceSample > 0 {
+		node.Obs().SetTracing(otrace.New(otrace.Config{
+			SampleRate: rc.traceSample,
+			Seed:       rc.traceSeed,
+			Recorder:   rc.flight,
+		}))
 	}
 	srv, err := node.Gateway.Serve(listen)
 	if err != nil {
 		return err
 	}
 	defer srv.Close()
+	var obsSrv *http.Server
 	if rc.obsAddr != "" {
-		ln, err := serveObs(rc.obsAddr, node)
+		httpSrv, ln, err := serveObs(rc.obsAddr, node, rc.flight, nodeLogger)
 		if err != nil {
 			return err
 		}
-		defer ln.Close()
-		fmt.Printf("observability on http://%s/metrics (pprof under /debug/pprof/)\n", ln.Addr())
+		obsSrv = httpSrv
+		nodeLogger.Info("observability listening",
+			slog.String("addr", ln.Addr().String()),
+			slog.String("endpoints", "/metrics /debug/pprof/ /traces"))
 	}
 	if registry != "" {
 		// Registration failures here are fatal (the operator asked to
 		// publish); later heartbeats retry under the caller's policy and
 		// otherwise rely on the TTL to advertise the node's death.
 		caller := &ishare.Caller{Retry: ishare.RetryPolicy{MaxAttempts: 3}, Metrics: node.Obs().Caller}
-		if err := ishare.RegisterWithTTL(caller, registry, id, srv.Addr(), rc.ttl, 5*time.Second); err != nil {
+		if err := ishare.RegisterWithTTL(context.Background(), caller, registry, id, srv.Addr(), rc.ttl, 5*time.Second); err != nil {
 			return err
 		}
 		if rc.ttl > 0 && rc.hbEvery > 0 {
@@ -194,10 +250,15 @@ func run(rc runConfig) error {
 	}
 	node.Start()
 	defer node.Stop()
-	fmt.Printf("host node %s: gateway on %s, monitoring every %v (source %s)\n",
-		id, srv.Addr(), trace.DefaultPeriod, source)
+	nodeLogger.Info("host node up",
+		slog.String("gateway", srv.Addr()),
+		slog.Duration("period", trace.DefaultPeriod),
+		slog.String("source", source),
+		slog.Float64("trace_sample", rc.traceSample))
 	if registry != "" {
-		fmt.Printf("registered with %s (ttl %v, heartbeat every %v)\n", registry, rc.ttl, rc.hbEvery)
+		nodeLogger.Info("registered",
+			slog.String("registry", registry),
+			slog.Duration("ttl", rc.ttl), slog.Duration("heartbeat_every", rc.hbEvery))
 	}
 	if archive != "" {
 		stop := make(chan struct{})
@@ -209,25 +270,35 @@ func run(rc runConfig) error {
 					return
 				case <-time.After(archiveEvery):
 					if err := node.SM.Archive(archive); err != nil {
-						fmt.Fprintln(os.Stderr, "ishared: archive:", err)
+						nodeLogger.Error("archive failed",
+							slog.String("component", "archiver"), slog.String("err", err.Error()))
 					}
 				}
 			}
 		}()
 	}
-	waitForSignal()
+	waitForSignal(logger)
+	if obsSrv != nil {
+		// Drain in-flight /metrics, pprof and /traces responses before the
+		// listener closes, so a scrape racing the SIGTERM completes.
+		ctx, cancel := context.WithTimeout(context.Background(), obsDrainTimeout)
+		if err := obsSrv.Shutdown(ctx); err != nil {
+			nodeLogger.Warn("obs drain incomplete", slog.String("err", err.Error()))
+		}
+		cancel()
+	}
 	if archive != "" {
 		if err := node.SM.Archive(archive); err != nil {
 			return fmt.Errorf("final archive: %w", err)
 		}
-		fmt.Printf("history archived to %s\n", archive)
+		nodeLogger.Info("history archived", slog.String("path", archive))
 	}
 	return nil
 }
 
-func waitForSignal() {
+func waitForSignal(logger *slog.Logger) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
 	<-ch
-	fmt.Println("shutting down")
+	logger.Info("shutting down")
 }

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -166,7 +167,7 @@ func runPolicy(machine *trace.Machine, dayIdx int, ckpt time.Duration) result {
 	checkpointed := 0.0 // seconds of progress safely persisted
 	start := 8 * time.Hour
 	submit := func(resume float64) string {
-		resp, err := gw.Submit(ishare.SubmitReq{
+		resp, err := gw.Submit(context.Background(), ishare.SubmitReq{
 			Name:                   "sim",
 			WorkSeconds:            jobWork.Seconds(),
 			MemMB:                  jobMemMB,
@@ -190,7 +191,7 @@ func runPolicy(machine *trace.Machine, dayIdx int, ckpt time.Duration) result {
 			t := day.Date.Add(time.Duration(i) * day.Period)
 			gw.Record(t, day.Samples[i])
 			elapsed += day.Period
-			st, err := gw.JobStatus(ishare.JobStatusReq{JobID: jobID})
+			st, err := gw.JobStatus(context.Background(), ishare.JobStatusReq{JobID: jobID})
 			if err != nil {
 				log.Fatal(err)
 			}

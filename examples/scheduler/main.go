@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -139,7 +140,7 @@ func demoLiveQuery(ds *trace.Dataset, cfg avail.Config) {
 		sched.Candidates = append(sched.Candidates, ishare.Candidate{MachineID: m.ID, API: node.Gateway})
 	}
 	job := ishare.SubmitReq{Name: "live-job", WorkSeconds: jobHours * 3600, MemMB: 100}
-	ranked, _, err := sched.Rank(job)
+	ranked, _, err := sched.Rank(context.Background(), job)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func demoLiveQuery(ds *trace.Dataset, cfg avail.Config) {
 	for _, rk := range ranked {
 		fmt.Printf("%-10s %-8.4f %s\n", rk.MachineID, rk.TR, rk.CurrentState)
 	}
-	best, resp, err := sched.SubmitBest(job)
+	best, resp, err := sched.SubmitBest(context.Background(), job)
 	if err != nil {
 		log.Fatal(err)
 	}

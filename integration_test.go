@@ -5,6 +5,7 @@
 package fgcs_test
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 	"time"
@@ -98,11 +99,11 @@ func TestEndToEndPipeline(t *testing.T) {
 		defer srv.Close()
 		gateways = append(gateways, node.Gateway)
 	}
-	sched, err := ishare.FromRegistry(regSrv.Addr(), 2*time.Second)
+	sched, err := ishare.FromRegistry(context.Background(), regSrv.Addr(), 2*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ranked, rankFails, err := sched.Rank(ishare.SubmitReq{Name: "job", WorkSeconds: 2 * 3600, MemMB: 100})
+	ranked, rankFails, err := sched.Rank(context.Background(), ishare.SubmitReq{Name: "job", WorkSeconds: 2 * 3600, MemMB: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	var runErr error
 	go func() {
 		defer close(done)
-		run, runErr = sv.Run(ishare.SubmitReq{Name: "integration", WorkSeconds: 60, MemMB: 50})
+		run, runErr = sv.Run(context.Background(), ishare.SubmitReq{Name: "integration", WorkSeconds: 60, MemMB: 50})
 	}()
 	deadline := time.Now().Add(15 * time.Second)
 	for {

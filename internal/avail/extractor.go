@@ -20,9 +20,9 @@ import (
 type Extractor struct {
 	cfg    Config
 	period time.Duration
-	states []State    // classification scratch, reused per window
-	arena  []Sojourn  // flat storage for all sojourns of all sequences
-	spans  [][2]int   // [start, end) arena ranges, one per sequence
+	states []State     // classification scratch, reused per window
+	arena  []Sojourn   // flat storage for all sojourns of all sequences
+	spans  [][2]int    // [start, end) arena ranges, one per sequence
 	seqs   [][]Sojourn // materialized views into arena (built by Seqs)
 }
 

@@ -13,6 +13,7 @@
 package fgcssim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -217,7 +218,7 @@ func Run(cfg Config, jobs []JobSpec) (Result, error) {
 		if pick < 0 {
 			return false
 		}
-		resp, err := machines[pick].gateway.Submit(ishare.SubmitReq{
+		resp, err := machines[pick].gateway.Submit(context.Background(), ishare.SubmitReq{
 			Name:                   job.spec.ID,
 			WorkSeconds:            job.spec.Work.Seconds(),
 			MemMB:                  job.spec.MemMB,
@@ -250,7 +251,7 @@ func Run(cfg Config, jobs []JobSpec) (Result, error) {
 				if ms.jobIdx < 0 {
 					continue
 				}
-				st, err := ms.gateway.JobStatus(ishare.JobStatusReq{JobID: ms.jobID})
+				st, err := ms.gateway.JobStatus(context.Background(), ishare.JobStatusReq{JobID: ms.jobID})
 				if err != nil {
 					continue
 				}

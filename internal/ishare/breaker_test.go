@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync"
@@ -126,19 +127,19 @@ type failingAPI struct {
 	calls int
 }
 
-func (f *failingAPI) QueryTR(QueryTRReq) (QueryTRResp, error) {
+func (f *failingAPI) QueryTR(context.Context, QueryTRReq) (QueryTRResp, error) {
 	f.mu.Lock()
 	f.calls++
 	f.mu.Unlock()
 	return QueryTRResp{}, &transportError{errors.New("unreachable")}
 }
-func (f *failingAPI) Submit(SubmitReq) (SubmitResp, error) {
+func (f *failingAPI) Submit(context.Context, SubmitReq) (SubmitResp, error) {
 	return SubmitResp{}, errors.New("unreachable")
 }
-func (f *failingAPI) JobStatus(JobStatusReq) (JobStatusResp, error) {
+func (f *failingAPI) JobStatus(context.Context, JobStatusReq) (JobStatusResp, error) {
 	return JobStatusResp{}, errors.New("unreachable")
 }
-func (f *failingAPI) Kill(JobStatusReq) (JobStatusResp, error) {
+func (f *failingAPI) Kill(context.Context, JobStatusReq) (JobStatusResp, error) {
 	return JobStatusResp{}, errors.New("unreachable")
 }
 
@@ -176,7 +177,7 @@ func TestSchedulerBreakerQuarantine(t *testing.T) {
 
 	// Ranks 1 and 2: the dead machine is queried and fails.
 	for i := 1; i <= 2; i++ {
-		ranked, fails, err := sched.Rank(job)
+		ranked, fails, err := sched.Rank(context.Background(), job)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -191,7 +192,7 @@ func TestSchedulerBreakerQuarantine(t *testing.T) {
 		t.Fatalf("dead machine queried %d times, want 2", dead.count())
 	}
 	// Rank 3: breaker open — skipped without an RPC, failure says so.
-	_, fails, err := sched.Rank(job)
+	_, fails, err := sched.Rank(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,13 +204,13 @@ func TestSchedulerBreakerQuarantine(t *testing.T) {
 	}
 	// After the cooldown one probe goes through (and fails, re-opening).
 	clock.Advance(time.Minute)
-	if _, _, err := sched.Rank(job); err != nil {
+	if _, _, err := sched.Rank(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	if dead.count() != 3 {
 		t.Fatalf("probe count = %d, want exactly one probe after cooldown", dead.count()-2)
 	}
-	if _, _, err := sched.Rank(job); err != nil {
+	if _, _, err := sched.Rank(context.Background(), job); err != nil {
 		t.Fatal(err)
 	}
 	if dead.count() != 3 {

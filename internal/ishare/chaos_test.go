@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"strings"
@@ -151,7 +152,7 @@ func runChaosOnce(t *testing.T, seed uint64) chaosResult {
 		PollInterval:     period,
 		UnreachableGrace: 3 * period,
 	}
-	run, err := sv.Run(SubmitReq{Name: "chaos-job", WorkSeconds: 300, MemMB: 50})
+	run, err := sv.Run(context.Background(), SubmitReq{Name: "chaos-job", WorkSeconds: 300, MemMB: 50})
 	return chaosResult{
 		run:        run,
 		err:        err,

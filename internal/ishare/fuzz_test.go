@@ -20,6 +20,14 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`not json at all`))
 	f.Add([]byte{0x00, 0xff, 0xfe})
+	// Trace-context propagation: a sampled header, a parentless header, a
+	// malformed (non-hex) header — all must decode, and well-formed span and
+	// trace IDs must survive the round trip.
+	f.Add([]byte(`{"type":"query-tr","payload":{"length_seconds":60},"trace":{"trace_id":"00000000000007a5","span_id":"deadbeefcafef00d","sampled":true}}`))
+	f.Add([]byte(`{"type":"query-traces","payload":{"limit":5,"events":true},"trace":{"trace_id":"ffffffffffffffff"}}`))
+	f.Add([]byte(`{"type":"submit","trace":{"trace_id":"not hex","span_id":"","sampled":true}}`))
+	// Unknown fields ride along without breaking old/new interop.
+	f.Add([]byte(`{"type":"query-tr","payload":{"length_seconds":60},"trace":{"trace_id":"00000000000007a5","future_field":1},"another_unknown":"x"}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// A tiny cap must degrade to an error, never a panic.
 		_, _ = DecodeRequest(bytes.NewReader(data), 8)
@@ -27,6 +35,9 @@ func FuzzDecodeRequest(f *testing.F) {
 		if err != nil {
 			return
 		}
+		// The trace header must never panic the link parser, and any
+		// well-formed link must survive re-encoding.
+		link := req.Trace.Link()
 		out, err := json.Marshal(req)
 		if err != nil {
 			t.Fatalf("decoded request does not re-encode: %v", err)
@@ -37,6 +48,9 @@ func FuzzDecodeRequest(f *testing.F) {
 		}
 		if again.Type != req.Type {
 			t.Fatalf("type changed across round trip: %q -> %q", req.Type, again.Type)
+		}
+		if again.Trace.Link() != link {
+			t.Fatalf("trace link changed across round trip: %+v -> %+v", link, again.Trace.Link())
 		}
 	})
 }
@@ -51,6 +65,10 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add([]byte(`null`))
 	f.Add([]byte(`{"ok":"yes"}`))
 	f.Add([]byte{'{'})
+	// Responses from a newer peer may carry fields this build has never
+	// heard of (e.g. trace echoes); they must be tolerated, not rejected.
+	f.Add([]byte(`{"ok":true,"payload":{"machine_id":"m1","total_recorded":3,"traces":[{"trace_id":"00000000000007a5","spans":[{"trace_id":"00000000000007a5","span_id":"0000000000000001","name":"gateway.dispatch"}]}]}}`))
+	f.Add([]byte(`{"ok":true,"trace":{"trace_id":"00000000000007a5"},"future_field":[1,2,3]}`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		_, _ = DecodeResponse(bytes.NewReader(data), 8)
 		resp, err := DecodeResponse(bytes.NewReader(data), 1<<16)

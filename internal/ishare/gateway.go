@@ -1,12 +1,14 @@
 package ishare
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
 	"time"
 
 	"fgcs/internal/avail"
+	"fgcs/internal/otrace"
 	"fgcs/internal/predict"
 	"fgcs/internal/simclock"
 	"fgcs/internal/trace"
@@ -173,8 +175,8 @@ func (g *Gateway) retire(job *Job) {
 // state manager serves it through its prediction engine, so concurrent
 // queries share fitted kernels; the response carries the node's cumulative
 // cache hit/miss counters.
-func (g *Gateway) QueryTR(req QueryTRReq) (QueryTRResp, error) {
-	return g.sm.QueryTR(req)
+func (g *Gateway) QueryTR(ctx context.Context, req QueryTRReq) (QueryTRResp, error) {
+	return g.sm.QueryTR(ctx, req)
 }
 
 // EngineStats reports the node's prediction-engine cache counters.
@@ -183,7 +185,7 @@ func (g *Gateway) EngineStats() predict.EngineStats { return g.sm.EngineStats() 
 // QueryStats assembles the node's observability snapshot: engine cache
 // counters, per-type RPC counts, monitor throughput, and the online accuracy
 // summaries per predictor.
-func (g *Gateway) QueryStats(req QueryStatsReq) (QueryStatsResp, error) {
+func (g *Gateway) QueryStats(ctx context.Context, req QueryStatsReq) (QueryStatsResp, error) {
 	o := g.sm.Obs()
 	st := g.sm.EngineStats()
 	resp := QueryStatsResp{
@@ -207,10 +209,36 @@ func (g *Gateway) QueryStats(req QueryStatsReq) (QueryStatsResp, error) {
 	return resp, nil
 }
 
+// QueryTraces serves the node's flight recorder: the recent-trace listing,
+// or every retained record of one trace when the request names a trace ID.
+// With tracing disabled (no recorder installed) it returns an empty snapshot
+// rather than an error, so operator tooling degrades gracefully.
+func (g *Gateway) QueryTraces(ctx context.Context, req QueryTracesReq) (QueryTracesResp, error) {
+	rec := g.sm.Obs().Flight()
+	resp := QueryTracesResp{MachineID: g.machineID, TotalRecorded: rec.Total()}
+	if req.TraceID != "" {
+		id, err := otrace.ParseTraceID(req.TraceID)
+		if err != nil {
+			return QueryTracesResp{}, fmt.Errorf("bad trace id %q", req.TraceID)
+		}
+		records, ok := rec.Trace(id)
+		if !ok {
+			return QueryTracesResp{}, fmt.Errorf("trace %s not retained", req.TraceID)
+		}
+		resp.Traces = records
+	} else {
+		resp.Traces = rec.Traces(req.Limit)
+	}
+	if req.Events {
+		resp.Events = rec.Events(req.Limit)
+	}
+	return resp, nil
+}
+
 // Submit launches a guest job. FGCS allows a single guest process per
 // machine (Section 3.2), so a second submission is rejected while one is
 // active.
-func (g *Gateway) Submit(req SubmitReq) (SubmitResp, error) {
+func (g *Gateway) Submit(ctx context.Context, req SubmitReq) (SubmitResp, error) {
 	if req.WorkSeconds <= 0 {
 		return SubmitResp{}, fmt.Errorf("ishare: job needs positive work")
 	}
@@ -252,7 +280,7 @@ func (g *Gateway) Submit(req SubmitReq) (SubmitResp, error) {
 }
 
 // JobStatus reports on a current or historical job.
-func (g *Gateway) JobStatus(req JobStatusReq) (JobStatusResp, error) {
+func (g *Gateway) JobStatus(ctx context.Context, req JobStatusReq) (JobStatusResp, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.job != nil && g.job.ID == req.JobID {
@@ -268,7 +296,7 @@ func (g *Gateway) JobStatus(req JobStatusReq) (JobStatusResp, error) {
 
 // Kill terminates a job on client request (e.g. migration after a
 // checkpoint).
-func (g *Gateway) Kill(req JobStatusReq) (JobStatusResp, error) {
+func (g *Gateway) Kill(ctx context.Context, req JobStatusReq) (JobStatusResp, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if g.job == nil || g.job.ID != req.JobID {
@@ -290,43 +318,52 @@ func statusOf(j *Job) JobStatusResp {
 }
 
 // Handler serves the gateway protocol over TCP. Every served request is
-// timed and counted in the node's metrics registry, by request type.
+// timed and counted in the node's metrics registry, by request type; when the
+// node has a tracer, each request runs under a server span continuing the
+// trace named by the envelope's trace header (or a fresh trace on a sampled
+// untraced request).
 func (g *Gateway) Handler() Handler {
 	o := g.sm.Obs()
 	return func(req Request) (interface{}, error) {
 		start := time.Now()
-		payload, err := g.dispatch(req)
+		ctx, span := o.TracerOrNil().StartRemote(context.Background(), req.Trace.Link(), "gateway.dispatch")
+		if span != nil {
+			span.SetAttr(otrace.String("machine", g.machineID), otrace.String("rpc", req.Type))
+		}
+		payload, err := g.dispatch(ctx, req)
+		span.SetError(err)
+		span.End()
 		o.observeRPC(req.Type, err, time.Since(start))
 		return payload, err
 	}
 }
 
-func (g *Gateway) dispatch(req Request) (interface{}, error) {
+func (g *Gateway) dispatch(ctx context.Context, req Request) (interface{}, error) {
 	switch req.Type {
 	case MsgQueryTR:
 		var q QueryTRReq
 		if err := json.Unmarshal(req.Payload, &q); err != nil {
 			return nil, fmt.Errorf("malformed query payload")
 		}
-		return g.QueryTR(q)
+		return g.QueryTR(ctx, q)
 	case MsgSubmit:
 		var s SubmitReq
 		if err := json.Unmarshal(req.Payload, &s); err != nil {
 			return nil, fmt.Errorf("malformed submit payload")
 		}
-		return g.Submit(s)
+		return g.Submit(ctx, s)
 	case MsgJobStatus:
 		var s JobStatusReq
 		if err := json.Unmarshal(req.Payload, &s); err != nil {
 			return nil, fmt.Errorf("malformed status payload")
 		}
-		return g.JobStatus(s)
+		return g.JobStatus(ctx, s)
 	case MsgKillJob:
 		var s JobStatusReq
 		if err := json.Unmarshal(req.Payload, &s); err != nil {
 			return nil, fmt.Errorf("malformed kill payload")
 		}
-		return g.Kill(s)
+		return g.Kill(ctx, s)
 	case MsgQueryStats:
 		var s QueryStatsReq
 		if req.Payload != nil {
@@ -334,7 +371,15 @@ func (g *Gateway) dispatch(req Request) (interface{}, error) {
 				return nil, fmt.Errorf("malformed stats payload")
 			}
 		}
-		return g.QueryStats(s)
+		return g.QueryStats(ctx, s)
+	case MsgQueryTraces:
+		var s QueryTracesReq
+		if req.Payload != nil {
+			if err := json.Unmarshal(req.Payload, &s); err != nil {
+				return nil, fmt.Errorf("malformed traces payload")
+			}
+		}
+		return g.QueryTraces(ctx, s)
 	default:
 		return nil, fmt.Errorf("gateway: unknown request type %q", req.Type)
 	}

@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -58,15 +59,15 @@ func TestGatewaySubmitValidation(t *testing.T) {
 		{Name: "a", WorkSeconds: 60, InitialProgressSeconds: -1},
 		{Name: "a", WorkSeconds: 60, InitialProgressSeconds: 60},
 	} {
-		if _, err := g.Submit(bad); err == nil {
+		if _, err := g.Submit(context.Background(), bad); err == nil {
 			t.Errorf("invalid submit %+v accepted", bad)
 		}
 	}
-	if _, err := g.Submit(SubmitReq{Name: "ok", WorkSeconds: 600, MemMB: 50}); err != nil {
+	if _, err := g.Submit(context.Background(), SubmitReq{Name: "ok", WorkSeconds: 600, MemMB: 50}); err != nil {
 		t.Fatal(err)
 	}
 	// Only one guest at a time.
-	if _, err := g.Submit(SubmitReq{Name: "second", WorkSeconds: 60}); err == nil {
+	if _, err := g.Submit(context.Background(), SubmitReq{Name: "second", WorkSeconds: 60}); err == nil {
 		t.Fatal("second concurrent job accepted")
 	}
 }
@@ -74,13 +75,13 @@ func TestGatewaySubmitValidation(t *testing.T) {
 func TestGatewayJobCompletes(t *testing.T) {
 	n := testNode(t, simclock.NewVirtual(monday), nil)
 	g := n.Gateway
-	resp, err := g.Submit(SubmitReq{Name: "job", WorkSeconds: 60, MemMB: 50})
+	resp, err := g.Submit(context.Background(), SubmitReq{Name: "job", WorkSeconds: 60, MemMB: 50})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Idle host: progress at ~95% rate → ~11 samples of 6 s.
 	feed(g, monday, sample(5, 400), 12)
-	st, err := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, err := g.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestGatewayJobCompletes(t *testing.T) {
 		t.Fatalf("progress %v != work %v", st.ProgressSeconds, st.WorkSeconds)
 	}
 	// A fresh job may now be submitted.
-	if _, err := g.Submit(SubmitReq{Name: "next", WorkSeconds: 60}); err != nil {
+	if _, err := g.Submit(context.Background(), SubmitReq{Name: "next", WorkSeconds: 60}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -99,15 +100,15 @@ func TestGatewayJobCompletes(t *testing.T) {
 func TestGatewayReniceBand(t *testing.T) {
 	n := testNode(t, simclock.NewVirtual(monday), nil)
 	g := n.Gateway
-	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	resp, _ := g.Submit(context.Background(), SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
 	feed(g, monday, sample(40, 400), 3) // Th1 <= L <= Th2
-	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, _ := g.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if st.State != "reniced" {
 		t.Fatalf("state = %s, want reniced", st.State)
 	}
 	// Load drops: back to default priority.
 	feed(g, monday.Add(time.Minute), sample(5, 400), 3)
-	st, _ = g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, _ = g.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if st.State != "running" {
 		t.Fatalf("state = %s, want running", st.State)
 	}
@@ -116,17 +117,17 @@ func TestGatewayReniceBand(t *testing.T) {
 func TestGatewaySuspendResume(t *testing.T) {
 	n := testNode(t, simclock.NewVirtual(monday), nil)
 	g := n.Gateway
-	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	resp, _ := g.Submit(context.Background(), SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
 	// 5 samples (30 s) above Th2: suspended but not killed.
 	next := feed(g, monday, sample(90, 400), 5)
-	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, _ := g.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if st.State != "suspended" {
 		t.Fatalf("state = %s, want suspended", st.State)
 	}
 	progress := st.ProgressSeconds
 	// Load diminishes within the limit: the guest resumes (reniced band).
 	feed(g, next, sample(40, 400), 2)
-	st, _ = g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, _ = g.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if st.State != "reniced" {
 		t.Fatalf("state = %s, want reniced after resume", st.State)
 	}
@@ -138,10 +139,10 @@ func TestGatewaySuspendResume(t *testing.T) {
 func TestGatewayKillsAfterSuspendLimit(t *testing.T) {
 	n := testNode(t, simclock.NewVirtual(monday), nil)
 	g := n.Gateway
-	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	resp, _ := g.Submit(context.Background(), SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
 	// 11 samples above Th2 ≥ 1 minute: killed (S3).
 	feed(g, monday, sample(95, 400), 11)
-	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, _ := g.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if st.State != "killed" || !strings.Contains(st.Reason, "S3") {
 		t.Fatalf("state = %s (%s), want killed S3", st.State, st.Reason)
 	}
@@ -150,9 +151,9 @@ func TestGatewayKillsAfterSuspendLimit(t *testing.T) {
 func TestGatewayKillsOnMemoryPressure(t *testing.T) {
 	n := testNode(t, simclock.NewVirtual(monday), nil)
 	g := n.Gateway
-	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 100})
+	resp, _ := g.Submit(context.Background(), SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 100})
 	feed(g, monday, sample(10, 60), 1) // free 60 MB < guest 100 MB
-	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, _ := g.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if st.State != "killed" || !strings.Contains(st.Reason, "S4") {
 		t.Fatalf("state = %s (%s), want killed S4", st.State, st.Reason)
 	}
@@ -161,9 +162,9 @@ func TestGatewayKillsOnMemoryPressure(t *testing.T) {
 func TestGatewayKillsOnRevocation(t *testing.T) {
 	n := testNode(t, simclock.NewVirtual(monday), nil)
 	g := n.Gateway
-	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	resp, _ := g.Submit(context.Background(), SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
 	g.Record(monday, trace.Sample{Up: false})
-	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, _ := g.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if st.State != "killed" || !strings.Contains(st.Reason, "S5") {
 		t.Fatalf("state = %s (%s), want killed S5", st.State, st.Reason)
 	}
@@ -172,11 +173,11 @@ func TestGatewayKillsOnRevocation(t *testing.T) {
 func TestGatewayTransientSpikeDoesNotKill(t *testing.T) {
 	n := testNode(t, simclock.NewVirtual(monday), nil)
 	g := n.Gateway
-	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	resp, _ := g.Submit(context.Background(), SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
 	next := feed(g, monday, sample(10, 400), 3)
 	next = feed(g, next, sample(95, 400), 8) // 48 s < 1 min
 	feed(g, next, sample(10, 400), 3)
-	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, _ := g.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if st.State != "running" {
 		t.Fatalf("state = %s after transient spike, want running", st.State)
 	}
@@ -185,18 +186,18 @@ func TestGatewayTransientSpikeDoesNotKill(t *testing.T) {
 func TestGatewayKillByClient(t *testing.T) {
 	n := testNode(t, simclock.NewVirtual(monday), nil)
 	g := n.Gateway
-	resp, _ := g.Submit(SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
-	st, err := g.Kill(JobStatusReq{JobID: resp.JobID})
+	resp, _ := g.Submit(context.Background(), SubmitReq{Name: "job", WorkSeconds: 3600, MemMB: 50})
+	st, err := g.Kill(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if st.State != "killed" {
 		t.Fatalf("state = %s", st.State)
 	}
-	if _, err := g.Kill(JobStatusReq{JobID: resp.JobID}); err == nil {
+	if _, err := g.Kill(context.Background(), JobStatusReq{JobID: resp.JobID}); err == nil {
 		t.Fatal("double kill accepted")
 	}
-	if _, err := g.JobStatus(JobStatusReq{JobID: "nope"}); err == nil {
+	if _, err := g.JobStatus(context.Background(), JobStatusReq{JobID: "nope"}); err == nil {
 		t.Fatal("unknown job accepted")
 	}
 }
@@ -204,12 +205,12 @@ func TestGatewayKillByClient(t *testing.T) {
 func TestJobResumeFromCheckpoint(t *testing.T) {
 	n := testNode(t, simclock.NewVirtual(monday), nil)
 	g := n.Gateway
-	resp, err := g.Submit(SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50, InitialProgressSeconds: 590})
+	resp, err := g.Submit(context.Background(), SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50, InitialProgressSeconds: 590})
 	if err != nil {
 		t.Fatal(err)
 	}
 	feed(g, monday, sample(0, 400), 3)
-	st, _ := g.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, _ := g.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if st.State != "completed" {
 		t.Fatalf("checkpointed job state = %s, progress %v", st.State, st.ProgressSeconds)
 	}
@@ -248,7 +249,7 @@ func TestStateManagerQueryTR(t *testing.T) {
 		t.Fatal(err)
 	}
 	sm.Record(now, sample(5, 400))
-	resp, err := sm.QueryTR(QueryTRReq{LengthSeconds: 2 * 3600, GuestMemMB: 100})
+	resp, err := sm.QueryTR(context.Background(), QueryTRReq{LengthSeconds: 2 * 3600, GuestMemMB: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +270,7 @@ func TestStateManagerQueryTR(t *testing.T) {
 	solid := historyMachine("solid", 11, -1)
 	sm2, _ := NewStateManager("solid", period, avail.DefaultConfig(), clock, solid, 0)
 	sm2.Record(now, sample(5, 400))
-	resp2, err := sm2.QueryTR(QueryTRReq{LengthSeconds: 2 * 3600, GuestMemMB: 100})
+	resp2, err := sm2.QueryTR(context.Background(), QueryTRReq{LengthSeconds: 2 * 3600, GuestMemMB: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,11 +282,11 @@ func TestStateManagerQueryTR(t *testing.T) {
 func TestStateManagerQueryTRValidation(t *testing.T) {
 	clock := simclock.NewVirtual(monday.Add(8 * time.Hour))
 	sm, _ := NewStateManager("m", period, avail.DefaultConfig(), clock, nil, 0)
-	if _, err := sm.QueryTR(QueryTRReq{LengthSeconds: 0}); err == nil {
+	if _, err := sm.QueryTR(context.Background(), QueryTRReq{LengthSeconds: 0}); err == nil {
 		t.Fatal("zero length accepted")
 	}
 	// No history at all: optimistic TR 1.
-	resp, err := sm.QueryTR(QueryTRReq{LengthSeconds: 3600})
+	resp, err := sm.QueryTR(context.Background(), QueryTRReq{LengthSeconds: 3600})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,7 +307,7 @@ func TestStateManagerCurrentStateUnrecoverable(t *testing.T) {
 	if st := sm.CurrentState(); st != avail.S3 {
 		t.Fatalf("current state = %v", st)
 	}
-	resp, err := sm.QueryTR(QueryTRReq{LengthSeconds: 3600})
+	resp, err := sm.QueryTR(context.Background(), QueryTRReq{LengthSeconds: 3600})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -321,7 +322,7 @@ func TestStateManagerWindowClipsAtMidnight(t *testing.T) {
 	sm, _ := NewStateManager("m", period, avail.DefaultConfig(), clock, historyMachine("m", 11, -1), 0)
 	sm.Record(now, sample(5, 400))
 	// 10-hour job at 23:00 would cross midnight: must clip, not error.
-	resp, err := sm.QueryTR(QueryTRReq{LengthSeconds: 10 * 3600})
+	resp, err := sm.QueryTR(context.Background(), QueryTRReq{LengthSeconds: 10 * 3600})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -352,14 +353,14 @@ func TestSchedulerRanksByTR(t *testing.T) {
 		{MachineID: "solid", API: solid},
 	}}
 	job := SubmitReq{Name: "job", WorkSeconds: 2 * 3600, MemMB: 100}
-	ranked, _, err := sched.Rank(job)
+	ranked, _, err := sched.Rank(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ranked[0].MachineID != "solid" {
 		t.Fatalf("best machine = %s, want solid", ranked[0].MachineID)
 	}
-	best, resp, err := sched.SubmitBest(job)
+	best, resp, err := sched.SubmitBest(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -368,7 +369,7 @@ func TestSchedulerRanksByTR(t *testing.T) {
 	}
 	// The solid machine is now busy; the next submission falls back to
 	// the flaky one.
-	best2, _, err := sched.SubmitBest(job)
+	best2, _, err := sched.SubmitBest(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,11 +380,11 @@ func TestSchedulerRanksByTR(t *testing.T) {
 
 func TestSchedulerErrors(t *testing.T) {
 	s := &Scheduler{}
-	if _, _, err := s.Rank(SubmitReq{WorkSeconds: 60}); err == nil {
+	if _, _, err := s.Rank(context.Background(), SubmitReq{WorkSeconds: 60}); err == nil {
 		t.Fatal("empty candidate set accepted")
 	}
 	s.Candidates = []Candidate{{MachineID: "gone", API: RemoteGateway{Addr: "127.0.0.1:1", Timeout: 50 * time.Millisecond}}}
-	_, fails, err := s.Rank(SubmitReq{WorkSeconds: 60})
+	_, fails, err := s.Rank(context.Background(), SubmitReq{WorkSeconds: 60})
 	if err == nil {
 		t.Fatal("all-unreachable candidates accepted")
 	}
@@ -432,7 +433,7 @@ func TestStateManagerArchiveAndRestore(t *testing.T) {
 		t.Fatal(err)
 	}
 	sm2.Record(clock.Now(), sample(5, 400))
-	if _, err := sm2.QueryTR(QueryTRReq{LengthSeconds: 3600}); err != nil {
+	if _, err := sm2.QueryTR(context.Background(), QueryTRReq{LengthSeconds: 3600}); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -1,7 +1,9 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -40,6 +42,10 @@ type NodeConfig struct {
 	HistoryDays int
 	// HeartbeatPath enables the t_monitor heartbeat file.
 	HeartbeatPath string
+	// Logger, when non-nil, receives structured records from the node's
+	// daemons (monitor tick failures, recorder drops). It should already
+	// carry the machine attr; components add their own.
+	Logger *slog.Logger
 }
 
 // NewHostNode assembles a node around the given load source.
@@ -57,6 +63,7 @@ func NewHostNode(cfg NodeConfig, src monitor.LoadSource) (*HostNode, error) {
 	if err != nil {
 		return nil, err
 	}
+	sm.SetLogger(cfg.Logger)
 	gw, err := NewGateway(cfg.MachineID, cfg.Cfg, cfg.Period, cfg.Clock, sm)
 	if err != nil {
 		return nil, err
@@ -75,6 +82,7 @@ func NewHostNode(cfg NodeConfig, src monitor.LoadSource) (*HostNode, error) {
 			Errors:      obsv.Monitor.Errors,
 			TickSeconds: obsv.Monitor.TickSeconds,
 		},
+		Logger: cfg.Logger,
 	}, src, gw)
 	if err != nil {
 		return nil, err
@@ -123,7 +131,7 @@ func (n *HostNode) StartHeartbeat(caller *Caller, registryAddr, gatewayAddr stri
 			case <-done:
 				return
 			case <-n.clock.After(every):
-				_ = RegisterWithTTL(caller, registryAddr, n.Gateway.MachineID(), gatewayAddr, ttl, timeout)
+				_ = RegisterWithTTL(context.Background(), caller, registryAddr, n.Gateway.MachineID(), gatewayAddr, ttl, timeout)
 			}
 		}
 	}()

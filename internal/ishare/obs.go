@@ -5,13 +5,14 @@ import (
 
 	"fgcs/internal/monitor"
 	"fgcs/internal/obs"
+	"fgcs/internal/otrace"
 	"fgcs/internal/predict"
 )
 
 // gatewayRPCTypes are the request types a gateway serves; their counters and
 // latency histograms are registered up front so the serving path never
 // formats a metric name.
-var gatewayRPCTypes = []string{MsgQueryTR, MsgSubmit, MsgJobStatus, MsgKillJob, MsgQueryStats}
+var gatewayRPCTypes = []string{MsgQueryTR, MsgSubmit, MsgJobStatus, MsgKillJob, MsgQueryStats, MsgQueryTraces}
 
 // NodeObs bundles one host node's observability: the metrics registry every
 // component records into, and the online accuracy tracker that scores issued
@@ -26,6 +27,10 @@ type NodeObs struct {
 	Monitor *monitor.Metrics
 	// Caller instruments the node's outbound RPCs (registry heartbeats).
 	Caller *CallerMetrics
+	// Tracer mints request traces for the node's served RPCs. nil (the
+	// default) disables tracing entirely — the serving path then pays two
+	// pointer reads and nothing else. Install one with SetTracing.
+	Tracer *otrace.Tracer
 
 	requests   map[string]*obs.Counter
 	errors     map[string]*obs.Counter
@@ -64,6 +69,32 @@ func NewNodeObs() *NodeObs {
 	o.errOther = r.Counter("fgcs_gateway_errors_total", "Gateway RPCs that returned an application error, by request type.", l)
 	o.rpcOther = r.Histogram("fgcs_gateway_rpc_seconds", "Gateway RPC handling latency, by request type.", nil, l)
 	return o
+}
+
+// SetTracing installs the node's tracer (and through it the flight
+// recorder). Call before the gateway starts serving; pass nil to disable.
+func (o *NodeObs) SetTracing(t *otrace.Tracer) {
+	if o == nil {
+		return
+	}
+	o.Tracer = t
+}
+
+// TracerOrNil is the nil-safe tracer accessor the serving path uses.
+func (o *NodeObs) TracerOrNil() *otrace.Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer
+}
+
+// Flight returns the node's flight recorder (nil when tracing is off; all
+// Recorder methods are nil-safe).
+func (o *NodeObs) Flight() *otrace.Recorder {
+	if o == nil {
+		return nil
+	}
+	return o.Tracer.Recorder()
 }
 
 // InstrumentBreakers registers per-edge transition counters and an

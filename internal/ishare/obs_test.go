@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	"math"
 	"net/http/httptest"
 	"strings"
@@ -54,7 +55,7 @@ func TestObservabilityEndToEnd(t *testing.T) {
 				// Two identical queries: the second must be served
 				// from the engine's kernel cache.
 				for i := 0; i < 2; i++ {
-					if _, err := g.QueryTR(job); err != nil {
+					if _, err := g.QueryTR(context.Background(), job); err != nil {
 						t.Fatalf("day %d query %d: %v", d, i, err)
 					}
 					queries++
@@ -131,10 +132,10 @@ func TestObservabilityEndToEnd(t *testing.T) {
 	}
 	defer srv.Close()
 	rg := RemoteGateway{Addr: srv.Addr(), Timeout: 5 * time.Second}
-	if _, err := rg.QueryStats(QueryStatsReq{}); err != nil {
+	if _, err := rg.QueryStats(context.Background(), QueryStatsReq{}); err != nil {
 		t.Fatal(err)
 	}
-	resp, err := rg.QueryStats(QueryStatsReq{Calibration: true})
+	resp, err := rg.QueryStats(context.Background(), QueryStatsReq{Calibration: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -19,24 +19,68 @@ import (
 	"time"
 
 	"fgcs/internal/obs"
+	"fgcs/internal/otrace"
 )
 
 // Message types.
 const (
-	MsgRegister   = "register"    // gateway -> registry
-	MsgDiscover   = "discover"    // client -> registry
-	MsgQueryTR    = "query-tr"    // client -> gateway
-	MsgSubmit     = "submit"      // client -> gateway
-	MsgJobStatus  = "job-status"  // client -> gateway
-	MsgKillJob    = "kill-job"    // client -> gateway
-	MsgQueryStats = "query-stats" // client -> gateway
+	MsgRegister    = "register"     // gateway -> registry
+	MsgDiscover    = "discover"     // client -> registry
+	MsgQueryTR     = "query-tr"     // client -> gateway
+	MsgSubmit      = "submit"       // client -> gateway
+	MsgJobStatus   = "job-status"   // client -> gateway
+	MsgKillJob     = "kill-job"     // client -> gateway
+	MsgQueryStats  = "query-stats"  // client -> gateway
+	MsgQueryTraces = "query-traces" // client -> gateway
 )
+
+// TraceHeader is the optional trace-context carried in a request envelope:
+// the wire form of an otrace.Link. It is strictly additive — peers that
+// predate it ignore the field, and its absence means "untraced request" —
+// so old and new daemons interoperate in either direction.
+type TraceHeader struct {
+	// TraceID and SpanID are fixed-width hex (otrace ID string form).
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id,omitempty"`
+	// Sampled tells the server whether to record its side of the trace.
+	Sampled bool `json:"sampled,omitempty"`
+}
+
+// Link decodes the header into an otrace link. Malformed IDs degrade to the
+// zero link (untraced) rather than failing the request.
+func (h *TraceHeader) Link() otrace.Link {
+	if h == nil {
+		return otrace.Link{}
+	}
+	tid, err := otrace.ParseTraceID(h.TraceID)
+	if err != nil {
+		return otrace.Link{}
+	}
+	sid, _ := otrace.ParseSpanID(h.SpanID)
+	return otrace.Link{TraceID: tid, SpanID: sid, Sampled: h.Sampled}
+}
+
+// headerFromLink encodes a span link as a wire header (nil for the zero
+// link, which keeps untraced requests byte-identical to the old protocol).
+func headerFromLink(link otrace.Link) *TraceHeader {
+	if link.TraceID == 0 {
+		return nil
+	}
+	return &TraceHeader{
+		TraceID: link.TraceID.String(),
+		SpanID:  link.SpanID.String(),
+		Sampled: link.Sampled,
+	}
+}
 
 // Request is the protocol envelope: one request per connection, one
 // response back.
 type Request struct {
 	Type    string          `json:"type"`
 	Payload json.RawMessage `json:"payload,omitempty"`
+	// Trace is the optional trace-context header (absent on untraced
+	// requests and on requests from peers that predate tracing).
+	Trace *TraceHeader `json:"trace,omitempty"`
 }
 
 // Response is the reply envelope.
@@ -162,11 +206,31 @@ type QueryStatsResp struct {
 	Accuracy []obs.AccuracyStats `json:"accuracy,omitempty"`
 }
 
-// Call performs one request/response round trip to addr: a single attempt
-// over the real network. Use a Caller to plug in a different transport or a
-// retry policy.
+// QueryTracesReq asks a gateway for its flight recorder's recent traces.
+type QueryTracesReq struct {
+	// Limit bounds how many traces come back (0 = server default).
+	Limit int `json:"limit,omitempty"`
+	// TraceID, when set, selects every retained record of one trace
+	// instead of the recent listing.
+	TraceID string `json:"trace_id,omitempty"`
+	// Events includes recent captured WARN/ERROR log events.
+	Events bool `json:"events,omitempty"`
+}
+
+// QueryTracesResp returns flight-recorder contents.
+type QueryTracesResp struct {
+	MachineID string `json:"machine_id"`
+	// TotalRecorded counts traces ever recorded, including displaced ones.
+	TotalRecorded uint64               `json:"total_recorded"`
+	Traces        []otrace.TraceRecord `json:"traces,omitempty"`
+	Events        []otrace.LogEvent    `json:"events,omitempty"`
+}
+
+// Call performs one request/response round trip to addr: a single untraced
+// attempt over the real network. Use a Caller to plug in a different
+// transport, a retry policy, or trace propagation.
 func Call(addr string, typ string, payload, out interface{}, timeout time.Duration) error {
-	return callOnce(netDialer{}, addr, typ, payload, out, timeout)
+	return callOnce(netDialer{}, otrace.Link{}, addr, typ, payload, out, timeout)
 }
 
 // ErrMessageTooLarge reports a wire message that exceeded the decoder's byte
@@ -221,8 +285,10 @@ func decodeCapped(r io.Reader, maxBytes int64, out interface{}) error {
 // exchange runs the request/response protocol over an established
 // connection. Failures to send or receive are transport errors (the request
 // may or may not have executed remotely); a decoded Response{OK: false} is a
-// RemoteError (the request definitely executed and was rejected).
-func exchange(conn net.Conn, typ string, payload, out interface{}) error {
+// RemoteError (the request definitely executed and was rejected). A sampled
+// link is encoded as the envelope's optional trace header; the zero link
+// leaves the envelope exactly as the pre-tracing protocol sent it.
+func exchange(conn net.Conn, link otrace.Link, typ string, payload, out interface{}) error {
 	var raw json.RawMessage
 	if payload != nil {
 		var err error
@@ -232,7 +298,7 @@ func exchange(conn net.Conn, typ string, payload, out interface{}) error {
 		}
 	}
 	enc := json.NewEncoder(conn)
-	if err := enc.Encode(Request{Type: typ, Payload: raw}); err != nil {
+	if err := enc.Encode(Request{Type: typ, Payload: raw, Trace: headerFromLink(link)}); err != nil {
 		return &transportError{fmt.Errorf("ishare: send: %w", err)}
 	}
 	resp, err := DecodeResponse(conn, maxResponseBytes)

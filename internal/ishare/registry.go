@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -150,26 +151,26 @@ func (r *Registry) Serve(addr string) (*Server, error) {
 // RegisterWith publishes a gateway at gatewayAddr to a remote registry,
 // with no expiry.
 func RegisterWith(registryAddr, machineID, gatewayAddr string, timeout time.Duration) error {
-	return RegisterWithTTL(nil, registryAddr, machineID, gatewayAddr, 0, timeout)
+	return RegisterWithTTL(context.Background(), nil, registryAddr, machineID, gatewayAddr, 0, timeout)
 }
 
 // RegisterWithTTL publishes a gateway with a TTL through an optional Caller
 // (registration is idempotent, so the caller's retry policy applies). The
 // gateway must re-register within the TTL — see HostNode.StartHeartbeat.
-func RegisterWithTTL(caller *Caller, registryAddr, machineID, gatewayAddr string, ttl, timeout time.Duration) error {
+func RegisterWithTTL(ctx context.Context, caller *Caller, registryAddr, machineID, gatewayAddr string, ttl, timeout time.Duration) error {
 	req := RegisterReq{MachineID: machineID, Addr: gatewayAddr, TTLSeconds: ttl.Seconds()}
-	return caller.CallRetry(registryAddr, MsgRegister, req, nil, timeout)
+	return caller.CallRetry(ctx, registryAddr, MsgRegister, req, nil, timeout)
 }
 
 // Discover fetches the published resources from a remote registry.
 func Discover(registryAddr string, timeout time.Duration) ([]Resource, error) {
-	return DiscoverWith(nil, registryAddr, timeout)
+	return DiscoverWith(context.Background(), nil, registryAddr, timeout)
 }
 
 // DiscoverWith is Discover through an optional Caller with retries.
-func DiscoverWith(caller *Caller, registryAddr string, timeout time.Duration) ([]Resource, error) {
+func DiscoverWith(ctx context.Context, caller *Caller, registryAddr string, timeout time.Duration) ([]Resource, error) {
 	var resp DiscoverResp
-	if err := caller.CallRetry(registryAddr, MsgDiscover, nil, &resp, timeout); err != nil {
+	if err := caller.CallRetry(ctx, registryAddr, MsgDiscover, nil, &resp, timeout); err != nil {
 		return nil, err
 	}
 	return resp.Resources, nil

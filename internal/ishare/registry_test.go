@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -71,7 +72,7 @@ func TestRegistryTTLOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	if err := RegisterWithTTL(nil, srv.Addr(), "lab-01", "10.0.0.1:9000", 30*time.Second, time.Second); err != nil {
+	if err := RegisterWithTTL(context.Background(), nil, srv.Addr(), "lab-01", "10.0.0.1:9000", 30*time.Second, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	res, err := Discover(srv.Addr(), time.Second)
@@ -141,7 +142,7 @@ func TestHostNodeHeartbeat(t *testing.T) {
 	defer gwSrv.Close()
 
 	ttl, every := 30*time.Second, 10*time.Second
-	if err := RegisterWithTTL(nil, regSrv.Addr(), "lab-01", gwSrv.Addr(), ttl, time.Second); err != nil {
+	if err := RegisterWithTTL(context.Background(), nil, regSrv.Addr(), "lab-01", gwSrv.Addr(), ttl, time.Second); err != nil {
 		t.Fatal(err)
 	}
 	stop := node.StartHeartbeat(nil, regSrv.Addr(), gwSrv.Addr(), ttl, every, time.Second)

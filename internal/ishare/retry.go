@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	crand "crypto/rand"
 	"encoding/binary"
 	"encoding/hex"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"fgcs/internal/obs"
+	"fgcs/internal/otrace"
 	"fgcs/internal/rng"
 	"fgcs/internal/simclock"
 )
@@ -208,9 +210,17 @@ func (c *Caller) NextKey(prefix string) string {
 }
 
 // Call performs a single-attempt round trip through the caller's dialer.
-// Use it for non-idempotent RPCs (Submit without a key, Kill).
-func (c *Caller) Call(addr, typ string, payload, out interface{}, timeout time.Duration) error {
-	err := callOnce(c.dialer(), addr, typ, payload, out, timeout)
+// Use it for non-idempotent RPCs (Submit without a key, Kill). If ctx carries
+// a sampled span, the attempt is recorded as a child span and its link
+// travels in the request's trace header; an untraced context adds nothing.
+func (c *Caller) Call(ctx context.Context, addr, typ string, payload, out interface{}, timeout time.Duration) error {
+	attempt := otrace.FromContext(ctx).StartChild("rpc.attempt")
+	if attempt != nil {
+		attempt.SetAttr(otrace.String("rpc", typ), otrace.Int("attempt", 1))
+	}
+	err := callOnce(c.dialer(), attempt.Link(), addr, typ, payload, out, timeout)
+	attempt.SetError(err)
+	attempt.End()
 	if c != nil {
 		c.Metrics.observe(1, err)
 	}
@@ -221,14 +231,24 @@ func (c *Caller) Call(addr, typ string, payload, out interface{}, timeout time.D
 // attempt gets the full timeout as its own deadline; transport errors are
 // retried after backoff, remote application errors are returned immediately.
 // Only use it for idempotent RPCs, or RPCs protected by an idempotency key.
-func (c *Caller) CallRetry(addr, typ string, payload, out interface{}, timeout time.Duration) error {
+// Each attempt becomes its own child span of ctx's active span (siblings
+// under the caller's operation), so a recorded trace shows exactly how many
+// tries a call took and which of them failed.
+func (c *Caller) CallRetry(ctx context.Context, addr, typ string, payload, out interface{}, timeout time.Duration) error {
 	attempts := 1
 	if c != nil && c.Retry.MaxAttempts > 1 {
 		attempts = c.Retry.MaxAttempts
 	}
+	parent := otrace.FromContext(ctx)
 	var err error
 	for n := 1; ; n++ {
-		err = callOnce(c.dialer(), addr, typ, payload, out, timeout)
+		attempt := parent.StartChild("rpc.attempt")
+		if attempt != nil {
+			attempt.SetAttr(otrace.String("rpc", typ), otrace.Int("attempt", n))
+		}
+		err = callOnce(c.dialer(), attempt.Link(), addr, typ, payload, out, timeout)
+		attempt.SetError(err)
+		attempt.End()
 		if c != nil {
 			c.Metrics.observe(n, err)
 		}
@@ -242,8 +262,9 @@ func (c *Caller) CallRetry(addr, typ string, payload, out interface{}, timeout t
 	}
 }
 
-// callOnce is one request/response exchange over a fresh connection.
-func callOnce(d Dialer, addr, typ string, payload, out interface{}, timeout time.Duration) error {
+// callOnce is one request/response exchange over a fresh connection. The
+// link, when sampled, rides in the request envelope's trace header.
+func callOnce(d Dialer, link otrace.Link, addr, typ string, payload, out interface{}, timeout time.Duration) error {
 	conn, err := d.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return &transportError{fmt.Errorf("ishare: dial %s: %w", addr, err)}
@@ -252,5 +273,5 @@ func callOnce(d Dialer, addr, typ string, payload, out interface{}, timeout time
 	if err := conn.SetDeadline(time.Now().Add(timeout)); err != nil {
 		return &transportError{err}
 	}
-	return exchange(conn, typ, payload, out)
+	return exchange(conn, link, typ, payload, out)
 }

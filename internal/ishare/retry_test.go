@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net"
@@ -51,7 +52,7 @@ func TestCallerRetriesTransportErrors(t *testing.T) {
 		Dialer: d,
 		Retry:  RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
 	}
-	if err := c.CallRetry(srv.Addr(), MsgDiscover, nil, nil, time.Second); err != nil {
+	if err := c.CallRetry(context.Background(), srv.Addr(), MsgDiscover, nil, nil, time.Second); err != nil {
 		t.Fatalf("CallRetry = %v, want success on 3rd attempt", err)
 	}
 	if d.count() != 3 {
@@ -65,7 +66,7 @@ func TestCallerExhaustsAttempts(t *testing.T) {
 		Dialer: d,
 		Retry:  RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
 	}
-	err := c.CallRetry("127.0.0.1:1", MsgDiscover, nil, nil, 100*time.Millisecond)
+	err := c.CallRetry(context.Background(), "127.0.0.1:1", MsgDiscover, nil, nil, 100*time.Millisecond)
 	if err == nil {
 		t.Fatal("exhausted retries reported success")
 	}
@@ -90,7 +91,7 @@ func TestCallerDoesNotRetryRemoteErrors(t *testing.T) {
 	defer srv.Close()
 	d := &countingDialer{}
 	c := &Caller{Dialer: d, Retry: RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}}
-	err = c.CallRetry(srv.Addr(), MsgDiscover, nil, nil, time.Second)
+	err = c.CallRetry(context.Background(), srv.Addr(), MsgDiscover, nil, nil, time.Second)
 	if err == nil {
 		t.Fatal("remote error reported success")
 	}
@@ -110,10 +111,10 @@ func TestNilCallerMatchesPlainCall(t *testing.T) {
 	}
 	defer srv.Close()
 	var c *Caller
-	if err := c.CallRetry(srv.Addr(), MsgDiscover, nil, nil, time.Second); err != nil {
+	if err := c.CallRetry(context.Background(), srv.Addr(), MsgDiscover, nil, nil, time.Second); err != nil {
 		t.Fatalf("nil caller CallRetry = %v", err)
 	}
-	if err := c.Call(srv.Addr(), MsgDiscover, nil, nil, time.Second); err != nil {
+	if err := c.Call(context.Background(), srv.Addr(), MsgDiscover, nil, nil, time.Second); err != nil {
 		t.Fatalf("nil caller Call = %v", err)
 	}
 }
@@ -195,7 +196,7 @@ func TestSubmitIdempotentUnderAckLoss(t *testing.T) {
 		Retry:  RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond},
 	}
 	api := RemoteGateway{Addr: srv.Addr(), Timeout: time.Second, Caller: caller}
-	resp, err := api.Submit(SubmitReq{Name: "idem", WorkSeconds: 600, MemMB: 10})
+	resp, err := api.Submit(context.Background(), SubmitReq{Name: "idem", WorkSeconds: 600, MemMB: 10})
 	if err != nil {
 		t.Fatalf("submit with retry = %v", err)
 	}
@@ -206,7 +207,7 @@ func TestSubmitIdempotentUnderAckLoss(t *testing.T) {
 	// only after the current one terminates, so a double launch would have
 	// surfaced as an "already runs a guest" error on the retry. Verify the
 	// job counter directly too.
-	st, err := node.Gateway.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, err := node.Gateway.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestSubmitIdempotentUnderAckLoss(t *testing.T) {
 	// A second logical submit (fresh key) is properly rejected while the
 	// guest runs — proving the dedup keyed on the idempotency key, not on
 	// blanket submit suppression.
-	if _, err := api.Submit(SubmitReq{Name: "other", WorkSeconds: 60}); err == nil {
+	if _, err := api.Submit(context.Background(), SubmitReq{Name: "other", WorkSeconds: 60}); err == nil {
 		t.Fatal("second logical submit accepted while a guest runs")
 	}
 }
@@ -231,7 +232,7 @@ func TestSubmitSingleAttemptWithoutKey(t *testing.T) {
 	d := &countingDialer{failN: 100}
 	api := RemoteGateway{Addr: "127.0.0.1:1", Timeout: 100 * time.Millisecond,
 		Caller: &Caller{Dialer: d}}
-	if _, err := api.Submit(SubmitReq{Name: "x", WorkSeconds: 60}); err == nil {
+	if _, err := api.Submit(context.Background(), SubmitReq{Name: "x", WorkSeconds: 60}); err == nil {
 		t.Fatal("submit succeeded against dead dialer")
 	}
 	if d.count() != 1 {

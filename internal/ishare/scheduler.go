@@ -1,19 +1,23 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
+
+	"fgcs/internal/otrace"
 )
 
 // GatewayAPI is the client-visible surface of a host node. *Gateway
 // implements it directly (in-process wiring); RemoteGateway implements it
-// over TCP.
+// over TCP. The context carries the request's trace span (if any) across
+// the whole client → gateway → engine path.
 type GatewayAPI interface {
-	QueryTR(QueryTRReq) (QueryTRResp, error)
-	Submit(SubmitReq) (SubmitResp, error)
-	JobStatus(JobStatusReq) (JobStatusResp, error)
-	Kill(JobStatusReq) (JobStatusResp, error)
+	QueryTR(context.Context, QueryTRReq) (QueryTRResp, error)
+	Submit(context.Context, SubmitReq) (SubmitResp, error)
+	JobStatus(context.Context, JobStatusReq) (JobStatusResp, error)
+	Kill(context.Context, JobStatusReq) (JobStatusResp, error)
 }
 
 var _ GatewayAPI = (*Gateway)(nil)
@@ -38,9 +42,9 @@ func (r RemoteGateway) timeout() time.Duration {
 
 // QueryTR implements GatewayAPI. Idempotent: retried under the caller's
 // policy.
-func (r RemoteGateway) QueryTR(req QueryTRReq) (QueryTRResp, error) {
+func (r RemoteGateway) QueryTR(ctx context.Context, req QueryTRReq) (QueryTRResp, error) {
 	var resp QueryTRResp
-	err := r.Caller.CallRetry(r.Addr, MsgQueryTR, req, &resp, r.timeout())
+	err := r.Caller.CallRetry(ctx, r.Addr, MsgQueryTR, req, &resp, r.timeout())
 	return resp, err
 }
 
@@ -49,42 +53,51 @@ func (r RemoteGateway) QueryTR(req QueryTRReq) (QueryTRResp, error) {
 // idempotency key is attached (unless the request already carries one) and
 // the submit becomes safely retryable — the gateway replays the original
 // job ID for a duplicate key.
-func (r RemoteGateway) Submit(req SubmitReq) (SubmitResp, error) {
+func (r RemoteGateway) Submit(ctx context.Context, req SubmitReq) (SubmitResp, error) {
 	var resp SubmitResp
 	if r.Caller != nil && r.Caller.Retry.MaxAttempts > 1 {
 		if req.IdempotencyKey == "" {
 			req.IdempotencyKey = r.Caller.NextKey(r.Addr)
 		}
-		err := r.Caller.CallRetry(r.Addr, MsgSubmit, req, &resp, r.timeout())
+		err := r.Caller.CallRetry(ctx, r.Addr, MsgSubmit, req, &resp, r.timeout())
 		return resp, err
 	}
-	err := r.Caller.Call(r.Addr, MsgSubmit, req, &resp, r.timeout())
+	err := r.Caller.Call(ctx, r.Addr, MsgSubmit, req, &resp, r.timeout())
 	return resp, err
 }
 
 // JobStatus implements GatewayAPI. Idempotent: retried under the caller's
 // policy.
-func (r RemoteGateway) JobStatus(req JobStatusReq) (JobStatusResp, error) {
+func (r RemoteGateway) JobStatus(ctx context.Context, req JobStatusReq) (JobStatusResp, error) {
 	var resp JobStatusResp
-	err := r.Caller.CallRetry(r.Addr, MsgJobStatus, req, &resp, r.timeout())
+	err := r.Caller.CallRetry(ctx, r.Addr, MsgJobStatus, req, &resp, r.timeout())
 	return resp, err
 }
 
 // Kill implements GatewayAPI. Killing twice is an application error, so a
 // kill gets a single attempt; callers that lose the ACK can confirm the
 // outcome with JobStatus.
-func (r RemoteGateway) Kill(req JobStatusReq) (JobStatusResp, error) {
+func (r RemoteGateway) Kill(ctx context.Context, req JobStatusReq) (JobStatusResp, error) {
 	var resp JobStatusResp
-	err := r.Caller.Call(r.Addr, MsgKillJob, req, &resp, r.timeout())
+	err := r.Caller.Call(ctx, r.Addr, MsgKillJob, req, &resp, r.timeout())
 	return resp, err
 }
 
 // QueryStats fetches the node's observability snapshot. Idempotent: retried
 // under the caller's policy. (Deliberately not part of GatewayAPI — it is an
 // operator surface, not a scheduling one.)
-func (r RemoteGateway) QueryStats(req QueryStatsReq) (QueryStatsResp, error) {
+func (r RemoteGateway) QueryStats(ctx context.Context, req QueryStatsReq) (QueryStatsResp, error) {
 	var resp QueryStatsResp
-	err := r.Caller.CallRetry(r.Addr, MsgQueryStats, req, &resp, r.timeout())
+	err := r.Caller.CallRetry(ctx, r.Addr, MsgQueryStats, req, &resp, r.timeout())
+	return resp, err
+}
+
+// QueryTraces fetches the node's flight-recorder snapshot. Idempotent:
+// retried under the caller's policy. (An operator surface like QueryStats,
+// so not part of GatewayAPI.)
+func (r RemoteGateway) QueryTraces(ctx context.Context, req QueryTracesReq) (QueryTracesResp, error) {
+	var resp QueryTracesResp
+	err := r.Caller.CallRetry(ctx, r.Addr, MsgQueryTraces, req, &resp, r.timeout())
 	return resp, err
 }
 
@@ -133,16 +146,16 @@ type Scheduler struct {
 
 // FromRegistry builds a scheduler from the resources published at a
 // registry address, with plain single-attempt clients.
-func FromRegistry(registryAddr string, timeout time.Duration) (*Scheduler, error) {
-	return FromRegistryWith(nil, registryAddr, timeout)
+func FromRegistry(ctx context.Context, registryAddr string, timeout time.Duration) (*Scheduler, error) {
+	return FromRegistryWith(ctx, nil, registryAddr, timeout)
 }
 
 // FromRegistryWith is FromRegistry with a shared Caller: discovery itself is
 // retried under the caller's policy (Discover is idempotent), and every
 // candidate gateway client inherits the caller's transport and retries.
-func FromRegistryWith(caller *Caller, registryAddr string, timeout time.Duration) (*Scheduler, error) {
+func FromRegistryWith(ctx context.Context, caller *Caller, registryAddr string, timeout time.Duration) (*Scheduler, error) {
 	var resp DiscoverResp
-	if err := caller.CallRetry(registryAddr, MsgDiscover, nil, &resp, timeout); err != nil {
+	if err := caller.CallRetry(ctx, registryAddr, MsgDiscover, nil, &resp, timeout); err != nil {
 		return nil, err
 	}
 	s := &Scheduler{}
@@ -158,19 +171,34 @@ func FromRegistryWith(caller *Caller, registryAddr string, timeout time.Duration
 // Rank queries every candidate's TR for the job and returns them sorted by
 // decreasing reliability, together with one RankFailure per machine that
 // could not be ranked (breaker-open, unreachable, or query rejected). The
-// error is non-nil only when no machine answered at all.
-func (s *Scheduler) Rank(job SubmitReq) ([]Ranked, []RankFailure, error) {
+// error is non-nil only when no machine answered at all. Under a sampled
+// trace, the ranking runs in a "scheduler.rank" span whose per-machine query
+// spans carry the RPC attempts; machines skipped by an open breaker appear
+// as "breaker-open" span events — no RPC, just the shedding decision.
+func (s *Scheduler) Rank(ctx context.Context, job SubmitReq) ([]Ranked, []RankFailure, error) {
 	if len(s.Candidates) == 0 {
 		return nil, nil, fmt.Errorf("ishare: no candidate machines")
 	}
+	ctx, span := otrace.StartSpan(ctx, "scheduler.rank")
+	defer span.End()
 	var out []Ranked
 	var failures []RankFailure
 	for _, c := range s.Candidates {
 		if s.Breakers != nil && !s.Breakers.Allow(c.MachineID) {
+			span.AddEvent("breaker-open", otrace.String("machine", c.MachineID))
 			failures = append(failures, RankFailure{MachineID: c.MachineID, Err: ErrCircuitOpen})
 			continue
 		}
-		resp, err := c.API.QueryTR(QueryTRReq{LengthSeconds: job.WorkSeconds, GuestMemMB: job.MemMB})
+		qctx, qspan := otrace.StartSpan(ctx, "scheduler.query-tr")
+		if qspan != nil {
+			qspan.SetAttr(otrace.String("machine", c.MachineID))
+		}
+		resp, err := c.API.QueryTR(qctx, QueryTRReq{LengthSeconds: job.WorkSeconds, GuestMemMB: job.MemMB})
+		qspan.SetError(err)
+		if err == nil && qspan != nil {
+			qspan.SetAttr(otrace.Float("tr", resp.TR))
+		}
+		qspan.End()
 		if s.Breakers != nil {
 			s.Breakers.Report(c.MachineID, err)
 		}
@@ -181,7 +209,9 @@ func (s *Scheduler) Rank(job SubmitReq) ([]Ranked, []RankFailure, error) {
 		out = append(out, Ranked{Candidate: c, TR: resp.TR, HistoryWindows: resp.HistoryWindows, CurrentState: resp.CurrentState})
 	}
 	if len(out) == 0 {
-		return nil, failures, fmt.Errorf("ishare: no machine answered the TR query (%d failed)", len(failures))
+		err := fmt.Errorf("ishare: no machine answered the TR query (%d failed)", len(failures))
+		span.SetError(err)
+		return nil, failures, err
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].TR > out[j].TR })
 	return out, failures, nil
@@ -190,15 +220,27 @@ func (s *Scheduler) Rank(job SubmitReq) ([]Ranked, []RankFailure, error) {
 // SubmitBest ranks the candidates and submits the job to the machine with
 // the highest predicted reliability, falling back down the ranking when a
 // machine rejects the submission (e.g. it already runs a guest).
-func (s *Scheduler) SubmitBest(job SubmitReq) (Ranked, SubmitResp, error) {
-	ranked, _, err := s.Rank(job)
+func (s *Scheduler) SubmitBest(ctx context.Context, job SubmitReq) (Ranked, SubmitResp, error) {
+	ctx, span := otrace.StartSpan(ctx, "scheduler.submit-best")
+	defer span.End()
+	ranked, _, err := s.Rank(ctx, job)
 	if err != nil {
+		span.SetError(err)
 		return Ranked{}, SubmitResp{}, err
 	}
 	var lastErr error
 	for _, r := range ranked {
-		resp, err := r.API.Submit(job)
+		sctx, sspan := otrace.StartSpan(ctx, "scheduler.submit")
+		if sspan != nil {
+			sspan.SetAttr(otrace.String("machine", r.MachineID))
+		}
+		resp, err := r.API.Submit(sctx, job)
+		sspan.SetError(err)
+		sspan.End()
 		if err == nil {
+			if span != nil {
+				span.SetAttr(otrace.String("placed-on", r.MachineID))
+			}
 			return r, resp, nil
 		}
 		if s.Breakers != nil && IsTransport(err) {
@@ -206,5 +248,7 @@ func (s *Scheduler) SubmitBest(job SubmitReq) (Ranked, SubmitResp, error) {
 		}
 		lastErr = err
 	}
-	return Ranked{}, SubmitResp{}, fmt.Errorf("ishare: every submission failed: %w", lastErr)
+	err = fmt.Errorf("ishare: every submission failed: %w", lastErr)
+	span.SetError(err)
+	return Ranked{}, SubmitResp{}, err
 }

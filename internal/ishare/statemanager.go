@@ -1,13 +1,16 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
 
 	"fgcs/internal/avail"
 	"fgcs/internal/monitor"
+	"fgcs/internal/otrace"
 	"fgcs/internal/predict"
 	"fgcs/internal/simclock"
 	"fgcs/internal/timeseries"
@@ -82,6 +85,10 @@ func NewStateManager(machineID string, period time.Duration, cfg avail.Config, c
 	sm.engine.SetMetrics(sm.obsv.Engine)
 	return sm, nil
 }
+
+// SetLogger routes the history recorder's dropped-sample warnings through
+// the given logger (nil disables). Call before samples start flowing.
+func (sm *StateManager) SetLogger(l *slog.Logger) { sm.recorder.SetLogger(l) }
 
 // EngineStats reports the prediction engine's cache counters.
 func (sm *StateManager) EngineStats() predict.EngineStats { return sm.engine.Stats() }
@@ -199,14 +206,19 @@ func (sm *StateManager) Archive(path string) error {
 }
 
 // QueryTR predicts the probability that this machine stays available for a
-// guest job of the given length and memory footprint starting now.
-func (sm *StateManager) QueryTR(req QueryTRReq) (QueryTRResp, error) {
+// guest job of the given length and memory footprint starting now. Under a
+// sampled trace the query runs in a "state.query-tr" span; the prediction
+// engine marks cache hits and misses on it.
+func (sm *StateManager) QueryTR(ctx context.Context, req QueryTRReq) (QueryTRResp, error) {
 	if req.LengthSeconds <= 0 {
 		return QueryTRResp{}, fmt.Errorf("ishare: non-positive job length")
 	}
+	ctx, span := otrace.StartSpan(ctx, "state.query-tr")
+	defer span.End()
 	now := sm.clock.Now().UTC()
 	cur := sm.CurrentState()
 	if !cur.Recoverable() {
+		span.AddEvent("unrecoverable-state", otrace.String("state", cur.String()))
 		return QueryTRResp{TR: 0, CurrentState: cur.String()}, nil
 	}
 	midnight := time.Date(now.Year(), now.Month(), now.Day(), 0, 0, 0, 0, time.UTC)
@@ -239,14 +251,16 @@ func (sm *StateManager) QueryTR(req QueryTRReq) (QueryTRResp, error) {
 	if len(days) == 0 {
 		// No history yet: report optimistic full availability; the
 		// scheduler treats all such machines equally.
+		span.AddEvent("no-history")
 		resp := QueryTRResp{TR: 1, HistoryWindows: 0, CurrentState: cur.String()}
 		st := sm.engine.Stats()
 		resp.CacheHits, resp.CacheMisses = st.Hits, st.Misses
 		sm.recordPredictions(midnight, w, cfg.Cfg, 1)
 		return resp, nil
 	}
-	tr, err := sm.engine.PredictFrom(cfg, days, w, cur)
+	tr, err := sm.engine.PredictFromCtx(ctx, cfg, days, w, cur)
 	if err != nil {
+		span.SetError(err)
 		return QueryTRResp{}, err
 	}
 	resp := QueryTRResp{TR: tr, HistoryWindows: len(days), CurrentState: cur.String()}

@@ -1,10 +1,12 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"fgcs/internal/jobest"
+	"fgcs/internal/otrace"
 	"fgcs/internal/simclock"
 )
 
@@ -105,8 +107,10 @@ func (sv *Supervisor) defaults() (simclock.Clock, time.Duration, int, float64) {
 
 // Run submits the job and supervises it to completion (or until the
 // migration budget is exhausted). It blocks; pace it with a virtual clock in
-// simulations.
-func (sv *Supervisor) Run(job SubmitReq) (JobRun, error) {
+// simulations. Each placement (initial submit or migration) runs in a
+// "supervisor.place" child span of ctx's active span, so a recorded trace of
+// a supervised job shows every machine it touched and why it moved.
+func (sv *Supervisor) Run(ctx context.Context, job SubmitReq) (JobRun, error) {
 	if sv.Sched == nil {
 		return JobRun{}, fmt.Errorf("ishare: supervisor needs a scheduler")
 	}
@@ -115,15 +119,25 @@ func (sv *Supervisor) Run(job SubmitReq) (JobRun, error) {
 	progress := job.InitialProgressSeconds
 	for attempt := 0; ; attempt++ {
 		job.InitialProgressSeconds = progress
-		ranked, resp, err := sv.Sched.SubmitBest(job)
+		pctx, pspan := otrace.StartSpan(ctx, "supervisor.place")
+		if pspan != nil {
+			pspan.SetAttr(otrace.Int("placement", attempt+1))
+		}
+		ranked, resp, err := sv.Sched.SubmitBest(pctx, job)
 		if err != nil {
+			pspan.SetError(err)
+			pspan.End()
 			return run, fmt.Errorf("ishare: placement %d failed: %w", attempt+1, err)
 		}
+		if pspan != nil {
+			pspan.SetAttr(otrace.String("machine", ranked.MachineID))
+		}
+		pspan.End()
 		placement := Placement{MachineID: ranked.MachineID, JobID: resp.JobID, TR: ranked.TR}
 		var unreachableFor time.Duration
 		for {
 			clock.Sleep(poll)
-			st, err := ranked.API.JobStatus(JobStatusReq{JobID: resp.JobID})
+			st, err := ranked.API.JobStatus(ctx, JobStatusReq{JobID: resp.JobID})
 			if err != nil {
 				// Distinguish a transient flake from sustained
 				// unreachability: only the latter is a revocation.
@@ -179,7 +193,7 @@ func (sv *Supervisor) Run(job SubmitReq) (JobRun, error) {
 // RunClass submits a job whose requirements come from the estimator's
 // history for the class (job name = class). It fails when the class lacks
 // history; callers then fall back to explicit requirements.
-func (sv *Supervisor) RunClass(class string) (JobRun, error) {
+func (sv *Supervisor) RunClass(ctx context.Context, class string) (JobRun, error) {
 	if sv.Estimator == nil {
 		return JobRun{}, fmt.Errorf("ishare: supervisor has no estimator")
 	}
@@ -187,5 +201,5 @@ func (sv *Supervisor) RunClass(class string) (JobRun, error) {
 	if err != nil {
 		return JobRun{}, err
 	}
-	return sv.Run(SubmitReq{Name: class, WorkSeconds: est.WorkSeconds, MemMB: est.MemMB})
+	return sv.Run(ctx, SubmitReq{Name: class, WorkSeconds: est.WorkSeconds, MemMB: est.MemMB})
 }

@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -70,7 +71,7 @@ func TestSupervisorCompletesOnHealthyMachine(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		run, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 120, MemMB: 50})
+		run, err = sv.Run(context.Background(), SubmitReq{Name: "job", WorkSeconds: 120, MemMB: 50})
 	}()
 	drive(t, clock, done, func(now time.Time) {
 		good.Record(now, sample(5, 400))
@@ -106,7 +107,7 @@ func TestSupervisorMigratesAfterKill(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		run, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50})
+		run, err = sv.Run(context.Background(), SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50})
 	}()
 	var mu sync.Mutex
 	killed := false
@@ -115,7 +116,7 @@ func TestSupervisorMigratesAfterKill(t *testing.T) {
 		defer mu.Unlock()
 		// Crash "good" once its job is underway.
 		if !killed && now.Sub(clock.Now()) == 0 {
-			if st, err := good.JobStatus(JobStatusReq{JobID: "good-job-1"}); err == nil &&
+			if st, err := good.JobStatus(context.Background(), JobStatusReq{JobID: "good-job-1"}); err == nil &&
 				st.State == "running" && st.ProgressSeconds > 60 {
 				good.Record(now, trace.Sample{Up: false})
 				killed = true
@@ -166,7 +167,7 @@ func TestSupervisorGivesUpAfterBudget(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		_, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50})
+		_, err = sv.Run(context.Background(), SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50})
 	}()
 	drive(t, clock, done, func(now time.Time) {
 		// Permanently overloaded: every placement dies.
@@ -179,7 +180,7 @@ func TestSupervisorGivesUpAfterBudget(t *testing.T) {
 
 func TestSupervisorValidation(t *testing.T) {
 	sv := &Supervisor{}
-	if _, err := sv.Run(SubmitReq{Name: "x", WorkSeconds: 1}); err == nil {
+	if _, err := sv.Run(context.Background(), SubmitReq{Name: "x", WorkSeconds: 1}); err == nil {
 		t.Fatal("nil scheduler accepted")
 	}
 }
@@ -196,7 +197,7 @@ func TestSupervisorFeedsEstimator(t *testing.T) {
 		Estimator:    est,
 	}
 	// No history yet: RunClass refuses.
-	if _, err := sv.RunClass("mc-sim"); err == nil {
+	if _, err := sv.RunClass(context.Background(), "mc-sim"); err == nil {
 		t.Fatal("class without history accepted")
 	}
 	// Two explicit runs build the history.
@@ -205,7 +206,7 @@ func TestSupervisorFeedsEstimator(t *testing.T) {
 		var err error
 		go func() {
 			defer close(done)
-			_, err = sv.Run(SubmitReq{Name: "mc-sim", WorkSeconds: 120, MemMB: 64})
+			_, err = sv.Run(context.Background(), SubmitReq{Name: "mc-sim", WorkSeconds: 120, MemMB: 64})
 		}()
 		drive(t, clock, done, func(now time.Time) {
 			good.Record(now, sample(5, 400))
@@ -223,7 +224,7 @@ func TestSupervisorFeedsEstimator(t *testing.T) {
 	var err error
 	go func() {
 		defer close(done)
-		run, err = sv.RunClass("mc-sim")
+		run, err = sv.RunClass(context.Background(), "mc-sim")
 	}()
 	drive(t, clock, done, func(now time.Time) {
 		good.Record(now, sample(5, 400))
@@ -245,7 +246,7 @@ func TestSupervisorFeedsEstimator(t *testing.T) {
 
 func TestRunClassWithoutEstimator(t *testing.T) {
 	sv := &Supervisor{Sched: &Scheduler{}}
-	if _, err := sv.RunClass("x"); err == nil {
+	if _, err := sv.RunClass(context.Background(), "x"); err == nil {
 		t.Fatal("missing estimator accepted")
 	}
 }
@@ -286,7 +287,7 @@ func TestSupervisorZeroMigrationsMeansNoRecovery(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		run, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50})
+		run, err = sv.Run(context.Background(), SubmitReq{Name: "job", WorkSeconds: 600, MemMB: 50})
 	}()
 	drive(t, clock, done, func(now time.Time) {
 		good.Record(now, sample(95, 400)) // permanently overloaded: dies fast
@@ -317,7 +318,7 @@ func (d *downableAPI) down() bool {
 	return d.polls >= d.failFrom && d.polls < d.failFrom+d.failFor
 }
 
-func (d *downableAPI) JobStatus(req JobStatusReq) (JobStatusResp, error) {
+func (d *downableAPI) JobStatus(ctx context.Context, req JobStatusReq) (JobStatusResp, error) {
 	d.mu.Lock()
 	d.polls++
 	bad := d.down()
@@ -325,27 +326,27 @@ func (d *downableAPI) JobStatus(req JobStatusReq) (JobStatusResp, error) {
 	if bad {
 		return JobStatusResp{}, &transportError{errInjectedUnreachable}
 	}
-	return d.GatewayAPI.JobStatus(req)
+	return d.GatewayAPI.JobStatus(context.Background(), req)
 }
 
-func (d *downableAPI) QueryTR(req QueryTRReq) (QueryTRResp, error) {
+func (d *downableAPI) QueryTR(ctx context.Context, req QueryTRReq) (QueryTRResp, error) {
 	d.mu.Lock()
 	bad := d.down()
 	d.mu.Unlock()
 	if bad {
 		return QueryTRResp{}, &transportError{errInjectedUnreachable}
 	}
-	return d.GatewayAPI.QueryTR(req)
+	return d.GatewayAPI.QueryTR(context.Background(), req)
 }
 
-func (d *downableAPI) Submit(req SubmitReq) (SubmitResp, error) {
+func (d *downableAPI) Submit(ctx context.Context, req SubmitReq) (SubmitResp, error) {
 	d.mu.Lock()
 	bad := d.down()
 	d.mu.Unlock()
 	if bad {
 		return SubmitResp{}, &transportError{errInjectedUnreachable}
 	}
-	return d.GatewayAPI.Submit(req)
+	return d.GatewayAPI.Submit(context.Background(), req)
 }
 
 // TestSupervisorGraceForgivesTransientFlakes: two failed polls inside a
@@ -367,7 +368,7 @@ func TestSupervisorGraceForgivesTransientFlakes(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		run, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 120, MemMB: 50})
+		run, err = sv.Run(context.Background(), SubmitReq{Name: "job", WorkSeconds: 120, MemMB: 50})
 	}()
 	drive(t, clock, done, func(now time.Time) {
 		good.Record(now, sample(5, 400))
@@ -406,7 +407,7 @@ func TestSupervisorSustainedUnreachabilityMigrates(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		run, err = sv.Run(SubmitReq{Name: "job", WorkSeconds: 300, MemMB: 50})
+		run, err = sv.Run(context.Background(), SubmitReq{Name: "job", WorkSeconds: 300, MemMB: 50})
 	}()
 	drive(t, clock, done, func(now time.Time) {
 		good.Record(now, sample(5, 400))

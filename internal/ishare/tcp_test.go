@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"context"
 	"encoding/json"
 	"testing/quick"
 
@@ -90,7 +91,7 @@ func TestGatewayOverTCPEndToEnd(t *testing.T) {
 	}
 	defer gwSrv.Close()
 
-	sched, err := FromRegistry(regSrv.Addr(), time.Second)
+	sched, err := FromRegistry(context.Background(), regSrv.Addr(), time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestGatewayOverTCPEndToEnd(t *testing.T) {
 		t.Fatalf("candidates = %+v", sched.Candidates)
 	}
 	job := SubmitReq{Name: "remote-job", WorkSeconds: 120, MemMB: 80}
-	best, resp, err := sched.SubmitBest(job)
+	best, resp, err := sched.SubmitBest(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +109,7 @@ func TestGatewayOverTCPEndToEnd(t *testing.T) {
 	// Drive the node to completion and check status over TCP.
 	feed(node.Gateway, now.Add(period), sample(5, 400), 25)
 	api := RemoteGateway{Addr: gwSrv.Addr(), Timeout: time.Second}
-	st, err := api.JobStatus(JobStatusReq{JobID: resp.JobID})
+	st, err := api.JobStatus(context.Background(), JobStatusReq{JobID: resp.JobID})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestGatewayOverTCPEndToEnd(t *testing.T) {
 		t.Fatalf("remote status = %+v", st)
 	}
 	// Remote kill of a finished job errors cleanly.
-	if _, err := api.Kill(JobStatusReq{JobID: resp.JobID}); err == nil {
+	if _, err := api.Kill(context.Background(), JobStatusReq{JobID: resp.JobID}); err == nil {
 		t.Fatal("kill of finished job accepted")
 	}
 }

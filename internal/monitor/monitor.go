@@ -9,6 +9,7 @@ package monitor
 import (
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -72,6 +73,10 @@ type Config struct {
 	// Metrics, when non-nil, receives sample/error counts and tick
 	// latency.
 	Metrics *Metrics
+	// Logger, when non-nil, receives tick failures (source read and
+	// heartbeat write errors) as structured records instead of the errors
+	// being silently counted. Callers attach machine/component attrs.
+	Logger *slog.Logger
 }
 
 // Monitor samples a LoadSource periodically.
@@ -151,6 +156,10 @@ func (m *Monitor) Tick(now time.Time) {
 		if mx != nil {
 			mx.Errors.Inc()
 		}
+		if m.cfg.Logger != nil {
+			m.cfg.Logger.Warn("load source read failed",
+				slog.String("component", "monitor"), slog.String("err", err.Error()))
+		}
 		return
 	}
 	m.samples++
@@ -161,8 +170,13 @@ func (m *Monitor) Tick(now time.Time) {
 	}
 	if m.cfg.HeartbeatPath != "" {
 		// Heartbeat write failures are deliberately non-fatal: a full
-		// disk must not kill monitoring.
-		_ = WriteHeartbeat(m.cfg.HeartbeatPath, now)
+		// disk must not kill monitoring — but they are worth a warning,
+		// since a stale t_monitor later reads as a revocation.
+		if err := WriteHeartbeat(m.cfg.HeartbeatPath, now); err != nil && m.cfg.Logger != nil {
+			m.cfg.Logger.Warn("heartbeat write failed",
+				slog.String("component", "monitor"),
+				slog.String("path", m.cfg.HeartbeatPath), slog.String("err", err.Error()))
+		}
 	}
 	if mx != nil {
 		mx.Samples.Inc()

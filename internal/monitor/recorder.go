@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"log/slog"
 	"sync"
 	"time"
 
@@ -21,6 +22,8 @@ type Recorder struct {
 	machine      *trace.Machine
 	// lastSample is the timestamp of the most recent recorded sample.
 	lastSample time.Time
+	// logger, when set, reports dropped samples (see SetLogger).
+	logger *slog.Logger
 }
 
 // NewRecorder creates a recorder for the given machine ID and sampling
@@ -34,6 +37,18 @@ func NewRecorder(machineID string, period, gapThreshold time.Duration) *Recorder
 		gapThreshold: gapThreshold,
 		machine:      trace.NewMachine(machineID, period),
 	}
+}
+
+// SetLogger makes the recorder report dropped samples — otherwise silently
+// discarded clock-skew artifacts — as structured warnings. Call before the
+// monitor starts; the recorder itself adds the machine and component attrs.
+func (r *Recorder) SetLogger(l *slog.Logger) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l != nil {
+		l = l.With(slog.String("component", "recorder"), slog.String("machine", r.machine.ID))
+	}
+	r.logger = l
 }
 
 // Record implements Sink.
@@ -65,6 +80,10 @@ func (r *Recorder) put(t time.Time, s trace.Sample) {
 		if err := r.machine.AddDay(day); err != nil {
 			// Out-of-order timestamps (clock skew): drop the sample
 			// rather than corrupt the log.
+			if r.logger != nil {
+				r.logger.Warn("out-of-order sample dropped",
+					slog.Time("sample_time", t), slog.String("err", err.Error()))
+			}
 			return
 		}
 	}

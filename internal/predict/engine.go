@@ -2,6 +2,7 @@ package predict
 
 import (
 	"container/list"
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -11,6 +12,7 @@ import (
 
 	"fgcs/internal/avail"
 	"fgcs/internal/obs"
+	"fgcs/internal/otrace"
 	"fgcs/internal/smp"
 	"fgcs/internal/trace"
 )
@@ -194,7 +196,16 @@ func (e *Engine) Stats() EngineStats {
 // kernel and its solved reliabilities instead of re-running extraction,
 // estimation and the Equation (3) recursion.
 func (e *Engine) Predict(p SMP, history []*trace.Day, w Window) (Prediction, error) {
-	entry, err := e.lookup(p, history, w)
+	return e.PredictCtx(context.Background(), p, history, w)
+}
+
+// PredictCtx is Predict with trace instrumentation: when ctx carries a
+// sampled span, the lookup marks a cache-hit or cache-miss event on it and a
+// miss records engine.fit/engine.solve child spans. With an untraced context
+// the instrumentation is two pointer reads — the cached warm path stays at 0
+// allocs/op.
+func (e *Engine) PredictCtx(ctx context.Context, p SMP, history []*trace.Day, w Window) (Prediction, error) {
+	entry, err := e.lookup(ctx, p, history, w)
 	if err != nil {
 		return Prediction{}, err
 	}
@@ -206,7 +217,12 @@ func (e *Engine) Predict(p SMP, history []*trace.Day, w Window) (Prediction, err
 // the same query (or vice versa) is a cache hit — both are served from the
 // same solved kernel.
 func (e *Engine) PredictFrom(p SMP, history []*trace.Day, w Window, init avail.State) (float64, error) {
-	entry, err := e.lookup(p, history, w)
+	return e.PredictFromCtx(context.Background(), p, history, w, init)
+}
+
+// PredictFromCtx is PredictFrom with trace instrumentation (see PredictCtx).
+func (e *Engine) PredictFromCtx(ctx context.Context, p SMP, history []*trace.Day, w Window, init avail.State) (float64, error) {
+	entry, err := e.lookup(ctx, p, history, w)
 	if err != nil {
 		return 0, err
 	}
@@ -280,8 +296,10 @@ func (e *Engine) PredictBatch(p SMP, reqs []BatchRequest) []BatchResult {
 // lookup resolves a query to a cache entry, computing and caching it on a
 // miss. Concurrent misses for the same key are coalesced: one goroutine
 // estimates, the rest wait and share the result (counted as hits — they did
-// not pay for the estimation).
-func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, error) {
+// not pay for the estimation). The span in ctx (if any) gets a cache-hit or
+// cache-miss event; the unsampled path adds no allocations.
+func (e *Engine) lookup(ctx context.Context, p SMP, history []*trace.Day, w Window) (*engineEntry, error) {
+	span := otrace.FromContext(ctx)
 	days := history
 	if p.HistoryDays > 0 && len(days) > p.HistoryDays {
 		days = days[len(days)-p.HistoryDays:]
@@ -295,7 +313,8 @@ func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, er
 		if m != nil {
 			m.Misses.Inc()
 		}
-		return e.compute(m, norm, days, w)
+		span.AddEvent("cache-miss")
+		return e.compute(span, m, norm, days, w)
 	}
 	e.mu.Lock()
 	if el, ok := e.items[key]; ok {
@@ -306,6 +325,7 @@ func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, er
 		if m != nil {
 			m.Hits.Inc()
 		}
+		span.AddEvent("cache-hit")
 		return entry, nil
 	}
 	if call, ok := e.inflight[key]; ok {
@@ -318,6 +338,8 @@ func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, er
 		if m != nil {
 			m.Hits.Inc()
 		}
+		// Coalesced wait: served by another goroutine's estimation.
+		span.AddEvent("cache-hit", otrace.String("via", "inflight"))
 		return call.entry, nil
 	}
 	call := &inflightCall{done: make(chan struct{})}
@@ -327,8 +349,9 @@ func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, er
 	if m != nil {
 		m.Misses.Inc()
 	}
+	span.AddEvent("cache-miss")
 
-	entry, err := e.compute(m, norm, days, w)
+	entry, err := e.compute(span, m, norm, days, w)
 	call.entry, call.err = entry, err
 
 	e.mu.Lock()
@@ -356,18 +379,26 @@ func (e *Engine) lookup(p SMP, history []*trace.Day, w Window) (*engineEntry, er
 
 // compute runs the full prediction pipeline on pooled scratch buffers. The
 // metrics pointer is threaded in from lookup so the cold path is timed only
-// when someone is watching.
-func (e *Engine) compute(m *EngineMetrics, p SMP, days []*trace.Day, w Window) (*engineEntry, error) {
+// when someone is watching; a sampled span gets engine.fit/engine.solve
+// child spans covering the same intervals the histograms observe.
+func (e *Engine) compute(span *otrace.Span, m *EngineMetrics, p SMP, days []*trace.Day, w Window) (*engineEntry, error) {
 	sc := e.scratchPool.Get().(*scratch)
 	defer e.scratchPool.Put(sc)
+	fitSpan := span.StartChild("engine.fit")
+	if fitSpan != nil {
+		fitSpan.SetAttr(otrace.Int("history-days", len(days)))
+	}
 	var fitStart time.Time
 	if m != nil {
 		fitStart = time.Now()
 	}
 	kernel, pred, units, err := p.prepare(sc, days, w)
 	if err != nil {
+		fitSpan.SetError(err)
+		fitSpan.End()
 		return nil, err
 	}
+	solveSpan := fitSpan.StartChild("engine.solve")
 	var solveStart time.Time
 	if m != nil {
 		solveStart = time.Now()
@@ -378,6 +409,10 @@ func (e *Engine) compute(m *EngineMetrics, p SMP, days []*trace.Day, w Window) (
 		m.SolveSeconds.Observe(now.Sub(solveStart).Seconds())
 		m.FitSeconds.Observe(now.Sub(fitStart).Seconds())
 	}
+	solveSpan.SetError(err)
+	solveSpan.End()
+	fitSpan.SetError(err)
+	fitSpan.End()
 	if err != nil {
 		return nil, err
 	}
