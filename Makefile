@@ -4,17 +4,17 @@ GO ?= go
 BENCH_GATE = BenchmarkEngineCachedVsCold|BenchmarkPredictBatchParallel|BenchmarkEnginePredictTracing|BenchmarkQueryTRTracing
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet bench benchstat benchbase fuzz golden chaos
+.PHONY: build test race vet lint cover bench benchstat benchbase fuzz golden chaos
 
 build:
 	$(GO) build ./...
 
-# The default test gate includes vet, the golden-trace regression, the fuzz
-# seed corpora (replayed as plain unit tests by `go test`), and a
-# race-detector pass over the concurrent layers: networking, fault injection,
-# the prediction engine, the monitor, and the metrics/accuracy registry.
-test: golden
-	$(GO) vet ./...
+# The default test gate includes lint (vet + doc/flag freshness), the
+# golden-trace regression, the fuzz seed corpora (replayed as plain unit
+# tests by `go test`), and a race-detector pass over the concurrent layers:
+# networking, fault injection, the prediction engine, the monitor, and the
+# metrics/accuracy registry.
+test: golden lint
 	$(GO) test ./...
 	$(GO) test -race ./internal/ishare/... ./internal/faultnet/... \
 		./internal/predict/... ./internal/monitor/... ./internal/obs/... \
@@ -25,6 +25,17 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint = vet + documentation freshness: every exported symbol in the audited
+# packages must carry a doc comment, and every flag registered by
+# cmd/ishared / cmd/isharec must appear in the README flag reference.
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/doccheck
+
+# Per-package statement coverage summary.
+cover:
+	$(GO) test -cover ./... | grep -v '\[no test files\]'
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
@@ -59,8 +70,9 @@ golden:
 golden-update:
 	$(GO) test ./internal/predict/ -run 'TestGoldenPredictions' -count=1 -update
 
-# Chaos harness: a five-machine testbed over real TCP with seeded fault
-# injection (dial refusals, resets, corruption, partitions). Run twice per
-# invocation to prove byte-determinism of the fault schedule.
+# Chaos harnesses: a five-machine testbed over real TCP with seeded fault
+# injection (dial refusals, resets, corruption, partitions), and a
+# three-peer federated control plane that loses a gateway mid-run. Each runs
+# twice per invocation to prove byte-determinism of the fault schedule.
 chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/ishare/...

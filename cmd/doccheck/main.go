@@ -1,0 +1,223 @@
+// Command doccheck is the repository's documentation linter, run by `make
+// lint`. It enforces two freshness invariants that plain `go vet` does not:
+//
+//   - every exported symbol in the audited packages (-pkgs) carries a doc
+//     comment, so `go doc` is never blank on API surface;
+//   - every command-line flag registered by the audited binaries (-flagdirs)
+//     is mentioned in the README flag reference (-readme), so the operator
+//     docs cannot silently fall behind the binaries.
+//
+// It prints one line per violation and exits non-zero if any were found.
+//
+//	go run ./cmd/doccheck
+//	go run ./cmd/doccheck -pkgs internal/ishare -flagdirs cmd/ishared
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	var (
+		pkgs     = flag.String("pkgs", "internal/ishare,internal/predict,internal/obs,internal/otrace", "comma-separated package directories audited for exported-symbol doc comments")
+		flagDirs = flag.String("flagdirs", "cmd/ishared,cmd/isharec", "comma-separated command directories whose registered flags must appear in the README")
+		readme   = flag.String("readme", "README.md", "operator document that must mention every registered flag")
+	)
+	flag.Parse()
+	var problems []string
+	for _, dir := range strings.Split(*pkgs, ",") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		missing, err := missingDocs(dir)
+		if err != nil {
+			fatal(err)
+		}
+		problems = append(problems, missing...)
+	}
+	flagProblems, err := staleFlags(strings.Split(*flagDirs, ","), *readme)
+	if err != nil {
+		fatal(err)
+	}
+	problems = append(problems, flagProblems...)
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "doccheck: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "doccheck:", err)
+	os.Exit(1)
+}
+
+// missingDocs reports every exported symbol in dir (tests excluded) that
+// lacks a doc comment: functions, methods on exported receivers, and the
+// names declared by type/var/const specs. A parenthesized declaration
+// block's doc comment covers all of its specs, matching godoc's rendering.
+func missingDocs(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgMap, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, parser.ParseComments)
+	if err != nil {
+		return nil, fmt.Errorf("parse %s: %w", dir, err)
+	}
+	var out []string
+	report := func(pos token.Pos, kind, name string) {
+		p := fset.Position(pos)
+		out = append(out, fmt.Sprintf("%s:%d: exported %s %s has no doc comment", p.Filename, p.Line, kind, name))
+	}
+	for _, pkg := range pkgMap {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if !d.Name.IsExported() || d.Doc != nil {
+						continue
+					}
+					if recv, ok := receiverName(d); ok {
+						// Methods on unexported types are not API surface.
+						if !ast.IsExported(recv) {
+							continue
+						}
+						report(d.Pos(), "method", recv+"."+d.Name.Name)
+					} else {
+						report(d.Pos(), "function", d.Name.Name)
+					}
+				case *ast.GenDecl:
+					if d.Doc != nil {
+						continue
+					}
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if s.Name.IsExported() && s.Doc == nil && s.Comment == nil {
+								report(s.Pos(), "type", s.Name.Name)
+							}
+						case *ast.ValueSpec:
+							if s.Doc != nil || s.Comment != nil {
+								continue
+							}
+							for _, n := range s.Names {
+								if n.IsExported() {
+									kind := "var"
+									if d.Tok == token.CONST {
+										kind = "const"
+									}
+									report(n.Pos(), kind, n.Name)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// receiverName extracts the receiver's base type name from a method
+// declaration ("*FedGateway" and "FedGateway" both yield "FedGateway").
+func receiverName(d *ast.FuncDecl) (string, bool) {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return "", false
+	}
+	t := d.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name, true
+	}
+	return "", false
+}
+
+// flagFuncs are the flag-registration methods whose (name, default, usage)
+// signature identifies a flag definition regardless of the receiver — the
+// global `flag` package or a per-subcommand FlagSet.
+var flagFuncs = map[string]bool{
+	"String": true, "Bool": true, "Int": true, "Int64": true,
+	"Uint": true, "Uint64": true, "Float64": true, "Duration": true,
+}
+
+// staleFlags parses every non-test file in the given command directories,
+// collects the name of each registered flag, and reports the ones the
+// README never mentions (as `-name` inside a code span or slash-joined
+// flag list).
+func staleFlags(dirs []string, readmePath string) ([]string, error) {
+	readme, err := os.ReadFile(readmePath)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, dir := range dirs {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		fset := token.NewFileSet()
+		pkgMap, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+			return !strings.HasSuffix(fi.Name(), "_test.go")
+		}, 0)
+		if err != nil {
+			return nil, fmt.Errorf("parse %s: %w", dir, err)
+		}
+		names := map[string]bool{}
+		for _, pkg := range pkgMap {
+			for _, file := range pkg.Files {
+				ast.Inspect(file, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) != 3 {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || !flagFuncs[sel.Sel.Name] {
+						return true
+					}
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						return true
+					}
+					if name, err := strconv.Unquote(lit.Value); err == nil && name != "" {
+						names[name] = true
+					}
+					return true
+				})
+			}
+		}
+		sorted := make([]string, 0, len(names))
+		for n := range names {
+			sorted = append(sorted, n)
+		}
+		sort.Strings(sorted)
+		for _, name := range sorted {
+			// Match -name after a backtick or a slash (the `-a/-b` list
+			// style), not followed by more flag-name characters, so -retry
+			// is not satisfied by -retry-base.
+			re := regexp.MustCompile("[`/]-" + regexp.QuoteMeta(name) + `([^-\w]|$)`)
+			if !re.Match(readme) {
+				out = append(out, fmt.Sprintf("%s: flag -%s of %s is not documented in %s", dir, name, filepath.Base(dir), readmePath))
+			}
+		}
+	}
+	return out, nil
+}

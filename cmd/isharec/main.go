@@ -8,6 +8,17 @@
 //	isharec -gateway localhost:7070 stats
 //	isharec -gateway localhost:7070 traces -limit 5
 //
+// Against a federated control plane (ishared -peers), -fed names ANY live
+// peer: the entry peer resolves each machine through the consistent-hash
+// ring and forwards as needed, so the client never learns the sharding.
+// Machine-scoped commands (status, kill) then need -machine; stats shows
+// the entry peer's ring view.
+//
+//	isharec -fed localhost:7000 rank -work 2h -mem 100
+//	isharec -fed localhost:7000 submit -name sim1 -work 2h -mem 100
+//	isharec -fed localhost:7000 status -machine lab-01 -job lab-01-job-1
+//	isharec -fed localhost:7000 stats
+//
 // With -trace, the command runs under a client-side root span whose context
 // rides the request headers, so the server's flight recorder stitches the
 // client's retry attempts to its own dispatch spans; the client-side half of
@@ -33,6 +44,7 @@ func main() {
 	var (
 		registry  = flag.String("registry", "", "registry address for discovery")
 		gateway   = flag.String("gateway", "", "direct gateway address (bypasses discovery)")
+		fed       = flag.String("fed", "", "federation entry-peer address (any live peer of an ishared -peers ring)")
 		timeout   = flag.Duration("timeout", 5*time.Second, "request timeout")
 		retries   = flag.Int("retries", 3, "attempts for idempotent RPCs (1 = no retry; submits are retried under an idempotency key)")
 		retryBase = flag.Duration("retry-base", 50*time.Millisecond, "first retry backoff delay")
@@ -52,6 +64,7 @@ func main() {
 	cl := client{
 		registry: *registry,
 		gateway:  *gateway,
+		fed:      *fed,
 		timeout:  *timeout,
 		caller:   &ishare.Caller{Retry: ishare.RetryPolicy{MaxAttempts: *retries, BaseDelay: *retryBase}},
 		logger:   logger,
@@ -73,6 +86,7 @@ func main() {
 // client bundles the fault-tolerance knobs every subcommand shares.
 type client struct {
 	registry, gateway string
+	fed               string
 	timeout           time.Duration
 	caller            *ishare.Caller
 	breakers          *ishare.BreakerSet
@@ -104,7 +118,20 @@ func (c client) finishRoot(span *otrace.Span, err error) {
 	}
 }
 
+// fedClient builds the any-peer federation client when -fed is set.
+func (c client) fedClient() ishare.FedClient {
+	return ishare.FedClient{Addr: c.fed, Timeout: c.timeout, Caller: c.caller}
+}
+
 func (c client) scheduler(ctx context.Context) (*ishare.Scheduler, error) {
+	if c.fed != "" {
+		sched, err := c.fedClient().Scheduler(ctx)
+		if err != nil {
+			return nil, err
+		}
+		sched.Breakers = c.breakers
+		return sched, nil
+	}
 	if c.gateway != "" {
 		return &ishare.Scheduler{
 			Candidates: []ishare.Candidate{{
@@ -171,16 +198,49 @@ func run(cl client, cmd string, args []string) error {
 			return err
 		}
 		ctx, root := cl.startRoot("client." + cmd)
-		sched, err := cl.scheduler(ctx)
-		if err != nil {
-			cl.finishRoot(root, err)
-			return err
-		}
 		job := ishare.SubmitReq{
 			Name:                   *name,
 			WorkSeconds:            work.Seconds(),
 			MemMB:                  *mem,
 			InitialProgressSeconds: resume.Seconds(),
+		}
+		if cl.fed != "" {
+			// Federation-native verbs: the entry peer assembles the global
+			// machine list, queries each machine through ring routing, and
+			// returns the merged ranking — one client RPC either way.
+			fc := cl.fedClient()
+			if cmd == "rank" {
+				ranking, err := fc.Rank(ctx, job)
+				cl.finishRoot(root, err)
+				if err != nil {
+					return err
+				}
+				fmt.Printf("federation entry %s ranked %d machine(s)\n", ranking.Entry, len(ranking.Ranked))
+				fmt.Printf("%-12s %-8s %-8s %s\n", "machine", "TR", "state", "history")
+				for _, r := range ranking.Ranked {
+					fmt.Printf("%-12s %-8.4f %-8s %d days\n", r.MachineID, r.TR, r.CurrentState, r.HistoryWindows)
+				}
+				for _, f := range ranking.Failures {
+					kind := "rejected"
+					if f.Transient {
+						kind = "unreachable"
+					}
+					fmt.Printf("%-12s %-8s %v\n", f.MachineID, kind, f.Err)
+				}
+				return nil
+			}
+			best, resp, err := fc.SubmitBest(ctx, job)
+			cl.finishRoot(root, err)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("submitted %s to %s (TR %.4f): job id %s\n", *name, best.MachineID, best.TR, resp.JobID)
+			return nil
+		}
+		sched, err := cl.scheduler(ctx)
+		if err != nil {
+			cl.finishRoot(root, err)
+			return err
 		}
 		if cmd == "rank" {
 			ranked, fails, err := sched.Rank(ctx, job)
@@ -211,17 +271,26 @@ func run(cl client, cmd string, args []string) error {
 	case "status", "kill":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		jobID := fs.String("job", "", "job id (required)")
+		machine := fs.String("machine", "", "machine hosting the job (required with -fed)")
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
 		if *jobID == "" {
 			return fmt.Errorf("%s needs -job", cmd)
 		}
-		if gateway == "" {
-			return fmt.Errorf("%s needs -gateway", cmd)
+		if cl.fed != "" && *machine == "" {
+			return fmt.Errorf("%s -fed needs -machine (the ring routes by machine name)", cmd)
+		}
+		if cl.fed == "" && gateway == "" {
+			return fmt.Errorf("%s needs -gateway or -fed", cmd)
 		}
 		ctx, root := cl.startRoot("client." + cmd)
-		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
+		var api ishare.GatewayAPI
+		if cl.fed != "" {
+			api = cl.fedClient().Gateway(*machine)
+		} else {
+			api = ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
+		}
 		var st ishare.JobStatusResp
 		var err error
 		if cmd == "status" {
@@ -246,8 +315,13 @@ func run(cl client, cmd string, args []string) error {
 		if err := fs.Parse(args); err != nil {
 			return err
 		}
+		// A federation peer answers query-stats too (with its ring view), so
+		// -fed doubles as the stats target.
 		if gateway == "" {
-			return fmt.Errorf("stats needs -gateway")
+			gateway = cl.fed
+		}
+		if gateway == "" {
+			return fmt.Errorf("stats needs -gateway or -fed")
 		}
 		ctx, root := cl.startRoot("client.stats")
 		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
@@ -277,7 +351,10 @@ func run(cl client, cmd string, args []string) error {
 			return err
 		}
 		if gateway == "" {
-			return fmt.Errorf("traces needs -gateway")
+			gateway = cl.fed
+		}
+		if gateway == "" {
+			return fmt.Errorf("traces needs -gateway or -fed")
 		}
 		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
 		resp, err := api.QueryTraces(context.Background(), ishare.QueryTracesReq{Limit: *limit, TraceID: *id, Events: *events})
@@ -327,12 +404,35 @@ func printTraces(resp ishare.QueryTracesResp, opts otrace.RenderOptions) {
 	}
 }
 
+// printRing renders a federation peer's ring view: membership, per-peer
+// breaker and anti-entropy state, and this peer's shard counters.
+func printRing(r *ishare.RingStats) {
+	fmt.Printf("federation ring: self=%s vnodes=%d replicas=%d\n", r.Self, r.Vnodes, r.Replicas)
+	fmt.Printf("shard: %d entries (%d owned, %d replicated); served=%d forwarded=%d sync_pushed=%d sync_accepted=%d\n",
+		r.Entries, r.Owned, r.Replicated, r.Served, r.Forwarded, r.SyncPushed, r.SyncAccepted)
+	fmt.Printf("%-10s %-22s %-9s %-10s %s\n", "peer", "addr", "breaker", "last-sync", "owned-here")
+	for _, p := range r.Peers {
+		if p.Self {
+			fmt.Printf("%-10s %-22s %-9s %-10s %d\n", p.ID+"*", p.Addr, "-", "-", p.OwnedEntries)
+			continue
+		}
+		sync := "never"
+		if p.LastSyncAgeSeconds >= 0 {
+			sync = fmt.Sprintf("%.0fs ago", p.LastSyncAgeSeconds)
+		}
+		fmt.Printf("%-10s %-22s %-9s %-10s %d\n", p.ID, p.Addr, p.Breaker, sync, p.OwnedEntries)
+	}
+}
+
 // printStats renders the observability snapshot as an operator summary: the
 // engine cache effectiveness, the served request mix, and the paper's online
 // predictor comparison (SMP vs the linear baselines).
 func printStats(st ishare.QueryStatsResp) {
 	fmt.Printf("node %s: %d samples recorded, %d predictions pending\n",
 		st.MachineID, st.MonitorSamples, st.PendingPredictions)
+	if st.Ring != nil {
+		printRing(st.Ring)
+	}
 	hitRate := 0.0
 	if total := st.Engine.Hits + st.Engine.Misses; total > 0 {
 		hitRate = 100 * float64(st.Engine.Hits) / float64(total)

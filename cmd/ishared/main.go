@@ -5,10 +5,19 @@
 //	ishared -id lab-01 -listen :7070 -registry registry-host:7000
 //	ishared -id lab-01 -listen :7070 -source replay -trace testbed.trace
 //	ishared -registry-only -listen :7000     # run a registry instead
+//	ishared -id gw1 -listen :7000 \
+//	    -peers gw1=host1:7000,gw2=host2:7000,gw3=host3:7000   # federation peer
 //
 // With -source proc (the default on Linux) the monitor samples the real host
 // via /proc; with -source replay it replays a machine from a trace file,
 // which is how a whole simulated testbed can be run on one box.
+//
+// With -peers the process runs a federated control-plane peer instead of a
+// host node: machines are sharded across the listed peers by consistent
+// hashing, every entry is replicated to -replicas successor peers, requests
+// for machines owned elsewhere are forwarded transparently, and a
+// -sync-every anti-entropy loop repairs replicas after restarts. Host nodes
+// point -registry at any peer; clients point isharec -fed at any peer.
 //
 // Served requests are traced (sampled at -trace-sample) into a fixed-size
 // flight recorder, inspectable over HTTP (-obs-addr, GET /traces) and over
@@ -27,6 +36,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +63,10 @@ func main() {
 		ttl          = flag.Duration("ttl", 90*time.Second, "registration TTL; re-registered by the heartbeat (0 = register once, never expires)")
 		hbEvery      = flag.Duration("heartbeat-every", 30*time.Second, "registry re-registration interval")
 		reapEvery    = flag.Duration("reap-every", time.Minute, "registry-only: eviction sweep interval for expired registrations (0 = lazy only)")
+		peers        = flag.String("peers", "", "comma-separated id=addr federation ring membership; enables federation mode (the list must include this peer's -id)")
+		vnodes       = flag.Int("vnodes", ishare.DefaultVnodes, "federation: virtual nodes per peer on the consistent-hash ring")
+		replicas     = flag.Int("replicas", ishare.DefaultReplicas, "federation: successor peers mirroring each registry entry (-1 = none)")
+		syncEvery    = flag.Duration("sync-every", 30*time.Second, "federation: anti-entropy push interval (0 = on-register replication only)")
 		obsAddr      = flag.String("obs-addr", "", "serve Prometheus /metrics, /debug/pprof and /traces on this HTTP address (empty = disabled)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
@@ -68,6 +82,7 @@ func main() {
 		source: *source, traceFile: *traceFile, heartbeat: *heartbeat, histDays: *histDays,
 		archive: *archive, archiveEvery: *archiveEvery,
 		ttl: *ttl, hbEvery: *hbEvery, reapEvery: *reapEvery, obsAddr: *obsAddr,
+		peers: *peers, vnodes: *vnodes, replicas: *replicas, syncEvery: *syncEvery,
 		traceSample: *traceSample, traceSeed: *traceSeed, flight: flight, logger: logger,
 	}); err != nil {
 		logger.Error("exiting", slog.String("err", err.Error()))
@@ -84,6 +99,9 @@ type runConfig struct {
 	archiveEvery, ttl, hbEvery   time.Duration
 	reapEvery                    time.Duration
 	obsAddr                      string
+	peers                        string
+	vnodes, replicas             int
+	syncEvery                    time.Duration
 	traceSample                  float64
 	traceSeed                    uint64
 	flight                       *otrace.Recorder
@@ -99,8 +117,7 @@ const obsDrainTimeout = 5 * time.Second
 // shares a port with the gateway protocol. The server carries read/write
 // timeouts (a stuck scraper cannot pin a connection open forever) and is
 // returned so shutdown can drain it cleanly.
-func serveObs(addr string, node *ishare.HostNode, flight *otrace.Recorder, logger *slog.Logger) (*http.Server, net.Listener, error) {
-	o := node.Obs()
+func serveObs(addr string, o *ishare.NodeObs, flight *otrace.Recorder, logger *slog.Logger) (*http.Server, net.Listener, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.Handler(o.Registry, o.Tracker))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -139,11 +156,116 @@ func hostnameOr(fallback string) string {
 	return fallback
 }
 
+// parsePeers decodes the -peers list ("id1=addr1,id2=addr2,...").
+func parsePeers(s string) ([]ishare.Peer, error) {
+	var peers []ishare.Peer
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("-peers entry %q: want id=addr", part)
+		}
+		peers = append(peers, ishare.Peer{ID: id, Addr: addr})
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return peers, nil
+}
+
+// runFed runs one federated control-plane peer: a consistent-hash shard of
+// the machine registry plus transparent forwarding for everything else.
+func runFed(rc runConfig) error {
+	peers, err := parsePeers(rc.peers)
+	if err != nil {
+		return err
+	}
+	var self ishare.Peer
+	for _, p := range peers {
+		if p.ID == rc.id {
+			self = p
+		}
+	}
+	if self.ID == "" {
+		return fmt.Errorf("-peers does not list this peer's -id %q", rc.id)
+	}
+	fedLogger := rc.logger.With(slog.String("peer", self.ID))
+	nodeObs := ishare.NewNodeObs()
+	if rc.traceSample > 0 {
+		nodeObs.SetTracing(otrace.New(otrace.Config{
+			SampleRate: rc.traceSample,
+			Seed:       rc.traceSeed,
+			Recorder:   rc.flight,
+		}))
+	}
+	// Peer hops and machine proxying share one retried caller; the breaker
+	// set quarantines dead peers so routing skips them without burning a
+	// dial timeout per request.
+	breakers := ishare.NewBreakerSet(ishare.BreakerConfig{Threshold: 3, Cooldown: 30 * time.Second}, nil)
+	ishare.InstrumentBreakers(breakers, nodeObs.Registry)
+	gw, err := ishare.NewFedGateway(ishare.FedConfig{
+		Self:     self,
+		Peers:    peers,
+		Vnodes:   rc.vnodes,
+		Replicas: rc.replicas,
+		Caller: &ishare.Caller{
+			Retry:   ishare.RetryPolicy{MaxAttempts: 3},
+			Metrics: nodeObs.Caller,
+		},
+		Breakers: breakers,
+		Logger:   fedLogger,
+		Tracer:   nodeObs.Tracer,
+		Obs:      nodeObs,
+	})
+	if err != nil {
+		return err
+	}
+	srv, err := gw.Serve(rc.listen)
+	if err != nil {
+		return err
+	}
+	defer srv.Close()
+	if rc.syncEvery > 0 {
+		stop := gw.StartSync(rc.syncEvery)
+		defer stop()
+	}
+	var obsSrv *http.Server
+	if rc.obsAddr != "" {
+		httpSrv, ln, err := serveObs(rc.obsAddr, nodeObs, rc.flight, fedLogger)
+		if err != nil {
+			return err
+		}
+		obsSrv = httpSrv
+		fedLogger.Info("observability listening", slog.String("addr", ln.Addr().String()))
+	}
+	fedLogger.Info("federation peer up",
+		slog.String("addr", srv.Addr()),
+		slog.Int("peers", len(peers)),
+		slog.Int("vnodes", rc.vnodes),
+		slog.Int("replicas", rc.replicas),
+		slog.Duration("sync_every", rc.syncEvery))
+	waitForSignal(rc.logger)
+	if obsSrv != nil {
+		ctx, cancel := context.WithTimeout(context.Background(), obsDrainTimeout)
+		if err := obsSrv.Shutdown(ctx); err != nil {
+			fedLogger.Warn("obs drain incomplete", slog.String("err", err.Error()))
+		}
+		cancel()
+	}
+	return nil
+}
+
 func run(rc runConfig) error {
 	id, listen, registry := rc.id, rc.listen, rc.registry
 	source, traceFile, heartbeat := rc.source, rc.traceFile, rc.heartbeat
 	histDays, archive, archiveEvery := rc.histDays, rc.archive, rc.archiveEvery
 	logger := rc.logger
+	if rc.peers != "" {
+		return runFed(rc)
+	}
 	if rc.registryOnly {
 		reg := ishare.NewRegistry()
 		srv, err := reg.Serve(listen)
@@ -226,7 +348,7 @@ func run(rc runConfig) error {
 	defer srv.Close()
 	var obsSrv *http.Server
 	if rc.obsAddr != "" {
-		httpSrv, ln, err := serveObs(rc.obsAddr, node, rc.flight, nodeLogger)
+		httpSrv, ln, err := serveObs(rc.obsAddr, node.Obs(), rc.flight, nodeLogger)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,387 @@
+package ishare
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/faultnet"
+	"fgcs/internal/otrace"
+)
+
+// fedChaosResult is everything a federated chaos run must reproduce
+// byte-for-byte under the same seed.
+type fedChaosResult struct {
+	transcript []string
+	errs       []string
+	netTrace   []string
+	dialFails  int
+	forwarded  uint64
+	killedPeer string
+}
+
+// runFedChaosOnce brings up a three-peer federation over real TCP fronting
+// five real prediction gateways, registers every machine with replication
+// (K=1 on three peers: each entry lives on two of the three, so every peer
+// both serves locally and forwards — with K=2 every peer would hold
+// everything and forwarding would never fire), then drives a scripted
+// client workload through a seeded fault network on the client→peer hop:
+//
+//	phase 1: QueryTR for every machine through every peer, a federation-wide
+//	         ranking, a submit and a status probe — the healthy baseline.
+//	kill:    the peer owning m1's entry is shut down, no drain, no warning.
+//	phase 2: the full query matrix again through the survivors, another
+//	         ranking (it must still see all five machines), a second submit,
+//	         and status + kill for the phase-1 job.
+//
+// Peer-to-peer and peer-to-machine hops run on a clean network: the chaos
+// under test is the dead peer plus the client-hop faults, and keeping the
+// inner hops clean makes every transcript value a pure function of the seed.
+func runFedChaosOnce(t *testing.T, seed uint64) fedChaosResult {
+	t.Helper()
+	start := time.Date(2005, 9, 2, 8, 30, 0, 0, time.UTC)
+	clock := &stepClock{now: start}
+	// No corruption faults here: a flipped byte can still decode as valid
+	// JSON with zeroed fields, which would poison the value transcript. The
+	// remaining faults (refused dials, resets, truncated writes) always
+	// surface as transport errors, so every transcript value is authentic.
+	fn := faultnet.New(seed, faultnet.Config{
+		DialFailProb:     0.25,
+		ResetProb:        0.10,
+		PartialWriteProb: 0.05,
+	})
+	clientCaller := &Caller{
+		Dialer:     fn,
+		Retry:      RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+		JitterSeed: seed + 1,
+	}
+
+	nodes := buildFederationWith(t, 3, 1, clock, func(i int, cfg *FedConfig) {
+		cfg.Caller.JitterSeed = seed + uint64(i+1)*100
+		// Threshold 1 + a static clock: the first refused dial to the dead
+		// peer opens its breaker and keeps it open, so routing decisions
+		// after the kill are identical on every run.
+		cfg.Breakers = NewBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Hour}, clock)
+	})
+	for i, n := range nodes {
+		fn.Alias(n.srv.Addr(), fmt.Sprintf("fed%d", i))
+	}
+
+	// Five real machines. Two carry a daily 09:00 failure in their history,
+	// so the ranking has a real TR gradient to order.
+	const machines = 5
+	for i := 0; i < machines; i++ {
+		id := fmt.Sprintf("m%d", i+1)
+		failHour := -1
+		if i == 1 || i == 3 {
+			failHour = 9
+		}
+		sm, err := NewStateManager(id, period, avail.DefaultConfig(), clock, historyMachine(id, 11, failHour), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw, err := NewGateway(id, avail.DefaultConfig(), period, clock, sm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gw.Record(start, sample(5, 400))
+		srv, err := gw.Serve("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+		// Registration goes over a clean hop, as a host heartbeat would.
+		fedRegister(t, nodes[i%len(nodes)].srv.Addr(), id, srv.Addr(), 0)
+	}
+
+	res := fedChaosResult{}
+	clients := make([]FedClient, len(nodes))
+	for i, n := range nodes {
+		clients[i] = FedClient{Addr: n.srv.Addr(), Timeout: 2 * time.Second, Caller: clientCaller}
+	}
+	add := func(format string, args ...interface{}) {
+		res.transcript = append(res.transcript, fmt.Sprintf(format, args...))
+	}
+	fail := func(op string, err error) {
+		res.errs = append(res.errs, fmt.Sprintf("%s: %v", op, err))
+	}
+	queryAll := func(entries []int) {
+		for _, e := range entries {
+			for m := 1; m <= machines; m++ {
+				id := fmt.Sprintf("m%d", m)
+				resp, err := clients[e].QueryTR(context.Background(), id, QueryTRReq{LengthSeconds: 3600, GuestMemMB: 100})
+				if err != nil {
+					fail(fmt.Sprintf("query fed%d %s", e, id), err)
+					continue
+				}
+				// Cache counters are excluded: retried RPCs can re-execute
+				// server-side, so they are not seed-deterministic. TR, state
+				// and history depth are.
+				add("query fed%d %s tr=%.4f state=%s hist=%d", e, id, resp.TR, resp.CurrentState, resp.HistoryWindows)
+			}
+		}
+	}
+	rank := func(entry int) *FedRankResp {
+		ranking, err := clients[entry].Rank(context.Background(), SubmitReq{WorkSeconds: 3600, MemMB: 100})
+		if err != nil {
+			fail(fmt.Sprintf("rank fed%d", entry), err)
+			return nil
+		}
+		ids := make([]string, 0, len(ranking.Ranked))
+		for _, r := range ranking.Ranked {
+			ids = append(ids, r.MachineID)
+		}
+		add("rank fed%d n=%d failures=%d order=%s", entry, len(ranking.Ranked), len(ranking.Failures), strings.Join(ids, ">"))
+		return &ranking
+	}
+
+	// Phase 1: healthy baseline through every entry peer.
+	queryAll([]int{0, 1, 2})
+	rank(1)
+	job1, err := clients[2].Submit(context.Background(), "m2", SubmitReq{Name: "fed-chaos-1", WorkSeconds: 300, MemMB: 50})
+	if err != nil {
+		fail("submit m2", err)
+	} else {
+		add("submit fed2 m2 job=%s", job1.JobID)
+	}
+	if st, err := clients[0].JobStatus(context.Background(), "m2", JobStatusReq{JobID: job1.JobID}); err != nil {
+		fail("status m2", err)
+	} else {
+		add("status fed0 m2 %s state=%s", st.JobID, st.State)
+	}
+
+	// Kill the peer owning m1's entry, mid-run.
+	killed := -1
+	owner := nodes[0].gw.Candidates("m1")[0].ID
+	for i, n := range nodes {
+		if n.gw.Self().ID == owner {
+			killed = i
+		}
+	}
+	if killed < 0 {
+		t.Fatalf("no peer matches m1's owner %s", owner)
+	}
+	res.killedPeer = owner
+	if st := nodes[killed].gw.RingStats(); st.Owned == 0 {
+		t.Fatalf("peer %s owns no entries; the kill would prove nothing", owner)
+	}
+	nodes[killed].srv.Close()
+	add("kill-peer %s", owner)
+
+	// Phase 2: every machine must still answer through the survivors.
+	survivors := []int{}
+	for i := range nodes {
+		if i != killed {
+			survivors = append(survivors, i)
+		}
+	}
+	queryAll(survivors)
+	if ranking := rank(survivors[0]); ranking != nil && len(ranking.Ranked) != machines {
+		fail("rank after kill", fmt.Errorf("ranked %d machines, want %d (failures: %v)", len(ranking.Ranked), machines, ranking.Failures))
+	}
+	if job2, err := clients[survivors[1]].Submit(context.Background(), "m4", SubmitReq{Name: "fed-chaos-2", WorkSeconds: 120, MemMB: 40}); err != nil {
+		fail("submit m4", err)
+	} else {
+		add("submit fed%d m4 job=%s", survivors[1], job2.JobID)
+	}
+	if st, err := clients[survivors[0]].JobStatus(context.Background(), "m2", JobStatusReq{JobID: job1.JobID}); err != nil {
+		fail("status m2 after kill", err)
+	} else {
+		add("status fed%d m2 %s state=%s", survivors[0], st.JobID, st.State)
+	}
+	if st, err := clients[survivors[0]].Kill(context.Background(), "m2", JobStatusReq{JobID: job1.JobID}); err != nil {
+		fail("kill-job m2", err)
+	} else {
+		add("kill-job fed%d m2 %s state=%s", survivors[0], st.JobID, st.State)
+	}
+
+	for _, i := range survivors {
+		res.forwarded += nodes[i].gw.RingStats().Forwarded
+	}
+	res.netTrace = fn.Trace()
+	res.dialFails = fn.DialFailures()
+	return res
+}
+
+// TestChaosFederatedGatewayLoss is the acceptance test for the federated
+// control plane: with one of three gateways killed mid-run, every QueryTR,
+// Submit, Rank, JobStatus and Kill for every machine still succeeds via
+// forwarding and replicas — under sustained client-hop dial failures and
+// stream faults — and the whole run is byte-deterministic under a fixed
+// seed.
+func TestChaosFederatedGatewayLoss(t *testing.T) {
+	const seed = 4
+	a := runFedChaosOnce(t, seed)
+	if len(a.errs) != 0 {
+		t.Fatalf("federated ops failed after gateway loss:\n%s\ntranscript:\n%s",
+			strings.Join(a.errs, "\n"), strings.Join(a.transcript, "\n"))
+	}
+	// 15 healthy queries + rank + submit + status, the kill marker, then 10
+	// survivor queries + rank + submit + status + kill-job.
+	if len(a.transcript) != 33 {
+		t.Fatalf("transcript has %d entries, want 33:\n%s", len(a.transcript), strings.Join(a.transcript, "\n"))
+	}
+	joined := strings.Join(a.transcript, "\n")
+	// The ranking gradient is real: clean machines outrank the two with a
+	// 09:00 failure in their history, in both rankings.
+	if !strings.Contains(joined, "n=5 failures=0") {
+		t.Fatalf("rankings did not cover all five machines cleanly:\n%s", joined)
+	}
+	for _, r := range a.transcript {
+		if !strings.HasPrefix(r, "rank ") {
+			continue
+		}
+		order := r[strings.Index(r, "order=")+len("order="):]
+		if strings.Index(order, "m2") < strings.Index(order, "m1") || strings.Index(order, "m4") < strings.Index(order, "m5") {
+			t.Fatalf("failure-prone m2/m4 outranked clean machines: %s", r)
+		}
+	}
+	// Partial replication forced real forwarding among the survivors.
+	if a.forwarded == 0 {
+		t.Fatal("no surviving peer ever forwarded; the ring routing went unexercised")
+	}
+	// The fault layer actually fired on the client hop.
+	if a.dialFails < 5 {
+		t.Fatalf("only %d injected dial failures; the fault layer barely fired", a.dialFails)
+	}
+
+	// Determinism: an identical seed reproduces the identical run — the
+	// transcript (every TR, every ranking order, every job id) and the full
+	// fault-network schedule.
+	b := runFedChaosOnce(t, seed)
+	if len(b.errs) != 0 {
+		t.Fatalf("second run failed: %s", strings.Join(b.errs, "\n"))
+	}
+	if !reflect.DeepEqual(a.transcript, b.transcript) {
+		t.Fatalf("transcripts differ between identical seeds:\n--- run A ---\n%s\n--- run B ---\n%s",
+			joined, strings.Join(b.transcript, "\n"))
+	}
+	if !reflect.DeepEqual(a.netTrace, b.netTrace) {
+		t.Fatalf("fault traces differ between identical seeds:\n--- run A ---\n%s\n--- run B ---\n%s",
+			strings.Join(a.netTrace, "\n"), strings.Join(b.netTrace, "\n"))
+	}
+	if a.dialFails != b.dialFails || a.killedPeer != b.killedPeer {
+		t.Fatalf("fault counts differ: dials %d/%d, killed %s/%s", a.dialFails, b.dialFails, a.killedPeer, b.killedPeer)
+	}
+	// A different seed draws a different fault schedule.
+	c := runFedChaosOnce(t, seed+1)
+	if reflect.DeepEqual(a.netTrace, c.netTrace) {
+		t.Fatal("different seeds produced identical fault traces")
+	}
+}
+
+// TestFedForwardedTraceStitched pins the tentpole tracing property: a
+// request that enters at a non-owning peer and is forwarded renders as ONE
+// span tree — client root → rpc attempts → entry peer's fed.dispatch →
+// owner peer's fed.dispatch → machine gateway's gateway.dispatch → the
+// state manager's query — once the per-process flight recorders are merged
+// on trace ID, exactly as `isharec traces` does.
+func TestFedForwardedTraceStitched(t *testing.T) {
+	start := time.Date(2005, 9, 2, 8, 30, 0, 0, time.UTC)
+	const seed = 21
+	recs := make([]*otrace.Recorder, 3)
+	// Distinct seeds per process: no two participants may mint colliding
+	// span IDs into the same distributed trace.
+	nodes := buildFederationWith(t, 3, -1, nil, func(i int, cfg *FedConfig) {
+		recs[i] = otrace.NewRecorder(32)
+		cfg.Tracer = otrace.New(otrace.Config{
+			SampleRate: 1, Seed: seed + uint64(i+1)*1000,
+			Recorder: recs[i], Clock: &tickClock{t: start},
+		})
+	})
+
+	clock := &stepClock{now: start}
+	sm, err := NewStateManager("m-traced", period, avail.DefaultConfig(), clock, historyMachine("m-traced", 11, -1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw, err := NewGateway("m-traced", avail.DefaultConfig(), period, clock, sm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gw.Record(start, sample(5, 400))
+	machineRec := otrace.NewRecorder(32)
+	sm.Obs().SetTracing(otrace.New(otrace.Config{
+		SampleRate: 1, Seed: seed + 9000,
+		Recorder: machineRec, Clock: &tickClock{t: start},
+	}))
+	srv, err := gw.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	fedRegister(t, nodes[0].srv.Addr(), "m-traced", srv.Addr(), 0)
+
+	// No replication: exactly one peer holds the entry, so entering anywhere
+	// else guarantees a forward.
+	entry := pickPeer(t, nodes, "m-traced", false)
+	clientRec := otrace.NewRecorder(32)
+	clientTracer := otrace.New(otrace.Config{
+		SampleRate: 1, Seed: seed, Recorder: clientRec, Clock: &tickClock{t: start},
+	})
+	fc := FedClient{Addr: nodes[entry].srv.Addr(), Caller: &Caller{}}
+	ctx, root := clientTracer.Start(context.Background(), "client.query-tr")
+	resp, err := fc.QueryTR(ctx, "m-traced", QueryTRReq{LengthSeconds: 3600, GuestMemMB: 100})
+	root.End()
+	if err != nil {
+		t.Fatalf("forwarded QueryTR: %v", err)
+	}
+	if resp.TR <= 0 {
+		t.Fatalf("forwarded QueryTR returned TR %v", resp.TR)
+	}
+
+	// Merge every process's flight-recorder shard of the client's trace and
+	// render them as one tree.
+	clientTraces := clientRec.Traces(10)
+	if len(clientTraces) != 1 {
+		t.Fatalf("client recorded %d traces, want 1", len(clientTraces))
+	}
+	id := clientTraces[0].TraceID
+	merged := clientTraces
+	for _, rec := range append(recs, machineRec) {
+		if shard, ok := rec.Trace(id); ok {
+			merged = append(merged, shard...)
+		}
+	}
+	rendered := ephemeralAddr.ReplaceAllString(
+		otrace.RenderTraceString(merged, otrace.RenderOptions{}), "GATEWAY")
+
+	// One stitched tree: a single root line (the client span at depth 0),
+	// with both peers' dispatch spans and the machine's dispatch underneath.
+	var roots []string
+	for _, line := range strings.Split(rendered, "\n") {
+		if strings.HasPrefix(line, "  ") && !strings.HasPrefix(line, "   ") {
+			roots = append(roots, strings.TrimSpace(line))
+		}
+	}
+	if len(roots) != 1 || !strings.HasPrefix(roots[0], "client.query-tr") {
+		t.Fatalf("merged trace has roots %v, want exactly [client.query-tr]:\n%s", roots, rendered)
+	}
+	if n := strings.Count(rendered, "fed.dispatch"); n != 2 {
+		t.Fatalf("stitched trace has %d fed.dispatch spans, want 2 (entry + owner):\n%s", n, rendered)
+	}
+	for _, want := range []string{
+		"fed.dispatch", "rpc=" + MsgFedQueryTR, "rpc=" + MsgQueryTR,
+		"gateway.dispatch", "machine=m-traced", "state.query-tr", "rpc.attempt",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Fatalf("stitched trace missing %q:\n%s", want, rendered)
+		}
+	}
+	// The entry peer's dispatch parents the owner peer's dispatch: the
+	// second fed.dispatch line is indented deeper than the first.
+	lines := strings.Split(rendered, "\n")
+	var depths []int
+	for _, line := range lines {
+		if strings.Contains(line, "fed.dispatch") {
+			depths = append(depths, len(line)-len(strings.TrimLeft(line, " ")))
+		}
+	}
+	if len(depths) != 2 || depths[1] <= depths[0] {
+		t.Fatalf("fed.dispatch spans not nested entry→owner (indents %v):\n%s", depths, rendered)
+	}
+}

@@ -1,0 +1,156 @@
+package ishare
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// FedClient talks to a federated control plane through any single peer:
+// the entry peer resolves each machine through the ring and forwards as
+// needed, so clients never need to know the shard placement. The zero
+// Timeout means 5 s per call; Caller supplies transport, retries and
+// trace propagation exactly as for RemoteGateway.
+type FedClient struct {
+	// Addr is the entry peer. Any live peer works; clients spread across
+	// peers for load, or fail over to another peer themselves if their
+	// entry peer dies.
+	Addr    string
+	Timeout time.Duration
+	Caller  *Caller
+}
+
+func (c FedClient) timeout() time.Duration {
+	if c.Timeout <= 0 {
+		return 5 * time.Second
+	}
+	return c.Timeout
+}
+
+// QueryTR asks the federation for the named machine's temporal
+// reliability. Idempotent: retried under the caller's policy.
+func (c FedClient) QueryTR(ctx context.Context, machine string, req QueryTRReq) (QueryTRResp, error) {
+	var resp QueryTRResp
+	err := c.Caller.CallRetry(ctx, c.Addr, MsgFedQueryTR, FedQueryTRReq{Machine: machine, Query: req}, &resp, c.timeout())
+	return resp, err
+}
+
+// Submit launches a guest job on the named machine through the
+// federation. When the caller has retries configured, a fresh idempotency
+// key is attached (unless the request already carries one) so the submit
+// is replay-safe across the client hop, the peer hop, and the machine
+// hop; without retries it gets a single attempt.
+func (c FedClient) Submit(ctx context.Context, machine string, req SubmitReq) (SubmitResp, error) {
+	var resp SubmitResp
+	fed := FedSubmitReq{Machine: machine, Job: req}
+	if c.Caller != nil && c.Caller.Retry.MaxAttempts > 1 {
+		if fed.Job.IdempotencyKey == "" {
+			fed.Job.IdempotencyKey = c.Caller.NextKey("fed/" + machine)
+		}
+		err := c.Caller.CallRetry(ctx, c.Addr, MsgFedSubmit, fed, &resp, c.timeout())
+		return resp, err
+	}
+	err := c.Caller.Call(ctx, c.Addr, MsgFedSubmit, fed, &resp, c.timeout())
+	return resp, err
+}
+
+// JobStatus queries a job on the named machine. Idempotent: retried under
+// the caller's policy.
+func (c FedClient) JobStatus(ctx context.Context, machine string, req JobStatusReq) (JobStatusResp, error) {
+	var resp JobStatusResp
+	err := c.Caller.CallRetry(ctx, c.Addr, MsgFedJobStatus, FedJobReq{Machine: machine, Job: req}, &resp, c.timeout())
+	return resp, err
+}
+
+// Kill terminates a job on the named machine. Single attempt end to end
+// (see FedGateway.FedKill); confirm a lost ACK with JobStatus.
+func (c FedClient) Kill(ctx context.Context, machine string, req JobStatusReq) (JobStatusResp, error) {
+	var resp JobStatusResp
+	err := c.Caller.Call(ctx, c.Addr, MsgFedKill, FedJobReq{Machine: machine, Job: req}, &resp, c.timeout())
+	return resp, err
+}
+
+// Discover lists every machine registered anywhere in the federation (the
+// entry peer merges all reachable shards).
+func (c FedClient) Discover(ctx context.Context) ([]Resource, error) {
+	var resp DiscoverResp
+	err := c.Caller.CallRetry(ctx, c.Addr, MsgDiscover, DiscoverReq{}, &resp, c.timeout())
+	return resp.Resources, err
+}
+
+// Rank asks the entry peer for a federation-wide TR ranking for a
+// prospective job.
+func (c FedClient) Rank(ctx context.Context, job SubmitReq) (FedRankResp, error) {
+	var resp FedRankResp
+	req := FedRankReq{LengthSeconds: job.WorkSeconds, GuestMemMB: job.MemMB}
+	err := c.Caller.CallRetry(ctx, c.Addr, MsgFedRank, req, &resp, c.timeout())
+	return resp, err
+}
+
+// SubmitBest ranks the federation and submits to the most reliable
+// machine, falling down the ranking when a launch is rejected — the
+// federated twin of Scheduler.SubmitBest.
+func (c FedClient) SubmitBest(ctx context.Context, job SubmitReq) (FedRanked, SubmitResp, error) {
+	ranking, err := c.Rank(ctx, job)
+	if err != nil {
+		return FedRanked{}, SubmitResp{}, err
+	}
+	if len(ranking.Ranked) == 0 {
+		return FedRanked{}, SubmitResp{}, fmt.Errorf("ishare: no machine answered the ranking (%d failures)", len(ranking.Failures))
+	}
+	var lastErr error
+	for _, cand := range ranking.Ranked {
+		resp, err := c.Submit(ctx, cand.MachineID, job)
+		if err == nil {
+			return cand, resp, nil
+		}
+		lastErr = err
+	}
+	return FedRanked{}, SubmitResp{}, fmt.Errorf("ishare: every ranked machine rejected the job: %w", lastErr)
+}
+
+// Gateway returns a GatewayAPI view of one machine reached through the
+// federation, so schedulers and supervisors built against single-gateway
+// clients work unchanged on a federated deployment.
+func (c FedClient) Gateway(machine string) GatewayAPI {
+	return fedGatewayAPI{c: c, machine: machine}
+}
+
+// Scheduler builds a client-side Scheduler whose candidates are every
+// machine in the federation, each reached through the entry peer.
+func (c FedClient) Scheduler(ctx context.Context) (*Scheduler, error) {
+	resources, err := c.Discover(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if len(resources) == 0 {
+		return nil, fmt.Errorf("ishare: federation has no machines")
+	}
+	cands := make([]Candidate, 0, len(resources))
+	for _, r := range resources {
+		cands = append(cands, Candidate{MachineID: r.MachineID, API: c.Gateway(r.MachineID)})
+	}
+	return &Scheduler{Candidates: cands}, nil
+}
+
+// fedGatewayAPI adapts FedClient to the machine-scoped GatewayAPI.
+type fedGatewayAPI struct {
+	c       FedClient
+	machine string
+}
+
+func (a fedGatewayAPI) QueryTR(ctx context.Context, req QueryTRReq) (QueryTRResp, error) {
+	return a.c.QueryTR(ctx, a.machine, req)
+}
+
+func (a fedGatewayAPI) Submit(ctx context.Context, req SubmitReq) (SubmitResp, error) {
+	return a.c.Submit(ctx, a.machine, req)
+}
+
+func (a fedGatewayAPI) JobStatus(ctx context.Context, req JobStatusReq) (JobStatusResp, error) {
+	return a.c.JobStatus(ctx, a.machine, req)
+}
+
+func (a fedGatewayAPI) Kill(ctx context.Context, req JobStatusReq) (JobStatusResp, error) {
+	return a.c.Kill(ctx, a.machine, req)
+}

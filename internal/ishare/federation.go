@@ -1,0 +1,910 @@
+// Federation: the multi-gateway control plane. N gateway processes form a
+// static peer ring; registry entries (machine -> host-gateway address) are
+// sharded across peers by consistent hashing on the machine name and
+// replicated to each machine's successor peers, and any peer transparently
+// forwards machine-scoped RPCs it cannot serve from its own shard. Peer
+// hops ride the same Caller retry/breaker/trace stack as every other RPC,
+// so a forwarded request renders as one stitched span tree.
+package ishare
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"fgcs/internal/otrace"
+	"fgcs/internal/simclock"
+)
+
+// Federation request types.
+const (
+	MsgFedQueryTR   = "fed-query-tr"   // client -> any peer (machine-scoped QueryTR)
+	MsgFedSubmit    = "fed-submit"     // client -> any peer (machine-scoped Submit)
+	MsgFedJobStatus = "fed-job-status" // client -> any peer (machine-scoped JobStatus)
+	MsgFedKill      = "fed-kill"       // client -> any peer (machine-scoped Kill)
+	MsgFedRank      = "fed-rank"       // client -> any peer (federation-wide ranking)
+	MsgFedSync      = "fed-sync"       // peer -> peer (replication / anti-entropy push)
+)
+
+// FedQueryTRReq routes a QueryTR to the named machine through the
+// federation.
+type FedQueryTRReq struct {
+	// Machine names the target host node (the sharding key).
+	Machine string `json:"machine"`
+	// Local marks a request already forwarded once: the receiving peer
+	// must serve it from its own shard or fail, never re-forward. This is
+	// what bounds a request to at most one peer hop even if two peers
+	// momentarily disagree about ownership.
+	Local bool `json:"local,omitempty"`
+	// Query is the request proxied to the machine's gateway.
+	Query QueryTRReq `json:"query"`
+}
+
+// FedSubmitReq routes a Submit to the named machine through the federation.
+// The entry peer attaches an idempotency key before any hop, so peer
+// forwarding and machine retries are replay-safe end to end.
+type FedSubmitReq struct {
+	Machine string    `json:"machine"`
+	Local   bool      `json:"local,omitempty"`
+	Job     SubmitReq `json:"job"`
+}
+
+// FedJobReq routes a JobStatus or Kill to the named machine through the
+// federation (the verb is the message type).
+type FedJobReq struct {
+	Machine string       `json:"machine"`
+	Local   bool         `json:"local,omitempty"`
+	Job     JobStatusReq `json:"job"`
+}
+
+// FedRankReq asks a peer to rank every machine in the federation by
+// temporal reliability for a prospective job, wherever each machine's
+// entry lives.
+type FedRankReq struct {
+	LengthSeconds float64 `json:"length_seconds"`
+	GuestMemMB    float64 `json:"guest_mem_mb"`
+}
+
+// FedRanked is one machine's entry in a federation-wide ranking.
+type FedRanked struct {
+	MachineID      string  `json:"machine_id"`
+	TR             float64 `json:"tr"`
+	HistoryWindows int     `json:"history_windows"`
+	CurrentState   string  `json:"current_state"`
+}
+
+// FedRankFailure explains why one machine is missing from a ranking.
+type FedRankFailure struct {
+	MachineID string `json:"machine_id"`
+	Err       string `json:"err"`
+	// Transient marks transport-level failures (flake, dead peer,
+	// quarantine) as opposed to an application rejection.
+	Transient bool `json:"transient,omitempty"`
+}
+
+// FedRankResp is the federation-wide ranking, best machine first.
+type FedRankResp struct {
+	// Entry is the peer that served the ranking.
+	Entry    string           `json:"entry"`
+	Ranked   []FedRanked      `json:"ranked,omitempty"`
+	Failures []FedRankFailure `json:"failures,omitempty"`
+}
+
+// FedEntry is one registry entry on the replication wire, carrying its
+// remaining TTL (0 = never expires) so receivers rebuild an absolute
+// expiry against their own clock.
+type FedEntry struct {
+	MachineID  string  `json:"machine_id"`
+	Addr       string  `json:"addr"`
+	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+}
+
+// FedSyncReq pushes registry entries to a peer: single entries during
+// synchronous replication on register, batches during anti-entropy rounds.
+type FedSyncReq struct {
+	// From identifies the pushing peer (empty for non-peer tooling).
+	From    string     `json:"from,omitempty"`
+	Entries []FedEntry `json:"entries"`
+}
+
+// FedSyncResp reports how many pushed entries the receiver actually
+// applied (already-fresh entries are counted as accepted no-ops).
+type FedSyncResp struct {
+	Accepted int `json:"accepted"`
+}
+
+// RingPeerStats is one ring member's row in a peer's query-stats snapshot.
+type RingPeerStats struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// Self marks the peer serving the snapshot.
+	Self bool `json:"self,omitempty"`
+	// Breaker is this peer's circuit state as seen from the serving peer
+	// (closed / open / half-open); absent for self.
+	Breaker string `json:"breaker,omitempty"`
+	// LastSyncAgeSeconds is how long ago the serving peer last received an
+	// anti-entropy push from this peer (-1 = never; absent for self).
+	LastSyncAgeSeconds float64 `json:"last_sync_age_seconds,omitempty"`
+	// OwnedEntries counts the live entries in the serving peer's shard
+	// that this ring member owns.
+	OwnedEntries int `json:"owned_entries"`
+}
+
+// RingStats is a federation peer's view of the ring, served inside
+// query-stats so `isharec stats` can show shard placement and peer health.
+type RingStats struct {
+	Self     string `json:"self"`
+	Vnodes   int    `json:"vnodes"`
+	Replicas int    `json:"replicas"`
+	// Entries / Owned / Replicated break down the live entries in this
+	// peer's shard: total, owned by this peer, held as a replica.
+	Entries    int `json:"entries"`
+	Owned      int `json:"owned"`
+	Replicated int `json:"replicated"`
+	// Served counts machine RPCs answered from the local shard; Forwarded
+	// counts those handed to another peer.
+	Served    uint64 `json:"served"`
+	Forwarded uint64 `json:"forwarded"`
+	// SyncPushed / SyncAccepted count replication entries sent to and
+	// applied from peers.
+	SyncPushed   uint64          `json:"sync_pushed"`
+	SyncAccepted uint64          `json:"sync_accepted"`
+	Peers        []RingPeerStats `json:"peers"`
+}
+
+// fedUnknownMachine prefixes the application error a peer returns when a
+// machine-scoped request names a machine absent from its shard. Routing
+// treats it as "try the next replica", unlike any other application error.
+const fedUnknownMachine = "fed: machine not registered"
+
+// isUnknownMachine reports whether err is a peer's fedUnknownMachine
+// rejection (it crosses the wire as a RemoteError).
+func isUnknownMachine(err error) bool {
+	if err == nil {
+		return false
+	}
+	return strings.Contains(err.Error(), fedUnknownMachine)
+}
+
+// FedConfig assembles one federation peer.
+type FedConfig struct {
+	// Self is this peer's identity; it must also appear in Peers.
+	Self Peer
+	// Peers is the full static ring membership, including Self.
+	Peers []Peer
+	// Vnodes is the virtual-node count per peer (<= 0 = DefaultVnodes).
+	Vnodes int
+	// Replicas is how many successor peers mirror each entry beyond its
+	// owner (< 0 = none, 0 = DefaultReplicas, capped at len(Peers)-1).
+	Replicas int
+	// Caller performs peer and machine RPCs (nil = single-attempt calls
+	// over the real network). Give it a retry policy in production: peer
+	// hops and machine proxying inherit it.
+	Caller *Caller
+	// Breakers, when set, quarantines unreachable peers so routing skips
+	// them without burning a dial timeout per request.
+	Breakers *BreakerSet
+	// Timeout bounds each RPC hop (0 = 5 s).
+	Timeout time.Duration
+	// Clock drives entry expiry and sync timing (nil = wall clock).
+	Clock simclock.Clock
+	// Logger receives WARN records for replication and routing degradation
+	// (nil = silent).
+	Logger *slog.Logger
+	// Tracer mints spans for served federation RPCs (nil = untraced).
+	Tracer *otrace.Tracer
+	// Obs, when set, counts served RPCs in the node metric families
+	// (fgcs_gateway_requests_total etc.).
+	Obs *NodeObs
+}
+
+// fedEntry is one stored registry entry.
+type fedEntry struct {
+	res     Resource
+	expires time.Time // zero = never
+}
+
+// FedGateway is one peer of the federated control plane. It stores the
+// shard of the machine registry it owns or replicates, serves machine
+// RPCs for machines in that shard by proxying to the machine's host
+// gateway, forwards everything else to the machine's owner (or the owner's
+// successors while the owner is down), and pushes its entries to their
+// replica peers both synchronously on register and periodically via
+// anti-entropy.
+type FedGateway struct {
+	self     Peer
+	ring     *Ring
+	replicas int
+	caller   *Caller
+	breakers *BreakerSet
+	timeout  time.Duration
+	clock    simclock.Clock
+	logger   *slog.Logger
+	tracer   *otrace.Tracer
+	obs      *NodeObs
+
+	mu                                          sync.Mutex
+	entries                                     map[string]fedEntry
+	lastSync                                    map[string]time.Time
+	served, forwarded, syncPushed, syncAccepted uint64
+}
+
+// NewFedGateway validates the membership and builds the peer. The ring is
+// immutable afterwards: federation membership is fixed per process (every
+// peer must agree on it), and a dead peer is routed around rather than
+// removed.
+func NewFedGateway(cfg FedConfig) (*FedGateway, error) {
+	if cfg.Self.ID == "" || cfg.Self.Addr == "" {
+		return nil, fmt.Errorf("ishare: federation peer needs id and address")
+	}
+	if len(cfg.Peers) == 0 {
+		return nil, fmt.Errorf("ishare: federation needs at least one peer")
+	}
+	ring := NewRing(cfg.Vnodes)
+	selfListed := false
+	for _, p := range cfg.Peers {
+		if err := ring.Add(p); err != nil {
+			return nil, err
+		}
+		if p.ID == cfg.Self.ID {
+			selfListed = true
+		}
+	}
+	if !selfListed {
+		return nil, fmt.Errorf("ishare: federation peer %q not in peer list", cfg.Self.ID)
+	}
+	replicas := cfg.Replicas
+	if replicas == 0 {
+		replicas = DefaultReplicas
+	}
+	if replicas < 0 {
+		replicas = 0
+	}
+	if replicas > len(cfg.Peers)-1 {
+		replicas = len(cfg.Peers) - 1
+	}
+	caller := cfg.Caller
+	if caller == nil {
+		caller = &Caller{}
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = simclock.Real{}
+	}
+	return &FedGateway{
+		self:     cfg.Self,
+		ring:     ring,
+		replicas: replicas,
+		caller:   caller,
+		breakers: cfg.Breakers,
+		timeout:  timeout,
+		clock:    clock,
+		logger:   cfg.Logger,
+		tracer:   cfg.Tracer,
+		obs:      cfg.Obs,
+		entries:  make(map[string]fedEntry),
+		lastSync: make(map[string]time.Time),
+	}, nil
+}
+
+// Self returns this peer's identity.
+func (f *FedGateway) Self() Peer { return f.self }
+
+// fanout is the size of each key's candidate set: the owner plus its
+// replicas.
+func (f *FedGateway) fanout() int { return 1 + f.replicas }
+
+// Candidates returns the replica set (owner first) for a machine name, in
+// routing order.
+func (f *FedGateway) Candidates(machine string) []Peer {
+	return f.ring.Successors(machine, f.fanout())
+}
+
+// store upserts a registry entry with an absolute expiry built from ttl
+// (<= 0 = never expires).
+func (f *FedGateway) store(machine, addr string, ttl time.Duration) {
+	var expires time.Time
+	if ttl > 0 {
+		expires = f.clock.Now().Add(ttl)
+	}
+	f.mu.Lock()
+	f.entries[machine] = fedEntry{res: Resource{MachineID: machine, Addr: addr}, expires: expires}
+	f.mu.Unlock()
+}
+
+// lookup returns the live entry for a machine, treating expired entries as
+// absent (they are reaped lazily here and in SyncOnce).
+func (f *FedGateway) lookup(machine string) (fedEntry, bool) {
+	now := f.clock.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ent, ok := f.entries[machine]
+	if !ok {
+		return fedEntry{}, false
+	}
+	if !ent.expires.IsZero() && !now.Before(ent.expires) {
+		delete(f.entries, machine)
+		return fedEntry{}, false
+	}
+	return ent, true
+}
+
+// localResources lists the live entries in this peer's shard, sorted by
+// machine ID.
+func (f *FedGateway) localResources() []Resource {
+	now := f.clock.Now()
+	f.mu.Lock()
+	out := make([]Resource, 0, len(f.entries))
+	for id, ent := range f.entries {
+		if !ent.expires.IsZero() && !now.Before(ent.expires) {
+			delete(f.entries, id)
+			continue
+		}
+		out = append(out, ent.res)
+	}
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].MachineID < out[j].MachineID })
+	return out
+}
+
+// warn logs at WARN level when a logger is installed.
+func (f *FedGateway) warn(msg string, args ...interface{}) {
+	if f.logger != nil {
+		f.logger.Warn(msg, args...)
+	}
+}
+
+// callPeer performs one peer RPC with retries, routed through the peer's
+// circuit breaker when one is configured. A quarantined peer fails fast
+// with a transport-class error so routing falls through to the next
+// replica, and only transport outcomes feed the breaker — an application
+// error proves the peer alive.
+func (f *FedGateway) callPeer(ctx context.Context, p Peer, typ string, payload, out interface{}, retry bool) error {
+	if f.breakers != nil && !f.breakers.Allow(p.ID) {
+		return &transportError{err: fmt.Errorf("ishare: peer %s: %w", p.ID, ErrCircuitOpen)}
+	}
+	var err error
+	if retry {
+		err = f.caller.CallRetry(ctx, p.Addr, typ, payload, out, f.timeout)
+	} else {
+		err = f.caller.Call(ctx, p.Addr, typ, payload, out, f.timeout)
+	}
+	if f.breakers != nil {
+		if IsTransport(err) {
+			f.breakers.Report(p.ID, err)
+		} else {
+			f.breakers.Report(p.ID, nil)
+		}
+	}
+	return err
+}
+
+// register routes a machine registration to its owner peer and replicates
+// it. A registration entering at a non-candidate peer is forwarded to the
+// first live member of the machine's replica set; the receiving candidate
+// stores it and pushes it to the other candidates synchronously, so an
+// entry is fault tolerant the moment the register ACKs. If every candidate
+// is unreachable the entry peer stores the entry itself as a stray —
+// queries entering here still work, and anti-entropy repairs placement
+// once candidates return.
+func (f *FedGateway) register(ctx context.Context, reg RegisterReq) error {
+	if reg.MachineID == "" || reg.Addr == "" {
+		return fmt.Errorf("fed: registration needs machine id and address")
+	}
+	ttl := time.Duration(reg.TTLSeconds * float64(time.Second))
+	if reg.Forwarded {
+		f.store(reg.MachineID, reg.Addr, ttl)
+		f.replicateEntry(ctx, reg.MachineID, reg.Addr, ttl)
+		return nil
+	}
+	for _, p := range f.Candidates(reg.MachineID) {
+		if p.ID == f.self.ID {
+			f.store(reg.MachineID, reg.Addr, ttl)
+			f.replicateEntry(ctx, reg.MachineID, reg.Addr, ttl)
+			return nil
+		}
+		fwd := reg
+		fwd.Forwarded = true
+		err := f.callPeer(ctx, p, MsgRegister, fwd, nil, true)
+		if err == nil {
+			f.addForwarded()
+			return nil
+		}
+		if !IsTransport(err) {
+			return err
+		}
+		f.warn("fed register forward failed", "machine", reg.MachineID, "peer", p.ID, "err", err)
+	}
+	f.warn("fed register stored off-placement: no candidate reachable", "machine", reg.MachineID)
+	f.store(reg.MachineID, reg.Addr, ttl)
+	return nil
+}
+
+// replicateEntry pushes one entry to the other members of its replica set,
+// best effort: a dead replica is only logged (anti-entropy retries later).
+func (f *FedGateway) replicateEntry(ctx context.Context, machine, addr string, ttl time.Duration) {
+	ent := FedEntry{MachineID: machine, Addr: addr, TTLSeconds: ttl.Seconds()}
+	if ttl <= 0 {
+		ent.TTLSeconds = 0
+	}
+	for _, p := range f.Candidates(machine) {
+		if p.ID == f.self.ID {
+			continue
+		}
+		req := FedSyncReq{From: f.self.ID, Entries: []FedEntry{ent}}
+		if err := f.callPeer(ctx, p, MsgFedSync, req, nil, true); err != nil {
+			f.warn("fed replicate failed", "machine", machine, "peer", p.ID, "err", err)
+			continue
+		}
+		f.addSyncPushed(1)
+	}
+}
+
+// fedSync applies a replication push: each entry is upserted when it is
+// new here, fresher (later expiry) than what is stored, or replaces an
+// expired entry. Older pushes lose, so a stale anti-entropy round cannot
+// roll back a heartbeat refresh.
+func (f *FedGateway) fedSync(req FedSyncReq) FedSyncResp {
+	now := f.clock.Now()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if req.From != "" {
+		f.lastSync[req.From] = now
+	}
+	accepted := 0
+	for _, e := range req.Entries {
+		if e.MachineID == "" || e.Addr == "" {
+			continue
+		}
+		var expires time.Time
+		if e.TTLSeconds > 0 {
+			expires = now.Add(time.Duration(e.TTLSeconds * float64(time.Second)))
+		}
+		cur, ok := f.entries[e.MachineID]
+		if ok && !fresher(cur, expires, now) {
+			continue
+		}
+		f.entries[e.MachineID] = fedEntry{res: Resource{MachineID: e.MachineID, Addr: e.Addr}, expires: expires}
+		accepted++
+	}
+	f.syncAccepted += uint64(accepted)
+	return FedSyncResp{Accepted: accepted}
+}
+
+// fresher reports whether an incoming entry expiring at `expires` should
+// replace cur.
+func fresher(cur fedEntry, expires time.Time, now time.Time) bool {
+	if !cur.expires.IsZero() && !now.Before(cur.expires) {
+		return true // current entry already expired
+	}
+	if cur.expires.IsZero() {
+		return false // current entry never expires
+	}
+	return expires.IsZero() || expires.After(cur.expires)
+}
+
+// SyncOnce runs one anti-entropy round: every live local entry is pushed,
+// with its remaining TTL, to the other members of its replica set. Peers
+// are contacted in sorted order and each gets one batched push. Returns
+// the number of entries sent (counting each peer delivery).
+func (f *FedGateway) SyncOnce(ctx context.Context) int {
+	now := f.clock.Now()
+	batches := make(map[string][]FedEntry)
+	addrs := make(map[string]Peer)
+	f.mu.Lock()
+	for id, ent := range f.entries {
+		if !ent.expires.IsZero() && !now.Before(ent.expires) {
+			delete(f.entries, id)
+			continue
+		}
+		we := FedEntry{MachineID: id, Addr: ent.res.Addr}
+		if !ent.expires.IsZero() {
+			we.TTLSeconds = ent.expires.Sub(now).Seconds()
+		}
+		for _, p := range f.Candidates(id) {
+			if p.ID == f.self.ID {
+				continue
+			}
+			batches[p.ID] = append(batches[p.ID], we)
+			addrs[p.ID] = p
+		}
+	}
+	f.mu.Unlock()
+	peerIDs := make([]string, 0, len(batches))
+	for id := range batches {
+		peerIDs = append(peerIDs, id)
+	}
+	sort.Strings(peerIDs)
+	sent := 0
+	for _, id := range peerIDs {
+		batch := batches[id]
+		sort.Slice(batch, func(i, j int) bool { return batch[i].MachineID < batch[j].MachineID })
+		req := FedSyncReq{From: f.self.ID, Entries: batch}
+		if err := f.callPeer(ctx, addrs[id], MsgFedSync, req, nil, true); err != nil {
+			f.warn("fed anti-entropy push failed", "peer", id, "entries", len(batch), "err", err)
+			continue
+		}
+		sent += len(batch)
+		f.addSyncPushed(uint64(len(batch)))
+	}
+	return sent
+}
+
+// StartSync runs anti-entropy rounds every interval until the returned
+// stop function is called. This is the heartbeat that heals replicas after
+// a peer restart and keeps remaining-TTL views converged.
+func (f *FedGateway) StartSync(every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 30 * time.Second
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			case <-f.clock.After(every):
+				f.SyncOnce(context.Background())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// route serves one machine-scoped request: from the local shard when this
+// peer holds the machine's entry (serve), otherwise by forwarding the
+// fed request to the machine's candidate peers in ring order. Transport
+// failures and unknown-machine rejections fall through to the next
+// candidate; any other application error is authoritative. A request
+// marked local is never re-forwarded.
+func (f *FedGateway) route(ctx context.Context, machine string, local bool, fedType string, fedReq, out interface{}, retry bool, serve func(addr string) error) error {
+	if machine == "" {
+		return fmt.Errorf("fed: request needs a machine")
+	}
+	if local {
+		ent, ok := f.lookup(machine)
+		if !ok {
+			return fmt.Errorf("%s: %q", fedUnknownMachine, machine)
+		}
+		f.addServed()
+		return serve(ent.res.Addr)
+	}
+	var lastErr error
+	for _, p := range f.Candidates(machine) {
+		if p.ID == f.self.ID {
+			ent, ok := f.lookup(machine)
+			if !ok {
+				continue
+			}
+			f.addServed()
+			return serve(ent.res.Addr)
+		}
+		err := f.callPeer(ctx, p, fedType, fedReq, out, retry)
+		if err == nil {
+			f.addForwarded()
+			return nil
+		}
+		if IsTransport(err) || isUnknownMachine(err) {
+			lastErr = err
+			continue
+		}
+		return err
+	}
+	// Off-placement stray (every candidate was down at register time)?
+	if ent, ok := f.lookup(machine); ok {
+		f.addServed()
+		return serve(ent.res.Addr)
+	}
+	if lastErr != nil {
+		return fmt.Errorf("fed: machine %q unreachable on every replica: %w", machine, lastErr)
+	}
+	return fmt.Errorf("%s: %q", fedUnknownMachine, machine)
+}
+
+// FedQueryTR serves or forwards a federated QueryTR.
+func (f *FedGateway) FedQueryTR(ctx context.Context, req FedQueryTRReq) (QueryTRResp, error) {
+	var resp QueryTRResp
+	fwd := req
+	fwd.Local = true
+	err := f.route(ctx, req.Machine, req.Local, MsgFedQueryTR, fwd, &resp, true, func(addr string) error {
+		return f.caller.CallRetry(ctx, addr, MsgQueryTR, req.Query, &resp, f.timeout)
+	})
+	return resp, err
+}
+
+// FedSubmit serves or forwards a federated Submit. The entry peer attaches
+// an idempotency key before the first hop (unless the client already chose
+// one), making every downstream retry — peer hop or machine attempt —
+// replay-safe.
+func (f *FedGateway) FedSubmit(ctx context.Context, req FedSubmitReq) (SubmitResp, error) {
+	if !req.Local && req.Job.IdempotencyKey == "" {
+		req.Job.IdempotencyKey = f.caller.NextKey("fed/" + req.Machine)
+	}
+	var resp SubmitResp
+	fwd := req
+	fwd.Local = true
+	err := f.route(ctx, req.Machine, req.Local, MsgFedSubmit, fwd, &resp, true, func(addr string) error {
+		return f.caller.CallRetry(ctx, addr, MsgSubmit, req.Job, &resp, f.timeout)
+	})
+	return resp, err
+}
+
+// FedJobStatus serves or forwards a federated JobStatus.
+func (f *FedGateway) FedJobStatus(ctx context.Context, req FedJobReq) (JobStatusResp, error) {
+	var resp JobStatusResp
+	fwd := req
+	fwd.Local = true
+	err := f.route(ctx, req.Machine, req.Local, MsgFedJobStatus, fwd, &resp, true, func(addr string) error {
+		return f.caller.CallRetry(ctx, addr, MsgJobStatus, req.Job, &resp, f.timeout)
+	})
+	return resp, err
+}
+
+// FedKill serves or forwards a federated Kill. Like RemoteGateway.Kill,
+// the machine hop gets a single attempt (killing twice is an application
+// error); peer hops are not retried either, so a lost ACK is surfaced to
+// the client, which can confirm the outcome with FedJobStatus.
+func (f *FedGateway) FedKill(ctx context.Context, req FedJobReq) (JobStatusResp, error) {
+	var resp JobStatusResp
+	fwd := req
+	fwd.Local = true
+	err := f.route(ctx, req.Machine, req.Local, MsgFedKill, fwd, &resp, false, func(addr string) error {
+		return f.caller.Call(ctx, addr, MsgKillJob, req.Job, &resp, f.timeout)
+	})
+	return resp, err
+}
+
+// globalResources merges every peer's live shard into one sorted view:
+// this peer's entries plus a local-only discover against each other peer.
+// Unreachable peers are skipped — with replication the survivors still
+// cover their shards.
+func (f *FedGateway) globalResources(ctx context.Context) []Resource {
+	merged := make(map[string]Resource)
+	for _, r := range f.localResources() {
+		merged[r.MachineID] = r
+	}
+	for _, p := range f.ring.Peers() {
+		if p.ID == f.self.ID {
+			continue
+		}
+		var dr DiscoverResp
+		if err := f.callPeer(ctx, p, MsgDiscover, DiscoverReq{Local: true}, &dr, true); err != nil {
+			f.warn("fed discover fan-out failed", "peer", p.ID, "err", err)
+			continue
+		}
+		for _, r := range dr.Resources {
+			merged[r.MachineID] = r
+		}
+	}
+	out := make([]Resource, 0, len(merged))
+	for _, r := range merged {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].MachineID < out[j].MachineID })
+	return out
+}
+
+// FedRank ranks every machine in the federation by temporal reliability
+// for a prospective job: the global machine list is assembled from all
+// reachable shards, each machine is queried through normal federated
+// routing (so entries owned elsewhere are forwarded), and the results are
+// sorted by TR descending with a stable order on ties. Machines that fail
+// to answer are reported, not fatal.
+func (f *FedGateway) FedRank(ctx context.Context, req FedRankReq) (FedRankResp, error) {
+	resp := FedRankResp{Entry: f.self.ID}
+	machines := f.globalResources(ctx)
+	if len(machines) == 0 {
+		return resp, fmt.Errorf("fed: no machines registered")
+	}
+	q := QueryTRReq{LengthSeconds: req.LengthSeconds, GuestMemMB: req.GuestMemMB}
+	for _, m := range machines {
+		tr, err := f.FedQueryTR(ctx, FedQueryTRReq{Machine: m.MachineID, Query: q})
+		if err != nil {
+			resp.Failures = append(resp.Failures, FedRankFailure{
+				MachineID: m.MachineID,
+				Err:       err.Error(),
+				Transient: IsTransport(err),
+			})
+			continue
+		}
+		resp.Ranked = append(resp.Ranked, FedRanked{
+			MachineID:      m.MachineID,
+			TR:             tr.TR,
+			HistoryWindows: tr.HistoryWindows,
+			CurrentState:   tr.CurrentState,
+		})
+	}
+	sort.SliceStable(resp.Ranked, func(i, j int) bool { return resp.Ranked[i].TR > resp.Ranked[j].TR })
+	return resp, nil
+}
+
+// RingStats snapshots this peer's view of the ring for query-stats.
+func (f *FedGateway) RingStats() *RingStats {
+	now := f.clock.Now()
+	st := &RingStats{
+		Self:     f.self.ID,
+		Vnodes:   f.ring.Vnodes(),
+		Replicas: f.replicas,
+	}
+	ownerCount := make(map[string]int)
+	f.mu.Lock()
+	for id, ent := range f.entries {
+		if !ent.expires.IsZero() && !now.Before(ent.expires) {
+			continue
+		}
+		st.Entries++
+		owner, _ := f.ring.Owner(id)
+		ownerCount[owner.ID]++
+		if owner.ID == f.self.ID {
+			st.Owned++
+		} else {
+			st.Replicated++
+		}
+	}
+	st.Served = f.served
+	st.Forwarded = f.forwarded
+	st.SyncPushed = f.syncPushed
+	st.SyncAccepted = f.syncAccepted
+	lastSync := make(map[string]time.Time, len(f.lastSync))
+	for id, t := range f.lastSync {
+		lastSync[id] = t
+	}
+	f.mu.Unlock()
+	for _, p := range f.ring.Peers() {
+		row := RingPeerStats{ID: p.ID, Addr: p.Addr, OwnedEntries: ownerCount[p.ID]}
+		if p.ID == f.self.ID {
+			row.Self = true
+		} else {
+			if f.breakers != nil {
+				row.Breaker = f.breakers.State(p.ID).String()
+			}
+			if t, ok := lastSync[p.ID]; ok {
+				row.LastSyncAgeSeconds = now.Sub(t).Seconds()
+			} else {
+				row.LastSyncAgeSeconds = -1
+			}
+		}
+		st.Peers = append(st.Peers, row)
+	}
+	return st
+}
+
+func (f *FedGateway) addServed()             { f.mu.Lock(); f.served++; f.mu.Unlock() }
+func (f *FedGateway) addForwarded()          { f.mu.Lock(); f.forwarded++; f.mu.Unlock() }
+func (f *FedGateway) addSyncPushed(n uint64) { f.mu.Lock(); f.syncPushed += n; f.mu.Unlock() }
+
+// Handler wires the peer into a protocol server, mirroring the host
+// gateway's serving shell: every request gets a fed.dispatch span stitched
+// to the caller's trace, and outcomes feed the node metric families when
+// observability is attached.
+func (f *FedGateway) Handler() Handler {
+	return func(req Request) (interface{}, error) {
+		start := time.Now()
+		ctx, span := f.tracer.StartRemote(context.Background(), req.Trace.Link(), "fed.dispatch")
+		if span != nil {
+			span.SetAttr(otrace.String("peer", f.self.ID), otrace.String("rpc", req.Type))
+		}
+		payload, err := f.dispatch(ctx, req)
+		span.SetError(err)
+		span.End()
+		if f.obs != nil {
+			f.obs.observeRPC(req.Type, err, time.Since(start))
+		}
+		return payload, err
+	}
+}
+
+func (f *FedGateway) dispatch(ctx context.Context, req Request) (interface{}, error) {
+	switch req.Type {
+	case MsgRegister:
+		var reg RegisterReq
+		if err := json.Unmarshal(req.Payload, &reg); err != nil {
+			return nil, fmt.Errorf("malformed register payload")
+		}
+		return nil, f.register(ctx, reg)
+	case MsgDiscover:
+		var d DiscoverReq
+		if req.Payload != nil {
+			if err := json.Unmarshal(req.Payload, &d); err != nil {
+				return nil, fmt.Errorf("malformed discover payload")
+			}
+		}
+		if d.Local {
+			return DiscoverResp{Resources: f.localResources()}, nil
+		}
+		return DiscoverResp{Resources: f.globalResources(ctx)}, nil
+	case MsgFedQueryTR:
+		var r FedQueryTRReq
+		if err := json.Unmarshal(req.Payload, &r); err != nil {
+			return nil, fmt.Errorf("malformed fed query payload")
+		}
+		return f.FedQueryTR(ctx, r)
+	case MsgFedSubmit:
+		var r FedSubmitReq
+		if err := json.Unmarshal(req.Payload, &r); err != nil {
+			return nil, fmt.Errorf("malformed fed submit payload")
+		}
+		return f.FedSubmit(ctx, r)
+	case MsgFedJobStatus:
+		var r FedJobReq
+		if err := json.Unmarshal(req.Payload, &r); err != nil {
+			return nil, fmt.Errorf("malformed fed status payload")
+		}
+		return f.FedJobStatus(ctx, r)
+	case MsgFedKill:
+		var r FedJobReq
+		if err := json.Unmarshal(req.Payload, &r); err != nil {
+			return nil, fmt.Errorf("malformed fed kill payload")
+		}
+		return f.FedKill(ctx, r)
+	case MsgFedRank:
+		var r FedRankReq
+		if req.Payload != nil {
+			if err := json.Unmarshal(req.Payload, &r); err != nil {
+				return nil, fmt.Errorf("malformed fed rank payload")
+			}
+		}
+		return f.FedRank(ctx, r)
+	case MsgFedSync:
+		var r FedSyncReq
+		if err := json.Unmarshal(req.Payload, &r); err != nil {
+			return nil, fmt.Errorf("malformed fed sync payload")
+		}
+		return f.fedSync(r), nil
+	case MsgQueryStats:
+		resp := QueryStatsResp{MachineID: f.self.ID, Ring: f.RingStats()}
+		if f.obs != nil {
+			resp.Requests, resp.Errors = f.obs.requestCounts()
+		}
+		return resp, nil
+	case MsgQueryTraces:
+		var r QueryTracesReq
+		if req.Payload != nil {
+			if err := json.Unmarshal(req.Payload, &r); err != nil {
+				return nil, fmt.Errorf("malformed traces payload")
+			}
+		}
+		return f.queryTraces(r)
+	default:
+		return nil, fmt.Errorf("fed: unknown request type %q", req.Type)
+	}
+}
+
+// queryTraces serves the peer's flight recorder (empty when tracing is
+// off, mirroring the host gateway's behavior).
+func (f *FedGateway) queryTraces(req QueryTracesReq) (QueryTracesResp, error) {
+	rec := f.tracer.Recorder()
+	resp := QueryTracesResp{MachineID: f.self.ID, TotalRecorded: rec.Total()}
+	if req.TraceID != "" {
+		id, err := otrace.ParseTraceID(req.TraceID)
+		if err != nil {
+			return QueryTracesResp{}, fmt.Errorf("bad trace id %q", req.TraceID)
+		}
+		records, ok := rec.Trace(id)
+		if !ok {
+			return QueryTracesResp{}, fmt.Errorf("trace %s not retained", req.TraceID)
+		}
+		resp.Traces = records
+	} else {
+		resp.Traces = rec.Traces(req.Limit)
+	}
+	if req.Events {
+		resp.Events = rec.Events(req.Limit)
+	}
+	return resp, nil
+}
+
+// Serve starts a protocol server for the peer on addr.
+func (f *FedGateway) Serve(addr string) (*Server, error) {
+	return NewServer(addr, f.Handler())
+}

@@ -1,0 +1,503 @@
+package ishare
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"fgcs/internal/simclock"
+)
+
+// stubMachine is a minimal host-gateway stand-in: deterministic TR,
+// idempotency-keyed submits, canned job status. It lets federation tests
+// exercise routing without spinning full prediction stacks.
+type stubMachine struct {
+	id  string
+	tr  float64
+	srv *Server
+
+	mu      sync.Mutex
+	submits map[string]string
+	nextJob int
+	lastKey string
+	queries int
+}
+
+func newStubMachine(t *testing.T, id string, tr float64) *stubMachine {
+	t.Helper()
+	m := &stubMachine{id: id, tr: tr, submits: make(map[string]string)}
+	srv, err := NewServer("127.0.0.1:0", m.handler)
+	if err != nil {
+		t.Fatalf("stub machine %s: %v", id, err)
+	}
+	m.srv = srv
+	t.Cleanup(func() { srv.Close() })
+	return m
+}
+
+func (m *stubMachine) addr() string { return m.srv.Addr() }
+
+func (m *stubMachine) handler(req Request) (interface{}, error) {
+	switch req.Type {
+	case MsgQueryTR:
+		m.mu.Lock()
+		m.queries++
+		m.mu.Unlock()
+		return QueryTRResp{TR: m.tr, HistoryWindows: 7, CurrentState: "S1"}, nil
+	case MsgSubmit:
+		var s SubmitReq
+		if err := json.Unmarshal(req.Payload, &s); err != nil {
+			return nil, fmt.Errorf("malformed submit")
+		}
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		m.lastKey = s.IdempotencyKey
+		if s.IdempotencyKey != "" {
+			if id, ok := m.submits[s.IdempotencyKey]; ok {
+				return SubmitResp{JobID: id}, nil
+			}
+		}
+		m.nextJob++
+		id := fmt.Sprintf("%s-job-%d", m.id, m.nextJob)
+		if s.IdempotencyKey != "" {
+			m.submits[s.IdempotencyKey] = id
+		}
+		return SubmitResp{JobID: id}, nil
+	case MsgJobStatus:
+		var s JobStatusReq
+		if err := json.Unmarshal(req.Payload, &s); err != nil {
+			return nil, fmt.Errorf("malformed status")
+		}
+		return JobStatusResp{JobID: s.JobID, State: "running", WorkSeconds: 10}, nil
+	case MsgKillJob:
+		var s JobStatusReq
+		if err := json.Unmarshal(req.Payload, &s); err != nil {
+			return nil, fmt.Errorf("malformed kill")
+		}
+		return JobStatusResp{JobID: s.JobID, State: "killed"}, nil
+	default:
+		return nil, fmt.Errorf("stub: unknown request type %q", req.Type)
+	}
+}
+
+// handlerCell breaks the server/gateway construction cycle: servers must
+// bind before peer addresses are known, so they start with an empty cell
+// that is filled once every FedGateway exists.
+type handlerCell struct {
+	mu sync.RWMutex
+	h  Handler
+}
+
+func (c *handlerCell) set(h Handler) {
+	c.mu.Lock()
+	c.h = h
+	c.mu.Unlock()
+}
+
+func (c *handlerCell) handle(req Request) (interface{}, error) {
+	c.mu.RLock()
+	h := c.h
+	c.mu.RUnlock()
+	if h == nil {
+		return nil, fmt.Errorf("fed peer not ready")
+	}
+	return h(req)
+}
+
+type fedNode struct {
+	gw  *FedGateway
+	srv *Server
+}
+
+// buildFederation starts n federation peers (fed0..fedN-1) on loopback
+// with the given replica count and a shared clock, wired with tight retry
+// backoff so dead-peer failover is fast in tests.
+func buildFederation(t *testing.T, n, replicas int, clock simclock.Clock) []*fedNode {
+	t.Helper()
+	return buildFederationWith(t, n, replicas, clock, nil)
+}
+
+// buildFederationWith is buildFederation with a per-peer config hook
+// (tracers, breakers, fault-injecting dialers).
+func buildFederationWith(t *testing.T, n, replicas int, clock simclock.Clock, mutate func(i int, cfg *FedConfig)) []*fedNode {
+	t.Helper()
+	cells := make([]*handlerCell, n)
+	servers := make([]*Server, n)
+	for i := range servers {
+		cells[i] = &handlerCell{}
+		srv, err := NewServer("127.0.0.1:0", cells[i].handle)
+		if err != nil {
+			t.Fatalf("fed server %d: %v", i, err)
+		}
+		servers[i] = srv
+		t.Cleanup(func() { srv.Close() })
+	}
+	peers := make([]Peer, n)
+	for i := range peers {
+		peers[i] = Peer{ID: fmt.Sprintf("fed%d", i), Addr: servers[i].Addr()}
+	}
+	nodes := make([]*fedNode, n)
+	for i := range nodes {
+		cfg := FedConfig{
+			Self:     peers[i],
+			Peers:    peers,
+			Replicas: replicas,
+			Caller: &Caller{
+				Retry:      RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+				JitterSeed: uint64(1000 + i),
+			},
+			Timeout: 2 * time.Second,
+			Clock:   clock,
+		}
+		if mutate != nil {
+			mutate(i, &cfg)
+		}
+		gw, err := NewFedGateway(cfg)
+		if err != nil {
+			t.Fatalf("fed gateway %d: %v", i, err)
+		}
+		cells[i].set(gw.Handler())
+		nodes[i] = &fedNode{gw: gw, srv: servers[i]}
+	}
+	return nodes
+}
+
+// fedRegister registers a machine through the given peer over the wire,
+// exactly as a host node's heartbeat would.
+func fedRegister(t *testing.T, peerAddr, machine, machineAddr string, ttl time.Duration) {
+	t.Helper()
+	caller := &Caller{}
+	reg := RegisterReq{MachineID: machine, Addr: machineAddr, TTLSeconds: ttl.Seconds()}
+	if err := caller.Call(context.Background(), peerAddr, MsgRegister, reg, nil, 2*time.Second); err != nil {
+		t.Fatalf("register %s via %s: %v", machine, peerAddr, err)
+	}
+}
+
+// pickPeer returns the index of a peer matching (or not matching) the
+// candidate set of a machine.
+func pickPeer(t *testing.T, nodes []*fedNode, machine string, inCandidates bool) int {
+	t.Helper()
+	cands := map[string]bool{}
+	for _, p := range nodes[0].gw.Candidates(machine) {
+		cands[p.ID] = true
+	}
+	for i, n := range nodes {
+		if cands[n.gw.Self().ID] == inCandidates {
+			return i
+		}
+	}
+	t.Fatalf("no peer with inCandidates=%v for %s", inCandidates, machine)
+	return -1
+}
+
+func TestFedRegisterRoutesToOwnerAndReplicates(t *testing.T) {
+	nodes := buildFederation(t, 4, 1, nil)
+	machine := newStubMachine(t, "m-route", 0.9)
+
+	entry := pickPeer(t, nodes, "m-route", false) // a non-candidate peer
+	fedRegister(t, nodes[entry].srv.Addr(), "m-route", machine.addr(), 0)
+
+	cands := map[string]bool{}
+	for _, p := range nodes[0].gw.Candidates("m-route") {
+		cands[p.ID] = true
+	}
+	if len(cands) != 2 {
+		t.Fatalf("candidate set size = %d, want 2 (owner + 1 replica)", len(cands))
+	}
+	for _, n := range nodes {
+		_, ok := n.gw.lookup("m-route")
+		if want := cands[n.gw.Self().ID]; ok != want {
+			t.Errorf("peer %s holds entry = %v, want %v", n.gw.Self().ID, ok, want)
+		}
+	}
+
+	// A query entering at a non-candidate peer is forwarded and answered.
+	fc := FedClient{Addr: nodes[entry].srv.Addr(), Caller: &Caller{}}
+	resp, err := fc.QueryTR(context.Background(), "m-route", QueryTRReq{LengthSeconds: 3600})
+	if err != nil {
+		t.Fatalf("federated QueryTR: %v", err)
+	}
+	if resp.TR != 0.9 || resp.CurrentState != "S1" {
+		t.Errorf("QueryTR = %+v, want TR 0.9 in S1", resp)
+	}
+	if st := nodes[entry].gw.RingStats(); st.Forwarded == 0 {
+		t.Errorf("entry peer forwarded counter = 0, want > 0")
+	}
+}
+
+// TestFedReplicaFailoverUntilTTL is the ISSUE's replica-failover check: a
+// registry entry survives the owner gateway's death — queries reroute to a
+// replica — until its TTL expires.
+func TestFedReplicaFailoverUntilTTL(t *testing.T) {
+	clock := simclock.NewVirtual(time.Date(2005, 8, 22, 8, 0, 0, 0, time.UTC))
+	nodes := buildFederation(t, 3, 1, clock)
+	machine := newStubMachine(t, "m-failover", 0.75)
+
+	cands := nodes[0].gw.Candidates("m-failover")
+	if len(cands) != 2 {
+		t.Fatalf("candidate set size = %d, want 2", len(cands))
+	}
+	var owner *fedNode
+	for _, n := range nodes {
+		if n.gw.Self().ID == cands[0].ID {
+			owner = n
+		}
+	}
+	fedRegister(t, owner.srv.Addr(), "m-failover", machine.addr(), 90*time.Second)
+
+	// Kill the owner. The entry must survive on the replica.
+	owner.srv.Close()
+
+	entry := pickPeer(t, nodes, "m-failover", false)
+	fc := FedClient{
+		Addr: nodes[entry].srv.Addr(),
+		Caller: &Caller{
+			Retry:      RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+			JitterSeed: 7,
+		},
+	}
+	resp, err := fc.QueryTR(context.Background(), "m-failover", QueryTRReq{LengthSeconds: 1800})
+	if err != nil {
+		t.Fatalf("QueryTR after owner death: %v", err)
+	}
+	if resp.TR != 0.75 {
+		t.Errorf("QueryTR after owner death TR = %v, want 0.75", resp.TR)
+	}
+
+	// Past the TTL the replica must stop serving the dead registration.
+	clock.Advance(91 * time.Second)
+	if _, err := fc.QueryTR(context.Background(), "m-failover", QueryTRReq{LengthSeconds: 1800}); err == nil {
+		t.Fatal("QueryTR succeeded after TTL expiry; want failure")
+	}
+}
+
+func TestFedSubmitIdempotencyKeyAttachedAtEntry(t *testing.T) {
+	nodes := buildFederation(t, 3, 2, nil)
+	machine := newStubMachine(t, "m-submit", 0.8)
+	fedRegister(t, nodes[0].srv.Addr(), "m-submit", machine.addr(), 0)
+
+	// Enter via a non-owner peer (with K=2 on three peers everyone holds a
+	// replica, so the interesting property is the key attachment itself).
+	owner := nodes[0].gw.Candidates("m-submit")[0].ID
+	entry := 0
+	for i, n := range nodes {
+		if n.gw.Self().ID != owner {
+			entry = i
+			break
+		}
+	}
+	fc := FedClient{Addr: nodes[entry].srv.Addr(), Caller: &Caller{}}
+	resp, err := fc.Submit(context.Background(), "m-submit", SubmitReq{Name: "guest", WorkSeconds: 100})
+	if err != nil {
+		t.Fatalf("federated submit: %v", err)
+	}
+	if resp.JobID == "" {
+		t.Fatal("federated submit returned empty job id")
+	}
+	machine.mu.Lock()
+	key := machine.lastKey
+	machine.mu.Unlock()
+	if key == "" {
+		t.Error("submit reached the machine without an idempotency key; the entry peer should attach one")
+	}
+
+	// Replaying the same key through a different peer must return the
+	// original job, not launch a second guest.
+	other := (entry + 1) % len(nodes)
+	fc2 := FedClient{Addr: nodes[other].srv.Addr(), Caller: &Caller{}}
+	again, err := fc2.Submit(context.Background(), "m-submit", SubmitReq{Name: "guest", WorkSeconds: 100, IdempotencyKey: key})
+	if err != nil {
+		t.Fatalf("replayed submit: %v", err)
+	}
+	if again.JobID != resp.JobID {
+		t.Errorf("replayed submit job = %s, want original %s", again.JobID, resp.JobID)
+	}
+}
+
+func TestFedRankMergesAllShards(t *testing.T) {
+	nodes := buildFederation(t, 4, -1, nil) // replicas < 0: no replication, shards disjoint
+	trs := map[string]float64{"rank-a": 0.95, "rank-b": 0.55, "rank-c": 0.75, "rank-d": 0.15}
+	for id, tr := range trs {
+		m := newStubMachine(t, id, tr)
+		fedRegister(t, nodes[0].srv.Addr(), id, m.addr(), 0)
+	}
+	// Shards must actually be disjoint for the test to mean anything.
+	total := 0
+	for _, n := range nodes {
+		total += len(n.gw.localResources())
+	}
+	if total != len(trs) {
+		t.Fatalf("entries across peers = %d, want %d (no replication)", total, len(trs))
+	}
+
+	fc := FedClient{Addr: nodes[3].srv.Addr(), Caller: &Caller{}}
+	ranking, err := fc.Rank(context.Background(), SubmitReq{WorkSeconds: 3600})
+	if err != nil {
+		t.Fatalf("federated rank: %v", err)
+	}
+	if len(ranking.Failures) != 0 {
+		t.Fatalf("rank failures: %v", ranking.Failures)
+	}
+	want := []string{"rank-a", "rank-c", "rank-b", "rank-d"}
+	if len(ranking.Ranked) != len(want) {
+		t.Fatalf("ranked %d machines, want %d", len(ranking.Ranked), len(want))
+	}
+	for i, id := range want {
+		if ranking.Ranked[i].MachineID != id {
+			t.Errorf("rank[%d] = %s (TR %v), want %s", i, ranking.Ranked[i].MachineID, ranking.Ranked[i].TR, id)
+		}
+	}
+
+	// SubmitBest lands on the top-ranked machine.
+	cand, sub, err := fc.SubmitBest(context.Background(), SubmitReq{Name: "best", WorkSeconds: 60})
+	if err != nil {
+		t.Fatalf("SubmitBest: %v", err)
+	}
+	if cand.MachineID != "rank-a" || !strings.HasPrefix(sub.JobID, "rank-a-job-") {
+		t.Errorf("SubmitBest placed on %s (job %s), want rank-a", cand.MachineID, sub.JobID)
+	}
+}
+
+// TestFedLocalRequestIsNeverReforwarded pins the loop-prevention rule: a
+// request already marked Local must be served from the receiving peer's
+// shard or rejected — never forwarded again.
+func TestFedLocalRequestIsNeverReforwarded(t *testing.T) {
+	nodes := buildFederation(t, 2, -1, nil)
+	machine := newStubMachine(t, "m-local", 0.5)
+	fedRegister(t, nodes[0].srv.Addr(), "m-local", machine.addr(), 0)
+
+	var holder, other *fedNode
+	for _, n := range nodes {
+		if _, ok := n.gw.lookup("m-local"); ok {
+			holder = n
+		} else {
+			other = n
+		}
+	}
+	if holder == nil || other == nil {
+		t.Fatal("expected exactly one peer to hold the entry")
+	}
+
+	caller := &Caller{}
+	var resp QueryTRResp
+	req := FedQueryTRReq{Machine: "m-local", Local: true, Query: QueryTRReq{LengthSeconds: 60}}
+	err := caller.Call(context.Background(), other.srv.Addr(), MsgFedQueryTR, req, &resp, 2*time.Second)
+	if err == nil {
+		t.Fatal("local-marked request for a foreign machine succeeded; it must not be re-forwarded")
+	}
+	if !isUnknownMachine(err) {
+		t.Errorf("err = %v, want an unknown-machine rejection", err)
+	}
+	if st := other.gw.RingStats(); st.Forwarded != 0 {
+		t.Errorf("peer forwarded a local-marked request (forwarded=%d)", st.Forwarded)
+	}
+}
+
+func TestFedSyncOnceHealsRestartedPeer(t *testing.T) {
+	nodes := buildFederation(t, 3, 2, nil)
+	machine := newStubMachine(t, "m-heal", 0.6)
+	fedRegister(t, nodes[0].srv.Addr(), "m-heal", machine.addr(), 0)
+
+	// Simulate an amnesiac restart: wipe one candidate's shard.
+	victim := pickPeer(t, nodes, "m-heal", true)
+	nodes[victim].gw.mu.Lock()
+	nodes[victim].gw.entries = make(map[string]fedEntry)
+	nodes[victim].gw.mu.Unlock()
+	if _, ok := nodes[victim].gw.lookup("m-heal"); ok {
+		t.Fatal("victim still holds the entry after wipe")
+	}
+
+	// One anti-entropy round from any other candidate repairs it.
+	for i, n := range nodes {
+		if i != victim {
+			n.gw.SyncOnce(context.Background())
+		}
+	}
+	if _, ok := nodes[victim].gw.lookup("m-heal"); !ok {
+		t.Error("anti-entropy did not restore the wiped entry")
+	}
+	st := nodes[victim].gw.RingStats()
+	if st.SyncAccepted == 0 {
+		t.Errorf("victim sync_accepted = 0, want > 0")
+	}
+	found := false
+	for _, row := range st.Peers {
+		if !row.Self && row.LastSyncAgeSeconds >= 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ring stats report no peer with a recorded sync age")
+	}
+}
+
+func TestFedQueryStatsCarriesRing(t *testing.T) {
+	nodes := buildFederation(t, 3, 1, nil)
+	machine := newStubMachine(t, "m-stats", 0.4)
+	fedRegister(t, nodes[0].srv.Addr(), "m-stats", machine.addr(), 0)
+
+	rg := RemoteGateway{Addr: nodes[0].srv.Addr(), Caller: &Caller{}}
+	st, err := rg.QueryStats(context.Background(), QueryStatsReq{})
+	if err != nil {
+		t.Fatalf("query-stats against fed peer: %v", err)
+	}
+	if st.Ring == nil {
+		t.Fatal("query-stats from a federation peer lacks ring state")
+	}
+	if st.Ring.Self != "fed0" || st.Ring.Replicas != 1 || st.Ring.Vnodes != DefaultVnodes {
+		t.Errorf("ring header = %+v, want self=fed0 replicas=1 vnodes=%d", st.Ring, DefaultVnodes)
+	}
+	if len(st.Ring.Peers) != 3 {
+		t.Errorf("ring peers = %d, want 3", len(st.Ring.Peers))
+	}
+	ownedTotal := 0
+	for _, row := range st.Ring.Peers {
+		ownedTotal += row.OwnedEntries
+	}
+	if holderHas := st.Ring.Entries; holderHas > 0 && ownedTotal != holderHas {
+		t.Errorf("owned-entries sum %d != entries %d", ownedTotal, holderHas)
+	}
+
+	// A plain registry answer must NOT carry ring state (field is fed-only).
+	reg := NewRegistry()
+	srv, err := NewServer("127.0.0.1:0", reg.Handler())
+	if err != nil {
+		t.Fatalf("registry server: %v", err)
+	}
+	defer srv.Close()
+	var dr DiscoverResp
+	if err := (&Caller{}).Call(context.Background(), srv.Addr(), MsgDiscover, DiscoverReq{}, &dr, time.Second); err != nil {
+		t.Fatalf("registry discover with payload: %v", err)
+	}
+}
+
+func TestFedGatewayConfigValidation(t *testing.T) {
+	peers := []Peer{{ID: "a", Addr: "a:1"}, {ID: "b", Addr: "b:1"}}
+	cases := []struct {
+		name string
+		cfg  FedConfig
+	}{
+		{"missing self", FedConfig{Peers: peers}},
+		{"self not listed", FedConfig{Self: Peer{ID: "c", Addr: "c:1"}, Peers: peers}},
+		{"no peers", FedConfig{Self: peers[0]}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := NewFedGateway(tc.cfg); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+	// Replica count is capped at the peer count.
+	gw, err := NewFedGateway(FedConfig{Self: peers[0], Peers: peers, Replicas: 5})
+	if err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	if got := len(gw.Candidates("anything")); got != 2 {
+		t.Errorf("candidates = %d, want 2 (replicas capped at peers-1)", got)
+	}
+}

@@ -9,10 +9,15 @@ import (
 	"fgcs/internal/predict"
 )
 
-// gatewayRPCTypes are the request types a gateway serves; their counters and
+// gatewayRPCTypes are the request types a gateway serves — host-node RPCs
+// plus the federation verbs a peer gateway dispatches; their counters and
 // latency histograms are registered up front so the serving path never
 // formats a metric name.
-var gatewayRPCTypes = []string{MsgQueryTR, MsgSubmit, MsgJobStatus, MsgKillJob, MsgQueryStats, MsgQueryTraces}
+var gatewayRPCTypes = []string{
+	MsgQueryTR, MsgSubmit, MsgJobStatus, MsgKillJob, MsgQueryStats, MsgQueryTraces,
+	MsgRegister, MsgDiscover,
+	MsgFedQueryTR, MsgFedSubmit, MsgFedJobStatus, MsgFedKill, MsgFedRank, MsgFedSync,
+}
 
 // NodeObs bundles one host node's observability: the metrics registry every
 // component records into, and the online accuracy tracker that scores issued

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"fgcs/internal/obs"
@@ -97,6 +98,18 @@ type RegisterReq struct {
 	// TTLSeconds makes the registration expire unless refreshed within
 	// the TTL (0 = never expires). Gateways heartbeat by re-registering.
 	TTLSeconds float64 `json:"ttl_seconds,omitempty"`
+	// Forwarded marks a registration already routed once by a federation
+	// peer: the receiver must store it rather than re-forward (plain
+	// registries ignore it).
+	Forwarded bool `json:"forwarded,omitempty"`
+}
+
+// DiscoverReq is the optional discover payload. Plain registries ignore
+// it; federation peers use Local to scope the answer to their own shard
+// (the peer-to-peer fan-out) instead of the merged federation-wide view
+// served to clients.
+type DiscoverReq struct {
+	Local bool `json:"local,omitempty"`
 }
 
 // Resource is one published host node.
@@ -204,6 +217,9 @@ type QueryStatsResp struct {
 	// Accuracy holds one summary per (machine, predictor) resolved on
 	// this node; machine "_all" aggregates.
 	Accuracy []obs.AccuracyStats `json:"accuracy,omitempty"`
+	// Ring is present when the answering node is a federation peer: its
+	// view of the peer ring, shard placement, and replication counters.
+	Ring *RingStats `json:"ring,omitempty"`
 }
 
 // QueryTracesReq asks a gateway for its flight recorder's recent traces.
@@ -358,10 +374,11 @@ func (c ServerConfig) acceptBackoffMax() time.Duration {
 // Server is a minimal one-request-per-connection TCP server shared by the
 // registry and the gateway.
 type Server struct {
-	ln      net.Listener
-	handler Handler
-	cfg     ServerConfig
-	done    chan struct{}
+	ln        net.Listener
+	handler   Handler
+	cfg       ServerConfig
+	done      chan struct{}
+	closeOnce sync.Once
 }
 
 // NewServer starts listening on addr (use "127.0.0.1:0" for tests) and
@@ -393,10 +410,15 @@ func ServeListener(ln net.Listener, handler Handler, cfg ServerConfig) *Server {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server.
+// Close stops the server. Safe to call more than once: chaos harnesses
+// kill servers mid-run and shared cleanup paths close them again.
 func (s *Server) Close() error {
-	close(s.done)
-	return s.ln.Close()
+	err := error(nil)
+	s.closeOnce.Do(func() {
+		close(s.done)
+		err = s.ln.Close()
+	})
+	return err
 }
 
 func (s *Server) acceptLoop() {

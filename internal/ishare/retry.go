@@ -35,6 +35,8 @@ func (netDialer) DialTimeout(network, addr string, timeout time.Duration) (net.C
 // operation, so the retry layer never retries these.
 type RemoteError struct{ Msg string }
 
+// Error formats the far end's message under an "ishare: remote error"
+// prefix so transport and application failures read differently in logs.
 func (e *RemoteError) Error() string { return fmt.Sprintf("ishare: remote error: %s", e.Msg) }
 
 // transportError marks a failure below the application: dial, send, receive

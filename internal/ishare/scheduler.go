@@ -129,6 +129,7 @@ func (f RankFailure) Transient() bool {
 	return IsTransport(f.Err) || f.Err == ErrCircuitOpen
 }
 
+// String renders the failure as "machine: error" for logs and CLI output.
 func (f RankFailure) String() string {
 	return fmt.Sprintf("%s: %v", f.MachineID, f.Err)
 }
