@@ -4,7 +4,7 @@ GO ?= go
 BENCH_GATE = BenchmarkEngineCachedVsCold|BenchmarkPredictBatchParallel|BenchmarkEnginePredictTracing|BenchmarkQueryTRTracing
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet lint cover bench benchstat benchbase fuzz golden chaos
+.PHONY: build test race vet lint cover bench benchstat benchbase bench-serve bench-serve-base fuzz golden chaos
 
 build:
 	$(GO) build ./...
@@ -54,11 +54,24 @@ benchbase:
 	$(GO) run ./cmd/benchgate -in bench_gate.out -baseline BENCH_baseline.json -write
 	@rm -f bench_gate.out
 
+# Serving-path gate: drive the seeded isharebench workload end to end over
+# both transports and fail unless the binary protocol beats dial-per-RPC JSON
+# by >=5x QPS at <=0.5x p99, within 10% of the recorded BENCH_serve_base.json
+# (machine-specific — regenerate with `make bench-serve-base`).
+bench-serve:
+	$(GO) run ./cmd/isharebench -selfhost -repeat 3 -out BENCH_serve.json
+	$(GO) run ./cmd/benchgate -serve -in BENCH_serve.json -baseline BENCH_serve_base.json
+
+bench-serve-base:
+	$(GO) run ./cmd/isharebench -selfhost -repeat 3 -out BENCH_serve.json
+	$(GO) run ./cmd/benchgate -serve -in BENCH_serve.json -baseline BENCH_serve_base.json -write
+
 # Short fuzz pass over the wire-protocol and trace-codec decoders. The seed
 # corpora under testdata/fuzz also run as plain unit tests in `make test`.
 fuzz:
 	$(GO) test ./internal/ishare/ -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/ishare/ -run '^$$' -fuzz '^FuzzDecodeResponse$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/ishare/ -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime $(FUZZTIME)
 

@@ -9,6 +9,14 @@
 //	go test -run '^$' -bench 'Engine' -benchmem . | benchgate -out BENCH_predict.json -baseline BENCH_baseline.json
 //	go test -run '^$' -bench 'Engine' -benchmem . | benchgate -baseline BENCH_baseline.json -write
 //
+// With -serve the input is an isharebench compare report instead: the gate
+// requires the binary transport to beat JSON by -min-speedup in QPS and stay
+// at or under -max-p99-ratio of its p99, and compares the binary numbers
+// against a recorded BENCH_serve_base.json within the same tolerance:
+//
+//	isharebench -selfhost -out BENCH_serve.json
+//	benchgate -serve -in BENCH_serve.json -baseline BENCH_serve_base.json
+//
 // Baselines are machine-specific: regenerate with -write when switching
 // hardware, and treat the latency gate as meaningful only on comparable
 // machines. Benchmark names are kept verbatim, including any trailing
@@ -186,6 +194,10 @@ func main() {
 		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline JSON file")
 		write     = flag.Bool("write", false, "rewrite the baseline from the current run instead of comparing")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional latency regression")
+
+		serve       = flag.Bool("serve", false, "gate an isharebench compare report instead of go test -bench output")
+		minSpeedup  = flag.Float64("min-speedup", 5.0, "serve mode: required binary/json QPS speedup")
+		maxP99Ratio = flag.Float64("max-p99-ratio", 0.5, "serve mode: allowed binary/json p99 latency ratio")
 	)
 	flag.Parse()
 	var r io.Reader = os.Stdin
@@ -198,7 +210,13 @@ func main() {
 		defer f.Close()
 		r = f
 	}
-	if err := run(r, *out, *baseline, *write, *tolerance, os.Stderr); err != nil {
+	var err error
+	if *serve {
+		err = runServe(r, *baseline, *write, *tolerance, *minSpeedup, *maxP99Ratio, os.Stderr)
+	} else {
+		err = run(r, *out, *baseline, *write, *tolerance, os.Stderr)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchgate:", err)
 		os.Exit(1)
 	}

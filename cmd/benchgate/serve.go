@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// serveProto mirrors the per-transport block of an isharebench report; only
+// the gated fields are decoded.
+type serveProto struct {
+	QPS    float64          `json:"qps"`
+	P99us  float64          `json:"p99_us"`
+	Errors map[string]int64 `json:"errors"`
+}
+
+// serveReport mirrors the isharebench compare-mode report.
+type serveReport struct {
+	JSON       *serveProto `json:"json"`
+	Binary     *serveProto `json:"binary"`
+	SpeedupQPS float64     `json:"speedup_qps"`
+	P99Ratio   float64     `json:"p99_ratio"`
+}
+
+// runServe gates an isharebench compare report: the binary transport must
+// beat JSON by at least minSpeedup in QPS and come in at or under maxP99 of
+// its p99, the run must be error-free, and — against a recorded baseline —
+// binary QPS and p99 may not regress by more than the tolerance. With write
+// set the report becomes the new baseline instead.
+func runServe(in io.Reader, baselinePath string, write bool, tolerance, minSpeedup, maxP99 float64, stderr io.Writer) error {
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	var rep serveReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("parsing isharebench report: %w", err)
+	}
+	if rep.JSON == nil || rep.Binary == nil {
+		return fmt.Errorf("report lacks a json+binary comparison (run isharebench -proto compare)")
+	}
+
+	var violations []string
+	for _, p := range []struct {
+		name string
+		r    *serveProto
+	}{{"json", rep.JSON}, {"binary", rep.Binary}} {
+		if n := p.r.Errors["transport"] + p.r.Errors["application"]; n > 0 {
+			violations = append(violations, fmt.Sprintf("%s: %d transport/application errors during the run", p.name, n))
+		}
+	}
+	if rep.SpeedupQPS < minSpeedup {
+		violations = append(violations, fmt.Sprintf("binary/json QPS speedup %.2fx below required %.2fx (binary %.0f qps, json %.0f qps)",
+			rep.SpeedupQPS, minSpeedup, rep.Binary.QPS, rep.JSON.QPS))
+	}
+	if rep.P99Ratio > maxP99 {
+		violations = append(violations, fmt.Sprintf("binary/json p99 ratio %.2f above allowed %.2f (binary %.0fus, json %.0fus)",
+			rep.P99Ratio, maxP99, rep.Binary.P99us, rep.JSON.P99us))
+	}
+
+	if write {
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(stderr, "benchgate: FAIL:", v)
+			}
+			return fmt.Errorf("refusing to record a baseline from a failing run")
+		}
+		if err := os.WriteFile(baselinePath, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "benchgate: serve baseline %s rewritten (binary %.0f qps, p99 %.0fus)\n",
+			baselinePath, rep.Binary.QPS, rep.Binary.P99us)
+		return nil
+	}
+
+	baseRaw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run with -write to create it): %w", err)
+	}
+	var base serveReport
+	if err := json.Unmarshal(baseRaw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if base.Binary != nil {
+		if base.Binary.QPS > 0 && rep.Binary.QPS < base.Binary.QPS*(1-tolerance) {
+			violations = append(violations, fmt.Sprintf("binary QPS %.0f regressed more than %.0f%% below baseline %.0f",
+				rep.Binary.QPS, tolerance*100, base.Binary.QPS))
+		}
+		if base.Binary.P99us > 0 && rep.Binary.P99us > base.Binary.P99us*(1+tolerance) {
+			violations = append(violations, fmt.Sprintf("binary p99 %.0fus regressed more than %.0f%% above baseline %.0fus",
+				rep.Binary.P99us, tolerance*100, base.Binary.P99us))
+		}
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(stderr, "benchgate: FAIL:", v)
+		}
+		return fmt.Errorf("%d serving-path gate violation(s)", len(violations))
+	}
+	fmt.Fprintf(stderr, "benchgate: OK: binary %.2fx faster than json (p99 ratio %.2f), within %.0f%% of baseline\n",
+		rep.SpeedupQPS, rep.P99Ratio, tolerance*100)
+	return nil
+}

@@ -68,6 +68,10 @@ func main() {
 		replicas     = flag.Int("replicas", ishare.DefaultReplicas, "federation: successor peers mirroring each registry entry (-1 = none)")
 		syncEvery    = flag.Duration("sync-every", 30*time.Second, "federation: anti-entropy push interval (0 = on-register replication only)")
 		obsAddr      = flag.String("obs-addr", "", "serve Prometheus /metrics, /debug/pprof and /traces on this HTTP address (empty = disabled)")
+		maxInflight  = flag.Int("max-inflight", 0, "admission control: max concurrently served requests across all connections (0 = default 256)")
+		maxQueued    = flag.Int("max-queued", 0, "admission control: max requests queued for an in-flight slot before shedding with the typed overloaded error (0 = same as -max-inflight)")
+		perConnInfl  = flag.Int("per-conn-inflight", 0, "admission control: max pipelined requests in flight per connection (0 = default 32)")
+		idleDeadline = flag.Duration("idle-deadline", 0, "close connections with no frame activity for this long; reset per frame on long-lived connections (0 = default 5m)")
 		logLevel     = flag.String("log-level", "info", "log level: debug, info, warn or error")
 		logJSON      = flag.Bool("log-json", false, "emit logs as JSON instead of text")
 		traceSample  = flag.Float64("trace-sample", 1, "fraction of served requests to trace into the flight recorder (0 disables tracing)")
@@ -84,6 +88,12 @@ func main() {
 		ttl: *ttl, hbEvery: *hbEvery, reapEvery: *reapEvery, obsAddr: *obsAddr,
 		peers: *peers, vnodes: *vnodes, replicas: *replicas, syncEvery: *syncEvery,
 		traceSample: *traceSample, traceSeed: *traceSeed, flight: flight, logger: logger,
+		serveCfg: ishare.ServerConfig{
+			MaxInflight:      *maxInflight,
+			MaxQueuedWaiters: *maxQueued,
+			PerConnInflight:  *perConnInfl,
+			IdleDeadline:     *idleDeadline,
+		},
 	}); err != nil {
 		logger.Error("exiting", slog.String("err", err.Error()))
 		os.Exit(1)
@@ -106,6 +116,9 @@ type runConfig struct {
 	traceSeed                    uint64
 	flight                       *otrace.Recorder
 	logger                       *slog.Logger
+	// serveCfg carries the admission-control and connection-lifetime knobs
+	// into every protocol server this process starts.
+	serveCfg ishare.ServerConfig
 }
 
 // obsDrainTimeout bounds how long shutdown waits for in-flight /metrics,
@@ -223,7 +236,7 @@ func runFed(rc runConfig) error {
 	if err != nil {
 		return err
 	}
-	srv, err := gw.Serve(rc.listen)
+	srv, err := gw.ServeConfig(rc.listen, rc.serveCfg)
 	if err != nil {
 		return err
 	}
@@ -341,7 +354,7 @@ func run(rc runConfig) error {
 			Recorder:   rc.flight,
 		}))
 	}
-	srv, err := node.Gateway.Serve(listen)
+	srv, err := node.Gateway.ServeConfig(listen, rc.serveCfg)
 	if err != nil {
 		return err
 	}

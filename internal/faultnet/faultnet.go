@@ -24,7 +24,9 @@
 //   - byte corruption: one read byte is flipped at a planned offset
 //     (CorruptProb)
 //   - full per-peer partitions via Partition/Heal: every dial to the peer
-//     fails immediately until healed
+//     fails immediately until healed, and established connections to the
+//     peer are severed — so pooled, long-lived connections observe the
+//     partition too, not just fresh dials
 package faultnet
 
 import (
@@ -121,6 +123,7 @@ type Network struct {
 	partitioned map[string]bool
 	dialSeq     map[string]uint64 // per-addr dial attempt counter
 	acceptSeq   map[string]uint64 // per-listener accept counter
+	open        map[*conn]struct{}
 	trace       []string
 	dialFails   int
 }
@@ -135,6 +138,7 @@ func New(seed uint64, cfg Config) *Network {
 		partitioned: make(map[string]bool),
 		dialSeq:     make(map[string]uint64),
 		acceptSeq:   make(map[string]uint64),
+		open:        make(map[*conn]struct{}),
 	}
 }
 
@@ -167,12 +171,27 @@ func (n *Network) SetPeerConfig(addr string, cfg Config) {
 	n.peerCfg[n.key(addr)] = cfg
 }
 
-// Partition cuts all future dials to addr until Heal.
+// Partition cuts all future dials to addr until Heal and severs every
+// established connection to it, so long-lived pooled connections observe
+// the partition instead of riding it out.
 func (n *Network) Partition(addr string) {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.partitioned[n.key(addr)] = true
-	n.trace = append(n.trace, fmt.Sprintf("partition %s", n.key(addr)))
+	key := n.key(addr)
+	n.partitioned[key] = true
+	n.trace = append(n.trace, fmt.Sprintf("partition %s", key))
+	var sever []*conn
+	for c := range n.open {
+		if c.addr == key {
+			sever = append(sever, c)
+			delete(n.open, c)
+		}
+	}
+	n.mu.Unlock()
+	// Close outside the lock: conn.Close re-enters the network to
+	// unregister itself.
+	for _, c := range sever {
+		_ = c.Conn.Close()
+	}
 }
 
 // Heal restores dials to addr.
@@ -271,7 +290,24 @@ func (n *Network) DialTimeout(network, addr string, timeout time.Duration) (net.
 	if err != nil {
 		return nil, err
 	}
-	return &conn{Conn: c, addr: key, mode: mode, offset: off}, nil
+	fc := &conn{Conn: c, net: n, addr: key, mode: mode, offset: off}
+	n.register(fc)
+	return fc, nil
+}
+
+// register tracks an established outbound connection so Partition can sever
+// it. A connection dialed to an already-partitioned peer cannot occur (the
+// dial fails first).
+func (n *Network) register(c *conn) {
+	n.mu.Lock()
+	n.open[c] = struct{}{}
+	n.mu.Unlock()
+}
+
+func (n *Network) unregister(c *conn) {
+	n.mu.Lock()
+	delete(n.open, c)
+	n.mu.Unlock()
 }
 
 // Listen opens a fault-injecting listener: accepted connections get their
@@ -320,6 +356,7 @@ func (l *listener) Accept() (net.Conn, error) {
 // depend on how the stream is chunked into Read/Write calls.
 type conn struct {
 	net.Conn
+	net    *Network // nil for accepted (inbound) connections
 	addr   string
 	mode   connMode
 	offset int
@@ -328,6 +365,15 @@ type conn struct {
 	read    int
 	written int
 	done    bool // fault already delivered
+}
+
+// Close unregisters the connection from the partition registry before
+// closing the underlying socket.
+func (c *conn) Close() error {
+	if c.net != nil {
+		c.net.unregister(c)
+	}
+	return c.Conn.Close()
 }
 
 func (c *conn) Read(p []byte) (int, error) {

@@ -75,7 +75,10 @@ type chaosResult struct {
 //
 // All faults are drawn from the seed; gateway addresses are aliased to
 // logical machine names so ephemeral ports do not perturb the schedule.
-func runChaosOnce(t *testing.T, seed uint64) chaosResult {
+// With binary set, the client rides pooled multiplexed binary connections
+// through the same fault network (partitions sever the pooled connections);
+// otherwise it uses the JSON dial-per-RPC compat path.
+func runChaosOnce(t *testing.T, seed uint64, binary bool) chaosResult {
 	t.Helper()
 	start := time.Date(2005, 9, 2, 8, 30, 0, 0, time.UTC)
 	fn := faultnet.New(seed, faultnet.Config{
@@ -91,6 +94,11 @@ func runChaosOnce(t *testing.T, seed uint64) chaosResult {
 		// because nothing advances it while an RPC is in flight.
 		Retry:      RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
 		JitterSeed: seed + 1,
+	}
+	if binary {
+		pool := &Pool{Dialer: fn}
+		defer pool.Close()
+		caller.Pool = pool
 	}
 
 	const machines = 5
@@ -170,7 +178,7 @@ func runChaosOnce(t *testing.T, seed uint64) chaosResult {
 // fault trace and the same placements.
 func TestChaosJobSurvivesPartitionsAndCrashes(t *testing.T) {
 	const seed = 7
-	a := runChaosOnce(t, seed)
+	a := runChaosOnce(t, seed, false)
 	if a.err != nil {
 		t.Fatalf("chaos run failed: %v\nplacements: %+v", a.err, a.run.Placements)
 	}
@@ -216,7 +224,7 @@ func TestChaosJobSurvivesPartitionsAndCrashes(t *testing.T) {
 	}
 
 	// Determinism: an identical seed reproduces the identical run.
-	b := runChaosOnce(t, seed)
+	b := runChaosOnce(t, seed, false)
 	if b.err != nil {
 		t.Fatalf("second chaos run failed: %v", b.err)
 	}
@@ -233,8 +241,59 @@ func TestChaosJobSurvivesPartitionsAndCrashes(t *testing.T) {
 	}
 	// A different seed draws a different schedule (sanity check that the
 	// seed is actually load-bearing).
-	c := runChaosOnce(t, seed+1)
+	c := runChaosOnce(t, seed+1, false)
 	if c.err == nil && reflect.DeepEqual(a.trace, c.trace) {
 		t.Fatal("different seeds produced identical fault traces")
+	}
+}
+
+// TestChaosJobSurvivesBinaryTransport runs the same scripted outage timeline
+// over pooled multiplexed binary connections: the partition must sever the
+// live pooled connection to m1 (not just block fresh dials), the job must
+// still migrate to completion, and the whole run — fault trace and
+// placements — must stay byte-deterministic under a fixed seed.
+func TestChaosJobSurvivesBinaryTransport(t *testing.T) {
+	const seed = 7
+	a := runChaosOnce(t, seed, true)
+	if a.err != nil {
+		t.Fatalf("binary chaos run failed: %v\nplacements: %+v", a.err, a.run.Placements)
+	}
+	if !a.run.Completed() {
+		t.Fatalf("job did not complete: final = %+v", a.run.Final)
+	}
+	if a.run.Migrations < 1 {
+		t.Fatalf("job never migrated under partition+revocation: placements = %+v", a.run.Placements)
+	}
+	p := a.run.Placements
+	if p[0].MachineID != "m1" || p[0].Outcome != "killed" {
+		t.Fatalf("placement 0 = %+v, want kill on partitioned m1", p[0])
+	}
+	if last := p[len(p)-1]; last.Outcome != "completed" {
+		t.Fatalf("final placement = %+v, want completion", last)
+	}
+	if a.run.Final.ProgressSeconds != a.run.Final.WorkSeconds {
+		t.Fatalf("final progress = %v/%v", a.run.Final.ProgressSeconds, a.run.Final.WorkSeconds)
+	}
+	joined := strings.Join(a.trace, "\n")
+	if !strings.Contains(joined, "partition m1") || !strings.Contains(joined, "heal m1") {
+		t.Fatalf("trace missing partition lifecycle:\n%s", joined)
+	}
+
+	// Determinism: an identical seed reproduces the identical run over the
+	// pooled transport too.
+	b := runChaosOnce(t, seed, true)
+	if b.err != nil {
+		t.Fatalf("second binary chaos run failed: %v", b.err)
+	}
+	if !reflect.DeepEqual(a.trace, b.trace) {
+		t.Fatalf("fault traces differ between identical seeds:\n--- run A ---\n%s\n--- run B ---\n%s",
+			joined, strings.Join(b.trace, "\n"))
+	}
+	if !reflect.DeepEqual(a.run.Placements, b.run.Placements) {
+		t.Fatalf("placements differ: %+v vs %+v", a.run.Placements, b.run.Placements)
+	}
+	if a.dialFails != b.dialFails || a.transients != b.transients {
+		t.Fatalf("fault counts differ: dials %d/%d, transients %d/%d",
+			a.dialFails, b.dialFails, a.transients, b.transients)
 	}
 }

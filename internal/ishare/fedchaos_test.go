@@ -41,7 +41,12 @@ type fedChaosResult struct {
 // Peer-to-peer and peer-to-machine hops run on a clean network: the chaos
 // under test is the dead peer plus the client-hop faults, and keeping the
 // inner hops clean makes every transcript value a pure function of the seed.
-func runFedChaosOnce(t *testing.T, seed uint64) fedChaosResult {
+//
+// With binary set, both the faulted client hop and the clean peer-to-peer
+// forwarding hop ride pooled multiplexed binary connections; killing a peer
+// must then sever the survivors' pooled connections to it, not just refuse
+// fresh dials.
+func runFedChaosOnce(t *testing.T, seed uint64, binary bool) fedChaosResult {
 	t.Helper()
 	start := time.Date(2005, 9, 2, 8, 30, 0, 0, time.UTC)
 	clock := &stepClock{now: start}
@@ -59,9 +64,19 @@ func runFedChaosOnce(t *testing.T, seed uint64) fedChaosResult {
 		Retry:      RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
 		JitterSeed: seed + 1,
 	}
+	if binary {
+		pool := &Pool{Dialer: fn}
+		defer pool.Close()
+		clientCaller.Pool = pool
+	}
 
 	nodes := buildFederationWith(t, 3, 1, clock, func(i int, cfg *FedConfig) {
 		cfg.Caller.JitterSeed = seed + uint64(i+1)*100
+		if binary {
+			pool := &Pool{}
+			t.Cleanup(func() { pool.Close() })
+			cfg.Caller.Pool = pool
+		}
 		// Threshold 1 + a static clock: the first refused dial to the dead
 		// peer opens its breaker and keeps it open, so routing decisions
 		// after the kill are identical on every run.
@@ -215,7 +230,7 @@ func runFedChaosOnce(t *testing.T, seed uint64) fedChaosResult {
 // seed.
 func TestChaosFederatedGatewayLoss(t *testing.T) {
 	const seed = 4
-	a := runFedChaosOnce(t, seed)
+	a := runFedChaosOnce(t, seed, false)
 	if len(a.errs) != 0 {
 		t.Fatalf("federated ops failed after gateway loss:\n%s\ntranscript:\n%s",
 			strings.Join(a.errs, "\n"), strings.Join(a.transcript, "\n"))
@@ -252,7 +267,7 @@ func TestChaosFederatedGatewayLoss(t *testing.T) {
 	// Determinism: an identical seed reproduces the identical run — the
 	// transcript (every TR, every ranking order, every job id) and the full
 	// fault-network schedule.
-	b := runFedChaosOnce(t, seed)
+	b := runFedChaosOnce(t, seed, false)
 	if len(b.errs) != 0 {
 		t.Fatalf("second run failed: %s", strings.Join(b.errs, "\n"))
 	}
@@ -268,9 +283,61 @@ func TestChaosFederatedGatewayLoss(t *testing.T) {
 		t.Fatalf("fault counts differ: dials %d/%d, killed %s/%s", a.dialFails, b.dialFails, a.killedPeer, b.killedPeer)
 	}
 	// A different seed draws a different fault schedule.
-	c := runFedChaosOnce(t, seed+1)
+	c := runFedChaosOnce(t, seed+1, false)
 	if reflect.DeepEqual(a.netTrace, c.netTrace) {
 		t.Fatal("different seeds produced identical fault traces")
+	}
+}
+
+// TestChaosFederatedGatewayLossBinary reruns the federated gateway-loss
+// scenario with every client→peer and peer→peer hop on pooled multiplexed
+// binary connections. Closing the killed peer's server must sever the
+// survivors' pooled connections into it (a pool would otherwise keep writing
+// into a dead mux forever), forwarding must re-route, and the run must stay
+// byte-deterministic under a fixed seed.
+func TestChaosFederatedGatewayLossBinary(t *testing.T) {
+	const seed = 4
+	a := runFedChaosOnce(t, seed, true)
+	if len(a.errs) != 0 {
+		t.Fatalf("federated ops failed after gateway loss over binary transport:\n%s\ntranscript:\n%s",
+			strings.Join(a.errs, "\n"), strings.Join(a.transcript, "\n"))
+	}
+	if len(a.transcript) != 33 {
+		t.Fatalf("transcript has %d entries, want 33:\n%s", len(a.transcript), strings.Join(a.transcript, "\n"))
+	}
+	joined := strings.Join(a.transcript, "\n")
+	if !strings.Contains(joined, "n=5 failures=0") {
+		t.Fatalf("rankings did not cover all five machines cleanly:\n%s", joined)
+	}
+	if a.forwarded == 0 {
+		t.Fatal("no surviving peer ever forwarded; the ring routing went unexercised")
+	}
+
+	// Determinism over the pooled transport.
+	b := runFedChaosOnce(t, seed, true)
+	if len(b.errs) != 0 {
+		t.Fatalf("second run failed: %s", strings.Join(b.errs, "\n"))
+	}
+	if !reflect.DeepEqual(a.transcript, b.transcript) {
+		t.Fatalf("transcripts differ between identical seeds:\n--- run A ---\n%s\n--- run B ---\n%s",
+			joined, strings.Join(b.transcript, "\n"))
+	}
+	if !reflect.DeepEqual(a.netTrace, b.netTrace) {
+		t.Fatalf("fault traces differ between identical seeds:\n--- run A ---\n%s\n--- run B ---\n%s",
+			strings.Join(a.netTrace, "\n"), strings.Join(b.netTrace, "\n"))
+	}
+	if a.dialFails != b.dialFails || a.killedPeer != b.killedPeer {
+		t.Fatalf("fault counts differ: dials %d/%d, killed %s/%s", a.dialFails, b.dialFails, a.killedPeer, b.killedPeer)
+	}
+
+	// The transcript values are transport-independent: the same seed over
+	// the JSON compat path yields the same TRs, rankings and job IDs (the
+	// fault schedules differ — pooled transports dial far less — but the
+	// application-level results must not).
+	j := runFedChaosOnce(t, seed, false)
+	if len(j.errs) == 0 && !reflect.DeepEqual(a.transcript, j.transcript) {
+		t.Fatalf("binary and JSON transcripts diverge for the same seed:\n--- binary ---\n%s\n--- json ---\n%s",
+			joined, strings.Join(j.transcript, "\n"))
 	}
 }
 
@@ -280,7 +347,14 @@ func TestChaosFederatedGatewayLoss(t *testing.T) {
 // owner peer's fed.dispatch → machine gateway's gateway.dispatch → the
 // state manager's query — once the per-process flight recorders are merged
 // on trace ID, exactly as `isharec traces` does.
-func TestFedForwardedTraceStitched(t *testing.T) {
+func TestFedForwardedTraceStitched(t *testing.T) { runStitchedTrace(t, false) }
+
+// TestFedForwardedTraceStitchedBinary pins the same stitched-trace property
+// with every hop on pooled binary connections: the trace header travels in
+// the frame itself, so the forwarded request must still render as one tree.
+func TestFedForwardedTraceStitchedBinary(t *testing.T) { runStitchedTrace(t, true) }
+
+func runStitchedTrace(t *testing.T, binary bool) {
 	start := time.Date(2005, 9, 2, 8, 30, 0, 0, time.UTC)
 	const seed = 21
 	recs := make([]*otrace.Recorder, 3)
@@ -292,6 +366,11 @@ func TestFedForwardedTraceStitched(t *testing.T) {
 			SampleRate: 1, Seed: seed + uint64(i+1)*1000,
 			Recorder: recs[i], Clock: &tickClock{t: start},
 		})
+		if binary {
+			pool := &Pool{}
+			t.Cleanup(func() { pool.Close() })
+			cfg.Caller.Pool = pool
+		}
 	})
 
 	clock := &stepClock{now: start}
@@ -323,7 +402,13 @@ func TestFedForwardedTraceStitched(t *testing.T) {
 	clientTracer := otrace.New(otrace.Config{
 		SampleRate: 1, Seed: seed, Recorder: clientRec, Clock: &tickClock{t: start},
 	})
-	fc := FedClient{Addr: nodes[entry].srv.Addr(), Caller: &Caller{}}
+	clientCaller := &Caller{}
+	if binary {
+		pool := &Pool{}
+		defer pool.Close()
+		clientCaller.Pool = pool
+	}
+	fc := FedClient{Addr: nodes[entry].srv.Addr(), Caller: clientCaller}
 	ctx, root := clientTracer.Start(context.Background(), "client.query-tr")
 	resp, err := fc.QueryTR(ctx, "m-traced", QueryTRReq{LengthSeconds: 3600, GuestMemMB: 100})
 	root.End()

@@ -379,7 +379,9 @@ func (f *FedGateway) callPeer(ctx context.Context, p Peer, typ string, payload, 
 		err = f.caller.Call(ctx, p.Addr, typ, payload, out, f.timeout)
 	}
 	if f.breakers != nil {
-		if IsTransport(err) {
+		if IsTransport(err) || IsOverloaded(err) {
+			// The breaker counts overloaded sheds separately from
+			// transport faults and never opens on them.
 			f.breakers.Report(p.ID, err)
 		} else {
 			f.breakers.Report(p.ID, nil)
@@ -594,7 +596,7 @@ func (f *FedGateway) route(ctx context.Context, machine string, local bool, fedT
 			f.addForwarded()
 			return nil
 		}
-		if IsTransport(err) || isUnknownMachine(err) {
+		if IsTransport(err) || IsOverloaded(err) || isUnknownMachine(err) {
 			lastErr = err
 			continue
 		}
@@ -713,7 +715,7 @@ func (f *FedGateway) FedRank(ctx context.Context, req FedRankReq) (FedRankResp, 
 			resp.Failures = append(resp.Failures, FedRankFailure{
 				MachineID: m.MachineID,
 				Err:       err.Error(),
-				Transient: IsTransport(err),
+				Transient: IsTransport(err) || IsOverloaded(err),
 			})
 			continue
 		}
@@ -865,6 +867,7 @@ func (f *FedGateway) dispatch(ctx context.Context, req Request) (interface{}, er
 		resp := QueryStatsResp{MachineID: f.self.ID, Ring: f.RingStats()}
 		if f.obs != nil {
 			resp.Requests, resp.Errors = f.obs.requestCounts()
+			resp.Wire = f.obs.wireStats()
 		}
 		return resp, nil
 	case MsgQueryTraces:
@@ -904,7 +907,16 @@ func (f *FedGateway) queryTraces(req QueryTracesReq) (QueryTracesResp, error) {
 	return resp, nil
 }
 
-// Serve starts a protocol server for the peer on addr.
+// Serve starts a protocol server for the peer on addr, with the peer's
+// serving-path metrics installed when observability is attached.
 func (f *FedGateway) Serve(addr string) (*Server, error) {
-	return NewServer(addr, f.Handler())
+	return f.ServeConfig(addr, ServerConfig{})
+}
+
+// ServeConfig is Serve with explicit admission-control and deadline bounds.
+func (f *FedGateway) ServeConfig(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Metrics == nil {
+		cfg.Metrics = f.obs.serverMetrics()
+	}
+	return NewServerConfig(addr, f.Handler(), cfg)
 }

@@ -201,6 +201,7 @@ func (g *Gateway) QueryStats(ctx context.Context, req QueryStatsReq) (QueryStats
 		Accuracy:           o.Tracker.All(),
 	}
 	resp.Requests, resp.Errors = o.requestCounts()
+	resp.Wire = o.wireStats()
 	if !req.Calibration {
 		for i := range resp.Accuracy {
 			resp.Accuracy[i].Calibration = nil
@@ -385,7 +386,16 @@ func (g *Gateway) dispatch(ctx context.Context, req Request) (interface{}, error
 	}
 }
 
-// Serve starts the gateway's TCP endpoint.
+// Serve starts the gateway's TCP endpoint under the default server config,
+// with the node's serving-path metrics installed when observability is on.
 func (g *Gateway) Serve(addr string) (*Server, error) {
-	return NewServer(addr, g.Handler())
+	return g.ServeConfig(addr, ServerConfig{})
+}
+
+// ServeConfig is Serve with explicit admission-control and deadline bounds.
+func (g *Gateway) ServeConfig(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Metrics == nil {
+		cfg.Metrics = g.sm.Obs().serverMetrics()
+	}
+	return NewServerConfig(addr, g.Handler(), cfg)
 }

@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"sync/atomic"
 	"time"
 
 	"fgcs/internal/monitor"
@@ -8,6 +9,90 @@ import (
 	"fgcs/internal/otrace"
 	"fgcs/internal/predict"
 )
+
+// ServerMetrics counts a server's wire-protocol and admission-control
+// activity: connections per negotiated protocol and requests shed per
+// reason. A nil *ServerMetrics records nothing, so bare NewServer callers
+// pay only a nil check. The raw counts are kept as atomics alongside the
+// registry counters so QueryStats can snapshot them without a registry
+// scrape.
+type ServerMetrics struct {
+	binaryConns uint64
+	jsonConns   uint64
+	shedAccept  uint64
+	shedInfl    uint64
+	shedPC      uint64
+
+	cBinary     *obs.Counter
+	cJSON       *obs.Counter
+	cShedAccept *obs.Counter
+	cShedInfl   *obs.Counter
+	cShedPC     *obs.Counter
+}
+
+// NewServerMetrics registers the serving-path counter families on r.
+func NewServerMetrics(r *obs.Registry) *ServerMetrics {
+	return &ServerMetrics{
+		cBinary:     r.Counter("fgcs_server_conns_total", "Connections accepted, by negotiated protocol.", obs.Label{Key: "proto", Value: "binary"}),
+		cJSON:       r.Counter("fgcs_server_conns_total", "Connections accepted, by negotiated protocol.", obs.Label{Key: "proto", Value: "json"}),
+		cShedAccept: r.Counter("fgcs_server_shed_total", "Requests or connections shed by admission control, by reason.", obs.Label{Key: "reason", Value: "accept-queue"}),
+		cShedInfl:   r.Counter("fgcs_server_shed_total", "Requests or connections shed by admission control, by reason.", obs.Label{Key: "reason", Value: "inflight"}),
+		cShedPC:     r.Counter("fgcs_server_shed_total", "Requests or connections shed by admission control, by reason.", obs.Label{Key: "reason", Value: "per-conn"}),
+	}
+}
+
+func (m *ServerMetrics) connOpened(binary bool) {
+	if m == nil {
+		return
+	}
+	if binary {
+		atomic.AddUint64(&m.binaryConns, 1)
+		m.cBinary.Inc()
+		return
+	}
+	atomic.AddUint64(&m.jsonConns, 1)
+	m.cJSON.Inc()
+}
+
+func (m *ServerMetrics) shedAcceptQueue() {
+	if m == nil {
+		return
+	}
+	atomic.AddUint64(&m.shedAccept, 1)
+	m.cShedAccept.Inc()
+}
+
+func (m *ServerMetrics) shedInflight() {
+	if m == nil {
+		return
+	}
+	atomic.AddUint64(&m.shedInfl, 1)
+	m.cShedInfl.Inc()
+}
+
+func (m *ServerMetrics) shedPerConn() {
+	if m == nil {
+		return
+	}
+	atomic.AddUint64(&m.shedPC, 1)
+	m.cShedPC.Inc()
+}
+
+// Snapshot returns the wire-stats view of the counters, stamped with the
+// binary protocol version this build speaks.
+func (m *ServerMetrics) Snapshot() WireStats {
+	if m == nil {
+		return WireStats{ProtoVersion: FrameVersion}
+	}
+	return WireStats{
+		ProtoVersion:    FrameVersion,
+		BinaryConns:     atomic.LoadUint64(&m.binaryConns),
+		JSONConns:       atomic.LoadUint64(&m.jsonConns),
+		ShedAcceptQueue: atomic.LoadUint64(&m.shedAccept),
+		ShedInflight:    atomic.LoadUint64(&m.shedInfl),
+		ShedPerConn:     atomic.LoadUint64(&m.shedPC),
+	}
+}
 
 // gatewayRPCTypes are the request types a gateway serves — host-node RPCs
 // plus the federation verbs a peer gateway dispatches; their counters and
@@ -32,6 +117,9 @@ type NodeObs struct {
 	Monitor *monitor.Metrics
 	// Caller instruments the node's outbound RPCs (registry heartbeats).
 	Caller *CallerMetrics
+	// Server instruments the node's serving path: connection protocol mix
+	// and admission-control sheds.
+	Server *ServerMetrics
 	// Tracer mints request traces for the node's served RPCs. nil (the
 	// default) disables tracing entirely — the serving path then pays two
 	// pointer reads and nothing else. Install one with SetTracing.
@@ -62,7 +150,9 @@ func NewNodeObs() *NodeObs {
 		Attempts:        r.Counter("fgcs_client_rpc_attempts_total", "Outbound RPC attempts (first tries and retries)."),
 		Retries:         r.Counter("fgcs_client_rpc_retries_total", "Outbound RPC attempts beyond the first."),
 		TransportErrors: r.Counter("fgcs_client_rpc_transport_errors_total", "Outbound RPC attempts that failed below the application."),
+		Overloaded:      r.Counter("fgcs_client_rpc_overloaded_total", "Outbound RPC attempts shed by the server's admission control."),
 	}
+	o.Server = NewServerMetrics(r)
 	for _, typ := range gatewayRPCTypes {
 		l := obs.Label{Key: "type", Value: typ}
 		o.requests[typ] = r.Counter("fgcs_gateway_requests_total", "Gateway RPCs served, by request type.", l)
@@ -143,6 +233,24 @@ func (o *NodeObs) observeRPC(typ string, err error, dur time.Duration) {
 		o.errors[typ].Inc()
 	}
 	o.rpcSeconds[typ].Observe(dur.Seconds())
+}
+
+// serverMetrics is the nil-safe accessor the serve paths use.
+func (o *NodeObs) serverMetrics() *ServerMetrics {
+	if o == nil {
+		return nil
+	}
+	return o.Server
+}
+
+// wireStats snapshots the serving-path counters for QueryStats (nil when
+// observability is off, so the field stays absent on the wire).
+func (o *NodeObs) wireStats() *WireStats {
+	if o == nil || o.Server == nil {
+		return nil
+	}
+	w := o.Server.Snapshot()
+	return &w
 }
 
 // requestCounts snapshots the per-type served/error counters (only types

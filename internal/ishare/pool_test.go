@@ -1,0 +1,364 @@
+package ishare
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fgcs/internal/obs"
+)
+
+type echoReq struct {
+	N int `json:"n"`
+}
+
+// echoServer serves a doubling handler over the full server stack with the
+// given config and returns the server plus its metrics. A non-nil block
+// channel makes every handler invocation signal entry on entered (when set)
+// and park until block closes.
+func echoServer(t *testing.T, cfg ServerConfig, block <-chan struct{}, entered chan<- struct{}) (*Server, *ServerMetrics) {
+	t.Helper()
+	sm := NewServerMetrics(obs.NewRegistry())
+	cfg.Metrics = sm
+	srv, err := NewServerConfig("127.0.0.1:0", func(req Request) (interface{}, error) {
+		if block != nil {
+			if entered != nil {
+				entered <- struct{}{}
+			}
+			<-block
+		}
+		var in echoReq
+		if err := json.Unmarshal(req.Payload, &in); err != nil {
+			return nil, err
+		}
+		return echoReq{N: in.N * 2}, nil
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, sm
+}
+
+// TestPoolReusesAndPipelines drives sequential and concurrent calls through
+// one pooled connection: the server must see exactly one binary connection,
+// the client must negotiate the binary protocol version, and every pipelined
+// response must land on its own request.
+func TestPoolReusesAndPipelines(t *testing.T) {
+	srv, sm := echoServer(t, ServerConfig{}, nil, nil)
+	pool := &Pool{}
+	defer pool.Close()
+	caller := &Caller{Pool: pool}
+
+	for i := 1; i <= 20; i++ {
+		var out echoReq
+		if err := caller.Call(context.Background(), srv.Addr(), "echo", echoReq{N: i}, &out, time.Second); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+		if out.N != 2*i {
+			t.Fatalf("call %d returned %d, want %d", i, out.N, 2*i)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for i := 1; i <= 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out echoReq
+			if err := caller.Call(context.Background(), srv.Addr(), "echo", echoReq{N: i}, &out, 2*time.Second); err != nil {
+				errs <- fmt.Errorf("concurrent call %d: %w", i, err)
+				return
+			}
+			if out.N != 2*i {
+				errs <- fmt.Errorf("concurrent call %d returned %d", i, out.N)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	if got := sm.Snapshot(); got.BinaryConns != 1 || got.JSONConns != 0 {
+		t.Fatalf("server saw %d binary / %d json conns, want exactly 1 pooled binary conn", got.BinaryConns, got.JSONConns)
+	}
+	if v := pool.Negotiated(srv.Addr()); v != FrameVersion {
+		t.Fatalf("negotiated version = %d, want %d", v, FrameVersion)
+	}
+}
+
+// TestServerShedsTypedOverloaded saturates a one-slot server through one
+// pooled connection: the in-flight holder plus one queued waiter fill the
+// admission budget, the third concurrent request must come back as the typed
+// overloaded error — immediately, not after a timeout — and the held
+// requests must still complete once the slot frees.
+func TestServerShedsTypedOverloaded(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	srv, sm := echoServer(t, ServerConfig{MaxInflight: 1, MaxQueuedWaiters: 1}, block, entered)
+	pool := &Pool{}
+	defer pool.Close()
+	caller := &Caller{Pool: pool}
+
+	call := func(i int, res chan<- error) {
+		var out echoReq
+		err := caller.Call(context.Background(), srv.Addr(), "echo", echoReq{N: i}, &out, 5*time.Second)
+		if err == nil && out.N != 2*i {
+			err = fmt.Errorf("call %d returned %d", i, out.N)
+		}
+		res <- err
+	}
+	held := make(chan error, 2)
+	go call(1, held)
+	<-entered // first request holds the slot inside the handler
+	go call(2, held)
+	// Wait until the second request is queued for the slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		srv.admit.mu.Lock()
+		w := srv.admit.waiting
+		srv.admit.mu.Unlock()
+		if w == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+
+	start := time.Now()
+	var out echoReq
+	err := caller.Call(context.Background(), srv.Addr(), "echo", echoReq{N: 3}, &out, 5*time.Second)
+	if !IsOverloaded(err) {
+		t.Fatalf("third request returned %v, want typed overloaded", err)
+	}
+	if IsTransport(err) {
+		t.Fatal("overloaded error must not classify as a transport fault")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("shed took %v; load shedding must be immediate", elapsed)
+	}
+	if got := sm.Snapshot(); got.ShedInflight != 1 {
+		t.Fatalf("ShedInflight = %d, want 1 (snapshot %+v)", got.ShedInflight, got)
+	}
+
+	close(block)
+	for i := 0; i < 2; i++ {
+		if err := <-held; err != nil {
+			t.Fatalf("held request failed after release: %v", err)
+		}
+	}
+}
+
+// TestServerShedsPerConnCap pins the per-connection pipelining cap: with one
+// slot per connection, a second concurrent request on the same pooled
+// connection is shed before it ever reaches the global admission queue.
+func TestServerShedsPerConnCap(t *testing.T) {
+	block := make(chan struct{})
+	entered := make(chan struct{}, 8)
+	srv, sm := echoServer(t, ServerConfig{PerConnInflight: 1, MaxInflight: 8}, block, entered)
+	pool := &Pool{}
+	defer pool.Close()
+	caller := &Caller{Pool: pool}
+
+	held := make(chan error, 1)
+	go func() {
+		var out echoReq
+		held <- caller.Call(context.Background(), srv.Addr(), "echo", echoReq{N: 1}, &out, 5*time.Second)
+	}()
+	// The per-connection slot is consumed before the handler parks.
+	<-entered
+
+	var out echoReq
+	err := caller.Call(context.Background(), srv.Addr(), "echo", echoReq{N: 2}, &out, 5*time.Second)
+	if !IsOverloaded(err) {
+		t.Fatalf("second pipelined request returned %v, want typed overloaded", err)
+	}
+	if got := sm.Snapshot(); got.ShedPerConn != 1 {
+		t.Fatalf("ShedPerConn = %d, want 1 (snapshot %+v)", got.ShedPerConn, got)
+	}
+	close(block)
+	if err := <-held; err != nil {
+		t.Fatalf("held request failed: %v", err)
+	}
+}
+
+// TestCallRetryBacksOffOnOverloaded pins the retry semantics of the typed
+// overloaded error on the JSON compat path: sheds are retryable, so a caller
+// with retries configured rides out a transient overload.
+func TestCallRetryBacksOffOnOverloaded(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	var attempts int64
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				br := bufio.NewReader(conn)
+				if _, err := br.ReadString('\n'); err != nil {
+					return
+				}
+				var resp Response
+				if atomic.AddInt64(&attempts, 1) <= 2 {
+					resp = Response{Error: "server overloaded", Code: CodeOverloaded}
+				} else {
+					resp = Response{OK: true, Payload: json.RawMessage(`{"n":42}`)}
+				}
+				b, _ := json.Marshal(resp)
+				conn.Write(append(b, '\n'))
+			}(conn)
+		}
+	}()
+
+	caller := &Caller{
+		Retry:      RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+		JitterSeed: 1,
+	}
+	var out echoReq
+	if err := caller.CallRetry(context.Background(), ln.Addr().String(), "echo", nil, &out, time.Second); err != nil {
+		t.Fatalf("CallRetry over transient overload: %v", err)
+	}
+	if out.N != 42 {
+		t.Fatalf("out.N = %d, want 42", out.N)
+	}
+	if got := atomic.LoadInt64(&attempts); got != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two sheds, one success)", got)
+	}
+}
+
+// TestBreakerCountsShedsSeparately pins that admission sheds do not trip
+// breakers: a shed server is alive and telling us to back off, which is not
+// the machine-fault signal breakers quarantine on.
+func TestBreakerCountsShedsSeparately(t *testing.T) {
+	bs := NewBreakerSet(BreakerConfig{Threshold: 1, Cooldown: time.Hour}, &stepClock{now: time.Unix(0, 0)})
+	shed := &RemoteError{Msg: "server overloaded", Code: CodeOverloaded}
+	for i := 0; i < 5; i++ {
+		bs.Report("m1", shed)
+	}
+	if !bs.Allow("m1") {
+		t.Fatal("sheds tripped the breaker; only transport faults may")
+	}
+	faults, sheds := bs.Counts("m1")
+	if faults != 0 || sheds != 5 {
+		t.Fatalf("counts = %d faults / %d sheds, want 0/5", faults, sheds)
+	}
+	bs.Report("m1", &transportError{err: fmt.Errorf("connection refused")})
+	if bs.Allow("m1") {
+		t.Fatal("transport fault at threshold 1 did not open the breaker")
+	}
+	faults, sheds = bs.Counts("m1")
+	if faults != 1 || sheds != 5 {
+		t.Fatalf("counts = %d faults / %d sheds, want 1/5", faults, sheds)
+	}
+}
+
+// TestPoolNoLeakedGoroutines closes the pool and server after a workload
+// with both completed and shed requests, then checks the goroutine count
+// settles back to the baseline: no read loops, handlers or admission waiters
+// may outlive their connections.
+func TestPoolNoLeakedGoroutines(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	block := make(chan struct{})
+	srv, _ := echoServer(t, ServerConfig{MaxInflight: 2, MaxQueuedWaiters: 1}, block, nil)
+	pool := &Pool{}
+	caller := &Caller{Pool: pool}
+	var wg sync.WaitGroup
+	for i := 1; i <= 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var out echoReq
+			// Successes, sheds and timeouts are all fine; the invariant
+			// under test is cleanup, not outcome.
+			_ = caller.Call(context.Background(), srv.Addr(), "echo", echoReq{N: i}, &out, 200*time.Millisecond)
+		}(i)
+	}
+	time.Sleep(50 * time.Millisecond)
+	close(block)
+	wg.Wait()
+	pool.Close()
+	srv.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), truncateStack(string(buf[:n])))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestIdleDeadlineResetsPerFrame pins the keep-alive contract of long-lived
+// connections: each frame pushes the idle deadline forward, so a connection
+// trickling requests slower than the deadline-from-accept stays up, while a
+// truly idle one is reaped — and the pool transparently redials after the
+// reap.
+func TestIdleDeadlineResetsPerFrame(t *testing.T) {
+	srv, sm := echoServer(t, ServerConfig{IdleDeadline: 800 * time.Millisecond}, nil, nil)
+	pool := &Pool{}
+	defer pool.Close()
+	caller := &Caller{
+		Pool: pool,
+		// The post-reap call races the client noticing the server-side
+		// close; a retry absorbs either interleaving.
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond},
+	}
+
+	call := func(i int) error {
+		var out echoReq
+		return caller.CallRetry(context.Background(), srv.Addr(), "echo", echoReq{N: i}, &out, time.Second)
+	}
+	// Four calls 400 ms apart: total span ~1.6 s, far beyond the deadline,
+	// but each frame resets it, so the single pooled connection survives.
+	for i := 1; i <= 4; i++ {
+		if err := call(i); err != nil {
+			t.Fatalf("keep-alive call %d: %v", i, err)
+		}
+		time.Sleep(400 * time.Millisecond)
+	}
+	if got := sm.Snapshot().BinaryConns; got != 1 {
+		t.Fatalf("server saw %d connections during keep-alive, want 1", got)
+	}
+
+	// Go fully idle past the deadline: the server reaps the connection, and
+	// the next call succeeds over a fresh dial.
+	time.Sleep(2 * time.Second)
+	if err := call(6); err != nil {
+		t.Fatalf("call after idle reap: %v", err)
+	}
+	if got := sm.Snapshot().BinaryConns; got != 2 {
+		t.Fatalf("server saw %d connections after idle reap, want 2 (reap + redial)", got)
+	}
+}
+
+func truncateStack(s string) string {
+	if len(s) > 8000 {
+		return s[:8000] + "\n...[truncated]"
+	}
+	return s
+}

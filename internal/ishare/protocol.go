@@ -5,8 +5,10 @@
 // network), and the client-side job scheduler that selects machines by
 // predicted availability and submits guest jobs.
 //
-// Daemons speak a line-delimited JSON protocol over TCP; all components can
-// also be wired in-process for simulations and tests.
+// Daemons speak a length-prefixed binary protocol (frame.go) over pooled,
+// long-lived, multiplexed TCP connections, with a line-delimited JSON compat
+// mode negotiated by first-byte sniff for debugging and old tooling; all
+// components can also be wired in-process for simulations and tests.
 package ishare
 
 import (
@@ -17,6 +19,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fgcs/internal/obs"
@@ -86,8 +89,11 @@ type Request struct {
 
 // Response is the reply envelope.
 type Response struct {
-	OK      bool            `json:"ok"`
-	Error   string          `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code is a machine-readable error class (CodeOverloaded for requests
+	// shed by admission control); empty for ordinary application errors.
+	Code    string          `json:"code,omitempty"`
 	Payload json.RawMessage `json:"payload,omitempty"`
 }
 
@@ -220,6 +226,28 @@ type QueryStatsResp struct {
 	// Ring is present when the answering node is a federation peer: its
 	// view of the peer ring, shard placement, and replication counters.
 	Ring *RingStats `json:"ring,omitempty"`
+	// Wire is the node's serving-path snapshot: negotiated protocol
+	// version, connection mix, and admission-control sheds.
+	Wire *WireStats `json:"wire,omitempty"`
+}
+
+// WireStats is a server's wire-protocol and admission-control snapshot,
+// served inside QueryStatsResp so `isharec stats -verbose` can show which
+// protocol a node negotiates and how hard it is shedding.
+type WireStats struct {
+	// ProtoVersion is the binary protocol version this server speaks.
+	ProtoVersion int `json:"proto_version"`
+	// BinaryConns and JSONConns count connections accepted per negotiated
+	// protocol.
+	BinaryConns uint64 `json:"binary_conns"`
+	JSONConns   uint64 `json:"json_conns"`
+	// ShedAcceptQueue counts connections dropped because the accept queue
+	// was full; ShedInflight counts requests shed by the global in-flight
+	// cap; ShedPerConn counts requests shed by the per-connection
+	// pipelining cap.
+	ShedAcceptQueue uint64 `json:"shed_accept_queue"`
+	ShedInflight    uint64 `json:"shed_inflight"`
+	ShedPerConn     uint64 `json:"shed_per_conn"`
 }
 
 // QueryTracesReq asks a gateway for its flight recorder's recent traces.
@@ -322,7 +350,7 @@ func exchange(conn net.Conn, link otrace.Link, typ string, payload, out interfac
 		return &transportError{fmt.Errorf("ishare: receive: %w", err)}
 	}
 	if !resp.OK {
-		return &RemoteError{Msg: resp.Error}
+		return &RemoteError{Msg: resp.Error, Code: resp.Code}
 	}
 	if out != nil && resp.Payload != nil {
 		if err := json.Unmarshal(resp.Payload, out); err != nil {
@@ -335,12 +363,18 @@ func exchange(conn net.Conn, link otrace.Link, typ string, payload, out interfac
 // Handler processes one decoded request and returns the response payload.
 type Handler func(req Request) (payload interface{}, err error)
 
-// ServerConfig bounds per-connection resource use. The zero value gives the
-// defaults: a 30 s connection deadline and a 1 MiB request cap.
+// ServerConfig bounds per-connection resource use and tunes admission
+// control. The zero value gives the defaults documented per field.
 type ServerConfig struct {
-	// ConnDeadline bounds how long a connection may take to deliver its
-	// request and drain the response (default 30 s).
+	// ConnDeadline bounds the protocol sniff and, in JSON compat mode, how
+	// long one message may take to arrive and drain (default 30 s). JSON
+	// clients are short-lived, so a tight deadline is right for them.
 	ConnDeadline time.Duration
+	// IdleDeadline bounds the gap between frames on a long-lived binary
+	// connection (default 5 min). It is re-armed before every frame read,
+	// so an idle-but-healthy multiplexed connection is not killed by the
+	// absolute deadline the short-lived JSON design used.
+	IdleDeadline time.Duration
 	// MaxRequestBytes caps the request size read from a connection, so a
 	// malformed or hostile client cannot balloon server memory
 	// (default 1 MiB).
@@ -348,6 +382,25 @@ type ServerConfig struct {
 	// AcceptBackoffMax caps the exponential backoff applied when Accept
 	// fails transiently (default 1 s).
 	AcceptBackoffMax time.Duration
+	// MaxConns bounds concurrently served connections (default 1024).
+	MaxConns int
+	// AcceptQueue bounds connections accepted but not yet dispatched
+	// (default 128); beyond it new connections are dropped at accept.
+	AcceptQueue int
+	// MaxInflight bounds requests executing in handlers across all
+	// connections (default 256).
+	MaxInflight int
+	// PerConnInflight bounds pipelined requests in flight on one binary
+	// connection (default 32); excess frames are answered overloaded
+	// without queueing.
+	PerConnInflight int
+	// MaxQueuedWaiters bounds requests queued for an in-flight slot across
+	// all connections (default MaxInflight); beyond it requests are shed
+	// with the typed overloaded error.
+	MaxQueuedWaiters int
+	// Metrics, when non-nil, counts connections per protocol and sheds per
+	// reason.
+	Metrics *ServerMetrics
 }
 
 func (c ServerConfig) connDeadline() time.Duration {
@@ -355,6 +408,13 @@ func (c ServerConfig) connDeadline() time.Duration {
 		return 30 * time.Second
 	}
 	return c.ConnDeadline
+}
+
+func (c ServerConfig) idleDeadline() time.Duration {
+	if c.IdleDeadline <= 0 {
+		return 5 * time.Minute
+	}
+	return c.IdleDeadline
 }
 
 func (c ServerConfig) maxRequestBytes() int64 {
@@ -371,14 +431,60 @@ func (c ServerConfig) acceptBackoffMax() time.Duration {
 	return c.AcceptBackoffMax
 }
 
-// Server is a minimal one-request-per-connection TCP server shared by the
-// registry and the gateway.
+func (c ServerConfig) maxConns() int {
+	if c.MaxConns <= 0 {
+		return 1024
+	}
+	return c.MaxConns
+}
+
+func (c ServerConfig) acceptQueue() int {
+	if c.AcceptQueue <= 0 {
+		return 128
+	}
+	return c.AcceptQueue
+}
+
+func (c ServerConfig) maxInflight() int {
+	if c.MaxInflight <= 0 {
+		return 256
+	}
+	return c.MaxInflight
+}
+
+func (c ServerConfig) perConnInflight() int {
+	if c.PerConnInflight <= 0 {
+		return 32
+	}
+	return c.PerConnInflight
+}
+
+func (c ServerConfig) maxQueuedWaiters() int {
+	if c.MaxQueuedWaiters <= 0 {
+		return c.maxInflight()
+	}
+	return c.MaxQueuedWaiters
+}
+
+// Server is the shared TCP server of the registry and the gateway. Each
+// accepted connection is sniffed by its first byte: the binary frame magic
+// selects the multiplexed pipelined loop, anything else the line-delimited
+// JSON compat loop. Admission control (bounded accept queue, global
+// in-flight cap with per-connection fair dequeue, per-connection pipelining
+// cap) sheds excess load with the typed overloaded error instead of
+// queueing without bound.
 type Server struct {
 	ln        net.Listener
 	handler   Handler
 	cfg       ServerConfig
+	admit     *admitter
+	queue     chan net.Conn
+	sem       chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
 }
 
 // NewServer starts listening on addr (use "127.0.0.1:0" for tests) and
@@ -402,23 +508,62 @@ func NewServerConfig(addr string, handler Handler, cfg ServerConfig) (*Server, e
 // ServeListener serves the protocol on an already-open listener — the hook
 // for wrapping the accept path in a fault-injecting transport.
 func ServeListener(ln net.Listener, handler Handler, cfg ServerConfig) *Server {
-	s := &Server{ln: ln, handler: handler, cfg: cfg, done: make(chan struct{})}
+	s := &Server{
+		ln:      ln,
+		handler: handler,
+		cfg:     cfg,
+		admit:   newAdmitter(cfg.maxInflight(), cfg.maxQueuedWaiters()),
+		queue:   make(chan net.Conn, cfg.acceptQueue()),
+		sem:     make(chan struct{}, cfg.maxConns()),
+		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
 	go s.acceptLoop()
+	go s.dispatchLoop()
 	return s
 }
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Close stops the server. Safe to call more than once: chaos harnesses
-// kill servers mid-run and shared cleanup paths close them again.
+// Close stops the server and severs every open connection, so pooled
+// clients observe the death instead of talking to a ghost. Safe to call
+// more than once: chaos harnesses kill servers mid-run and shared cleanup
+// paths close them again.
 func (s *Server) Close() error {
 	err := error(nil)
 	s.closeOnce.Do(func() {
 		close(s.done)
 		err = s.ln.Close()
+		// Drain connections parked in the accept queue.
+		for {
+			select {
+			case c := <-s.queue:
+				c.Close()
+				continue
+			default:
+			}
+			break
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
 	})
 	return err
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
 }
 
 func (s *Server) acceptLoop() {
@@ -450,22 +595,165 @@ func (s *Server) acceptLoop() {
 			continue
 		}
 		backoff = 0
-		go s.serve(conn)
+		select {
+		case s.queue <- conn:
+		default:
+			// Accept queue full: shed at the door rather than buffering
+			// connections without bound.
+			s.cfg.Metrics.shedAcceptQueue()
+			conn.Close()
+		}
 	}
 }
 
-func (s *Server) serve(conn net.Conn) {
-	defer conn.Close()
-	_ = conn.SetDeadline(time.Now().Add(s.cfg.connDeadline()))
-	req, err := DecodeRequest(conn, s.cfg.maxRequestBytes())
-	if err != nil {
-		msg := "malformed request"
-		if errors.Is(err, ErrMessageTooLarge) {
-			msg = "request too large"
+// dispatchLoop moves accepted connections into service as MaxConns slots
+// free up.
+func (s *Server) dispatchLoop() {
+	for {
+		select {
+		case <-s.done:
+			return
+		case conn := <-s.queue:
+			select {
+			case s.sem <- struct{}{}:
+			case <-s.done:
+				conn.Close()
+				return
+			}
+			s.track(conn)
+			go func(c net.Conn) {
+				defer func() { <-s.sem }()
+				s.serve(c)
+			}(conn)
 		}
-		_ = json.NewEncoder(conn).Encode(Response{OK: false, Error: msg})
+	}
+}
+
+// serve sniffs the connection's protocol by its first byte and runs the
+// matching loop until the connection closes.
+func (s *Server) serve(conn net.Conn) {
+	defer s.untrack(conn)
+	defer conn.Close()
+	_ = conn.SetReadDeadline(time.Now().Add(s.cfg.connDeadline()))
+	br := bufio.NewReader(conn)
+	first, err := br.Peek(1)
+	if err != nil {
 		return
 	}
+	if first[0] == frameMagic0 {
+		s.cfg.Metrics.connOpened(true)
+		s.serveBinary(conn, br)
+		return
+	}
+	s.cfg.Metrics.connOpened(false)
+	s.serveJSON(conn, br)
+}
+
+// serveJSON runs the line-delimited JSON compat loop: one envelope per
+// line, responses in arrival order, connection kept alive between messages.
+// The short ConnDeadline is re-armed per message — JSON clients are
+// expected to be short-lived dial-per-RPC tools.
+func (s *Server) serveJSON(conn net.Conn, br *bufio.Reader) {
+	key := interface{}(conn)
+	connDone := make(chan struct{})
+	defer s.admit.forget(key)
+	defer close(connDone)
+	enc := json.NewEncoder(conn)
+	for {
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.connDeadline()))
+		line, err := readLineCapped(br, s.cfg.maxRequestBytes())
+		if err != nil {
+			if errors.Is(err, ErrMessageTooLarge) {
+				_ = enc.Encode(Response{OK: false, Error: "request too large"})
+			}
+			return
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			_ = enc.Encode(Response{OK: false, Error: "malformed request"})
+			return
+		}
+		if !s.admit.acquire(key, connDone) {
+			s.cfg.Metrics.shedInflight()
+			_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.connDeadline()))
+			_ = enc.Encode(Response{OK: false, Error: "server overloaded", Code: CodeOverloaded})
+			continue
+		}
+		resp := s.respond(req)
+		s.admit.release()
+		_ = conn.SetWriteDeadline(time.Now().Add(s.cfg.connDeadline()))
+		if err := enc.Encode(resp); err != nil {
+			return
+		}
+	}
+}
+
+// serveBinary runs the multiplexed binary loop: frames are decoded
+// sequentially, handled concurrently up to the pipelining cap, and
+// responses are written whole (one frame per write) as handlers finish —
+// possibly out of request order, which is what the request IDs are for.
+func (s *Server) serveBinary(conn net.Conn, br *bufio.Reader) {
+	key := interface{}(conn)
+	connDone := make(chan struct{})
+	var wg sync.WaitGroup
+	var inflight int32
+	defer s.admit.forget(key)
+	defer wg.Wait()
+	defer close(connDone)
+
+	// Responses coalesce through the connection's batching flusher: handlers
+	// finishing while a flush syscall is in flight ride the next batch. A
+	// write failure closes the connection, which pops the decode loop below.
+	bw := newBatchWriter(conn, s.cfg.connDeadline(), func(error) { _ = conn.Close() })
+	defer bw.close()
+	writeFrame := func(id uint64, ok, overloaded bool, errMsg string, payload []byte) error {
+		buf := AppendResponseFrame(nil, id, ok, overloaded, errMsg, payload)
+		return bw.enqueue(buf)
+	}
+
+	for {
+		// Satellite of the multiplexed design: the read deadline re-arms
+		// per frame, so a healthy idle connection survives while a stalled
+		// one is still collected.
+		_ = conn.SetReadDeadline(time.Now().Add(s.cfg.idleDeadline()))
+		f, err := DecodeFrame(br, s.cfg.maxRequestBytes())
+		if err != nil {
+			return
+		}
+		if f.Kind != FrameRequest {
+			return
+		}
+		if atomic.AddInt32(&inflight, 1) > int32(s.cfg.perConnInflight()) {
+			atomic.AddInt32(&inflight, -1)
+			s.cfg.Metrics.shedPerConn()
+			if writeFrame(f.ID, false, true, "server overloaded", nil) != nil {
+				return
+			}
+			continue
+		}
+		wg.Add(1)
+		go func(f Frame) {
+			defer wg.Done()
+			defer atomic.AddInt32(&inflight, -1)
+			if !s.admit.acquire(key, connDone) {
+				s.cfg.Metrics.shedInflight()
+				_ = writeFrame(f.ID, false, true, "server overloaded", nil)
+				return
+			}
+			req := Request{Type: f.Type, Payload: f.Payload, Trace: headerFromLink(f.Trace)}
+			resp := s.respond(req)
+			s.admit.release()
+			_ = writeFrame(f.ID, resp.OK, false, resp.Error, resp.Payload)
+		}(f)
+	}
+}
+
+// respond runs the handler for one decoded request and shapes the reply
+// envelope, shared by both protocol loops.
+func (s *Server) respond(req Request) Response {
 	payload, err := s.handler(req)
 	resp := Response{OK: err == nil}
 	if err != nil {
@@ -478,5 +766,35 @@ func (s *Server) serve(conn net.Conn) {
 			resp.Payload = raw
 		}
 	}
-	_ = json.NewEncoder(conn).Encode(resp)
+	return resp
+}
+
+// readLineCapped reads one newline-terminated message, rejecting lines over
+// the cap with ErrMessageTooLarge. EOF with buffered partial data returns
+// the data (a client that writes a final unterminated message and closes
+// still gets served). Blank lines come back empty for the caller to skip.
+func readLineCapped(br *bufio.Reader, max int64) ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := br.ReadSlice('\n')
+		line = append(line, chunk...)
+		if int64(len(line)) > max {
+			return nil, ErrMessageTooLarge
+		}
+		if err == nil {
+			// Strip the terminator (and a CR, for telnet-style debugging).
+			line = line[:len(line)-1]
+			if len(line) > 0 && line[len(line)-1] == '\r' {
+				line = line[:len(line)-1]
+			}
+			return line, nil
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err == io.EOF && len(line) > 0 {
+			return line, nil
+		}
+		return nil, err
+	}
 }

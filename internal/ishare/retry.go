@@ -30,14 +30,35 @@ func (netDialer) DialTimeout(network, addr string, timeout time.Duration) (net.C
 	return net.DialTimeout(network, addr, timeout)
 }
 
+// CodeOverloaded is the Response.Code a server attaches to requests it
+// sheds under admission control. Unlike ordinary remote errors, an
+// overloaded rejection is safe to retry (the handler never ran) and is
+// counted by breakers separately from transport faults.
+const CodeOverloaded = "overloaded"
+
 // RemoteError is an application-level error returned by the far end. The
-// RPC reached the server and was processed; retrying it would re-execute the
-// operation, so the retry layer never retries these.
-type RemoteError struct{ Msg string }
+// RPC reached the server and was processed; retrying it would re-execute
+// the operation, so the retry layer never retries these — with one
+// exception: CodeOverloaded marks a request the server shed before running
+// the handler, which the retry layer treats as retryable with backoff.
+type RemoteError struct {
+	Msg string
+	// Code is the machine-readable error class from the wire (empty for
+	// ordinary application errors).
+	Code string
+}
 
 // Error formats the far end's message under an "ishare: remote error"
 // prefix so transport and application failures read differently in logs.
 func (e *RemoteError) Error() string { return fmt.Sprintf("ishare: remote error: %s", e.Msg) }
+
+// IsOverloaded reports whether err is a typed overloaded rejection: the
+// server shed the request under admission control without running the
+// handler, so retrying with backoff is safe and appropriate.
+func IsOverloaded(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re) && re.Code == CodeOverloaded
+}
 
 // transportError marks a failure below the application: dial, send, receive
 // or decode. The request may or may not have reached the server, so only
@@ -117,6 +138,8 @@ type CallerMetrics struct {
 	// TransportErrors counts attempts that failed below the application
 	// (dial, send, receive, decode).
 	TransportErrors *obs.Counter
+	// Overloaded counts attempts the server shed under admission control.
+	Overloaded *obs.Counter
 }
 
 func (m *CallerMetrics) observe(attempt int, err error) {
@@ -130,6 +153,9 @@ func (m *CallerMetrics) observe(attempt int, err error) {
 	if IsTransport(err) {
 		m.TransportErrors.Inc()
 	}
+	if IsOverloaded(err) {
+		m.Overloaded.Inc()
+	}
 }
 
 // Caller performs protocol round trips with a pluggable transport, a retry
@@ -139,6 +165,10 @@ func (m *CallerMetrics) observe(attempt int, err error) {
 type Caller struct {
 	// Dialer defaults to the real network.
 	Dialer Dialer
+	// Pool, when non-nil, routes calls over pooled multiplexed binary
+	// connections instead of dialing a fresh JSON connection per attempt.
+	// The pool's own Dialer wins over the caller's.
+	Pool *Pool
 	// Retry applies to idempotent calls made through CallRetry.
 	Retry RetryPolicy
 	// Clock paces backoff sleeps (defaults to the wall clock). Use a
@@ -220,7 +250,7 @@ func (c *Caller) Call(ctx context.Context, addr, typ string, payload, out interf
 	if attempt != nil {
 		attempt.SetAttr(otrace.String("rpc", typ), otrace.Int("attempt", 1))
 	}
-	err := callOnce(c.dialer(), attempt.Link(), addr, typ, payload, out, timeout)
+	err := c.callOnce(attempt.Link(), addr, typ, payload, out, timeout)
 	attempt.SetError(err)
 	attempt.End()
 	if c != nil {
@@ -229,9 +259,21 @@ func (c *Caller) Call(ctx context.Context, addr, typ string, payload, out interf
 	return err
 }
 
+// callOnce routes one attempt through the caller's transport: the pooled
+// multiplexed binary protocol when a Pool is installed, otherwise a fresh
+// dial-per-RPC JSON exchange.
+func (c *Caller) callOnce(link otrace.Link, addr, typ string, payload, out interface{}, timeout time.Duration) error {
+	if c != nil && c.Pool != nil {
+		return c.Pool.call(link, addr, typ, payload, out, timeout)
+	}
+	return callOnce(c.dialer(), link, addr, typ, payload, out, timeout)
+}
+
 // CallRetry performs the round trip with the caller's retry policy: each
-// attempt gets the full timeout as its own deadline; transport errors are
-// retried after backoff, remote application errors are returned immediately.
+// attempt gets the full timeout as its own deadline; transport errors and
+// typed overloaded sheds are retried after jittered backoff (so a fleet of
+// clients backs off a saturated server instead of hammering it), remote
+// application errors are returned immediately.
 // Only use it for idempotent RPCs, or RPCs protected by an idempotency key.
 // Each attempt becomes its own child span of ctx's active span (siblings
 // under the caller's operation), so a recorded trace shows exactly how many
@@ -248,13 +290,13 @@ func (c *Caller) CallRetry(ctx context.Context, addr, typ string, payload, out i
 		if attempt != nil {
 			attempt.SetAttr(otrace.String("rpc", typ), otrace.Int("attempt", n))
 		}
-		err = callOnce(c.dialer(), attempt.Link(), addr, typ, payload, out, timeout)
+		err = c.callOnce(attempt.Link(), addr, typ, payload, out, timeout)
 		attempt.SetError(err)
 		attempt.End()
 		if c != nil {
 			c.Metrics.observe(n, err)
 		}
-		if err == nil || !IsTransport(err) || n >= attempts {
+		if err == nil || (!IsTransport(err) && !IsOverloaded(err)) || n >= attempts {
 			if err != nil && n > 1 {
 				return fmt.Errorf("ishare: %d attempts: %w", n, err)
 			}

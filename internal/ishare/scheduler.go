@@ -124,9 +124,10 @@ type RankFailure struct {
 }
 
 // Transient reports whether the failure was transport-level (network flake
-// or quarantine) rather than an application rejection by the machine.
+// or quarantine) or an admission-control shed, rather than an application
+// rejection by the machine.
 func (f RankFailure) Transient() bool {
-	return IsTransport(f.Err) || f.Err == ErrCircuitOpen
+	return IsTransport(f.Err) || IsOverloaded(f.Err) || f.Err == ErrCircuitOpen
 }
 
 // String renders the failure as "machine: error" for logs and CLI output.
