@@ -1,10 +1,10 @@
 GO ?= go
 
 # Benchmarks gated against BENCH_baseline.json by `make benchstat`.
-BENCH_GATE = BenchmarkEngineCachedVsCold|BenchmarkPredictBatchParallel|BenchmarkEnginePredictTracing|BenchmarkQueryTRTracing
+BENCH_GATE = BenchmarkEngineCachedVsCold|BenchmarkPredictBatchParallel|BenchmarkEnginePredictTracing|BenchmarkQueryTRTracing|BenchmarkWALAppend|BenchmarkRecover
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet lint cover bench benchstat benchbase bench-serve bench-serve-base fuzz golden chaos
+.PHONY: build test race vet lint cover bench benchstat benchbase bench-serve bench-serve-base bench-serve-wal fuzz golden chaos crash
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,11 @@ build:
 # tests by `go test`), and a race-detector pass over the concurrent layers:
 # networking, fault injection, the prediction engine, the monitor, and the
 # metrics/accuracy registry.
-test: golden lint
+test: golden lint crash
 	$(GO) test ./...
 	$(GO) test -race ./internal/ishare/... ./internal/faultnet/... \
 		./internal/predict/... ./internal/monitor/... ./internal/obs/... \
-		./internal/otrace/...
+		./internal/otrace/... ./internal/durable/...
 
 race:
 	$(GO) test -race ./...
@@ -41,7 +41,8 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
 
 # Bench regression gate: run the engine benchmarks, record BENCH_predict.json,
-# and fail on >10% latency or any allocs/op regression against the checked-in
+# and fail on >10% latency or an allocs/op regression beyond max(1, 0.1%)
+# slack (exactly zero for 0-alloc benchmarks) against the checked-in
 # baseline. Baselines are machine-specific — regenerate with `make benchbase`
 # when switching hardware.
 benchstat:
@@ -66,6 +67,14 @@ bench-serve-base:
 	$(GO) run ./cmd/isharebench -selfhost -repeat 3 -out BENCH_serve.json
 	$(GO) run ./cmd/benchgate -serve -in BENCH_serve.json -baseline BENCH_serve_base.json -write
 
+# Durability tax on the serving path: the same workload with a WAL attached
+# (fsync always, a live sample stream appending throughout the run) must stay
+# within 10% of the WAL-less BENCH_serve_base.json. Fails when durability
+# leaks into the query path.
+bench-serve-wal:
+	$(GO) run ./cmd/isharebench -selfhost -wal -repeat 3 -out BENCH_serve_wal.json
+	$(GO) run ./cmd/benchgate -serve -in BENCH_serve_wal.json -baseline BENCH_serve_base.json
+
 # Short fuzz pass over the wire-protocol and trace-codec decoders. The seed
 # corpora under testdata/fuzz also run as plain unit tests in `make test`.
 fuzz:
@@ -74,6 +83,8 @@ fuzz:
 	$(GO) test ./internal/ishare/ -run '^$$' -fuzz '^FuzzDecodeFrame$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadBinary$$' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -run '^$$' -fuzz '^FuzzReadText$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/durable/ -run '^$$' -fuzz '^FuzzReadSegment$$' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/durable/ -run '^$$' -fuzz '^FuzzReadSnapshot$$' -fuzztime $(FUZZTIME)
 
 # Golden-trace regression: fixed-seed workload, bit-exact predictor outputs.
 # Use `make golden-update` only when a numerical change is intended.
@@ -89,3 +100,11 @@ golden-update:
 # twice per invocation to prove byte-determinism of the fault schedule.
 chaos:
 	$(GO) test -race -count=1 -v -run 'TestChaos' ./internal/ishare/...
+
+# Crash-injection harness: kill the WAL at every byte offset (durable layer)
+# and at seeded offsets under a live node (ishare layer), then prove recovery
+# is prefix-consistent, refuses silent corruption, and answers QueryTR
+# exactly as the pre-crash state. Byte-deterministic under fixed seeds.
+crash:
+	$(GO) test -count=1 -run 'TestCrash|TestBitFlip' ./internal/durable/
+	$(GO) test -count=1 -run 'TestPersisterCrash' ./internal/ishare/

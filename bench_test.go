@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"fgcs/internal/avail"
+	"fgcs/internal/durable"
 	"fgcs/internal/experiments"
 	"fgcs/internal/fgcssim"
 	"fgcs/internal/host"
@@ -648,6 +649,111 @@ func BenchmarkQueryTRTracing(b *testing.B) {
 			span.End()
 		}
 	})
+}
+
+// ---------------------------------------------------------- durability ----
+
+// benchWALSample returns the i-th quantized monitor sample of the WAL
+// benchmarks' synthetic session.
+func benchWALSample(i int) (time.Time, trace.Sample) {
+	base := time.Date(2005, 8, 22, 0, 0, 0, 0, time.UTC)
+	t := durable.QuantizeTime(base.Add(time.Duration(i) * trace.DefaultPeriod))
+	s := durable.QuantizeSample(trace.Sample{
+		CPU: float64(i%97) * 0.9, FreeMemMB: 200 + float64(i%64), Up: i%23 != 0,
+	})
+	return t, s
+}
+
+// BenchmarkWALAppend measures durably logging one monitor sample: delta
+// encoding plus the CRC32C-framed segment append. The mem variant isolates
+// the codec+framing cost on an in-memory FS; os-batch adds the real write
+// syscall with fsync deferred to rotation/snapshot (the -fsync batch
+// policy). Per-sample fsync (-fsync always) is deliberately not gated — its
+// cost is the disk's, not the code's.
+func BenchmarkWALAppend(b *testing.B) {
+	run := func(b *testing.B, fs durable.FS, sync durable.SyncPolicy) {
+		st, _, err := durable.Open(durable.Config{FS: fs, SegmentBytes: 1 << 20, Sync: sync})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer st.Close()
+		var coder durable.SampleCoder
+		buf := make([]byte, 0, 32)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			t, s := benchWALSample(i)
+			buf = coder.Encode(buf[:0], t, s)
+			if err := st.Append(durable.RecSample, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("mem", func(b *testing.B) {
+		run(b, durable.NewMemFS(), durable.SyncAlways)
+	})
+	b.Run("os-batch", func(b *testing.B) {
+		fs, err := durable.NewOSFS(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		run(b, fs, durable.SyncBatch)
+	})
+}
+
+// BenchmarkRecover measures a cold boot from durable state: snapshot
+// selection and validation plus replay of a WAL tail the given number of
+// samples long — the startup cost a crashed node pays before it can serve.
+func BenchmarkRecover(b *testing.B) {
+	for _, tail := range []int{1000, 10000} {
+		tail := tail
+		fs := durable.NewMemFS()
+		st, _, err := durable.Open(durable.Config{FS: fs, SegmentBytes: 1 << 20})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := st.WriteSnapshot([]byte("bench-node-state")); err != nil {
+			b.Fatal(err)
+		}
+		var coder durable.SampleCoder
+		buf := make([]byte, 0, 32)
+		for i := 0; i < tail; i++ {
+			t, s := benchWALSample(i)
+			buf = coder.Encode(buf[:0], t, s)
+			if err := st.Append(durable.RecSample, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Dirty shutdown: the tail must be replayed, not skipped.
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("tail-%d", tail), func(b *testing.B) {
+			// One warm-up recovery outside the timer: first-use costs (lazy
+			// tables, fs cache shaping) otherwise smear ~2 allocs/op into
+			// small-N runs and flake the benchgate's zero-tolerance allocs
+			// rule.
+			if st, _, err := durable.Open(durable.Config{FS: fs, SegmentBytes: 1 << 20}); err != nil {
+				b.Fatal(err)
+			} else {
+				st.Close()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, rec, err := durable.Open(durable.Config{FS: fs, SegmentBytes: 1 << 20})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rec.Records) != tail {
+					b.Fatalf("replayed %d records, want %d", len(rec.Records), tail)
+				}
+				if err := st.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkFGCSSimDay measures simulating one full testbed-day of the

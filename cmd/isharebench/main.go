@@ -23,6 +23,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 	"runtime/pprof"
 	"sort"
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"fgcs/internal/avail"
+	"fgcs/internal/durable"
 	"fgcs/internal/ishare"
 	"fgcs/internal/trace"
 	"fgcs/internal/workload"
@@ -73,6 +76,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "", "target gateway address (empty with -selfhost)")
 		selfhost = flag.Bool("selfhost", false, "serve an in-process gateway over a synthetic history instead of targeting -addr")
+		wal      = flag.Bool("wal", false, "selfhost: attach a durable WAL (fsync always) and stream monitor samples into it for the whole run, measuring serving cost with durability on")
 		proto    = flag.String("proto", "compare", "transport to drive: binary, json, or compare (both, plus ratio summary)")
 		duration = flag.Duration("duration", 3*time.Second, "measurement window per transport")
 		warmup   = flag.Duration("warmup", 300*time.Millisecond, "unmeasured warmup per transport")
@@ -96,24 +100,28 @@ func main() {
 		pprof.StartCPUProfile(f)
 		defer pprof.StopCPUProfile()
 	}
-	if err := run(*addr, *selfhost, *proto, *duration, *warmup, *conns, *qps, *seed, *work, *mem, *timeout, *repeat, *out); err != nil {
+	if err := run(*addr, *selfhost, *wal, *proto, *duration, *warmup, *conns, *qps, *seed, *work, *mem, *timeout, *repeat, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "isharebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, selfhost bool, proto string, duration, warmup time.Duration, conns int, qps float64, seed uint64, work, mem float64, timeout time.Duration, repeat int, out string) error {
+func run(addr string, selfhost, wal bool, proto string, duration, warmup time.Duration, conns int, qps float64, seed uint64, work, mem float64, timeout time.Duration, repeat int, out string) error {
 	if conns <= 0 {
 		return fmt.Errorf("-conns must be positive")
 	}
 	if repeat <= 0 {
 		repeat = 1
 	}
+	if wal && !selfhost {
+		return fmt.Errorf("-wal needs -selfhost (it instruments the in-process node)")
+	}
 	if selfhost {
-		srv, err := serveSynthetic(seed)
+		srv, cleanup, err := serveSynthetic(seed, wal)
 		if err != nil {
 			return err
 		}
+		defer cleanup()
 		defer srv.Close()
 		addr = srv.Addr()
 	}
@@ -188,28 +196,91 @@ func run(addr string, selfhost bool, proto string, duration, warmup time.Duratio
 
 // serveSynthetic builds a gateway over one synthetic lab machine (90 days of
 // history, fixed seed) and serves it on an ephemeral port — the handler side
-// of the benchmark, identical on every run.
-func serveSynthetic(seed uint64) (*ishare.Server, error) {
+// of the benchmark, identical on every run. With wal set the node gets a
+// durable store (fsync always, the strictest -fsync policy) in a throwaway
+// data dir and a background feeder appends one monitor sample to the WAL
+// every 5 ms for the whole run, so the measurement is serving concurrent
+// with live durability traffic — the configuration `make bench-serve-wal`
+// gates against the WAL-less baseline.
+func serveSynthetic(seed uint64, wal bool) (*ishare.Server, func(), error) {
 	params := workload.DefaultParams()
 	params.Machines = 1
 	params.Seed = seed
 	machine, err := workload.GenerateMachine(params, 0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// One day past the history's end: every queried window predicts forward
 	// from the same instant.
 	clock := benchClock{now: params.Start.AddDate(0, 0, params.Days+1).Add(9 * time.Hour)}
 	sm, err := ishare.NewStateManager(machine.ID, params.Period, avail.DefaultConfig(), clock, machine, 0)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	gw, err := ishare.NewGateway(machine.ID, avail.DefaultConfig(), params.Period, clock, sm)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	gw.Record(clock.Now(), trace.Sample{CPU: 5, FreeMemMB: 400, Up: true})
-	return gw.ServeConfig("127.0.0.1:0", ishare.ServerConfig{})
+	cleanup := func() {}
+	if wal {
+		dir, err := os.MkdirTemp("", "isharebench-wal-")
+		if err != nil {
+			return nil, nil, err
+		}
+		fs, err := durable.NewOSFS(dir)
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		st, rec, err := durable.Open(durable.Config{FS: fs, Sync: durable.SyncAlways})
+		if err != nil {
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		persist, err := ishare.NewPersister(st, rec, sm, gw, slog.New(slog.NewTextHandler(io.Discard, nil)))
+		if err != nil {
+			st.Close()
+			os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		persist.Record(clock.Now(), trace.Sample{CPU: 5, FreeMemMB: 400, Up: true})
+		stop := make(chan struct{})
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			tick := time.NewTicker(5 * time.Millisecond)
+			defer tick.Stop()
+			// Virtual sample times advance by the monitor period per append:
+			// the WAL sees the same record stream a live node produces, just
+			// 1200x faster.
+			t := clock.Now()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					t = t.Add(params.Period)
+					persist.Record(t, trace.Sample{
+						CPU: float64(i % 90), FreeMemMB: 200 + float64(i%128), Up: true,
+					})
+				}
+			}
+		}()
+		cleanup = func() {
+			close(stop)
+			<-done
+			persist.Close()
+			os.RemoveAll(dir)
+		}
+	} else {
+		gw.Record(clock.Now(), trace.Sample{CPU: 5, FreeMemMB: 400, Up: true})
+	}
+	srv, err := gw.ServeConfig("127.0.0.1:0", ishare.ServerConfig{})
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	return srv, cleanup, nil
 }
 
 // drive runs the measurement loop for one transport and reduces the latency

@@ -365,6 +365,7 @@ func run(cl client, cmd string, args []string) error {
 		id := fs.String("id", "", "fetch one trace by id")
 		events := fs.Bool("events", false, "include retained WARN/ERROR log events")
 		timings := fs.Bool("timings", false, "include span durations (wall-clock; disable for run-to-run comparison)")
+		previous := fs.Bool("previous", false, "serve the flight snapshot the node persisted on its last shutdown (-data-dir)")
 		asJSON := fs.Bool("json", false, "print the raw JSON snapshot")
 		if err := fs.Parse(args); err != nil {
 			return err
@@ -376,7 +377,7 @@ func run(cl client, cmd string, args []string) error {
 			return fmt.Errorf("traces needs -gateway or -fed")
 		}
 		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
-		resp, err := api.QueryTraces(context.Background(), ishare.QueryTracesReq{Limit: *limit, TraceID: *id, Events: *events})
+		resp, err := api.QueryTraces(context.Background(), ishare.QueryTracesReq{Limit: *limit, TraceID: *id, Events: *events, Previous: *previous})
 		if err != nil {
 			return err
 		}

@@ -19,6 +19,14 @@
 // -sync-every anti-entropy loop repairs replicas after restarts. Host nodes
 // point -registry at any peer; clients point isharec -fed at any peer.
 //
+// With -data-dir the process keeps its state durable: monitor samples,
+// accepted submits and accuracy statistics (host mode) or registry entries
+// (registry-only and federation modes) are written to a checksummed
+// write-ahead log with periodic snapshots (-snapshot-every), and a restart
+// recovers the newest valid snapshot plus the log tail. -fsync picks the
+// WAL sync policy. SIGTERM flushes the log and writes a final snapshot
+// before exit, so a clean restart replays nothing.
+//
 // Served requests are traced (sampled at -trace-sample) into a fixed-size
 // flight recorder, inspectable over HTTP (-obs-addr, GET /traces) and over
 // the gateway protocol (isharec traces). Logs go to stderr through log/slog
@@ -36,11 +44,13 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"fgcs/internal/avail"
+	"fgcs/internal/durable"
 	"fgcs/internal/ishare"
 	"fgcs/internal/monitor"
 	"fgcs/internal/obs"
@@ -77,6 +87,9 @@ func main() {
 		traceSample  = flag.Float64("trace-sample", 1, "fraction of served requests to trace into the flight recorder (0 disables tracing)")
 		traceSeed    = flag.Uint64("trace-seed", 0, "seed for trace IDs and sampling decisions (0 = fixed default; any fixed seed gives reproducible traces)")
 		traceBuffer  = flag.Int("trace-buffer", otrace.DefaultCapacity, "completed traces retained by the flight recorder")
+		dataDir      = flag.String("data-dir", "", "durable state directory: WAL + snapshots, recovered on restart (empty = stateless)")
+		snapEvery    = flag.Duration("snapshot-every", 5*time.Minute, "durable snapshot interval; a final snapshot is always written on clean shutdown")
+		fsyncMode    = flag.String("fsync", "always", "WAL sync policy: always (fsync per record), batch (fsync on rotation/snapshot) or off")
 	)
 	flag.Parse()
 	flight := otrace.NewRecorder(*traceBuffer)
@@ -88,6 +101,7 @@ func main() {
 		ttl: *ttl, hbEvery: *hbEvery, reapEvery: *reapEvery, obsAddr: *obsAddr,
 		peers: *peers, vnodes: *vnodes, replicas: *replicas, syncEvery: *syncEvery,
 		traceSample: *traceSample, traceSeed: *traceSeed, flight: flight, logger: logger,
+		dataDir: *dataDir, snapEvery: *snapEvery, fsync: *fsyncMode,
 		serveCfg: ishare.ServerConfig{
 			MaxInflight:      *maxInflight,
 			MaxQueuedWaiters: *maxQueued,
@@ -116,6 +130,10 @@ type runConfig struct {
 	traceSeed                    uint64
 	flight                       *otrace.Recorder
 	logger                       *slog.Logger
+	// dataDir enables durable state (WAL + snapshots); empty = stateless.
+	dataDir   string
+	snapEvery time.Duration
+	fsync     string
 	// serveCfg carries the admission-control and connection-lifetime knobs
 	// into every protocol server this process starts.
 	serveCfg ishare.ServerConfig
@@ -160,6 +178,65 @@ func serveObs(addr string, o *ishare.NodeObs, flight *otrace.Recorder, logger *s
 		}
 	}()
 	return srv, ln, nil
+}
+
+// flightFile is the persisted flight-recorder snapshot inside -data-dir.
+const flightFile = "flight.json"
+
+// loadPrevFlight installs the previous run's flight snapshot (if any) so
+// `isharec traces -previous` can inspect the run that just ended.
+func loadPrevFlight(rc runConfig, o *ishare.NodeObs, logger *slog.Logger) {
+	if rc.dataDir == "" {
+		return
+	}
+	snap, err := otrace.LoadFlight(filepath.Join(rc.dataDir, flightFile))
+	if err != nil {
+		logger.Warn("previous flight snapshot unreadable", slog.String("err", err.Error()))
+		return
+	}
+	if snap != nil {
+		o.SetPrevFlight(snap)
+		logger.Info("previous flight snapshot loaded",
+			slog.Int("traces", len(snap.Traces)), slog.Time("saved_at", snap.SavedAt))
+	}
+}
+
+// saveFlight persists the flight recorder on shutdown; the next boot serves
+// it as the previous flight.
+func saveFlight(rc runConfig, logger *slog.Logger) {
+	if rc.dataDir == "" {
+		return
+	}
+	if err := otrace.SaveFlight(filepath.Join(rc.dataDir, flightFile), rc.flight, time.Now()); err != nil {
+		logger.Warn("flight snapshot not saved", slog.String("err", err.Error()))
+	}
+}
+
+// openDurable opens the WAL + snapshot store under rc.dataDir and logs the
+// recovery shape. Returns nils when durability is disabled.
+func openDurable(rc runConfig, logger *slog.Logger) (*durable.Store, *durable.Recovery, error) {
+	if rc.dataDir == "" {
+		return nil, nil, nil
+	}
+	policy, err := durable.ParseSyncPolicy(rc.fsync)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs, err := durable.NewOSFS(rc.dataDir)
+	if err != nil {
+		return nil, nil, err
+	}
+	st, rec, err := durable.Open(durable.Config{FS: fs, Sync: policy})
+	if err != nil {
+		return nil, nil, fmt.Errorf("open data dir %s: %w", rc.dataDir, err)
+	}
+	logger.Info("durable state recovered",
+		slog.String("dir", rc.dataDir),
+		slog.Bool("snapshot", rec.SnapshotPayload != nil),
+		slog.Int("replayed_records", len(rec.Records)),
+		slog.Int("torn_bytes", rec.TornBytes),
+		slog.Int("snapshots_skipped", rec.SnapshotsSkipped))
+	return st, rec, nil
 }
 
 func hostnameOr(fallback string) string {
@@ -236,6 +313,22 @@ func runFed(rc runConfig) error {
 	if err != nil {
 		return err
 	}
+	// Durable shard state: this peer's owned/replicated registry entries.
+	// Restored before serving, so the peer rejoins the ring with its shard
+	// intact instead of waiting for anti-entropy to repopulate it.
+	st, rec, err := openDurable(rc, fedLogger)
+	if err != nil {
+		return err
+	}
+	var persist *ishare.RegPersister
+	if st != nil {
+		if persist, err = ishare.NewRegPersister(st, rec, gw, fedLogger); err != nil {
+			return err
+		}
+		stop := persist.StartSnapshots(rc.snapEvery)
+		defer stop()
+	}
+	loadPrevFlight(rc, nodeObs, fedLogger)
 	srv, err := gw.ServeConfig(rc.listen, rc.serveCfg)
 	if err != nil {
 		return err
@@ -268,6 +361,13 @@ func runFed(rc runConfig) error {
 		}
 		cancel()
 	}
+	if persist != nil {
+		if err := persist.Flush(); err != nil {
+			return fmt.Errorf("final shard snapshot: %w", err)
+		}
+		fedLogger.Info("durable state flushed", slog.String("dir", rc.dataDir))
+	}
+	saveFlight(rc, fedLogger)
 	return nil
 }
 
@@ -281,6 +381,18 @@ func run(rc runConfig) error {
 	}
 	if rc.registryOnly {
 		reg := ishare.NewRegistry()
+		st, rec, err := openDurable(rc, logger)
+		if err != nil {
+			return err
+		}
+		var persist *ishare.RegPersister
+		if st != nil {
+			if persist, err = ishare.NewRegPersister(st, rec, reg, logger); err != nil {
+				return err
+			}
+			stop := persist.StartSnapshots(rc.snapEvery)
+			defer stop()
+		}
 		srv, err := reg.Serve(listen)
 		if err != nil {
 			return err
@@ -293,6 +405,12 @@ func run(rc runConfig) error {
 		logger.Info("registry listening",
 			slog.String("addr", srv.Addr()), slog.Duration("reap_every", rc.reapEvery))
 		waitForSignal(logger)
+		if persist != nil {
+			if err := persist.Flush(); err != nil {
+				return fmt.Errorf("final registry snapshot: %w", err)
+			}
+			logger.Info("durable state flushed", slog.String("dir", rc.dataDir))
+		}
 		return nil
 	}
 
@@ -336,17 +454,28 @@ func run(rc runConfig) error {
 	}
 
 	nodeLogger := logger.With(slog.String("machine", id))
+	st, rec, err := openDurable(rc, nodeLogger)
+	if err != nil {
+		return err
+	}
 	node, err := ishare.NewHostNode(ishare.NodeConfig{
-		MachineID:     id,
-		Cfg:           avail.DefaultConfig(),
-		Preloaded:     preloaded,
-		HistoryDays:   histDays,
-		HeartbeatPath: heartbeat,
-		Logger:        nodeLogger,
+		MachineID:       id,
+		Cfg:             avail.DefaultConfig(),
+		Preloaded:       preloaded,
+		HistoryDays:     histDays,
+		HeartbeatPath:   heartbeat,
+		Logger:          nodeLogger,
+		Durable:         st,
+		DurableRecovery: rec,
 	}, src)
 	if err != nil {
 		return err
 	}
+	if node.Persist != nil {
+		stop := node.Persist.StartSnapshots(rc.snapEvery)
+		defer stop()
+	}
+	loadPrevFlight(rc, node.Obs(), nodeLogger)
 	if rc.traceSample > 0 {
 		node.Obs().SetTracing(otrace.New(otrace.Config{
 			SampleRate: rc.traceSample,
@@ -428,6 +557,16 @@ func run(rc runConfig) error {
 		}
 		nodeLogger.Info("history archived", slog.String("path", archive))
 	}
+	if node.Persist != nil {
+		// Stop the monitor before the final snapshot so no sample lands
+		// between snapshot and close; the next boot then replays nothing.
+		node.Stop()
+		if err := node.Persist.Flush(); err != nil {
+			return fmt.Errorf("final durable snapshot: %w", err)
+		}
+		nodeLogger.Info("durable state flushed", slog.String("dir", rc.dataDir))
+	}
+	saveFlight(rc, nodeLogger)
 	return nil
 }
 

@@ -1,0 +1,423 @@
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// SyncPolicy selects when the store issues fsync barriers on the WAL.
+type SyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every append: an acknowledged write is
+	// durable. The default, and what the crash harness assumes.
+	SyncAlways SyncPolicy = iota
+	// SyncBatch fsyncs on rotation, snapshot and Close only; a crash may
+	// lose the unsynced suffix (still recovered prefix-consistently).
+	SyncBatch
+	// SyncNever leaves flushing entirely to the OS.
+	SyncNever
+)
+
+// ParseSyncPolicy maps the -fsync flag values (always, batch, off) to a
+// policy.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "always", "":
+		return SyncAlways, nil
+	case "batch":
+		return SyncBatch, nil
+	case "off", "never":
+		return SyncNever, nil
+	}
+	return 0, fmt.Errorf("durable: unknown fsync policy %q (want always, batch or off)", s)
+}
+
+// Config configures a Store.
+type Config struct {
+	// FS is the backing filesystem (required).
+	FS FS
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (0 = 4 MiB).
+	SegmentBytes int64
+	// MaxRecordBytes caps a single record frame (0 = DefaultMaxRecordBytes).
+	MaxRecordBytes int
+	// KeepSnapshots retains this many newest snapshots; older ones and the
+	// segments only they need are pruned after each successful snapshot
+	// (0 = 2).
+	KeepSnapshots int
+	// Sync is the WAL fsync policy.
+	Sync SyncPolicy
+}
+
+// Recovery reports what Open reconstructed from the data directory.
+type Recovery struct {
+	// SnapshotPayload is the newest valid snapshot's application state (nil
+	// when no snapshot was usable).
+	SnapshotPayload []byte
+	// SnapshotSeq / SnapshotOffset is the WAL position the snapshot covers.
+	SnapshotSeq    uint64
+	SnapshotOffset int64
+	// Records is the replayed WAL tail: every record appended after the
+	// snapshot position, in order.
+	Records []Record
+	// TornBytes counts bytes truncated from the active segment's torn tail.
+	TornBytes int
+	// SnapshotsSkipped counts corrupt snapshots passed over before a valid
+	// (or no) snapshot was chosen.
+	SnapshotsSkipped int
+	// Segments counts WAL segment files scanned.
+	Segments int
+}
+
+// Store is an append-only segment WAL plus snapshot retention over one FS
+// directory. Appends are framed with CRC32C and a seal record closes each
+// rotated segment; WriteSnapshot publishes application state atomically at
+// the current WAL position and prunes state older than the retention
+// window. A Store is safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu     sync.Mutex
+	cur    File
+	curSeq uint64
+	curOff int64
+	buf    []byte
+	closed bool
+}
+
+// ErrClosed reports an operation on a closed store.
+var ErrClosed = errors.New("durable: store closed")
+
+// Open recovers a store from cfg.FS: it loads the newest snapshot that
+// validates (falling back to older ones when damaged), replays the WAL tail
+// after the snapshot position, truncates a torn tail in the active segment,
+// and leaves the store ready to append. Unexplained damage — a bad checksum
+// with valid data after it, a sealed segment that fails validation, a gap in
+// the segment sequence — returns ErrCorrupt and refuses to open.
+func Open(cfg Config) (*Store, *Recovery, error) {
+	if cfg.FS == nil {
+		return nil, nil, fmt.Errorf("durable: Config.FS is required")
+	}
+	if cfg.SegmentBytes <= 0 {
+		cfg.SegmentBytes = 4 << 20
+	}
+	if cfg.MaxRecordBytes <= 0 {
+		cfg.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	if cfg.KeepSnapshots <= 0 {
+		cfg.KeepSnapshots = 2
+	}
+	names, err := cfg.FS.List()
+	if err != nil {
+		return nil, nil, err
+	}
+	var segs []uint64
+	var snaps []string
+	for _, name := range names {
+		if isTmp(name) {
+			// Interrupted snapshot publication; the rename never happened.
+			_ = cfg.FS.Remove(name)
+			continue
+		}
+		if seq, ok := parseSegmentName(name); ok {
+			segs = append(segs, seq)
+			continue
+		}
+		if _, _, ok := parseSnapshotName(name); ok {
+			snaps = append(snaps, name)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	// Newest snapshot first; fall back on damage.
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+
+	rec := &Recovery{}
+	for _, name := range snaps {
+		data, err := cfg.FS.ReadFile(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		seq, off, payload, err := ReadSnapshot(data)
+		if err != nil {
+			rec.SnapshotsSkipped++
+			continue
+		}
+		rec.SnapshotPayload = append([]byte(nil), payload...)
+		rec.SnapshotSeq, rec.SnapshotOffset = seq, off
+		break
+	}
+
+	st := &Store{cfg: cfg}
+	// Scan segments at or after the snapshot position. Sequence numbers must
+	// be contiguous from there: a missing middle segment is lost history.
+	scanFrom := rec.SnapshotSeq
+	var scan []uint64
+	for _, seq := range segs {
+		if seq >= scanFrom {
+			scan = append(scan, seq)
+		}
+	}
+	if rec.SnapshotPayload != nil {
+		if len(scan) == 0 || scan[0] != rec.SnapshotSeq {
+			return nil, nil, fmt.Errorf("%w: snapshot covers segment %d but it is missing", ErrCorrupt, rec.SnapshotSeq)
+		}
+	}
+	for i, seq := range scan {
+		if i > 0 && seq != scan[i-1]+1 {
+			return nil, nil, fmt.Errorf("%w: segment sequence gap %d -> %d", ErrCorrupt, scan[i-1], seq)
+		}
+	}
+	var lastScan SegmentScan
+	lastIdx := len(scan) - 1
+	for i, seq := range scan {
+		data, err := cfg.FS.ReadFile(segmentName(seq))
+		if err != nil {
+			return nil, nil, err
+		}
+		last := i == lastIdx
+		from := int64(segHeaderLen)
+		if rec.SnapshotPayload != nil && seq == rec.SnapshotSeq {
+			from = rec.SnapshotOffset
+		}
+		sc, err := ReadSegment(data, last, cfg.MaxRecordBytes, func(off int64, r Record) error {
+			if off >= from {
+				rec.Records = append(rec.Records, Record{Type: r.Type, Payload: append([]byte(nil), r.Payload...)})
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if sc.Seq != seq && sc.Valid >= segHeaderLen {
+			return nil, nil, fmt.Errorf("%w: segment file %s claims seq %d", ErrCorrupt, segmentName(seq), sc.Seq)
+		}
+		rec.Segments++
+		if last {
+			lastScan = sc
+			if sc.TornBytes > 0 {
+				rec.TornBytes = sc.TornBytes
+				if sc.Valid < segHeaderLen {
+					// The crash cut the segment header itself: nothing was
+					// ever durable here. Drop the file; it is recreated
+					// below with a clean header under the same seq.
+					if err := cfg.FS.Remove(segmentName(seq)); err != nil {
+						return nil, nil, err
+					}
+				} else if err := cfg.FS.Truncate(segmentName(seq), sc.Valid); err != nil {
+					return nil, nil, err
+				}
+			}
+		}
+	}
+
+	switch {
+	case len(scan) == 0:
+		// Fresh directory (or everything pruned): start at the segment after
+		// the snapshot position so positions keep increasing monotonically.
+		start := rec.SnapshotSeq
+		if rec.SnapshotPayload != nil {
+			start++
+		}
+		if err := st.openSegment(start); err != nil {
+			return nil, nil, err
+		}
+	case lastScan.Valid < segHeaderLen:
+		// The active segment's header was torn away; reuse its seq.
+		if err := st.openSegment(scan[lastIdx]); err != nil {
+			return nil, nil, err
+		}
+	case lastScan.Sealed:
+		// Crash between sealing a segment and opening the next: resume in a
+		// fresh one.
+		if err := st.openSegment(scan[lastIdx] + 1); err != nil {
+			return nil, nil, err
+		}
+	default:
+		f, err := cfg.FS.Append(segmentName(scan[lastIdx]))
+		if err != nil {
+			return nil, nil, err
+		}
+		st.cur = f
+		st.curSeq = scan[lastIdx]
+		st.curOff = lastScan.Valid
+	}
+	return st, rec, nil
+}
+
+// openSegment starts a fresh segment file with the given seq and writes its
+// header. Callers hold st.mu (or own st exclusively during Open).
+func (st *Store) openSegment(seq uint64) error {
+	f, err := st.cfg.FS.Append(segmentName(seq))
+	if err != nil {
+		return err
+	}
+	hdr := appendSegmentHeader(st.buf[:0], seq)
+	if _, err := f.Write(hdr); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if st.cfg.Sync != SyncNever {
+		if err := f.Sync(); err != nil {
+			_ = f.Close()
+			return err
+		}
+	}
+	st.cur = f
+	st.curSeq = seq
+	st.curOff = segHeaderLen
+	return nil
+}
+
+// Append durably logs one record. With SyncAlways a nil return means the
+// record is on stable storage; with weaker policies it is at least in the
+// OS. The reserved seal type is rejected.
+func (st *Store) Append(typ byte, payload []byte) error {
+	if typ == recSeal {
+		return fmt.Errorf("durable: record type %#x is reserved", typ)
+	}
+	if 1+len(payload) > st.cfg.MaxRecordBytes {
+		return fmt.Errorf("durable: record of %d bytes exceeds cap %d", len(payload), st.cfg.MaxRecordBytes)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	st.buf = appendRecordFrame(st.buf[:0], typ, payload)
+	if st.curOff+int64(len(st.buf)) > st.cfg.SegmentBytes && st.curOff > segHeaderLen {
+		if err := st.rotate(); err != nil {
+			return err
+		}
+		// rotate reuses st.buf for the seal and header; reframe.
+		st.buf = appendRecordFrame(st.buf[:0], typ, payload)
+	}
+	if _, err := st.cur.Write(st.buf); err != nil {
+		return err
+	}
+	st.curOff += int64(len(st.buf))
+	if st.cfg.Sync == SyncAlways {
+		return st.cur.Sync()
+	}
+	return nil
+}
+
+// rotate seals the active segment and opens the next one. Callers hold
+// st.mu.
+func (st *Store) rotate() error {
+	seal := appendRecordFrame(st.buf[:0], recSeal, nil)
+	if _, err := st.cur.Write(seal); err != nil {
+		return err
+	}
+	if st.cfg.Sync != SyncNever {
+		if err := st.cur.Sync(); err != nil {
+			return err
+		}
+	}
+	if err := st.cur.Close(); err != nil {
+		return err
+	}
+	return st.openSegment(st.curSeq + 1)
+}
+
+// Position returns the current WAL position: the (segment, offset) the next
+// append will land at.
+func (st *Store) Position() (seq uint64, offset int64) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.curSeq, st.curOff
+}
+
+// WriteSnapshot publishes payload as a snapshot of all state up to the
+// current WAL position, atomically, then prunes snapshots beyond the
+// retention window and the segments only they kept alive. The store is
+// locked for the duration, so the position is exact: every record appended
+// before the call is covered, every one after it will be replayed on top.
+func (st *Store) WriteSnapshot(payload []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if st.cfg.Sync != SyncNever {
+		// The snapshot claims to cover the tail; make the tail durable first.
+		if err := st.cur.Sync(); err != nil {
+			return err
+		}
+	}
+	name := snapshotName(st.curSeq, st.curOff)
+	if err := writeSnapshotFile(st.cfg.FS, name, encodeSnapshot(st.curSeq, st.curOff, payload)); err != nil {
+		return err
+	}
+	st.prune()
+	return nil
+}
+
+// prune removes snapshots beyond KeepSnapshots and segments older than every
+// kept snapshot. Failures are ignored: retention is advisory, correctness
+// never depends on it. Callers hold st.mu.
+func (st *Store) prune() {
+	names, err := st.cfg.FS.List()
+	if err != nil {
+		return
+	}
+	type snap struct {
+		name string
+		seq  uint64
+	}
+	var snaps []snap
+	var segs []uint64
+	for _, name := range names {
+		if seq, _, ok := parseSnapshotName(name); ok {
+			snaps = append(snaps, snap{name: name, seq: seq})
+		} else if seq, ok := parseSegmentName(name); ok {
+			segs = append(segs, seq)
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].name > snaps[j].name })
+	keepFrom := uint64(0)
+	for i, s := range snaps {
+		if i < st.cfg.KeepSnapshots {
+			if i == st.cfg.KeepSnapshots-1 || i == len(snaps)-1 {
+				keepFrom = s.seq
+			}
+			continue
+		}
+		_ = st.cfg.FS.Remove(s.name)
+	}
+	if len(snaps) == 0 {
+		return
+	}
+	for _, seq := range segs {
+		if seq < keepFrom {
+			_ = st.cfg.FS.Remove(segmentName(seq))
+		}
+	}
+}
+
+// Sync forces an fsync barrier on the active segment regardless of policy.
+func (st *Store) Sync() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	return st.cur.Sync()
+}
+
+// Close syncs and closes the WAL. Further operations return ErrClosed.
+func (st *Store) Close() error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return nil
+	}
+	st.closed = true
+	err := st.cur.Sync()
+	if cerr := st.cur.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -9,8 +9,10 @@ import (
 	"time"
 
 	"fgcs/internal/avail"
+	"fgcs/internal/durable"
 	"fgcs/internal/faultnet"
 	"fgcs/internal/otrace"
+	"fgcs/internal/simclock"
 )
 
 // fedChaosResult is everything a federated chaos run must reproduce
@@ -338,6 +340,170 @@ func TestChaosFederatedGatewayLossBinary(t *testing.T) {
 	if len(j.errs) == 0 && !reflect.DeepEqual(a.transcript, j.transcript) {
 		t.Fatalf("binary and JSON transcripts diverge for the same seed:\n--- binary ---\n%s\n--- json ---\n%s",
 			joined, strings.Join(j.transcript, "\n"))
+	}
+}
+
+// TestChaosFedDurableRestart kills a federation peer AND a durable host
+// node mid-run, then restarts both from their data directories (dirty
+// shutdown: WAL replay, no final snapshot) on the same addresses. The
+// restarted peer must rejoin the ring with its registry shard intact before
+// any anti-entropy runs, forwarded QueryTR answers must be identical to the
+// pre-crash ones, and a replayed submit with the pre-crash idempotency key
+// must dedup to the exact pre-crash job ID.
+func TestChaosFedDurableRestart(t *testing.T) {
+	start := time.Date(2005, 9, 2, 8, 30, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(start)
+	ctx := context.Background()
+
+	// Replicas -1: every entry lives on exactly one peer, so a restarted
+	// peer's entries can only have come from its own WAL.
+	nodes := buildFederationWith(t, 3, -1, clock, nil)
+	stores := make([]*durable.MemFS, len(nodes))
+	persisters := make([]*RegPersister, len(nodes))
+	for i, n := range nodes {
+		stores[i] = durable.NewMemFS()
+		st, rec, err := durable.Open(persistStoreCfg(stores[i]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if persisters[i], err = NewRegPersister(st, rec, n.gw, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// One real durable host node plus four stubs spread over the ring.
+	hostFS := durable.NewMemFS()
+	hst, hrec, err := durable.Open(persistStoreCfg(hostFS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre := historyMachine("m-dur", 11, 9)
+	host, err := NewHostNode(NodeConfig{
+		MachineID: "m-dur", Cfg: avail.DefaultConfig(), Period: period,
+		Clock: clock, Preloaded: pre, Durable: hst, DurableRecovery: hrec,
+	}, staticSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host.Persist.Record(start, sample(5, 400))
+	hostSrv, err := host.Gateway.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostAddr := hostSrv.Addr()
+	fedRegister(t, nodes[0].srv.Addr(), "m-dur", hostAddr, 0)
+	for i := 1; i <= 4; i++ {
+		m := newStubMachine(t, fmt.Sprintf("m%d", i), 0.5+float64(i)/10)
+		fedRegister(t, nodes[i%len(nodes)].srv.Addr(), m.id, m.addr(), 0)
+	}
+
+	owner := pickPeer(t, nodes, "m-dur", true)
+	entry := pickPeer(t, nodes, "m-dur", false) // a survivor that must forward
+	fc := FedClient{Addr: nodes[entry].srv.Addr(), Timeout: 2 * time.Second, Caller: &Caller{}}
+
+	before, err := fc.QueryTR(ctx, "m-dur", QueryTRReq{LengthSeconds: 3600, GuestMemMB: 100})
+	if err != nil {
+		t.Fatalf("pre-crash QueryTR: %v", err)
+	}
+	job1, err := fc.Submit(ctx, "m-dur", SubmitReq{Name: "dur", WorkSeconds: 3600, MemMB: 50, IdempotencyKey: "fed-retry-1"})
+	if err != nil {
+		t.Fatalf("pre-crash submit: %v", err)
+	}
+	wantShard := nodes[owner].gw.Export()
+	if len(wantShard) == 0 {
+		t.Fatal("owner peer holds no entries; the kill would prove nothing")
+	}
+	ownerAddr := nodes[owner].srv.Addr()
+
+	// Kill peer and host with no warning: dirty close, no final snapshot.
+	nodes[owner].srv.Close()
+	if err := persisters[owner].Close(); err != nil {
+		t.Fatal(err)
+	}
+	hostSrv.Close()
+	if err := host.Persist.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart the peer from its WAL on the same ring address.
+	st2, rec2, err := durable.Open(persistStoreCfg(stores[owner]))
+	if err != nil {
+		t.Fatalf("peer recovery: %v", err)
+	}
+	if len(rec2.Records) == 0 {
+		t.Fatal("dirty peer shutdown left no WAL records; replay is untested")
+	}
+	var ringPeers []Peer
+	for _, n := range nodes {
+		ringPeers = append(ringPeers, n.gw.Self())
+	}
+	gw2, err := NewFedGateway(FedConfig{
+		Self: nodes[owner].gw.Self(), Peers: ringPeers, Replicas: -1,
+		Caller:  &Caller{Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond}},
+		Timeout: 2 * time.Second, Clock: clock,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegPersister(st2, rec2, gw2, nil); err != nil {
+		t.Fatal(err)
+	}
+	// The shard is intact purely from replay — no anti-entropy has run.
+	if got := gw2.Export(); !reflect.DeepEqual(got, wantShard) {
+		t.Fatalf("restarted shard = %+v, want %+v", got, wantShard)
+	}
+	srv2, err := NewServer(ownerAddr, gw2.Handler())
+	if err != nil {
+		t.Fatalf("rebind peer on %s: %v", ownerAddr, err)
+	}
+	defer srv2.Close()
+
+	// Restart the host node from its WAL on the registered address.
+	hst2, hrec2, err := durable.Open(persistStoreCfg(hostFS))
+	if err != nil {
+		t.Fatalf("host recovery: %v", err)
+	}
+	if len(hrec2.Records) == 0 {
+		t.Fatal("dirty host shutdown left no WAL records; replay is untested")
+	}
+	host2, err := NewHostNode(NodeConfig{
+		MachineID: "m-dur", Cfg: avail.DefaultConfig(), Period: period,
+		Clock: clock, Preloaded: pre, Durable: hst2, DurableRecovery: hrec2,
+	}, staticSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostSrv2, err := host2.Gateway.Serve(hostAddr)
+	if err != nil {
+		t.Fatalf("rebind host on %s: %v", hostAddr, err)
+	}
+	defer hostSrv2.Close()
+
+	// Forwarded requery through the surviving entry peer: identical answer.
+	after, err := fc.QueryTR(ctx, "m-dur", QueryTRReq{LengthSeconds: 3600, GuestMemMB: 100})
+	if err != nil {
+		t.Fatalf("post-restart QueryTR: %v", err)
+	}
+	if after.TR != before.TR || after.HistoryWindows != before.HistoryWindows || after.CurrentState != before.CurrentState {
+		t.Fatalf("QueryTR diverged across restart: before tr=%v hist=%d state=%s, after tr=%v hist=%d state=%s",
+			before.TR, before.HistoryWindows, before.CurrentState, after.TR, after.HistoryWindows, after.CurrentState)
+	}
+	// Exact dedup of the replayed submit: same key, same job ID, even
+	// though the job object died with the process.
+	job2, err := fc.Submit(ctx, "m-dur", SubmitReq{Name: "dur", WorkSeconds: 3600, MemMB: 50, IdempotencyKey: "fed-retry-1"})
+	if err != nil {
+		t.Fatalf("replayed submit: %v", err)
+	}
+	if job2.JobID != job1.JobID {
+		t.Fatalf("replayed submit job = %s, want the pre-crash %s", job2.JobID, job1.JobID)
+	}
+	// A fresh key gets a fresh ID: the job counter was replayed too.
+	job3, err := fc.Submit(ctx, "m-dur", SubmitReq{Name: "dur2", WorkSeconds: 60, IdempotencyKey: "fed-retry-2"})
+	if err != nil {
+		t.Fatalf("fresh submit: %v", err)
+	}
+	if job3.JobID == job1.JobID {
+		t.Fatalf("fresh submit reused job ID %s", job1.JobID)
 	}
 }
 

@@ -232,6 +232,11 @@ type FedGateway struct {
 	entries                                     map[string]fedEntry
 	lastSync                                    map[string]time.Time
 	served, forwarded, syncPushed, syncAccepted uint64
+
+	// sink, when set, is told about every shard upsert (register and
+	// accepted sync alike) so the persistence layer can log it. Collected
+	// under f.mu, invoked after release; restores are idempotent upserts.
+	sink func(e RegEntry, removed bool)
 }
 
 // NewFedGateway validates the membership and builds the peer. The ring is
@@ -318,7 +323,57 @@ func (f *FedGateway) store(machine, addr string, ttl time.Duration) {
 	}
 	f.mu.Lock()
 	f.entries[machine] = fedEntry{res: Resource{MachineID: machine, Addr: addr}, expires: expires}
+	sink := f.sink
 	f.mu.Unlock()
+	if sink != nil {
+		sink(RegEntry{Machine: machine, Addr: addr, Expires: expires}, false)
+	}
+}
+
+// SetSink installs the persistence hook for shard changes. Call before the
+// peer starts serving. Lazy expiry reaps are not reported — the persisted
+// absolute deadlines re-expire on their own after a restart.
+func (f *FedGateway) SetSink(fn func(e RegEntry, removed bool)) {
+	f.mu.Lock()
+	f.sink = fn
+	f.mu.Unlock()
+}
+
+// Export snapshots this peer's shard (including entries awaiting lazy
+// expiry) in sorted order for durable storage.
+func (f *FedGateway) Export() []RegEntry {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]RegEntry, 0, len(f.entries))
+	for id, ent := range f.entries {
+		out = append(out, RegEntry{Machine: id, Addr: ent.res.Addr, Expires: ent.expires})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
+	return out
+}
+
+// Restore upserts recovered shard entries without firing the sink or
+// counting them as sync traffic. Already-expired entries are installed and
+// left to the lazy reap, mirroring Registry.Restore.
+func (f *FedGateway) Restore(entries []RegEntry) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range entries {
+		if e.Machine == "" {
+			continue
+		}
+		f.entries[e.Machine] = fedEntry{
+			res:     Resource{MachineID: e.Machine, Addr: e.Addr},
+			expires: e.Expires,
+		}
+	}
+}
+
+// RestoreRemove replays a logged removal without firing the sink.
+func (f *FedGateway) RestoreRemove(machine string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.entries, machine)
 }
 
 // lookup returns the live entry for a machine, treating expired entries as
@@ -458,10 +513,10 @@ func (f *FedGateway) replicateEntry(ctx context.Context, machine, addr string, t
 func (f *FedGateway) fedSync(req FedSyncReq) FedSyncResp {
 	now := f.clock.Now()
 	f.mu.Lock()
-	defer f.mu.Unlock()
 	if req.From != "" {
 		f.lastSync[req.From] = now
 	}
+	var applied []RegEntry
 	accepted := 0
 	for _, e := range req.Entries {
 		if e.MachineID == "" || e.Addr == "" {
@@ -477,8 +532,18 @@ func (f *FedGateway) fedSync(req FedSyncReq) FedSyncResp {
 		}
 		f.entries[e.MachineID] = fedEntry{res: Resource{MachineID: e.MachineID, Addr: e.Addr}, expires: expires}
 		accepted++
+		if f.sink != nil {
+			applied = append(applied, RegEntry{Machine: e.MachineID, Addr: e.Addr, Expires: expires})
+		}
 	}
 	f.syncAccepted += uint64(accepted)
+	sink := f.sink
+	f.mu.Unlock()
+	if sink != nil {
+		for _, e := range applied {
+			sink(e, false)
+		}
+	}
 	return FedSyncResp{Accepted: accepted}
 }
 
@@ -886,6 +951,9 @@ func (f *FedGateway) dispatch(ctx context.Context, req Request) (interface{}, er
 // queryTraces serves the peer's flight recorder (empty when tracing is
 // off, mirroring the host gateway's behavior).
 func (f *FedGateway) queryTraces(req QueryTracesReq) (QueryTracesResp, error) {
+	if req.Previous {
+		return prevFlightResp(f.self.ID, f.obs.PrevFlight(), req)
+	}
 	rec := f.tracer.Recorder()
 	resp := QueryTracesResp{MachineID: f.self.ID, TotalRecorded: rec.Total()}
 	if req.TraceID != "" {

@@ -81,6 +81,13 @@ type Gateway struct {
 	history   []Job // terminal jobs
 	nextID    int
 	submitted map[string]string // idempotency key -> job ID
+
+	// submitSink, when set, is told about every newly accepted submit (not
+	// idempotent replays) so the persistence layer can log it. It is invoked
+	// after g.mu is released; the durable record may therefore land after a
+	// concurrent snapshot already exported the same entry, which is safe
+	// because restoring a submit is an idempotent upsert.
+	submitSink func(key, jobID string)
 }
 
 // NewGateway wires a gateway to its state manager.
@@ -215,6 +222,9 @@ func (g *Gateway) QueryStats(ctx context.Context, req QueryStatsReq) (QueryStats
 // With tracing disabled (no recorder installed) it returns an empty snapshot
 // rather than an error, so operator tooling degrades gracefully.
 func (g *Gateway) QueryTraces(ctx context.Context, req QueryTracesReq) (QueryTracesResp, error) {
+	if req.Previous {
+		return prevFlightResp(g.machineID, g.sm.Obs().PrevFlight(), req)
+	}
 	rec := g.sm.Obs().Flight()
 	resp := QueryTracesResp{MachineID: g.machineID, TotalRecorded: rec.Total()}
 	if req.TraceID != "" {
@@ -250,15 +260,16 @@ func (g *Gateway) Submit(ctx context.Context, req SubmitReq) (SubmitResp, error)
 		return SubmitResp{}, fmt.Errorf("ishare: checkpoint progress out of range")
 	}
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	// Idempotent replay: a client retrying a submit whose ACK was lost
 	// gets the job it already launched, never a second guest.
 	if req.IdempotencyKey != "" {
 		if id, ok := g.submitted[req.IdempotencyKey]; ok {
+			g.mu.Unlock()
 			return SubmitResp{JobID: id}, nil
 		}
 	}
 	if g.job != nil && !g.job.State.Terminal() {
+		g.mu.Unlock()
 		return SubmitResp{}, fmt.Errorf("ishare: machine %s already runs a guest job", g.machineID)
 	}
 	g.nextID++
@@ -277,7 +288,73 @@ func (g *Gateway) Submit(ctx context.Context, req SubmitReq) (SubmitResp, error)
 		}
 		g.submitted[req.IdempotencyKey] = job.ID
 	}
+	sink := g.submitSink
+	g.mu.Unlock()
+	if sink != nil {
+		// Logged even for keyless submits: the empty-key record still
+		// advances the job-ID counter on replay, keeping IDs unique across
+		// restarts.
+		sink(req.IdempotencyKey, job.ID)
+	}
 	return SubmitResp{JobID: job.ID}, nil
+}
+
+// SetSubmitSink installs the persistence hook for accepted submits. Call
+// before the gateway starts serving.
+func (g *Gateway) SetSubmitSink(fn func(key, jobID string)) {
+	g.mu.Lock()
+	g.submitSink = fn
+	g.mu.Unlock()
+}
+
+// ExportSubmitted deep-copies the idempotency table and the job-ID counter
+// for a durable snapshot.
+func (g *Gateway) ExportSubmitted() (map[string]string, int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[string]string, len(g.submitted))
+	for k, v := range g.submitted {
+		out[k] = v
+	}
+	return out, g.nextID
+}
+
+// RestoreSubmitted installs a recovered idempotency table and job-ID
+// counter. The counter only ever moves forward, so replaying WAL records on
+// top of a snapshot that already contains them cannot reuse a job ID.
+func (g *Gateway) RestoreSubmitted(submitted map[string]string, nextID int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for k, v := range submitted {
+		if k == "" {
+			continue
+		}
+		if g.submitted == nil {
+			g.submitted = make(map[string]string)
+		}
+		g.submitted[k] = v
+	}
+	if nextID > g.nextID {
+		g.nextID = nextID
+	}
+}
+
+// RestoreSubmitKey replays one logged submit: the key maps back to its job
+// ID (empty keys only advance the counter) and the counter is bumped past
+// the ID's sequence number, parsed from its "<machine>-job-<n>" suffix.
+func (g *Gateway) RestoreSubmitKey(key, jobID string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if key != "" {
+		if g.submitted == nil {
+			g.submitted = make(map[string]string)
+		}
+		g.submitted[key] = jobID
+	}
+	var n int
+	if _, err := fmt.Sscanf(jobID, g.machineID+"-job-%d", &n); err == nil && n > g.nextID {
+		g.nextID = n
+	}
 }
 
 // JobStatus reports on a current or historical job.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"fgcs/internal/avail"
+	"fgcs/internal/durable"
 	"fgcs/internal/monitor"
 	"fgcs/internal/simclock"
 	"fgcs/internal/trace"
@@ -22,6 +23,10 @@ type HostNode struct {
 	Gateway *Gateway
 	Monitor *monitor.Monitor
 	SM      *StateManager
+	// Persist is the durability layer, nil unless NodeConfig.Durable was
+	// set. When present it sits between the monitor and the gateway in the
+	// sample path.
+	Persist *Persister
 
 	clock  simclock.Clock
 	period time.Duration
@@ -46,6 +51,13 @@ type NodeConfig struct {
 	// daemons (monitor tick failures, recorder drops). It should already
 	// carry the machine attr; components add their own.
 	Logger *slog.Logger
+	// Durable, when non-nil, persists the node's state (sample history,
+	// idempotency keys, accuracy stats) through a WAL + snapshots. The node
+	// takes ownership of the store: HostNode.Persist closes it.
+	Durable *durable.Store
+	// DurableRecovery carries the state recovered by durable.Open to replay
+	// into the node before it starts serving. Nil on a fresh data dir.
+	DurableRecovery *durable.Recovery
 }
 
 // NewHostNode assembles a node around the given load source.
@@ -73,6 +85,15 @@ func NewHostNode(cfg NodeConfig, src monitor.LoadSource) (*HostNode, error) {
 	// instruments but not the sample counter: samples are counted by the
 	// state manager, which also sees replayed days (FeedDay), so the count
 	// stays truthful however samples arrive.
+	var persist *Persister
+	var sink monitor.Sink = gw
+	if cfg.Durable != nil {
+		persist, err = NewPersister(cfg.Durable, cfg.DurableRecovery, sm, gw, cfg.Logger)
+		if err != nil {
+			return nil, err
+		}
+		sink = persist
+	}
 	obsv := sm.Obs()
 	mon, err := monitor.New(monitor.Config{
 		Period:        cfg.Period,
@@ -83,11 +104,11 @@ func NewHostNode(cfg NodeConfig, src monitor.LoadSource) (*HostNode, error) {
 			TickSeconds: obsv.Monitor.TickSeconds,
 		},
 		Logger: cfg.Logger,
-	}, src, gw)
+	}, src, sink)
 	if err != nil {
 		return nil, err
 	}
-	return &HostNode{Gateway: gw, Monitor: mon, SM: sm, clock: cfg.Clock, period: cfg.Period}, nil
+	return &HostNode{Gateway: gw, Monitor: mon, SM: sm, Persist: persist, clock: cfg.Clock, period: cfg.Period}, nil
 }
 
 // Obs exposes the node's observability bundle (metrics registry + accuracy
@@ -144,15 +165,19 @@ func (n *HostNode) StartHeartbeat(caller *Caller, registryAddr, gatewayAddr stri
 // real time passing; down samples are routed through the gateway's crash
 // path exactly as a dead monitor would manifest.
 func (n *HostNode) FeedDay(day *trace.Day) time.Time {
+	var sink monitor.Sink = n.Gateway
+	if n.Persist != nil {
+		sink = n.Persist
+	}
 	t := day.Date
 	for _, s := range day.Samples {
 		if s.Up {
-			n.Gateway.Record(t, s)
+			sink.Record(t, s)
 		} else {
 			// The monitor cannot sample a dead machine; the guest dies
 			// with the node and the recorder later back-fills the gap.
 			n.Gateway.Crash()
-			n.Gateway.Record(t, s)
+			sink.Record(t, s)
 		}
 		t = t.Add(day.Period)
 	}

@@ -1,6 +1,7 @@
 package ishare
 
 import (
+	"fmt"
 	"sync/atomic"
 	"time"
 
@@ -131,6 +132,10 @@ type NodeObs struct {
 	reqOther   *obs.Counter
 	errOther   *obs.Counter
 	rpcOther   *obs.Histogram
+
+	// prevFlight is the flight snapshot the previous process saved on
+	// shutdown (nil = none found). Installed once at boot, before serving.
+	prevFlight *otrace.FlightSnapshot
 }
 
 // NewNodeObs registers a host node's full metric surface on a fresh
@@ -190,6 +195,52 @@ func (o *NodeObs) Flight() *otrace.Recorder {
 		return nil
 	}
 	return o.Tracer.Recorder()
+}
+
+// SetPrevFlight installs the flight snapshot the previous process saved on
+// shutdown, served by QueryTraces with Previous set. Call at boot, before
+// serving.
+func (o *NodeObs) SetPrevFlight(s *otrace.FlightSnapshot) {
+	if o == nil {
+		return
+	}
+	o.prevFlight = s
+}
+
+// PrevFlight returns the previous process's saved flight snapshot (nil if
+// none was loaded).
+func (o *NodeObs) PrevFlight() *otrace.FlightSnapshot {
+	if o == nil {
+		return nil
+	}
+	return o.prevFlight
+}
+
+// prevFlightResp serves a QueryTraces request against a persisted flight
+// snapshot — the shared Previous path of the host gateway and the
+// federation peer.
+func prevFlightResp(machineID string, snap *otrace.FlightSnapshot, req QueryTracesReq) (QueryTracesResp, error) {
+	if snap == nil {
+		return QueryTracesResp{}, fmt.Errorf("no previous flight snapshot (node not started with -data-dir, or first run)")
+	}
+	resp := QueryTracesResp{MachineID: machineID, TotalRecorded: snap.Total}
+	if req.TraceID != "" {
+		id, err := otrace.ParseTraceID(req.TraceID)
+		if err != nil {
+			return QueryTracesResp{}, fmt.Errorf("bad trace id %q", req.TraceID)
+		}
+		records, ok := snap.Trace(id)
+		if !ok {
+			return QueryTracesResp{}, fmt.Errorf("trace %s not in the previous flight", req.TraceID)
+		}
+		resp.Traces = records
+	} else {
+		resp.Traces = snap.TracesLimit(req.Limit)
+	}
+	if req.Events {
+		resp.Events = snap.EventsLimit(req.Limit)
+	}
+	return resp, nil
 }
 
 // InstrumentBreakers registers per-edge transition counters and an

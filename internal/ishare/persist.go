@@ -1,0 +1,542 @@
+package ishare
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"log/slog"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"fgcs/internal/durable"
+	"fgcs/internal/monitor"
+	"fgcs/internal/obs"
+	"fgcs/internal/trace"
+)
+
+// Persister wires a host node's mutable state — the monitor's history log,
+// the gateway's idempotency table and the accuracy tracker — onto a
+// durable.Store. It sits in the monitor's sink chain: every sample is
+// quantized to the WAL's storage precision, appended to the log, and only
+// then applied to the live components, so the live state and a replay of
+// the log are bit-identical and a restarted node answers QueryTR exactly as
+// the pre-crash node did.
+//
+// Locking: p.mu serializes the sample step (append + apply) against
+// snapshots. Submit and resolution records are appended outside p.mu
+// (restores are idempotent upserts / are covered by the sample step's
+// serialization, see the component sink docs), taking only the store's
+// internal append mutex, so the hooks never nest component locks inside
+// each other.
+type Persister struct {
+	st      *durable.Store
+	sm      *StateManager
+	gw      *Gateway
+	tracker *obs.Tracker
+	logger  *slog.Logger
+
+	mu    sync.Mutex
+	coder durable.SampleCoder
+	buf   []byte
+}
+
+// nodeSnapMagic frames a host-node snapshot payload.
+var nodeSnapMagic = [4]byte{'F', 'G', 'N', 'S'}
+
+// nodeSnapVersion is the host-node snapshot payload version.
+const nodeSnapVersion = 1
+
+// NewPersister builds the persistence layer for one host node and replays
+// the recovered state into its components: snapshot first, then the WAL
+// tail. It installs the gateway submit hook and the tracker resolution hook;
+// the caller routes monitor samples through Record (the Persister is the
+// monitor sink, wrapping the gateway).
+func NewPersister(st *durable.Store, rec *durable.Recovery, sm *StateManager, gw *Gateway, logger *slog.Logger) (*Persister, error) {
+	if st == nil || sm == nil || gw == nil {
+		return nil, fmt.Errorf("ishare: persister needs store, state manager and gateway")
+	}
+	if logger != nil {
+		logger = logger.With(slog.String("component", "persist"))
+	}
+	p := &Persister{st: st, sm: sm, gw: gw, tracker: sm.Obs().Tracker, logger: logger}
+	if rec != nil {
+		if err := p.restore(rec); err != nil {
+			return nil, err
+		}
+	}
+	gw.SetSubmitSink(p.appendSubmit)
+	p.tracker.SetResolutionSink(p.appendResolution)
+	return p, nil
+}
+
+// Record implements monitor.Sink: quantize, log, apply. The quantization
+// happens before the live components see the sample, which is what makes
+// replayed state bit-identical to live state. An append failure is logged
+// and the sample still applied — a monitoring sample is never client-
+// acknowledged, so availability wins over durability for it.
+func (p *Persister) Record(t time.Time, s trace.Sample) {
+	t = durable.QuantizeTime(t)
+	s = durable.QuantizeSample(s)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.buf = p.coder.Encode(p.buf[:0], t, s)
+	if err := p.st.Append(durable.RecSample, p.buf); err != nil {
+		p.warn("sample append failed", slog.String("err", err.Error()))
+	}
+	p.gw.Record(t, s)
+}
+
+// appendSubmit logs one accepted submit (the gateway's submit sink).
+func (p *Persister) appendSubmit(key, jobID string) {
+	if err := p.st.Append(durable.RecSubmitKey, durable.EncodeSubmitKey(nil, key, jobID)); err != nil {
+		p.warn("submit append failed", slog.String("job", jobID), slog.String("err", err.Error()))
+	}
+}
+
+// appendResolution logs one resolved prediction (the tracker's resolution
+// sink). On a host node resolutions only fire inside the sample step, so
+// these appends are already serialized against snapshots by p.mu.
+func (p *Persister) appendResolution(machine, predictor string, tr float64, survived bool) {
+	if err := p.st.Append(durable.RecAccuracy, durable.EncodeAccuracy(nil, machine, predictor, tr, survived)); err != nil {
+		p.warn("accuracy append failed", slog.String("err", err.Error()))
+	}
+}
+
+// Snapshot publishes the node's full state at the current WAL position and
+// starts a fresh sample delta chain, so replay from the snapshot never
+// needs records before it.
+func (p *Persister) Snapshot() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	payload, err := p.encodeNodeSnapshot()
+	if err != nil {
+		return err
+	}
+	if err := p.st.WriteSnapshot(payload); err != nil {
+		return err
+	}
+	p.coder.Reset()
+	return nil
+}
+
+// StartSnapshots writes a snapshot every interval until the returned stop
+// function is called. Failures are logged and retried next round.
+func (p *Persister) StartSnapshots(every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 5 * time.Minute
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if err := p.Snapshot(); err != nil {
+					p.warn("periodic snapshot failed", slog.String("err", err.Error()))
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Sync forces the WAL to stable storage (used by weaker fsync policies at
+// shutdown).
+func (p *Persister) Sync() error { return p.st.Sync() }
+
+// Close flushes and closes the WAL. Call after the monitor has stopped.
+func (p *Persister) Close() error { return p.st.Close() }
+
+// Flush writes a final snapshot and closes the store — the clean-shutdown
+// path: a node restarted from this state replays zero WAL records.
+func (p *Persister) Flush() error {
+	if err := p.Snapshot(); err != nil {
+		_ = p.st.Close()
+		return err
+	}
+	return p.st.Close()
+}
+
+func (p *Persister) warn(msg string, args ...interface{}) {
+	if p.logger != nil {
+		p.logger.Warn(msg, args...)
+	}
+}
+
+// restore applies recovered state: the snapshot payload, then the WAL tail
+// in order. Unknown record types are skipped with a warning so a newer
+// node's log does not brick an older binary.
+func (p *Persister) restore(rec *durable.Recovery) error {
+	if rec.SnapshotPayload != nil {
+		if err := p.decodeNodeSnapshot(rec.SnapshotPayload); err != nil {
+			return fmt.Errorf("ishare: node snapshot: %w", err)
+		}
+	}
+	var coder durable.SampleCoder
+	for i, r := range rec.Records {
+		switch r.Type {
+		case durable.RecSample:
+			t, s, err := coder.Decode(r.Payload)
+			if err != nil {
+				return fmt.Errorf("ishare: replay record %d: %w", i, err)
+			}
+			p.sm.RestoreSample(t, s)
+		case durable.RecSubmitKey:
+			key, jobID, err := durable.DecodeSubmitKey(r.Payload)
+			if err != nil {
+				return fmt.Errorf("ishare: replay record %d: %w", i, err)
+			}
+			p.gw.RestoreSubmitKey(key, jobID)
+		case durable.RecAccuracy:
+			machine, predictor, tr, survived, err := durable.DecodeAccuracy(r.Payload)
+			if err != nil {
+				return fmt.Errorf("ishare: replay record %d: %w", i, err)
+			}
+			p.tracker.RestoreResolution(machine, predictor, tr, survived)
+		default:
+			p.warn("skipping unknown WAL record type", slog.Int("type", int(r.Type)))
+		}
+	}
+	return nil
+}
+
+// encodeNodeSnapshot serializes the node state. Callers hold p.mu; the
+// component exports take their own locks. The output is deterministic for
+// a given state (sorted submit keys), which the crash harness relies on.
+func (p *Persister) encodeNodeSnapshot() ([]byte, error) {
+	machine, last, recent := p.sm.ExportHistory()
+	var hist bytes.Buffer
+	if err := trace.WriteBinary(&hist, &trace.Dataset{Machines: []*trace.Machine{machine}}); err != nil {
+		return nil, err
+	}
+	buf := append([]byte(nil), nodeSnapMagic[:]...)
+	buf = append(buf, nodeSnapVersion)
+	buf = binary.AppendUvarint(buf, uint64(hist.Len()))
+	buf = append(buf, hist.Bytes()...)
+	buf = binary.AppendVarint(buf, timeToMs(last))
+	buf = binary.AppendUvarint(buf, uint64(len(recent)))
+	for _, s := range recent {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.CPU))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(s.FreeMemMB))
+		if s.Up {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
+	submitted, nextID := p.gw.ExportSubmitted()
+	keys := make([]string, 0, len(submitted))
+	for k := range submitted {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	buf = binary.AppendUvarint(buf, uint64(len(keys)))
+	for _, k := range keys {
+		buf = appendSnapString(buf, k)
+		buf = appendSnapString(buf, submitted[k])
+	}
+	buf = binary.AppendUvarint(buf, uint64(nextID))
+	blob := p.tracker.ExportBinary()
+	buf = binary.AppendUvarint(buf, uint64(len(blob)))
+	buf = append(buf, blob...)
+	return buf, nil
+}
+
+// decodeNodeSnapshot installs a recovered snapshot payload into the
+// components.
+func (p *Persister) decodeNodeSnapshot(data []byte) error {
+	if len(data) < 5 || [4]byte(data[:4]) != nodeSnapMagic {
+		return fmt.Errorf("bad magic")
+	}
+	if data[4] != nodeSnapVersion {
+		return fmt.Errorf("version %d", data[4])
+	}
+	rest := data[5:]
+	hlen, n := binary.Uvarint(rest)
+	if n <= 0 || hlen > uint64(len(rest)-n) {
+		return fmt.Errorf("malformed history length")
+	}
+	rest = rest[n:]
+	ds, err := trace.ReadBinary(bytes.NewReader(rest[:hlen]))
+	if err != nil {
+		return fmt.Errorf("history: %w", err)
+	}
+	if len(ds.Machines) != 1 {
+		return fmt.Errorf("history carries %d machines", len(ds.Machines))
+	}
+	rest = rest[hlen:]
+	lastMs, n := binary.Varint(rest)
+	if n <= 0 {
+		return fmt.Errorf("malformed last-sample time")
+	}
+	rest = rest[n:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > uint64(len(rest)-n)/17 {
+		return fmt.Errorf("malformed recent-ring count")
+	}
+	rest = rest[n:]
+	recent := make([]trace.Sample, 0, count)
+	for i := uint64(0); i < count; i++ {
+		s := trace.Sample{
+			CPU:       math.Float64frombits(binary.LittleEndian.Uint64(rest)),
+			FreeMemMB: math.Float64frombits(binary.LittleEndian.Uint64(rest[8:])),
+			Up:        rest[16] == 1,
+		}
+		rest = rest[17:]
+		recent = append(recent, s)
+	}
+	nkeys, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("malformed submit-key count")
+	}
+	rest = rest[n:]
+	submitted := make(map[string]string, nkeys)
+	for i := uint64(0); i < nkeys; i++ {
+		var k, v string
+		if k, rest, err = readSnapString(rest); err != nil {
+			return err
+		}
+		if v, rest, err = readSnapString(rest); err != nil {
+			return err
+		}
+		submitted[k] = v
+	}
+	nextID, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return fmt.Errorf("malformed next job id")
+	}
+	rest = rest[n:]
+	blen, n := binary.Uvarint(rest)
+	if n <= 0 || blen != uint64(len(rest)-n) {
+		return fmt.Errorf("malformed tracker blob length")
+	}
+	blob := rest[n:]
+
+	if err := p.sm.RestoreHistory(ds.Machines[0], msToTime(lastMs), recent); err != nil {
+		return err
+	}
+	p.gw.RestoreSubmitted(submitted, int(nextID))
+	if err := p.tracker.RestoreBinary(blob); err != nil {
+		return err
+	}
+	return nil
+}
+
+// timeToMs maps a timestamp to unix milliseconds, keeping the zero time at
+// zero (unix ms of the zero time is a large negative number, not a useful
+// sentinel).
+func timeToMs(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixMilli()
+}
+
+// msToTime is the inverse of timeToMs.
+func msToTime(ms int64) time.Time {
+	if ms == 0 {
+		return time.Time{}
+	}
+	return time.UnixMilli(ms).UTC()
+}
+
+func appendSnapString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readSnapString(p []byte) (string, []byte, error) {
+	n, vn := binary.Uvarint(p)
+	if vn <= 0 || n > uint64(len(p)-vn) {
+		return "", nil, fmt.Errorf("malformed string")
+	}
+	return string(p[vn : vn+int(n)]), p[vn+int(n):], nil
+}
+
+// RegState is the registry-shaped surface the RegPersister restores into:
+// both the standalone Registry and a federation peer's shard implement it.
+type RegState interface {
+	// SetSink installs the persistence hook for entry changes.
+	SetSink(fn func(e RegEntry, removed bool))
+	// Export snapshots every entry for durable storage.
+	Export() []RegEntry
+	// Restore upserts recovered entries without firing the sink.
+	Restore(entries []RegEntry)
+	// RestoreRemove replays a logged removal without firing the sink.
+	RestoreRemove(machine string)
+}
+
+// regSnapMagic frames a registry snapshot payload.
+var regSnapMagic = [4]byte{'F', 'G', 'R', 'S'}
+
+// regSnapVersion is the registry snapshot payload version.
+const regSnapVersion = 1
+
+// RegPersister wires a registry-shaped component (standalone Registry or a
+// federation peer's shard) onto a durable.Store: entry upserts and removals
+// append WAL records, and Snapshot publishes the full entry set. Expiries
+// are persisted as absolute deadlines, so a restart does not extend TTLs.
+type RegPersister struct {
+	st     *durable.Store
+	reg    RegState
+	logger *slog.Logger
+}
+
+// NewRegPersister restores recovered state into reg (snapshot, then WAL
+// tail) and installs its persistence sink.
+func NewRegPersister(st *durable.Store, rec *durable.Recovery, reg RegState, logger *slog.Logger) (*RegPersister, error) {
+	if st == nil || reg == nil {
+		return nil, fmt.Errorf("ishare: reg persister needs store and registry")
+	}
+	if logger != nil {
+		logger = logger.With(slog.String("component", "persist"))
+	}
+	rp := &RegPersister{st: st, reg: reg, logger: logger}
+	if rec != nil {
+		if rec.SnapshotPayload != nil {
+			entries, err := decodeRegSnapshot(rec.SnapshotPayload)
+			if err != nil {
+				return nil, fmt.Errorf("ishare: registry snapshot: %w", err)
+			}
+			reg.Restore(entries)
+		}
+		for i, r := range rec.Records {
+			switch r.Type {
+			case durable.RecRegister:
+				machine, addr, expMs, err := durable.DecodeRegister(r.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("ishare: replay record %d: %w", i, err)
+				}
+				reg.Restore([]RegEntry{{Machine: machine, Addr: addr, Expires: msToTime(expMs)}})
+			case durable.RecUnregister:
+				machine, err := durable.DecodeUnregister(r.Payload)
+				if err != nil {
+					return nil, fmt.Errorf("ishare: replay record %d: %w", i, err)
+				}
+				reg.RestoreRemove(machine)
+			default:
+				if logger != nil {
+					logger.Warn("skipping unknown WAL record type", slog.Int("type", int(r.Type)))
+				}
+			}
+		}
+	}
+	reg.SetSink(rp.sink)
+	return rp, nil
+}
+
+// sink appends one entry change to the WAL.
+func (rp *RegPersister) sink(e RegEntry, removed bool) {
+	var err error
+	if removed {
+		err = rp.st.Append(durable.RecUnregister, durable.EncodeUnregister(nil, e.Machine))
+	} else {
+		err = rp.st.Append(durable.RecRegister, durable.EncodeRegister(nil, e.Machine, e.Addr, timeToMs(e.Expires)))
+	}
+	if err != nil && rp.logger != nil {
+		rp.logger.Warn("registry append failed", slog.String("machine", e.Machine), slog.String("err", err.Error()))
+	}
+}
+
+// Snapshot publishes the full entry set at the current WAL position.
+func (rp *RegPersister) Snapshot() error {
+	return rp.st.WriteSnapshot(encodeRegSnapshot(rp.reg.Export()))
+}
+
+// StartSnapshots writes a snapshot every interval until the returned stop
+// function is called.
+func (rp *RegPersister) StartSnapshots(every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = 5 * time.Minute
+	}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		ticker := time.NewTicker(every)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				if err := rp.Snapshot(); err != nil && rp.logger != nil {
+					rp.logger.Warn("periodic snapshot failed", slog.String("err", err.Error()))
+				}
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// Flush writes a final snapshot and closes the store (clean shutdown).
+func (rp *RegPersister) Flush() error {
+	if err := rp.Snapshot(); err != nil {
+		_ = rp.st.Close()
+		return err
+	}
+	return rp.st.Close()
+}
+
+// Close closes the store without a final snapshot.
+func (rp *RegPersister) Close() error { return rp.st.Close() }
+
+// encodeRegSnapshot serializes a sorted entry set (Export sorts).
+func encodeRegSnapshot(entries []RegEntry) []byte {
+	buf := append([]byte(nil), regSnapMagic[:]...)
+	buf = append(buf, regSnapVersion)
+	buf = binary.AppendUvarint(buf, uint64(len(entries)))
+	for _, e := range entries {
+		buf = durable.EncodeRegister(buf, e.Machine, e.Addr, timeToMs(e.Expires))
+	}
+	return buf
+}
+
+// decodeRegSnapshot parses a registry snapshot payload.
+func decodeRegSnapshot(data []byte) ([]RegEntry, error) {
+	if len(data) < 5 || [4]byte(data[:4]) != regSnapMagic {
+		return nil, fmt.Errorf("bad magic")
+	}
+	if data[4] != regSnapVersion {
+		return nil, fmt.Errorf("version %d", data[4])
+	}
+	rest := data[5:]
+	count, n := binary.Uvarint(rest)
+	if n <= 0 || count > uint64(len(rest)-n) {
+		return nil, fmt.Errorf("malformed entry count")
+	}
+	rest = rest[n:]
+	entries := make([]RegEntry, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var machine, addr string
+		var err error
+		if machine, rest, err = readSnapString(rest); err != nil {
+			return nil, err
+		}
+		if addr, rest, err = readSnapString(rest); err != nil {
+			return nil, err
+		}
+		expMs, vn := binary.Varint(rest)
+		if vn <= 0 {
+			return nil, fmt.Errorf("malformed expiry")
+		}
+		rest = rest[vn:]
+		entries = append(entries, RegEntry{Machine: machine, Addr: addr, Expires: msToTime(expMs)})
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("trailing bytes")
+	}
+	return entries, nil
+}
+
+// Assert the sink chain shapes at compile time.
+var (
+	_ monitor.Sink = (*Persister)(nil)
+	_ RegState     = (*Registry)(nil)
+	_ RegState     = (*FedGateway)(nil)
+)

@@ -1,0 +1,370 @@
+package ishare
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/durable"
+	"fgcs/internal/rng"
+	"fgcs/internal/simclock"
+	"fgcs/internal/trace"
+)
+
+// persistStoreCfg keeps segments small so even short workloads rotate.
+func persistStoreCfg(fs durable.FS) durable.Config {
+	return durable.Config{FS: fs, SegmentBytes: 1024, KeepSnapshots: 2, Sync: durable.SyncAlways}
+}
+
+// newDurableNode builds a host node over an already-opened store.
+func newDurableNode(t *testing.T, st *durable.Store, rec *durable.Recovery, clock simclock.Clock, preloaded *trace.Machine) *HostNode {
+	t.Helper()
+	n, err := NewHostNode(NodeConfig{
+		MachineID:       "lab-01",
+		Cfg:             avail.DefaultConfig(),
+		Period:          period,
+		Clock:           clock,
+		Preloaded:       preloaded,
+		Durable:         st,
+		DurableRecovery: rec,
+	}, staticSource{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// persistSample derives a deterministic sample from the stream: mixed load
+// levels with occasional downtime, so the recovered state machine and TR
+// kernels are non-trivial.
+func persistSample(r *rng.Stream) trace.Sample {
+	v := r.Uint64()
+	s := trace.Sample{
+		CPU:       float64(v%10000) / 100.0,
+		FreeMemMB: 100 + float64((v>>16)%4096)/16.0,
+		Up:        v%23 != 0,
+	}
+	if !s.Up {
+		s.CPU, s.FreeMemMB = 0, 0
+	}
+	return s
+}
+
+// queryAnswer strips the cache counters (which depend on query order, not
+// state) from a QueryTR response.
+type queryAnswer struct {
+	TR      float64
+	Windows int
+	State   string
+}
+
+func askTR(t *testing.T, n *HostNode, length float64) queryAnswer {
+	t.Helper()
+	resp, err := n.Gateway.QueryTR(context.Background(), QueryTRReq{LengthSeconds: length, GuestMemMB: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return queryAnswer{TR: resp.TR, Windows: resp.HistoryWindows, State: resp.CurrentState}
+}
+
+// TestPersisterCleanShutdownZeroReplay is the graceful-shutdown contract: a
+// node that flushed (final snapshot + close) restarts with zero WAL records
+// to replay and answers QueryTR exactly as before, and a retried submit
+// dedups to the pre-restart job ID.
+func TestPersisterCleanShutdownZeroReplay(t *testing.T) {
+	fs := durable.NewMemFS()
+	start := time.Date(2005, 9, 2, 8, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(start.Add(time.Hour))
+	pre := historyMachine("lab-01", 11, 9)
+
+	st, rec, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.SnapshotPayload != nil || len(rec.Records) != 0 {
+		t.Fatalf("fresh dir recovered %d records", len(rec.Records))
+	}
+	n := newDurableNode(t, st, rec, clock, pre)
+	sub, err := n.Gateway.Submit(context.Background(), SubmitReq{Name: "j", WorkSeconds: 3600, MemMB: 50, IdempotencyKey: "retry-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(41)
+	tt := start
+	for i := 0; i < 150; i++ {
+		n.Persist.Record(tt, persistSample(r))
+		tt = tt.Add(period)
+	}
+	before := askTR(t, n, 2*3600)
+	beforeAcc := n.Obs().Tracker.ExportBinary()
+	if err := n.Persist.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec2, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.SnapshotPayload == nil {
+		t.Fatal("no snapshot after clean shutdown")
+	}
+	if len(rec2.Records) != 0 {
+		t.Fatalf("clean shutdown left %d WAL records to replay", len(rec2.Records))
+	}
+	// Preloaded history is the trace file's job (ishared -preload), not the
+	// WAL's: the durable layer persists only the live session on top of it.
+	n2 := newDurableNode(t, st2, rec2, clock, pre)
+	if after := askTR(t, n2, 2*3600); after != before {
+		t.Fatalf("QueryTR after restart = %+v, want %+v", after, before)
+	}
+	if afterAcc := n2.Obs().Tracker.ExportBinary(); !bytes.Equal(afterAcc, beforeAcc) {
+		t.Fatal("accuracy tracker state diverged across clean restart")
+	}
+	// The retried submit is recognized even though the job object died with
+	// the process.
+	sub2, err := n2.Gateway.Submit(context.Background(), SubmitReq{Name: "j", WorkSeconds: 3600, MemMB: 50, IdempotencyKey: "retry-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub2.JobID != sub.JobID {
+		t.Fatalf("replayed submit job = %s, want %s", sub2.JobID, sub.JobID)
+	}
+	// A genuinely new submit must not reuse the old job's ID.
+	sub3, err := n2.Gateway.Submit(context.Background(), SubmitReq{Name: "k", WorkSeconds: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub3.JobID == sub.JobID {
+		t.Fatalf("fresh submit reused job ID %s", sub.JobID)
+	}
+	if err := n2.Persist.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPersisterWALReplayOnly restarts from a dirty shutdown (no final
+// snapshot): all state comes from WAL replay and must still answer QueryTR
+// identically.
+func TestPersisterWALReplayOnly(t *testing.T) {
+	fs := durable.NewMemFS()
+	start := time.Date(2005, 9, 2, 8, 0, 0, 0, time.UTC)
+	clock := simclock.NewVirtual(start.Add(time.Hour))
+	pre := historyMachine("lab-01", 11, 9)
+
+	st, rec, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newDurableNode(t, st, rec, clock, pre)
+	r := rng.New(42)
+	tt := start
+	for i := 0; i < 120; i++ {
+		n.Persist.Record(tt, persistSample(r))
+		tt = tt.Add(period)
+	}
+	before := askTR(t, n, 2*3600)
+	// Close without snapshot: everything must come back from the log.
+	if err := n.Persist.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec2, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Records) == 0 {
+		t.Fatal("dirty shutdown should leave WAL records")
+	}
+	// The WAL holds quantized samples, but not the preloaded history: that
+	// comes from the node's own boot path, exactly as ishared reloads its
+	// trace file.
+	n2 := newDurableNode(t, st2, rec2, clock, pre)
+	if after := askTR(t, n2, 2*3600); after != before {
+		t.Fatalf("QueryTR after WAL replay = %+v, want %+v", after, before)
+	}
+	if err := n2.Persist.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// persistCrashWorkload drives a node over the given FS, recording every
+// applied (already quantized) sample. Append failures after the injected
+// crash are ignored, exactly as a real node keeps serving when its disk
+// dies.
+func persistCrashWorkload(t *testing.T, fs durable.FS, seed uint64, pre *trace.Machine, start time.Time, clock simclock.Clock, nSamples int) []trace.Sample {
+	t.Helper()
+	st, rec, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := newDurableNode(t, st, rec, clock, pre)
+	r := rng.New(seed)
+	applied := make([]trace.Sample, 0, nSamples)
+	tt := start
+	for i := 0; i < nSamples; i++ {
+		s := durable.QuantizeSample(persistSample(r))
+		applied = append(applied, s)
+		n.Persist.Record(tt, s)
+		tt = tt.Add(period)
+		if (i+1)%40 == 0 {
+			_ = n.Persist.Snapshot() // fails after the crash point; ignored
+		}
+	}
+	_ = n.Persist.Close()
+	return applied
+}
+
+// TestPersisterCrashQueryTREquality is the node-level kill-anywhere
+// property: for seeded crash offsets, a node restarted from the surviving
+// bytes answers QueryTR exactly like a fresh node fed the recovered prefix
+// of samples. The recovered prefix length is derived from the last replayed
+// sample's timestamp.
+func TestPersisterCrashQueryTREquality(t *testing.T) {
+	const nSamples = 160
+	const seed = 7
+	start := time.Date(2005, 9, 2, 8, 0, 0, 0, time.UTC)
+	qnow := start.Add(nSamples * period)
+	pre := historyMachine("lab-01", 11, 9)
+
+	// Probe run: measure the total bytes a crash-free workload writes.
+	probe := durable.NewCrashFS(durable.NewMemFS(), -1)
+	persistCrashWorkload(t, probe, seed, pre, start, simclock.NewVirtual(qnow), nSamples)
+	total := probe.BytesWritten()
+	if total == 0 {
+		t.Fatal("probe run wrote nothing")
+	}
+
+	kills := rng.New(seed).Split("node-killpoints")
+	for k := 0; k < 14; k++ {
+		killAt := int64(kills.Uint64() % uint64(total))
+		mem := durable.NewMemFS()
+		crash := durable.NewCrashFS(mem, killAt)
+		applied := persistCrashWorkload(t, crash, seed, pre, start, simclock.NewVirtual(qnow), nSamples)
+		if !crash.Crashed() {
+			t.Fatalf("killAt=%d: workload never hit the crash point", killAt)
+		}
+
+		// Restart from the surviving bytes.
+		st, rec, err := durable.Open(persistStoreCfg(mem))
+		if err != nil {
+			t.Fatalf("killAt=%d: recovery refused: %v", killAt, err)
+		}
+		n := newDurableNode(t, st, rec, simclock.NewVirtual(qnow), pre)
+
+		// How many samples made it to stable storage? The last recovered
+		// sample's timestamp pins the prefix length exactly.
+		_, last, _ := n.SM.ExportHistory()
+		prefix := 0
+		if !last.IsZero() && !last.Before(start) {
+			prefix = int(last.Sub(start)/period) + 1
+		}
+		if prefix > len(applied) {
+			t.Fatalf("killAt=%d: recovered %d samples, only %d were applied", killAt, prefix, len(applied))
+		}
+
+		// Oracle: a store-less node fed the recovered prefix directly.
+		oracle := testNode(t, simclock.NewVirtual(qnow), pre.Clone())
+		tt := start
+		for _, s := range applied[:prefix] {
+			oracle.Gateway.Record(durable.QuantizeTime(tt), s)
+			tt = tt.Add(period)
+		}
+		for _, length := range []float64{1800, 2 * 3600} {
+			got := askTR(t, n, length)
+			want := askTR(t, oracle, length)
+			if got != want {
+				t.Fatalf("killAt=%d prefix=%d length=%v: QueryTR = %+v, oracle %+v",
+					killAt, prefix, length, got, want)
+			}
+		}
+		if err := n.Persist.Close(); err != nil {
+			t.Fatalf("killAt=%d: close after recovery: %v", killAt, err)
+		}
+	}
+}
+
+// TestRegPersisterRoundTrip covers the registry durability path: snapshot +
+// WAL replay reconstruct the entry set, absolute expiries survive, and a
+// logged unregister stays gone.
+func TestRegPersisterRoundTrip(t *testing.T) {
+	fs := durable.NewMemFS()
+	clock := simclock.NewVirtual(monday)
+	st, rec, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistryClock(clock)
+	rp, err := NewRegPersister(st, rec, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(Resource{MachineID: "m-a", Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterTTL(Resource{MachineID: "m-b", Addr: "b:2"}, time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// Post-snapshot churn lands in the WAL tail.
+	if err := reg.Register(Resource{MachineID: "m-c", Addr: "c:3"}); err != nil {
+		t.Fatal(err)
+	}
+	reg.Unregister("m-a")
+	want := reg.Export()
+	if err := rp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec2, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec2.SnapshotPayload == nil || len(rec2.Records) == 0 {
+		t.Fatalf("recovery shape: snapshot=%v records=%d", rec2.SnapshotPayload != nil, len(rec2.Records))
+	}
+	reg2 := NewRegistryClock(clock)
+	rp2, err := NewRegPersister(st2, rec2, reg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := reg2.Export()
+	if len(got) != len(want) {
+		t.Fatalf("restored %d entries, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// The TTL deadline is absolute: advancing past it expires the restored
+	// entry without any re-registration.
+	clock.Advance(2 * time.Hour)
+	for _, res := range reg2.Resources() {
+		if res.MachineID == "m-b" {
+			t.Fatal("expired TTL entry still discoverable after restore")
+		}
+	}
+	if err := rp2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Third generation boots from the Flush snapshot alone.
+	st3, rec3, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec3.Records) != 0 {
+		t.Fatalf("clean registry shutdown left %d WAL records", len(rec3.Records))
+	}
+	reg3 := NewRegistryClock(clock)
+	if _, err := NewRegPersister(st3, rec3, reg3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(reg3.Export()) != len(want) {
+		t.Fatalf("third generation entries = %+v", reg3.Export())
+	}
+}

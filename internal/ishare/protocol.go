@@ -259,6 +259,10 @@ type QueryTracesReq struct {
 	TraceID string `json:"trace_id,omitempty"`
 	// Events includes recent captured WARN/ERROR log events.
 	Events bool `json:"events,omitempty"`
+	// Previous serves the flight snapshot the node persisted on its last
+	// shutdown (ishared -data-dir) instead of the live recorder — the black
+	// box of the run that just ended.
+	Previous bool `json:"previous,omitempty"`
 }
 
 // QueryTracesResp returns flight-recorder contents.

@@ -24,6 +24,22 @@ type Registry struct {
 	mu        sync.Mutex
 	clock     simclock.Clock
 	resources map[string]registration
+
+	// sink, when set, is told about every accepted registration change so
+	// the persistence layer can log it. Invoked after r.mu is released;
+	// restores are idempotent upserts, so the resulting append/snapshot
+	// races are harmless.
+	sink func(e RegEntry, removed bool)
+}
+
+// RegEntry is one registry entry in durable form, shared by the standalone
+// Registry and the federated FedGateway shard: the machine, its gateway
+// address, and the absolute expiry (zero = never). Absolute expiries make
+// replay deterministic — a restart does not restart TTL clocks.
+type RegEntry struct {
+	Machine string
+	Addr    string
+	Expires time.Time
 }
 
 type registration struct {
@@ -61,13 +77,67 @@ func (r *Registry) RegisterTTL(res Resource, ttl time.Duration) error {
 		reg.expires = r.clock.Now().Add(ttl)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.resources[res.MachineID] = reg
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(RegEntry{Machine: res.MachineID, Addr: res.Addr, Expires: reg.expires}, false)
+	}
 	return nil
 }
 
 // Unregister removes a resource (owner leave).
 func (r *Registry) Unregister(machineID string) {
+	r.mu.Lock()
+	delete(r.resources, machineID)
+	sink := r.sink
+	r.mu.Unlock()
+	if sink != nil {
+		sink(RegEntry{Machine: machineID}, true)
+	}
+}
+
+// SetSink installs the persistence hook for registration changes. Call
+// before the registry starts serving. Expired entries reaped lazily are not
+// reported — expiry is derivable from the persisted absolute deadline.
+func (r *Registry) SetSink(fn func(e RegEntry, removed bool)) {
+	r.mu.Lock()
+	r.sink = fn
+	r.mu.Unlock()
+}
+
+// Export snapshots every registration (including expired ones not yet
+// reaped) in sorted order for durable storage.
+func (r *Registry) Export() []RegEntry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]RegEntry, 0, len(r.resources))
+	for id, reg := range r.resources {
+		out = append(out, RegEntry{Machine: id, Addr: reg.res.Addr, Expires: reg.expires})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Machine < out[j].Machine })
+	return out
+}
+
+// Restore upserts recovered entries without firing the sink. Entries whose
+// absolute expiry has already passed are still installed — the normal lazy
+// reap path removes them, keeping restore logic trivial and deterministic.
+func (r *Registry) Restore(entries []RegEntry) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, e := range entries {
+		if e.Machine == "" {
+			continue
+		}
+		r.resources[e.Machine] = registration{
+			res:     Resource{MachineID: e.Machine, Addr: e.Addr},
+			expires: e.Expires,
+		}
+	}
+}
+
+// RestoreRemove replays a logged unregister without firing the sink.
+func (r *Registry) RestoreRemove(machineID string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.resources, machineID)

@@ -133,6 +133,62 @@ func (sm *StateManager) Record(t time.Time, s trace.Sample) {
 	sm.obsv.Tracker.Observe(sm.machineID, t, up)
 }
 
+// RestoreSample is the WAL-replay twin of Record: it applies one recovered
+// sample through the identical archival and classification path but skips
+// the observability side effects — the sample counter counts only what this
+// process ingested live, and the accuracy tracker's pending predictions are
+// not persisted, so replay has nothing to resolve. Because the live path
+// quantizes samples at ingest (see Persister), replaying the WAL rebuilds
+// recorder, recent ring and current state bit-identically.
+func (sm *StateManager) RestoreSample(t time.Time, s trace.Sample) {
+	sm.recorder.Record(t, s)
+	sm.mu.Lock()
+	sm.recent = append(sm.recent, s)
+	if len(sm.recent) > sm.recentCap {
+		sm.recent = sm.recent[len(sm.recent)-sm.recentCap:]
+	}
+	sm.stateBuf = avail.ClassifyInto(sm.stateBuf, sm.recent, sm.cfg, sm.period)
+	if n := len(sm.stateBuf); n > 0 {
+		sm.curState = sm.stateBuf[n-1]
+	}
+	sm.mu.Unlock()
+	sm.sampleVer.Add(1)
+}
+
+// ExportHistory deep-copies the state a durable snapshot must carry to
+// rebuild this manager: the recorded log, the last-sample timestamp and the
+// recent ring (which differs from the log tail — gap back-fill writes down
+// samples into the log that never enter the ring).
+func (sm *StateManager) ExportHistory() (*trace.Machine, time.Time, []trace.Sample) {
+	m, last := sm.recorder.Export()
+	sm.mu.Lock()
+	recent := append([]trace.Sample(nil), sm.recent...)
+	sm.mu.Unlock()
+	return m, last, recent
+}
+
+// RestoreHistory installs recovered snapshot state: the recorded log, the
+// last-sample timestamp and the recent ring. The current availability state
+// is re-derived from the ring rather than persisted. Call before samples
+// flow; WAL-tail samples are then replayed through RestoreSample on top.
+func (sm *StateManager) RestoreHistory(m *trace.Machine, last time.Time, recent []trace.Sample) error {
+	if err := sm.recorder.Restore(m, last); err != nil {
+		return err
+	}
+	sm.mu.Lock()
+	sm.recent = append(sm.recent[:0], recent...)
+	if len(sm.recent) > sm.recentCap {
+		sm.recent = sm.recent[len(sm.recent)-sm.recentCap:]
+	}
+	sm.stateBuf = avail.ClassifyInto(sm.stateBuf, sm.recent, sm.cfg, sm.period)
+	if n := len(sm.stateBuf); n > 0 {
+		sm.curState = sm.stateBuf[n-1]
+	}
+	sm.mu.Unlock()
+	sm.sampleVer.Add(1)
+	return nil
+}
+
 // CurrentState classifies the machine's present availability state from the
 // recent sample window.
 func (sm *StateManager) CurrentState() avail.State {

@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"fmt"
 	"log/slog"
 	"sync"
 	"time"
@@ -117,6 +118,32 @@ func (r *Recorder) DayWindow(date time.Time, start, length time.Duration) []trac
 			return nil
 		}
 	}
+	return nil
+}
+
+// Export returns a deep copy of the accumulated log together with the
+// timestamp of the most recent recorded sample — the two pieces of state a
+// durable snapshot needs to rebuild the recorder exactly.
+func (r *Recorder) Export() (*trace.Machine, time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.machine.Clone(), r.lastSample
+}
+
+// Restore replaces the recorder's state with a log recovered from durable
+// storage. The machine's period must match the recorder's; the recorder
+// takes ownership of m. Call before samples start flowing.
+func (r *Recorder) Restore(m *trace.Machine, last time.Time) error {
+	if m == nil {
+		return fmt.Errorf("monitor: restore needs a machine log")
+	}
+	if m.Period != r.period {
+		return fmt.Errorf("monitor: restored log period %v != %v", m.Period, r.period)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.machine = m
+	r.lastSample = last
 	return nil
 }
 

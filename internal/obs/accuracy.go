@@ -36,6 +36,13 @@ type Tracker struct {
 	maxPending int
 	resolved   uint64
 	dropped    uint64
+
+	// resolutionSink, when set, is told about every resolved prediction so
+	// the persistence layer can log it. Resolutions are collected under t.mu
+	// and the sink invoked after release; on a host node Observe only runs
+	// inside the persister's sample step, which serializes the sink's
+	// appends against snapshots.
+	resolutionSink func(machine, predictor string, tr float64, survived bool)
 }
 
 // CalibrationBuckets is the number of equal-width predicted-TR buckets in
@@ -137,9 +144,10 @@ func (t *Tracker) Observe(machine string, now time.Time, up bool) {
 		return
 	}
 	t.mu.Lock()
-	defer t.mu.Unlock()
+	var logged []pendingPred
 	mp, ok := t.pending[machine]
 	if !ok {
+		t.mu.Unlock()
 		return
 	}
 	kept := mp.preds[:0]
@@ -147,6 +155,9 @@ func (t *Tracker) Observe(machine string, now time.Time, up bool) {
 		p := mp.preds[i]
 		if !now.Before(p.deadline) {
 			t.resolve(p, !p.failed)
+			if t.resolutionSink != nil {
+				logged = append(logged, p)
+			}
 			continue
 		}
 		if !up && !now.Before(p.start) {
@@ -158,6 +169,35 @@ func (t *Tracker) Observe(machine string, now time.Time, up bool) {
 		kept = append(kept, p)
 	}
 	mp.preds = kept
+	sink := t.resolutionSink
+	t.mu.Unlock()
+	if sink != nil {
+		for _, p := range logged {
+			sink(p.key.Machine, p.key.Predictor, p.tr, !p.failed)
+		}
+	}
+}
+
+// SetResolutionSink installs the persistence hook for resolved predictions.
+// Call before samples start flowing.
+func (t *Tracker) SetResolutionSink(fn func(machine, predictor string, tr float64, survived bool)) {
+	t.mu.Lock()
+	t.resolutionSink = fn
+	t.mu.Unlock()
+}
+
+// RestoreResolution replays one logged resolution into the statistics, the
+// exact fold resolve performed live (key plus "_all" aggregate), without
+// firing the sink. Replaying the WAL's resolution records in order rebuilds
+// every sum bit-for-bit because the TR values are persisted as exact
+// float64 bits.
+func (t *Tracker) RestoreResolution(machine, predictor string, tr float64, survived bool) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.resolve(pendingPred{key: trackerKey{Machine: machine, Predictor: predictor}, tr: tr, failed: !survived}, survived)
 }
 
 // resolve folds one outcome into the (machine, predictor) stats and the

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binary snapshot of a Tracker's resolved statistics, for the durable
+// snapshot payload. Pending (unresolved) predictions are deliberately not
+// included: their outcome windows are tied to a live monitor, and a restart
+// abandons them — the prediction is simply re-issued by the next query.
+// Sums are stored as exact float64 bits, so a restored tracker reports
+// bit-identical statistics.
+
+var accMagic = [4]byte{'F', 'G', 'A', 'T'}
+
+// accVersion is the tracker snapshot format version.
+const accVersion = 1
+
+func appendAccString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readAccString(p []byte) (string, []byte, error) {
+	n, vn := binary.Uvarint(p)
+	if vn <= 0 || n > uint64(len(p)-vn) {
+		return "", nil, fmt.Errorf("obs: malformed string in tracker snapshot")
+	}
+	return string(p[vn : vn+int(n)]), p[vn+int(n):], nil
+}
+
+func readAccUvarint(p []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(p)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("obs: malformed varint in tracker snapshot")
+	}
+	return v, p[n:], nil
+}
+
+func readAccFloat(p []byte) (float64, []byte, error) {
+	if len(p) < 8 {
+		return 0, nil, fmt.Errorf("obs: short float in tracker snapshot")
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(p)), p[8:], nil
+}
+
+// ExportBinary serializes the tracker's resolved statistics.
+func (t *Tracker) ExportBinary() []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	buf := append([]byte(nil), accMagic[:]...)
+	buf = append(buf, accVersion)
+	buf = binary.AppendUvarint(buf, t.resolved)
+	buf = binary.AppendUvarint(buf, t.dropped)
+	buf = binary.AppendUvarint(buf, uint64(len(t.keys)))
+	for _, key := range t.keys {
+		st := t.stats[key]
+		buf = appendAccString(buf, key.Machine)
+		buf = appendAccString(buf, key.Predictor)
+		buf = binary.AppendUvarint(buf, st.resolved)
+		buf = binary.AppendUvarint(buf, st.survived)
+		buf = binary.AppendUvarint(buf, st.correct)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.sumTR))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.brierSum))
+		for b := 0; b < CalibrationBuckets; b++ {
+			buf = binary.AppendUvarint(buf, st.calibCount[b])
+			buf = binary.AppendUvarint(buf, st.calibSurvived[b])
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.calibSumTR[b]))
+		}
+		buf = binary.AppendUvarint(buf, uint64(st.ringLen))
+		buf = binary.AppendUvarint(buf, uint64(st.ringNext))
+		// Occupied entries live at indices [0, ringLen): before the ring
+		// wraps those are exactly the filled slots, and once it wraps
+		// ringLen covers the whole array.
+		for i := 0; i < st.ringLen; i++ {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.ring[i].tr))
+			if st.ring[i].survived {
+				buf = append(buf, 1)
+			} else {
+				buf = append(buf, 0)
+			}
+		}
+	}
+	return buf
+}
+
+// RestoreBinary replaces the tracker's resolved statistics with a snapshot
+// produced by ExportBinary. Pending predictions are untouched (normally
+// empty at restore time).
+func (t *Tracker) RestoreBinary(data []byte) error {
+	if len(data) < 5 || [4]byte(data[:4]) != accMagic {
+		return fmt.Errorf("obs: bad tracker snapshot magic")
+	}
+	if data[4] != accVersion {
+		return fmt.Errorf("obs: tracker snapshot version %d", data[4])
+	}
+	p := data[5:]
+	var err error
+	var resolved, dropped, nkeys uint64
+	if resolved, p, err = readAccUvarint(p); err != nil {
+		return err
+	}
+	if dropped, p, err = readAccUvarint(p); err != nil {
+		return err
+	}
+	if nkeys, p, err = readAccUvarint(p); err != nil {
+		return err
+	}
+	if nkeys > uint64(len(p)) {
+		return fmt.Errorf("obs: tracker snapshot claims %d keys in %d bytes", nkeys, len(p))
+	}
+	stats := make(map[trackerKey]*accStats, nkeys)
+	keys := make([]trackerKey, 0, nkeys)
+	for k := uint64(0); k < nkeys; k++ {
+		var key trackerKey
+		if key.Machine, p, err = readAccString(p); err != nil {
+			return err
+		}
+		if key.Predictor, p, err = readAccString(p); err != nil {
+			return err
+		}
+		st := &accStats{}
+		if st.resolved, p, err = readAccUvarint(p); err != nil {
+			return err
+		}
+		if st.survived, p, err = readAccUvarint(p); err != nil {
+			return err
+		}
+		if st.correct, p, err = readAccUvarint(p); err != nil {
+			return err
+		}
+		if st.sumTR, p, err = readAccFloat(p); err != nil {
+			return err
+		}
+		if st.brierSum, p, err = readAccFloat(p); err != nil {
+			return err
+		}
+		for b := 0; b < CalibrationBuckets; b++ {
+			if st.calibCount[b], p, err = readAccUvarint(p); err != nil {
+				return err
+			}
+			if st.calibSurvived[b], p, err = readAccUvarint(p); err != nil {
+				return err
+			}
+			if st.calibSumTR[b], p, err = readAccFloat(p); err != nil {
+				return err
+			}
+		}
+		var ringLen, ringNext uint64
+		if ringLen, p, err = readAccUvarint(p); err != nil {
+			return err
+		}
+		if ringNext, p, err = readAccUvarint(p); err != nil {
+			return err
+		}
+		if ringLen > rollingWindow || ringNext >= rollingWindow {
+			return fmt.Errorf("obs: tracker snapshot ring out of range")
+		}
+		st.ringLen, st.ringNext = int(ringLen), int(ringNext)
+		for i := 0; i < st.ringLen; i++ {
+			if st.ring[i].tr, p, err = readAccFloat(p); err != nil {
+				return err
+			}
+			if len(p) < 1 {
+				return fmt.Errorf("obs: short ring entry in tracker snapshot")
+			}
+			st.ring[i].survived = p[0] == 1
+			p = p[1:]
+		}
+		if _, dup := stats[key]; dup {
+			return fmt.Errorf("obs: duplicate key in tracker snapshot")
+		}
+		stats[key] = st
+		keys = append(keys, key)
+	}
+	if len(p) != 0 {
+		return fmt.Errorf("obs: trailing bytes in tracker snapshot")
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Machine != keys[j].Machine {
+			return keys[i].Machine < keys[j].Machine
+		}
+		return keys[i].Predictor < keys[j].Predictor
+	})
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.resolved = resolved
+	t.dropped = dropped
+	t.stats = stats
+	t.keys = keys
+	return nil
+}
