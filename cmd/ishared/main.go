@@ -90,6 +90,7 @@ func main() {
 		dataDir      = flag.String("data-dir", "", "durable state directory: WAL + snapshots, recovered on restart (empty = stateless)")
 		snapEvery    = flag.Duration("snapshot-every", 5*time.Minute, "durable snapshot interval; a final snapshot is always written on clean shutdown")
 		fsyncMode    = flag.String("fsync", "always", "WAL sync policy: always (fsync per record), batch (fsync on rotation/snapshot) or off")
+		recoverMode  = flag.String("recover", "strict", "recovery policy when every retained snapshot is corrupt and the WAL is incomplete: strict (refuse to start) or best-effort (salvage the valid WAL suffix)")
 	)
 	flag.Parse()
 	flight := otrace.NewRecorder(*traceBuffer)
@@ -101,7 +102,7 @@ func main() {
 		ttl: *ttl, hbEvery: *hbEvery, reapEvery: *reapEvery, obsAddr: *obsAddr,
 		peers: *peers, vnodes: *vnodes, replicas: *replicas, syncEvery: *syncEvery,
 		traceSample: *traceSample, traceSeed: *traceSeed, flight: flight, logger: logger,
-		dataDir: *dataDir, snapEvery: *snapEvery, fsync: *fsyncMode,
+		dataDir: *dataDir, snapEvery: *snapEvery, fsync: *fsyncMode, recoverMode: *recoverMode,
 		serveCfg: ishare.ServerConfig{
 			MaxInflight:      *maxInflight,
 			MaxQueuedWaiters: *maxQueued,
@@ -134,6 +135,10 @@ type runConfig struct {
 	dataDir   string
 	snapEvery time.Duration
 	fsync     string
+	// recoverMode is "strict" (default: refuse to start when every retained
+	// snapshot is corrupt and the WAL alone cannot rebuild full state) or
+	// "best-effort" (salvage the valid WAL suffix anyway).
+	recoverMode string
 	// serveCfg carries the admission-control and connection-lifetime knobs
 	// into every protocol server this process starts.
 	serveCfg ishare.ServerConfig
@@ -222,11 +227,19 @@ func openDurable(rc runConfig, logger *slog.Logger) (*durable.Store, *durable.Re
 	if err != nil {
 		return nil, nil, err
 	}
+	var bestEffort bool
+	switch rc.recoverMode {
+	case "strict", "":
+	case "best-effort":
+		bestEffort = true
+	default:
+		return nil, nil, fmt.Errorf("unknown -recover policy %q (want strict or best-effort)", rc.recoverMode)
+	}
 	fs, err := durable.NewOSFS(rc.dataDir)
 	if err != nil {
 		return nil, nil, err
 	}
-	st, rec, err := durable.Open(durable.Config{FS: fs, Sync: policy})
+	st, rec, err := durable.Open(durable.Config{FS: fs, Sync: policy, BestEffort: bestEffort})
 	if err != nil {
 		return nil, nil, fmt.Errorf("open data dir %s: %w", rc.dataDir, err)
 	}

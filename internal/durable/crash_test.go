@@ -134,6 +134,34 @@ func TestCrashKillAnywhere(t *testing.T) {
 	}
 }
 
+// TestPowerLossKillAnywhere is the power-cut variant of kill-anywhere:
+// recovery runs against the synced-only image of the filesystem — what the
+// media holds when the page cache dies with the machine — instead of the
+// full in-memory state a process kill leaves behind. Under SyncAlways every
+// acknowledged record must still recover: record bytes are fsynced per
+// append, and each new segment's directory entry is fsynced before any
+// record is acknowledged into it (without that dir fsync a power loss drops
+// a freshly rotated segment whole).
+func TestPowerLossKillAnywhere(t *testing.T) {
+	const seed = 20260809
+	probe := NewCrashFS(NewMemFS(), -1)
+	attempted, acked := runWorkload(probe, seed)
+	total := probe.BytesWritten()
+	if acked != len(attempted) || total < 1000 {
+		t.Fatalf("probe run: acked %d/%d, %d bytes", acked, len(attempted), total)
+	}
+	for killAt := int64(0); killAt < total; killAt++ {
+		mem := NewMemFS()
+		cfs := NewCrashFS(mem, killAt)
+		attempted, acked := runWorkload(cfs, seed)
+		if !cfs.Crashed() {
+			t.Fatalf("killAt=%d: workload finished without crashing", killAt)
+		}
+		label := fmt.Sprintf("powerloss killAt=%d", killAt)
+		verifyPrefixConsistent(t, mem.SyncedOnly(), attempted, acked, label)
+	}
+}
+
 // TestCrashRecoveryDeterministic pins byte-determinism: the same seed and
 // kill offset must yield byte-identical surviving files and the same
 // recovered count, run after run.

@@ -45,6 +45,11 @@ type FS interface {
 	Remove(name string) error
 	// List returns every file name in the directory, sorted.
 	List() ([]string, error)
+	// SyncDir flushes the directory itself, making file creations durable.
+	// File.Sync persists a file's bytes but not its directory entry: without
+	// a directory fsync a power loss can drop a freshly created file whole,
+	// taking fsync-acknowledged contents with it. Rename implies it.
+	SyncDir() error
 }
 
 // ErrCrashed is returned by a CrashFS once its kill offset has been reached:
@@ -86,11 +91,21 @@ func (fs *OSFS) Rename(oldname, newname string) error {
 	if err := os.Rename(fs.path(oldname), fs.path(newname)); err != nil {
 		return err
 	}
-	if d, err := os.Open(fs.Dir); err == nil {
-		_ = d.Sync()
-		_ = d.Close()
+	return fs.SyncDir()
+}
+
+// SyncDir implements FS: fsync the backing directory so the dirents of
+// freshly created or renamed files are on stable storage.
+func (fs *OSFS) SyncDir() error {
+	d, err := os.Open(fs.Dir)
+	if err != nil {
+		return err
 	}
-	return nil
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Remove implements FS.
@@ -113,9 +128,10 @@ func (fs *OSFS) List() ([]string, error) {
 }
 
 // MemFS is a deterministic in-memory FS for tests and the crash harness. It
-// distinguishes written from synced bytes: SyncedOnly() models what a crash
-// before the next Sync would leave behind, and Corrupt flips stored bits to
-// model silent media damage.
+// distinguishes written from synced bytes and created from dir-synced
+// files: SyncedOnly() models what a power loss before the next Sync/SyncDir
+// would leave behind, and Corrupt flips stored bits to model silent media
+// damage.
 type MemFS struct {
 	mu    sync.Mutex
 	files map[string]*memFile
@@ -123,7 +139,8 @@ type MemFS struct {
 
 type memFile struct {
 	data   []byte
-	synced int // bytes guaranteed durable
+	synced int  // bytes guaranteed durable
+	linked bool // dirent guaranteed durable (SyncDir or Rename happened)
 }
 
 // NewMemFS returns an empty in-memory filesystem.
@@ -197,7 +214,8 @@ func (fs *MemFS) Truncate(name string, size int64) error {
 	return nil
 }
 
-// Rename implements FS.
+// Rename implements FS. Like OSFS.Rename it implies a directory sync: the
+// new name's dirent is durable afterwards.
 func (fs *MemFS) Rename(oldname, newname string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
@@ -206,6 +224,7 @@ func (fs *MemFS) Rename(oldname, newname string) error {
 		return os.ErrNotExist
 	}
 	delete(fs.files, oldname)
+	f.linked = true
 	fs.files[newname] = f
 	return nil
 }
@@ -231,6 +250,38 @@ func (fs *MemFS) List() ([]string, error) {
 	}
 	sort.Strings(names)
 	return names, nil
+}
+
+// SyncDir implements FS: every existing file's dirent becomes durable.
+func (fs *MemFS) SyncDir() error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	for _, f := range fs.files {
+		f.linked = true
+	}
+	return nil
+}
+
+// SyncedOnly returns the power-loss image of the filesystem: only files
+// whose dirent was made durable (SyncDir or Rename) survive, each truncated
+// to its synced byte count. Recovering from this image instead of the MemFS
+// itself models a power cut rather than a process kill — nothing the page
+// cache held survives.
+func (fs *MemFS) SyncedOnly() *MemFS {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := NewMemFS()
+	for name, f := range fs.files {
+		if !f.linked {
+			continue
+		}
+		out.files[name] = &memFile{
+			data:   append([]byte(nil), f.data[:f.synced]...),
+			synced: f.synced,
+			linked: true,
+		}
+	}
+	return out
 }
 
 // Corrupt XORs mask into byte off of name, simulating silent media damage at
@@ -392,6 +443,14 @@ func (fs *CrashFS) List() ([]string, error) {
 		return nil, err
 	}
 	return fs.inner.List()
+}
+
+// SyncDir implements FS.
+func (fs *CrashFS) SyncDir() error {
+	if err := fs.check(); err != nil {
+		return err
+	}
+	return fs.inner.SyncDir()
 }
 
 // isTmp reports whether name is a leftover temp file from an interrupted

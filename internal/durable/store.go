@@ -50,6 +50,13 @@ type Config struct {
 	KeepSnapshots int
 	// Sync is the WAL fsync policy.
 	Sync SyncPolicy
+	// BestEffort opens the store even when every retained snapshot fails
+	// validation and the surviving segments provably do not reach back to
+	// the start of history — a state Open normally refuses with ErrCorrupt,
+	// because the segment replay alone reconstructs only part of the state
+	// the snapshots held. The recovered state is the valid segment suffix:
+	// an explicit operator salvage switch, never the default.
+	BestEffort bool
 }
 
 // Recovery reports what Open reconstructed from the data directory.
@@ -148,6 +155,15 @@ func Open(cfg Config) (*Store, *Recovery, error) {
 		rec.SnapshotPayload = append([]byte(nil), payload...)
 		rec.SnapshotSeq, rec.SnapshotOffset = seq, off
 		break
+	}
+	if len(snaps) > 0 && rec.SnapshotPayload == nil && !cfg.BestEffort {
+		// Every retained snapshot failed validation. Replaying the surviving
+		// segments is only complete when they reach back to segment 0 (the
+		// start of history); otherwise pruned history existed solely in the
+		// snapshots and proceeding would silently serve partial state.
+		if len(segs) == 0 || segs[0] != 0 {
+			return nil, nil, fmt.Errorf("%w: all %d snapshots failed validation and the WAL does not reach back to segment 0 (set Config.BestEffort to salvage the segment suffix)", ErrCorrupt, rec.SnapshotsSkipped)
+		}
 	}
 
 	st := &Store{cfg: cfg}
@@ -264,6 +280,13 @@ func (st *Store) openSegment(seq uint64) error {
 			_ = f.Close()
 			return err
 		}
+		// Sync covers the file's bytes, not its directory entry: without a
+		// directory fsync a power loss can drop the freshly created segment
+		// whole, taking every record later fsync-acknowledged into it.
+		if err := st.cfg.FS.SyncDir(); err != nil {
+			_ = f.Close()
+			return err
+		}
 	}
 	st.cur = f
 	st.curSeq = seq
@@ -335,20 +358,52 @@ func (st *Store) Position() (seq uint64, offset int64) {
 // retention window and the segments only they kept alive. The store is
 // locked for the duration, so the position is exact: every record appended
 // before the call is covered, every one after it will be replayed on top.
+// This is only correct when no mutation can slip between the caller's state
+// export and this call — callers whose WAL appends happen outside the lock
+// that guards the export must use WriteSnapshotAt instead.
 func (st *Store) WriteSnapshot(payload []byte) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.closed {
 		return ErrClosed
 	}
+	return st.writeSnapshotLocked(st.curSeq, st.curOff, payload)
+}
+
+// WriteSnapshotAt publishes payload as a snapshot of all state up to the WAL
+// position (seq, offset), which the caller captured with Position() BEFORE
+// exporting the state payload encodes. Capturing the position first closes
+// the export/append race: a record appended before the captured position
+// belongs to a mutation applied before the capture (components mutate, then
+// log), so the export already includes it; a record appended at or after
+// the position is replayed on top during recovery, which is safe because
+// restores are idempotent upserts. A position ahead of the WAL is rejected.
+func (st *Store) WriteSnapshotAt(seq uint64, offset int64, payload []byte) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.closed {
+		return ErrClosed
+	}
+	if seq > st.curSeq || (seq == st.curSeq && offset > st.curOff) {
+		return fmt.Errorf("durable: snapshot position %d/%d is ahead of the WAL at %d/%d", seq, offset, st.curSeq, st.curOff)
+	}
+	return st.writeSnapshotLocked(seq, offset, payload)
+}
+
+// writeSnapshotLocked publishes an encoded snapshot at (seq, offset) and
+// prunes. Callers hold st.mu with seq/offset at or before the current
+// position.
+func (st *Store) writeSnapshotLocked(seq uint64, offset int64, payload []byte) error {
 	if st.cfg.Sync != SyncNever {
-		// The snapshot claims to cover the tail; make the tail durable first.
+		// The snapshot claims to cover the log up to (seq, offset); make the
+		// tail durable first. Sealed segments were already synced at rotation,
+		// so the active segment is the only sync needed.
 		if err := st.cur.Sync(); err != nil {
 			return err
 		}
 	}
-	name := snapshotName(st.curSeq, st.curOff)
-	if err := writeSnapshotFile(st.cfg.FS, name, encodeSnapshot(st.curSeq, st.curOff, payload)); err != nil {
+	name := snapshotName(seq, offset)
+	if err := writeSnapshotFile(st.cfg.FS, name, encodeSnapshot(seq, offset, payload)); err != nil {
 		return err
 	}
 	st.prune()

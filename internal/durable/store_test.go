@@ -172,6 +172,126 @@ func TestSnapshotFallbackOnCorruptNewest(t *testing.T) {
 	}
 }
 
+// TestWriteSnapshotAtReplaysTailFromPosition pins the WriteSnapshotAt
+// contract that closes the export/append race: a record appended between
+// the position capture and the snapshot write is replayed on recovery,
+// never hidden behind the snapshot offset.
+func TestWriteSnapshotAtReplaysTailFromPosition(t *testing.T) {
+	fs := NewMemFS()
+	st, _ := reopen(t, fs, Config{})
+	if err := st.Append(RecRegister, []byte("covered")); err != nil {
+		t.Fatal(err)
+	}
+	seq, off := st.Position()
+	// The interleaving the submit/register sinks produce: the component
+	// mutated and logged after the snapshot captured its position.
+	if err := st.Append(RecRegister, []byte("in-flight")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.WriteSnapshotAt(seq, off, []byte("state")); err != nil {
+		t.Fatalf("WriteSnapshotAt: %v", err)
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	st2, rec := reopen(t, fs, Config{})
+	defer st2.Close()
+	if string(rec.SnapshotPayload) != "state" {
+		t.Fatalf("snapshot payload %q", rec.SnapshotPayload)
+	}
+	if len(rec.Records) != 1 || string(rec.Records[0].Payload) != "in-flight" {
+		t.Fatalf("replayed %v, want just the in-flight record", rec.Records)
+	}
+	// A position ahead of the WAL is rejected outright.
+	if err := st2.WriteSnapshotAt(seq+1, 0, []byte("x")); err == nil {
+		t.Fatal("snapshot position ahead of the WAL accepted")
+	}
+}
+
+// TestAllSnapshotsCorruptRefuses pins the refusal policy: when every
+// retained snapshot fails validation and pruning already removed the
+// history only they covered, Open must refuse rather than silently serve
+// the surviving segment suffix as full state. Config.BestEffort is the
+// explicit operator salvage override.
+func TestAllSnapshotsCorruptRefuses(t *testing.T) {
+	fs := NewMemFS()
+	cfg := Config{SegmentBytes: 128, KeepSnapshots: 1}
+	st, _ := reopen(t, fs, cfg)
+	for i := 0; i < 40; i++ {
+		if err := st.Append(RecSample, []byte(fmt.Sprintf("rec-%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.WriteSnapshot([]byte("full-state")); err != nil {
+		t.Fatal(err)
+	}
+	if seq, _ := st.Position(); seq == 0 {
+		t.Fatal("no rotation: the test needs pruned history")
+	}
+	_ = st.Close()
+	if _, err := fs.ReadFile(segmentName(0)); err == nil {
+		t.Fatal("segment 0 survived pruning; the WAL still covers full history")
+	}
+	names, _ := fs.List()
+	nsnaps := 0
+	for _, name := range names {
+		if _, _, ok := parseSnapshotName(name); ok {
+			if !fs.Corrupt(name, int(fs.Size(name))/2, 0x20) {
+				t.Fatal("corrupt failed")
+			}
+			nsnaps++
+		}
+	}
+	if nsnaps == 0 {
+		t.Fatal("no snapshots on disk")
+	}
+	if _, _, err := Open(Config{FS: fs, SegmentBytes: 128, KeepSnapshots: 1}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with every snapshot corrupt: %v, want ErrCorrupt", err)
+	}
+	st2, rec, err := Open(Config{FS: fs, SegmentBytes: 128, KeepSnapshots: 1, BestEffort: true})
+	if err != nil {
+		t.Fatalf("best-effort open: %v", err)
+	}
+	defer st2.Close()
+	if rec.SnapshotPayload != nil || rec.SnapshotsSkipped != nsnaps || len(rec.Records) == 0 {
+		t.Fatalf("salvage shape: snapshot=%v skipped=%d records=%d",
+			rec.SnapshotPayload != nil, rec.SnapshotsSkipped, len(rec.Records))
+	}
+}
+
+// TestAllSnapshotsCorruptFullWALProceeds: when the WAL still reaches back
+// to segment 0, losing every snapshot costs nothing — replay from genesis
+// rebuilds complete state — so Open proceeds without any override.
+func TestAllSnapshotsCorruptFullWALProceeds(t *testing.T) {
+	fs := NewMemFS()
+	st, _ := reopen(t, fs, Config{})
+	for i := 0; i < 10; i++ {
+		if err := st.Append(RecSample, []byte(fmt.Sprintf("rec-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.WriteSnapshot([]byte("state")); err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Close()
+	names, _ := fs.List()
+	for _, name := range names {
+		if _, _, ok := parseSnapshotName(name); ok {
+			if !fs.Corrupt(name, int(fs.Size(name))/2, 0x04) {
+				t.Fatal("corrupt failed")
+			}
+		}
+	}
+	st2, rec := reopen(t, fs, Config{})
+	defer st2.Close()
+	if rec.SnapshotPayload != nil || rec.SnapshotsSkipped != 1 {
+		t.Fatalf("recovery shape: snapshot=%v skipped=%d", rec.SnapshotPayload != nil, rec.SnapshotsSkipped)
+	}
+	if len(rec.Records) != 10 {
+		t.Fatalf("replayed %d records from genesis, want 10", len(rec.Records))
+	}
+}
+
 func TestTornTailTruncates(t *testing.T) {
 	for cut := 1; cut <= 12; cut++ {
 		fs := NewMemFS()

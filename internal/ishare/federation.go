@@ -235,7 +235,10 @@ type FedGateway struct {
 
 	// sink, when set, is told about every shard upsert (register and
 	// accepted sync alike) so the persistence layer can log it. Collected
-	// under f.mu, invoked after release; restores are idempotent upserts.
+	// under f.mu, invoked after release: a record logged before a
+	// concurrent snapshot's captured WAL position is already in that
+	// snapshot's Export, and one logged after it is replayed on recovery
+	// as an idempotent upsert.
 	sink func(e RegEntry, removed bool)
 }
 

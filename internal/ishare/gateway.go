@@ -84,9 +84,11 @@ type Gateway struct {
 
 	// submitSink, when set, is told about every newly accepted submit (not
 	// idempotent replays) so the persistence layer can log it. It is invoked
-	// after g.mu is released; the durable record may therefore land after a
-	// concurrent snapshot already exported the same entry, which is safe
-	// because restoring a submit is an idempotent upsert.
+	// after g.mu is released, which is safe against concurrent snapshots in
+	// both directions: a snapshot captures its WAL position before calling
+	// ExportSubmitted, so a record logged before that position belongs to a
+	// submit the export already saw, and a record logged after it is
+	// replayed on recovery as an idempotent upsert.
 	submitSink func(key, jobID string)
 }
 

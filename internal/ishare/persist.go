@@ -25,11 +25,13 @@ import (
 // the pre-crash node did.
 //
 // Locking: p.mu serializes the sample step (append + apply) against
-// snapshots. Submit and resolution records are appended outside p.mu
-// (restores are idempotent upserts / are covered by the sample step's
-// serialization, see the component sink docs), taking only the store's
-// internal append mutex, so the hooks never nest component locks inside
-// each other.
+// snapshots. Submit and resolution records are appended outside p.mu,
+// taking only the store's internal append mutex, so the hooks never nest
+// component locks inside each other. That is safe against concurrent
+// snapshots because Snapshot captures the WAL position BEFORE exporting
+// state: a record appended before the captured position belongs to a
+// mutation the export already saw (components mutate, then log), and one
+// appended after it is replayed on recovery as an idempotent upsert.
 type Persister struct {
 	st      *durable.Store
 	sm      *StateManager
@@ -104,17 +106,23 @@ func (p *Persister) appendResolution(machine, predictor string, tr float64, surv
 	}
 }
 
-// Snapshot publishes the node's full state at the current WAL position and
-// starts a fresh sample delta chain, so replay from the snapshot never
-// needs records before it.
+// Snapshot publishes the node's full state and starts a fresh sample delta
+// chain, so replay from the snapshot never needs records before it. The WAL
+// position is captured BEFORE the state is exported: a submit record
+// appended concurrently (the gateway's sink runs outside p.mu) either
+// precedes the captured position — then its mutation is already in the
+// export — or lands after it and is replayed on top as an idempotent
+// upsert. Sample and resolution records cannot interleave at all: they are
+// serialized against this method by p.mu.
 func (p *Persister) Snapshot() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	seq, off := p.st.Position()
 	payload, err := p.encodeNodeSnapshot()
 	if err != nil {
 		return err
 	}
-	if err := p.st.WriteSnapshot(payload); err != nil {
+	if err := p.st.WriteSnapshotAt(seq, off, payload); err != nil {
 		return err
 	}
 	p.coder.Reset()
@@ -444,9 +452,14 @@ func (rp *RegPersister) sink(e RegEntry, removed bool) {
 	}
 }
 
-// Snapshot publishes the full entry set at the current WAL position.
+// Snapshot publishes the full entry set. The WAL position is captured
+// BEFORE Export: an entry record appended concurrently (the registry sinks
+// run outside the component lock) either precedes the position and is
+// already in the export, or lands after it and is replayed on recovery as
+// an idempotent upsert.
 func (rp *RegPersister) Snapshot() error {
-	return rp.st.WriteSnapshot(encodeRegSnapshot(rp.reg.Export()))
+	seq, off := rp.st.Position()
+	return rp.st.WriteSnapshotAt(seq, off, encodeRegSnapshot(rp.reg.Export()))
 }
 
 // StartSnapshots writes a snapshot every interval until the returned stop

@@ -3,6 +3,8 @@ package ishare
 import (
 	"bytes"
 	"context"
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -281,6 +283,146 @@ func TestPersisterCrashQueryTREquality(t *testing.T) {
 		}
 		if err := n.Persist.Close(); err != nil {
 			t.Fatalf("killAt=%d: close after recovery: %v", killAt, err)
+		}
+	}
+}
+
+// raceRegState wraps a RegState so a test can run code at the worst possible
+// moment: after a snapshot exported the entry set but before it is written.
+type raceRegState struct {
+	RegState
+	onExport func()
+}
+
+func (r *raceRegState) Export() []RegEntry {
+	e := r.RegState.Export()
+	if r.onExport != nil {
+		r.onExport()
+	}
+	return e
+}
+
+// TestRegPersisterSnapshotExportRace is the deterministic regression test
+// for the lost-update race between state export and WAL position capture:
+// the registry sink appends its record after releasing the registry lock,
+// so a registration landing between the snapshot's export and its write
+// used to append before the recorded store position — exported state
+// without the entry, WAL offset past its record — and the acknowledged
+// registration silently vanished on recovery. The position must be captured
+// before the export, making the in-flight record part of the replayed tail.
+func TestRegPersisterSnapshotExportRace(t *testing.T) {
+	fs := durable.NewMemFS()
+	clock := simclock.NewVirtual(monday)
+	st, rec, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistryClock(clock)
+	wrapped := &raceRegState{RegState: reg}
+	rp, err := NewRegPersister(st, rec, wrapped, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(Resource{MachineID: "m-pre", Addr: "a:1"}); err != nil {
+		t.Fatal(err)
+	}
+	// The interleaving under test: the registration (mutation + WAL append)
+	// completes between the snapshot's Export and its WriteSnapshot call.
+	wrapped.onExport = func() {
+		wrapped.onExport = nil
+		if err := reg.Register(Resource{MachineID: "m-inflight", Addr: "b:2"}); err != nil {
+			t.Errorf("in-flight register: %v", err)
+		}
+	}
+	if err := rp.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := rp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec2, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	reg2 := NewRegistryClock(clock)
+	rp2, err := NewRegPersister(st2, rec2, reg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp2.Close()
+	got := make(map[string]bool)
+	for _, e := range reg2.Export() {
+		got[e.Machine] = true
+	}
+	if !got["m-pre"] || !got["m-inflight"] {
+		t.Fatalf("acknowledged registration lost across restart: %v", got)
+	}
+}
+
+// TestRegPersisterSnapshotChurn hammers concurrent registrations against a
+// snapshot loop and requires every acknowledged registration to survive a
+// restart — the probabilistic companion to the deterministic export-race
+// test above, covering interleavings the wrapper cannot stage.
+func TestRegPersisterSnapshotChurn(t *testing.T) {
+	fs := durable.NewMemFS()
+	clock := simclock.NewVirtual(monday)
+	st, rec, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistryClock(clock)
+	rp, err := NewRegPersister(st, rec, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := rp.Snapshot(); err != nil {
+				t.Errorf("snapshot during churn: %v", err)
+				return
+			}
+		}
+	}()
+	const n = 300
+	for i := 0; i < n; i++ {
+		res := Resource{MachineID: fmt.Sprintf("m-%03d", i), Addr: fmt.Sprintf("10.0.0.%d:7", i%250)}
+		if err := reg.Register(res); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := rp.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rec2, err := durable.Open(persistStoreCfg(fs))
+	if err != nil {
+		t.Fatalf("recovery after churn: %v", err)
+	}
+	reg2 := NewRegistryClock(clock)
+	rp2, err := NewRegPersister(st2, rec2, reg2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rp2.Close()
+	got := make(map[string]bool)
+	for _, e := range reg2.Export() {
+		got[e.Machine] = true
+	}
+	for i := 0; i < n; i++ {
+		if m := fmt.Sprintf("m-%03d", i); !got[m] {
+			t.Fatalf("acknowledged registration %s lost across restart", m)
 		}
 	}
 }

@@ -26,9 +26,10 @@ type Registry struct {
 	resources map[string]registration
 
 	// sink, when set, is told about every accepted registration change so
-	// the persistence layer can log it. Invoked after r.mu is released;
-	// restores are idempotent upserts, so the resulting append/snapshot
-	// races are harmless.
+	// the persistence layer can log it. Invoked after r.mu is released: a
+	// record logged before a concurrent snapshot's captured WAL position is
+	// already in that snapshot's Export, and one logged after it is
+	// replayed on recovery as an idempotent upsert.
 	sink func(e RegEntry, removed bool)
 }
 
