@@ -4,7 +4,7 @@ GO ?= go
 BENCH_GATE = BenchmarkEngineCachedVsCold|BenchmarkPredictBatchParallel|BenchmarkEnginePredictTracing|BenchmarkQueryTRTracing|BenchmarkWALAppend|BenchmarkRecover
 FUZZTIME ?= 20s
 
-.PHONY: build test race vet lint cover bench benchstat benchbase bench-serve bench-serve-base bench-serve-wal fuzz golden chaos crash
+.PHONY: build test race vet lint cover bench benchstat benchbase bench-serve bench-serve-base bench-serve-wal bench-fleet bench-fleet-base fuzz golden chaos crash
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test: golden lint crash
 	$(GO) test ./...
 	$(GO) test -race ./internal/ishare/... ./internal/faultnet/... \
 		./internal/predict/... ./internal/monitor/... ./internal/obs/... \
-		./internal/otrace/... ./internal/durable/...
+		./internal/otrace/... ./internal/durable/... ./internal/fleetsim/...
 
 race:
 	$(GO) test -race ./...
@@ -74,6 +74,20 @@ bench-serve-base:
 bench-serve-wal:
 	$(GO) run ./cmd/isharebench -selfhost -wal -repeat 3 -out BENCH_serve_wal.json
 	$(GO) run ./cmd/benchgate -serve -in BENCH_serve_wal.json -baseline BENCH_serve_base.json
+
+# Fleet-scale gate: simulate a 100k-machine federated fleet entirely
+# in-process (virtual clock, in-memory transport) and fail unless the run is
+# failure-free, steady memory stays under -max-bytes-per-machine, throughput
+# reaches -min-predictions-per-sec, and both are within 10% of the recorded
+# BENCH_fleet_base.json (machine-specific — regenerate with
+# `make bench-fleet-base`).
+bench-fleet:
+	$(GO) run ./cmd/fleetsim -machines 100000 -out BENCH_fleet.json
+	$(GO) run ./cmd/benchgate -fleet -in BENCH_fleet.json -baseline BENCH_fleet_base.json
+
+bench-fleet-base:
+	$(GO) run ./cmd/fleetsim -machines 100000 -out BENCH_fleet.json
+	$(GO) run ./cmd/benchgate -fleet -in BENCH_fleet.json -baseline BENCH_fleet_base.json -write
 
 # Short fuzz pass over the wire-protocol and trace-codec decoders. The seed
 # corpora under testdata/fuzz also run as plain unit tests in `make test`.

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// fleetSim mirrors the deterministic section of a fleetsim report; only the
+// fields the gate inspects are decoded.
+type fleetSim struct {
+	Machines       int   `json:"machines"`
+	Queries        int64 `json:"queries"`
+	QueryFailures  int64 `json:"query_failures"`
+	OutageQueries  int64 `json:"outage_queries"`
+	OutageFailures int64 `json:"outage_failures"`
+}
+
+// fleetPerf mirrors the measured section of a fleetsim report.
+type fleetPerf struct {
+	PredictionsPerSec   float64 `json:"predictions_per_sec"`
+	HeapBytesPerMachine float64 `json:"heap_bytes_per_machine"`
+	RSSBytesPerMachine  float64 `json:"rss_bytes_per_machine"`
+}
+
+// fleetReport mirrors cmd/fleetsim's report envelope.
+type fleetReport struct {
+	Sim  fleetSim  `json:"sim"`
+	Perf fleetPerf `json:"perf"`
+}
+
+// bytesPerMachine prefers the OS view of memory and falls back to the Go
+// heap where /proc is unavailable and RSS reads as zero.
+func (r *fleetReport) bytesPerMachine() (float64, string) {
+	if r.Perf.RSSBytesPerMachine > 0 {
+		return r.Perf.RSSBytesPerMachine, "rss"
+	}
+	return r.Perf.HeapBytesPerMachine, "heap"
+}
+
+// runFleet gates a fleetsim report: the run must be failure-free, steady
+// per-machine memory must come in at or under maxBytesPerMachine, prediction
+// throughput must reach minPredPerSec, and — against a recorded baseline —
+// neither may regress by more than the tolerance. With write set the report
+// becomes the new baseline instead.
+func runFleet(in io.Reader, baselinePath string, write bool, tolerance, maxBytesPerMachine, minPredPerSec float64, stderr io.Writer) error {
+	raw, err := io.ReadAll(in)
+	if err != nil {
+		return err
+	}
+	var rep fleetReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return fmt.Errorf("parsing fleetsim report: %w", err)
+	}
+	if rep.Sim.Machines == 0 || rep.Sim.Queries == 0 {
+		return fmt.Errorf("report describes no fleet traffic (run cmd/fleetsim first)")
+	}
+
+	var violations []string
+	if rep.Sim.QueryFailures > 0 {
+		violations = append(violations, fmt.Sprintf("%d of %d queries failed during the traffic phase",
+			rep.Sim.QueryFailures, rep.Sim.Queries))
+	}
+	if rep.Sim.OutageFailures > 0 {
+		violations = append(violations, fmt.Sprintf("%d of %d queries failed during the peer outage (replicas did not cover)",
+			rep.Sim.OutageFailures, rep.Sim.OutageQueries))
+	}
+	mem, memSrc := rep.bytesPerMachine()
+	if mem > maxBytesPerMachine {
+		violations = append(violations, fmt.Sprintf("%s %.0f B/machine above allowed %.0f B/machine",
+			memSrc, mem, maxBytesPerMachine))
+	}
+	if rep.Perf.PredictionsPerSec < minPredPerSec {
+		violations = append(violations, fmt.Sprintf("throughput %.0f predictions/s below required %.0f",
+			rep.Perf.PredictionsPerSec, minPredPerSec))
+	}
+
+	if write {
+		if len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintln(stderr, "benchgate: FAIL:", v)
+			}
+			return fmt.Errorf("refusing to record a baseline from a failing run")
+		}
+		if err := os.WriteFile(baselinePath, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "benchgate: fleet baseline %s rewritten (%d machines, %.0f predictions/s, %s %.0f B/machine)\n",
+			baselinePath, rep.Sim.Machines, rep.Perf.PredictionsPerSec, memSrc, mem)
+		return nil
+	}
+
+	baseRaw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("reading baseline (run with -write to create it): %w", err)
+	}
+	var base fleetReport
+	if err := json.Unmarshal(baseRaw, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", baselinePath, err)
+	}
+	if base.Sim.Machines != rep.Sim.Machines {
+		fmt.Fprintf(stderr, "benchgate: note: fleet size changed %d -> %d machines; per-machine figures still compared\n",
+			base.Sim.Machines, rep.Sim.Machines)
+	}
+	if base.Perf.PredictionsPerSec > 0 && rep.Perf.PredictionsPerSec < base.Perf.PredictionsPerSec*(1-tolerance) {
+		violations = append(violations, fmt.Sprintf("throughput %.0f predictions/s regressed more than %.0f%% below baseline %.0f",
+			rep.Perf.PredictionsPerSec, tolerance*100, base.Perf.PredictionsPerSec))
+	}
+	baseMem, _ := base.bytesPerMachine()
+	if baseMem > 0 && mem > baseMem*(1+tolerance) {
+		violations = append(violations, fmt.Sprintf("memory %.0f B/machine regressed more than %.0f%% above baseline %.0f B/machine",
+			mem, tolerance*100, baseMem))
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(stderr, "benchgate: FAIL:", v)
+		}
+		return fmt.Errorf("%d fleet gate violation(s)", len(violations))
+	}
+	fmt.Fprintf(stderr, "benchgate: OK: fleet of %d machines at %.0f predictions/s, %s %.0f B/machine, within %.0f%% of baseline\n",
+		rep.Sim.Machines, rep.Perf.PredictionsPerSec, memSrc, mem, tolerance*100)
+	return nil
+}

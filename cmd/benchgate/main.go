@@ -22,6 +22,14 @@
 //	isharebench -selfhost -out BENCH_serve.json
 //	benchgate -serve -in BENCH_serve.json -baseline BENCH_serve_base.json
 //
+// With -fleet the input is a cmd/fleetsim report: the gate requires a
+// failure-free run, steady memory at or under -max-bytes-per-machine and
+// throughput of at least -min-predictions-per-sec, then compares both
+// figures against a recorded BENCH_fleet_base.json within the tolerance:
+//
+//	fleetsim -machines 100000 -out BENCH_fleet.json
+//	benchgate -fleet -in BENCH_fleet.json -baseline BENCH_fleet_base.json
+//
 // Baselines are machine-specific: regenerate with -write when switching
 // hardware, and treat the latency gate as meaningful only on comparable
 // machines. Benchmark names are kept verbatim, including any trailing
@@ -214,6 +222,10 @@ func main() {
 		serve       = flag.Bool("serve", false, "gate an isharebench compare report instead of go test -bench output")
 		minSpeedup  = flag.Float64("min-speedup", 5.0, "serve mode: required binary/json QPS speedup")
 		maxP99Ratio = flag.Float64("max-p99-ratio", 0.5, "serve mode: allowed binary/json p99 latency ratio")
+
+		fleet      = flag.Bool("fleet", false, "gate a fleetsim report instead of go test -bench output")
+		maxPerMach = flag.Float64("max-bytes-per-machine", 48*1024, "fleet mode: allowed steady memory per machine (bytes)")
+		minPredSec = flag.Float64("min-predictions-per-sec", 2500, "fleet mode: required prediction throughput")
 	)
 	flag.Parse()
 	var r io.Reader = os.Stdin
@@ -227,9 +239,12 @@ func main() {
 		r = f
 	}
 	var err error
-	if *serve {
+	switch {
+	case *serve:
 		err = runServe(r, *baseline, *write, *tolerance, *minSpeedup, *maxP99Ratio, os.Stderr)
-	} else {
+	case *fleet:
+		err = runFleet(r, *baseline, *write, *tolerance, *maxPerMach, *minPredSec, os.Stderr)
+	default:
 		err = run(r, *out, *baseline, *write, *tolerance, os.Stderr)
 	}
 	if err != nil {

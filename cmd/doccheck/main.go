@@ -29,8 +29,8 @@ import (
 
 func main() {
 	var (
-		pkgs     = flag.String("pkgs", "internal/ishare,internal/predict,internal/obs,internal/otrace", "comma-separated package directories audited for exported-symbol doc comments")
-		flagDirs = flag.String("flagdirs", "cmd/ishared,cmd/isharec", "comma-separated command directories whose registered flags must appear in the README")
+		pkgs     = flag.String("pkgs", "internal/ishare,internal/predict,internal/obs,internal/otrace,internal/fleetsim", "comma-separated package directories audited for exported-symbol doc comments")
+		flagDirs = flag.String("flagdirs", "cmd/ishared,cmd/isharec,cmd/fleetsim", "comma-separated command directories whose registered flags must appear in the README")
 		readme   = flag.String("readme", "README.md", "operator document that must mention every registered flag")
 	)
 	flag.Parse()

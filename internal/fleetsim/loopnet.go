@@ -1,0 +1,193 @@
+package fleetsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fgcs/internal/ishare"
+)
+
+// maxLoopRequestBytes caps one in-process request. It is far above the
+// production server's JSON cap because a single anti-entropy push at fleet
+// scale batches tens of thousands of entries into one request.
+const maxLoopRequestBytes = 256 << 20
+
+// loopNet is the fleet's network: an ishare.Dialer that connects callers to
+// registered handlers entirely in memory. Every dial spawns one goroutine
+// that serves exactly one request/response exchange with the same envelope
+// semantics as the JSON server (handler error -> {ok:false, error}), so the
+// full production client stack — Caller, FedClient, federation routing —
+// runs unmodified on top of it.
+//
+// The transport keeps two byte meters. Request bytes are a pure function of
+// the simulated traffic and therefore belong in the deterministic report;
+// response bytes include cumulative cache counters (QueryTRResp) whose
+// values depend on scheduling, so they are perf-only.
+type loopNet struct {
+	mu       sync.RWMutex
+	handlers map[string]ishare.Handler
+	down     map[string]bool
+
+	dials     atomic.Int64
+	reqBytes  atomic.Int64
+	respBytes atomic.Int64
+}
+
+func newLoopNet() *loopNet {
+	return &loopNet{
+		handlers: make(map[string]ishare.Handler),
+		down:     make(map[string]bool),
+	}
+}
+
+// Register installs (or replaces) the handler serving addr.
+func (ln *loopNet) Register(addr string, h ishare.Handler) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	ln.handlers[addr] = h
+}
+
+// SetDown makes dials to addr fail with a connection-refused error (a
+// transport error to the Caller, so routing fails over), or restores them.
+func (ln *loopNet) SetDown(addr string, down bool) {
+	ln.mu.Lock()
+	defer ln.mu.Unlock()
+	ln.down[addr] = down
+}
+
+// DialTimeout implements ishare.Dialer.
+func (ln *loopNet) DialTimeout(network, addr string, timeout time.Duration) (net.Conn, error) {
+	ln.mu.RLock()
+	h, ok := ln.handlers[addr]
+	isDown := ln.down[addr]
+	ln.mu.RUnlock()
+	if !ok || isDown {
+		return nil, fmt.Errorf("loopnet: connect %s: connection refused", addr)
+	}
+	ln.dials.Add(1)
+	c2s := newMemBuf(&ln.reqBytes)
+	s2c := newMemBuf(&ln.respBytes)
+	client := &memConn{r: s2c, w: c2s, addr: loopAddr(addr)}
+	server := &memConn{r: c2s, w: s2c, addr: loopAddr(addr)}
+	go ln.serve(server, h)
+	return client, nil
+}
+
+// serve handles one exchange, mirroring the JSON server's respond():
+// handler errors travel back as application errors, never as dropped
+// connections.
+func (ln *loopNet) serve(conn net.Conn, h ishare.Handler) {
+	defer conn.Close()
+	req, err := ishare.DecodeRequest(conn, maxLoopRequestBytes)
+	if err != nil {
+		return
+	}
+	payload, herr := h(req)
+	resp := ishare.Response{OK: herr == nil}
+	if herr != nil {
+		resp.Error = herr.Error()
+	} else if payload != nil {
+		raw, merr := json.Marshal(payload)
+		if merr != nil {
+			resp = ishare.Response{Error: fmt.Sprintf("loopnet: encode response: %v", merr)}
+		} else {
+			resp.Payload = raw
+		}
+	}
+	_ = json.NewEncoder(conn).Encode(resp)
+}
+
+// RequestBytes returns the bytes written by clients (requests) so far.
+func (ln *loopNet) RequestBytes() int64 { return ln.reqBytes.Load() }
+
+// ResponseBytes returns the bytes written by servers (responses) so far.
+func (ln *loopNet) ResponseBytes() int64 { return ln.respBytes.Load() }
+
+// Dials returns the number of connections opened so far.
+func (ln *loopNet) Dials() int64 { return ln.dials.Load() }
+
+// memBuf is one direction of an in-memory connection: an unbounded buffer
+// with blocking reads. Writes never block, which is what makes the single
+// write / single read exchange deadlock-free without real-pipe rendezvous.
+type memBuf struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	data   []byte
+	closed bool
+	meter  *atomic.Int64
+}
+
+func newMemBuf(meter *atomic.Int64) *memBuf {
+	b := &memBuf{meter: meter}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *memBuf) write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, net.ErrClosed
+	}
+	b.data = append(b.data, p...)
+	if b.meter != nil {
+		b.meter.Add(int64(len(p)))
+	}
+	b.cond.Broadcast()
+	return len(p), nil
+}
+
+func (b *memBuf) read(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for len(b.data) == 0 && !b.closed {
+		b.cond.Wait()
+	}
+	if len(b.data) == 0 {
+		return 0, io.EOF
+	}
+	n := copy(p, b.data)
+	b.data = b.data[n:]
+	return n, nil
+}
+
+func (b *memBuf) close() {
+	b.mu.Lock()
+	b.closed = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// memConn is one endpoint of an in-memory connection.
+type memConn struct {
+	r, w *memBuf
+	addr loopAddr
+}
+
+func (c *memConn) Read(p []byte) (int, error)  { return c.r.read(p) }
+func (c *memConn) Write(p []byte) (int, error) { return c.w.write(p) }
+
+func (c *memConn) Close() error {
+	c.r.close()
+	c.w.close()
+	return nil
+}
+
+func (c *memConn) LocalAddr() net.Addr  { return c.addr }
+func (c *memConn) RemoteAddr() net.Addr { return c.addr }
+
+// Deadlines are accepted and ignored: exchanges are in-process and always
+// terminated by the serving goroutine closing its end.
+func (c *memConn) SetDeadline(time.Time) error      { return nil }
+func (c *memConn) SetReadDeadline(time.Time) error  { return nil }
+func (c *memConn) SetWriteDeadline(time.Time) error { return nil }
+
+type loopAddr string
+
+func (a loopAddr) Network() string { return "loop" }
+func (a loopAddr) String() string  { return string(a) }

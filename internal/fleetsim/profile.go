@@ -1,0 +1,146 @@
+package fleetsim
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"fgcs/internal/rng"
+	"fgcs/internal/trace"
+)
+
+// profile is one machine behavior class. A fleet of M machines shares K
+// profiles (K << M): each profile owns one preloaded history log that every
+// machine of that class hands to its state manager by pointer, so history
+// memory scales with K while live per-machine state scales with M — the
+// same shape as a production fleet built from a few hardware/usage cohorts.
+//
+// A profile is a pure function of (seed, time): the preloaded history days
+// and the live samples fed during the run come from the same generator, so
+// the SMP predictor sees a coherent diurnal process across the history
+// boundary.
+type profile struct {
+	id     int
+	seed   uint64
+	period time.Duration
+
+	baseCPU    float64 // overnight host load, percent
+	peakCPU    float64 // midday peak host load, percent
+	peakHour   float64 // clock hour of the diurnal peak
+	noiseAmp   float64 // per-slot load jitter, percent
+	totalMem   float64 // physical memory, MB
+	memSlack   float64 // fraction of memory free at zero load
+	failPerDay float64 // probability of one down window per day
+
+	machine *trace.Machine // shared preloaded history (read-only)
+}
+
+// genProfiles derives n behavior classes from the fleet seed and builds
+// historyDays of preloaded history per class, ending the day before
+// todayMidnight.
+func genProfiles(seed uint64, n int, period time.Duration, historyDays int, todayMidnight time.Time) []*profile {
+	root := rng.New(seed).Split("profiles")
+	out := make([]*profile, n)
+	for i := range out {
+		s := root.SplitN("profile", i)
+		p := &profile{
+			id:         i,
+			seed:       s.Uint64(),
+			period:     period,
+			baseCPU:    s.Uniform(2, 15),
+			peakCPU:    s.Uniform(25, 95),
+			peakHour:   s.Uniform(9, 18),
+			noiseAmp:   s.Uniform(2, 10),
+			totalMem:   s.Uniform(512, 8192),
+			memSlack:   s.Uniform(0.25, 0.75),
+			failPerDay: s.Uniform(0.05, 0.5),
+		}
+		p.buildHistory(todayMidnight, historyDays)
+		out[i] = p
+	}
+	return out
+}
+
+// sampleAt returns the class's sample for the slot containing t.
+func (p *profile) sampleAt(t time.Time) trace.Sample {
+	t = t.UTC()
+	midnight := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+	day := midnight.Unix() / 86400
+	slot := int(t.Sub(midnight) / p.period)
+	if s, e, ok := p.downWindow(day); ok && slot >= s && slot < e {
+		return trace.Sample{Up: false}
+	}
+	hour := float64(t.Sub(midnight)) / float64(time.Hour)
+	diurnal := 0.5 * (1 + math.Cos(2*math.Pi*(hour-p.peakHour)/24))
+	cpu := p.baseCPU + (p.peakCPU-p.baseCPU)*diurnal + p.noiseAmp*p.slotNoise(day, slot)
+	cpu = math.Min(100, math.Max(0, cpu))
+	free := p.totalMem * (p.memSlack - 0.3*cpu/100 + 0.05*p.slotNoise(day, slot+1<<20))
+	free = math.Max(0, free)
+	return trace.Sample{CPU: cpu, FreeMemMB: free, Up: true}
+}
+
+// downWindow returns the day's unavailability window in slot indices, if
+// the class fails that day. One contiguous window per day keeps the URR
+// structure the paper's semi-Markov model fits (Section 4).
+func (p *profile) downWindow(day int64) (start, end int, ok bool) {
+	slots := int(24 * time.Hour / p.period)
+	h := mix64(p.seed ^ 0xD1B54A32D192ED03 ^ uint64(day)*0x9E3779B97F4A7C15)
+	if unit(h) >= p.failPerDay {
+		return 0, 0, false
+	}
+	h = mix64(h)
+	start = int(h % uint64(slots))
+	h = mix64(h)
+	length := 1 + int(h%uint64(maxInt(1, slots/16)))
+	end = minInt(start+length, slots)
+	return start, end, true
+}
+
+// slotNoise returns deterministic jitter in [-1, 1) for a (day, slot) pair.
+// It is hash-derived rather than stream-drawn so any slot can be evaluated
+// out of order — history preload and live feed must agree exactly.
+func (p *profile) slotNoise(day int64, slot int) float64 {
+	h := mix64(p.seed ^ uint64(day)*0x9E3779B97F4A7C15 ^ uint64(slot)*0xBF58476D1CE4E5B9)
+	return unit(h)*2 - 1
+}
+
+func (p *profile) buildHistory(todayMidnight time.Time, days int) {
+	m := trace.NewMachine(fmt.Sprintf("profile-%03d", p.id), p.period)
+	for d := days; d >= 1; d-- {
+		date := todayMidnight.AddDate(0, 0, -d)
+		day := trace.NewDay(date, p.period)
+		for i := range day.Samples {
+			day.Samples[i] = p.sampleAt(date.Add(time.Duration(i) * p.period))
+		}
+		if err := m.AddDay(day); err != nil {
+			panic(err) // unreachable: days are appended in order
+		}
+	}
+	p.machine = m
+}
+
+// mix64 is the SplitMix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// unit maps 64 random bits onto [0, 1).
+func unit(h uint64) float64 {
+	return float64(h>>11) / float64(1<<53)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

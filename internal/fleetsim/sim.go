@@ -1,0 +1,821 @@
+// Package fleetsim drives a federated iShare fleet — N gateway peers
+// serving M simulated machines — entirely in process: a virtual clock
+// instead of sleeps and an in-memory loopback transport instead of sockets,
+// with the production client, routing, registry and prediction stacks
+// otherwise unmodified. One run covers a registration storm, steady-state
+// replayed traffic across a day rollover, heartbeat refresh, leave/join
+// churn, TTL reaping, and a peer crash/restart healed by anti-entropy, and
+// reports both a byte-deterministic simulation transcript and measured
+// throughput/memory figures (see Report).
+package fleetsim
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/ishare"
+	"fgcs/internal/obs"
+	"fgcs/internal/predict"
+	"fgcs/internal/rng"
+	"fgcs/internal/simclock"
+)
+
+// simStart is the fixed simulated epoch: 23:00 UTC on a Wednesday, so
+// default-length runs cross a day boundary mid-traffic (exercising the
+// history rollover path) and the preloaded weekday history matches the
+// query days' type under the estimator's weekday/weekend pooling.
+var simStart = time.Date(2026, 6, 3, 23, 0, 0, 0, time.UTC)
+
+// rpcTimeout bounds each in-process RPC. It is nominal: the loopback
+// transport never blocks on a network.
+const rpcTimeout = 30 * time.Second
+
+// queryLengthsSec are the requested job lengths (T) cycled by the replayed
+// client traffic.
+var queryLengthsSec = [3]float64{900, 1800, 3600}
+
+// Config parameterizes one fleet run. The zero value of any field selects
+// the documented default.
+type Config struct {
+	// Machines is the fleet size, including the join-storm holdbacks
+	// (default 1000).
+	Machines int
+	// Gateways is the number of federation peers (default 8).
+	Gateways int
+	// Replicas is the registry replication factor K (default 2).
+	Replicas int
+	// Vnodes per peer on the consistent-hash ring (default 64).
+	Vnodes int
+	// Seed drives every random choice in the run (default 1).
+	Seed uint64
+	// Profiles is the number of shared machine behavior classes
+	// (default 64, capped at Machines).
+	Profiles int
+	// HistoryDays of preloaded per-profile history (default 3).
+	HistoryDays int
+	// Period is the monitoring sample period (default 5m).
+	Period time.Duration
+	// Ticks of traffic; the clock advances one Period per tick
+	// (default 24: two hours crossing midnight from the 23:00 start).
+	Ticks int
+	// QueriesPerTick across the whole fleet (default max(200, Machines/50)).
+	QueriesPerTick int
+	// Workers is the traffic parallelism; machines are partitioned over
+	// workers, so worker count changes scheduling but not the transcript
+	// only when it stays fixed — it is therefore part of the deterministic
+	// config echo (default GOMAXPROCS).
+	Workers int
+	// HeartbeatEvery is the tick interval between fleet-wide registration
+	// refreshes (default 8); a final round always runs on the last tick.
+	HeartbeatEvery int
+	// RegistryTTL is the registration lifetime (default 90m).
+	RegistryTTL time.Duration
+	// ChurnTick is the tick after which the leave/join storm happens
+	// (default 2/3 of Ticks).
+	ChurnTick int
+	// LeaveFraction of initially registered machines that stop heartbeating
+	// at ChurnTick (default 0.05).
+	LeaveFraction float64
+	// JoinFraction of Machines held back from the initial storm and
+	// registered at ChurnTick (default 0.02).
+	JoinFraction float64
+	// OutageQueries replayed while one peer is down (default 500).
+	OutageQueries int
+	// TrackerMaxMachines caps accuracy-tracker machine state (default 0 =
+	// uncapped; the idle TTL still applies).
+	TrackerMaxMachines int
+	// TrackerIdleTTL evicts tracker state for machines idle this long
+	// (default RegistryTTL).
+	TrackerIdleTTL time.Duration
+	// EngineCacheSize is the shared prediction-engine kernel cache
+	// (default 8192).
+	EngineCacheSize int
+	// EvictEvery is the tick interval between tracker eviction sweeps
+	// (default 4).
+	EvictEvery int
+	// Progress, when set, receives phase-level progress lines.
+	Progress func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Machines <= 0 {
+		c.Machines = 1000
+	}
+	if c.Gateways <= 0 {
+		c.Gateways = 8
+	}
+	if c.Replicas == 0 {
+		c.Replicas = ishare.DefaultReplicas
+	}
+	if c.Vnodes <= 0 {
+		c.Vnodes = ishare.DefaultVnodes
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Profiles <= 0 {
+		c.Profiles = 64
+	}
+	if c.Profiles > c.Machines {
+		c.Profiles = c.Machines
+	}
+	if c.HistoryDays <= 0 {
+		c.HistoryDays = 3
+	}
+	if c.Period <= 0 {
+		c.Period = 5 * time.Minute
+	}
+	if c.Ticks <= 0 {
+		c.Ticks = 24
+	}
+	if c.QueriesPerTick <= 0 {
+		c.QueriesPerTick = maxInt(200, c.Machines/50)
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 8
+	}
+	if c.RegistryTTL <= 0 {
+		c.RegistryTTL = 90 * time.Minute
+	}
+	if c.ChurnTick <= 0 {
+		c.ChurnTick = c.Ticks * 2 / 3
+	}
+	if c.LeaveFraction == 0 {
+		c.LeaveFraction = 0.05
+	}
+	if c.JoinFraction == 0 {
+		c.JoinFraction = 0.02
+	}
+	if c.OutageQueries <= 0 {
+		c.OutageQueries = 500
+	}
+	if c.TrackerIdleTTL <= 0 {
+		c.TrackerIdleTTL = c.RegistryTTL
+	}
+	if c.EngineCacheSize == 0 {
+		c.EngineCacheSize = 8192
+	}
+	if c.EvictEvery <= 0 {
+		c.EvictEvery = 4
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Gateways < 2 {
+		return fmt.Errorf("fleetsim: need at least 2 gateways")
+	}
+	if c.Replicas >= c.Gateways {
+		return fmt.Errorf("fleetsim: replicas %d must be below gateways %d", c.Replicas, c.Gateways)
+	}
+	if c.ChurnTick >= c.Ticks {
+		return fmt.Errorf("fleetsim: churn tick %d must be below ticks %d", c.ChurnTick, c.Ticks)
+	}
+	if c.LeaveFraction < 0 || c.LeaveFraction >= 1 || c.JoinFraction < 0 || c.JoinFraction >= 0.5 {
+		return fmt.Errorf("fleetsim: leave/join fractions out of range")
+	}
+	joiners := int(c.JoinFraction * float64(c.Machines))
+	leavers := int(c.LeaveFraction * float64(c.Machines-joiners))
+	if leavers+joiners >= c.Machines {
+		return fmt.Errorf("fleetsim: churn storms exceed fleet size")
+	}
+	// Heartbeats must refresh registrations faster than they expire.
+	if time.Duration(c.HeartbeatEvery)*c.Period >= c.RegistryTTL {
+		return fmt.Errorf("fleetsim: heartbeat interval %v not below registry TTL %v",
+			time.Duration(c.HeartbeatEvery)*c.Period, c.RegistryTTL)
+	}
+	return nil
+}
+
+// simMachine is one fleet member: its production gateway/state-manager
+// stack plus the behavior profile that generates its samples.
+type simMachine struct {
+	id   string
+	addr string
+	prof *profile
+	gw   *ishare.Gateway
+}
+
+// workerState accumulates one traffic worker's partition-local results.
+// Workers own disjoint machine sets, so per-machine event order is fixed;
+// cross-worker results are combined in worker-index order, making every
+// reduction deterministic.
+type workerState struct {
+	samplesUp   int64
+	samplesDown int64
+	cpuSum      float64
+	harvestSum  float64
+	queries     int64
+	failures    int64
+	trSum       float64
+	trCount     int64
+	hash        uint64 // running FNV-1a over the query transcript
+	latencies   []float64
+}
+
+func (w *workerState) fold(record string) {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(record))
+	if w.hash == 0 {
+		w.hash = h.Sum64()
+	} else {
+		w.hash = mix64(w.hash ^ h.Sum64())
+	}
+}
+
+func (w *workerState) foldQuery(tick, k int, machine string, lengthSec float64, resp ishare.QueryTRResp, err error) {
+	if err != nil {
+		w.fold(fmt.Sprintf("%d|%d|%s|%g|ERR|%s", tick, k, machine, lengthSec, err.Error()))
+		return
+	}
+	// Cache counters are cumulative and scheduling-dependent, so they stay
+	// out of the transcript; TR is folded as exact bits.
+	w.fold(fmt.Sprintf("%d|%d|%s|%g|%016x|%d|%s",
+		tick, k, machine, lengthSec, math.Float64bits(resp.TR), resp.HistoryWindows, resp.CurrentState))
+}
+
+// fleet is the assembled simulation state shared by the phases.
+type fleet struct {
+	cfg      Config
+	clock    *simclock.Virtual
+	net      *loopNet
+	peers    []ishare.Peer
+	feds     []*ishare.FedGateway
+	machines []*simMachine
+	obsv     *ishare.NodeObs
+	ctx      context.Context
+
+	registered int // machines registered in the initial storm
+	leavers    int // machines[0:leavers] leave at ChurnTick
+	joinStart  int // machines[joinStart:] join at ChurnTick
+
+	active [][]*simMachine // per-worker active machines (fed + queried)
+
+	lastLeaverRefresh time.Time // last registration covering the leavers
+	lastActiveRefresh time.Time // last registration covering survivors
+}
+
+func (f *fleet) progress(format string, args ...any) {
+	if f.cfg.Progress != nil {
+		f.cfg.Progress(format, args...)
+	}
+}
+
+func (f *fleet) newCaller() *ishare.Caller {
+	return &ishare.Caller{
+		Dialer: f.net,
+		// Single attempt: retries sleep on the clock, and nothing advances
+		// the virtual clock during an RPC. Failover is the federation's
+		// job (replica fallback), not the transport's.
+		Retry: ishare.RetryPolicy{MaxAttempts: 1},
+		Clock: f.clock,
+	}
+}
+
+func (f *fleet) newFed(i int) (*ishare.FedGateway, error) {
+	return ishare.NewFedGateway(ishare.FedConfig{
+		Self:     f.peers[i],
+		Peers:    f.peers,
+		Vnodes:   f.cfg.Vnodes,
+		Replicas: f.cfg.Replicas,
+		Caller:   f.newCaller(),
+		Timeout:  rpcTimeout,
+		Clock:    f.clock,
+	})
+}
+
+// runWorkers executes fn(0..n-1) concurrently and waits for all of them.
+func runWorkers(n int, fn func(wi int)) {
+	var wg sync.WaitGroup
+	for wi := 0; wi < n; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			fn(wi)
+		}(wi)
+	}
+	wg.Wait()
+}
+
+// Run executes one fleet simulation and returns its report.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rep := &Report{Sim: SimStats{
+		Machines:      cfg.Machines,
+		Gateways:      cfg.Gateways,
+		Replicas:      cfg.Replicas,
+		Vnodes:        cfg.Vnodes,
+		Profiles:      cfg.Profiles,
+		HistoryDays:   cfg.HistoryDays,
+		PeriodSeconds: cfg.Period.Seconds(),
+		Ticks:         cfg.Ticks,
+		Workers:       cfg.Workers,
+		Seed:          cfg.Seed,
+	}}
+	runStart := time.Now()
+
+	f, err := buildFleet(cfg, rep)
+	if err != nil {
+		return nil, err
+	}
+	f.registerStorm(rep)
+	f.trafficPhase(rep)
+	f.churnPhase(rep)
+	f.finalize(rep)
+
+	rep.Perf.TotalSeconds = time.Since(runStart).Seconds()
+	return rep, nil
+}
+
+// buildFleet constructs profiles, peers and the per-machine serving stacks.
+func buildFleet(cfg Config, rep *Report) (*fleet, error) {
+	t0 := time.Now()
+	midnight0 := time.Date(simStart.Year(), simStart.Month(), simStart.Day(), 0, 0, 0, 0, time.UTC)
+	f := &fleet{
+		cfg:   cfg,
+		clock: simclock.NewVirtual(simStart),
+		net:   newLoopNet(),
+		ctx:   context.Background(),
+	}
+	profs := genProfiles(cfg.Seed, cfg.Profiles, cfg.Period, cfg.HistoryDays, midnight0)
+
+	// One observability bundle, accuracy tracker and prediction engine for
+	// the whole fleet: per-machine copies of each are exactly the O(M)
+	// overhead this simulation exists to keep bounded.
+	f.obsv = ishare.NewNodeObs()
+	f.obsv.Tracker.SetRetention(obs.RetentionPolicy{
+		MaxMachines: cfg.TrackerMaxMachines,
+		IdleTTL:     cfg.TrackerIdleTTL,
+	})
+	engine := predict.NewEngine(predict.EngineConfig{CacheSize: cfg.EngineCacheSize})
+	engine.SetMetrics(f.obsv.Engine)
+
+	f.peers = make([]ishare.Peer, cfg.Gateways)
+	for i := range f.peers {
+		id := fmt.Sprintf("gw%02d", i)
+		f.peers[i] = ishare.Peer{ID: id, Addr: "fed/" + id}
+	}
+	f.feds = make([]*ishare.FedGateway, cfg.Gateways)
+	for i := range f.feds {
+		fed, err := f.newFed(i)
+		if err != nil {
+			return nil, err
+		}
+		f.feds[i] = fed
+		f.net.Register(f.peers[i].Addr, fed.Handler())
+	}
+
+	availCfg := avail.DefaultConfig()
+	f.machines = make([]*simMachine, cfg.Machines)
+	for i := range f.machines {
+		id := fmt.Sprintf("m%06d", i)
+		prof := profs[i%len(profs)]
+		sm, err := ishare.NewStateManagerShared(id, cfg.Period, availCfg, f.clock,
+			prof.machine, cfg.HistoryDays, ishare.SharedDeps{Obs: f.obsv, Engine: engine})
+		if err != nil {
+			return nil, err
+		}
+		gw, err := ishare.NewGateway(id, availCfg, cfg.Period, f.clock, sm)
+		if err != nil {
+			return nil, err
+		}
+		addr := "node/" + id
+		f.net.Register(addr, gw.Handler())
+		f.machines[i] = &simMachine{id: id, addr: addr, prof: prof, gw: gw}
+	}
+
+	joiners := int(cfg.JoinFraction * float64(cfg.Machines))
+	f.joinStart = cfg.Machines - joiners
+	f.registered = f.joinStart
+	f.leavers = int(cfg.LeaveFraction * float64(f.registered))
+	rep.Sim.LeaveMachines = f.leavers
+	rep.Sim.JoinMachines = joiners
+	rep.Sim.Registered = f.registered
+
+	// Initial active set: everything registered in the storm.
+	f.active = make([][]*simMachine, cfg.Workers)
+	for i := 0; i < f.joinStart; i++ {
+		wi := i % cfg.Workers
+		f.active[wi] = append(f.active[wi], f.machines[i])
+	}
+
+	rep.Perf.BuildSeconds = time.Since(t0).Seconds()
+	f.progress("built %d machines on %d gateways in %.1fs", cfg.Machines, cfg.Gateways, rep.Perf.BuildSeconds)
+	return f, nil
+}
+
+// registerStorm publishes every non-holdback machine through a seeded
+// random entry peer, measuring the control-plane cost of a cold fleet
+// coming up at once.
+func (f *fleet) registerStorm(rep *Report) {
+	t0 := time.Now()
+	bytes0 := f.net.RequestBytes()
+	dials0 := f.net.Dials()
+	now := f.clock.Now()
+	runWorkers(f.cfg.Workers, func(wi int) {
+		caller := f.newCaller()
+		st := rng.New(f.cfg.Seed).Split(fmt.Sprintf("register/%d", wi))
+		for _, m := range f.active[wi] {
+			entry := f.peers[st.Intn(len(f.peers))].Addr
+			if err := ishare.RegisterWithTTL(f.ctx, caller, entry, m.id, m.addr, f.cfg.RegistryTTL, rpcTimeout); err != nil {
+				panic(fmt.Sprintf("fleetsim: register %s: %v", m.id, err))
+			}
+		}
+	})
+	f.lastLeaverRefresh = now
+	f.lastActiveRefresh = now
+	rep.Perf.RegisterSeconds = time.Since(t0).Seconds()
+	rep.Sim.RegisterRequestBytes = f.net.RequestBytes() - bytes0
+	rep.Sim.RegisterRPCs = f.net.Dials() - dials0
+	if rep.Perf.RegisterSeconds > 0 {
+		rep.Perf.RegistrationsPerSec = float64(f.registered) / rep.Perf.RegisterSeconds
+	}
+
+	// Placement balance, computed locally from the same ring the peers use.
+	ring := ishare.NewRing(f.cfg.Vnodes)
+	for _, p := range f.peers {
+		if err := ring.Add(p); err != nil {
+			panic(err)
+		}
+	}
+	owned := make(map[string]int)
+	for i := 0; i < f.registered; i++ {
+		o, _ := ring.Owner(f.machines[i].id)
+		owned[o.ID]++
+	}
+	maxOwned := 0
+	for _, n := range owned {
+		maxOwned = maxInt(maxOwned, n)
+	}
+	fair := float64(f.registered) / float64(f.cfg.Gateways)
+	if fair > 0 {
+		rep.Sim.PlacementImbalance = float64(maxOwned) / fair
+	}
+	f.progress("registered %d machines in %.1fs (%d RPCs, imbalance %.2fx)",
+		f.registered, rep.Perf.RegisterSeconds, rep.Sim.RegisterRPCs, rep.Sim.PlacementImbalance)
+}
+
+// heartbeat re-registers every currently active machine, refreshing its
+// TTL — the fleet's periodic keepalive storm.
+func (f *fleet) heartbeat(tick int, rep *Report) {
+	bytes0 := f.net.RequestBytes()
+	runWorkers(f.cfg.Workers, func(wi int) {
+		caller := f.newCaller()
+		st := rng.New(f.cfg.Seed).Split(fmt.Sprintf("heartbeat/%d/%d", tick, wi))
+		for _, m := range f.active[wi] {
+			entry := f.peers[st.Intn(len(f.peers))].Addr
+			if err := ishare.RegisterWithTTL(f.ctx, caller, entry, m.id, m.addr, f.cfg.RegistryTTL, rpcTimeout); err != nil {
+				panic(fmt.Sprintf("fleetsim: heartbeat %s: %v", m.id, err))
+			}
+		}
+	})
+	now := f.clock.Now()
+	if tick <= f.cfg.ChurnTick {
+		f.lastLeaverRefresh = now
+	}
+	f.lastActiveRefresh = now
+	rep.Sim.HeartbeatRounds++
+	rep.Sim.HeartbeatRequestBytes += f.net.RequestBytes() - bytes0
+}
+
+// trafficPhase replays Ticks rounds of monitoring samples and client
+// queries, with heartbeat refreshes, the leave/join storm at ChurnTick, and
+// periodic tracker eviction sweeps.
+func (f *fleet) trafficPhase(rep *Report) {
+	cfg := f.cfg
+	t0 := time.Now()
+	queryBytes := int64(0)
+	states := make([]*workerState, cfg.Workers)
+	for i := range states {
+		states[i] = &workerState{}
+	}
+	prevMidnight := midnightOf(f.clock.Now())
+
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		f.clock.Advance(cfg.Period)
+		now := f.clock.Now()
+		if m := midnightOf(now); !m.Equal(prevMidnight) {
+			rep.Sim.DayRollovers++
+			prevMidnight = m
+		}
+
+		// Feed: one monitoring sample per active machine, driven straight
+		// through the gateway sink exactly as a live monitor would.
+		feed0 := time.Now()
+		runWorkers(cfg.Workers, func(wi int) {
+			ws := states[wi]
+			for _, m := range f.active[wi] {
+				s := m.prof.sampleAt(now)
+				if s.Up {
+					ws.samplesUp++
+					ws.cpuSum += s.CPU
+					ws.harvestSum += 1 - s.CPU/100
+				} else {
+					ws.samplesDown++
+					m.gw.Crash()
+				}
+				m.gw.Record(now, s)
+			}
+		})
+		rep.Perf.FeedSeconds += time.Since(feed0).Seconds()
+
+		// Queries: replayed client traffic through random entry peers.
+		// Each worker targets only its own partition, so the per-machine
+		// prediction/observation order is deterministic.
+		q0 := time.Now()
+		qb0 := f.net.RequestBytes()
+		runWorkers(cfg.Workers, func(wi int) {
+			ws := states[wi]
+			if len(f.active[wi]) == 0 {
+				return
+			}
+			n := cfg.QueriesPerTick / cfg.Workers
+			if wi < cfg.QueriesPerTick%cfg.Workers {
+				n++
+			}
+			caller := f.newCaller()
+			st := rng.New(cfg.Seed).Split(fmt.Sprintf("queries/%d/%d", tick, wi))
+			for k := 0; k < n; k++ {
+				target := f.active[wi][st.Intn(len(f.active[wi]))]
+				entry := f.peers[st.Intn(len(f.peers))]
+				length := queryLengthsSec[st.Intn(len(queryLengthsSec))]
+				client := ishare.FedClient{Addr: entry.Addr, Caller: caller, Timeout: rpcTimeout}
+				c0 := time.Now()
+				resp, err := client.QueryTR(f.ctx, target.id, ishare.QueryTRReq{LengthSeconds: length, GuestMemMB: 100})
+				ws.latencies = append(ws.latencies, float64(time.Since(c0).Microseconds()))
+				ws.queries++
+				if err != nil {
+					ws.failures++
+				} else {
+					ws.trSum += resp.TR
+					ws.trCount++
+				}
+				ws.foldQuery(tick, k, target.id, length, resp, err)
+			}
+		})
+		rep.Perf.QuerySeconds += time.Since(q0).Seconds()
+		queryBytes += f.net.RequestBytes() - qb0
+
+		if (tick+1)%cfg.HeartbeatEvery == 0 || tick == cfg.Ticks-1 {
+			f.heartbeat(tick, rep)
+		}
+		if tick == cfg.ChurnTick {
+			f.churnStorm(rep)
+		}
+		if (tick+1)%cfg.EvictEvery == 0 {
+			rep.Sim.TrackerEvictedMachines += uint64(f.obsv.Tracker.EvictIdle(f.clock.Now()))
+		}
+		if (tick+1)%8 == 0 {
+			f.progress("tick %d/%d: %s", tick+1, cfg.Ticks, f.clock.Now().Format("15:04"))
+		}
+	}
+
+	// Merge worker results in worker-index order.
+	var lat []float64
+	combined := fnv.New64a()
+	for wi, ws := range states {
+		rep.Sim.Utilization.SamplesUp += ws.samplesUp
+		rep.Sim.Utilization.SamplesDown += ws.samplesDown
+		rep.Sim.Utilization.MeanCPUPercent += ws.cpuSum
+		rep.Sim.Utilization.HarvestableFraction += ws.harvestSum
+		rep.Sim.Utilization.MeanPredictedTR += ws.trSum
+		rep.Sim.Queries += ws.queries
+		rep.Sim.QueryFailures += ws.failures
+		fmt.Fprintf(combined, "%d:%016x\n", wi, ws.hash)
+		lat = append(lat, ws.latencies...)
+	}
+	var trCount int64
+	for _, ws := range states {
+		trCount += ws.trCount
+	}
+	u := &rep.Sim.Utilization
+	totalSamples := u.SamplesUp + u.SamplesDown
+	if u.SamplesUp > 0 {
+		u.MeanCPUPercent /= float64(u.SamplesUp)
+	}
+	if totalSamples > 0 {
+		u.UpFraction = float64(u.SamplesUp) / float64(totalSamples)
+		u.HarvestableFraction /= float64(totalSamples)
+	}
+	if trCount > 0 {
+		u.MeanPredictedTR /= float64(trCount)
+	}
+	rep.Sim.SamplesFed = totalSamples
+	rep.Sim.QueryRequestBytes = queryBytes
+	rep.Sim.TranscriptFNV = fmt.Sprintf("%016x", combined.Sum64())
+	rep.Sim.ControlBytesPerMachine = float64(rep.Sim.RegisterRequestBytes+rep.Sim.HeartbeatRequestBytes) /
+		float64(maxInt(1, f.registered))
+
+	sortFloats(lat)
+	rep.Perf.LatencyP50Micros = percentile(lat, 0.50)
+	rep.Perf.LatencyP99Micros = percentile(lat, 0.99)
+	rep.Perf.TrafficSeconds = time.Since(t0).Seconds()
+	if rep.Perf.QuerySeconds > 0 {
+		rep.Perf.PredictionsPerSec = float64(rep.Sim.Queries) / rep.Perf.QuerySeconds
+	}
+	if rep.Perf.FeedSeconds > 0 {
+		rep.Perf.SamplesPerSec = float64(rep.Sim.SamplesFed) / rep.Perf.FeedSeconds
+	}
+	f.progress("traffic done: %d queries (%d failed), %d samples, %.0f predictions/s",
+		rep.Sim.Queries, rep.Sim.QueryFailures, rep.Sim.SamplesFed, rep.Perf.PredictionsPerSec)
+}
+
+// churnStorm removes the leavers from the active set and registers the
+// join-storm holdbacks, which start being fed and queried from the next
+// tick on.
+func (f *fleet) churnStorm(rep *Report) {
+	joiners := f.machines[f.joinStart:]
+	caller := f.newCaller()
+	st := rng.New(f.cfg.Seed).Split("join")
+	for _, m := range joiners {
+		entry := f.peers[st.Intn(len(f.peers))].Addr
+		if err := ishare.RegisterWithTTL(f.ctx, caller, entry, m.id, m.addr, f.cfg.RegistryTTL, rpcTimeout); err != nil {
+			panic(fmt.Sprintf("fleetsim: join %s: %v", m.id, err))
+		}
+	}
+	for wi := range f.active {
+		f.active[wi] = f.active[wi][:0]
+	}
+	for i := f.leavers; i < len(f.machines); i++ {
+		wi := i % f.cfg.Workers
+		f.active[wi] = append(f.active[wi], f.machines[i])
+	}
+	f.progress("churn storm at %s: -%d leavers, +%d joiners",
+		f.clock.Now().Format("15:04"), f.leavers, len(joiners))
+}
+
+// churnPhase runs the post-traffic scenario: TTL reaping of the leavers,
+// ring key-movement accounting, then a peer outage with traffic served by
+// replicas, a restart from empty state, and anti-entropy convergence.
+func (f *fleet) churnPhase(rep *Report) {
+	t0 := time.Now()
+	cfg := f.cfg
+
+	// Ring key movement on membership change, computed on a scratch ring:
+	// consistent hashing promises a join moves only the keys the joiner
+	// acquires and a leave only the leaver's own keys.
+	keys := make([]string, 0, len(f.machines)-f.leavers)
+	for i := f.leavers; i < len(f.machines); i++ {
+		keys = append(keys, f.machines[i].id)
+	}
+	base := buildRing(cfg.Vnodes, f.peers)
+	grown := buildRing(cfg.Vnodes, f.peers)
+	if err := grown.Add(ishare.Peer{ID: "gw-join", Addr: "fed/gw-join"}); err != nil {
+		panic(err)
+	}
+	shrunk := buildRing(cfg.Vnodes, f.peers)
+	shrunk.Remove(f.peers[len(f.peers)-1].ID)
+	for _, k := range keys {
+		b, _ := base.Owner(k)
+		if g, _ := grown.Owner(k); g.ID != b.ID {
+			rep.Sim.JoinMovedKeys++
+		}
+		if s, _ := shrunk.Owner(k); s.ID != b.ID {
+			rep.Sim.LeaveMovedKeys++
+		}
+	}
+	if len(keys) > 0 {
+		rep.Sim.JoinMovedFraction = float64(rep.Sim.JoinMovedKeys) / float64(len(keys))
+		rep.Sim.LeaveMovedFraction = float64(rep.Sim.LeaveMovedKeys) / float64(len(keys))
+	}
+
+	// TTL reap: advance the clock into the window where the leavers' last
+	// refresh has lapsed but the survivors' has not, then run one
+	// anti-entropy round so every peer expels the dead entries.
+	rep.Sim.EntriesBeforeReap = f.sumEntries()
+	leaverExpiry := f.lastLeaverRefresh.Add(cfg.RegistryTTL)
+	activeExpiry := f.lastActiveRefresh.Add(cfg.RegistryTTL)
+	reapTime := leaverExpiry.Add(activeExpiry.Sub(leaverExpiry) / 2)
+	if !reapTime.After(f.clock.Now()) {
+		reapTime = f.clock.Now().Add(cfg.Period)
+	}
+	f.clock.AdvanceTo(reapTime)
+	for _, fed := range f.feds {
+		fed.SyncOnce(f.ctx)
+	}
+	rep.Sim.EntriesAfterReap = f.sumEntries()
+	rep.Sim.TrackerEvictedMachines += uint64(f.obsv.Tracker.EvictIdle(f.clock.Now()))
+
+	// Peer outage: gw00 drops off the network; queries entering elsewhere
+	// are served by the entry's replica fallback.
+	downAddr := f.peers[0].Addr
+	f.net.SetDown(downAddr, true)
+	activeList := f.machines[f.leavers:]
+	caller := f.newCaller()
+	st := rng.New(cfg.Seed).Split("outage")
+	outage := &workerState{}
+	for k := 0; k < cfg.OutageQueries; k++ {
+		target := activeList[st.Intn(len(activeList))]
+		entry := f.peers[1+st.Intn(len(f.peers)-1)]
+		length := queryLengthsSec[st.Intn(len(queryLengthsSec))]
+		client := ishare.FedClient{Addr: entry.Addr, Caller: caller, Timeout: rpcTimeout}
+		resp, err := client.QueryTR(f.ctx, target.id, ishare.QueryTRReq{LengthSeconds: length, GuestMemMB: 100})
+		outage.queries++
+		if err != nil {
+			outage.failures++
+		}
+		outage.foldQuery(-1, k, target.id, length, resp, err)
+	}
+	rep.Sim.OutageQueries = outage.queries
+	rep.Sim.OutageFailures = outage.failures
+	rep.Sim.OutageTranscriptFNV = fmt.Sprintf("%016x", outage.hash)
+
+	// Restart gw00 from empty state and count anti-entropy rounds until
+	// the fleet quiesces (a full round in which no peer accepts anything).
+	fresh, err := f.newFed(0)
+	if err != nil {
+		panic(err)
+	}
+	f.feds[0] = fresh
+	f.net.Register(downAddr, fresh.Handler())
+	f.net.SetDown(downAddr, false)
+	for rounds := 0; rounds < 16; {
+		before := f.sumAccepted()
+		for _, fed := range f.feds {
+			fed.SyncOnce(f.ctx)
+		}
+		rounds++
+		rep.Sim.ConvergenceRounds = rounds
+		delta := f.sumAccepted() - before
+		rep.Sim.ConvergenceAccepted += delta
+		if delta == 0 {
+			break
+		}
+	}
+	rep.Sim.RestartEntries = f.feds[0].RingStats().Entries
+	rep.Perf.ChurnSeconds = time.Since(t0).Seconds()
+	f.progress("churn done: entries %d -> %d, restart restored %d entries in %d rounds",
+		rep.Sim.EntriesBeforeReap, rep.Sim.EntriesAfterReap, rep.Sim.RestartEntries, rep.Sim.ConvergenceRounds)
+}
+
+// finalize folds the tracker totals and memory figures into the report.
+func (f *fleet) finalize(rep *Report) {
+	tr := f.obsv.Tracker
+	rep.Sim.TrackerResolved = tr.Resolved()
+	rep.Sim.TrackerDropped = tr.DroppedPredictions()
+	rep.Sim.TrackerMachines = tr.Machines()
+
+	all := tr.Stats("_all", "SMP")
+	u := &rep.Sim.Utilization
+	u.SMPResolved = all.Resolved
+	u.SMPSurvived = all.Survived
+	u.SMPEmpiricalSurvival = all.Empirical
+	u.SMPAccuracy = all.Accuracy
+	if all.Resolved > 0 {
+		u.WastedFraction = 1 - all.Accuracy
+	}
+
+	rep.Perf.ResponseBytes = f.net.ResponseBytes()
+	rep.Perf.Goroutines = runtime.NumGoroutine()
+	runtime.GC()
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	rep.Perf.HeapBytes = ms.HeapAlloc
+	rep.Perf.HeapBytesPerMachine = float64(ms.HeapAlloc) / float64(f.cfg.Machines)
+	rep.Perf.RSSBytes = readRSS()
+	rep.Perf.RSSBytesPerMachine = float64(rep.Perf.RSSBytes) / float64(f.cfg.Machines)
+}
+
+func (f *fleet) sumEntries() int {
+	n := 0
+	for _, fed := range f.feds {
+		n += fed.RingStats().Entries
+	}
+	return n
+}
+
+func (f *fleet) sumAccepted() int64 {
+	var n int64
+	for _, fed := range f.feds {
+		n += int64(fed.RingStats().SyncAccepted)
+	}
+	return n
+}
+
+func buildRing(vnodes int, peers []ishare.Peer) *ishare.Ring {
+	r := ishare.NewRing(vnodes)
+	for _, p := range peers {
+		if err := r.Add(p); err != nil {
+			panic(err)
+		}
+	}
+	return r
+}
+
+func midnightOf(t time.Time) time.Time {
+	t = t.UTC()
+	return time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+}

@@ -1,0 +1,85 @@
+package fleetsim
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestFleetSimDeterministic is the short-mode fleet smoke: two identically
+// seeded ~1k-machine runs must produce byte-identical deterministic report
+// sections, and the scenario itself must complete cleanly (no failed
+// queries, a day rollover mid-traffic, churn reaped, restart converged).
+func TestFleetSimDeterministic(t *testing.T) {
+	cfg := Config{Machines: 1000, Workers: 4, Seed: 7}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	b1, b2 := r1.DeterministicBytes(), r2.DeterministicBytes()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same-seed runs diverged:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", b1, b2)
+	}
+
+	s := &r1.Sim
+	if s.QueryFailures != 0 {
+		t.Errorf("query failures = %d, want 0", s.QueryFailures)
+	}
+	if s.DayRollovers < 1 {
+		t.Errorf("day rollovers = %d, want >= 1 (traffic must cross midnight)", s.DayRollovers)
+	}
+	if s.OutageFailures != 0 {
+		t.Errorf("outage failures = %d, want 0 (replicas must cover the dead peer)", s.OutageFailures)
+	}
+	if s.ConvergenceRounds < 1 || s.ConvergenceRounds > 4 {
+		t.Errorf("convergence rounds = %d, want 1..4", s.ConvergenceRounds)
+	}
+	if s.RestartEntries == 0 {
+		t.Error("restarted peer recovered no entries")
+	}
+	if s.EntriesAfterReap >= s.EntriesBeforeReap {
+		t.Errorf("reap did not shrink the registry: %d -> %d", s.EntriesBeforeReap, s.EntriesAfterReap)
+	}
+	if s.LeaveMachines == 0 || s.JoinMachines == 0 {
+		t.Errorf("churn storm empty: -%d/+%d", s.LeaveMachines, s.JoinMachines)
+	}
+	if s.TrackerResolved == 0 {
+		t.Error("accuracy tracker resolved nothing")
+	}
+	if s.TrackerEvictedMachines == 0 {
+		t.Error("no tracker state evicted despite the leave storm")
+	}
+	u := &s.Utilization
+	if u.UpFraction <= 0.5 || u.UpFraction > 1 {
+		t.Errorf("up fraction = %v, want (0.5, 1]", u.UpFraction)
+	}
+	if u.MeanPredictedTR <= 0 || u.MeanPredictedTR > 1 {
+		t.Errorf("mean predicted TR = %v, want (0, 1]", u.MeanPredictedTR)
+	}
+	if u.HarvestableFraction <= 0 || u.HarvestableFraction >= 1 {
+		t.Errorf("harvestable fraction = %v, want (0, 1)", u.HarvestableFraction)
+	}
+}
+
+// TestFleetSimValidation pins the config guard rails.
+func TestFleetSimValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+	}{
+		{"one gateway", Config{Gateways: 1}},
+		{"replicas ge gateways", Config{Gateways: 3, Replicas: 3}},
+		{"churn past end", Config{Ticks: 10, ChurnTick: 10}},
+		{"heartbeat past ttl", Config{HeartbeatEvery: 100, RegistryTTL: 10 * 60 * 1e9}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Run(tc.cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}

@@ -152,7 +152,6 @@ func (r *Ring) Successors(key string, n int) []Peer {
 	// Distances use mod-2^64 arithmetic, so wraparound is free.
 	si, pi := idx, (idx-1+m)%m
 	out := make([]Peer, 0, n)
-	seen := make(map[string]bool, n)
 	for steps := 0; steps < m && len(out) < n; steps++ {
 		sp, pp := r.points[si], r.points[pi]
 		var pick ringPoint
@@ -163,10 +162,20 @@ func (r *Ring) Successors(key string, n int) []Peer {
 			pick = sp
 			si = (si + 1) % m
 		}
-		if seen[pick.id] {
+		// Dedup against the result so far: n is the replica fanout (a few
+		// entries), so a linear scan beats the map this used to allocate
+		// per call — Successors runs per routed request and per entry per
+		// anti-entropy round, where the map was the top allocation site.
+		dup := false
+		for i := range out {
+			if out[i].ID == pick.id {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
-		seen[pick.id] = true
 		out = append(out, r.peers[pick.id])
 	}
 	return out

@@ -67,6 +67,32 @@ type StateManager struct {
 // carry history recorded by previous runs (loaded from a trace file); it may
 // be nil. historyDays bounds the SMP estimator's day pool (0 = all).
 func NewStateManager(machineID string, period time.Duration, cfg avail.Config, clock simclock.Clock, preloaded *trace.Machine, historyDays int) (*StateManager, error) {
+	return NewStateManagerShared(machineID, period, cfg, clock, preloaded, historyDays, SharedDeps{})
+}
+
+// SharedDeps carries the heavyweight per-node dependencies a caller may
+// share across many StateManagers. A production host node owns one of each,
+// but a fleet simulation hosting 100k machines in one process cannot afford
+// a full metric registry (~50 instrument families) and a prediction-kernel
+// cache per machine: shared, the observability bundle amortizes to nothing
+// and the engine turns machines with identical history into cache hits
+// (its keys fingerprint history content, not machine identity). Zero-value
+// fields fall back to per-manager instances.
+//
+// Sharing is visible in two places: the accuracy tracker scores every
+// sharing machine into one table (QueryStats on any of them reports all),
+// and a shared Engine's metrics are the caller's to wire.
+type SharedDeps struct {
+	// Obs is the observability bundle to record into (nil = own bundle).
+	Obs *NodeObs
+	// Engine is the prediction engine to query through (nil = own engine,
+	// wired to the bundle's engine metrics).
+	Engine *predict.Engine
+}
+
+// NewStateManagerShared is NewStateManager with injected shared
+// dependencies; see SharedDeps.
+func NewStateManagerShared(machineID string, period time.Duration, cfg avail.Config, clock simclock.Clock, preloaded *trace.Machine, historyDays int, deps SharedDeps) (*StateManager, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -79,6 +105,10 @@ func NewStateManager(machineID string, period time.Duration, cfg avail.Config, c
 	if preloaded != nil && preloaded.Period != period {
 		return nil, fmt.Errorf("ishare: preloaded history period %v != %v", preloaded.Period, period)
 	}
+	obsv := deps.Obs
+	if obsv == nil {
+		obsv = NewNodeObs()
+	}
 	recentCap := int(cfg.SuspendLimit/period) + 4
 	sm := &StateManager{
 		machineID: machineID,
@@ -89,12 +119,15 @@ func NewStateManager(machineID string, period time.Duration, cfg avail.Config, c
 		preloaded: preloaded,
 		recentCap: recentCap,
 		predictor: predict.SMP{Cfg: cfg, HistoryDays: historyDays},
-		engine:    predict.NewEngine(predict.EngineConfig{}),
-		obsv:      NewNodeObs(),
+		engine:    deps.Engine,
+		obsv:      obsv,
 		baselines: timeseries.ReferenceSuite(),
 		stateBuf:  make([]avail.State, 0, recentCap),
 	}
-	sm.engine.SetMetrics(sm.obsv.Engine)
+	if sm.engine == nil {
+		sm.engine = predict.NewEngine(predict.EngineConfig{})
+		sm.engine.SetMetrics(obsv.Engine)
+	}
 	return sm, nil
 }
 
@@ -214,11 +247,13 @@ func (sm *StateManager) History() []*trace.Day {
 }
 
 // completedDays returns the history days strictly before today, from a
-// cached snapshot that is rebuilt only when the recorder rolls into a new
-// day (or the query date changes). Reusing the snapshot keeps the day
-// pointers stable, which is what lets the prediction engine serve repeated
-// queries from its kernel cache without rehashing the history; the rebuild
-// on day rollover is exactly the engine's invalidation-on-new-day moment.
+// cached view that is rebuilt only when the recorder rolls into a new day
+// (or the query date changes). The live days come from the recorder's
+// sealed DaysBefore view — stable pointers, no deep clone — so the
+// prediction engine serves repeated queries from its kernel cache without
+// rehashing the history, and a day rollover costs one slice rebuild
+// instead of a full-history copy; the rebuild on day rollover is exactly
+// the engine's invalidation-on-new-day moment.
 // The second return value is histDays restricted to days of the same type
 // (weekday/weekend) as today — the pool the day-structured estimator pools
 // over — cached on the same terms so the hot query path does no per-day
@@ -230,17 +265,19 @@ func (sm *StateManager) completedDays(today time.Time) ([]*trace.Day, []*trace.D
 	if sm.histDays != nil && live == sm.histLive && today.Unix() == sm.histToday {
 		return sm.histDays, sm.histTyped
 	}
-	days := make([]*trace.Day, 0, live)
+	// Rebuild from sealed live days (stable pointers, no clone — the
+	// Snapshot deep copy here was a full-history copy per machine per
+	// rollover, the dominant rollover stall at fleet scale) plus the
+	// preloaded days, both filtered to strictly before today.
+	kept := make([]*trace.Day, 0, live)
 	if sm.preloaded != nil {
-		days = append(days, sm.preloaded.Days...)
-	}
-	days = append(days, sm.recorder.Snapshot().Days...)
-	kept := days[:0]
-	for _, d := range days {
-		if d.Date.Before(today) {
-			kept = append(kept, d)
+		for _, d := range sm.preloaded.Days {
+			if d.Date.Before(today) {
+				kept = append(kept, d)
+			}
 		}
 	}
+	kept = append(kept, sm.recorder.DaysBefore(today)...)
 	tt := trace.TypeOfDate(today)
 	typed := make([]*trace.Day, 0, len(kept))
 	for _, d := range kept {

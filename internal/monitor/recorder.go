@@ -23,6 +23,10 @@ type Recorder struct {
 	machine      *trace.Machine
 	// lastSample is the timestamp of the most recent recorded sample.
 	lastSample time.Time
+	// sealedBefore marks days handed out by DaysBefore as immutable: a
+	// late sample targeting a day before this midnight is dropped rather
+	// than mutated under a reader (zero = nothing sealed).
+	sealedBefore time.Time
 	// logger, when set, reports dropped samples (see SetLogger).
 	logger *slog.Logger
 }
@@ -70,6 +74,15 @@ func (r *Recorder) Record(t time.Time, s trace.Sample) {
 func (r *Recorder) put(t time.Time, s trace.Sample) {
 	t = t.UTC()
 	date := time.Date(t.Year(), t.Month(), t.Day(), 0, 0, 0, 0, time.UTC)
+	if !r.sealedBefore.IsZero() && date.Before(r.sealedBefore) {
+		// The day was handed out as completed history (DaysBefore); a
+		// prediction may be fitting over it right now. Completed days are
+		// immutable — drop the straggler instead of mutating shared state.
+		if r.logger != nil {
+			r.logger.Warn("sample into sealed day dropped", slog.Time("sample_time", t))
+		}
+		return
+	}
 	var day *trace.Day
 	if n := len(r.machine.Days); n > 0 && r.machine.Days[n-1].Date.Equal(date) {
 		day = r.machine.Days[n-1]
@@ -144,7 +157,39 @@ func (r *Recorder) Restore(m *trace.Machine, last time.Time) error {
 	defer r.mu.Unlock()
 	r.machine = m
 	r.lastSample = last
+	// Seals are per-process reader state, not recovered state: WAL-tail
+	// replay must be free to write into any recovered day.
+	r.sealedBefore = time.Time{}
 	return nil
+}
+
+// DaysBefore returns the recorded days dated strictly before the given UTC
+// midnight, without copying: the returned *trace.Day values are the live
+// ones, sealed by this call — any straggler sample targeting them is
+// dropped (see put). Day pointers are stable across calls, which is what
+// lets the prediction engine recognize an unchanged history and reuse its
+// per-day content hashes; Snapshot's deep clone made every day rollover a
+// full-history copy per machine, a measurable stall at fleet scale.
+func (r *Recorder) DaysBefore(midnight time.Time) []*trace.Day {
+	midnight = midnight.UTC()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sealedBefore.Before(midnight) {
+		r.sealedBefore = midnight
+	}
+	n := 0
+	for _, d := range r.machine.Days {
+		if !d.Date.Before(midnight) {
+			break
+		}
+		n++
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]*trace.Day, n)
+	copy(out, r.machine.Days[:n])
+	return out
 }
 
 // Snapshot returns a deep copy of the accumulated machine log.

@@ -27,15 +27,24 @@ import (
 // Observe with no due predictions is a mutex acquire plus a slice scan of
 // the machine's pending window (usually a handful of entries) and allocates
 // nothing, so it is safe to call from the monitor's sampling tick.
+//
+// Memory is bounded at fleet scale: rolling state grows lazily up to the
+// rolling-window cap per (machine, predictor), and a RetentionPolicy
+// (SetRetention + periodic EvictIdle calls) evicts machines that have gone
+// idle — stopped sampling and querying, i.e. left the fleet — and enforces
+// a hard machine-count cap. The "_all" aggregates are never evicted, so
+// fleet-level totals survive churn.
 type Tracker struct {
-	mu      sync.Mutex
-	pending map[string]*machinePending // keyed by machine
-	stats   map[trackerKey]*accStats
-	keys    []trackerKey // sorted registration order for stable output
+	mu       sync.Mutex
+	machines map[string]*machineState // pending window + last activity, keyed by machine
+	stats    map[trackerKey]*accStats
+	keys     []trackerKey // sorted by (machine, predictor) for stable output
 
 	maxPending int
+	retention  RetentionPolicy
 	resolved   uint64
 	dropped    uint64
+	evicted    uint64
 
 	// resolutionSink, when set, is told about every resolved prediction so
 	// the persistence layer can log it. Resolutions are collected under t.mu
@@ -62,6 +71,14 @@ type trackerKey struct {
 	Predictor string
 }
 
+// keyLess is the stable output order of t.keys.
+func keyLess(a, b trackerKey) bool {
+	if a.Machine != b.Machine {
+		return a.Machine < b.Machine
+	}
+	return a.Predictor < b.Predictor
+}
+
 type pendingPred struct {
 	key      trackerKey
 	tr       float64
@@ -70,8 +87,12 @@ type pendingPred struct {
 	failed   bool
 }
 
-type machinePending struct {
-	preds []pendingPred
+// machineState is one machine's tracked state: its pending-prediction
+// window and the timestamp of its most recent activity (sample observed or
+// prediction issued), which drives idle eviction.
+type machineState struct {
+	preds      []pendingPred
+	lastActive time.Time
 }
 
 // accStats accumulates resolved outcomes for one (machine, predictor).
@@ -86,8 +107,10 @@ type accStats struct {
 	calibSurvived [CalibrationBuckets]uint64
 	calibSumTR    [CalibrationBuckets]float64
 
-	ring     [rollingWindow]ringEntry
-	ringLen  int
+	// ring holds the most recent resolved predictions. It grows lazily —
+	// a machine resolved a handful of times carries a handful of entries,
+	// not the full window — and wraps at rollingWindow once full.
+	ring     []ringEntry
 	ringNext int
 }
 
@@ -96,13 +119,35 @@ type ringEntry struct {
 	survived bool
 }
 
+// RetentionPolicy bounds tracker memory across fleet churn. The zero value
+// retains everything (the single-node default).
+type RetentionPolicy struct {
+	// MaxMachines caps the number of machines with tracked state; beyond
+	// it EvictIdle removes the least-recently-active machines first
+	// (0 = unlimited).
+	MaxMachines int
+	// IdleTTL evicts a machine whose last activity is at least this old
+	// at EvictIdle time — typically the registry TTL, so tracker state
+	// follows registration lifetime (0 = never).
+	IdleTTL time.Duration
+}
+
 // NewTracker builds an empty tracker.
 func NewTracker() *Tracker {
 	return &Tracker{
-		pending:    make(map[string]*machinePending),
+		machines:   make(map[string]*machineState),
 		stats:      make(map[trackerKey]*accStats),
 		maxPending: defaultMaxPending,
 	}
+}
+
+// SetRetention installs the memory-bounding policy. Enforcement is pull-
+// based: the owner calls EvictIdle periodically (e.g. on the registry-TTL
+// cadence); the hot RecordPrediction/Observe paths never scan.
+func (t *Tracker) SetRetention(p RetentionPolicy) {
+	t.mu.Lock()
+	t.retention = p
+	t.mu.Unlock()
 }
 
 // RecordPrediction registers one issued prediction: predictor claimed
@@ -118,16 +163,19 @@ func (t *Tracker) RecordPrediction(machine, predictor string, tr float64, start 
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	mp, ok := t.pending[machine]
+	ms, ok := t.machines[machine]
 	if !ok {
-		mp = &machinePending{}
-		t.pending[machine] = mp
+		ms = &machineState{}
+		t.machines[machine] = ms
 	}
-	if len(mp.preds) >= t.maxPending {
-		mp.preds = mp.preds[1:]
+	if ms.lastActive.Before(start) {
+		ms.lastActive = start
+	}
+	if len(ms.preds) >= t.maxPending {
+		ms.preds = ms.preds[1:]
 		t.dropped++
 	}
-	mp.preds = append(mp.preds, pendingPred{
+	ms.preds = append(ms.preds, pendingPred{
 		key:      trackerKey{Machine: machine, Predictor: predictor},
 		tr:       tr,
 		start:    start,
@@ -145,14 +193,17 @@ func (t *Tracker) Observe(machine string, now time.Time, up bool) {
 	}
 	t.mu.Lock()
 	var logged []pendingPred
-	mp, ok := t.pending[machine]
+	ms, ok := t.machines[machine]
 	if !ok {
 		t.mu.Unlock()
 		return
 	}
-	kept := mp.preds[:0]
-	for i := range mp.preds {
-		p := mp.preds[i]
+	if ms.lastActive.Before(now) {
+		ms.lastActive = now
+	}
+	kept := ms.preds[:0]
+	for i := range ms.preds {
+		p := ms.preds[i]
 		if !now.Before(p.deadline) {
 			t.resolve(p, !p.failed)
 			if t.resolutionSink != nil {
@@ -168,7 +219,7 @@ func (t *Tracker) Observe(machine string, now time.Time, up bool) {
 		}
 		kept = append(kept, p)
 	}
-	mp.preds = kept
+	ms.preds = kept
 	sink := t.resolutionSink
 	t.mu.Unlock()
 	if sink != nil {
@@ -209,13 +260,22 @@ func (t *Tracker) resolve(p pendingPred, survived bool) {
 		if !ok {
 			st = &accStats{}
 			t.stats[key] = st
-			t.keys = append(t.keys, key)
-			sort.Slice(t.keys, func(i, j int) bool {
-				if t.keys[i].Machine != t.keys[j].Machine {
-					return t.keys[i].Machine < t.keys[j].Machine
+			// Sorted insert: at fleet scale re-sorting the whole key list
+			// on every new (machine, predictor) is quadratic; a binary
+			// search plus shift keeps registration linear.
+			i := sort.Search(len(t.keys), func(i int) bool { return !keyLess(t.keys[i], key) })
+			t.keys = append(t.keys, trackerKey{})
+			copy(t.keys[i+1:], t.keys[i:])
+			t.keys[i] = key
+			// Every machine with stats participates in retention, even
+			// when its stats arrived via RestoreResolution and no live
+			// sample has touched it yet (lastActive stays zero until one
+			// does, making it the first idle-eviction candidate).
+			if key.Machine != "_all" {
+				if _, ok := t.machines[key.Machine]; !ok {
+					t.machines[key.Machine] = &machineState{}
 				}
-				return t.keys[i].Predictor < t.keys[j].Predictor
-			})
+			}
 		}
 		st.add(p.tr, survived)
 	}
@@ -243,11 +303,88 @@ func (st *accStats) add(tr float64, survived bool) {
 	if survived {
 		st.calibSurvived[b]++
 	}
-	st.ring[st.ringNext] = ringEntry{tr: tr, survived: survived}
-	st.ringNext = (st.ringNext + 1) % rollingWindow
-	if st.ringLen < rollingWindow {
-		st.ringLen++
+	if len(st.ring) < rollingWindow {
+		st.ring = append(st.ring, ringEntry{tr: tr, survived: survived})
+	} else {
+		st.ring[st.ringNext] = ringEntry{tr: tr, survived: survived}
+		st.ringNext = (st.ringNext + 1) % rollingWindow
 	}
+}
+
+// EvictIdle enforces the retention policy: machines whose last activity is
+// at least IdleTTL old are evicted, then the least-recently-active machines
+// beyond MaxMachines. Eviction removes the machine's pending window and its
+// per-machine stats; the "_all" aggregates keep every resolution ever
+// folded. Pending predictions discarded by eviction count as dropped. The
+// eviction order is deterministic (activity time, then machine name).
+// Returns the number of machines evicted.
+func (t *Tracker) EvictIdle(now time.Time) int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.retention
+	if p.MaxMachines <= 0 && p.IdleTTL <= 0 {
+		return 0
+	}
+	evict := make(map[string]bool)
+	type liveMachine struct {
+		name string
+		last time.Time
+	}
+	var live []liveMachine
+	for name, ms := range t.machines {
+		if p.IdleTTL > 0 && now.Sub(ms.lastActive) >= p.IdleTTL {
+			evict[name] = true
+			continue
+		}
+		live = append(live, liveMachine{name: name, last: ms.lastActive})
+	}
+	if p.MaxMachines > 0 && len(live) > p.MaxMachines {
+		sort.Slice(live, func(i, j int) bool {
+			if !live[i].last.Equal(live[j].last) {
+				return live[i].last.Before(live[j].last)
+			}
+			return live[i].name < live[j].name
+		})
+		for _, m := range live[:len(live)-p.MaxMachines] {
+			evict[m.name] = true
+		}
+	}
+	if len(evict) == 0 {
+		return 0
+	}
+	for name := range evict {
+		t.dropped += uint64(len(t.machines[name].preds))
+		delete(t.machines, name)
+	}
+	kept := t.keys[:0]
+	for _, k := range t.keys {
+		if evict[k.Machine] {
+			delete(t.stats, k)
+			continue
+		}
+		kept = append(kept, k)
+	}
+	t.keys = kept
+	t.evicted += uint64(len(evict))
+	return len(evict)
+}
+
+// Machines reports the number of machines with tracked state (pending
+// predictions or per-machine stats; the "_all" aggregate is not a machine).
+func (t *Tracker) Machines() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.machines)
+}
+
+// EvictedMachines reports the total machines removed by EvictIdle.
+func (t *Tracker) EvictedMachines() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.evicted
 }
 
 // CalibrationBucket is one row of the calibration table: of the predictions
@@ -306,10 +443,10 @@ func (st *accStats) summary(key trackerKey) AccuracyStats {
 		out.Brier = st.brierSum / n
 		out.Accuracy = float64(st.correct) / n
 	}
-	if st.ringLen > 0 {
+	if len(st.ring) > 0 {
 		var brier float64
 		var correct int
-		for i := 0; i < st.ringLen; i++ {
+		for i := 0; i < len(st.ring); i++ {
 			e := st.ring[i]
 			outcome := 0.0
 			if e.survived {
@@ -321,8 +458,8 @@ func (st *accStats) summary(key trackerKey) AccuracyStats {
 				correct++
 			}
 		}
-		out.RollingBrier = brier / float64(st.ringLen)
-		out.RollingAccuracy = float64(correct) / float64(st.ringLen)
+		out.RollingBrier = brier / float64(len(st.ring))
+		out.RollingAccuracy = float64(correct) / float64(len(st.ring))
 	}
 	for b := 0; b < CalibrationBuckets; b++ {
 		cb := CalibrationBucket{
@@ -367,8 +504,8 @@ func (t *Tracker) Pending() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := 0
-	for _, mp := range t.pending {
-		n += len(mp.preds)
+	for _, ms := range t.machines {
+		n += len(ms.preds)
 	}
 	return n
 }
@@ -397,8 +534,8 @@ func (t *Tracker) WriteText(w io.Writer) error {
 	all := t.All()
 	t.mu.Lock()
 	pending := 0
-	for _, mp := range t.pending {
-		pending += len(mp.preds)
+	for _, ms := range t.machines {
+		pending += len(ms.preds)
 	}
 	resolved, dropped := t.resolved, t.dropped
 	t.mu.Unlock()

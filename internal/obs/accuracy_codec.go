@@ -70,12 +70,12 @@ func (t *Tracker) ExportBinary() []byte {
 			buf = binary.AppendUvarint(buf, st.calibSurvived[b])
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.calibSumTR[b]))
 		}
-		buf = binary.AppendUvarint(buf, uint64(st.ringLen))
+		buf = binary.AppendUvarint(buf, uint64(len(st.ring)))
 		buf = binary.AppendUvarint(buf, uint64(st.ringNext))
-		// Occupied entries live at indices [0, ringLen): before the ring
-		// wraps those are exactly the filled slots, and once it wraps
-		// ringLen covers the whole array.
-		for i := 0; i < st.ringLen; i++ {
+		// Occupied entries live at indices [0, len(ring)): the ring grows
+		// lazily, so before it wraps those are exactly the filled slots,
+		// and once it wraps its length is the whole window.
+		for i := 0; i < len(st.ring); i++ {
 			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(st.ring[i].tr))
 			if st.ring[i].survived {
 				buf = append(buf, 1)
@@ -159,8 +159,14 @@ func (t *Tracker) RestoreBinary(data []byte) error {
 		if ringLen > rollingWindow || ringNext >= rollingWindow {
 			return fmt.Errorf("obs: tracker snapshot ring out of range")
 		}
-		st.ringLen, st.ringNext = int(ringLen), int(ringNext)
-		for i := 0; i < st.ringLen; i++ {
+		st.ring = make([]ringEntry, ringLen)
+		// The wrap cursor only means anything once the ring is full; a
+		// partially-filled ring appends at its length (snapshots from the
+		// fixed-array format stored the append position here).
+		if int(ringLen) == rollingWindow {
+			st.ringNext = int(ringNext)
+		}
+		for i := 0; i < len(st.ring); i++ {
 			if st.ring[i].tr, p, err = readAccFloat(p); err != nil {
 				return err
 			}
@@ -191,5 +197,16 @@ func (t *Tracker) RestoreBinary(data []byte) error {
 	t.dropped = dropped
 	t.stats = stats
 	t.keys = keys
+	// Restored machines join the retention scan (zero activity until a
+	// live sample or prediction touches them); existing pending windows
+	// are untouched.
+	for _, key := range keys {
+		if key.Machine == "_all" {
+			continue
+		}
+		if _, ok := t.machines[key.Machine]; !ok {
+			t.machines[key.Machine] = &machineState{}
+		}
+	}
 	return nil
 }
