@@ -22,6 +22,18 @@ type fleetPerf struct {
 	PredictionsPerSec   float64 `json:"predictions_per_sec"`
 	HeapBytesPerMachine float64 `json:"heap_bytes_per_machine"`
 	RSSBytesPerMachine  float64 `json:"rss_bytes_per_machine"`
+	TotalSeconds        float64 `json:"total_seconds"`
+	ObsPlaneSeconds     float64 `json:"obs_plane_seconds"`
+	ObsBytesPerPeer     float64 `json:"obs_bytes_per_peer"`
+}
+
+// obsCostFraction is the share of total run wall time spent in the
+// observability plane (SLO sampling, detector steps, federated merges).
+func (r *fleetReport) obsCostFraction() float64 {
+	if r.Perf.TotalSeconds <= 0 {
+		return 0
+	}
+	return r.Perf.ObsPlaneSeconds / r.Perf.TotalSeconds
 }
 
 // fleetReport mirrors cmd/fleetsim's report envelope.
@@ -44,7 +56,7 @@ func (r *fleetReport) bytesPerMachine() (float64, string) {
 // throughput must reach minPredPerSec, and — against a recorded baseline —
 // neither may regress by more than the tolerance. With write set the report
 // becomes the new baseline instead.
-func runFleet(in io.Reader, baselinePath string, write bool, tolerance, maxBytesPerMachine, minPredPerSec float64, stderr io.Writer) error {
+func runFleet(in io.Reader, baselinePath string, write bool, tolerance, maxBytesPerMachine, minPredPerSec, maxObsCost float64, stderr io.Writer) error {
 	raw, err := io.ReadAll(in)
 	if err != nil {
 		return err
@@ -74,6 +86,10 @@ func runFleet(in io.Reader, baselinePath string, write bool, tolerance, maxBytes
 	if rep.Perf.PredictionsPerSec < minPredPerSec {
 		violations = append(violations, fmt.Sprintf("throughput %.0f predictions/s below required %.0f",
 			rep.Perf.PredictionsPerSec, minPredPerSec))
+	}
+	if cost := rep.obsCostFraction(); cost > maxObsCost {
+		violations = append(violations, fmt.Sprintf("observability plane cost %.2f%% of run wall time above allowed %.2f%%",
+			100*cost, 100*maxObsCost))
 	}
 
 	if write {

@@ -16,18 +16,20 @@ const sampleFleetReport = `{
   "perf": {
     "predictions_per_sec": 8000,
     "heap_bytes_per_machine": 15000,
-    "rss_bytes_per_machine": 30000
+    "rss_bytes_per_machine": 30000,
+    "total_seconds": 100,
+    "obs_plane_seconds": 0.5
   }
 }`
 
 func TestFleetGateWriteThenCompare(t *testing.T) {
 	baseline := t.TempDir() + "/fleet_base.json"
 	var stderr strings.Builder
-	if err := runFleet(strings.NewReader(sampleFleetReport), baseline, true, 0.10, 48*1024, 1500, &stderr); err != nil {
+	if err := runFleet(strings.NewReader(sampleFleetReport), baseline, true, 0.10, 48*1024, 1500, 0.02, &stderr); err != nil {
 		t.Fatal(err)
 	}
 	stderr.Reset()
-	if err := runFleet(strings.NewReader(sampleFleetReport), baseline, false, 0.10, 48*1024, 1500, &stderr); err != nil {
+	if err := runFleet(strings.NewReader(sampleFleetReport), baseline, false, 0.10, 48*1024, 1500, 0.02, &stderr); err != nil {
 		t.Fatalf("identical run failed the gate: %v\n%s", err, stderr.String())
 	}
 
@@ -38,12 +40,13 @@ func TestFleetGateWriteThenCompare(t *testing.T) {
 		{"outage failures", `"outage_failures": 0`, `"outage_failures": 1`, "peer outage"},
 		{"throughput regression", `"predictions_per_sec": 8000`, `"predictions_per_sec": 7000`, "regressed"},
 		{"memory regression", `"rss_bytes_per_machine": 30000`, `"rss_bytes_per_machine": 40000`, "regressed"},
+		{"obs plane cost", `"obs_plane_seconds": 0.5`, `"obs_plane_seconds": 5`, "observability plane cost"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			bad := strings.Replace(sampleFleetReport, tc.old, tc.new, 1)
 			var stderr strings.Builder
-			err := runFleet(strings.NewReader(bad), baseline, false, 0.10, 48*1024, 1500, &stderr)
+			err := runFleet(strings.NewReader(bad), baseline, false, 0.10, 48*1024, 1500, 0.02, &stderr)
 			if err == nil {
 				t.Fatalf("run with %s passed the gate", tc.name)
 			}
@@ -59,17 +62,17 @@ func TestFleetGateAbsoluteThresholds(t *testing.T) {
 	var stderr strings.Builder
 	// Absolute ceilings apply even in -write mode: a failing run must not
 	// become the baseline.
-	if err := runFleet(strings.NewReader(sampleFleetReport), baseline, true, 0.10, 20000, 1500, &stderr); err == nil {
+	if err := runFleet(strings.NewReader(sampleFleetReport), baseline, true, 0.10, 20000, 1500, 0.02, &stderr); err == nil {
 		t.Fatal("over-memory run recorded a baseline")
 	}
 	stderr.Reset()
-	if err := runFleet(strings.NewReader(sampleFleetReport), baseline, true, 0.10, 48*1024, 10000, &stderr); err == nil {
+	if err := runFleet(strings.NewReader(sampleFleetReport), baseline, true, 0.10, 48*1024, 10000, 0.02, &stderr); err == nil {
 		t.Fatal("under-throughput run recorded a baseline")
 	}
 	// Heap is the fallback measure when RSS is unavailable.
 	noRSS := strings.Replace(sampleFleetReport, `"rss_bytes_per_machine": 30000`, `"rss_bytes_per_machine": 0`, 1)
 	stderr.Reset()
-	if err := runFleet(strings.NewReader(noRSS), baseline, true, 0.10, 16000, 1500, &stderr); err != nil {
+	if err := runFleet(strings.NewReader(noRSS), baseline, true, 0.10, 16000, 1500, 0.02, &stderr); err != nil {
 		t.Fatalf("heap fallback under the ceiling failed: %v\n%s", err, stderr.String())
 	}
 }

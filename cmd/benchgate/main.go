@@ -30,6 +30,17 @@
 //	fleetsim -machines 100000 -out BENCH_fleet.json
 //	benchgate -fleet -in BENCH_fleet.json -baseline BENCH_fleet_base.json
 //
+// Fleet mode also bounds the observability plane's cost: the share of run
+// wall time spent in SLO sampling, detector steps and federated metric
+// merges must stay under -max-obs-cost-fraction (default 2%).
+//
+// With -slo the input is an `isharec stats -json` snapshot or a fleetsim
+// report, and the gate fails when any declared serving-path SLO reports a
+// violated QPS floor, p99 ceiling, or error-budget burn rate:
+//
+//	isharec -fed localhost:7000 stats -json | benchgate -slo
+//	fleetsim -out report.json && benchgate -slo -in report.json
+//
 // Baselines are machine-specific: regenerate with -write when switching
 // hardware, and treat the latency gate as meaningful only on comparable
 // machines. Benchmark names are kept verbatim, including any trailing
@@ -226,6 +237,9 @@ func main() {
 		fleet      = flag.Bool("fleet", false, "gate a fleetsim report instead of go test -bench output")
 		maxPerMach = flag.Float64("max-bytes-per-machine", 48*1024, "fleet mode: allowed steady memory per machine (bytes)")
 		minPredSec = flag.Float64("min-predictions-per-sec", 2500, "fleet mode: required prediction throughput")
+		maxObsCost = flag.Float64("max-obs-cost-fraction", 0.02, "fleet mode: allowed share of run wall time spent in the observability plane")
+
+		slo = flag.Bool("slo", false, "gate SLO statuses: every slo in the input (isharec stats -json or a fleetsim report) must report ok")
 	)
 	flag.Parse()
 	var r io.Reader = os.Stdin
@@ -243,7 +257,9 @@ func main() {
 	case *serve:
 		err = runServe(r, *baseline, *write, *tolerance, *minSpeedup, *maxP99Ratio, os.Stderr)
 	case *fleet:
-		err = runFleet(r, *baseline, *write, *tolerance, *maxPerMach, *minPredSec, os.Stderr)
+		err = runFleet(r, *baseline, *write, *tolerance, *maxPerMach, *minPredSec, *maxObsCost, os.Stderr)
+	case *slo:
+		err = runSLO(r, os.Stderr)
 	default:
 		err = run(r, *out, *baseline, *write, *tolerance, os.Stderr)
 	}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSLOGateShapes(t *testing.T) {
+	ok := `[{"name":"query","ok":true,"budget_consumed":0.1}]`
+	cases := []struct {
+		name, in string
+		wantErr  string
+	}{
+		{"bare array ok", ok, ""},
+		{"bare array violated",
+			`[{"name":"query","ok":false,"reason":"QPS 1.00 below floor 50.00"}]`,
+			"1 of 1 SLO(s) violated"},
+		{"query-stats shape", `{"machine_id":"n1","slo":` + ok + `}`, ""},
+		{"fleetsim shape", `{"sim":{"fleet_obs":{"slo":` + ok + `}}}`, ""},
+		{"mixed verdicts",
+			`[{"name":"a","ok":true},{"name":"b","ok":false,"reason":"burn"},{"name":"c","ok":false,"reason":"p99"}]`,
+			"2 of 3 SLO(s) violated"},
+		{"no statuses", `{"machine_id":"n1"}`, "no SLO statuses"},
+		{"garbage", `{{{`, "parsing SLO input"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stderr strings.Builder
+			err := runSLO(strings.NewReader(tc.in), &stderr)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("gate failed: %v\n%s", err, stderr.String())
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("gate passed, want error containing %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestSLOGateViolationNamesReason(t *testing.T) {
+	var stderr strings.Builder
+	in := `[{"name":"query","ok":false,"reason":"QPS 1.00 below floor 50.00"}]`
+	if err := runSLO(strings.NewReader(in), &stderr); err == nil {
+		t.Fatal("violated SLO passed the gate")
+	}
+	if !strings.Contains(stderr.String(), "QPS 1.00 below floor 50.00") {
+		t.Errorf("stderr does not carry the violation reason:\n%s", stderr.String())
+	}
+}

@@ -1,11 +1,15 @@
 // Command doccheck is the repository's documentation linter, run by `make
-// lint`. It enforces two freshness invariants that plain `go vet` does not:
+// lint`. It enforces three freshness invariants that plain `go vet` does not:
 //
 //   - every exported symbol in the audited packages (-pkgs) carries a doc
 //     comment, so `go doc` is never blank on API surface;
 //   - every command-line flag registered by the audited binaries (-flagdirs)
 //     is mentioned in the README flag reference (-readme), so the operator
-//     docs cannot silently fall behind the binaries.
+//     docs cannot silently fall behind the binaries;
+//   - every metric registered in the audited packages (-metricdirs) is
+//     hygienic: a literal fgcs_-prefixed snake_case name, help text that is
+//     a sentence ending in a period, and no label key whose cardinality
+//     grows with the fleet (machine ids, job ids, addresses).
 //
 // It prints one line per violation and exits non-zero if any were found.
 //
@@ -29,9 +33,10 @@ import (
 
 func main() {
 	var (
-		pkgs     = flag.String("pkgs", "internal/ishare,internal/predict,internal/obs,internal/otrace,internal/fleetsim", "comma-separated package directories audited for exported-symbol doc comments")
-		flagDirs = flag.String("flagdirs", "cmd/ishared,cmd/isharec,cmd/fleetsim", "comma-separated command directories whose registered flags must appear in the README")
-		readme   = flag.String("readme", "README.md", "operator document that must mention every registered flag")
+		pkgs       = flag.String("pkgs", "internal/ishare,internal/predict,internal/obs,internal/otrace,internal/fleetsim", "comma-separated package directories audited for exported-symbol doc comments")
+		flagDirs   = flag.String("flagdirs", "cmd/ishared,cmd/isharec,cmd/fleetsim", "comma-separated command directories whose registered flags must appear in the README")
+		readme     = flag.String("readme", "README.md", "operator document that must mention every registered flag")
+		metricDirs = flag.String("metricdirs", "internal/ishare,internal/predict,internal/monitor,internal/obs,internal/fleetsim", "comma-separated package directories audited for metrics hygiene")
 	)
 	flag.Parse()
 	var problems []string
@@ -51,6 +56,11 @@ func main() {
 		fatal(err)
 	}
 	problems = append(problems, flagProblems...)
+	metricProblems, err := metricsHygiene(strings.Split(*metricDirs, ","))
+	if err != nil {
+		fatal(err)
+	}
+	problems = append(problems, metricProblems...)
 	if len(problems) > 0 {
 		for _, p := range problems {
 			fmt.Fprintln(os.Stderr, p)

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"fgcs/internal/fleetsim"
+	"fgcs/internal/obs"
 )
 
 func main() {
@@ -39,6 +40,10 @@ func main() {
 		ticks       = flag.Int("ticks", 24, "traffic ticks; default crosses midnight from the 23:00 start")
 		queries     = flag.Int("queries-per-tick", 0, "fleet-wide queries per tick (0 = max(200, machines/50))")
 		workers     = flag.Int("workers", 0, "traffic parallelism (0 = GOMAXPROCS); part of the deterministic config")
+		perturbRate = flag.Float64("perturb-rate", 0, "arm the drift scenario: per-slot outage probability injected into one behavior class mid-run (0 = off)")
+		perturbProf = flag.Int("perturb-profile", 0, "behavior class the perturbation hits")
+		perturbTick = flag.Int("perturb-tick", 0, "first perturbed tick (0 = ticks/2)")
+		driftLambda = flag.Float64("drift-lambda", 0, "Page–Hinkley alarm threshold for the accuracy-drift watchers (0 = default)")
 		out         = flag.String("out", "-", "write the full JSON report here (- = stdout)")
 		verify      = flag.Bool("verify", false, "run twice and fail unless the deterministic sections are byte-identical")
 		quiet       = flag.Bool("q", false, "suppress phase progress on stderr")
@@ -46,17 +51,21 @@ func main() {
 	flag.Parse()
 
 	cfg := fleetsim.Config{
-		Machines:       *machines,
-		Gateways:       *gateways,
-		Replicas:       *replicas,
-		Vnodes:         *vnodes,
-		Seed:           *seed,
-		Profiles:       *profiles,
-		HistoryDays:    *historyDays,
-		Period:         *period,
-		Ticks:          *ticks,
-		QueriesPerTick: *queries,
-		Workers:        *workers,
+		Machines:        *machines,
+		Gateways:        *gateways,
+		Replicas:        *replicas,
+		Vnodes:          *vnodes,
+		Seed:            *seed,
+		Profiles:        *profiles,
+		HistoryDays:     *historyDays,
+		Period:          *period,
+		Ticks:           *ticks,
+		QueriesPerTick:  *queries,
+		Workers:         *workers,
+		Drift:           obs.DriftConfig{Lambda: *driftLambda},
+		PerturbFailRate: *perturbRate,
+		PerturbProfile:  *perturbProf,
+		PerturbTick:     *perturbTick,
 	}
 	if !*quiet {
 		cfg.Progress = func(format string, args ...any) {

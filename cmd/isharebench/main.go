@@ -61,11 +61,11 @@ type ProtoReport struct {
 
 // Report is the BENCH_serve.json document.
 type Report struct {
-	Conns      int     `json:"conns"`
-	TargetQPS  float64 `json:"target_qps"`
-	Seed       uint64  `json:"seed"`
-	WorkSecs   float64 `json:"work_seconds"`
-	MemMB      float64 `json:"mem_mb"`
+	Conns      int          `json:"conns"`
+	TargetQPS  float64      `json:"target_qps"`
+	Seed       uint64       `json:"seed"`
+	WorkSecs   float64      `json:"work_seconds"`
+	MemMB      float64      `json:"mem_mb"`
 	JSON       *ProtoReport `json:"json,omitempty"`
 	Binary     *ProtoReport `json:"binary,omitempty"`
 	SpeedupQPS float64      `json:"speedup_qps,omitempty"`
@@ -387,8 +387,8 @@ func drive(caller *ishare.Caller, binary bool, addr string, duration, warmup tim
 		P99us:           pct(0.99),
 		P999us:          pct(0.999),
 		Errors: map[string]int64{
-			"transport":  atomic.LoadInt64(&transport),
-			"overloaded": atomic.LoadInt64(&overloaded),
+			"transport":   atomic.LoadInt64(&transport),
+			"overloaded":  atomic.LoadInt64(&overloaded),
 			"application": atomic.LoadInt64(&app),
 		},
 	}, nil

@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"fgcs/internal/ishare"
+	"fgcs/internal/obs"
 	"fgcs/internal/otrace"
 )
 
@@ -59,7 +60,7 @@ func main() {
 	flag.Parse()
 	logger := otrace.NewLogger(os.Stderr, otrace.ParseLevel(*logLevel), *logJSON, nil)
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: isharec [flags] rank|submit|run|status|kill|stats|traces [subflags]")
+		fmt.Fprintln(os.Stderr, "usage: isharec [flags] rank|submit|run|status|kill|stats|alerts|traces [subflags]")
 		os.Exit(2)
 	}
 	cl := client{
@@ -327,6 +328,8 @@ func run(cl client, cmd string, args []string) error {
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
 		calib := fs.Bool("calibration", false, "include the per-predictor calibration tables")
 		verbose := fs.Bool("verbose", false, "include wire-protocol details: the negotiated protocol/version and the server's connection and shed counters")
+		fleet := fs.Bool("fleet", false, "print the fleet-wide merged observability view instead (requires -fed: the entry peer fans query-obs out over the ring)")
+		alertLimit := fs.Int("alert-limit", 20, "with -fleet: newest merged alerts to keep (0 = all)")
 		asJSON := fs.Bool("json", false, "print the raw JSON snapshot")
 		if err := fs.Parse(args); err != nil {
 			return err
@@ -339,8 +342,31 @@ func run(cl client, cmd string, args []string) error {
 		if gateway == "" {
 			return fmt.Errorf("stats needs -gateway or -fed")
 		}
+		if *fleet && cl.fed == "" {
+			return fmt.Errorf("stats -fleet needs -fed (only a federation peer can merge the ring)")
+		}
 		ctx, root := cl.startRoot("client.stats")
 		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
+		if *fleet {
+			resp, err := api.QueryObs(ctx, ishare.QueryObsReq{MaxAlerts: *alertLimit})
+			cl.finishRoot(root, err)
+			if err != nil {
+				return err
+			}
+			if resp.Fleet == nil {
+				return fmt.Errorf("peer %s returned no fleet view (not a federation peer?)", resp.Peer)
+			}
+			if *asJSON {
+				out, err := json.MarshalIndent(resp.Fleet, "", "  ")
+				if err != nil {
+					return err
+				}
+				fmt.Println(string(out))
+				return nil
+			}
+			printFleet(resp.Peer, resp.Fleet)
+			return nil
+		}
 		st, err := api.QueryStats(ctx, ishare.QueryStatsReq{Calibration: *calib})
 		cl.finishRoot(root, err)
 		if err != nil {
@@ -358,6 +384,43 @@ func run(cl client, cmd string, args []string) error {
 		if *verbose {
 			printWire(cl, gateway, st.Wire)
 		}
+		return nil
+	case "alerts":
+		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+		limit := fs.Int("limit", 20, "newest alerts to print (0 = all retained)")
+		asJSON := fs.Bool("json", false, "print the raw JSON alerts")
+		if err := fs.Parse(args); err != nil {
+			return err
+		}
+		if gateway == "" {
+			gateway = cl.fed
+		}
+		if gateway == "" {
+			return fmt.Errorf("alerts needs -gateway or -fed")
+		}
+		api := ishare.RemoteGateway{Addr: gateway, Timeout: timeout, Caller: cl.caller}
+		resp, err := api.QueryObs(context.Background(), ishare.QueryObsReq{Local: true})
+		if err != nil {
+			return err
+		}
+		po, err := obs.DecodeObsSnapshot(resp.Snapshot)
+		if err != nil {
+			return fmt.Errorf("peer %s sent an undecodable obs snapshot: %w", resp.Peer, err)
+		}
+		alerts := po.Alerts
+		if *limit > 0 && len(alerts) > *limit {
+			alerts = alerts[len(alerts)-*limit:]
+		}
+		if *asJSON {
+			out, err := json.MarshalIndent(alerts, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+			return nil
+		}
+		fmt.Printf("node %s: %d alert(s) retained\n", resp.Peer, len(po.Alerts))
+		printAlerts(alerts)
 		return nil
 	case "traces":
 		fs := flag.NewFlagSet(cmd, flag.ExitOnError)
@@ -465,6 +528,87 @@ func printRing(r *ishare.RingStats) {
 	}
 }
 
+// printAlerts renders an alert list, oldest first.
+func printAlerts(alerts []obs.Alert) {
+	for _, a := range alerts {
+		scope := a.Machine
+		if a.Predictor != "" {
+			scope += "/" + a.Predictor
+		}
+		if a.Peer != "" {
+			scope = a.Peer + ":" + scope
+		}
+		fmt.Printf("  %s %-16s %-24s %s\n", a.Time.Format(time.RFC3339), a.Kind, scope, a.Message)
+	}
+}
+
+// printSLO renders serving-path SLO verdicts.
+func printSLO(statuses []obs.SLOStatus) {
+	for _, st := range statuses {
+		verdict := "ok"
+		if !st.OK {
+			verdict = "VIOLATED: " + st.Reason
+		}
+		fmt.Printf("slo %s: %s (qps %.2f, p99 %.1fms, burn short %.2fx long %.2fx, budget used %.1f%%)\n",
+			st.Name, verdict, st.Short.QPS, 1000*st.Short.P99Seconds,
+			st.Short.BurnRate, st.Long.BurnRate, 100*st.BudgetConsumed)
+	}
+}
+
+// printFleet renders the merged fleet observability view an entry peer
+// assembled by fanning query-obs out over its ring.
+func printFleet(entry string, v *obs.FleetView) {
+	ok, stale, unreachable := 0, 0, 0
+	for _, p := range v.Peers {
+		switch p.Status {
+		case obs.PeerStale:
+			stale++
+		case obs.PeerUnreachable:
+			unreachable++
+		default:
+			ok++
+		}
+	}
+	fmt.Printf("fleet via %s: %d peer(s) — %d ok, %d stale, %d unreachable\n",
+		entry, len(v.Peers), ok, stale, unreachable)
+	for _, p := range v.Peers {
+		switch p.Status {
+		case obs.PeerStale:
+			fmt.Printf("  %-10s stale (%.0fs old): %s\n", p.Peer, p.AgeSeconds, p.Err)
+		case obs.PeerUnreachable:
+			fmt.Printf("  %-10s unreachable: %s\n", p.Peer, p.Err)
+		default:
+			fmt.Printf("  %-10s ok\n", p.Peer)
+		}
+	}
+	fmt.Printf("accuracy: %d resolved, %d dropped across the fleet\n", v.Resolved, v.Dropped)
+	if len(v.Accuracy) > 0 {
+		fmt.Printf("%-12s %-9s %9s %9s %8s %8s %8s %8s\n",
+			"machine", "predictor", "resolved", "survived", "meanTR", "empir", "brier", "acc")
+		for _, a := range v.Accuracy {
+			fmt.Printf("%-12s %-9s %9d %9d %8.4f %8.4f %8.4f %8.4f\n",
+				a.Machine, a.Predictor, a.Resolved, a.Survived, a.MeanTR, a.Empirical, a.Brier, a.Accuracy)
+		}
+	}
+	if len(v.Counters) > 0 {
+		ids := make([]string, 0, len(v.Counters))
+		for id := range v.Counters {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		fmt.Println("merged counters:")
+		for _, id := range ids {
+			fmt.Printf("  %s %d\n", id, v.Counters[id])
+		}
+	}
+	fmt.Printf("alerts: %d total", v.AlertsTotal)
+	if len(v.Alerts) < v.AlertsTotal {
+		fmt.Printf(" (newest %d shown)", len(v.Alerts))
+	}
+	fmt.Println()
+	printAlerts(v.Alerts)
+}
+
 // printStats renders the observability snapshot as an operator summary: the
 // engine cache effectiveness, the served request mix, and the paper's online
 // predictor comparison (SMP vs the linear baselines).
@@ -473,6 +617,9 @@ func printStats(st ishare.QueryStatsResp) {
 		st.MachineID, st.MonitorSamples, st.PendingPredictions)
 	if st.Ring != nil {
 		printRing(st.Ring)
+	}
+	if len(st.SLO) > 0 {
+		printSLO(st.SLO)
 	}
 	hitRate := 0.0
 	if total := st.Engine.Hits + st.Engine.Misses; total > 0 {

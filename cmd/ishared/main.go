@@ -46,6 +46,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -87,6 +88,8 @@ func main() {
 		traceSample  = flag.Float64("trace-sample", 1, "fraction of served requests to trace into the flight recorder (0 disables tracing)")
 		traceSeed    = flag.Uint64("trace-seed", 0, "seed for trace IDs and sampling decisions (0 = fixed default; any fixed seed gives reproducible traces)")
 		traceBuffer  = flag.Int("trace-buffer", otrace.DefaultCapacity, "completed traces retained by the flight recorder")
+		sloSpecs     = flag.String("slo", "", "comma-separated serving-path SLOs, each name:qps=<floor>;p99=<dur>;budget=<fraction> (optional ;fast=;slow=;short=;long= burn tuning); statuses are served in query-stats and violations fire burn-rate alerts")
+		obsEvery     = flag.Duration("obs-every", 15*time.Second, "SLO sampling and drift/ops detector step interval (0 disables the loop)")
 		dataDir      = flag.String("data-dir", "", "durable state directory: WAL + snapshots, recovered on restart (empty = stateless)")
 		snapEvery    = flag.Duration("snapshot-every", 5*time.Minute, "durable snapshot interval; a final snapshot is always written on clean shutdown")
 		fsyncMode    = flag.String("fsync", "always", "WAL sync policy: always (fsync per record), batch (fsync on rotation/snapshot) or off")
@@ -102,6 +105,7 @@ func main() {
 		ttl: *ttl, hbEvery: *hbEvery, reapEvery: *reapEvery, obsAddr: *obsAddr,
 		peers: *peers, vnodes: *vnodes, replicas: *replicas, syncEvery: *syncEvery,
 		traceSample: *traceSample, traceSeed: *traceSeed, flight: flight, logger: logger,
+		slo: *sloSpecs, obsEvery: *obsEvery,
 		dataDir: *dataDir, snapEvery: *snapEvery, fsync: *fsyncMode, recoverMode: *recoverMode,
 		serveCfg: ishare.ServerConfig{
 			MaxInflight:      *maxInflight,
@@ -131,6 +135,9 @@ type runConfig struct {
 	traceSeed                    uint64
 	flight                       *otrace.Recorder
 	logger                       *slog.Logger
+	// slo carries the -slo specs; obsEvery paces the detector/SLO loop.
+	slo      string
+	obsEvery time.Duration
 	// dataDir enables durable state (WAL + snapshots); empty = stateless.
 	dataDir   string
 	snapEvery time.Duration
@@ -148,14 +155,20 @@ type runConfig struct {
 // pprof and /traces responses to finish before closing the listener.
 const obsDrainTimeout = 5 * time.Second
 
-// serveObs exposes the node's metrics registry, the pprof handlers, and the
-// flight recorder's /traces endpoints on a mux of its own, so profiling never
+// serveObs exposes the node's metrics registry (plus the fleet-wide merged
+// view under /metrics?scope=fleet when fleet is non-nil), liveness and
+// readiness probes, the alert ring, the pprof handlers, and the flight
+// recorder's /traces endpoints on a mux of its own, so profiling never
 // shares a port with the gateway protocol. The server carries read/write
 // timeouts (a stuck scraper cannot pin a connection open forever) and is
 // returned so shutdown can drain it cleanly.
-func serveObs(addr string, o *ishare.NodeObs, flight *otrace.Recorder, logger *slog.Logger) (*http.Server, net.Listener, error) {
+func serveObs(addr string, o *ishare.NodeObs, flight *otrace.Recorder, logger *slog.Logger,
+	ready func() error, fleet func(*http.Request) (*obs.FleetSnapshot, error)) (*http.Server, net.Listener, error) {
 	mux := http.NewServeMux()
-	mux.Handle("/metrics", obs.Handler(o.Registry, o.Tracker))
+	mux.Handle("/metrics", obs.FleetHandler(o.Registry, o.Tracker, fleet))
+	mux.Handle("/healthz", obs.HealthHandler())
+	mux.Handle("/readyz", obs.ReadyHandler(ready))
+	mux.Handle("/alerts", obs.AlertsHandler(o.Alerts))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -183,6 +196,49 @@ func serveObs(addr string, o *ishare.NodeObs, flight *otrace.Recorder, logger *s
 		}
 	}()
 	return srv, ln, nil
+}
+
+// setupObsOps installs the -slo monitors, bridges every fired alert into a
+// WARN log line (which the otrace logger also retains next to the flight
+// recorder's traces), and starts the periodic loop that samples the SLOs and
+// steps the drift and ops detectors. The returned stop halts the loop.
+func setupObsOps(o *ishare.NodeObs, sloSpecs string, every time.Duration, logger *slog.Logger) (func(), error) {
+	for _, spec := range strings.Split(sloSpecs, ",") {
+		spec = strings.TrimSpace(spec)
+		if spec == "" {
+			continue
+		}
+		slo, err := obs.ParseSLO(spec)
+		if err != nil {
+			return nil, fmt.Errorf("-slo: %w", err)
+		}
+		o.AddSLO(obs.NewSLOMonitor(slo))
+		logger.Info("slo armed", slog.String("slo", slo.Name))
+	}
+	o.Alerts.OnAppend(func(a obs.Alert) {
+		logger.Warn("alert fired",
+			slog.String("kind", a.Kind),
+			slog.String("machine", a.Machine),
+			slog.String("predictor", a.Predictor),
+			slog.String("msg", a.Message))
+	})
+	if every <= 0 {
+		return func() {}, nil
+	}
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(every)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case now := <-t.C:
+				o.StepObs(now)
+			}
+		}
+	}()
+	return func() { close(done) }, nil
 }
 
 // flightFile is the persisted flight-recorder snapshot inside -data-dir.
@@ -326,9 +382,17 @@ func runFed(rc runConfig) error {
 	if err != nil {
 		return err
 	}
+	stopObsOps, err := setupObsOps(nodeObs, rc.slo, rc.obsEvery, fedLogger)
+	if err != nil {
+		return err
+	}
+	defer stopObsOps()
 	// Durable shard state: this peer's owned/replicated registry entries.
 	// Restored before serving, so the peer rejoins the ring with its shard
-	// intact instead of waiting for anti-entropy to repopulate it.
+	// intact instead of waiting for anti-entropy to repopulate it. /readyz
+	// reports the peer unready until recovery lands and a clean anti-entropy
+	// round has confirmed ring convergence.
+	gw.SetRecoveryPending(rc.dataDir != "")
 	st, rec, err := openDurable(rc, fedLogger)
 	if err != nil {
 		return err
@@ -341,6 +405,7 @@ func runFed(rc runConfig) error {
 		stop := persist.StartSnapshots(rc.snapEvery)
 		defer stop()
 	}
+	gw.SetRecoveryPending(false)
 	loadPrevFlight(rc, nodeObs, fedLogger)
 	srv, err := gw.ServeConfig(rc.listen, rc.serveCfg)
 	if err != nil {
@@ -353,7 +418,10 @@ func runFed(rc runConfig) error {
 	}
 	var obsSrv *http.Server
 	if rc.obsAddr != "" {
-		httpSrv, ln, err := serveObs(rc.obsAddr, nodeObs, rc.flight, fedLogger)
+		fleet := func(req *http.Request) (*obs.FleetSnapshot, error) {
+			return gw.FleetObs(req.Context()), nil
+		}
+		httpSrv, ln, err := serveObs(rc.obsAddr, nodeObs, rc.flight, fedLogger, gw.Ready, fleet)
 		if err != nil {
 			return err
 		}
@@ -488,6 +556,11 @@ func run(rc runConfig) error {
 		stop := node.Persist.StartSnapshots(rc.snapEvery)
 		defer stop()
 	}
+	stopObsOps, err := setupObsOps(node.Obs(), rc.slo, rc.obsEvery, nodeLogger)
+	if err != nil {
+		return err
+	}
+	defer stopObsOps()
 	loadPrevFlight(rc, node.Obs(), nodeLogger)
 	if rc.traceSample > 0 {
 		node.Obs().SetTracing(otrace.New(otrace.Config{
@@ -501,16 +574,26 @@ func run(rc runConfig) error {
 		return err
 	}
 	defer srv.Close()
+	// Host readiness: durable recovery already landed (NewHostNode is
+	// synchronous), so the remaining gate is the initial registration and
+	// monitor start below.
+	var started atomic.Bool
+	readyCheck := func() error {
+		if !started.Load() {
+			return fmt.Errorf("startup in flight: registration or monitor start pending")
+		}
+		return nil
+	}
 	var obsSrv *http.Server
 	if rc.obsAddr != "" {
-		httpSrv, ln, err := serveObs(rc.obsAddr, node.Obs(), rc.flight, nodeLogger)
+		httpSrv, ln, err := serveObs(rc.obsAddr, node.Obs(), rc.flight, nodeLogger, readyCheck, nil)
 		if err != nil {
 			return err
 		}
 		obsSrv = httpSrv
 		nodeLogger.Info("observability listening",
 			slog.String("addr", ln.Addr().String()),
-			slog.String("endpoints", "/metrics /debug/pprof/ /traces"))
+			slog.String("endpoints", "/metrics /healthz /readyz /alerts /debug/pprof/ /traces"))
 	}
 	if registry != "" {
 		// Registration failures here are fatal (the operator asked to
@@ -527,6 +610,7 @@ func run(rc runConfig) error {
 	}
 	node.Start()
 	defer node.Stop()
+	started.Store(true)
 	nodeLogger.Info("host node up",
 		slog.String("gateway", srv.Addr()),
 		slog.Duration("period", trace.DefaultPeriod),

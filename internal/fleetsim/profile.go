@@ -32,7 +32,22 @@ type profile struct {
 	memSlack   float64 // fraction of memory free at zero load
 	failPerDay float64 // probability of one down window per day
 
+	// Perturbation: from perturbFrom on (when perturbRate > 0), the class
+	// abandons its one-window-per-day failure structure for independent
+	// per-slot outages at perturbRate — an abrupt reliability regression
+	// the drift detector must catch. Still a pure function of (seed, time,
+	// config): the schedule is hash-derived, never stream-drawn.
+	perturbFrom time.Time
+	perturbRate float64
+
 	machine *trace.Machine // shared preloaded history (read-only)
+}
+
+// perturb arms the mid-run failure regression. Call before the run starts
+// feeding samples (fleet build time), with a deterministic from.
+func (p *profile) perturb(from time.Time, rate float64) {
+	p.perturbFrom = from
+	p.perturbRate = rate
 }
 
 // genProfiles derives n behavior classes from the fleet seed and builds
@@ -69,6 +84,12 @@ func (p *profile) sampleAt(t time.Time) trace.Sample {
 	slot := int(t.Sub(midnight) / p.period)
 	if s, e, ok := p.downWindow(day); ok && slot >= s && slot < e {
 		return trace.Sample{Up: false}
+	}
+	if p.perturbRate > 0 && !t.Before(p.perturbFrom) {
+		h := mix64(p.seed ^ 0xA24BAED4963EE407 ^ uint64(day)*0x9E3779B97F4A7C15 ^ uint64(slot)*0x94D049BB133111EB)
+		if unit(h) < p.perturbRate {
+			return trace.Sample{Up: false}
+		}
 	}
 	hour := float64(t.Sub(midnight)) / float64(time.Hour)
 	diurnal := 0.5 * (1 + math.Cos(2*math.Pi*(hour-p.peakHour)/24))

@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"fgcs/internal/obs"
 )
 
 // Report is the output of one fleet run, split along the determinism
@@ -33,6 +35,10 @@ type SimStats struct {
 	Ticks         int     `json:"ticks"`
 	Workers       int     `json:"workers"`
 	Seed          uint64  `json:"seed"`
+	// Perturbation echo (zero unless the run arms a failure regression).
+	PerturbProfile  int     `json:"perturb_profile,omitempty"`
+	PerturbTick     int     `json:"perturb_tick,omitempty"`
+	PerturbFailRate float64 `json:"perturb_fail_rate,omitempty"`
 
 	// Registration storm and heartbeat refresh.
 	Registered             int     `json:"registered"`
@@ -77,6 +83,39 @@ type SimStats struct {
 	TrackerMachines        int    `json:"tracker_machines"`
 
 	Utilization UtilizationStats `json:"utilization"`
+
+	FleetObs FleetObsStats `json:"fleet_obs"`
+}
+
+// FleetObsStats is the deterministic fleet-observability block: what the
+// federated aggregation saw, which alerts the detectors fired, and the SLO
+// verdicts — all pure functions of the Config (only the seeded gateway
+// request/error counters are included; scheduling-dependent series such as
+// engine-cache hits are deliberately left out).
+type FleetObsStats struct {
+	// Final post-heal aggregation sweep.
+	PeersOK          int `json:"peers_ok"`
+	PeersStale       int `json:"peers_stale"`
+	PeersUnreachable int `json:"peers_unreachable"`
+	// Aggregation sweep taken while one federation peer was down: its
+	// warmed export must merge as stale, and the merged fed-query-tr
+	// counter must equal the direct per-registry sum exactly.
+	OutagePeersOK          int    `json:"outage_peers_ok"`
+	OutagePeersStale       int    `json:"outage_peers_stale"`
+	OutagePeersUnreachable int    `json:"outage_peers_unreachable"`
+	OutageMergedFedQueryTR uint64 `json:"outage_merged_fed_query_tr"`
+	OutageDirectFedQueryTR uint64 `json:"outage_direct_fed_query_tr"`
+	// Merged gateway counters by series id, and tracker totals.
+	GatewayRequests map[string]uint64 `json:"gateway_requests,omitempty"`
+	GatewayErrors   map[string]uint64 `json:"gateway_errors,omitempty"`
+	Resolved        uint64            `json:"resolved"`
+	Dropped         uint64            `json:"dropped"`
+	// Alerts fired over the run (AlertsTotal is the true count; Alerts
+	// keeps the newest maxReportAlerts).
+	AlertsTotal  int             `json:"alerts_total"`
+	AlertsByKind map[string]int  `json:"alerts_by_kind,omitempty"`
+	Alerts       []obs.Alert     `json:"alerts,omitempty"`
+	SLO          []obs.SLOStatus `json:"slo,omitempty"`
 }
 
 // UtilizationStats is the fleet-level utilization/waste report: how much
@@ -130,6 +169,12 @@ type PerfStats struct {
 	RSSBytesPerMachine  float64 `json:"rss_bytes_per_machine"`
 	ResponseBytes       int64   `json:"response_bytes"`
 	Goroutines          int     `json:"goroutines"`
+	// Observability-plane cost: total wall time spent in obs work (SLO
+	// sampling, detector steps, federated aggregation), the final
+	// aggregation sweep alone, and aggregation traffic per remote peer.
+	ObsPlaneSeconds     float64 `json:"obs_plane_seconds"`
+	ObsAggregateSeconds float64 `json:"obs_aggregate_seconds"`
+	ObsBytesPerPeer     float64 `json:"obs_bytes_per_peer"`
 }
 
 // DeterministicBytes renders the Sim section alone; two same-seed runs must
@@ -171,6 +216,17 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "utilization: up %.1f%%, mean load %.1f%%, harvestable %.1f%%; SMP accuracy %.3f (wasted %.3f), mean TR %.3f vs empirical %.3f\n",
 		100*u.UpFraction, u.MeanCPUPercent, 100*u.HarvestableFraction,
 		u.SMPAccuracy, u.WastedFraction, u.MeanPredictedTR, u.SMPEmpiricalSurvival)
+	fo := &s.FleetObs
+	sloState := "none"
+	if len(fo.SLO) > 0 {
+		sloState = "ok"
+		if !fo.SLO[0].OK {
+			sloState = "VIOLATED (" + fo.SLO[0].Reason + ")"
+		}
+	}
+	fmt.Fprintf(&b, "obs: %d/%d/%d peers ok/stale/unreachable (outage sweep %d stale), %d alerts, slo %s, %.0f B/peer %.1fms merge\n",
+		fo.PeersOK, fo.PeersStale, fo.PeersUnreachable, fo.OutagePeersStale,
+		fo.AlertsTotal, sloState, p.ObsBytesPerPeer, 1000*p.ObsAggregateSeconds)
 	fmt.Fprintf(&b, "perf: %.0f predictions/s, p50 %.0fus p99 %.0fus, %.0f samples/s, %.0f registrations/s\n",
 		p.PredictionsPerSec, p.LatencyP50Micros, p.LatencyP99Micros, p.SamplesPerSec, p.RegistrationsPerSec)
 	fmt.Fprintf(&b, "memory: heap %.1f MiB (%.0f B/machine), rss %.1f MiB (%.0f B/machine)\n",

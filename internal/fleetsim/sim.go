@@ -15,6 +15,7 @@ import (
 	"hash/fnv"
 	"math"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -99,6 +100,17 @@ type Config struct {
 	// EvictEvery is the tick interval between tracker eviction sweeps
 	// (default 4).
 	EvictEvery int
+	// Drift tunes the per-peer accuracy-drift watchers (zero fields select
+	// the obs package defaults).
+	Drift obs.DriftConfig
+	// PerturbFailRate, when > 0, arms the drift scenario: behavior profile
+	// PerturbProfile switches to independent per-slot outages at this rate
+	// from PerturbTick on (default 0 = disabled).
+	PerturbFailRate float64
+	// PerturbProfile is the perturbed behavior class (default 0).
+	PerturbProfile int
+	// PerturbTick is the first perturbed tick (default Ticks/2).
+	PerturbTick int
 	// Progress, when set, receives phase-level progress lines.
 	Progress func(format string, args ...any)
 }
@@ -167,6 +179,9 @@ func (c Config) withDefaults() Config {
 	if c.EvictEvery <= 0 {
 		c.EvictEvery = 4
 	}
+	if c.PerturbFailRate > 0 && c.PerturbTick <= 0 {
+		c.PerturbTick = c.Ticks / 2
+	}
 	return c
 }
 
@@ -192,6 +207,17 @@ func (c Config) validate() error {
 	if time.Duration(c.HeartbeatEvery)*c.Period >= c.RegistryTTL {
 		return fmt.Errorf("fleetsim: heartbeat interval %v not below registry TTL %v",
 			time.Duration(c.HeartbeatEvery)*c.Period, c.RegistryTTL)
+	}
+	if c.PerturbFailRate > 0 {
+		if c.PerturbFailRate > 1 {
+			return fmt.Errorf("fleetsim: perturb fail rate %v above 1", c.PerturbFailRate)
+		}
+		if c.PerturbProfile < 0 || c.PerturbProfile >= c.Profiles {
+			return fmt.Errorf("fleetsim: perturb profile %d out of range [0, %d)", c.PerturbProfile, c.Profiles)
+		}
+		if c.PerturbTick >= c.Ticks {
+			return fmt.Errorf("fleetsim: perturb tick %d must be below ticks %d", c.PerturbTick, c.Ticks)
+		}
 	}
 	return nil
 }
@@ -251,8 +277,12 @@ type fleet struct {
 	peers    []ishare.Peer
 	feds     []*ishare.FedGateway
 	machines []*simMachine
-	obsv     *ishare.NodeObs
-	ctx      context.Context
+	// peerObs is each federation peer's observability bundle; machine i's
+	// serving stack records into peerObs[i % Gateways], so every peer owns
+	// the metrics and accuracy streams of its machine cohort and the fleet
+	// view only exists after federated aggregation — the production shape.
+	peerObs []*ishare.NodeObs
+	ctx     context.Context
 
 	registered int // machines registered in the initial storm
 	leavers    int // machines[0:leavers] leave at ChurnTick
@@ -262,6 +292,13 @@ type fleet struct {
 
 	lastLeaverRefresh time.Time // last registration covering the leavers
 	lastActiveRefresh time.Time // last registration covering survivors
+
+	// Obs-plane state: alerts fired across the run (peer-stamped, in
+	// peer-then-tick order), the fleet serving SLO fed on the virtual
+	// clock, and the post-churn merged snapshot finalize reports from.
+	alerts    []obs.Alert
+	slo       *obs.SLOMonitor
+	fleetSnap *obs.FleetSnapshot
 }
 
 func (f *fleet) progress(format string, args ...any) {
@@ -290,6 +327,7 @@ func (f *fleet) newFed(i int) (*ishare.FedGateway, error) {
 		Caller:   f.newCaller(),
 		Timeout:  rpcTimeout,
 		Clock:    f.clock,
+		Obs:      f.peerObs[i],
 	})
 }
 
@@ -324,6 +362,11 @@ func Run(cfg Config) (*Report, error) {
 		Workers:       cfg.Workers,
 		Seed:          cfg.Seed,
 	}}
+	if cfg.PerturbFailRate > 0 {
+		rep.Sim.PerturbProfile = cfg.PerturbProfile
+		rep.Sim.PerturbTick = cfg.PerturbTick
+		rep.Sim.PerturbFailRate = cfg.PerturbFailRate
+	}
 	runStart := time.Now()
 
 	f, err := buildFleet(cfg, rep)
@@ -333,6 +376,7 @@ func Run(cfg Config) (*Report, error) {
 	f.registerStorm(rep)
 	f.trafficPhase(rep)
 	f.churnPhase(rep)
+	f.obsPhase(rep)
 	f.finalize(rep)
 
 	rep.Perf.TotalSeconds = time.Since(runStart).Seconds()
@@ -350,17 +394,40 @@ func buildFleet(cfg Config, rep *Report) (*fleet, error) {
 		ctx:   context.Background(),
 	}
 	profs := genProfiles(cfg.Seed, cfg.Profiles, cfg.Period, cfg.HistoryDays, midnight0)
+	if cfg.PerturbFailRate > 0 {
+		// Samples at tick k carry the timestamp simStart + (k+1)*Period, so
+		// arming at PerturbTick's timestamp perturbs that tick onward.
+		profs[cfg.PerturbProfile].perturb(
+			simStart.Add(time.Duration(cfg.PerturbTick+1)*cfg.Period), cfg.PerturbFailRate)
+	}
 
-	// One observability bundle, accuracy tracker and prediction engine for
-	// the whole fleet: per-machine copies of each are exactly the O(M)
-	// overhead this simulation exists to keep bounded.
-	f.obsv = ishare.NewNodeObs()
-	f.obsv.Tracker.SetRetention(obs.RetentionPolicy{
-		MaxMachines: cfg.TrackerMaxMachines,
-		IdleTTL:     cfg.TrackerIdleTTL,
-	})
+	// One observability bundle (registry, accuracy tracker, drift watcher,
+	// alert ring) per federation peer: machine i records into its peer
+	// group's bundle, and the fleet-level view exists only after federated
+	// aggregation merges the per-peer exports — the production shape. The
+	// prediction engine stays fleet-shared; its cache metrics land on peer
+	// 0's registry.
+	f.peerObs = make([]*ishare.NodeObs, cfg.Gateways)
+	for i := range f.peerObs {
+		o := ishare.NewNodeObs()
+		o.Tracker.SetRetention(obs.RetentionPolicy{
+			MaxMachines: cfg.TrackerMaxMachines,
+			IdleTTL:     cfg.TrackerIdleTTL,
+		})
+		o.SetDriftConfig(cfg.Drift)
+		f.peerObs[i] = o
+	}
 	engine := predict.NewEngine(predict.EngineConfig{CacheSize: cfg.EngineCacheSize})
-	engine.SetMetrics(f.obsv.Engine)
+	engine.SetMetrics(f.peerObs[0].Engine)
+	f.slo = obs.NewSLOMonitor(obs.SLO{
+		Name: "fleet-query",
+		// Floor at a quarter of the configured fleet rate: deterministic
+		// headroom over the exact per-tick rate the replay produces.
+		QPSFloor:    0.25 * float64(cfg.QueriesPerTick) / cfg.Period.Seconds(),
+		ErrorBudget: 0.01,
+		ShortWindow: 2 * cfg.Period,
+		LongWindow:  8 * cfg.Period,
+	})
 
 	f.peers = make([]ishare.Peer, cfg.Gateways)
 	for i := range f.peers {
@@ -383,7 +450,7 @@ func buildFleet(cfg Config, rep *Report) (*fleet, error) {
 		id := fmt.Sprintf("m%06d", i)
 		prof := profs[i%len(profs)]
 		sm, err := ishare.NewStateManagerShared(id, cfg.Period, availCfg, f.clock,
-			prof.machine, cfg.HistoryDays, ishare.SharedDeps{Obs: f.obsv, Engine: engine})
+			prof.machine, cfg.HistoryDays, ishare.SharedDeps{Obs: f.peerObs[i%cfg.Gateways], Engine: engine})
 		if err != nil {
 			return nil, err
 		}
@@ -575,8 +642,25 @@ func (f *fleet) trafficPhase(rep *Report) {
 			f.churnStorm(rep)
 		}
 		if (tick+1)%cfg.EvictEvery == 0 {
-			rep.Sim.TrackerEvictedMachines += uint64(f.obsv.Tracker.EvictIdle(f.clock.Now()))
+			for _, o := range f.peerObs {
+				rep.Sim.TrackerEvictedMachines += uint64(o.Tracker.EvictIdle(f.clock.Now()))
+			}
 		}
+
+		// Obs plane: one cumulative SLO sample on the virtual clock, then
+		// each peer's alerting step, in peer index order after the workers
+		// have joined — everything it reads is a deterministic function of
+		// the tick's completed traffic.
+		obs0 := time.Now()
+		var cumQ, cumF uint64
+		for _, ws := range states {
+			cumQ += uint64(ws.queries)
+			cumF += uint64(ws.failures)
+		}
+		f.slo.Record(obs.SLOSample{T: now, Requests: cumQ, Errors: cumF})
+		f.stepObs(now)
+		rep.Perf.ObsPlaneSeconds += time.Since(obs0).Seconds()
+
 		if (tick+1)%8 == 0 {
 			f.progress("tick %d/%d: %s", tick+1, cfg.Ticks, f.clock.Now().Format("15:04"))
 		}
@@ -706,7 +790,16 @@ func (f *fleet) churnPhase(rep *Report) {
 		fed.SyncOnce(f.ctx)
 	}
 	rep.Sim.EntriesAfterReap = f.sumEntries()
-	rep.Sim.TrackerEvictedMachines += uint64(f.obsv.Tracker.EvictIdle(f.clock.Now()))
+	for _, o := range f.peerObs {
+		rep.Sim.TrackerEvictedMachines += uint64(o.Tracker.EvictIdle(f.clock.Now()))
+	}
+
+	// Warm the aggregator's obs cache while every peer is still up, so the
+	// outage below exercises the stale-merge path rather than losing gw00's
+	// column outright.
+	obs0 := time.Now()
+	f.feds[1].FleetObs(f.ctx)
+	rep.Perf.ObsPlaneSeconds += time.Since(obs0).Seconds()
 
 	// Peer outage: gw00 drops off the network; queries entering elsewhere
 	// are served by the entry's replica fallback.
@@ -732,8 +825,34 @@ func (f *fleet) churnPhase(rep *Report) {
 	rep.Sim.OutageFailures = outage.failures
 	rep.Sim.OutageTranscriptFNV = fmt.Sprintf("%016x", outage.hash)
 
+	// Fleet aggregation during the outage: gw00 cannot answer, so its
+	// warmed export is merged marked stale — and since a down fed peer
+	// serves no federation RPCs, its stale fed-serving counters still sum
+	// exactly with the live peers'. The merged fed-query-tr counter is
+	// recorded next to the same counter read directly off every peer
+	// registry; the obs determinism test pins their equality.
+	obs0 = time.Now()
+	f.stepObs(f.clock.Now())
+	chaos := f.feds[1].FleetObs(f.ctx)
+	fo := &rep.Sim.FleetObs
+	for _, ps := range chaos.Peers {
+		switch ps.Status {
+		case obs.PeerStale:
+			fo.OutagePeersStale++
+		case obs.PeerUnreachable:
+			fo.OutagePeersUnreachable++
+		default:
+			fo.OutagePeersOK++
+		}
+	}
+	const fedQueryTRSeries = `fgcs_gateway_requests_total{type="fed-query-tr"}`
+	fo.OutageMergedFedQueryTR = chaos.Metrics.Counters[fedQueryTRSeries]
+	fo.OutageDirectFedQueryTR = f.sumGatewayRequests("fed-query-tr")
+	rep.Perf.ObsPlaneSeconds += time.Since(obs0).Seconds()
+
 	// Restart gw00 from empty state and count anti-entropy rounds until
-	// the fleet quiesces (a full round in which no peer accepts anything).
+	// every peer reports Ready — a full round in which all pushes landed
+	// and nothing new was accepted.
 	fresh, err := f.newFed(0)
 	if err != nil {
 		panic(err)
@@ -748,9 +867,8 @@ func (f *fleet) churnPhase(rep *Report) {
 		}
 		rounds++
 		rep.Sim.ConvergenceRounds = rounds
-		delta := f.sumAccepted() - before
-		rep.Sim.ConvergenceAccepted += delta
-		if delta == 0 {
+		rep.Sim.ConvergenceAccepted += f.sumAccepted() - before
+		if f.allReady() {
 			break
 		}
 	}
@@ -760,14 +878,87 @@ func (f *fleet) churnPhase(rep *Report) {
 		rep.Sim.EntriesBeforeReap, rep.Sim.EntriesAfterReap, rep.Sim.RestartEntries, rep.Sim.ConvergenceRounds)
 }
 
+// maxReportAlerts caps the alert list embedded in the deterministic report
+// block (the newest are kept; AlertsTotal records the true count).
+const maxReportAlerts = 32
+
+// obsPhase runs the final fleet-wide aggregation over the healed ring and
+// folds the deterministic fleet-observability block into the report.
+func (f *fleet) obsPhase(rep *Report) {
+	t0 := time.Now()
+	req0, resp0 := f.net.RequestBytes(), f.net.ResponseBytes()
+	snap := f.feds[1].FleetObs(f.ctx)
+	f.fleetSnap = snap
+	rep.Perf.ObsAggregateSeconds = time.Since(t0).Seconds()
+	rep.Perf.ObsPlaneSeconds += rep.Perf.ObsAggregateSeconds
+	if n := f.cfg.Gateways - 1; n > 0 {
+		rep.Perf.ObsBytesPerPeer = float64((f.net.RequestBytes()-req0)+(f.net.ResponseBytes()-resp0)) / float64(n)
+	}
+
+	fo := &rep.Sim.FleetObs
+	for _, ps := range snap.Peers {
+		switch ps.Status {
+		case obs.PeerStale:
+			fo.PeersStale++
+		case obs.PeerUnreachable:
+			fo.PeersUnreachable++
+		default:
+			fo.PeersOK++
+		}
+	}
+	// Only the gateway request/error families go into the deterministic
+	// block: they are pure functions of the seeded traffic, while e.g. the
+	// engine-cache counters depend on cross-worker scheduling.
+	fo.GatewayRequests = make(map[string]uint64)
+	for id, v := range snap.Metrics.Counters {
+		switch {
+		case strings.HasPrefix(id, "fgcs_gateway_requests_total"):
+			fo.GatewayRequests[id] = v
+		case strings.HasPrefix(id, "fgcs_gateway_errors_total") && v > 0:
+			if fo.GatewayErrors == nil {
+				fo.GatewayErrors = make(map[string]uint64)
+			}
+			fo.GatewayErrors[id] = v
+		}
+	}
+	fo.Resolved = snap.Resolved
+	fo.Dropped = snap.Dropped
+	fo.AlertsTotal = len(f.alerts)
+	if len(f.alerts) > 0 {
+		fo.AlertsByKind = make(map[string]int)
+		for _, a := range f.alerts {
+			fo.AlertsByKind[a.Kind]++
+		}
+		al := f.alerts
+		if len(al) > maxReportAlerts {
+			al = al[len(al)-maxReportAlerts:]
+		}
+		fo.Alerts = al
+	}
+	fo.SLO = []obs.SLOStatus{f.slo.Status()}
+	f.progress("obs plane: merged %d peers (%d stale at outage), %d alerts, %.0f B/peer",
+		len(snap.Peers), fo.OutagePeersStale, fo.AlertsTotal, rep.Perf.ObsBytesPerPeer)
+}
+
 // finalize folds the tracker totals and memory figures into the report.
 func (f *fleet) finalize(rep *Report) {
-	tr := f.obsv.Tracker
-	rep.Sim.TrackerResolved = tr.Resolved()
-	rep.Sim.TrackerDropped = tr.DroppedPredictions()
-	rep.Sim.TrackerMachines = tr.Machines()
+	for _, o := range f.peerObs {
+		tr := o.Tracker
+		rep.Sim.TrackerResolved += tr.Resolved()
+		rep.Sim.TrackerDropped += tr.DroppedPredictions()
+		rep.Sim.TrackerMachines += tr.Machines()
+	}
 
-	all := tr.Stats("_all", "SMP")
+	// SMP outcome accounting from the merged fleet snapshot — the "_all"
+	// rollup across every peer's tracker, i.e. the number the obs plane
+	// serves to operators.
+	var all obs.AccuracyStats
+	for _, s := range f.fleetSnap.AccuracySums() {
+		if s.Machine == "_all" && s.Predictor == "SMP" {
+			all = s.Stats(false)
+			break
+		}
+	}
 	u := &rep.Sim.Utilization
 	u.SMPResolved = all.Resolved
 	u.SMPSurvived = all.Survived
@@ -803,6 +994,41 @@ func (f *fleet) sumAccepted() int64 {
 		n += int64(fed.RingStats().SyncAccepted)
 	}
 	return n
+}
+
+// stepObs advances every peer's operational detectors (drift, shed-rate,
+// breaker-flap, SLO sampling) at the virtual time and collects the alerts
+// fired, stamped with the owning peer.
+func (f *fleet) stepObs(now time.Time) {
+	for g, o := range f.peerObs {
+		for _, a := range o.StepObs(now) {
+			a.Peer = f.peers[g].ID
+			f.alerts = append(f.alerts, a)
+		}
+	}
+}
+
+// sumGatewayRequests reads one request-type counter directly off every peer
+// registry — the ground truth the merged fleet snapshot is checked against.
+func (f *fleet) sumGatewayRequests(typ string) uint64 {
+	var n uint64
+	for _, o := range f.peerObs {
+		n += o.Registry.Counter("fgcs_gateway_requests_total",
+			"Gateway RPCs served, by request type.",
+			obs.Label{Key: "type", Value: typ}).Value()
+	}
+	return n
+}
+
+// allReady reports whether every federation peer passes its readiness check
+// (WAL recovered, a clean anti-entropy round completed, ring converged).
+func (f *fleet) allReady() bool {
+	for _, fed := range f.feds {
+		if fed.Ready() != nil {
+			return false
+		}
+	}
+	return true
 }
 
 func buildRing(vnodes int, peers []ishare.Peer) *ishare.Ring {

@@ -233,6 +233,19 @@ type FedGateway struct {
 	lastSync                                    map[string]time.Time
 	served, forwarded, syncPushed, syncAccepted uint64
 
+	// Readiness state (guarded by mu): SyncOnce records each round's
+	// outcome and Ready (obsplane.go) derives convergence from it.
+	syncRounds        uint64
+	lastRoundAccepted int
+	lastRoundOK       bool
+	recoveryPending   bool
+
+	// obsCache holds each peer's last good query-obs export so a fleet
+	// snapshot during an outage merges stale-marked data instead of
+	// dropping the peer (obsplane.go).
+	obsCacheMu sync.Mutex
+	obsCache   map[string]cachedPeerObs
+
 	// sink, when set, is told about every shard upsert (register and
 	// accepted sync alike) so the persistence layer can log it. Collected
 	// under f.mu, invoked after release: a record logged before a
@@ -550,6 +563,14 @@ func (f *FedGateway) fedSync(req FedSyncReq) FedSyncResp {
 	return FedSyncResp{Accepted: accepted}
 }
 
+// fedFreshSlack is the minimum expiry gain before a re-pushed entry counts
+// as fresher. Anti-entropy ships remaining TTLs, and the receiver re-anchors
+// them at its own clock, so every round trip shifts the recomputed expiry by
+// the delivery latency — without slack those jitter-sized "gains" are
+// accepted forever and the ring never reports converged under wall clocks
+// (a heartbeat refresh extends the expiry by whole seconds and still wins).
+const fedFreshSlack = 500 * time.Millisecond
+
 // fresher reports whether an incoming entry expiring at `expires` should
 // replace cur.
 func fresher(cur fedEntry, expires time.Time, now time.Time) bool {
@@ -559,13 +580,15 @@ func fresher(cur fedEntry, expires time.Time, now time.Time) bool {
 	if cur.expires.IsZero() {
 		return false // current entry never expires
 	}
-	return expires.IsZero() || expires.After(cur.expires)
+	return expires.IsZero() || expires.After(cur.expires.Add(fedFreshSlack))
 }
 
 // SyncOnce runs one anti-entropy round: every live local entry is pushed,
 // with its remaining TTL, to the other members of its replica set. Peers
 // are contacted in sorted order and each gets one batched push. Returns
-// the number of entries sent (counting each peer delivery).
+// the number of entries sent (counting each peer delivery). The round's
+// outcome — every push delivered, how many entries peers newly accepted —
+// feeds Ready's convergence check.
 func (f *FedGateway) SyncOnce(ctx context.Context) int {
 	now := f.clock.Now()
 	batches := make(map[string][]FedEntry)
@@ -595,17 +618,27 @@ func (f *FedGateway) SyncOnce(ctx context.Context) int {
 	}
 	sort.Strings(peerIDs)
 	sent := 0
+	accepted := 0
+	allOK := true
 	for _, id := range peerIDs {
 		batch := batches[id]
 		sort.Slice(batch, func(i, j int) bool { return batch[i].MachineID < batch[j].MachineID })
 		req := FedSyncReq{From: f.self.ID, Entries: batch}
-		if err := f.callPeer(ctx, addrs[id], MsgFedSync, req, nil, true); err != nil {
+		var sr FedSyncResp
+		if err := f.callPeer(ctx, addrs[id], MsgFedSync, req, &sr, true); err != nil {
 			f.warn("fed anti-entropy push failed", "peer", id, "entries", len(batch), "err", err)
+			allOK = false
 			continue
 		}
 		sent += len(batch)
+		accepted += sr.Accepted
 		f.addSyncPushed(uint64(len(batch)))
 	}
+	f.mu.Lock()
+	f.syncRounds++
+	f.lastRoundAccepted = accepted
+	f.lastRoundOK = allOK
+	f.mu.Unlock()
 	return sent
 }
 
@@ -936,8 +969,21 @@ func (f *FedGateway) dispatch(ctx context.Context, req Request) (interface{}, er
 		if f.obs != nil {
 			resp.Requests, resp.Errors = f.obs.requestCounts()
 			resp.Wire = f.obs.wireStats()
+			resp.SLO = f.obs.SLOStatuses()
 		}
 		return resp, nil
+	case MsgQueryObs:
+		var r QueryObsReq
+		if req.Payload != nil {
+			if err := json.Unmarshal(req.Payload, &r); err != nil {
+				return nil, fmt.Errorf("malformed obs payload")
+			}
+		}
+		if r.Local {
+			return QueryObsResp{Peer: f.self.ID, Snapshot: f.obs.ExportObs(f.self.ID)}, nil
+		}
+		v := f.FleetObs(ctx).View(r.MaxAlerts)
+		return QueryObsResp{Peer: f.self.ID, Fleet: &v}, nil
 	case MsgQueryTraces:
 		var r QueryTracesReq
 		if req.Payload != nil {

@@ -211,6 +211,7 @@ func (g *Gateway) QueryStats(ctx context.Context, req QueryStatsReq) (QueryStats
 	}
 	resp.Requests, resp.Errors = o.requestCounts()
 	resp.Wire = o.wireStats()
+	resp.SLO = o.SLOStatuses()
 	if !req.Calibration {
 		for i := range resp.Accuracy {
 			resp.Accuracy[i].Calibration = nil
@@ -460,6 +461,14 @@ func (g *Gateway) dispatch(ctx context.Context, req Request) (interface{}, error
 			}
 		}
 		return g.QueryTraces(ctx, s)
+	case MsgQueryObs:
+		var s QueryObsReq
+		if req.Payload != nil {
+			if err := json.Unmarshal(req.Payload, &s); err != nil {
+				return nil, fmt.Errorf("malformed obs payload")
+			}
+		}
+		return g.QueryObs(ctx, s)
 	default:
 		return nil, fmt.Errorf("gateway: unknown request type %q", req.Type)
 	}

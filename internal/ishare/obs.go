@@ -2,6 +2,7 @@ package ishare
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -101,7 +102,7 @@ func (m *ServerMetrics) Snapshot() WireStats {
 // formats a metric name.
 var gatewayRPCTypes = []string{
 	MsgQueryTR, MsgSubmit, MsgJobStatus, MsgKillJob, MsgQueryStats, MsgQueryTraces,
-	MsgRegister, MsgDiscover,
+	MsgQueryObs, MsgRegister, MsgDiscover,
 	MsgFedQueryTR, MsgFedSubmit, MsgFedJobStatus, MsgFedKill, MsgFedRank, MsgFedSync,
 }
 
@@ -125,6 +126,20 @@ type NodeObs struct {
 	// default) disables tracing entirely — the serving path then pays two
 	// pointer reads and nothing else. Install one with SetTracing.
 	Tracer *otrace.Tracer
+	// Alerts is the node's bounded alert ring: accuracy-drift,
+	// calibration-skew, and serving-path ops alerts land here and are served
+	// over /alerts and query-obs. Drift is the watcher feeding it; retune
+	// with SetDriftConfig.
+	Alerts *obs.AlertRing
+	Drift  *obs.DriftWatcher
+
+	sloMu sync.Mutex
+	slos  []*obs.SLOMonitor
+
+	// ops-alert cursors, advanced only by StepObs (single caller).
+	opsPrevShed  uint64
+	opsPrevReqs  uint64
+	opsPrevOpens uint64
 
 	requests   map[string]*obs.Counter
 	errors     map[string]*obs.Counter
@@ -158,6 +173,8 @@ func NewNodeObs() *NodeObs {
 		Overloaded:      r.Counter("fgcs_client_rpc_overloaded_total", "Outbound RPC attempts shed by the server's admission control."),
 	}
 	o.Server = NewServerMetrics(r)
+	o.Alerts = obs.NewAlertRing(0)
+	o.Drift = obs.NewDriftWatcher(o.Tracker, o.Alerts, obs.DriftConfig{})
 	for _, typ := range gatewayRPCTypes {
 		l := obs.Label{Key: "type", Value: typ}
 		o.requests[typ] = r.Counter("fgcs_gateway_requests_total", "Gateway RPCs served, by request type.", l)

@@ -1,0 +1,317 @@
+package ishare
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"fgcs/internal/obs"
+)
+
+// The observability plane: query-obs is the RPC that exports one node's
+// mergeable metrics, accuracy sums, and recent alerts in the versioned
+// binary codec (obs.PeerObs). A federation peer answering the non-local
+// form fans the local form out over the ring — through the same
+// Caller/retry/breaker stack every other federation verb uses — and merges
+// the exports into one fleet-level snapshot: counters summed, histograms
+// merged bucket-wise, per-predictor accuracy rolled up, every alert stamped
+// with its peer. An unreachable peer's last good export is merged marked
+// stale rather than silently dropped, so a fleet view during an outage says
+// exactly how old each column is.
+
+// QueryObsReq asks a node for its observability export. Local asks a
+// federation peer for its own snapshot only (the fan-out form, and the only
+// form a host gateway serves); otherwise a federation peer answers with the
+// merged fleet view.
+type QueryObsReq struct {
+	Local bool `json:"local,omitempty"`
+	// MaxAlerts caps the merged alert list on the fleet view (0 = all).
+	MaxAlerts int `json:"max_alerts,omitempty"`
+}
+
+// QueryObsResp carries either one node's binary export (Snapshot, for the
+// local form) or the merged fleet view (Fleet, for the federated form).
+type QueryObsResp struct {
+	Peer     string         `json:"peer"`
+	Snapshot []byte         `json:"snapshot,omitempty"`
+	Fleet    *obs.FleetView `json:"fleet,omitempty"`
+}
+
+// ExportPeer assembles this node's observability export under the given
+// peer identity. Nil-safe: a nil NodeObs exports an empty snapshot.
+func (o *NodeObs) ExportPeer(peer string) *obs.PeerObs {
+	if o == nil {
+		return obs.ExportPeerObs(peer, nil, nil, nil)
+	}
+	return obs.ExportPeerObs(peer, o.Registry, o.Tracker, o.Alerts)
+}
+
+// ExportObs is ExportPeer rendered in the versioned binary codec — the
+// query-obs wire payload.
+func (o *NodeObs) ExportObs(peer string) []byte {
+	return o.ExportPeer(peer).EncodeBinary()
+}
+
+// SetDriftConfig rebuilds the node's accuracy-drift watcher with explicit
+// tuning. Call before StepObs starts running.
+func (o *NodeObs) SetDriftConfig(cfg obs.DriftConfig) {
+	if o == nil {
+		return
+	}
+	o.Drift = obs.NewDriftWatcher(o.Tracker, o.Alerts, cfg)
+}
+
+// AddSLO attaches a serving-path SLO monitor; StepObs feeds it cumulative
+// samples and SLOStatuses (served in query-stats) evaluates it.
+func (o *NodeObs) AddSLO(m *obs.SLOMonitor) {
+	if o == nil || m == nil {
+		return
+	}
+	o.sloMu.Lock()
+	o.slos = append(o.slos, m)
+	o.sloMu.Unlock()
+}
+
+// SLOStatuses evaluates every attached SLO monitor, in attachment order.
+// Nil (not empty) when the node has no SLOs, so the query-stats field stays
+// absent on the wire.
+func (o *NodeObs) SLOStatuses() []obs.SLOStatus {
+	if o == nil {
+		return nil
+	}
+	o.sloMu.Lock()
+	ms := append([]*obs.SLOMonitor(nil), o.slos...)
+	o.sloMu.Unlock()
+	if len(ms) == 0 {
+		return nil
+	}
+	out := make([]obs.SLOStatus, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, m.Status())
+	}
+	return out
+}
+
+// RecordSLOSample feeds one cumulative serving-path sample — total gateway
+// requests, errors, and the merged RPC latency histogram — to every
+// attached monitor, stamped at now.
+func (o *NodeObs) RecordSLOSample(now time.Time) {
+	if o == nil {
+		return
+	}
+	o.sloMu.Lock()
+	ms := append([]*obs.SLOMonitor(nil), o.slos...)
+	o.sloMu.Unlock()
+	if len(ms) == 0 {
+		return
+	}
+	s := obs.SLOSample{T: now}
+	for _, c := range o.requests {
+		s.Requests += c.Value()
+	}
+	s.Requests += o.reqOther.Value()
+	for _, c := range o.errors {
+		s.Errors += c.Value()
+	}
+	s.Errors += o.errOther.Value()
+	s.Latency = o.mergedRPCLatency()
+	for _, m := range ms {
+		m.Record(s)
+	}
+}
+
+// mergedRPCLatency merges the per-type gateway latency histograms into one
+// serving-path histogram (they share the default bucket layout).
+func (o *NodeObs) mergedRPCLatency() *obs.HistogramSnapshot {
+	snap := o.Registry.Snapshot()
+	var merged *obs.HistogramSnapshot
+	for id, h := range snap.Histograms {
+		if !strings.HasPrefix(id, "fgcs_gateway_rpc_seconds") {
+			continue
+		}
+		if merged == nil {
+			cp := h
+			merged = &cp
+			continue
+		}
+		if err := merged.Merge(h); err != nil {
+			return nil
+		}
+	}
+	return merged
+}
+
+// Ops-alert thresholds for StepObs: an admission-control shed rate above
+// shedRateThreshold (given at least shedRateMinEvents serving attempts in
+// the step) fires a shed-rate alert; breakerFlapOpens or more breaker opens
+// in one step fire a breaker-flap alert.
+const (
+	shedRateThreshold = 0.10
+	shedRateMinEvents = 20
+	breakerFlapOpens  = 3
+)
+
+// StepObs advances the node's alerting once: records one cumulative SLO
+// sample, steps the accuracy-drift watcher, and checks the serving-path ops
+// signals (shed rate, breaker flapping). Call it from a single goroutine —
+// the obs ticker on a live node, the tick loop in the fleet simulator.
+// Returns the alerts fired this step (already appended to the ring).
+func (o *NodeObs) StepObs(now time.Time) []obs.Alert {
+	if o == nil {
+		return nil
+	}
+	o.RecordSLOSample(now)
+	fired := o.Drift.Step(now)
+	return append(fired, o.stepOps(now)...)
+}
+
+// stepOps checks the serving-path ops signals against the counters
+// accumulated since the previous step.
+func (o *NodeObs) stepOps(now time.Time) []obs.Alert {
+	var fired []obs.Alert
+	w := o.Server.Snapshot()
+	shed := w.ShedAcceptQueue + w.ShedInflight + w.ShedPerConn
+	var reqs uint64
+	for _, c := range o.requests {
+		reqs += c.Value()
+	}
+	reqs += o.reqOther.Value()
+	dShed, dReqs := shed-o.opsPrevShed, reqs-o.opsPrevReqs
+	o.opsPrevShed, o.opsPrevReqs = shed, reqs
+	if total := dShed + dReqs; total >= shedRateMinEvents {
+		if rate := float64(dShed) / float64(total); rate > shedRateThreshold {
+			fired = append(fired, o.Alerts.Append(obs.Alert{
+				Kind:      obs.AlertShedRate,
+				Value:     rate,
+				Threshold: shedRateThreshold,
+				Message: fmt.Sprintf("admission control shed %.1f%% of %d serving attempts since the last step",
+					100*rate, total),
+				Time: now,
+			}))
+		}
+	}
+	// Breaker opens are read back from the registry rather than hooked:
+	// InstrumentBreakers owns the set's OnTransition callback, and Counter
+	// dedups by series id, so this resolves to the very counter it
+	// registered (or a zero counter on a node without breakers).
+	opens := o.Registry.Counter("fgcs_breaker_transitions_total",
+		"Circuit breaker state changes, by target state.",
+		obs.Label{Key: "to", Value: "open"}).Value()
+	dOpens := opens - o.opsPrevOpens
+	o.opsPrevOpens = opens
+	if dOpens >= breakerFlapOpens {
+		fired = append(fired, o.Alerts.Append(obs.Alert{
+			Kind:      obs.AlertBreakerFlap,
+			Value:     float64(dOpens),
+			Threshold: breakerFlapOpens,
+			Message: fmt.Sprintf("circuit breakers opened %d times since the last step",
+				dOpens),
+			Time: now,
+		}))
+	}
+	return fired
+}
+
+// QueryObs serves the node's observability export for federated
+// aggregation. A host gateway only has its own snapshot, so the Local flag
+// is moot here.
+func (g *Gateway) QueryObs(ctx context.Context, req QueryObsReq) (QueryObsResp, error) {
+	return QueryObsResp{Peer: g.machineID, Snapshot: g.sm.Obs().ExportObs(g.machineID)}, nil
+}
+
+// QueryObs fetches a node's observability export (an operator surface, like
+// QueryStats — deliberately not part of GatewayAPI). Idempotent: retried
+// under the caller's policy.
+func (r RemoteGateway) QueryObs(ctx context.Context, req QueryObsReq) (QueryObsResp, error) {
+	var resp QueryObsResp
+	err := r.Caller.CallRetry(ctx, r.Addr, MsgQueryObs, req, &resp, r.timeout())
+	return resp, err
+}
+
+// cachedPeerObs is a peer's last successfully fetched export, merged marked
+// stale when the peer stops answering.
+type cachedPeerObs struct {
+	export *obs.PeerObs
+	at     time.Time
+}
+
+// FleetObs fans query-obs out over the ring and merges every peer's export
+// into one fleet snapshot. The local export is captured first — before the
+// fan-out's own client RPCs run — so a peer's merged counters never include
+// traffic caused by the aggregation that is reading them. A peer that fails
+// to answer contributes its cached export marked stale with its age; a peer
+// with no cached export is recorded unreachable. Either way the peer stays
+// visible in the snapshot's status rows.
+func (f *FedGateway) FleetObs(ctx context.Context) *obs.FleetSnapshot {
+	fs := obs.NewFleetSnapshot()
+	fs.Add(f.obs.ExportPeer(f.self.ID), obs.PeerStatus{Peer: f.self.ID, Status: obs.PeerOK})
+	for _, p := range f.ring.Peers() {
+		if p.ID == f.self.ID {
+			continue
+		}
+		var resp QueryObsResp
+		err := f.callPeer(ctx, p, MsgQueryObs, QueryObsReq{Local: true}, &resp, true)
+		if err == nil {
+			po, derr := obs.DecodeObsSnapshot(resp.Snapshot)
+			if derr == nil {
+				f.obsCacheMu.Lock()
+				if f.obsCache == nil {
+					f.obsCache = make(map[string]cachedPeerObs)
+				}
+				f.obsCache[p.ID] = cachedPeerObs{export: po, at: f.clock.Now()}
+				f.obsCacheMu.Unlock()
+				fs.Add(po, obs.PeerStatus{Peer: p.ID, Status: obs.PeerOK})
+				continue
+			}
+			err = derr
+		}
+		f.warn("fed obs fan-out failed", "peer", p.ID, "err", err)
+		f.obsCacheMu.Lock()
+		c, ok := f.obsCache[p.ID]
+		f.obsCacheMu.Unlock()
+		if ok {
+			fs.Add(c.export, obs.PeerStatus{
+				Peer:       p.ID,
+				Status:     obs.PeerStale,
+				AgeSeconds: f.clock.Now().Sub(c.at).Seconds(),
+				Err:        err.Error(),
+			})
+		} else {
+			fs.AddUnreachable(p.ID, err.Error())
+		}
+	}
+	return fs
+}
+
+// SetRecoveryPending marks durable-state recovery as in flight (or done).
+// A booting node sets it before replaying its WAL and clears it after, so
+// Ready gates readiness on recovery completing.
+func (f *FedGateway) SetRecoveryPending(pending bool) {
+	f.mu.Lock()
+	f.recoveryPending = pending
+	f.mu.Unlock()
+}
+
+// Ready reports nil when the peer can serve authoritatively: durable-state
+// recovery (if any) has finished, and the last anti-entropy round delivered
+// every push with nothing newly accepted — the ring has converged on this
+// peer's shard. Serve /readyz from it; the fleet simulator's restart phase
+// polls it instead of counting sync deltas by hand.
+func (f *FedGateway) Ready() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.recoveryPending {
+		return fmt.Errorf("durable-state recovery in flight")
+	}
+	if f.syncRounds == 0 {
+		return fmt.Errorf("registry sync pending: no anti-entropy round completed")
+	}
+	if !f.lastRoundOK {
+		return fmt.Errorf("ring not converged: last anti-entropy round had failed pushes")
+	}
+	if f.lastRoundAccepted > 0 {
+		return fmt.Errorf("ring converging: peers accepted %d entries in the last anti-entropy round", f.lastRoundAccepted)
+	}
+	return nil
+}

@@ -36,6 +36,7 @@ const (
 	MsgKillJob     = "kill-job"     // client -> gateway
 	MsgQueryStats  = "query-stats"  // client -> gateway
 	MsgQueryTraces = "query-traces" // client -> gateway
+	MsgQueryObs    = "query-obs"    // client/peer -> gateway (obs plane)
 )
 
 // TraceHeader is the optional trace-context carried in a request envelope:
@@ -229,6 +230,10 @@ type QueryStatsResp struct {
 	// Wire is the node's serving-path snapshot: negotiated protocol
 	// version, connection mix, and admission-control sheds.
 	Wire *WireStats `json:"wire,omitempty"`
+	// SLO reports the node's serving-path objectives (QPS floor, p99
+	// ceiling, error-budget burn rates), present when SLO monitors are
+	// configured.
+	SLO []obs.SLOStatus `json:"slo,omitempty"`
 }
 
 // WireStats is a server's wire-protocol and admission-control snapshot,

@@ -1,0 +1,366 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// samplePeerObs builds a realistic export: counters with escaped label
+// values, gauges, a histogram, accuracy sums and alerts.
+func samplePeerObs(peer string) *PeerObs {
+	r := NewRegistry()
+	r.Counter("fgcs_gateway_requests_total", "Gateway RPCs served, by request type.",
+		Label{Key: "type", Value: "query-tr"}).Add(7)
+	r.Counter("fgcs_gateway_requests_total", "Gateway RPCs served, by request type.",
+		Label{Key: "type", Value: `odd"quoted\value`}).Add(3)
+	r.Gauge("fgcs_ring_peers", "Peers on the ring.").Set(4)
+	h := r.Histogram("fgcs_query_seconds", "Query latency.", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.02, 0.5} {
+		h.Observe(v)
+	}
+
+	t := NewTracker()
+	base := time.Date(2026, 6, 3, 23, 0, 0, 0, time.UTC)
+	for i := 0; i < 20; i++ {
+		t.RestoreResolution("m01", "SMP", 0.9, i%5 != 0)
+		t.RestoreResolution("m02", "LAST", 0.6, i%3 != 0)
+	}
+
+	ring := NewAlertRing(8)
+	ring.Append(Alert{Kind: AlertAccuracyDrift, Machine: "m01", Predictor: "SMP",
+		Value: 0.2, Threshold: 0.05, Message: "Brier mean shifted up", Time: base.Add(time.Hour)})
+	ring.Append(Alert{Kind: AlertShedRate, Value: 0.5, Threshold: 0.25,
+		Message: "shed half the admissions", Time: base.Add(2 * time.Hour)})
+
+	return ExportPeerObs(peer, r, t, ring)
+}
+
+func TestObsCodecRoundTrip(t *testing.T) {
+	p := samplePeerObs("gw01")
+	enc := p.EncodeBinary()
+	dec, err := DecodeObsSnapshot(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dec.Peer != "gw01" {
+		t.Errorf("peer %q after round trip", dec.Peer)
+	}
+	if dec.Resolved != p.Resolved || dec.Dropped != p.Dropped {
+		t.Errorf("totals %d/%d, want %d/%d", dec.Resolved, dec.Dropped, p.Resolved, p.Dropped)
+	}
+	if len(dec.Accuracy) != len(p.Accuracy) {
+		t.Fatalf("%d accuracy keys, want %d", len(dec.Accuracy), len(p.Accuracy))
+	}
+	if len(dec.Alerts) != 2 || dec.Alerts[0].Kind != AlertAccuracyDrift {
+		t.Fatalf("alerts %+v", dec.Alerts)
+	}
+	if !dec.Alerts[0].Time.Equal(p.Alerts[0].Time) {
+		t.Errorf("alert time %v, want %v", dec.Alerts[0].Time, p.Alerts[0].Time)
+	}
+	// The encoding is canonical: re-encoding the decoded snapshot must
+	// reproduce the original bytes exactly.
+	if re := dec.EncodeBinary(); !bytes.Equal(re, enc) {
+		t.Error("re-encoded snapshot differs from the original bytes")
+	}
+}
+
+func TestObsCodecNilSources(t *testing.T) {
+	p := ExportPeerObs("gw00", nil, nil, nil)
+	dec, err := DecodeObsSnapshot(p.EncodeBinary())
+	if err != nil {
+		t.Fatalf("decode of empty export: %v", err)
+	}
+	if dec.Peer != "gw00" || len(dec.Metrics.Counters) != 0 || len(dec.Accuracy) != 0 || len(dec.Alerts) != 0 {
+		t.Errorf("empty export round-tripped to %+v", dec)
+	}
+}
+
+func TestObsDecodeRejections(t *testing.T) {
+	good := samplePeerObs("gw01").EncodeBinary()
+
+	corrupt := func(mutate func([]byte) []byte) []byte {
+		b := append([]byte(nil), good...)
+		return mutate(b)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "magic"},
+		{"short", good[:3], "magic"},
+		{"bad magic", corrupt(func(b []byte) []byte { b[0] = 'X'; return b }), "magic"},
+		{"bad version", corrupt(func(b []byte) []byte { b[4] = 99; return b }), "version"},
+		{"trailing bytes", append(append([]byte(nil), good...), 0), "trailing"},
+		{"truncated", good[:len(good)-5], "obs:"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeObsSnapshot(tc.data); err == nil {
+				t.Fatal("corrupt snapshot decoded")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestObsDecodeRejectsDuplicatesAndBadClaims(t *testing.T) {
+	enc := func(p *PeerObs) []byte { return p.EncodeBinary() }
+
+	// Duplicate series cannot be produced by EncodeBinary (maps dedupe), so
+	// splice them by hand: encode one series, then duplicate its bytes and
+	// bump the count.
+	dupCounter := func() []byte {
+		p := &PeerObs{Peer: "x", Metrics: emptySnapshot()}
+		p.Metrics.Counters["fgcs_x_total"] = 1
+		b := enc(p)
+		// Layout: magic(4) version(1) peer(len+str) counterCount(uvarint=1)
+		// series... — find the count byte right after the peer string.
+		i := 5 + 1 + len("x")
+		if b[i] != 1 {
+			panic("layout drifted")
+		}
+		series := b[i+1 : i+1+1+len("fgcs_x_total")+1] // len byte + name + value uvarint
+		out := append([]byte(nil), b[:i]...)
+		out = append(out, 2)
+		out = append(out, series...)
+		out = append(out, series...)
+		out = append(out, b[i+1+len(series):]...)
+		return out
+	}
+	if _, err := DecodeObsSnapshot(dupCounter()); err == nil || !strings.Contains(err.Error(), "duplicate counter") {
+		t.Errorf("duplicate counter accepted: %v", err)
+	}
+
+	// Histograms with non-increasing bounds are invalid on the wire even
+	// though a local registry can never build one.
+	nonInc := &PeerObs{Peer: "x", Metrics: emptySnapshot()}
+	nonInc.Metrics.Histograms["fgcs_h"] = HistogramSnapshot{
+		Bounds: []float64{1, 1}, Counts: []uint64{0, 0, 0},
+	}
+	if _, err := DecodeObsSnapshot(enc(nonInc)); err == nil || !strings.Contains(err.Error(), "not increasing") {
+		t.Errorf("non-increasing bounds accepted: %v", err)
+	}
+
+	// A claimed element count larger than the remaining bytes must be
+	// rejected before any allocation proportional to the claim.
+	big := &PeerObs{Peer: "x", Metrics: emptySnapshot()}
+	b := enc(big)
+	i := 5 + 1 + len("x")
+	b[i] = 0xFF // counters count 127... larger than the remaining handful of bytes
+	if _, err := DecodeObsSnapshot(b); err == nil || !strings.Contains(err.Error(), "claims") {
+		t.Errorf("oversized claim accepted: %v", err)
+	}
+
+	// Oversized histogram layouts are capped regardless of payload size.
+	wide := &PeerObs{Peer: "x", Metrics: emptySnapshot()}
+	bounds := make([]float64, maxObsBounds+1)
+	for j := range bounds {
+		bounds[j] = float64(j)
+	}
+	wide.Metrics.Histograms["fgcs_h"] = HistogramSnapshot{Bounds: bounds, Counts: make([]uint64, len(bounds)+1)}
+	if _, err := DecodeObsSnapshot(enc(wide)); err == nil || !strings.Contains(err.Error(), "bounds") {
+		t.Errorf("over-wide histogram accepted: %v", err)
+	}
+}
+
+func TestFleetMergeCommutative(t *testing.T) {
+	text := func(order []string) string {
+		f := NewFleetSnapshot()
+		for _, peer := range order {
+			f.Add(samplePeerObs(peer), PeerStatus{Status: PeerOK})
+		}
+		var buf bytes.Buffer
+		if err := f.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	ab := text([]string{"gw01", "gw02"})
+	ba := text([]string{"gw02", "gw01"})
+	if ab != ba {
+		t.Fatalf("merge order changed the rendered fleet snapshot:\n--- A,B ---\n%s--- B,A ---\n%s", ab, ba)
+	}
+}
+
+func TestFleetMergeSumsAndStatuses(t *testing.T) {
+	f := NewFleetSnapshot()
+	f.Add(samplePeerObs("gw01"), PeerStatus{Status: PeerOK})
+	f.Add(samplePeerObs("gw02"), PeerStatus{Status: PeerStale, AgeSeconds: 30, Err: "fetch timed out"})
+	f.AddUnreachable("gw03", "connection refused")
+
+	id := `fgcs_gateway_requests_total{type="query-tr"}`
+	if got := f.Metrics.Counters[id]; got != 14 {
+		t.Errorf("merged counter %s = %d, want 14 (7 per peer)", id, got)
+	}
+	if f.Resolved != 80 {
+		t.Errorf("merged resolved %d, want 80", f.Resolved)
+	}
+	hist := f.Metrics.Histograms[`fgcs_query_seconds`]
+	if hist.Count != 8 {
+		t.Errorf("merged histogram count %d, want 8", hist.Count)
+	}
+
+	// Alerts carry their origin peer after the merge.
+	for _, a := range f.Alerts {
+		if a.Peer != "gw01" && a.Peer != "gw02" {
+			t.Errorf("merged alert not stamped with a peer: %+v", a)
+		}
+	}
+
+	// Accuracy rolls up per key: each peer contributed 20 resolutions to
+	// (m01, SMP).
+	for _, a := range f.AccuracySums() {
+		if a.Machine == "m01" && a.Predictor == "SMP" && a.Resolved != 40 {
+			t.Errorf("(m01,SMP) resolved %d, want 40", a.Resolved)
+		}
+	}
+
+	v := f.View(0)
+	if len(v.Peers) != 3 {
+		t.Fatalf("%d peer rows, want 3", len(v.Peers))
+	}
+	// View sorts peers by name.
+	for i, want := range []string{"gw01", "gw02", "gw03"} {
+		if v.Peers[i].Peer != want {
+			t.Errorf("peer row %d is %q, want %q", i, v.Peers[i].Peer, want)
+		}
+	}
+	if v.Peers[2].Status != PeerUnreachable || v.Peers[2].Err != "connection refused" {
+		t.Errorf("unreachable row %+v", v.Peers[2])
+	}
+	if v.AlertsTotal != 4 {
+		t.Errorf("alerts total %d, want 4", v.AlertsTotal)
+	}
+}
+
+func TestFleetViewAlertTruncationKeepsNewest(t *testing.T) {
+	f := NewFleetSnapshot()
+	p := &PeerObs{Peer: "gw01", Metrics: emptySnapshot()}
+	for i := 1; i <= 6; i++ {
+		p.Alerts = append(p.Alerts, Alert{Seq: uint64(i), Kind: AlertShedRate})
+	}
+	f.Add(p, PeerStatus{Status: PeerOK})
+	v := f.View(2)
+	if v.AlertsTotal != 6 {
+		t.Errorf("alerts total %d, want 6", v.AlertsTotal)
+	}
+	if len(v.Alerts) != 2 || v.Alerts[0].Seq != 5 || v.Alerts[1].Seq != 6 {
+		t.Errorf("truncated alerts %+v, want the newest (seq 5, 6)", v.Alerts)
+	}
+}
+
+func TestFleetMergeHistogramLayoutConflict(t *testing.T) {
+	a := &PeerObs{Peer: "gw01", Metrics: emptySnapshot()}
+	a.Metrics.Histograms["fgcs_h"] = HistogramSnapshot{Bounds: []float64{1}, Counts: []uint64{0, 0}}
+	b := &PeerObs{Peer: "gw02", Metrics: emptySnapshot()}
+	b.Metrics.Histograms["fgcs_h"] = HistogramSnapshot{Bounds: []float64{2}, Counts: []uint64{0, 0}}
+
+	f := NewFleetSnapshot()
+	f.Add(a, PeerStatus{Status: PeerOK})
+	f.Add(b, PeerStatus{Status: PeerOK})
+	if len(f.Peers) != 2 {
+		t.Fatalf("%d peer rows", len(f.Peers))
+	}
+	// The conflict lands on the second peer's status row; the merge itself
+	// survives.
+	if f.Peers[1].Err == "" {
+		t.Error("histogram layout conflict not recorded on the peer status row")
+	}
+}
+
+// TestFleetWriteTextConformance checks the Prometheus text exposition
+// invariants the fleet renderer promises: quoted and escaped label values,
+// sorted series, and cumulative histogram buckets ending in a +Inf bucket
+// equal to _count, with a _sum sample alongside.
+func TestFleetWriteTextConformance(t *testing.T) {
+	f := NewFleetSnapshot()
+	f.Add(samplePeerObs("gw01"), PeerStatus{Status: PeerOK})
+	f.Add(samplePeerObs("gw02"), PeerStatus{Status: PeerOK})
+	var buf bytes.Buffer
+	if err := f.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+
+	if !strings.Contains(text, "fgcs_fleet_peers 2\n") {
+		t.Error("missing fgcs_fleet_peers sample")
+	}
+	// Label escaping: the odd value must appear quoted with escapes, as
+	// strconv.Quote renders it.
+	if !strings.Contains(text, `type="odd\"quoted\\value"`) {
+		t.Error("label value with quote and backslash not escaped")
+	}
+	// Series of one metric render in sorted label order.
+	odd := strings.Index(text, `fgcs_gateway_requests_total{type="odd`)
+	qtr := strings.Index(text, `fgcs_gateway_requests_total{type="query-tr"}`)
+	if odd < 0 || qtr < 0 || odd > qtr {
+		t.Errorf("counter series not in sorted order (odd at %d, query-tr at %d)", odd, qtr)
+	}
+
+	// Histogram invariants: cumulative buckets, +Inf last and equal to
+	// _count, a _sum sample present.
+	var cums []uint64
+	var infCum, count uint64
+	sawSum := false
+	lastLe := ""
+	for _, line := range strings.Split(text, "\n") {
+		val := line[strings.LastIndexByte(line, ' ')+1:]
+		switch {
+		case strings.HasPrefix(line, "fgcs_query_seconds_bucket{"):
+			var cum uint64
+			if _, err := fmt.Sscanf(val, "%d", &cum); err != nil {
+				t.Fatalf("bucket line %q: %v", line, err)
+			}
+			cums = append(cums, cum)
+			start := strings.Index(line, `le="`) + 4
+			lastLe = line[start : start+strings.IndexByte(line[start:], '"')]
+			if lastLe == "+Inf" {
+				infCum = cum
+			}
+		case strings.HasPrefix(line, "fgcs_query_seconds_sum"):
+			sawSum = true
+		case strings.HasPrefix(line, "fgcs_query_seconds_count"):
+			if _, err := fmt.Sscanf(val, "%d", &count); err != nil {
+				t.Fatalf("count line %q: %v", line, err)
+			}
+		}
+	}
+	if len(cums) != 4 { // 3 bounds + the implicit +Inf bucket
+		t.Fatalf("%d bucket samples, want 4", len(cums))
+	}
+	for i := 1; i < len(cums); i++ {
+		if cums[i] < cums[i-1] {
+			t.Errorf("bucket counts not cumulative: %v", cums)
+		}
+	}
+	if lastLe != "+Inf" {
+		t.Errorf("last bucket le=%q, want +Inf", lastLe)
+	}
+	if !sawSum {
+		t.Error("no _sum sample for the merged histogram")
+	}
+	if count == 0 || infCum != count {
+		t.Errorf("+Inf bucket %d != _count %d", infCum, count)
+	}
+}
+
+func TestSpliceLabelSortsAndSplits(t *testing.T) {
+	cases := []struct {
+		labels, key, value, want string
+	}{
+		{"", "le", "0.1", `{le="0.1"}`},
+		{`{type="a"}`, "le", "+Inf", `{le="+Inf",type="a"}`},
+		{`{a="x,y",z="1"}`, "le", "5", `{a="x,y",le="5",z="1"}`},
+		{`{a="quoted\"comma,inside"}`, "le", "5", `{a="quoted\"comma,inside",le="5"}`},
+	}
+	for _, tc := range cases {
+		if got := spliceLabel(tc.labels, tc.key, tc.value); got != tc.want {
+			t.Errorf("spliceLabel(%q) = %q, want %q", tc.labels, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// feed folds n resolutions of (tr, survived) into the tracker for machine
+// m01 under predictor SMP.
+func feed(t *Tracker, n int, tr float64, survived bool) {
+	for i := 0; i < n; i++ {
+		t.RestoreResolution("m01", "SMP", tr, survived)
+	}
+}
+
+func driftAlerts(alerts []Alert, kind string) []Alert {
+	var out []Alert
+	for _, a := range alerts {
+		if a.Kind == kind {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func TestDriftSilentOnStableStream(t *testing.T) {
+	tr := NewTracker()
+	w := NewDriftWatcher(tr, nil, DriftConfig{})
+	now := time.Date(2026, 6, 4, 0, 0, 0, 0, time.UTC)
+	for step := 0; step < 30; step++ {
+		feed(tr, 8, 0.9, true) // Brier 0.01 per resolution, forever
+		if fired := w.Step(now); len(fired) != 0 {
+			t.Fatalf("step %d: stable stream fired %+v", step, fired)
+		}
+		now = now.Add(time.Minute)
+	}
+}
+
+func TestDriftFiresOnPersistentShift(t *testing.T) {
+	tr := NewTracker()
+	ring := NewAlertRing(32)
+	w := NewDriftWatcher(tr, ring, DriftConfig{})
+	now := time.Date(2026, 6, 4, 0, 0, 0, 0, time.UTC)
+
+	// Baseline: 10 steps of well-calibrated predictions.
+	for step := 0; step < 10; step++ {
+		feed(tr, 8, 0.9, true)
+		if fired := w.Step(now); len(fired) != 0 {
+			t.Fatalf("baseline step %d fired %+v", step, fired)
+		}
+		now = now.Add(time.Minute)
+	}
+
+	// Regression: the same confident predictions now fail (Brier 0.81).
+	var fired []Alert
+	for step := 0; step < 10 && len(fired) == 0; step++ {
+		feed(tr, 8, 0.9, false)
+		fired = w.Step(now)
+		now = now.Add(time.Minute)
+	}
+	drifts := driftAlerts(fired, AlertAccuracyDrift)
+	if len(drifts) == 0 {
+		t.Fatal("persistent Brier shift never fired the drift detector")
+	}
+	// Both the per-machine stream and the "_all" rollup watch the same
+	// resolutions here, so the machine-scoped alert must be among them.
+	var scoped *Alert
+	for i := range drifts {
+		if drifts[i].Machine == "m01" && drifts[i].Predictor == "SMP" {
+			scoped = &drifts[i]
+		}
+	}
+	if scoped == nil {
+		t.Fatalf("no (m01, SMP)-scoped drift alert in %+v", drifts)
+	}
+	if scoped.Value <= scoped.Threshold {
+		t.Errorf("alert value %.4f not above threshold %.4f", scoped.Value, scoped.Threshold)
+	}
+	if scoped.Seq == 0 {
+		t.Error("ring-appended alert carries no sequence number")
+	}
+	if got := ring.Alerts(0); len(got) != len(fired) {
+		t.Errorf("ring holds %d alerts, watcher fired %d", len(got), len(fired))
+	}
+
+	// Re-baseline: the stream stays at the degraded (but stable) level; the
+	// detector must not page again every step.
+	var refires int
+	for step := 0; step < 20; step++ {
+		feed(tr, 8, 0.9, false)
+		refires += len(driftAlerts(w.Step(now), AlertAccuracyDrift))
+		now = now.Add(time.Minute)
+	}
+	if refires != 0 {
+		t.Errorf("stable post-change stream re-fired %d times", refires)
+	}
+}
+
+func TestDriftMinResolvedGate(t *testing.T) {
+	tr := NewTracker()
+	w := NewDriftWatcher(tr, nil, DriftConfig{})
+	now := time.Unix(0, 0).UTC()
+	// 15 resolutions is under the default MinResolved of 16: the key is not
+	// even sampled, no matter how bad the scores are.
+	feed(tr, 15, 0.99, false)
+	for step := 0; step < 10; step++ {
+		if fired := w.Step(now); len(fired) != 0 {
+			t.Fatalf("sub-MinResolved stream fired %+v", fired)
+		}
+	}
+}
+
+func TestDriftBatchesThinStreams(t *testing.T) {
+	tr := NewTracker()
+	w := NewDriftWatcher(tr, nil, DriftConfig{MinSteps: 2})
+	now := time.Unix(0, 0).UTC()
+	feed(tr, 16, 0.9, true) // first observation: establishes the stream
+	w.Step(now)
+
+	// Trickle fewer than MinStepResolved new resolutions per step: the
+	// watcher must batch, not emit noisy single-point observations. With no
+	// emissions there can be no alarm, however bad the trickle is.
+	for step := 0; step < 7; step++ {
+		feed(tr, 1, 0.9, false)
+		if fired := w.Step(now); len(fired) != 0 {
+			t.Fatalf("batched trickle fired %+v at step %d", fired, step)
+		}
+	}
+}
+
+func TestDriftCalibrationSkewLatches(t *testing.T) {
+	tr := NewTracker()
+	w := NewDriftWatcher(tr, nil, DriftConfig{CalibrationSkew: 0.2, Lambda: 100})
+	now := time.Unix(0, 0).UTC()
+
+	// Claimed 0.9 survival, observed 0.5: gap 0.4 over the 0.2 threshold.
+	for i := 0; i < 16; i++ {
+		tr.RestoreResolution("m01", "SMP", 0.9, i%2 == 0)
+	}
+	fired := driftAlerts(w.Step(now), AlertCalibrationSkew)
+	if len(fired) == 0 {
+		t.Fatal("0.4 calibration gap never fired against a 0.2 threshold")
+	}
+	// Latched: the gap persists, the alert does not re-fire.
+	for step := 0; step < 5; step++ {
+		for i := 0; i < 8; i++ {
+			tr.RestoreResolution("m01", "SMP", 0.9, i%2 == 0)
+		}
+		if again := driftAlerts(w.Step(now), AlertCalibrationSkew); len(again) != 0 {
+			t.Fatalf("latched skew re-fired %+v", again)
+		}
+	}
+	// Re-arm: enough well-calibrated resolutions pull the lifetime gap under
+	// half the threshold, unlatching the alert...
+	for i := 0; i < 2000; i++ {
+		tr.RestoreResolution("m01", "SMP", 0.9, i%10 != 0)
+	}
+	if again := driftAlerts(w.Step(now), AlertCalibrationSkew); len(again) != 0 {
+		t.Fatalf("skew fired while under threshold: %+v", again)
+	}
+	// ...so a second systematic skew episode pages again.
+	for i := 0; i < 4000; i++ {
+		tr.RestoreResolution("m01", "SMP", 0.9, i%2 == 0)
+	}
+	if again := driftAlerts(w.Step(now), AlertCalibrationSkew); len(again) == 0 {
+		t.Fatal("re-armed skew never re-fired")
+	}
+}
+
+func TestDriftFleetOnly(t *testing.T) {
+	tr := NewTracker()
+	w := NewDriftWatcher(tr, nil, DriftConfig{FleetOnly: true})
+	now := time.Unix(0, 0).UTC()
+	for step := 0; step < 10; step++ {
+		feed(tr, 8, 0.9, true)
+		w.Step(now)
+	}
+	var fired []Alert
+	for step := 0; step < 10 && len(fired) == 0; step++ {
+		feed(tr, 8, 0.9, false)
+		fired = w.Step(now)
+	}
+	if len(fired) == 0 {
+		t.Fatal("fleet-only watcher never fired on a fleet-wide shift")
+	}
+	for _, a := range fired {
+		if a.Machine != "_all" {
+			t.Errorf("fleet-only watcher fired per-machine alert %+v", a)
+		}
+	}
+}
+
+func TestDriftNilSafety(t *testing.T) {
+	var w *DriftWatcher
+	if got := w.Step(time.Now()); got != nil {
+		t.Errorf("nil watcher fired %+v", got)
+	}
+	w2 := NewDriftWatcher(nil, nil, DriftConfig{})
+	if got := w2.Step(time.Now()); got != nil {
+		t.Errorf("trackerless watcher fired %+v", got)
+	}
+}

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeObsSnapshot hammers the peer-obs wire decoder — the code path a
+// federated gateway runs on every query-obs response from a (possibly
+// compromised) peer — with arbitrary bytes. No input may panic it, and any
+// input it accepts must re-encode to a canonical fixpoint: encode(decode(x))
+// decodes again and re-encodes byte-identically.
+func FuzzDecodeObsSnapshot(f *testing.F) {
+	// A full export: counters, gauges, a histogram, accuracy sums, alerts.
+	f.Add(samplePeerObs("gw01").EncodeBinary())
+	// A completely empty export from nil sources.
+	f.Add(ExportPeerObs("", nil, nil, nil).EncodeBinary())
+	// Alerts only, including an awkward escaped message and zero time.
+	ring := NewAlertRing(4)
+	ring.Append(Alert{Kind: AlertBreakerFlap, Message: `flap "rate" > 3\step`,
+		Time: time.Date(2026, 6, 4, 1, 2, 3, 4, time.UTC)})
+	ring.Append(Alert{Kind: AlertShedRate})
+	f.Add(ExportPeerObs("gw02", nil, nil, ring).EncodeBinary())
+	// Truncations and corruptions of a valid snapshot.
+	good := samplePeerObs("gw03").EncodeBinary()
+	f.Add(good[:len(good)/2])
+	f.Add(append(append([]byte(nil), good...), 0x00))
+	f.Add([]byte("FGOS"))
+	f.Add([]byte{'F', 'G', 'O', 'S', 1, 0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeObsSnapshot(data)
+		if err != nil {
+			return
+		}
+		enc := p.EncodeBinary()
+		q, err := DecodeObsSnapshot(enc)
+		if err != nil {
+			t.Fatalf("re-encoded accepted snapshot rejected: %v", err)
+		}
+		if again := q.EncodeBinary(); !bytes.Equal(again, enc) {
+			t.Fatalf("canonical encoding is not a fixpoint:\n%x\n%x", enc, again)
+		}
+		// An accepted snapshot must also merge without panicking, however
+		// adversarial its contents.
+		fs := NewFleetSnapshot()
+		fs.Add(p, PeerStatus{Status: PeerOK})
+		fs.Add(q, PeerStatus{Status: PeerStale, AgeSeconds: 1})
+		var buf bytes.Buffer
+		if err := fs.WriteText(&buf); err != nil {
+			t.Fatalf("merged fuzz snapshot failed to render: %v", err)
+		}
+	})
+}

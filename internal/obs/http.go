@@ -1,13 +1,36 @@
 package obs
 
 import (
+	"fmt"
 	"net/http"
 )
 
 // Handler serves the registry (and, when non-nil, the accuracy tracker)
 // in the Prometheus text exposition format. Mount it at /metrics.
 func Handler(r *Registry, t *Tracker) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+	return FleetHandler(r, t, nil)
+}
+
+// FleetHandler serves the local registry and tracker like Handler, and
+// additionally answers ?scope=fleet with the merged fleet snapshot obtained
+// from the fetch callback (a federated peer wires its fan-out here). With a
+// nil fetch, fleet scope answers 404.
+func FleetHandler(r *Registry, t *Tracker, fleet func(*http.Request) (*FleetSnapshot, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Query().Get("scope") == "fleet" {
+			if fleet == nil {
+				http.Error(w, "fleet scope not available on this node", http.StatusNotFound)
+				return
+			}
+			fs, err := fleet(req)
+			if err != nil {
+				http.Error(w, fmt.Sprintf("fleet aggregation: %v", err), http.StatusBadGateway)
+				return
+			}
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = fs.WriteText(w)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if r != nil {
 			if err := r.WriteText(w); err != nil {
@@ -17,5 +40,30 @@ func Handler(r *Registry, t *Tracker) http.Handler {
 		if t != nil {
 			_ = t.WriteText(w)
 		}
+	})
+}
+
+// HealthHandler answers liveness: 200 as long as the process serves HTTP.
+// Mount it at /healthz.
+func HealthHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// ReadyHandler answers readiness: 200 when check returns nil, 503 with the
+// reason otherwise. Mount it at /readyz; wire check to the node's readiness
+// predicate (WAL recovered, registry synced, ring converged).
+func ReadyHandler(check func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if check != nil {
+			if err := check(); err != nil {
+				http.Error(w, fmt.Sprintf("not ready: %v", err), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		fmt.Fprintln(w, "ready")
 	})
 }
