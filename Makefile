@@ -1,7 +1,7 @@
 GO ?= go
 
 # Benchmarks gated against BENCH_baseline.json by `make benchstat`.
-BENCH_GATE = BenchmarkEngineCachedVsCold|BenchmarkPredictBatchParallel|BenchmarkEnginePredictTracing|BenchmarkQueryTRTracing|BenchmarkWALAppend|BenchmarkRecover
+BENCH_GATE = BenchmarkEngineCachedVsCold|BenchmarkPredictBatchParallel|BenchmarkEnginePredictTracing|BenchmarkQueryTRTracing|BenchmarkQueryTREnsemble|BenchmarkWALAppend|BenchmarkRecover
 FUZZTIME ?= 20s
 
 .PHONY: build test race vet lint cover bench benchstat benchbase bench-serve bench-serve-base bench-serve-wal bench-fleet bench-fleet-base fuzz golden chaos crash
@@ -48,6 +48,7 @@ bench:
 benchstat:
 	$(GO) test -run '^$$' -bench '$(BENCH_GATE)' -benchmem -count=3 . | tee bench_gate.out
 	$(GO) run ./cmd/benchgate -in bench_gate.out -out BENCH_predict.json -baseline BENCH_baseline.json
+	$(GO) run ./cmd/benchgate -ensemble -in bench_gate.out
 	@rm -f bench_gate.out
 
 benchbase:

@@ -651,6 +651,53 @@ func BenchmarkQueryTRTracing(b *testing.B) {
 	})
 }
 
+// BenchmarkQueryTREnsemble compares a full in-process QueryTR on a
+// single-predictor node against the same query on an ensemble node
+// (router-selected serving, FFT/PCT shadows through the engine cache). The
+// sub-benchmarks run in one process so `benchgate -ensemble` can gate their
+// ratio machine-independently: the ensemble path must stay within the
+// tolerance of the single-predictor path.
+func BenchmarkQueryTREnsemble(b *testing.B) {
+	m := benchDataset(b).Machines[0]
+	last := m.Days[len(m.Days)-1].Date
+	now := last.Add(24*time.Hour + 8*time.Hour + 30*time.Minute)
+	req := ishare.QueryTRReq{LengthSeconds: 7200, GuestMemMB: 100}
+	newNode := func(ensemble bool) *ishare.HostNode {
+		node, err := ishare.NewHostNode(ishare.NodeConfig{
+			MachineID: m.ID, Cfg: avail.DefaultConfig(), Period: m.Period,
+			Clock: simclock.NewVirtual(now), Preloaded: m,
+			Ensemble: ensemble,
+		}, monitor.StaticSource{CPU: 25, FreeMemMB: 300})
+		if err != nil {
+			b.Fatal(err)
+		}
+		node.SM.Record(now, trace.Sample{CPU: 5, FreeMemMB: 400, Up: true})
+		return node
+	}
+	b.Run("single", func(b *testing.B) {
+		node := newNode(false)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := node.SM.QueryTR(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ensemble", func(b *testing.B) {
+		node := newNode(true)
+		ctx := context.Background()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := node.SM.QueryTR(ctx, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ---------------------------------------------------------- durability ----
 
 // benchWALSample returns the i-th quantized monitor sample of the WAL

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// runEnsemble gates the ensemble serving path against the single-predictor
+// path from the same benchmark run: BenchmarkQueryTREnsemble/ensemble must
+// stay within the tolerance of BenchmarkQueryTREnsemble/single in ns/op.
+// Because both sub-benchmarks come from one process on one machine, the
+// ratio is machine-independent — no recorded baseline is involved, so the
+// gate holds on any hardware without regeneration.
+func runEnsemble(in io.Reader, tolerance float64, stderr io.Writer) error {
+	results, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	var single, ens *Result
+	for i := range results {
+		name := results[i].Name
+		if !strings.Contains(name, "QueryTREnsemble") {
+			continue
+		}
+		switch {
+		case strings.Contains(name, "/single"):
+			single = &results[i]
+		case strings.Contains(name, "/ensemble"):
+			ens = &results[i]
+		}
+	}
+	if single == nil || ens == nil {
+		return fmt.Errorf("input lacks the BenchmarkQueryTREnsemble single/ensemble pair (run go test -bench QueryTREnsemble)")
+	}
+	if single.NsPerOp <= 0 {
+		return fmt.Errorf("single-predictor benchmark reported non-positive latency %.1f ns/op", single.NsPerOp)
+	}
+	ratio := ens.NsPerOp / single.NsPerOp
+	if ratio > 1+tolerance {
+		fmt.Fprintf(stderr, "benchgate: FAIL: ensemble query path %.1f ns/op is %.1f%% above single-predictor %.1f ns/op (allowed %.0f%%)\n",
+			ens.NsPerOp, 100*(ratio-1), single.NsPerOp, tolerance*100)
+		return fmt.Errorf("ensemble serving-path gate violation")
+	}
+	fmt.Fprintf(stderr, "benchgate: OK: ensemble %.1f ns/op vs single %.1f ns/op (%.1f%% overhead, allowed %.0f%%)\n",
+		ens.NsPerOp, single.NsPerOp, 100*(ratio-1), tolerance*100)
+	return nil
+}

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunEnsemble(t *testing.T) {
+	ok := `BenchmarkQueryTREnsemble/single-8    100000  5000 ns/op  3600 B/op  3 allocs/op
+BenchmarkQueryTREnsemble/ensemble-8  100000  5400 ns/op  3600 B/op  3 allocs/op
+`
+	var stderr strings.Builder
+	if err := runEnsemble(strings.NewReader(ok), 0.10, &stderr); err != nil {
+		t.Fatalf("8%% overhead rejected at 10%% tolerance: %v\n%s", err, stderr.String())
+	}
+
+	slow := `BenchmarkQueryTREnsemble/single-8    100000  5000 ns/op
+BenchmarkQueryTREnsemble/ensemble-8  100000  6000 ns/op
+`
+	stderr.Reset()
+	if err := runEnsemble(strings.NewReader(slow), 0.10, &stderr); err == nil {
+		t.Fatal("20% overhead accepted at 10% tolerance")
+	}
+	if !strings.Contains(stderr.String(), "FAIL") {
+		t.Fatalf("no FAIL line in stderr: %s", stderr.String())
+	}
+
+	missing := `BenchmarkQueryTRTracing/off-8  100000  5000 ns/op
+`
+	if err := runEnsemble(strings.NewReader(missing), 0.10, &stderr); err == nil {
+		t.Fatal("input without the pair accepted")
+	}
+}

@@ -41,6 +41,14 @@
 //	isharec -fed localhost:7000 stats -json | benchgate -slo
 //	fleetsim -out report.json && benchgate -slo -in report.json
 //
+// With -ensemble the input is go test -bench output carrying the
+// BenchmarkQueryTREnsemble single/ensemble pair, and the gate requires the
+// ensemble serving path to stay within -tolerance of the single-predictor
+// path. The two sub-benchmarks run in one process on the same machine, so
+// the ratio needs no recorded baseline and holds across hardware:
+//
+//	go test -run '^$' -bench QueryTREnsemble -benchmem . | benchgate -ensemble
+//
 // Baselines are machine-specific: regenerate with -write when switching
 // hardware, and treat the latency gate as meaningful only on comparable
 // machines. Benchmark names are kept verbatim, including any trailing
@@ -240,6 +248,8 @@ func main() {
 		maxObsCost = flag.Float64("max-obs-cost-fraction", 0.02, "fleet mode: allowed share of run wall time spent in the observability plane")
 
 		slo = flag.Bool("slo", false, "gate SLO statuses: every slo in the input (isharec stats -json or a fleetsim report) must report ok")
+
+		ensemble = flag.Bool("ensemble", false, "gate the ensemble serving path: BenchmarkQueryTREnsemble's ensemble sub-benchmark must stay within -tolerance of its single sub-benchmark (same-run ratio, no baseline)")
 	)
 	flag.Parse()
 	var r io.Reader = os.Stdin
@@ -260,6 +270,8 @@ func main() {
 		err = runFleet(r, *baseline, *write, *tolerance, *maxPerMach, *minPredSec, *maxObsCost, os.Stderr)
 	case *slo:
 		err = runSLO(r, os.Stderr)
+	case *ensemble:
+		err = runEnsemble(r, *tolerance, os.Stderr)
 	default:
 		err = run(r, *out, *baseline, *write, *tolerance, os.Stderr)
 	}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// tableRowName matches the first cell of a markdown table row when it holds a
+// single code span: `| `NAME` | ...`. Predictor names may contain letters,
+// digits, parens and commas (`ARMA(8,8)`), so the span body is taken verbatim
+// up to the closing backtick.
+var tableRowName = regexp.MustCompile("^\\|\\s*`([^`]+)`\\s*\\|")
+
+// stalePredictorTable cross-checks the predictor reference table in the
+// authoring guide against the names registered in internal/predict. Table
+// rows are recognized by a first cell holding exactly one code span; header
+// and separator rows never match. Both directions are enforced: a registered
+// plugin absent from the table is a missing entry, and a documented name with
+// no registration is a phantom entry.
+func stalePredictorTable(docPath string, registered []string) ([]string, error) {
+	raw, err := os.ReadFile(docPath)
+	if err != nil {
+		return nil, fmt.Errorf("reading predictor guide (satellite docs missing?): %w", err)
+	}
+	documented := map[string]bool{}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if m := tableRowName.FindStringSubmatch(line); m != nil {
+			documented[m[1]] = true
+		}
+	}
+	var out []string
+	for _, name := range registered {
+		if !documented[name] {
+			out = append(out, fmt.Sprintf("%s: registered predictor %q is missing from the reference table", docPath, name))
+		}
+	}
+	known := map[string]bool{}
+	for _, name := range registered {
+		known[name] = true
+	}
+	phantoms := make([]string, 0, len(documented))
+	for name := range documented {
+		if !known[name] {
+			phantoms = append(phantoms, name)
+		}
+	}
+	sort.Strings(phantoms)
+	for _, name := range phantoms {
+		out = append(out, fmt.Sprintf("%s: documented predictor %q is not registered in internal/predict", docPath, name))
+	}
+	return out, nil
+}

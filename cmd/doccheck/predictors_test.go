@@ -1,0 +1,71 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeGuide(t *testing.T, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "PREDICTORS.md")
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestStalePredictorTable(t *testing.T) {
+	registered := []string{"ARMA(8,8)", "FFT", "SMP"}
+	complete := "# Guide\n\n" +
+		"| Name | Knobs |\n|---|---|\n" +
+		"| `SMP` | none |\n" +
+		"| `FFT` | spectrum items |\n" +
+		"| `ARMA(8,8)` | order |\n"
+
+	problems, err := stalePredictorTable(writeGuide(t, complete), registered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("complete table reported problems: %v", problems)
+	}
+
+	missing := strings.Replace(complete, "| `FFT` | spectrum items |\n", "", 1)
+	problems, err = stalePredictorTable(writeGuide(t, missing), registered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], `"FFT" is missing`) {
+		t.Fatalf("dropped FFT row not flagged as missing: %v", problems)
+	}
+
+	phantom := complete + "| `GHOST` | imaginary |\n"
+	problems, err = stalePredictorTable(writeGuide(t, phantom), registered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], `"GHOST" is not registered`) {
+		t.Fatalf("unregistered GHOST row not flagged as phantom: %v", problems)
+	}
+
+	if _, err := stalePredictorTable(filepath.Join(t.TempDir(), "absent.md"), registered); err == nil {
+		t.Fatal("missing guide file did not error")
+	}
+}
+
+func TestStalePredictorTableIgnoresNonTableSpans(t *testing.T) {
+	// Code spans in prose or later columns must not count as documented
+	// predictors; only the first cell of a table row does.
+	body := "Use `FFT` by calling `NewPlugin`.\n\n" +
+		"| Name | See |\n|---|---|\n" +
+		"| `SMP` | `FFT` cross-reference |\n"
+	problems, err := stalePredictorTable(writeGuide(t, body), []string{"FFT", "SMP"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], `"FFT" is missing`) {
+		t.Fatalf("prose mention of FFT satisfied the table check: %v", problems)
+	}
+}

@@ -212,6 +212,11 @@ func (g *Gateway) QueryStats(ctx context.Context, req QueryStatsReq) (QueryStats
 	resp.Requests, resp.Errors = o.requestCounts()
 	resp.Wire = o.wireStats()
 	resp.SLO = o.SLOStatuses()
+	if r := g.sm.Router(); r != nil {
+		snap := r.Snapshot()
+		resp.Routing = &snap
+		resp.WinRates = o.Tracker.WinRates(r.Config().MinSamples)
+	}
 	if !req.Calibration {
 		for i := range resp.Accuracy {
 			resp.Accuracy[i].Calibration = nil

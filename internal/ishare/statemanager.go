@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log/slog"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -44,6 +45,10 @@ type StateManager struct {
 	engine    *predict.Engine
 	obsv      *NodeObs
 	baselines []timeseries.Fitter
+	fft       predict.Spectral
+	pct       predict.Percentile
+	router    *Router // nil = single-predictor serving
+	forced    string  // non-empty pins serving to one predictor
 	stateBuf  []avail.State // scratch for per-sample classification (under mu)
 	curState  avail.State   // last classified state, valid when recent is non-empty (under mu)
 	sampleVer atomic.Uint64 // bumped on every recorded sample
@@ -88,6 +93,11 @@ type SharedDeps struct {
 	// Engine is the prediction engine to query through (nil = own engine,
 	// wired to the bundle's engine metrics).
 	Engine *predict.Engine
+	// Router, when non-nil, turns on ensemble serving: each QueryTR is
+	// answered by the predictor the router selects from the shared
+	// accuracy tracker's rolling Brier scores. The router's tracker must
+	// be the bundle's tracker (shared across every manager using it).
+	Router *Router
 }
 
 // NewStateManagerShared is NewStateManager with injected shared
@@ -110,6 +120,12 @@ func NewStateManagerShared(machineID string, period time.Duration, cfg avail.Con
 		obsv = NewNodeObs()
 	}
 	recentCap := int(cfg.SuspendLimit/period) + 4
+	fft := predict.DefaultSpectral()
+	fft.Cfg = cfg
+	fft.HistoryDays = historyDays
+	pct := predict.DefaultPercentile()
+	pct.Cfg = cfg
+	pct.HistoryDays = historyDays
 	sm := &StateManager{
 		machineID: machineID,
 		cfg:       cfg,
@@ -122,6 +138,9 @@ func NewStateManagerShared(machineID string, period time.Duration, cfg avail.Con
 		engine:    deps.Engine,
 		obsv:      obsv,
 		baselines: timeseries.ReferenceSuite(),
+		fft:       fft,
+		pct:       pct,
+		router:    deps.Router,
 		stateBuf:  make([]avail.State, 0, recentCap),
 	}
 	if sm.engine == nil {
@@ -141,6 +160,23 @@ func (sm *StateManager) EngineStats() predict.EngineStats { return sm.engine.Sta
 // Obs exposes the node's observability bundle: the metrics registry every
 // component on this node records into and the online accuracy tracker.
 func (sm *StateManager) Obs() *NodeObs { return sm.obsv }
+
+// Router returns the ensemble router serving this manager, nil when the node
+// runs single-predictor.
+func (sm *StateManager) Router() *Router { return sm.router }
+
+// ForcePredictor pins QueryTR serving to one registered predictor plugin
+// (shadow scoring of the others continues). Empty restores the default.
+// Call before queries flow; the name must be registered.
+func (sm *StateManager) ForcePredictor(name string) error {
+	if name != "" {
+		if _, ok := predict.NewPlugin(name, predict.PluginOptions{Cfg: sm.cfg}); !ok {
+			return fmt.Errorf("ishare: unknown predictor %q (registered: %s)", name, strings.Join(predict.PluginNames(), ", "))
+		}
+	}
+	sm.forced = name
+	return nil
+}
 
 // Record implements monitor.Sink: it archives the sample, refreshes the
 // current-state estimate, and feeds the availability outcome to the accuracy
@@ -364,12 +400,16 @@ func (sm *StateManager) QueryTR(ctx context.Context, req QueryTRReq) (QueryTRRes
 	_, days := sm.completedDays(midnight)
 	if len(days) == 0 {
 		// No history yet: report optimistic full availability; the
-		// scheduler treats all such machines equally.
+		// scheduler treats all such machines equally. The ensemble serves
+		// its fallback here — no predictor has anything to fit on.
 		span.AddEvent("no-history")
 		resp := QueryTRResp{TR: 1, HistoryWindows: 0, CurrentState: cur.String()}
+		if sm.forced != "" || sm.router != nil {
+			resp.Predictor = "SMP"
+		}
 		st := sm.engine.Stats()
 		resp.CacheHits, resp.CacheMisses = st.Hits, st.Misses
-		sm.recordPredictions(midnight, w, cfg.Cfg, 1)
+		sm.recordPredictions(ctx, midnight, w, cfg.Cfg, 1, nil)
 		return resp, nil
 	}
 	tr, err := sm.engine.PredictFromCtx(ctx, cfg, days, w, cur)
@@ -378,24 +418,90 @@ func (sm *StateManager) QueryTR(ctx context.Context, req QueryTRReq) (QueryTRRes
 		return QueryTRResp{}, err
 	}
 	resp := QueryTRResp{TR: tr, HistoryWindows: len(days), CurrentState: cur.String()}
+	shadows := sm.recordPredictions(ctx, midnight, w, cfg.Cfg, tr, days)
+	// Ensemble serving: a forced predictor (operator override) or the
+	// router's per-machine selection replaces the SMP answer, falling back
+	// to SMP when the chosen predictor produced nothing for this window.
+	if serving := sm.servingPredictor(); serving != "" {
+		resp.Predictor = "SMP"
+		if serving != "SMP" {
+			for _, sp := range shadows {
+				if sp.name == serving {
+					resp.TR, resp.Predictor = sp.p, serving
+					span.AddEvent("ensemble-routed", otrace.String("predictor", serving))
+					break
+				}
+			}
+		}
+	}
 	st := sm.engine.Stats()
 	resp.CacheHits, resp.CacheMisses = st.Hits, st.Misses
-	sm.recordPredictions(midnight, w, cfg.Cfg, tr)
 	return resp, nil
 }
 
+// servingPredictor names the plugin that should answer the current query:
+// the forced override, the router's choice, or "" for plain SMP serving.
+func (sm *StateManager) servingPredictor() string {
+	if sm.forced != "" {
+		return sm.forced
+	}
+	if sm.router != nil {
+		return sm.router.Route(sm.machineID)
+	}
+	return ""
+}
+
 // recordPredictions registers the SMP prediction for the issued window with
-// the accuracy tracker, alongside the Table 1 linear baselines (AR, BM, MA,
-// ARMA, LAST) forecast from the window immediately preceding the query
-// window in today's live log — the paper's Section 5 comparison, scored
-// online as each window's outcome is observed by the monitor.
-func (sm *StateManager) recordPredictions(midnight time.Time, w predict.Window, cfg avail.Config, smpTR float64) {
+// the accuracy tracker, alongside every shadow predictor: the Table 1
+// linear baselines (AR, BM, MA, ARMA, LAST) forecast from the window
+// immediately preceding the query window in today's live log, plus the
+// ensemble's spectral (FFT) and percentile (PCT) plugins fitted on the
+// completed-day history — the paper's Section 5 comparison, scored online
+// as each window's outcome is observed by the monitor, and the signal the
+// ensemble router selects on. The shadow list is returned so the serving
+// path can answer with whichever predictor the router picked.
+func (sm *StateManager) recordPredictions(ctx context.Context, midnight time.Time, w predict.Window, cfg avail.Config, smpTR float64, days []*trace.Day) []baselinePred {
 	tracker := sm.obsv.Tracker
 	start := midnight.Add(w.Start)
 	tracker.RecordPrediction(sm.machineID, "SMP", smpTR, start, w.Length)
-	for _, bp := range sm.baselinePredictions(midnight, w, cfg) {
+	shadows := sm.shadowPredictions(ctx, midnight, w, cfg, days)
+	for _, bp := range shadows {
 		tracker.RecordPrediction(sm.machineID, bp.name, bp.p, start, w.Length)
 	}
+	return shadows
+}
+
+// shadowPredictions produces every shadow predictor's TR for the query
+// window: the memoized linear baselines plus the FFT and PCT plugins, which
+// run through the prediction engine so their day-structured fits are
+// memoized in the kernel LRU exactly like SMP's (repeated queries for the
+// same window hit the cache; the plugin name and config salt keep entries
+// isolated). days carries the same stable snapshot the SMP path used — nil
+// when the machine has no completed history, in which case the
+// day-structured shadows are skipped.
+func (sm *StateManager) shadowPredictions(ctx context.Context, midnight time.Time, w predict.Window, cfg avail.Config, days []*trace.Day) []baselinePred {
+	preds := sm.baselinePredictions(midnight, w, cfg)
+	if len(days) == 0 {
+		return preds
+	}
+	// Copying the plugin value and setting Cfg folds the per-query config
+	// (guest memory) into the cache salt — the Cacheable contract.
+	in := predict.PluginInput{Days: days, Window: w, Period: sm.period}
+	fft := sm.fft
+	fft.Cfg = cfg
+	pct := sm.pct
+	pct.Cfg = cfg
+	// preds aliases the memoized baseline slice; append must not grow it in
+	// place or concurrent queries sharing the memo entry would race.
+	out := make([]baselinePred, len(preds), len(preds)+2)
+	copy(out, preds)
+	if tr, err := sm.engine.PredictPluginCtx(ctx, fft, in); err == nil {
+		out = append(out, baselinePred{name: fft.Name(), p: tr})
+	}
+	if tr, err := sm.engine.PredictPluginCtx(ctx, pct, in); err == nil {
+		out = append(out, baselinePred{name: pct.Name(), p: tr})
+	}
+	return out
 }
 
 // baselineKey identifies one baseline forecast: the query window, the day it

@@ -105,14 +105,20 @@ func NewEngine(cfg EngineConfig) *Engine {
 // Workers returns the batch worker-pool width.
 func (e *Engine) Workers() int { return e.workers }
 
-// engineKey identifies one cached kernel: the fingerprint of the effective
-// (already HistoryDays-truncated) day pool, the query window, and the full
-// estimator configuration. SMP and Window are comparable value types, so the
-// key works directly as a map key.
+// engineKey identifies one cached result: the fingerprint of the day pool,
+// the query window, and the predictor identity — the full SMP estimator
+// configuration on the kernel path, or the plugin's registered name plus its
+// configuration salt on the cached-plugin path (see Cacheable). The plugin
+// name is always part of the key, so two predictors can never share an
+// entry: ensemble routing cannot serve one predictor's fitted result for
+// another's. SMP and Window are comparable value types, so the key works
+// directly as a map key.
 type engineKey struct {
 	fp     uint64
 	window Window
 	pred   SMP
+	plugin string
+	salt   uint64
 }
 
 // engineEntry is one cached result: the estimated kernel plus everything a
@@ -306,7 +312,7 @@ func (e *Engine) lookup(ctx context.Context, p SMP, history []*trace.Day, w Wind
 	}
 	norm := p
 	norm.HistoryDays = 0 // the truncation is already folded into the fingerprint
-	key := engineKey{fp: e.fingerprint(days), window: w, pred: norm}
+	key := engineKey{fp: e.fingerprint(days), window: w, pred: norm, plugin: "SMP"}
 	m := e.metrics.Load()
 	if e.cacheSize < 0 {
 		e.misses.Add(1)
@@ -357,24 +363,112 @@ func (e *Engine) lookup(ctx context.Context, p SMP, history []*trace.Day, w Wind
 	e.mu.Lock()
 	delete(e.inflight, key)
 	if err == nil {
-		entry.key = key
-		e.items[key] = e.lru.PushFront(entry)
-		for len(e.items) > e.cacheSize {
-			oldest := e.lru.Back()
-			e.lru.Remove(oldest)
-			delete(e.items, oldest.Value.(*engineEntry).key)
-			e.evictions.Add(1)
-			if m != nil {
-				m.Evictions.Inc()
-			}
-		}
-		if m != nil {
-			m.Entries.Set(float64(len(e.items)))
-		}
+		e.insertLocked(key, entry, m)
 	}
 	e.mu.Unlock()
 	close(call.done)
 	return entry, err
+}
+
+// insertLocked files a freshly computed entry under key and applies the LRU
+// bound. Callers hold e.mu.
+func (e *Engine) insertLocked(key engineKey, entry *engineEntry, m *EngineMetrics) {
+	entry.key = key
+	e.items[key] = e.lru.PushFront(entry)
+	for len(e.items) > e.cacheSize {
+		oldest := e.lru.Back()
+		e.lru.Remove(oldest)
+		delete(e.items, oldest.Value.(*engineEntry).key)
+		e.evictions.Add(1)
+		if m != nil {
+			m.Evictions.Inc()
+		}
+	}
+	if m != nil {
+		m.Entries.Set(float64(len(e.items)))
+	}
+}
+
+// PredictPlugin is PredictPluginCtx with a background context.
+func (e *Engine) PredictPlugin(pl Plugin, in PluginInput) (float64, error) {
+	return e.PredictPluginCtx(context.Background(), pl, in)
+}
+
+// PredictPluginCtx evaluates an ensemble plugin through the engine. Plugins
+// that implement Cacheable are memoized in the same LRU as the SMP kernels,
+// keyed by (history fingerprint, window, plugin name, configuration salt) —
+// the plugin identity in the key guarantees predictors never cross-serve —
+// with concurrent misses for the same key coalesced exactly like kernel
+// estimations. Non-cacheable plugins (the forecast-origin baselines, whose
+// output depends on the live Prev samples) are evaluated directly.
+func (e *Engine) PredictPluginCtx(ctx context.Context, pl Plugin, in PluginInput) (float64, error) {
+	c, cacheable := pl.(Cacheable)
+	if !cacheable {
+		return pl.PredictTR(in)
+	}
+	span := otrace.FromContext(ctx)
+	m := e.metrics.Load()
+	if e.cacheSize < 0 {
+		e.misses.Add(1)
+		if m != nil {
+			m.Misses.Inc()
+		}
+		span.AddEvent("cache-miss")
+		return pl.PredictTR(in)
+	}
+	key := engineKey{fp: e.fingerprint(in.Days), window: in.Window, plugin: pl.Name(), salt: c.CacheSalt()}
+	e.mu.Lock()
+	if el, ok := e.items[key]; ok {
+		e.lru.MoveToFront(el)
+		entry := el.Value.(*engineEntry)
+		e.mu.Unlock()
+		e.hits.Add(1)
+		if m != nil {
+			m.Hits.Inc()
+		}
+		span.AddEvent("cache-hit")
+		return entry.pred.TR, nil
+	}
+	if call, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		<-call.done
+		if call.err != nil {
+			return 0, call.err
+		}
+		e.hits.Add(1)
+		if m != nil {
+			m.Hits.Inc()
+		}
+		span.AddEvent("cache-hit", otrace.String("via", "inflight"))
+		return call.entry.pred.TR, nil
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	e.inflight[key] = call
+	e.mu.Unlock()
+	e.misses.Add(1)
+	if m != nil {
+		m.Misses.Inc()
+	}
+	span.AddEvent("cache-miss")
+
+	tr, err := pl.PredictTR(in)
+	var entry *engineEntry
+	if err == nil {
+		entry = &engineEntry{pred: Prediction{TR: tr}}
+	}
+	call.entry, call.err = entry, err
+
+	e.mu.Lock()
+	delete(e.inflight, key)
+	if err == nil {
+		e.insertLocked(key, entry, m)
+	}
+	e.mu.Unlock()
+	close(call.done)
+	if err != nil {
+		return 0, err
+	}
+	return tr, nil
 }
 
 // compute runs the full prediction pipeline on pooled scratch buffers. The

@@ -118,6 +118,79 @@ func TestGoldenPredictions(t *testing.T) {
 	}
 }
 
+// TestGoldenPredictionsPlugins pins the ensemble's day-structured plugins
+// (FFT, PCT) bit-for-bit over the same fixed-seed workload and windows as
+// TestGoldenPredictions; the spectral pipeline (classification, box-filter
+// resampling, radix-2 FFT, spectrum selection, series evaluation) and the
+// quantile scorer all feed the recorded numbers. The name matches both the
+// `make golden` and `make golden-update` filters.
+func TestGoldenPredictionsPlugins(t *testing.T) {
+	ds := goldenWorkload(t)
+	cfg := avail.DefaultConfig()
+	windows := []Window{
+		{Start: 8 * time.Hour, Length: time.Hour},
+		{Start: 8 * time.Hour, Length: 4 * time.Hour},
+		{Start: 14 * time.Hour, Length: 2 * time.Hour},
+		{Start: 20 * time.Hour, Length: 3 * time.Hour},
+	}
+	fft := DefaultSpectral()
+	fft.Cfg = cfg
+	pct := DefaultPercentile()
+	pct.Cfg = cfg
+	plugins := []Plugin{fft, pct}
+
+	var b strings.Builder
+	b.WriteString("# machine window predictor value — regenerate with: go test ./internal/predict -run TestGoldenPredictionsPlugins -update\n")
+	for _, m := range ds.Machines {
+		days := m.DaysOfType(trace.Weekday)
+		for _, w := range windows {
+			for _, pl := range plugins {
+				tr, err := pl.PredictTR(PluginInput{Days: days, Window: w, Period: m.Period})
+				if err != nil {
+					t.Fatalf("%s %v %s: %v", m.ID, w, pl.Name(), err)
+				}
+				if tr < 0 || tr > 1 {
+					t.Fatalf("%s %v %s: TR %v outside [0, 1]", m.ID, w, pl.Name(), tr)
+				}
+				fmt.Fprintf(&b, "%s %v %s %s\n", m.ID, w, pl.Name(), f64(tr))
+			}
+		}
+	}
+	got := b.String()
+
+	path := filepath.Join("testdata", "golden_plugins.txt")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden file rewritten: %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create it): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("golden mismatch at line %d:\n got: %s\nwant: %s\n(run with -update if the change is intended)", i+1, g, w)
+		}
+	}
+}
+
 // TestGoldenDeterminism guards the guard: generating the workload and
 // evaluating one prediction twice from scratch must agree exactly, otherwise
 // the golden file would flake rather than catch regressions.

@@ -1,0 +1,211 @@
+package predict
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"fgcs/internal/avail"
+	"fgcs/internal/timeseries"
+	"fgcs/internal/trace"
+)
+
+// Plugin is the uniform predictor surface the ensemble router selects over:
+// fit from recorded day history and predict the temporal reliability of one
+// (start, length) window. Implementations must be deterministic — the same
+// PluginInput must always yield the same TR bit-for-bit, with no wall-clock
+// reads, map-iteration dependence, or unseeded randomness — because routing
+// decisions, golden traces, and the fleetsim transcript all hash predictor
+// output. See docs/PREDICTORS.md for the authoring contract and a worked
+// example.
+type Plugin interface {
+	// Name is the stable identifier used by the accuracy tracker, the
+	// router, query-stats output and the docs reference table.
+	Name() string
+	// PredictTR returns the predicted probability, in [0, 1], that the
+	// machine stays available for guest execution throughout in.Window.
+	PredictTR(in PluginInput) (float64, error)
+}
+
+// PluginInput is everything a predictor may condition on. Day-structured
+// predictors (SMP, FFT, PCT) read Days; forecast-origin predictors (the
+// linear baselines) read Prev, the live samples immediately preceding the
+// window. Either slice may be empty — plugins must fail or degrade
+// gracefully, not panic.
+type PluginInput struct {
+	// Days holds completed history days of the target day's type, oldest
+	// first, immutable (the same contract as SMP.Predict).
+	Days []*trace.Day
+	// Prev holds today's samples for the window immediately preceding
+	// Window (equal length, clipped at midnight), for predictors that
+	// forecast from the live origin rather than from day structure.
+	Prev []trace.Sample
+	// Window is the query window.
+	Window Window
+	// Period is the sampling period of Prev (Days carry their own).
+	Period time.Duration
+	// State is the machine's current availability state when known
+	// (HaveState true); predictors that condition on the initial state
+	// fall back to the historical initial-state mix otherwise.
+	State avail.State
+	// HaveState reports whether State is meaningful.
+	HaveState bool
+	// Cfg is the availability-model configuration (thresholds, guest
+	// memory) the prediction must respect.
+	Cfg avail.Config
+}
+
+// Cacheable marks plugins whose PredictTR is a pure function of (Days,
+// Window) plus the plugin's own configuration — ignoring the request-scoped
+// Prev, State and Cfg fields entirely — so the engine may memoize their
+// results in the kernel LRU keyed by (history fingerprint, window, plugin
+// name, CacheSalt). CacheSalt must fold every knob that changes the output;
+// two configurations with different predictions must never share a salt.
+// Callers wanting a per-query availability config copy the plugin value and
+// set its Cfg field before the call, which changes the salt with it.
+type Cacheable interface {
+	// CacheSalt digests the plugin's configuration for the cache key.
+	CacheSalt() uint64
+}
+
+// PluginOptions parameterizes plugin construction with the two settings
+// every predictor shares; plugin-specific knobs keep their registered
+// defaults (construct the concrete type directly to override them).
+type PluginOptions struct {
+	// Cfg is the availability-model configuration.
+	Cfg avail.Config
+	// HistoryDays bounds how many of the most recent days are used (zero
+	// means all provided).
+	HistoryDays int
+}
+
+// PluginFactory builds a configured plugin instance.
+type PluginFactory func(opts PluginOptions) Plugin
+
+var (
+	pluginMu        sync.RWMutex
+	pluginFactories = map[string]PluginFactory{}
+)
+
+// RegisterPlugin adds a predictor factory under its stable name. Built-ins
+// register from this package's init; external predictors register from their
+// own. Re-registering a name panics — names are identity everywhere
+// (tracker keys, router state, docs table), so a silent overwrite would
+// corrupt scoring.
+func RegisterPlugin(name string, f PluginFactory) {
+	if name == "" || f == nil {
+		panic("predict: RegisterPlugin with empty name or nil factory")
+	}
+	pluginMu.Lock()
+	defer pluginMu.Unlock()
+	if _, dup := pluginFactories[name]; dup {
+		panic(fmt.Sprintf("predict: plugin %q registered twice", name))
+	}
+	pluginFactories[name] = f
+}
+
+// PluginNames returns the registered predictor names, sorted.
+func PluginNames() []string {
+	pluginMu.RLock()
+	defer pluginMu.RUnlock()
+	names := make([]string, 0, len(pluginFactories))
+	for n := range pluginFactories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewPlugin constructs the named plugin, reporting false for unknown names.
+func NewPlugin(name string, opts PluginOptions) (Plugin, bool) {
+	pluginMu.RLock()
+	f, ok := pluginFactories[name]
+	pluginMu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	return f(opts), true
+}
+
+func init() {
+	RegisterPlugin("SMP", func(opts PluginOptions) Plugin {
+		return smpPlugin{p: SMP{Cfg: opts.Cfg, HistoryDays: opts.HistoryDays}}
+	})
+	RegisterPlugin("FFT", func(opts PluginOptions) Plugin {
+		s := DefaultSpectral()
+		s.Cfg = opts.Cfg
+		s.HistoryDays = opts.HistoryDays
+		return s
+	})
+	RegisterPlugin("PCT", func(opts PluginOptions) Plugin {
+		p := DefaultPercentile()
+		p.Cfg = opts.Cfg
+		p.HistoryDays = opts.HistoryDays
+		return p
+	})
+	for _, f := range timeseries.ReferenceSuite() {
+		fitter := f
+		RegisterPlugin(fitter.Name(), func(opts PluginOptions) Plugin {
+			return timeSeriesPlugin{ts: TimeSeries{Cfg: opts.Cfg, Fitter: fitter}}
+		})
+	}
+}
+
+// smpPlugin adapts the paper's SMP predictor onto the plugin surface. When
+// the caller knows the current state (a live query) the prediction is
+// conditioned on it; otherwise the historical initial-state mix weights the
+// two recoverable starts, exactly as SMP.Predict.
+type smpPlugin struct {
+	p SMP
+}
+
+func (s smpPlugin) Name() string { return s.p.Name() }
+
+func (s smpPlugin) PredictTR(in PluginInput) (float64, error) {
+	p := s.p
+	if in.Cfg != (avail.Config{}) {
+		p.Cfg = in.Cfg
+	}
+	if in.HaveState && in.State.Recoverable() {
+		return p.PredictFrom(in.Days, in.Window, in.State)
+	}
+	pred, err := p.Predict(in.Days, in.Window)
+	if err != nil {
+		return 0, err
+	}
+	return pred.TR, nil
+}
+
+// timeSeriesPlugin adapts the linear baselines (AR/BM/MA/ARMA/LAST) onto
+// the plugin surface. The underlying models classify a forecast trajectory
+// into survive/fail, so the TR they emit is binary {0, 1}.
+type timeSeriesPlugin struct {
+	ts TimeSeries
+}
+
+func (t timeSeriesPlugin) Name() string { return t.ts.Name() }
+
+func (t timeSeriesPlugin) PredictTR(in PluginInput) (float64, error) {
+	ts := t.ts
+	if in.Cfg != (avail.Config{}) {
+		ts.Cfg = in.Cfg
+	}
+	survives, err := ts.PredictWindow(in.Prev, in.Window, in.Period)
+	if err != nil {
+		return 0, err
+	}
+	if survives {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// truncDays applies the shared HistoryDays bound: keep the most recent n
+// days when n > 0.
+func truncDays(days []*trace.Day, n int) []*trace.Day {
+	if n > 0 && len(days) > n {
+		return days[len(days)-n:]
+	}
+	return days
+}

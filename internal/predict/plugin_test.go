@@ -1,0 +1,127 @@
+package predict
+
+import (
+	"testing"
+	"time"
+
+	"fgcs/internal/avail"
+)
+
+// TestPluginRegistry pins the built-in predictor set: the ensemble's docs,
+// router candidate lists and the doccheck cross-check all key off these
+// names.
+func TestPluginRegistry(t *testing.T) {
+	names := PluginNames()
+	want := []string{"AR(8)", "ARMA(8,8)", "BM(8)", "FFT", "LAST", "MA(8)", "PCT", "SMP"}
+	if len(names) != len(want) {
+		t.Fatalf("registered plugins = %v, want %v", names, want)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("registered plugins = %v, want %v", names, want)
+		}
+	}
+	for _, n := range names {
+		pl, ok := NewPlugin(n, PluginOptions{Cfg: avail.DefaultConfig()})
+		if !ok {
+			t.Fatalf("NewPlugin(%q) not found", n)
+		}
+		if pl.Name() != n {
+			t.Fatalf("plugin registered as %q names itself %q", n, pl.Name())
+		}
+	}
+	if _, ok := NewPlugin("no-such-predictor", PluginOptions{}); ok {
+		t.Fatal("unknown plugin constructed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	RegisterPlugin("SMP", func(PluginOptions) Plugin { return smpPlugin{} })
+}
+
+// TestPluginDeterminism repeats every day-structured plugin on the same
+// input: the results must be bit-identical, the property golden traces and
+// the fleetsim transcript hash rely on.
+func TestPluginDeterminism(t *testing.T) {
+	days := failHistory(10, 3)
+	w := Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	in := PluginInput{Days: days, Window: w, Period: time.Minute}
+	fft := DefaultSpectral()
+	pct := DefaultPercentile()
+	for _, pl := range []Plugin{fft, pct} {
+		first, err := pl.PredictTR(in)
+		if err != nil {
+			t.Fatalf("%s: %v", pl.Name(), err)
+		}
+		if first < 0 || first > 1 {
+			t.Fatalf("%s: TR %v outside [0, 1]", pl.Name(), first)
+		}
+		for i := 0; i < 5; i++ {
+			again, err := pl.PredictTR(in)
+			if err != nil {
+				t.Fatalf("%s: %v", pl.Name(), err)
+			}
+			if again != first {
+				t.Fatalf("%s: non-deterministic TR: %v then %v", pl.Name(), first, again)
+			}
+		}
+	}
+}
+
+// TestPluginCacheSaltIsolation drives differently-configured instances of
+// the same plugin through one engine: distinct knobs must produce distinct
+// cache entries (different salts), and repeated identical calls must hit.
+func TestPluginCacheSaltIsolation(t *testing.T) {
+	days := failHistory(10, 3)
+	w := Window{Start: 8 * time.Hour, Length: 2 * time.Hour}
+	in := PluginInput{Days: days, Window: w, Period: time.Minute}
+	e := NewEngine(EngineConfig{})
+
+	plain := DefaultSpectral()
+	margined := DefaultSpectral()
+	margined.MarginFraction = 0.5
+	if plain.CacheSalt() == margined.CacheSalt() {
+		t.Fatal("different MarginFraction, same cache salt")
+	}
+	trPlain, err := e.PredictPlugin(plain, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trMargined, err := e.PredictPlugin(margined, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trMargined >= trPlain {
+		t.Fatalf("margined TR %v not below plain TR %v — cache entries collided?", trMargined, trPlain)
+	}
+	misses := e.Stats().Misses
+	for i := 0; i < 3; i++ {
+		again, err := e.PredictPlugin(plain, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != trPlain {
+			t.Fatalf("cached TR %v != first %v", again, trPlain)
+		}
+	}
+	if got := e.Stats().Misses; got != misses {
+		t.Fatalf("repeated identical plugin calls missed the cache: %d -> %d misses", misses, got)
+	}
+
+	// The plugin name is part of the key, so two plugins over the same days
+	// and window can never share an entry.
+	pct := DefaultPercentile()
+	trPct, err := e.PredictPlugin(pct, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := e.PredictPlugin(plain, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != trPlain {
+		t.Fatalf("FFT entry clobbered by PCT: %v != %v (pct %v)", again, trPlain, trPct)
+	}
+}

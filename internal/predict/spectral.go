@@ -1,0 +1,275 @@
+package predict
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"fgcs/internal/avail"
+)
+
+// Spectral is the FFT predictor: it treats the machine's availability as a
+// periodic signal, extracts its dominant spectrum (diurnal/weekly harmonics
+// dominate on cycle-sharing hosts), reconstructs the next day's window from
+// the truncated Fourier series, and reports the window's worst reconstructed
+// availability as the TR. The knobs mirror crane's DSP estimator: spectrum
+// item caps, a low-amplitude cutoff relative to the strongest component, and
+// a safety margin shaved off the final prediction.
+//
+// The pipeline, all deterministic: classify each history day's samples into
+// a binary available/unavailable signal (1 when the state is recoverable),
+// concatenate the days oldest-first, resample to a fixed power-of-two length
+// by fractional block averaging (an anti-aliasing box filter), remove the
+// mean, run a radix-2 FFT, keep the dominant components per the knobs, and
+// evaluate the series at the query window's positions on the following day
+// (the series is periodic, so out-of-range positions wrap — crane's
+// periodic-extension forecast).
+type Spectral struct {
+	// Cfg is the availability-model configuration used to classify the
+	// history into the binary availability signal.
+	Cfg avail.Config
+	// HistoryDays bounds how many of the most recent days feed the
+	// spectrum (zero means all provided).
+	HistoryDays int
+	// MaxSpectrumItems caps how many frequency components the truncated
+	// series keeps (crane: maxNumOfSpectrumItems).
+	MaxSpectrumItems int
+	// MinSpectrumItems is the floor of kept components: the strongest
+	// Min items are retained even below the amplitude threshold (crane:
+	// minNumOfSpectrumItems).
+	MinSpectrumItems int
+	// LowAmplitudeThreshold drops components weaker than this fraction of
+	// the strongest component's amplitude (crane: lowAmplitudeThreshold,
+	// expressed relative rather than absolute so the knob is scale-free).
+	LowAmplitudeThreshold float64
+	// MarginFraction shaves a safety margin off the final TR:
+	// tr *= (1 - MarginFraction) (crane: marginFraction).
+	MarginFraction float64
+}
+
+// spectralSignalLen is the fixed power-of-two length the availability signal
+// is resampled to before the FFT. 4096 points over a multi-day history keeps
+// per-fit cost bounded and independent of the monitoring period while
+// resolving harmonics far above the diurnal fundamental.
+const spectralSignalLen = 4096
+
+// DefaultSpectral returns the FFT predictor with crane's default knobs.
+func DefaultSpectral() Spectral {
+	return Spectral{
+		Cfg:                   avail.DefaultConfig(),
+		MaxSpectrumItems:      20,
+		MinSpectrumItems:      10,
+		LowAmplitudeThreshold: 0.05,
+		MarginFraction:        0,
+	}
+}
+
+// Name implements Plugin.
+func (Spectral) Name() string { return "FFT" }
+
+// CacheSalt implements Cacheable: Spectral is a pure function of (Days,
+// Window, knobs), so the engine may memoize it. Every knob folds in.
+func (s Spectral) CacheSalt() uint64 {
+	h := uint64(fnvOffset64)
+	h = mix64(h, math.Float64bits(s.Cfg.Th1))
+	h = mix64(h, math.Float64bits(s.Cfg.Th2))
+	h = mix64(h, uint64(s.Cfg.SuspendLimit))
+	h = mix64(h, math.Float64bits(s.Cfg.GuestMemMB))
+	h = mix64(h, uint64(s.HistoryDays))
+	h = mix64(h, uint64(s.MaxSpectrumItems))
+	h = mix64(h, uint64(s.MinSpectrumItems))
+	h = mix64(h, math.Float64bits(s.LowAmplitudeThreshold))
+	h = mix64(h, math.Float64bits(s.MarginFraction))
+	return h
+}
+
+// PredictTR implements Plugin.
+func (s Spectral) PredictTR(in PluginInput) (float64, error) {
+	w := in.Window
+	if err := w.Validate(); err != nil {
+		return 0, err
+	}
+	// Cacheable contract: only Days, Window and the receiver's own knobs
+	// may influence the result (in.Cfg/Prev/State are ignored) — the cache
+	// salt covers exactly the receiver. Callers wanting a per-query config
+	// copy the struct and set Cfg before calling.
+	cfg := s.Cfg
+	if err := cfg.Validate(); err != nil {
+		return 0, err
+	}
+	days := truncDays(in.Days, s.HistoryDays)
+	if len(days) == 0 {
+		return 0, fmt.Errorf("predict: spectral: no history days")
+	}
+	period := periodOf(days)
+	units := w.Units(period)
+	if units < 1 {
+		return 0, fmt.Errorf("predict: spectral: window %v shorter than the sampling period", w)
+	}
+	// Binary availability signal, concatenated oldest-first.
+	total := 0
+	for _, d := range days {
+		total += len(d.Samples)
+	}
+	if total == 0 {
+		return 0, fmt.Errorf("predict: spectral: history days carry no samples")
+	}
+	signal := make([]float64, 0, total)
+	for _, d := range days {
+		for _, st := range avail.Classify(d.Samples, cfg, d.Period) {
+			if st.Recoverable() {
+				signal = append(signal, 1)
+			} else {
+				signal = append(signal, 0)
+			}
+		}
+	}
+	resampled := resampleBoxFilter(signal, spectralSignalLen)
+	mean := 0.0
+	for _, v := range resampled {
+		mean += v
+	}
+	mean /= float64(len(resampled))
+	buf := make([]complex128, len(resampled))
+	for i, v := range resampled {
+		buf[i] = complex(v-mean, 0)
+	}
+	fftRadix2(buf)
+	items := s.selectSpectrum(buf)
+	// Evaluate the truncated series at the query window's positions on
+	// the day after the history. Positions are expressed in original
+	// signal coordinates then scaled into resampled coordinates; the
+	// series is periodic so the next-day positions wrap onto the diurnal
+	// structure the dominant harmonics encode.
+	m := float64(len(resampled))
+	scale := m / float64(total)
+	tr := math.Inf(1)
+	for j := 0; j < units; j++ {
+		pos := float64(total) + (float64(w.Start)+(float64(j)+0.5)*float64(period))/float64(period)
+		u := pos * scale
+		v := mean
+		for _, it := range items {
+			v += 2 / m * (real(buf[it])*math.Cos(2*math.Pi*float64(it)*u/m) -
+				imag(buf[it])*math.Sin(2*math.Pi*float64(it)*u/m))
+		}
+		if v < tr {
+			tr = v
+		}
+	}
+	tr *= 1 - s.MarginFraction
+	if tr < 0 {
+		tr = 0
+	}
+	if tr > 1 {
+		tr = 1
+	}
+	return tr, nil
+}
+
+// selectSpectrum picks the dominant frequency bins of the half-spectrum per
+// the crane-style knobs: amplitude-sorted (bin index breaks ties, so the
+// choice is deterministic), at most MaxSpectrumItems, at least
+// MinSpectrumItems of the strongest regardless of the amplitude cutoff, and
+// beyond the floor only bins at or above LowAmplitudeThreshold of the
+// strongest amplitude.
+func (s Spectral) selectSpectrum(spec []complex128) []int {
+	half := len(spec) / 2
+	bins := make([]int, 0, half)
+	maxAmp := 0.0
+	for k := 1; k <= half; k++ {
+		bins = append(bins, k)
+		if a := cmplx.Abs(spec[k]); a > maxAmp {
+			maxAmp = a
+		}
+	}
+	sort.Slice(bins, func(i, j int) bool {
+		ai, aj := cmplx.Abs(spec[bins[i]]), cmplx.Abs(spec[bins[j]])
+		if ai != aj {
+			return ai > aj
+		}
+		return bins[i] < bins[j]
+	})
+	maxItems := s.MaxSpectrumItems
+	if maxItems <= 0 {
+		maxItems = 20
+	}
+	minItems := s.MinSpectrumItems
+	if minItems < 0 {
+		minItems = 0
+	}
+	cutoff := s.LowAmplitudeThreshold * maxAmp
+	kept := bins[:0]
+	for _, k := range bins {
+		if len(kept) >= maxItems {
+			break
+		}
+		if len(kept) >= minItems && cmplx.Abs(spec[k]) < cutoff {
+			break
+		}
+		kept = append(kept, k)
+	}
+	return kept
+}
+
+// resampleBoxFilter resamples signal to exactly n points by fractional block
+// averaging: output point i averages the source interval
+// [i*L/n, (i+1)*L/n), weighting partial source samples by their overlap.
+// Downsampling therefore anti-aliases (a box filter) and upsampling
+// replicates; both are exact and deterministic.
+func resampleBoxFilter(signal []float64, n int) []float64 {
+	out := make([]float64, n)
+	l := float64(len(signal))
+	step := l / float64(n)
+	for i := 0; i < n; i++ {
+		lo := float64(i) * step
+		hi := lo + step
+		sum, weight := 0.0, 0.0
+		for j := int(lo); j < len(signal) && float64(j) < hi; j++ {
+			a, b := math.Max(lo, float64(j)), math.Min(hi, float64(j+1))
+			if b <= a {
+				continue
+			}
+			sum += signal[j] * (b - a)
+			weight += b - a
+		}
+		if weight > 0 {
+			out[i] = sum / weight
+		}
+	}
+	return out
+}
+
+// fftRadix2 is an in-place iterative radix-2 Cooley-Tukey FFT. len(buf) must
+// be a power of two (the resampler guarantees it).
+func fftRadix2(buf []complex128) {
+	n := len(buf)
+	if n&(n-1) != 0 {
+		panic("predict: fft length is not a power of two")
+	}
+	// Bit-reversal permutation.
+	for i, j := 1, 0; i < n; i++ {
+		bit := n >> 1
+		for ; j&bit != 0; bit >>= 1 {
+			j ^= bit
+		}
+		j |= bit
+		if i < j {
+			buf[i], buf[j] = buf[j], buf[i]
+		}
+	}
+	for length := 2; length <= n; length <<= 1 {
+		ang := -2 * math.Pi / float64(length)
+		wl := cmplx.Rect(1, ang)
+		for start := 0; start < n; start += length {
+			w := complex(1, 0)
+			for k := 0; k < length/2; k++ {
+				u := buf[start+k]
+				v := buf[start+k+length/2] * w
+				buf[start+k] = u + v
+				buf[start+k+length/2] = u - v
+				w *= wl
+			}
+		}
+	}
+}
